@@ -1,0 +1,93 @@
+// §4.7 extension bench: categorical PriView. Sweeps the per-view cell
+// budget s and reports reconstruction error, alongside the paper's
+// recommended window for the domain's average cardinality — reproducing
+// the s-guideline table empirically.
+//
+// Flags: --n=150000 --runs=3 --queries=30
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "categorical/cat_priview.h"
+#include "categorical/cat_table.h"
+
+using namespace priview;
+
+namespace {
+
+CatDataset MakeSurvey(const CatDomain& domain, size_t n, Rng* rng) {
+  CatDataset data(domain);
+  std::vector<int> record(domain.d());
+  for (size_t i = 0; i < n; ++i) {
+    record[0] = static_cast<int>(rng->UniformInt(domain.Cardinality(0)));
+    for (int a = 1; a < domain.d(); ++a) {
+      record[a] = rng->Bernoulli(0.5)
+                      ? record[0] % domain.Cardinality(a)
+                      : static_cast<int>(
+                            rng->UniformInt(domain.Cardinality(a)));
+    }
+    data.Add(record);
+  }
+  return data;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = static_cast<size_t>(FlagInt(argc, argv, "n", 150000));
+  const int runs = FlagInt(argc, argv, "runs", 3);
+  const int num_queries = FlagInt(argc, argv, "queries", 30);
+
+  const CatDomain domain({4, 3, 3, 4, 2, 3, 4, 3, 2, 3, 3, 4});
+  double b_avg = 0.0;
+  for (int a = 0; a < domain.d(); ++a) b_avg += domain.Cardinality(a);
+  b_avg /= domain.d();
+  double s_lo = 0.0, s_hi = 0.0;
+  RecommendedCellBudget(b_avg, &s_lo, &s_hi);
+  std::printf("domain: d=%d, mean cardinality %.2f; recommended s in "
+              "[%.0f, %.0f]\n",
+              domain.d(), b_avg, s_lo, s_hi);
+
+  Rng data_rng(871);
+  const CatDataset data = MakeSurvey(domain, n, &data_rng);
+
+  // Queries: random 3-attribute scopes.
+  Rng qrng(872);
+  std::vector<AttrSet> queries;
+  for (int i = 0; i < num_queries; ++i) {
+    queries.push_back(
+        AttrSet::FromIndices(qrng.SampleWithoutReplacement(domain.d(), 3)));
+  }
+  std::vector<CatTable> truths;
+  for (AttrSet q : queries) truths.push_back(data.CountMarginal(q));
+
+  PrintHeader("Sec 4.7: cell-budget sweep, eps=1.0, 3-way queries");
+  for (int budget : {36, 72, 144, 288, 576, 1152, 2304}) {
+    double total_err = 0.0;
+    int blocks_used = 0;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng(880 + run);
+      const std::vector<AttrSet> blocks =
+          GreedyPairCoverUnderBudget(domain, budget, &rng);
+      blocks_used = static_cast<int>(blocks.size());
+      CatPriViewSynopsis::Options options;
+      options.epsilon = 1.0;
+      const CatPriViewSynopsis synopsis =
+          CatPriViewSynopsis::Build(data, blocks, options, &rng);
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        total_err += synopsis.Query(queries[qi]).L2DistanceTo(truths[qi]) /
+                     static_cast<double>(n);
+      }
+    }
+    const double mean_err =
+        total_err / (runs * static_cast<double>(queries.size()));
+    const char* marker =
+        (budget >= s_lo && budget <= s_hi) ? "  <- in recommended window"
+                                           : "";
+    std::printf("s=%5d  w=%3d  mean L2 err=%.5f%s\n", budget, blocks_used,
+                mean_err, marker);
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Figure 1: all methods on the MSNBC-like dataset (d = 9), L2 error
+// candlesticks. Methods: PriView (C2(6,3), max-entropy), Flat, Direct,
+// Fourier, FourierLP, MWEM, Matrix Mechanism (expected error), Learning
+// with gamma = 1/2, 1/4, 1/8 (plus noise-free stars), Uniform.
+//
+// Flags: --queries=200 --runs=5 --n=989818 --k=2,4 via --kmin/--kmax
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "baselines/datacube.h"
+#include "baselines/direct.h"
+#include "baselines/flat.h"
+#include "baselines/fourier.h"
+#include "baselines/learning.h"
+#include "baselines/matrix_mechanism.h"
+#include "baselines/mwem.h"
+#include "baselines/uniform.h"
+#include "bench_util/harness.h"
+#include "common/combinatorics.h"
+#include "common/rng.h"
+#include "core/error_model.h"
+#include "core/synopsis.h"
+#include "data/synthetic.h"
+#include "design/covering_design.h"
+
+using namespace priview;
+
+namespace {
+
+void RunMechanism(const Dataset& data, const std::vector<AttrSet>& queries,
+                  int runs, double epsilon, int k,
+                  MarginalMechanism* mechanism, uint64_t seed) {
+  Rng rng(seed);
+  const WorkloadErrors errors = EvaluateWorkload(
+      data, queries, runs,
+      [&](int) { mechanism->Fit(data, epsilon, k, &rng); },
+      [&](AttrSet q) { return mechanism->Query(q); });
+  PrintCandlestickRow(mechanism->Name(), SummarizeErrors(errors));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_queries = FlagInt(argc, argv, "queries", 200);
+  const int runs = FlagInt(argc, argv, "runs", 5);
+  const size_t n = static_cast<size_t>(FlagInt(argc, argv, "n", 989818));
+  const int kmin = FlagInt(argc, argv, "kmin", 2);
+  const int kmax = FlagInt(argc, argv, "kmax", 4);
+  const bool quick = FlagBool(argc, argv, "quick", false);
+
+  Rng data_rng(20140622);
+  const Dataset data = MakeMsnbcLike(&data_rng, quick ? 50000 : n);
+  const int d = data.d();
+
+  for (double epsilon : {1.0, 0.1}) {
+    for (int k = kmin; k <= kmax; k += 2) {
+      PrintHeader("Figure 1: MSNBC-like d=9, eps=" + std::to_string(epsilon) +
+                  ", k=" + std::to_string(k));
+      Rng qrng(42 + k);
+      const int max_queries = std::min<long long>(
+          num_queries, static_cast<long long>(BinomialDouble(d, k)));
+      const auto queries = SampleQuerySets(d, k, max_queries, &qrng);
+
+      // PriView with the paper's C2(6,3).
+      {
+        Rng rng(1);
+        const CoveringDesign design = MakeCoveringDesign(9, 6, 2, &rng);
+        std::unique_ptr<PriViewSynopsis> synopsis;
+        const WorkloadErrors errors = EvaluateWorkload(
+            data, queries, runs,
+            [&](int run) {
+              Rng build_rng(1000 + run);
+              PriViewOptions options;
+              options.epsilon = epsilon;
+              synopsis = std::make_unique<PriViewSynopsis>(
+                  PriViewSynopsis::Build(data, design.blocks, options,
+                                         &build_rng));
+            },
+            [&](AttrSet q) { return synopsis->Query(q); });
+        PrintCandlestickRow("PriView " + design.Name(),
+                            SummarizeErrors(errors));
+      }
+
+      FlatMechanism flat;
+      RunMechanism(data, queries, runs, epsilon, k, &flat, 2);
+      {
+        // §5.1: "The DataCube method in [8] would choose Flat" at d = 9.
+        DataCubeMechanism datacube;
+        RunMechanism(data, queries, runs, epsilon, k, &datacube, 21);
+      }
+      DirectMechanism direct;
+      RunMechanism(data, queries, runs, epsilon, k, &direct, 3);
+      FourierMechanism fourier;
+      RunMechanism(data, queries, runs, epsilon, k, &fourier, 4);
+      {
+        FourierLpMechanism fourier_lp;
+        const int lp_runs = quick ? 1 : std::min(runs, 3);
+        RunMechanism(data, queries, lp_runs, epsilon, k, &fourier_lp, 5);
+      }
+      {
+        MwemOptions mwem_options;
+        if (quick) mwem_options.update_sweeps = 20;
+        MwemMechanism mwem(mwem_options);
+        RunMechanism(data, queries, runs, epsilon, k, &mwem, 6);
+      }
+      for (double gamma : {0.5, 0.25, 0.125}) {
+        LearningMechanism learning(gamma);
+        RunMechanism(data, queries, runs, epsilon, k, &learning, 7);
+        LearningMechanism stars(gamma, /*add_noise=*/false);
+        RunMechanism(data, queries, 1, epsilon, k, &stars, 8);
+      }
+      UniformMechanism uniform;
+      RunMechanism(data, queries, 1, epsilon, k, &uniform, 9);
+
+      // Matrix mechanism: expected per-query normalized L2 (analytic).
+      const MatrixMechanismResult mm = EvaluateMatrixMechanism(d, k, epsilon);
+      std::printf("%-28s L2  expected=%.3e (best strategy: %s)\n",
+                  "MatrixMech(expected)",
+                  ExpectedNormalizedL2(mm.best.expected_marginal_ese,
+                                       static_cast<double>(data.size())),
+                  mm.best.strategy.c_str());
+    }
+  }
+  return 0;
+}

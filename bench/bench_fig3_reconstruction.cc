@@ -1,0 +1,93 @@
+// Figure 3: comparing reconstruction methods at eps = 1.0 —
+//   CME  : consistency + max entropy (the paper's choice)
+//   LP   : linear programming on raw (inconsistent) noisy views
+//   CLP  : consistency preprocessing + linear programming
+//   CLN  : consistency + least-norm (least squares)
+//   CME* : max entropy on noise-free views (reference)
+// on Kosarak-like with C3(8, ~106) and AOL-like with C2(8, ~42).
+//
+// Flags: --queries=60 --runs=5 --quick=1
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "core/synopsis.h"
+#include "data/synthetic.h"
+#include "design/covering_design.h"
+
+using namespace priview;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  bool consistency;
+  bool add_noise;
+  ReconstructionMethod method;
+};
+
+void RunDataset(const Dataset& data, const std::string& name,
+                const CoveringDesign& design, int num_queries, int runs) {
+  const std::vector<Variant> variants = {
+      {"CME", true, true, ReconstructionMethod::kMaxEntropy},
+      {"LP", false, true, ReconstructionMethod::kLinearProgram},
+      {"CLP", true, true, ReconstructionMethod::kLinearProgram},
+      {"CLN", true, true, ReconstructionMethod::kLeastNorm},
+      {"CME*", true, false, ReconstructionMethod::kMaxEntropy},
+  };
+
+  for (int k : {4, 6, 8}) {
+    PrintHeader("Figure 3: " + name + " " + design.Name() +
+                ", eps=1.0, k=" + std::to_string(k));
+    Rng qrng(600 + k);
+    const auto queries = SampleQuerySets(data.d(), k, num_queries, &qrng);
+
+    for (const Variant& variant : variants) {
+      std::unique_ptr<PriViewSynopsis> synopsis;
+      const WorkloadErrors errors = EvaluateWorkload(
+          data, queries, variant.add_noise ? runs : 1,
+          [&](int run) {
+            Rng build_rng(7000 + run);
+            PriViewOptions options;
+            options.epsilon = 1.0;
+            options.run_consistency = variant.consistency;
+            // The raw-LP variant also skips non-negativity: it sees the
+            // unprocessed noisy views, as in §4.3.
+            if (!variant.consistency) {
+              options.nonneg = NonNegMethod::kNone;
+            }
+            options.add_noise = variant.add_noise;
+            synopsis = std::make_unique<PriViewSynopsis>(
+                PriViewSynopsis::Build(data, design.blocks, options,
+                                       &build_rng));
+          },
+          [&](AttrSet q) { return synopsis->Query(q, variant.method); });
+      PrintCandlestickRow(variant.label, SummarizeErrors(errors));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_queries = FlagInt(argc, argv, "queries", 60);
+  const int runs = FlagInt(argc, argv, "runs", 5);
+  const bool quick = FlagBool(argc, argv, "quick", false);
+
+  Rng design_rng(31);
+  {
+    Rng rng(821);
+    const Dataset kosarak = MakeKosarakLike(&rng, quick ? 60000 : 912627);
+    const CoveringDesign c3 = MakeCoveringDesign(32, 8, 3, &design_rng);
+    RunDataset(kosarak, "Kosarak-like d=32", c3, num_queries, runs);
+  }
+  {
+    Rng rng(822);
+    const Dataset aol = MakeAolLike(&rng, quick ? 60000 : 647377);
+    const CoveringDesign c2 = MakeCoveringDesign(45, 8, 2, &design_rng);
+    RunDataset(aol, "AOL-like d=45", c2, num_queries, runs);
+  }
+  return 0;
+}

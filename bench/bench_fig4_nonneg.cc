@@ -1,0 +1,87 @@
+// Figure 4: non-negativity strategies at eps = 1.0 —
+//   None     : keep negative values
+//   Simple   : clamp negatives to zero
+//   Global   : clamp, subtract uniformly from positives to keep the total
+//   Ripple_1 : Consistency + (Ripple + Consistency) x 1  (the default)
+//   Ripple_3 : Consistency + (Ripple + Consistency) x 3
+// on Kosarak-like with C3(8, ~106) and AOL-like with C2(8, ~42).
+//
+// Flags: --queries=100 --runs=5 --quick=1
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "core/synopsis.h"
+#include "data/synthetic.h"
+#include "design/covering_design.h"
+
+using namespace priview;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  NonNegMethod method;
+  int rounds;
+};
+
+void RunDataset(const Dataset& data, const std::string& name,
+                const CoveringDesign& design, int num_queries, int runs) {
+  const std::vector<Variant> variants = {
+      {"None", NonNegMethod::kNone, 1},
+      {"Simple", NonNegMethod::kSimple, 1},
+      {"Global", NonNegMethod::kGlobal, 1},
+      {"Ripple_1", NonNegMethod::kRipple, 1},
+      {"Ripple_3", NonNegMethod::kRipple, 3},
+  };
+
+  for (int k : {4, 6, 8}) {
+    PrintHeader("Figure 4: " + name + " " + design.Name() +
+                ", eps=1.0, k=" + std::to_string(k));
+    Rng qrng(900 + k);
+    const auto queries = SampleQuerySets(data.d(), k, num_queries, &qrng);
+
+    for (const Variant& variant : variants) {
+      std::unique_ptr<PriViewSynopsis> synopsis;
+      const WorkloadErrors errors = EvaluateWorkload(
+          data, queries, runs,
+          [&](int run) {
+            Rng build_rng(8000 + run);
+            PriViewOptions options;
+            options.epsilon = 1.0;
+            options.nonneg = variant.method;
+            options.nonneg_rounds = variant.rounds;
+            synopsis = std::make_unique<PriViewSynopsis>(
+                PriViewSynopsis::Build(data, design.blocks, options,
+                                       &build_rng));
+          },
+          [&](AttrSet q) { return synopsis->Query(q); });
+      PrintCandlestickRow(variant.label, SummarizeErrors(errors));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_queries = FlagInt(argc, argv, "queries", 100);
+  const int runs = FlagInt(argc, argv, "runs", 5);
+  const bool quick = FlagBool(argc, argv, "quick", false);
+
+  Rng design_rng(32);
+  {
+    Rng rng(831);
+    const Dataset kosarak = MakeKosarakLike(&rng, quick ? 60000 : 912627);
+    const CoveringDesign c3 = MakeCoveringDesign(32, 8, 3, &design_rng);
+    RunDataset(kosarak, "Kosarak-like d=32", c3, num_queries, runs);
+  }
+  {
+    Rng rng(832);
+    const Dataset aol = MakeAolLike(&rng, quick ? 60000 : 647377);
+    const CoveringDesign c2 = MakeCoveringDesign(45, 8, 2, &design_rng);
+    RunDataset(aol, "AOL-like d=45", c2, num_queries, runs);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 6: different covering designs on the Kosarak-like dataset —
+// varying ell in {6, 8, 10} for t = 2 and t = 3, with the Eq. 5 noise-error
+// prediction printed as the paper's purple stars. Expected shape: designs
+// with ell near 8 perform similarly; t = 3 designs give tighter error
+// bands; noise error near 0.002 performs well.
+//
+// Flags: --queries=100 --runs=5 --quick=1
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "core/synopsis.h"
+#include "data/synthetic.h"
+#include "design/covering_design.h"
+#include "design/view_selection.h"
+
+using namespace priview;
+
+int main(int argc, char** argv) {
+  const int num_queries = FlagInt(argc, argv, "queries", 100);
+  const int runs = FlagInt(argc, argv, "runs", 5);
+  const bool quick = FlagBool(argc, argv, "quick", false);
+
+  Rng data_rng(841);
+  const Dataset data = MakeKosarakLike(&data_rng, quick ? 60000 : 912627);
+  const int d = data.d();
+  const double n = static_cast<double>(data.size());
+
+  Rng design_rng(51);
+  std::vector<CoveringDesign> designs;
+  for (int t : {2, 3}) {
+    for (int ell : {6, 8, 10}) {
+      designs.push_back(MakeCoveringDesign(d, ell, t, &design_rng));
+    }
+  }
+
+  for (double epsilon : {1.0, 0.1}) {
+    for (int k : {4, 6, 8}) {
+      PrintHeader("Figure 6: Kosarak-like d=32, eps=" +
+                  std::to_string(epsilon) + ", k=" + std::to_string(k));
+      Rng qrng(1100 + k);
+      const auto queries = SampleQuerySets(d, k, num_queries, &qrng);
+      for (const CoveringDesign& design : designs) {
+        std::unique_ptr<PriViewSynopsis> synopsis;
+        const WorkloadErrors errors = EvaluateWorkload(
+            data, queries, runs,
+            [&](int run) {
+              Rng build_rng(9500 + run);
+              PriViewOptions options;
+              options.epsilon = epsilon;
+              synopsis = std::make_unique<PriViewSynopsis>(
+                  PriViewSynopsis::Build(data, design.blocks, options,
+                                         &build_rng));
+            },
+            [&](AttrSet q) { return synopsis->Query(q); });
+        PrintCandlestickRow(design.Name(), SummarizeErrors(errors));
+        std::printf("%-28s noise-error prediction (Eq.5) = %.3e\n", "",
+                    NoiseErrorEq5(n, d, epsilon, design.ell, design.w()));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Scaling ablation (beyond the paper's figures): PriView's measured error
+// against the analytic predictions as N and epsilon vary, holding the
+// design fixed. Validates the Eq. 5 / PredictQueryEse error model that
+// drives view selection: measured noise error should track the prediction
+// with a ~1/(N eps) profile until coverage error takes over.
+//
+// Flags: --queries=40 --runs=3
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "core/synopsis.h"
+#include "core/variance.h"
+#include "data/synthetic.h"
+#include "design/covering_design.h"
+#include "design/view_selection.h"
+
+using namespace priview;
+
+namespace {
+
+void RunPoint(const Dataset& data, const CoveringDesign& design,
+              double epsilon, const std::vector<AttrSet>& queries,
+              int runs, const std::string& label) {
+  std::unique_ptr<PriViewSynopsis> synopsis;
+  const WorkloadErrors errors = EvaluateWorkload(
+      data, queries, runs,
+      [&](int run) {
+        Rng rng(3000 + run);
+        PriViewOptions options;
+        options.epsilon = epsilon;
+        synopsis = std::make_unique<PriViewSynopsis>(
+            PriViewSynopsis::Build(data, design.blocks, options, &rng));
+      },
+      [&](AttrSet q) { return synopsis->Query(q); });
+  const ErrorSummary summary = SummarizeErrors(errors);
+  // Analytic predictions for comparison.
+  double predicted = 0.0;
+  for (AttrSet q : queries) {
+    predicted += PredictNormalizedError(design.blocks, q, epsilon,
+                                        static_cast<double>(data.size()));
+  }
+  predicted /= static_cast<double>(queries.size());
+  std::printf("%-26s measured mean=%.3e  predicted noise=%.3e  Eq5=%.3e\n",
+              label.c_str(), summary.l2.mean, predicted,
+              NoiseErrorEq5(static_cast<double>(data.size()), data.d(),
+                            epsilon, design.ell, design.w()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_queries = FlagInt(argc, argv, "queries", 40);
+  const int runs = FlagInt(argc, argv, "runs", 3);
+  const int d = 32;
+
+  Rng design_rng(61);
+  const CoveringDesign design = MakeCoveringDesign(d, 8, 2, &design_rng);
+  Rng qrng(62);
+  const auto queries = SampleQuerySets(d, 4, num_queries, &qrng);
+
+  PrintHeader("Scaling in N (eps=1.0, k=4, " + design.Name() + ")");
+  for (size_t n : {20000, 60000, 180000, 540000}) {
+    Rng data_rng(63);
+    const Dataset data = MakeKosarakLike(&data_rng, n);
+    RunPoint(data, design, 1.0, queries, runs, "N=" + std::to_string(n));
+  }
+
+  PrintHeader("Scaling in epsilon (N=180000, k=4)");
+  Rng data_rng(63);
+  const Dataset data = MakeKosarakLike(&data_rng, 180000);
+  for (double epsilon : {2.0, 1.0, 0.5, 0.2, 0.1, 0.05}) {
+    RunPoint(data, design, epsilon, queries, runs,
+             "eps=" + std::to_string(epsilon));
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// §4.6 timing table: wall-clock time to publish the synopsis (P) and to
+// reconstruct a single 6-way (Q6) and 8-way (Q8) marginal, for
+//   Kosarak-like d=32 with C2(8,~) and C3(8,~)
+//   AOL-like    d=45 with C2(8,~) and C3(8,~)
+// Implemented with google-benchmark so numbers come from calibrated
+// repetitions. The paper's Python implementation reports P = 8.78s /
+// 90.81s / 47.42s / 593.27s and sub-minute queries; a C++ implementation
+// should be one to two orders faster — shape, not absolute values.
+//
+// Run with --benchmark_min_time etc.; use --quick via env N override.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/synopsis.h"
+#include "data/synthetic.h"
+#include "design/covering_design.h"
+#include "metrics/metrics.h"
+
+using namespace priview;
+
+namespace {
+
+struct Setting {
+  const Dataset* data;
+  CoveringDesign design;
+};
+
+const Dataset& Kosarak() {
+  static const Dataset data = [] {
+    Rng rng(861);
+    return MakeKosarakLike(&rng, 912627);
+  }();
+  return data;
+}
+
+const Dataset& Aol() {
+  static const Dataset data = [] {
+    Rng rng(862);
+    return MakeAolLike(&rng, 647377);
+  }();
+  return data;
+}
+
+CoveringDesign DesignFor(int d, int t) {
+  Rng rng(900 + d + t);
+  return MakeCoveringDesign(d, 8, t, &rng);
+}
+
+void BM_PublishSynopsis(benchmark::State& state, const Dataset& data, int t) {
+  const CoveringDesign design = DesignFor(data.d(), t);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    PriViewOptions options;
+    options.epsilon = 1.0;
+    benchmark::DoNotOptimize(
+        PriViewSynopsis::Build(data, design.blocks, options, &rng));
+  }
+  state.SetLabel(design.Name());
+}
+
+void BM_Query(benchmark::State& state, const Dataset& data, int t, int k) {
+  const CoveringDesign design = DesignFor(data.d(), t);
+  Rng rng(7);
+  PriViewOptions options;
+  options.epsilon = 1.0;
+  const PriViewSynopsis synopsis =
+      PriViewSynopsis::Build(data, design.blocks, options, &rng);
+  Rng qrng(8);
+  const auto queries = SampleQuerySets(data.d(), k, 16, &qrng);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synopsis.Query(queries[i % queries.size()]));
+    ++i;
+  }
+  state.SetLabel(design.Name() + " Q" + std::to_string(k));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_PublishSynopsis, kosarak_c2, Kosarak(), 2)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_PublishSynopsis, kosarak_c3, Kosarak(), 3)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_PublishSynopsis, aol_c2, Aol(), 2)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_PublishSynopsis, aol_c3, Aol(), 3)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+BENCHMARK_CAPTURE(BM_Query, kosarak_c2_q6, Kosarak(), 2, 6)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Query, kosarak_c2_q8, Kosarak(), 2, 8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Query, kosarak_c3_q6, Kosarak(), 3, 6)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Query, kosarak_c3_q8, Kosarak(), 3, 8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Query, aol_c2_q6, Aol(), 2, 6)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Query, aol_c2_q8, Aol(), 2, 8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Query, aol_c3_q6, Aol(), 3, 6)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Query, aol_c3_q8, Aol(), 3, 8)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

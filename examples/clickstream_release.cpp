@@ -1,0 +1,120 @@
+// Scenario: a news portal wants to publish co-visitation statistics of its
+// 45 page categories without exposing any individual reader — the paper's
+// AOL-style motivating workload. The analyst downstream never sees raw
+// data, only the synopsis, and asks correlation-style questions.
+//
+//   ./clickstream_release [--n=200000] [--eps=1.0]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+#include "core/query_engine.h"
+#include "core/synopsis.h"
+#include "data/io.h"
+#include "data/synthetic.h"
+#include "design/view_selection.h"
+#include "metrics/metrics.h"
+
+namespace {
+
+int FlagInt(int argc, char** argv, const char* name, int def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoi(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
+double FlagDouble(int argc, char** argv, const char* name, double def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace priview;
+  const int n = FlagInt(argc, argv, "n", 200000);
+  const double epsilon = FlagDouble(argc, argv, "eps", 1.0);
+
+  Rng rng(7);
+  Dataset data = MakeAolLike(&rng, static_cast<size_t>(n));
+  std::printf("publisher side: d=%d categories, N=%zu readers, eps=%.2f\n",
+              data.d(), data.size(), epsilon);
+
+  // --- Publisher: build and "release" the synopsis. -----------------------
+  const ViewSelection sel =
+      SelectViews(data.d(), static_cast<double>(n), epsilon, &rng);
+  PriViewOptions options;
+  options.epsilon = epsilon;
+  const PriViewSynopsis synopsis =
+      PriViewSynopsis::Build(data, sel.design.blocks, options, &rng);
+  std::printf("released synopsis: %s (%zu marginal tables, %zu cells "
+              "total)\n\n",
+              sel.design.Name().c_str(), synopsis.views().size(),
+              synopsis.views().size() * synopsis.views()[0].size());
+
+  // --- Analyst: works from the synopsis only, via the query engine. -------
+  // Q1: Which category pairs co-occur far more often than independence
+  // would predict? (lift of the (1,1) cell). Restricted to categories with
+  // solid support — lift on rare cells is noise-dominated at any epsilon.
+  const QueryEngine engine(&synopsis);
+  std::printf("top associated category pairs (by lift):\n");
+  struct Pair {
+    int a, b;
+    double lift;
+  };
+  std::vector<Pair> pairs;
+  for (int a = 0; a < data.d(); ++a) {
+    if (engine.Probability(AttrSet::FromIndices({a}), 1) < 0.05) continue;
+    for (int b = a + 1; b < data.d(); ++b) {
+      if (engine.Probability(AttrSet::FromIndices({b}), 1) < 0.05) continue;
+      pairs.push_back({a, b, engine.Lift(a, b)});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& x, const Pair& y) { return x.lift > y.lift; });
+  std::printf("(note: taking the top-k of noisy statistics inflates them — "
+              "the winner's curse;\n true lifts shown for calibration)\n");
+  for (size_t i = 0; i < pairs.size() && i < 5; ++i) {
+    // Compare against the (normally unavailable) ground truth.
+    const MarginalTable truth = data.CountMarginal(
+        AttrSet::FromIndices({pairs[i].a, pairs[i].b}));
+    const double n_true = static_cast<double>(data.size());
+    const double true_lift =
+        (truth.At(0b11) / n_true) /
+        (((truth.At(0b01) + truth.At(0b11)) / n_true) *
+         ((truth.At(0b10) + truth.At(0b11)) / n_true));
+    std::printf("  categories %2d & %2d: private lift %.2f (true %.2f)\n",
+                pairs[i].a, pairs[i].b, pairs[i].lift, true_lift);
+  }
+
+  // Q2: a 6-way drill-down none of the views covers directly.
+  const AttrSet drill = AttrSet::FromIndices({0, 1, 2, 9, 18, 27});
+  const MarginalTable cube = synopsis.Query(drill);
+  const MarginalTable cube_truth = data.CountMarginal(drill);
+  std::printf("\n6-way drill-down %s: normalized L2 error %.5f, "
+              "JS divergence %.6f\n",
+              drill.ToString().c_str(),
+              NormalizedL2Error(cube, cube_truth,
+                                static_cast<double>(data.size())),
+              JensenShannonTables(cube, cube_truth));
+
+  // Q3: persist the synthetic source data for external tooling.
+  const std::string path = "clickstream_sample.dat";
+  Dataset sample(data.d());
+  for (size_t i = 0; i < 1000; ++i) sample.Add(data.records()[i]);
+  const Status io = WriteTransactions(sample, path);
+  std::printf("\nwrote 1000-record sample to %s: %s\n", path.c_str(),
+              io.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Scenario: sequence data (the paper's MCHAIN synthesis) — 64-step binary
+// time series where each step depends on the previous `order` steps. Shows
+// how the strength of temporal correlation interacts with pair-covering
+// views: the paper's Fig. 5 insight that mc3 is hardest, reproduced
+// interactively.
+//
+//   ./mchain_explorer [--order=3]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+#include "core/synopsis.h"
+#include "data/mchain.h"
+#include "design/covering_design.h"
+#include "metrics/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace priview;
+  int requested_order = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--order=", 8) == 0) {
+      requested_order = std::atoi(argv[i] + 8);
+    }
+  }
+
+  Rng rng(11);
+  const int d = 64;
+  const CoveringDesign design = MakeCoveringDesign(d, 8, 2, &rng);
+  std::printf("views: %s on d=%d\n\n", design.Name().c_str(), d);
+  std::printf("order | mean L2 err (k=4, consecutive) | note\n");
+  std::printf("------+--------------------------------+---------------\n");
+
+  for (int order = 1; order <= 7; ++order) {
+    if (requested_order != 0 && order != requested_order) continue;
+    Rng data_rng(100 + order);
+    const Dataset data = MakeMchainDataset(order, d, 200000, &data_rng);
+
+    PriViewOptions options;
+    options.epsilon = 1.0;
+    Rng noise_rng(200 + order);
+    const PriViewSynopsis synopsis =
+        PriViewSynopsis::Build(data, design.blocks, options, &noise_rng);
+
+    const auto queries = ConsecutiveQuerySets(d, 4);
+    const double n = static_cast<double>(data.size());
+    double err = 0.0;
+    for (AttrSet q : queries) {
+      err += NormalizedL2Error(synopsis.Query(q), data.CountMarginal(q), n);
+    }
+    err /= static_cast<double>(queries.size());
+    const char* note = "";
+    if (order <= 2) note = "pairs cover the dependence";
+    if (order == 3) note = "4-attr correlation, pairs strained";
+    if (order >= 4) note = "dependence diffuse, easy again";
+    std::printf("  %d   | %.6f                       | %s\n", order, err,
+                note);
+  }
+  return 0;
+}

@@ -1,0 +1,206 @@
+// priview_tool — command-line front end for the full release workflow.
+//
+//   priview_tool synth --kind=kosarak --n=100000 --out=data.dat
+//       Generate demo data (kinds: kosarak, aol, msnbc, mchain<order>).
+//   priview_tool build --in=data.dat --d=32 --eps=1.0 --out=synopsis.pv
+//       Run the §4.5 pipeline (noisy count -> view selection -> synopsis)
+//       and save the differentially private synopsis.
+//   priview_tool info --in=synopsis.pv
+//       Describe a synopsis file.
+//   priview_tool query --in=synopsis.pv --attrs=1,5,9
+//       Reconstruct and print the marginal over the given attributes.
+//
+// The data owner runs `build` once; everyone else only ever touches the
+// synopsis file.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "core/query_engine.h"
+#include "core/serialization.h"
+#include "data/io.h"
+#include "data/mchain.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace priview;
+
+const char* FindFlag(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+std::string FlagStr(int argc, char** argv, const char* name,
+                    const char* def) {
+  const char* v = FindFlag(argc, argv, name);
+  return v ? v : def;
+}
+
+int FlagInt(int argc, char** argv, const char* name, int def) {
+  const char* v = FindFlag(argc, argv, name);
+  return v ? std::atoi(v) : def;
+}
+
+double FlagDouble(int argc, char** argv, const char* name, double def) {
+  const char* v = FindFlag(argc, argv, name);
+  return v ? std::atof(v) : def;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  priview_tool synth --kind=kosarak|aol|msnbc|mchain<i> "
+               "[--n=N] [--seed=S] --out=FILE\n"
+               "  priview_tool build --in=FILE --d=D [--eps=1.0] "
+               "[--seed=S] --out=FILE\n"
+               "  priview_tool info  --in=FILE\n"
+               "  priview_tool query --in=FILE --attrs=a,b,c "
+               "[--method=cme|cln|lp]\n");
+  return 2;
+}
+
+int CmdSynth(int argc, char** argv) {
+  const std::string kind = FlagStr(argc, argv, "kind", "kosarak");
+  const std::string out = FlagStr(argc, argv, "out", "");
+  const size_t n = static_cast<size_t>(FlagInt(argc, argv, "n", 100000));
+  Rng rng(static_cast<uint64_t>(FlagInt(argc, argv, "seed", 1)));
+  if (out.empty()) return Usage();
+
+  Dataset data(1);
+  if (kind == "kosarak") {
+    data = MakeKosarakLike(&rng, n);
+  } else if (kind == "aol") {
+    data = MakeAolLike(&rng, n);
+  } else if (kind == "msnbc") {
+    data = MakeMsnbcLike(&rng, n);
+  } else if (kind.rfind("mchain", 0) == 0) {
+    const int order = std::max(1, std::atoi(kind.c_str() + 6));
+    data = MakeMchainDataset(order, 64, n, &rng);
+  } else {
+    std::fprintf(stderr, "unknown kind: %s\n", kind.c_str());
+    return 2;
+  }
+  const Status st = WriteTransactions(data, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu records (d=%d) to %s\n", data.size(), data.d(),
+              out.c_str());
+  return 0;
+}
+
+int CmdBuild(int argc, char** argv) {
+  const std::string in = FlagStr(argc, argv, "in", "");
+  const std::string out = FlagStr(argc, argv, "out", "");
+  const int d = FlagInt(argc, argv, "d", 0);
+  if (in.empty() || out.empty() || d <= 0) return Usage();
+
+  StatusOr<Dataset> data = ReadTransactions(in, d);
+  if (!data.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+
+  PipelineOptions options;
+  options.total_epsilon = FlagDouble(argc, argv, "eps", 1.0);
+  Rng rng(static_cast<uint64_t>(FlagInt(argc, argv, "seed", 1)));
+  StatusOr<PipelineResult> result =
+      BuildPriViewPipeline(data.value(), options, &rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const PipelineResult& r = result.value();
+  std::printf("selected %s (noise error %.5f, noisy N %.0f)\n",
+              r.selection.design.Name().c_str(), r.selection.noise_error,
+              r.noisy_count);
+  std::printf("budget: %.4f on count + %.4f on views = %.4f total\n",
+              r.count_epsilon, r.views_epsilon, options.total_epsilon);
+  const Status st = SaveSynopsis(r.synopsis, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved synopsis to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  const std::string in = FlagStr(argc, argv, "in", "");
+  if (in.empty()) return Usage();
+  StatusOr<PriViewSynopsis> synopsis = LoadSynopsis(in);
+  if (!synopsis.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 synopsis.status().ToString().c_str());
+    return 1;
+  }
+  const PriViewSynopsis& s = synopsis.value();
+  std::printf("synopsis: d=%d, epsilon=%.4f, total count %.0f\n", s.d(),
+              s.options().epsilon, s.total());
+  std::printf("%zu views:\n", s.views().size());
+  for (const MarginalTable& view : s.views()) {
+    std::printf("  %s (%zu cells)\n", view.attrs().ToString().c_str(),
+                view.size());
+  }
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  const std::string in = FlagStr(argc, argv, "in", "");
+  const std::string attrs_csv = FlagStr(argc, argv, "attrs", "");
+  const std::string method_name = FlagStr(argc, argv, "method", "cme");
+  if (in.empty() || attrs_csv.empty()) return Usage();
+
+  ReconstructionMethod method = ReconstructionMethod::kMaxEntropy;
+  if (method_name == "cln") method = ReconstructionMethod::kLeastNorm;
+  if (method_name == "lp") method = ReconstructionMethod::kLinearProgram;
+
+  StatusOr<PriViewSynopsis> synopsis = LoadSynopsis(in);
+  if (!synopsis.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 synopsis.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<int> attrs;
+  for (const char* p = attrs_csv.c_str(); *p != '\0';) {
+    attrs.push_back(std::atoi(p));
+    while (*p != '\0' && *p != ',') ++p;
+    if (*p == ',') ++p;
+  }
+  const AttrSet scope = AttrSet::FromIndices(attrs);
+  const MarginalTable table = synopsis.value().Query(scope, method);
+  std::printf("marginal over %s (total %.1f):\n",
+              scope.ToString().c_str(), table.Total());
+  for (uint64_t cell = 0; cell < table.size(); ++cell) {
+    std::printf("  ");
+    for (int b = 0; b < table.arity(); ++b) {
+      std::printf("%c", (cell >> b) & 1 ? '1' : '0');
+    }
+    std::printf("  %12.2f\n", table.At(cell));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "synth") return CmdSynth(argc, argv);
+  if (cmd == "build") return CmdBuild(argc, argv);
+  if (cmd == "info") return CmdInfo(argc, argv);
+  if (cmd == "query") return CmdQuery(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Runs every bench binary, recording all output to bench_output.txt.
+# Figures 3/4/6 accept --queries/--runs to trade fidelity for time; the
+# paper protocol is 200 queries x 5 runs (the committed bench_output.txt
+# used a reduced protocol for the LP-heavy figures — see EXPERIMENTS.md).
+set -u
+cd "$(dirname "$0")/build"
+out=../bench_output.txt
+: > "$out"
+for b in bench/*; do
+  [ -x "$b" ] || continue
+  echo "##### $(basename "$b") #####" | tee -a "$out"
+  ( time "./$b" "$@" ) >> "$out" 2>&1
+  echo "exit=$? done $(basename "$b")"
+done
+echo "ALL BENCHES DONE"

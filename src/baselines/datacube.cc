@@ -1,0 +1,130 @@
+#include "baselines/datacube.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/combinatorics.h"
+#include "core/consistency.h"
+#include "dp/mechanisms.h"
+
+namespace priview {
+namespace {
+
+constexpr double kUncovered = std::numeric_limits<double>::infinity();
+
+// Cost of answering one query from the best covering cuboid (before the
+// budget factor): 2^{|C|} summed noise over the query's cells.
+double BestCoverCost(const std::vector<AttrSet>& selection, AttrSet query) {
+  double best = kUncovered;
+  for (AttrSet cuboid : selection) {
+    if (query.IsSubsetOf(cuboid)) {
+      best = std::min(best, std::pow(2.0, cuboid.size()));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double DataCubeExpectedError(const std::vector<AttrSet>& selection,
+                             const std::vector<AttrSet>& queries,
+                             double epsilon) {
+  PRIVIEW_CHECK(!selection.empty());
+  const double w = static_cast<double>(selection.size());
+  const double budget_factor = 2.0 * (w / epsilon) * (w / epsilon);
+  double total = 0.0;
+  for (AttrSet query : queries) {
+    const double cost = BestCoverCost(selection, query);
+    if (cost == kUncovered) return kUncovered;
+    total += cost * budget_factor;
+  }
+  return total;
+}
+
+std::vector<AttrSet> SelectCuboids(int d,
+                                   const std::vector<AttrSet>& queries,
+                                   double epsilon) {
+  PRIVIEW_CHECK(d >= 1 && d <= 14);
+  PRIVIEW_CHECK(!queries.empty());
+
+  // Start from the full cuboid — the only single cuboid guaranteed to
+  // cover arbitrary queries.
+  std::vector<AttrSet> selection = {AttrSet::Full(d)};
+  double current = DataCubeExpectedError(selection, queries, epsilon);
+
+  while (true) {
+    // Greedy add: traverse the whole lattice (the Θ(2^d) step).
+    std::vector<AttrSet> best_selection;
+    double best_error = current;
+    const uint64_t lattice = uint64_t{1} << d;
+    for (uint64_t mask = 0; mask < lattice; ++mask) {
+      const AttrSet candidate(mask);
+      bool already = false;
+      for (AttrSet s : selection) {
+        if (s == candidate) already = true;
+      }
+      if (already) continue;
+      std::vector<AttrSet> trial = selection;
+      trial.push_back(candidate);
+      // Adding may let us DROP cuboids no query uses anymore.
+      for (size_t i = 0; i < trial.size();) {
+        std::vector<AttrSet> without = trial;
+        without.erase(without.begin() + i);
+        if (!without.empty() &&
+            DataCubeExpectedError(without, queries, epsilon) <=
+                DataCubeExpectedError(trial, queries, epsilon)) {
+          trial = std::move(without);
+          i = 0;
+        } else {
+          ++i;
+        }
+      }
+      const double err = DataCubeExpectedError(trial, queries, epsilon);
+      if (err < best_error) {
+        best_error = err;
+        best_selection = std::move(trial);
+      }
+    }
+    if (best_error >= current) break;
+    selection = std::move(best_selection);
+    current = best_error;
+  }
+  return selection;
+}
+
+void DataCubeMechanism::Fit(const Dataset& data, double epsilon, int k,
+                            Rng* rng) {
+  const int d = data.d();
+  PRIVIEW_CHECK(d <= 14);
+  PRIVIEW_CHECK(epsilon > 0.0 && k >= 1 && k <= d);
+
+  std::vector<AttrSet> queries;
+  ForEachSubsetMask(d, k, [&](uint64_t mask) {
+    queries.push_back(AttrSet(mask));
+  });
+  selection_ = SelectCuboids(d, queries, epsilon);
+
+  cuboids_.clear();
+  const double w = static_cast<double>(selection_.size());
+  for (AttrSet cuboid : selection_) {
+    MarginalTable table = data.CountMarginal(cuboid);
+    AddLaplaceNoise(&table, /*sensitivity=*/w, epsilon, rng);
+    cuboids_.push_back(std::move(table));
+  }
+  if (cuboids_.size() > 1) MakeConsistent(&cuboids_);
+}
+
+MarginalTable DataCubeMechanism::Query(AttrSet target) {
+  PRIVIEW_CHECK(!cuboids_.empty());
+  // Smallest covering cuboid.
+  const MarginalTable* best = nullptr;
+  for (const MarginalTable& cuboid : cuboids_) {
+    if (!target.IsSubsetOf(cuboid.attrs())) continue;
+    if (best == nullptr || cuboid.arity() < best->arity()) best = &cuboid;
+  }
+  PRIVIEW_CHECK(best != nullptr);
+  return best->Project(target);
+}
+
+}  // namespace priview

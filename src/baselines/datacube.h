@@ -1,0 +1,60 @@
+// The DataCube method of Ding et al. (SIGMOD'11), §3.4: pick a set of
+// cuboids (marginals) from the full 2^d lattice that covers the query
+// marginals, minimizing the expected total squared error of answering
+// every query from its cheapest covering cuboid under an evenly split
+// budget. Published cuboids get Lap(|S|/eps) noise and are made mutually
+// consistent (we reuse PriView's consistency machinery, which implements
+// the same constrained-inference idea).
+//
+// The paper's §3.4 observation — "in the case of low-dimensional binary
+// datasets, the principles in [8] will lead it to choose to publish the
+// noisy version of the full contingency table, which is equivalent to the
+// Flat method" — falls out of the greedy selection and is asserted in
+// tests. The lattice traversal is Θ(2^d) per iteration, which is exactly
+// why the method cannot scale past small d (the paper's §3.4 critique).
+#ifndef PRIVIEW_BASELINES_DATACUBE_H_
+#define PRIVIEW_BASELINES_DATACUBE_H_
+
+#include <vector>
+
+#include "baselines/mechanism.h"
+
+namespace priview {
+
+/// Expected total squared error of answering `queries` from the cuboid set
+/// `selection` with an evenly split budget epsilon: each query is answered
+/// from its smallest covering cuboid,
+///   Σ_Q 2^{|C(Q)|} · 2 (|S|/eps)^2,
+/// infinite (huge) if some query is uncovered.
+double DataCubeExpectedError(const std::vector<AttrSet>& selection,
+                             const std::vector<AttrSet>& queries,
+                             double epsilon);
+
+/// Greedy lattice selection: start from the full cuboid (which covers
+/// everything) and repeatedly add the cuboid giving the largest decrease
+/// in expected error; drop cuboids that became useless. Θ(2^d) per
+/// iteration; requires d <= 14.
+std::vector<AttrSet> SelectCuboids(int d,
+                                   const std::vector<AttrSet>& queries,
+                                   double epsilon);
+
+class DataCubeMechanism : public MarginalMechanism {
+ public:
+  std::string Name() const override { return "DataCube"; }
+
+  /// Uses the workload of all k-way marginals as the query set.
+  void Fit(const Dataset& data, double epsilon, int k, Rng* rng) override;
+
+  MarginalTable Query(AttrSet target) override;
+
+  /// The cuboids chosen in the last Fit.
+  const std::vector<AttrSet>& selection() const { return selection_; }
+
+ private:
+  std::vector<AttrSet> selection_;
+  std::vector<MarginalTable> cuboids_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_BASELINES_DATACUBE_H_

@@ -1,0 +1,41 @@
+#include "baselines/direct.h"
+
+#include "common/check.h"
+#include "common/combinatorics.h"
+#include "dp/mechanisms.h"
+
+namespace priview {
+
+void ClampAndRedistribute(MarginalTable* table) {
+  const double before = table->Total();
+  for (double& c : table->cells()) {
+    if (c < 0.0) c = 0.0;
+  }
+  const double excess = table->Total() - before;
+  if (excess > 0.0) {
+    table->AddConstant(-excess / static_cast<double>(table->size()));
+  }
+}
+
+void DirectMechanism::Fit(const Dataset& data, double epsilon, int k,
+                          Rng* rng) {
+  PRIVIEW_CHECK(epsilon > 0.0 && k >= 1 && k <= data.d());
+  data_ = &data;
+  per_cell_scale_ = BinomialDouble(data.d(), k) / epsilon;
+  rng_ = rng->Fork();
+  cache_.clear();
+}
+
+MarginalTable DirectMechanism::Query(AttrSet target) {
+  PRIVIEW_CHECK(data_ != nullptr);
+  auto it = cache_.find(target);
+  if (it != cache_.end()) return it->second;
+
+  MarginalTable table = data_->CountMarginal(target);
+  for (double& c : table.cells()) c += rng_.Laplace(per_cell_scale_);
+  ClampAndRedistribute(&table);
+  cache_.emplace(target, table);
+  return table;
+}
+
+}  // namespace priview

@@ -1,0 +1,38 @@
+// The Direct method (§3.2): notionally publishes every k-way marginal with
+// Lap(C(d,k)/epsilon) noise per cell. Queried marginals are materialized
+// lazily and cached so repeated queries see the same noise — exactly
+// equivalent to the up-front release. Following §5.2, answers are optimized
+// by zeroing negative cells and redistributing the created excess evenly
+// over all cells.
+#ifndef PRIVIEW_BASELINES_DIRECT_H_
+#define PRIVIEW_BASELINES_DIRECT_H_
+
+#include <map>
+
+#include "baselines/mechanism.h"
+
+namespace priview {
+
+class DirectMechanism : public MarginalMechanism {
+ public:
+  std::string Name() const override { return "Direct"; }
+
+  void Fit(const Dataset& data, double epsilon, int k, Rng* rng) override;
+
+  MarginalTable Query(AttrSet target) override;
+
+ private:
+  const Dataset* data_ = nullptr;
+  double per_cell_scale_ = 0.0;  // C(d,k) / epsilon
+  Rng rng_;
+  std::map<AttrSet, MarginalTable> cache_;
+};
+
+/// §5.2's post-processing for Direct and Fourier: clamp negative cells to
+/// zero, then subtract the created excess divided by the cell count from
+/// every cell (single pass).
+void ClampAndRedistribute(MarginalTable* table);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_BASELINES_DIRECT_H_

@@ -1,0 +1,24 @@
+#include "baselines/flat.h"
+
+#include "baselines/direct.h"
+#include "common/check.h"
+#include "dp/mechanisms.h"
+
+namespace priview {
+
+void FlatMechanism::Fit(const Dataset& data, double epsilon, int /*k*/,
+                        Rng* rng) {
+  PRIVIEW_CHECK(epsilon > 0.0);
+  noisy_ = std::make_unique<ContingencyTable>(
+      ContingencyTable::FromDataset(data));
+  AddLaplaceNoise(noisy_.get(), /*sensitivity=*/1.0, epsilon, rng);
+}
+
+MarginalTable FlatMechanism::Query(AttrSet target) {
+  PRIVIEW_CHECK(noisy_ != nullptr);
+  MarginalTable table = noisy_->MarginalOf(target);
+  ClampAndRedistribute(&table);
+  return table;
+}
+
+}  // namespace priview

@@ -1,0 +1,29 @@
+// The Flat method (§3.1): one noisy full contingency table with Lap(1/eps)
+// per cell; marginals are computed by summation. Only feasible for small d
+// (the paper runs it on d = 9 and reports its analytic ESE elsewhere).
+#ifndef PRIVIEW_BASELINES_FLAT_H_
+#define PRIVIEW_BASELINES_FLAT_H_
+
+#include <memory>
+
+#include "baselines/mechanism.h"
+#include "table/contingency_table.h"
+
+namespace priview {
+
+class FlatMechanism : public MarginalMechanism {
+ public:
+  std::string Name() const override { return "Flat"; }
+
+  /// Requires data.d() small enough for a 2^d table (checked).
+  void Fit(const Dataset& data, double epsilon, int k, Rng* rng) override;
+
+  MarginalTable Query(AttrSet target) override;
+
+ private:
+  std::unique_ptr<ContingencyTable> noisy_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_BASELINES_FLAT_H_

@@ -1,0 +1,117 @@
+#include "baselines/fourier.h"
+
+#include <cmath>
+
+#include "baselines/direct.h"
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/combinatorics.h"
+#include "fourier/wht.h"
+#include "opt/simplex.h"
+
+namespace priview {
+
+void FourierMechanism::Fit(const Dataset& data, double epsilon, int k,
+                           Rng* rng) {
+  PRIVIEW_CHECK(epsilon > 0.0 && k >= 1 && k <= data.d());
+  data_ = &data;
+  k_ = k;
+  const double m = BinomialPrefixSum(data.d(), k);
+  coefficient_scale_ = m / epsilon;
+  rng_ = rng->Fork();
+  coefficients_.clear();
+}
+
+double FourierMechanism::NoisyCoefficient(AttrSet subset,
+                                          double exact_value) {
+  auto it = coefficients_.find(subset);
+  if (it != coefficients_.end()) return it->second;
+  const double noisy = exact_value + rng_.Laplace(coefficient_scale_);
+  coefficients_.emplace(subset, noisy);
+  return noisy;
+}
+
+MarginalTable FourierMechanism::Query(AttrSet target) {
+  PRIVIEW_CHECK(data_ != nullptr);
+  PRIVIEW_CHECK(target.size() <= k_);
+  const MarginalTable truth = data_->CountMarginal(target);
+  std::vector<double> exact = FourierCoefficients(truth);
+  std::vector<double> noisy(exact.size());
+  for (uint64_t s = 0; s < exact.size(); ++s) {
+    // Local subset mask -> global attribute subset, so coefficients are
+    // shared across overlapping queries.
+    const AttrSet global(DepositBits(s, target.mask()));
+    noisy[s] = NoisyCoefficient(global, exact[s]);
+  }
+  MarginalTable table = TableFromCoefficients(target, std::move(noisy));
+  if (clamp_) ClampAndRedistribute(&table);
+  return table;
+}
+
+void FourierLpMechanism::Fit(const Dataset& data, double epsilon, int k,
+                             Rng* rng) {
+  const int d = data.d();
+  PRIVIEW_CHECK(d <= 12);  // 2^d LP variables
+  PRIVIEW_CHECK(epsilon > 0.0 && k >= 1 && k <= d);
+
+  // All coefficients f_S for |S| <= k, via one full-table WHT.
+  const ContingencyTable exact = ContingencyTable::FromDataset(data);
+  std::vector<double> coeffs = exact.cells();
+  Wht(&coeffs);
+  const double m = BinomialPrefixSum(d, k);
+  const double scale = m / epsilon;
+
+  const int num_cells = 1 << d;
+  // Noisy release of the retained coefficients (the private step).
+  std::vector<double> noisy(num_cells, 0.0);
+  std::vector<bool> retained(num_cells, false);
+  for (int s = 0; s < num_cells; ++s) {
+    if (PopCount(static_cast<uint64_t>(s)) > k) continue;
+    retained[s] = true;
+    noisy[s] = coeffs[s] + rng->Laplace(scale);
+  }
+
+  LpProblem lp;
+  lp.num_vars = num_cells + 1;  // table cells + tau
+  lp.objective.assign(lp.num_vars, 0.0);
+  lp.objective[num_cells] = 1.0;
+
+  for (int s = 0; s < num_cells; ++s) {
+    if (!retained[s]) continue;
+    // f_S(h) = sum_x (-1)^{popcount(x & S)} h(x); |f_S(h) - noisy| <= tau.
+    std::vector<double> upper(lp.num_vars, 0.0);
+    for (int x = 0; x < num_cells; ++x) {
+      upper[x] = (PopCount(static_cast<uint64_t>(x & s)) % 2 == 0) ? 1.0
+                                                                   : -1.0;
+    }
+    upper[num_cells] = -1.0;
+    std::vector<double> lower(lp.num_vars, 0.0);
+    for (int x = 0; x < num_cells; ++x) lower[x] = -upper[x];
+    lower[num_cells] = -1.0;
+    lp.AddLe(std::move(upper), noisy[s]);
+    lp.AddLe(std::move(lower), -noisy[s]);
+  }
+
+  LpOptions options;
+  options.max_pivots = 2000000;
+  const LpResult solution = SolveLp(lp, options);
+  fitted_ = std::make_unique<ContingencyTable>(d);
+  if (solution.status == LpStatus::kOptimal) {
+    for (int x = 0; x < num_cells; ++x) fitted_->At(x) = solution.x[x];
+  } else {
+    // Iteration-limit fallback: rebuild from the noisy coefficients
+    // directly (the plain Fourier answer) and clamp.
+    std::vector<double> cells = noisy;
+    Wht(&cells);
+    for (int x = 0; x < num_cells; ++x) {
+      fitted_->At(x) = std::max(cells[x] / num_cells, 0.0);
+    }
+  }
+}
+
+MarginalTable FourierLpMechanism::Query(AttrSet target) {
+  PRIVIEW_CHECK(fitted_ != nullptr);
+  return fitted_->MarginalOf(target);
+}
+
+}  // namespace priview

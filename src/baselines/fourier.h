@@ -1,0 +1,67 @@
+// The Fourier method of Barak et al. (PODS'07), §3.3: release noisy Fourier
+// coefficients f_S for every |S| <= k, with per-coefficient noise
+// Lap(m/epsilon) where m = Σ_{j<=k} C(d,j) is the number of released
+// coefficients. A queried k-way marginal is rebuilt from the 2^k
+// coefficients with S inside the query scope.
+//
+// Coefficients are materialized lazily and cached BY GLOBAL SUBSET, so two
+// queries sharing a subset S see the same noisy f_S — this preserves the
+// method's hallmark cross-marginal consistency. Exact coefficients come
+// from a WHT of the query's true marginal (identical to counting parities
+// over the records, but O(N + k 2^k) per query instead of O(N 2^k)).
+//
+// FourierLpMechanism adds the paper's LP post-processing: fit a
+// non-negative full contingency table minimizing the largest coefficient
+// violation, then answer from that table. Feasible for small d only.
+#ifndef PRIVIEW_BASELINES_FOURIER_H_
+#define PRIVIEW_BASELINES_FOURIER_H_
+
+#include <map>
+#include <memory>
+
+#include "baselines/mechanism.h"
+#include "table/contingency_table.h"
+
+namespace priview {
+
+class FourierMechanism : public MarginalMechanism {
+ public:
+  /// If `clamp` is true, applies §5.2's clamp-and-redistribute to answers.
+  explicit FourierMechanism(bool clamp = true) : clamp_(clamp) {}
+
+  std::string Name() const override { return "Fourier"; }
+
+  void Fit(const Dataset& data, double epsilon, int k, Rng* rng) override;
+
+  MarginalTable Query(AttrSet target) override;
+
+  /// The noisy coefficient for a global attribute subset (|S| <= k),
+  /// drawing and caching it on first use.
+  double NoisyCoefficient(AttrSet subset, double exact_value);
+
+ private:
+  const Dataset* data_ = nullptr;
+  bool clamp_;
+  int k_ = 0;
+  double coefficient_scale_ = 0.0;  // m / epsilon
+  Rng rng_;
+  std::map<AttrSet, double> coefficients_;
+};
+
+class FourierLpMechanism : public MarginalMechanism {
+ public:
+  std::string Name() const override { return "FourierLP"; }
+
+  /// Releases all m coefficients, then solves the LP for a non-negative
+  /// full table. Requires small d (the 2^d-variable LP; checked).
+  void Fit(const Dataset& data, double epsilon, int k, Rng* rng) override;
+
+  MarginalTable Query(AttrSet target) override;
+
+ private:
+  std::unique_ptr<ContingencyTable> fitted_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_BASELINES_FOURIER_H_

@@ -1,0 +1,67 @@
+#include "baselines/learning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/combinatorics.h"
+#include "fourier/wht.h"
+
+namespace priview {
+
+LearningMechanism::LearningMechanism(double gamma, bool add_noise)
+    : gamma_(gamma), add_noise_(add_noise) {
+  PRIVIEW_CHECK(gamma > 0.0 && gamma < 1.0);
+}
+
+std::string LearningMechanism::Name() const {
+  const int inv = static_cast<int>(std::lround(1.0 / gamma_));
+  std::string name = "Learning(1/" + std::to_string(inv) + ")";
+  if (!add_noise_) name += "*";
+  return name;
+}
+
+void LearningMechanism::Fit(const Dataset& data, double epsilon, int k,
+                            Rng* rng) {
+  PRIVIEW_CHECK(epsilon > 0.0 && k >= 1 && k <= data.d());
+  data_ = &data;
+  k_ = k;
+  // Degree sqrt(k) log(1/gamma), capped below k so truncation error never
+  // vanishes (the exact expansion would not be a "learning" shortcut).
+  degree_ = static_cast<int>(
+      std::lround(std::sqrt(static_cast<double>(k)) * std::log2(1.0 / gamma_)));
+  degree_ = std::clamp(degree_, 1, std::max(1, k - 1));
+  // Released coefficients: all parities up to the degree; noise amplified
+  // by the polynomial coefficient growth ~1/gamma.
+  const double m = BinomialPrefixSum(data.d(), degree_);
+  coefficient_scale_ = m * (1.0 / gamma_) / epsilon;
+  rng_ = rng->Fork();
+  coefficients_.clear();
+}
+
+MarginalTable LearningMechanism::Query(AttrSet target) {
+  PRIVIEW_CHECK(data_ != nullptr);
+  PRIVIEW_CHECK(target.size() <= k_);
+  const MarginalTable truth = data_->CountMarginal(target);
+  std::vector<double> exact = FourierCoefficients(truth);
+  std::vector<double> approx(exact.size(), 0.0);
+  for (uint64_t s = 0; s < exact.size(); ++s) {
+    if (PopCount(s) > degree_) continue;  // truncation
+    double value = exact[s];
+    if (add_noise_) {
+      const AttrSet global(DepositBits(s, target.mask()));
+      auto it = coefficients_.find(global);
+      if (it == coefficients_.end()) {
+        value += rng_.Laplace(coefficient_scale_);
+        coefficients_.emplace(global, value);
+      } else {
+        value = it->second;
+      }
+    }
+    approx[s] = value;
+  }
+  return TableFromCoefficients(target, std::move(approx));
+}
+
+}  // namespace priview

@@ -1,0 +1,109 @@
+#include "baselines/matrix_mechanism.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/combinatorics.h"
+#include "common/linalg.h"
+
+namespace priview {
+namespace {
+
+// Workload: one row per (k-subset, assignment) marginal cell query.
+Matrix BuildWorkload(int d, int k) {
+  const int n = 1 << d;
+  const int rows_per_marginal = 1 << k;
+  const int num_marginals = static_cast<int>(Binomial(d, k));
+  Matrix w(num_marginals * rows_per_marginal, n);
+  int row = 0;
+  ForEachSubsetMask(d, k, [&](uint64_t mask) {
+    for (int x = 0; x < n; ++x) {
+      const int cell = static_cast<int>(ExtractBits(x, mask));
+      w(row + cell, x) = 1.0;
+    }
+    row += rows_per_marginal;
+  });
+  PRIVIEW_CHECK(row == w.rows());
+  return w;
+}
+
+// Truncated Fourier strategy: one ±1 parity row per subset |S| <= k.
+Matrix BuildTruncatedFourier(int d, int k) {
+  const int n = 1 << d;
+  std::vector<int> subsets;
+  for (int s = 0; s < n; ++s) {
+    if (PopCount(static_cast<uint64_t>(s)) <= k) subsets.push_back(s);
+  }
+  Matrix a(static_cast<int>(subsets.size()), n);
+  for (int r = 0; r < a.rows(); ++r) {
+    const int s = subsets[r];
+    for (int x = 0; x < n; ++x) {
+      a(r, x) = (PopCount(static_cast<uint64_t>(x & s)) % 2 == 0) ? 1.0
+                                                                  : -1.0;
+    }
+  }
+  return a;
+}
+
+// ESE(W, A) / num_marginals via the closed form
+// (2/eps^2) ΔA^2 Σ_rows w G^{-1} wᵀ with G = AᵀA (ridged Cholesky).
+double ExpectedMarginalEse(const Matrix& workload, const Matrix& strategy,
+                           double epsilon, int num_marginals) {
+  const Matrix at = strategy.Transposed();
+  const Matrix gram = at.GramRows();  // AᵀA, n x n
+  double trace = 0.0;
+  for (int i = 0; i < gram.rows(); ++i) trace += gram(i, i);
+  Cholesky chol;
+  PRIVIEW_CHECK(chol.Factor(gram, 1e-9 * trace + 1e-12));
+
+  double total = 0.0;
+  std::vector<double> row(workload.cols());
+  for (int r = 0; r < workload.rows(); ++r) {
+    for (int c = 0; c < workload.cols(); ++c) row[c] = workload(r, c);
+    const std::vector<double> z = chol.Solve(row);
+    total += Dot(row, z);
+  }
+  const double sens = strategy.MaxColumnL1();
+  return (2.0 / (epsilon * epsilon)) * sens * sens * total /
+         static_cast<double>(num_marginals);
+}
+
+}  // namespace
+
+MatrixMechanismResult EvaluateMatrixMechanism(int d, int k, double epsilon) {
+  PRIVIEW_CHECK(d >= 1 && d <= 12);
+  PRIVIEW_CHECK(k >= 1 && k <= d);
+  PRIVIEW_CHECK(epsilon > 0.0);
+
+  const int num_marginals = static_cast<int>(Binomial(d, k));
+  const Matrix workload = BuildWorkload(d, k);
+
+  MatrixMechanismResult result;
+  result.evaluations.push_back(
+      {"identity", ExpectedMarginalEse(workload, Matrix::Identity(1 << d),
+                                       epsilon, num_marginals)});
+  result.evaluations.push_back(
+      {"workload",
+       ExpectedMarginalEse(workload, workload, epsilon, num_marginals)});
+  result.evaluations.push_back(
+      {"fourier", ExpectedMarginalEse(workload, BuildTruncatedFourier(d, k),
+                                      epsilon, num_marginals)});
+
+  // "best" reflects what the published approximations actually choose: a
+  // workload-adapted strategy. The identity strategy (= the Flat method)
+  // is kept in `evaluations` as a reference but excluded here — the
+  // adaptive approximations do not recover it, which is exactly the
+  // paper's observation that the MM approximation is "not closer to
+  // optimal than the other methods".
+  result.best = result.evaluations[1];
+  for (const StrategyEvaluation& eval : result.evaluations) {
+    if (eval.strategy != "identity" &&
+        eval.expected_marginal_ese < result.best.expected_marginal_ese) {
+      result.best = eval;
+    }
+  }
+  return result;
+}
+
+}  // namespace priview

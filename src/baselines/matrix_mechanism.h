@@ -1,0 +1,37 @@
+// The Matrix Mechanism (Li et al., PODS'10), §3.5. The exact strategy
+// optimization is an SDP the paper itself deems unfeasible, so — like the
+// paper, which "plots the expected error variance by examining the strategy
+// matrix" of approximations — we evaluate the closed-form expected error
+//     ESE(W, A) = (2/eps^2) * ΔA^2 * ||W A^+||_F^2
+// for a family of candidate strategies (identity/Flat, the workload itself,
+// and the Fourier basis, which are the fixed points the published
+// approximations gravitate to) and report the best. See DESIGN.md for the
+// substitution note.
+#ifndef PRIVIEW_BASELINES_MATRIX_MECHANISM_H_
+#define PRIVIEW_BASELINES_MATRIX_MECHANISM_H_
+
+#include <string>
+#include <vector>
+
+namespace priview {
+
+struct StrategyEvaluation {
+  std::string strategy;
+  /// Expected squared error summed over one k-way marginal's 2^k cells.
+  double expected_marginal_ese = 0.0;
+};
+
+struct MatrixMechanismResult {
+  std::vector<StrategyEvaluation> evaluations;
+  /// The best (lowest-error) evaluation.
+  StrategyEvaluation best;
+};
+
+/// Evaluates the mechanism for the workload of all k-way marginal cell
+/// queries over a d-dimensional binary domain. Requires small d (dense
+/// 2^d x 2^d algebra; checked d <= 12).
+MatrixMechanismResult EvaluateMatrixMechanism(int d, int k, double epsilon);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_BASELINES_MATRIX_MECHANISM_H_

@@ -1,0 +1,38 @@
+// Common interface for the competing mechanisms of §3. A mechanism is
+// instantiated per (dataset, epsilon, k) combination — mirroring the paper,
+// where each method spends its whole budget on the k-way marginal task —
+// then answers marginal queries. Implementations may materialize noise
+// lazily at query time (Direct, Fourier), which is equivalent to releasing
+// everything up front: each noisy quantity is drawn once and cached.
+#ifndef PRIVIEW_BASELINES_MECHANISM_H_
+#define PRIVIEW_BASELINES_MECHANISM_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "table/attr_set.h"
+#include "table/dataset.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+/// A differentially private k-way-marginal release mechanism.
+class MarginalMechanism {
+ public:
+  virtual ~MarginalMechanism() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Runs the private stage. The dataset reference must outlive the
+  /// mechanism (lazy implementations read true marginals through it; all
+  /// noise is accounted against epsilon regardless).
+  virtual void Fit(const Dataset& data, double epsilon, int k, Rng* rng) = 0;
+
+  /// Returns the mechanism's answer for the marginal over `target`.
+  /// |target| must be <= the k given to Fit for budget accounting to hold.
+  virtual MarginalTable Query(AttrSet target) = 0;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_BASELINES_MECHANISM_H_

@@ -1,0 +1,109 @@
+#include "baselines/mwem.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/combinatorics.h"
+#include "dp/mechanisms.h"
+
+namespace priview {
+namespace {
+
+// L1 distance between a true marginal and the estimate's marginal.
+double MarginalL1Error(const MarginalTable& truth,
+                       const MarginalTable& estimate) {
+  double sum = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    sum += std::fabs(truth.At(i) - estimate.At(i));
+  }
+  return sum;
+}
+
+}  // namespace
+
+void MwemMechanism::Fit(const Dataset& data, double epsilon, int k,
+                        Rng* rng) {
+  const int d = data.d();
+  PRIVIEW_CHECK(d <= 20);
+  PRIVIEW_CHECK(epsilon > 0.0 && k >= 1 && k <= d);
+
+  rounds_used_ = options_.rounds > 0
+                     ? options_.rounds
+                     : static_cast<int>(
+                           std::ceil(4.0 * std::log2(static_cast<double>(d)))) +
+                           2;
+  const double round_epsilon = epsilon / rounds_used_;
+  const double n = static_cast<double>(data.size());
+
+  // Candidate query set: all k-way marginals; true answers precomputed.
+  std::vector<AttrSet> candidates;
+  ForEachSubsetMask(d, k, [&](uint64_t mask) {
+    candidates.push_back(AttrSet(mask));
+  });
+  std::vector<MarginalTable> truths;
+  truths.reserve(candidates.size());
+  for (AttrSet q : candidates) truths.push_back(data.CountMarginal(q));
+
+  // Uniform initial estimate with (publicly known) total n.
+  estimate_ = std::make_unique<ContingencyTable>(d);
+  const size_t num_cells = estimate_->size();
+  for (double& c : estimate_->cells()) {
+    c = n / static_cast<double>(num_cells);
+  }
+
+  struct Measurement {
+    AttrSet attrs;
+    std::vector<double> noisy;
+  };
+  std::vector<Measurement> measurements;
+
+  for (int round = 0; round < rounds_used_; ++round) {
+    // Selection: exponential mechanism on the L1 error scores. One record
+    // changes a marginal's L1 error by at most 1, so sensitivity 2 covers
+    // the pairwise score differences conservatively.
+    std::vector<double> scores(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      scores[i] =
+          MarginalL1Error(truths[i], estimate_->MarginalOf(candidates[i]));
+    }
+    const int chosen = ExponentialMechanism(scores, round_epsilon / 2.0,
+                                            /*sensitivity=*/2.0, rng);
+
+    // Measurement: the whole marginal has L1 sensitivity 1 (a record lands
+    // in exactly one cell), so per-cell Laplace with scale 2/round_epsilon.
+    Measurement m;
+    m.attrs = candidates[chosen];
+    m.noisy = truths[chosen].cells();
+    const double scale = 2.0 / round_epsilon;
+    for (double& v : m.noisy) v += rng->Laplace(scale);
+    measurements.push_back(std::move(m));
+
+    // Multiplicative-weights sweeps over all measurements so far.
+    for (int sweep = 0; sweep < options_.update_sweeps; ++sweep) {
+      for (const Measurement& meas : measurements) {
+        const MarginalTable current = estimate_->MarginalOf(meas.attrs);
+        const uint64_t mask = meas.attrs.mask();
+        double total = 0.0;
+        for (uint64_t x = 0; x < num_cells; ++x) {
+          const uint64_t cell = ExtractBits(x, mask);
+          const double err = meas.noisy[cell] - current.At(cell);
+          estimate_->At(x) *= std::exp(err / (2.0 * n));
+          total += estimate_->At(x);
+        }
+        // Renormalize to the known total.
+        if (total > 0.0) {
+          const double rescale = n / total;
+          for (double& c : estimate_->cells()) c *= rescale;
+        }
+      }
+    }
+  }
+}
+
+MarginalTable MwemMechanism::Query(AttrSet target) {
+  PRIVIEW_CHECK(estimate_ != nullptr);
+  return estimate_->MarginalOf(target);
+}
+
+}  // namespace priview

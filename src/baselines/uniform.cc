@@ -1,0 +1,17 @@
+#include "baselines/uniform.h"
+
+namespace priview {
+
+void UniformMechanism::Fit(const Dataset& data, double /*epsilon*/,
+                           int /*k*/, Rng* /*rng*/) {
+  n_ = static_cast<double>(data.size());
+}
+
+MarginalTable UniformMechanism::Query(AttrSet target) {
+  MarginalTable out(target);
+  const double per_cell = n_ / static_cast<double>(out.size());
+  for (double& c : out.cells()) c = per_cell;
+  return out;
+}
+
+}  // namespace priview

@@ -1,0 +1,25 @@
+// The Uniform reference: always answers a uniformly distributed marginal
+// with the dataset's total mass. Any mechanism that does not beat this is
+// returning noise (§5, "baseline comparison").
+#ifndef PRIVIEW_BASELINES_UNIFORM_H_
+#define PRIVIEW_BASELINES_UNIFORM_H_
+
+#include "baselines/mechanism.h"
+
+namespace priview {
+
+class UniformMechanism : public MarginalMechanism {
+ public:
+  std::string Name() const override { return "Uniform"; }
+
+  void Fit(const Dataset& data, double epsilon, int k, Rng* rng) override;
+
+  MarginalTable Query(AttrSet target) override;
+
+ private:
+  double n_ = 0.0;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_BASELINES_UNIFORM_H_

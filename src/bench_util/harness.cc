@@ -1,0 +1,88 @@
+#include "bench_util/harness.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace priview {
+
+WorkloadErrors EvaluateWorkload(
+    const Dataset& data, const std::vector<AttrSet>& queries, int runs,
+    const std::function<void(int)>& prepare,
+    const std::function<MarginalTable(AttrSet)>& answer) {
+  PRIVIEW_CHECK(runs >= 1 && !queries.empty());
+  const double n = static_cast<double>(data.size());
+
+  std::vector<MarginalTable> truths;
+  truths.reserve(queries.size());
+  for (AttrSet q : queries) truths.push_back(data.CountMarginal(q));
+
+  WorkloadErrors errors;
+  errors.l2.assign(queries.size(), 0.0);
+  errors.js.assign(queries.size(), 0.0);
+  for (int run = 0; run < runs; ++run) {
+    prepare(run);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const MarginalTable estimate = answer(queries[qi]);
+      errors.l2[qi] += NormalizedL2Error(estimate, truths[qi], n);
+      errors.js[qi] += JensenShannonTables(estimate, truths[qi]);
+    }
+  }
+  for (double& e : errors.l2) e /= runs;
+  for (double& e : errors.js) e /= runs;
+  return errors;
+}
+
+ErrorSummary SummarizeErrors(const WorkloadErrors& errors) {
+  return {Summarize(errors.l2), Summarize(errors.js)};
+}
+
+void PrintCandlestickRow(const std::string& label, const ErrorSummary& summary,
+                         bool print_js) {
+  const Candlestick& c = summary.l2;
+  std::printf("%-28s L2  p25=%.3e med=%.3e p75=%.3e p95=%.3e mean=%.3e\n",
+              label.c_str(), c.p25, c.median, c.p75, c.p95, c.mean);
+  if (print_js) {
+    const Candlestick& j = summary.js;
+    std::printf("%-28s JS  p25=%.3e med=%.3e p75=%.3e p95=%.3e mean=%.3e\n",
+                label.c_str(), j.p25, j.median, j.p75, j.p95, j.mean);
+  }
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+namespace {
+
+const char* FindFlag(int argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int FlagInt(int argc, char** argv, const std::string& name, int def) {
+  const char* value = FindFlag(argc, argv, name);
+  return value ? std::atoi(value) : def;
+}
+
+double FlagDouble(int argc, char** argv, const std::string& name,
+                  double def) {
+  const char* value = FindFlag(argc, argv, name);
+  return value ? std::atof(value) : def;
+}
+
+bool FlagBool(int argc, char** argv, const std::string& name, bool def) {
+  const char* value = FindFlag(argc, argv, name);
+  if (value == nullptr) return def;
+  return std::strcmp(value, "0") != 0 && std::strcmp(value, "false") != 0;
+}
+
+}  // namespace priview

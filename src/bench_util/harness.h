@@ -1,0 +1,58 @@
+// Shared experiment harness for the bench binaries: runs a mechanism over a
+// query workload for several runs, averages each query's error across runs
+// (the paper's protocol: 200 random scopes × 5 runs), and prints the
+// candlestick rows the figures plot.
+#ifndef PRIVIEW_BENCH_UTIL_HARNESS_H_
+#define PRIVIEW_BENCH_UTIL_HARNESS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "table/attr_set.h"
+#include "table/dataset.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+/// Per-query errors averaged over runs.
+struct WorkloadErrors {
+  std::vector<double> l2;  // normalized L2, one per query
+  std::vector<double> js;  // Jensen-Shannon, one per query
+};
+
+/// Evaluates a mechanism over `queries` for `runs` independent runs.
+/// `prepare(run)` re-fits the mechanism (fresh noise); `answer(scope)`
+/// produces its table. True marginals are computed once and shared.
+WorkloadErrors EvaluateWorkload(
+    const Dataset& data, const std::vector<AttrSet>& queries, int runs,
+    const std::function<void(int)>& prepare,
+    const std::function<MarginalTable(AttrSet)>& answer);
+
+/// Candlesticks of the two error measures.
+struct ErrorSummary {
+  Candlestick l2;
+  Candlestick js;
+};
+
+ErrorSummary SummarizeErrors(const WorkloadErrors& errors);
+
+/// Prints "label  p25 median p75 p95 mean" for the L2 candlestick (and the
+/// JS one when print_js is set), in scientific notation, matching the
+/// log-scale plots.
+void PrintCandlestickRow(const std::string& label, const ErrorSummary& summary,
+                         bool print_js = false);
+
+/// Prints a section header ("=== Figure 2: ... ===").
+void PrintHeader(const std::string& title);
+
+/// Parses "--flag=value" style integer / double flags with defaults, so
+/// every bench accepts --queries / --runs overrides for quick runs.
+int FlagInt(int argc, char** argv, const std::string& name, int def);
+double FlagDouble(int argc, char** argv, const std::string& name, double def);
+bool FlagBool(int argc, char** argv, const std::string& name, bool def);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_BENCH_UTIL_HARNESS_H_

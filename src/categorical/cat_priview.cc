@@ -1,0 +1,373 @@
+#include "categorical/cat_priview.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace priview {
+
+int CatRippleNonNegativity(CatTable* table, double theta) {
+  PRIVIEW_CHECK(theta >= 0.0);
+  const std::vector<int>& cards = table->scope_cards();
+  if (cards.empty()) return 0;
+  int num_neighbors = 0;
+  for (int c : cards) num_neighbors += c - 1;
+  if (num_neighbors == 0) return 0;
+
+  // Strides recomputed locally (cheap, keeps CatTable's internals private).
+  std::vector<size_t> strides(cards.size());
+  size_t stride = 1;
+  for (size_t i = 0; i < cards.size(); ++i) {
+    strides[i] = stride;
+    stride *= static_cast<size_t>(cards[i]);
+  }
+
+  std::deque<size_t> worklist;
+  std::vector<bool> queued(table->size(), false);
+  for (size_t cell = 0; cell < table->size(); ++cell) {
+    if (table->At(cell) < -theta) {
+      worklist.push_back(cell);
+      queued[cell] = true;
+    }
+  }
+
+  const long long max_steps = 1000LL * static_cast<long long>(table->size());
+  long long steps = 0;
+  int corrections = 0;
+  while (!worklist.empty() && steps <= max_steps) {
+    const size_t cell = worklist.front();
+    worklist.pop_front();
+    queued[cell] = false;
+    const double value = table->At(cell);
+    if (value >= -theta) continue;
+    table->At(cell) = 0.0;
+    const double share = value / num_neighbors;  // negative
+    for (size_t i = 0; i < cards.size(); ++i) {
+      const int current =
+          static_cast<int>((cell / strides[i]) % static_cast<size_t>(cards[i]));
+      for (int other = 0; other < cards[i]; ++other) {
+        if (other == current) continue;
+        const size_t neighbor =
+            cell + (static_cast<size_t>(other) - current) * strides[i];
+        table->At(neighbor) += share;
+        if (table->At(neighbor) < -theta && !queued[neighbor]) {
+          worklist.push_back(neighbor);
+          queued[neighbor] = true;
+        }
+      }
+    }
+    ++corrections;
+    ++steps;
+  }
+  return corrections;
+}
+
+namespace {
+
+std::vector<AttrSet> CatIntersectionClosure(const std::vector<AttrSet>& views) {
+  std::set<AttrSet> closure(views.begin(), views.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<AttrSet> snapshot(closure.begin(), closure.end());
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+      for (size_t j = i + 1; j < snapshot.size(); ++j) {
+        if (closure.insert(snapshot[i].Intersect(snapshot[j])).second) {
+          changed = true;
+        }
+      }
+    }
+  }
+  closure.insert(AttrSet());
+  std::vector<AttrSet> result;
+  for (AttrSet a : closure) {
+    int containing = 0;
+    for (AttrSet v : views) {
+      if (a.IsSubsetOf(v)) ++containing;
+    }
+    if (containing >= 2) result.push_back(a);
+  }
+  std::stable_sort(result.begin(), result.end(), [](AttrSet a, AttrSet b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a.mask() < b.mask();
+  });
+  return result;
+}
+
+}  // namespace
+
+void CatMakeConsistent(const CatDomain& domain, std::vector<CatTable>* views) {
+  std::vector<AttrSet> scopes;
+  scopes.reserve(views->size());
+  for (const CatTable& v : *views) scopes.push_back(v.scope());
+
+  for (AttrSet common : CatIntersectionClosure(scopes)) {
+    std::vector<int> containing;
+    for (size_t i = 0; i < scopes.size(); ++i) {
+      if (common.IsSubsetOf(scopes[i])) containing.push_back(static_cast<int>(i));
+    }
+    if (containing.size() < 2) continue;
+
+    const size_t common_cells = domain.TableSize(common);
+    std::vector<double> mean(common_cells, 0.0);
+    std::vector<std::vector<uint32_t>> maps;
+    std::vector<std::vector<double>> projections;
+    for (int idx : containing) {
+      const CatTable& view = (*views)[idx];
+      maps.push_back(view.ProjectionMap(domain, common));
+      std::vector<double> proj(common_cells, 0.0);
+      for (size_t cell = 0; cell < view.size(); ++cell) {
+        proj[maps.back()[cell]] += view.At(cell);
+      }
+      for (size_t a = 0; a < common_cells; ++a) mean[a] += proj[a];
+      projections.push_back(std::move(proj));
+    }
+    for (double& v : mean) v /= static_cast<double>(containing.size());
+
+    for (size_t vi = 0; vi < containing.size(); ++vi) {
+      CatTable& view = (*views)[containing[vi]];
+      const double slice = static_cast<double>(view.size()) /
+                           static_cast<double>(common_cells);
+      std::vector<double> delta(common_cells);
+      for (size_t a = 0; a < common_cells; ++a) {
+        delta[a] = (mean[a] - projections[vi][a]) / slice;
+      }
+      for (size_t cell = 0; cell < view.size(); ++cell) {
+        view.At(cell) += delta[maps[vi][cell]];
+      }
+    }
+  }
+}
+
+CatTable CatReconstructMarginal(const CatDomain& domain,
+                                const std::vector<CatTable>& views,
+                                AttrSet target, double total,
+                                int max_iterations) {
+  // Covered scope: average the covering views' projections.
+  {
+    CatTable sum(domain, target);
+    int covering = 0;
+    for (const CatTable& view : views) {
+      if (!target.IsSubsetOf(view.scope())) continue;
+      const CatTable proj = view.Project(domain, target);
+      for (size_t a = 0; a < sum.size(); ++a) sum.At(a) += proj.At(a);
+      ++covering;
+    }
+    if (covering > 0) {
+      sum.Scale(1.0 / covering);
+      return sum;
+    }
+  }
+
+  // Constraints: per-view projections onto the intersections with target,
+  // keeping maximal scopes only.
+  struct Constraint {
+    AttrSet scope;
+    std::vector<double> target_cells;
+  };
+  std::vector<Constraint> constraints;
+  {
+    std::set<AttrSet> scopes;
+    for (const CatTable& view : views) {
+      const AttrSet common = view.scope().Intersect(target);
+      if (!common.empty()) scopes.insert(common);
+    }
+    for (AttrSet scope : scopes) {
+      bool dominated = false;
+      for (AttrSet other : scopes) {
+        if (scope != other && scope.IsSubsetOf(other)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      // Average over every view containing the scope (consistent views
+      // agree; averaging is harmless otherwise).
+      std::vector<double> acc(domain.TableSize(scope), 0.0);
+      int count = 0;
+      for (const CatTable& view : views) {
+        if (!scope.IsSubsetOf(view.scope())) continue;
+        const CatTable proj = view.Project(domain, scope);
+        for (size_t a = 0; a < acc.size(); ++a) acc[a] += proj.At(a);
+        ++count;
+      }
+      double tsum = 0.0;
+      for (double& v : acc) {
+        v = std::max(v / count, 0.0);
+        tsum += v;
+      }
+      if (tsum <= 0.0) continue;
+      const double safe_total = std::max(total, 1e-12);
+      for (double& v : acc) v *= safe_total / tsum;
+      constraints.push_back({scope, std::move(acc)});
+    }
+  }
+
+  CatTable table(domain, target,
+                 std::max(total, 1e-12) /
+                     static_cast<double>(domain.TableSize(target)));
+  if (constraints.empty()) return table;
+
+  std::vector<std::vector<uint32_t>> maps;
+  maps.reserve(constraints.size());
+  for (const Constraint& c : constraints) {
+    maps.push_back(table.ProjectionMap(domain, c.scope));
+  }
+
+  const double tol = 1e-9 * std::max(1.0, total);
+  std::vector<double> projection;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    double max_residual = 0.0;
+    for (size_t ci = 0; ci < constraints.size(); ++ci) {
+      const Constraint& c = constraints[ci];
+      projection.assign(c.target_cells.size(), 0.0);
+      for (size_t cell = 0; cell < table.size(); ++cell) {
+        projection[maps[ci][cell]] += table.At(cell);
+      }
+      const double slice = static_cast<double>(table.size()) /
+                           static_cast<double>(c.target_cells.size());
+      const double cell_cap = std::max(total, 1e-12);
+      for (size_t cell = 0; cell < table.size(); ++cell) {
+        const uint32_t a = maps[ci][cell];
+        max_residual = std::max(
+            max_residual, std::fabs(projection[a] - c.target_cells[a]));
+        if (projection[a] > 0.0) {
+          // Cap at the total so huge factors cannot overflow to inf/NaN.
+          table.At(cell) = std::min(
+              table.At(cell) * (c.target_cells[a] / projection[a]),
+              cell_cap);
+        } else {
+          table.At(cell) = c.target_cells[a] / slice;
+        }
+      }
+    }
+    if (max_residual <= tol) break;
+  }
+  return table;
+}
+
+std::vector<AttrSet> GreedyPairCoverUnderBudget(const CatDomain& domain,
+                                                int cell_budget, Rng* rng) {
+  const int d = domain.d();
+  PRIVIEW_CHECK(d >= 2);
+  std::set<std::pair<int, int>> uncovered;
+  for (int a = 0; a < d; ++a) {
+    for (int b = a + 1; b < d; ++b) {
+      PRIVIEW_CHECK(domain.Cardinality(a) * domain.Cardinality(b) <=
+                    cell_budget);
+      uncovered.insert({a, b});
+    }
+  }
+
+  std::vector<AttrSet> blocks;
+  while (!uncovered.empty()) {
+    // Seed with a random uncovered pair.
+    auto it = uncovered.begin();
+    std::advance(it, rng->UniformInt(uncovered.size()));
+    std::vector<int> members = {it->first, it->second};
+    long long cells = static_cast<long long>(domain.Cardinality(it->first)) *
+                      domain.Cardinality(it->second);
+
+    // Extend greedily while the cell budget allows.
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      int best_attr = -1;
+      int best_gain = 0;
+      for (int a = 0; a < d; ++a) {
+        if (std::find(members.begin(), members.end(), a) != members.end()) {
+          continue;
+        }
+        if (cells * domain.Cardinality(a) > cell_budget) continue;
+        int gain = 0;
+        for (int m : members) {
+          const std::pair<int, int> key{std::min(a, m), std::max(a, m)};
+          if (uncovered.count(key)) ++gain;
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_attr = a;
+        }
+      }
+      if (best_attr >= 0 && best_gain > 0) {
+        members.push_back(best_attr);
+        cells *= domain.Cardinality(best_attr);
+        grew = true;
+      }
+    }
+
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        const std::pair<int, int> key{
+            std::min(members[i], members[j]),
+            std::max(members[i], members[j])};
+        uncovered.erase(key);
+      }
+    }
+    blocks.push_back(AttrSet::FromIndices(members));
+  }
+  return blocks;
+}
+
+double CellBudgetObjective(double b, double s) {
+  PRIVIEW_CHECK(b > 1.0 && s > b * b);
+  const double logbs = std::log(s) / std::log(b);
+  return std::sqrt(s) / (logbs * (logbs - 1.0));
+}
+
+void RecommendedCellBudget(double b, double* s_lo, double* s_hi) {
+  PRIVIEW_CHECK(s_lo != nullptr && s_hi != nullptr);
+  // Paper's table: b = 2,3,4,5 -> [100,1000], [150,2000], [200,3200],
+  // [250,5000]; linear interpolation / extension in b.
+  const double clamped = std::max(b, 2.0);
+  *s_lo = 100.0 + 50.0 * (clamped - 2.0);
+  if (clamped <= 3.0) {
+    *s_hi = 1000.0 + 1000.0 * (clamped - 2.0);
+  } else if (clamped <= 4.0) {
+    *s_hi = 2000.0 + 1200.0 * (clamped - 3.0);
+  } else {
+    *s_hi = 3200.0 + 1800.0 * (clamped - 4.0);
+  }
+}
+
+CatPriViewSynopsis CatPriViewSynopsis::Build(const CatDataset& data,
+                                             const std::vector<AttrSet>& views,
+                                             const Options& options,
+                                             Rng* rng) {
+  PRIVIEW_CHECK(!views.empty());
+  CatPriViewSynopsis synopsis(data.domain());
+
+  const double w = static_cast<double>(views.size());
+  for (AttrSet scope : views) {
+    CatTable table = data.CountMarginal(scope);
+    if (options.add_noise) {
+      PRIVIEW_CHECK(options.epsilon > 0.0);
+      const double scale = w / options.epsilon;
+      for (double& c : table.cells()) c += rng->Laplace(scale);
+    }
+    synopsis.views_.push_back(std::move(table));
+  }
+
+  CatMakeConsistent(synopsis.domain_, &synopsis.views_);
+  for (int round = 0; round < options.nonneg_rounds; ++round) {
+    for (CatTable& view : synopsis.views_) {
+      CatRippleNonNegativity(&view, options.ripple_theta);
+    }
+    CatMakeConsistent(synopsis.domain_, &synopsis.views_);
+  }
+
+  double total = 0.0;
+  for (const CatTable& view : synopsis.views_) total += view.Total();
+  synopsis.total_ = total / w;
+  return synopsis;
+}
+
+CatTable CatPriViewSynopsis::Query(AttrSet target) const {
+  return CatReconstructMarginal(domain_, views_, target, total_);
+}
+
+}  // namespace priview

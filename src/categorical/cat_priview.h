@@ -1,0 +1,76 @@
+// The PriView pipeline generalized to categorical attributes (§4.7):
+// generalized Ripple (neighbors change one attribute's value), the same
+// consistency procedure over mixed-radix tables, IPF reconstruction, and
+// greedy pair-covering view selection under a per-view cell budget `s`
+// (the paper's recommended s ranges per domain cardinality b).
+#ifndef PRIVIEW_CATEGORICAL_CAT_PRIVIEW_H_
+#define PRIVIEW_CATEGORICAL_CAT_PRIVIEW_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "categorical/cat_table.h"
+
+namespace priview {
+
+/// Generalized Ripple: a cell below -theta is zeroed and its deficit spread
+/// equally over all cells differing in exactly one attribute value.
+/// Preserves the total. Returns the number of corrections.
+int CatRippleNonNegativity(CatTable* table, double theta = 1.0);
+
+/// Makes all views mutually consistent on every shared sub-scope
+/// (ascending intersection-closure order, as in the binary pipeline).
+void CatMakeConsistent(const CatDomain& domain, std::vector<CatTable>* views);
+
+/// Max-entropy (IPF) reconstruction of the marginal over `target` from the
+/// views, with total count `total`.
+CatTable CatReconstructMarginal(const CatDomain& domain,
+                                const std::vector<CatTable>& views,
+                                AttrSet target, double total,
+                                int max_iterations = 500);
+
+/// Greedy pair-covering view selection under the cell budget: every
+/// attribute pair shares a view, and each view's cell count stays <= s.
+/// Requires every pair to fit (card(a)*card(b) <= s).
+std::vector<AttrSet> GreedyPairCoverUnderBudget(const CatDomain& domain,
+                                                int cell_budget, Rng* rng);
+
+/// §4.7's s-selection objective sqrt(s) / (log_b s (log_b s - 1)).
+double CellBudgetObjective(double b, double s);
+
+/// The paper's recommended [s_lo, s_hi] window for domain cardinality b
+/// (b = 2: 100-1000 ... b = 5: 250-5000); interpolates for other b.
+void RecommendedCellBudget(double b, double* s_lo, double* s_hi);
+
+/// End-to-end categorical synopsis.
+class CatPriViewSynopsis {
+ public:
+  struct Options {
+    double epsilon = 1.0;
+    double ripple_theta = 1.0;
+    int nonneg_rounds = 1;
+    bool add_noise = true;
+  };
+
+  static CatPriViewSynopsis Build(const CatDataset& data,
+                                  const std::vector<AttrSet>& views,
+                                  const Options& options, Rng* rng);
+
+  CatTable Query(AttrSet target) const;
+
+  const std::vector<CatTable>& views() const { return views_; }
+  double total() const { return total_; }
+  const CatDomain& domain() const { return domain_; }
+
+ private:
+  explicit CatPriViewSynopsis(CatDomain domain)
+      : domain_(std::move(domain)) {}
+
+  CatDomain domain_;
+  double total_ = 0.0;
+  std::vector<CatTable> views_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_CATEGORICAL_CAT_PRIVIEW_H_

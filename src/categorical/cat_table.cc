@@ -1,0 +1,142 @@
+#include "categorical/cat_table.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace priview {
+
+CatDomain::CatDomain(std::vector<int> cardinalities)
+    : cards_(std::move(cardinalities)) {
+  PRIVIEW_CHECK(!cards_.empty() && cards_.size() <= 64);
+  for (int c : cards_) PRIVIEW_CHECK(c >= 2 && c <= 256);
+}
+
+size_t CatDomain::TableSize(AttrSet scope) const {
+  size_t size = 1;
+  for (int a : scope.ToIndices()) {
+    PRIVIEW_CHECK(a < d());
+    size *= static_cast<size_t>(cards_[a]);
+  }
+  return size;
+}
+
+CatTable::CatTable(const CatDomain& domain, AttrSet scope, double fill)
+    : scope_(scope) {
+  for (int a : scope.ToIndices()) cards_.push_back(domain.Cardinality(a));
+  strides_.resize(cards_.size());
+  size_t stride = 1;
+  for (size_t i = 0; i < cards_.size(); ++i) {
+    strides_[i] = stride;
+    stride *= static_cast<size_t>(cards_[i]);
+  }
+  PRIVIEW_CHECK(stride <= (size_t{1} << 26));
+  cells_.assign(stride, fill);
+}
+
+double CatTable::Total() const {
+  double sum = 0.0;
+  for (double c : cells_) sum += c;
+  return sum;
+}
+
+void CatTable::Scale(double factor) {
+  for (double& c : cells_) c *= factor;
+}
+
+size_t CatTable::IndexOf(const std::vector<int>& values) const {
+  PRIVIEW_CHECK(values.size() == cards_.size());
+  size_t index = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    PRIVIEW_CHECK(values[i] >= 0 && values[i] < cards_[i]);
+    index += static_cast<size_t>(values[i]) * strides_[i];
+  }
+  return index;
+}
+
+std::vector<int> CatTable::ValuesOf(size_t cell) const {
+  std::vector<int> values(cards_.size());
+  for (size_t i = 0; i < cards_.size(); ++i) {
+    values[i] = static_cast<int>((cell / strides_[i]) %
+                                 static_cast<size_t>(cards_[i]));
+  }
+  return values;
+}
+
+std::vector<uint32_t> CatTable::ProjectionMap(const CatDomain& domain,
+                                              AttrSet sub) const {
+  PRIVIEW_CHECK(sub.IsSubsetOf(scope_));
+  const CatTable probe(domain, sub);
+  // Position of each sub attribute within this table's scope ordering.
+  const std::vector<int> scope_attrs = scope_.ToIndices();
+  const std::vector<int> sub_attrs = sub.ToIndices();
+  std::vector<size_t> my_stride, sub_stride;
+  std::vector<int> sub_card;
+  size_t si = 0;
+  for (size_t i = 0; i < scope_attrs.size(); ++i) {
+    if (si < sub_attrs.size() && scope_attrs[i] == sub_attrs[si]) {
+      my_stride.push_back(strides_[i]);
+      sub_stride.push_back(probe.strides_[si]);
+      sub_card.push_back(cards_[i]);
+      ++si;
+    }
+  }
+  PRIVIEW_CHECK(si == sub_attrs.size());
+
+  std::vector<uint32_t> map(cells_.size());
+  for (size_t cell = 0; cell < cells_.size(); ++cell) {
+    size_t out = 0;
+    for (size_t j = 0; j < my_stride.size(); ++j) {
+      const size_t value =
+          (cell / my_stride[j]) % static_cast<size_t>(sub_card[j]);
+      out += value * sub_stride[j];
+    }
+    map[cell] = static_cast<uint32_t>(out);
+  }
+  return map;
+}
+
+CatTable CatTable::Project(const CatDomain& domain, AttrSet sub) const {
+  CatTable out(domain, sub);
+  const std::vector<uint32_t> map = ProjectionMap(domain, sub);
+  for (size_t cell = 0; cell < cells_.size(); ++cell) {
+    out.cells_[map[cell]] += cells_[cell];
+  }
+  return out;
+}
+
+double CatTable::L2DistanceTo(const CatTable& other) const {
+  PRIVIEW_CHECK(scope_ == other.scope_ && cells_.size() == other.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const double diff = cells_[i] - other.cells_[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+CatDataset::CatDataset(CatDomain domain) : domain_(std::move(domain)) {}
+
+void CatDataset::Add(const std::vector<int>& values) {
+  PRIVIEW_CHECK(static_cast<int>(values.size()) == domain_.d());
+  for (int a = 0; a < domain_.d(); ++a) {
+    PRIVIEW_CHECK(values[a] >= 0 && values[a] < domain_.Cardinality(a));
+    values_.push_back(static_cast<uint8_t>(values[a]));
+  }
+  ++n_;
+}
+
+CatTable CatDataset::CountMarginal(AttrSet scope) const {
+  CatTable table(domain_, scope);
+  const std::vector<int> attrs = scope.ToIndices();
+  std::vector<int> record_values(attrs.size());
+  for (size_t r = 0; r < n_; ++r) {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      record_values[i] = Value(r, attrs[i]);
+    }
+    table.At(table.IndexOf(record_values)) += 1.0;
+  }
+  return table;
+}
+
+}  // namespace priview

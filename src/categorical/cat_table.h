@@ -1,0 +1,101 @@
+// Categorical (non-binary) attribute support — the paper's §4.7 extension.
+// Attributes keep integer ids in {0, .., d-1} (so scopes are still
+// AttrSets) but each attribute a has a cardinality card(a) >= 2; marginal
+// tables become mixed-radix arrays of Π card cells.
+#ifndef PRIVIEW_CATEGORICAL_CAT_TABLE_H_
+#define PRIVIEW_CATEGORICAL_CAT_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/attr_set.h"
+
+namespace priview {
+
+/// The domain: per-attribute cardinalities, indexed by attribute id.
+class CatDomain {
+ public:
+  explicit CatDomain(std::vector<int> cardinalities);
+
+  int d() const { return static_cast<int>(cards_.size()); }
+  int Cardinality(int attr) const { return cards_[attr]; }
+  const std::vector<int>& cardinalities() const { return cards_; }
+
+  /// Number of cells of a marginal over `scope` (product of cardinalities).
+  size_t TableSize(AttrSet scope) const;
+
+ private:
+  std::vector<int> cards_;
+};
+
+/// Dense marginal table over a scope of categorical attributes. Cell index
+/// is mixed-radix over the scope's attributes in ascending id order (the
+/// first/lowest attribute is the fastest-varying digit).
+class CatTable {
+ public:
+  CatTable() = default;
+  CatTable(const CatDomain& domain, AttrSet scope, double fill = 0.0);
+
+  AttrSet scope() const { return scope_; }
+  size_t size() const { return cells_.size(); }
+  const std::vector<int>& scope_cards() const { return cards_; }
+
+  double& At(size_t cell) { return cells_[cell]; }
+  double At(size_t cell) const { return cells_[cell]; }
+  const std::vector<double>& cells() const { return cells_; }
+  std::vector<double>& cells() { return cells_; }
+
+  double Total() const;
+  void Scale(double factor);
+
+  /// Cell index for the given per-attribute values (ascending id order,
+  /// same length as the scope).
+  size_t IndexOf(const std::vector<int>& values) const;
+
+  /// Decodes a cell index into per-attribute values.
+  std::vector<int> ValuesOf(size_t cell) const;
+
+  /// For every cell of this table, the cell of the `sub`-scope table it
+  /// projects onto. sub must be a subset of scope().
+  std::vector<uint32_t> ProjectionMap(const CatDomain& domain,
+                                      AttrSet sub) const;
+
+  /// Marginal over `sub` by summation.
+  CatTable Project(const CatDomain& domain, AttrSet sub) const;
+
+  double L2DistanceTo(const CatTable& other) const;
+
+ private:
+  AttrSet scope_;
+  std::vector<int> cards_;    // cardinality per scope attribute (ascending)
+  std::vector<size_t> strides_;
+  std::vector<double> cells_;
+};
+
+/// Categorical dataset: row-major values, one byte per attribute.
+class CatDataset {
+ public:
+  explicit CatDataset(CatDomain domain);
+
+  const CatDomain& domain() const { return domain_; }
+  size_t size() const { return n_; }
+
+  /// Appends a record; values.size() == d, each within its cardinality.
+  void Add(const std::vector<int>& values);
+
+  int Value(size_t record, int attr) const {
+    return values_[record * domain_.d() + attr];
+  }
+
+  /// Exact marginal counts over `scope`.
+  CatTable CountMarginal(AttrSet scope) const;
+
+ private:
+  CatDomain domain_;
+  size_t n_ = 0;
+  std::vector<uint8_t> values_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_CATEGORICAL_CAT_TABLE_H_

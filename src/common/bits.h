@@ -1,0 +1,68 @@
+// Bit-manipulation helpers used throughout the table layer. The hot path is
+// ExtractBits (a software PEXT): it maps a record's bits at the positions
+// given by a mask to a compact marginal-cell index.
+#ifndef PRIVIEW_COMMON_BITS_H_
+#define PRIVIEW_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#if defined(__BMI2__)
+#include <immintrin.h>
+#endif
+
+namespace priview {
+
+/// Number of set bits.
+inline int PopCount(uint64_t x) { return std::popcount(x); }
+
+/// Extracts the bits of `value` at the positions set in `mask` and packs
+/// them contiguously into the low bits of the result (PEXT semantics).
+/// Example: value=0b101101, mask=0b001101 -> 0b111.
+inline uint64_t ExtractBits(uint64_t value, uint64_t mask) {
+#if defined(__BMI2__)
+  return _pext_u64(value, mask);
+#else
+  uint64_t result = 0;
+  int out = 0;
+  while (mask != 0) {
+    const uint64_t low = mask & (~mask + 1);
+    if (value & low) result |= (1ULL << out);
+    ++out;
+    mask &= mask - 1;
+  }
+  return result;
+#endif
+}
+
+/// Inverse of ExtractBits: scatters the low bits of `value` to the positions
+/// set in `mask` (PDEP semantics).
+inline uint64_t DepositBits(uint64_t value, uint64_t mask) {
+#if defined(__BMI2__)
+  return _pdep_u64(value, mask);
+#else
+  uint64_t result = 0;
+  int in = 0;
+  while (mask != 0) {
+    const uint64_t low = mask & (~mask + 1);
+    if (value & (1ULL << in)) result |= low;
+    ++in;
+    mask &= mask - 1;
+  }
+  return result;
+#endif
+}
+
+/// Index (0-based) of the lowest set bit. Requires x != 0.
+inline int LowestBitIndex(uint64_t x) { return std::countr_zero(x); }
+
+/// Iterates subsets: given the current subset `sub` of `mask`, returns the
+/// next subset in the standard (sub - mask) & mask enumeration. Start from 0
+/// and stop after returning to 0.
+inline uint64_t NextSubset(uint64_t sub, uint64_t mask) {
+  return (sub - mask) & mask;
+}
+
+}  // namespace priview
+
+#endif  // PRIVIEW_COMMON_BITS_H_

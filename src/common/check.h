@@ -1,0 +1,38 @@
+// Invariant checking for programmer errors. PRIVIEW_CHECK stays on in all
+// build types (the cost is negligible next to the numeric work), matching
+// the always-on assertion style used by storage engines for correctness-
+// critical invariants.
+#ifndef PRIVIEW_COMMON_CHECK_H_
+#define PRIVIEW_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace priview::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace priview::internal
+
+#define PRIVIEW_CHECK(expr)                                          \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::priview::internal::CheckFailed(#expr, __FILE__, __LINE__);   \
+    }                                                                \
+  } while (0)
+
+#define PRIVIEW_CHECK_OK(status_expr)                                    \
+  do {                                                                   \
+    const ::priview::Status _pv_st = (status_expr);                      \
+    if (!_pv_st.ok()) {                                                  \
+      std::fprintf(stderr, "CHECK_OK failed: %s at %s:%d\n",             \
+                   _pv_st.ToString().c_str(), __FILE__, __LINE__);       \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#endif  // PRIVIEW_COMMON_CHECK_H_

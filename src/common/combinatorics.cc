@@ -1,0 +1,59 @@
+#include "common/combinatorics.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace priview {
+
+double BinomialDouble(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (int i = 0; i < k; ++i) {
+    result *= static_cast<double>(n - i);
+    result /= static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+uint64_t Binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  uint64_t result = 1;
+  for (int i = 0; i < k; ++i) {
+    // result * (n - i) must not overflow; the division is exact at each step
+    // because result holds C(n, i+... ) partial products of consecutive ints.
+    PRIVIEW_CHECK(result <=
+                  std::numeric_limits<uint64_t>::max() /
+                      static_cast<uint64_t>(n - i));
+    result = result * static_cast<uint64_t>(n - i) /
+             static_cast<uint64_t>(i + 1);
+  }
+  return result;
+}
+
+double BinomialPrefixSum(int n, int k) {
+  double sum = 0.0;
+  for (int j = 0; j <= k && j <= n; ++j) sum += BinomialDouble(n, j);
+  return sum;
+}
+
+std::vector<std::vector<int>> AllSubsets(int n, int k) {
+  std::vector<std::vector<int>> result;
+  if (k < 0 || k > n) return result;
+  std::vector<int> cur(k);
+  for (int i = 0; i < k; ++i) cur[i] = i;
+  while (true) {
+    result.push_back(cur);
+    // Advance to the next lexicographic combination.
+    int i = k - 1;
+    while (i >= 0 && cur[i] == n - k + i) --i;
+    if (i < 0) break;
+    ++cur[i];
+    for (int j = i + 1; j < k; ++j) cur[j] = cur[j - 1] + 1;
+  }
+  return result;
+}
+
+}  // namespace priview

@@ -1,0 +1,55 @@
+// Combinatorial helpers: binomial coefficients (exact and floating-point)
+// and enumeration of fixed-size subsets in lexicographic order.
+#ifndef PRIVIEW_COMMON_COMBINATORICS_H_
+#define PRIVIEW_COMMON_COMBINATORICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace priview {
+
+/// C(n, k) as a double; exact for the modest n used here (n <= 64),
+/// safe against intermediate overflow for larger n.
+double BinomialDouble(int n, int k);
+
+/// C(n, k) as uint64_t. Requires the result to fit; checked.
+uint64_t Binomial(int n, int k);
+
+/// Sum_{j=0..k} C(n, j): number of subsets of size at most k.
+double BinomialPrefixSum(int n, int k);
+
+/// Enumerates all k-element subsets of {0, .., n-1} as sorted index vectors
+/// in lexicographic order. Intended for small C(n, k) (verifier / designs).
+std::vector<std::vector<int>> AllSubsets(int n, int k);
+
+/// Visits all k-element subsets of {0, .., n-1} as bitmasks, in increasing
+/// numeric order, via Gosper's hack. Calls fn(mask) for each.
+template <typename Fn>
+void ForEachSubsetMask(int n, int k, Fn&& fn) {
+  if (k == 0) {
+    fn(uint64_t{0});
+    return;
+  }
+  if (k > n) return;
+  if (k >= 64) {
+    fn(~0ULL);
+    return;
+  }
+  // First bit position outside the universe; 0 means "no limit" (n == 64).
+  const uint64_t limit_bit = (n >= 64) ? 0 : (1ULL << n);
+  uint64_t mask = (1ULL << k) - 1;
+  while (true) {
+    fn(mask);
+    // Gosper's hack: next integer with the same popcount.
+    const uint64_t c = mask & (~mask + 1);
+    const uint64_t r = mask + c;
+    if (r == 0) break;  // carry out of bit 63: enumeration exhausted
+    const uint64_t next = (((r ^ mask) >> 2) / c) | r;
+    if (limit_bit != 0 && next >= limit_bit) break;
+    mask = next;
+  }
+}
+
+}  // namespace priview
+
+#endif  // PRIVIEW_COMMON_COMBINATORICS_H_

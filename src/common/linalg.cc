@@ -1,0 +1,151 @@
+#include "common/linalg.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace priview {
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  PRIVIEW_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (int j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MatVec(const std::vector<double>& v) const {
+  PRIVIEW_CHECK(static_cast<int>(v.size()) == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    const double* row = &data_[static_cast<size_t>(i) * cols_];
+    for (int j = 0; j < cols_; ++j) sum += row[j] * v[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TransposedMatVec(
+    const std::vector<double>& v) const {
+  PRIVIEW_CHECK(static_cast<int>(v.size()) == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    const double* row = &data_[static_cast<size_t>(i) * cols_];
+    for (int j = 0; j < cols_; ++j) out[j] += row[j] * vi;
+  }
+  return out;
+}
+
+Matrix Matrix::GramRows() const {
+  Matrix out(rows_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    const double* ri = &data_[static_cast<size_t>(i) * cols_];
+    for (int j = i; j < rows_; ++j) {
+      const double* rj = &data_[static_cast<size_t>(j) * cols_];
+      double sum = 0.0;
+      for (int k = 0; k < cols_; ++k) sum += ri[k] * rj[k];
+      out(i, j) = sum;
+      out(j, i) = sum;
+    }
+  }
+  return out;
+}
+
+double Matrix::FrobeniusSquared() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return sum;
+}
+
+double Matrix::MaxColumnL1() const {
+  double best = 0.0;
+  for (int j = 0; j < cols_; ++j) {
+    double sum = 0.0;
+    for (int i = 0; i < rows_; ++i) sum += std::fabs((*this)(i, j));
+    if (sum > best) best = sum;
+  }
+  return best;
+}
+
+bool Cholesky::Factor(const Matrix& a, double ridge) {
+  PRIVIEW_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  l_ = Matrix(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a(i, j) + ((i == j) ? ridge : 0.0);
+      for (int k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          factored_ = false;
+          return false;
+        }
+        l_(i, i) = std::sqrt(sum);
+      } else {
+        l_(i, j) = sum / l_(j, j);
+      }
+    }
+  }
+  factored_ = true;
+  return true;
+}
+
+std::vector<double> Cholesky::Solve(const std::vector<double>& b) const {
+  PRIVIEW_CHECK(factored_);
+  const int n = l_.rows();
+  PRIVIEW_CHECK(static_cast<int>(b.size()) == n);
+  // Forward substitution L y = b.
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (int k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  // Back substitution L^T x = y.
+  std::vector<double> x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = y[i];
+    for (int k = i + 1; k < n; ++k) sum -= l_(k, i) * x[k];
+    x[i] = sum / l_(i, i);
+  }
+  return x;
+}
+
+double NormSquared(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x * x;
+  return sum;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  PRIVIEW_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace priview

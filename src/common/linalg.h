@@ -1,0 +1,92 @@
+// Minimal dense linear algebra: just what the matrix-mechanism evaluator and
+// the least-norm reconstruction solver need. Row-major double matrices,
+// Cholesky factorization of SPD systems, and a few norms. Sizes in this
+// project stay small (<= a few thousand rows), so simple O(n^3) kernels are
+// the right tool.
+#ifndef PRIVIEW_COMMON_LINALG_H_
+#define PRIVIEW_COMMON_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace priview {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Identity matrix of size n.
+  static Matrix Identity(int n);
+
+  /// Matrix product this * other.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Transpose.
+  Matrix Transposed() const;
+
+  /// this * v for a vector v of length cols().
+  std::vector<double> MatVec(const std::vector<double>& v) const;
+
+  /// this^T * v for a vector v of length rows().
+  std::vector<double> TransposedMatVec(const std::vector<double>& v) const;
+
+  /// Gram matrix this * this^T (rows x rows).
+  Matrix GramRows() const;
+
+  /// Squared Frobenius norm.
+  double FrobeniusSquared() const;
+
+  /// Maximum column L1 norm (the L1 sensitivity of a query matrix whose
+  /// columns index database cells).
+  double MaxColumnL1() const;
+
+ private:
+  int rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Cholesky factorization of a symmetric positive-definite matrix, with an
+/// optional ridge added to the diagonal for numerical rank-deficiency
+/// (constraint Gram matrices of noisy marginals are often near-singular).
+class Cholesky {
+ public:
+  /// Factors a + ridge*I. Returns false if the matrix is not positive
+  /// definite even after the ridge.
+  bool Factor(const Matrix& a, double ridge = 0.0);
+
+  /// Solves (A + ridge I) x = b. Requires a successful Factor().
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  bool factored() const { return factored_; }
+
+ private:
+  Matrix l_;
+  bool factored_ = false;
+};
+
+/// Squared L2 norm of a vector.
+double NormSquared(const std::vector<double>& v);
+
+/// Dot product; sizes must match.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_COMMON_LINALG_H_

@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace priview {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  PRIVIEW_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t v;
+  do {
+    v = NextUint64();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformOpen() {
+  return (static_cast<double>(NextUint64() >> 11) + 0.5) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Laplace(double scale) {
+  PRIVIEW_CHECK(scale > 0.0);
+  // Inverse-CDF: U uniform in (-1/2, 1/2), x = -b·sgn(U)·ln(1 - 2|U|).
+  const double u = UniformOpen() - 0.5;
+  const double sign = (u < 0) ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+double Rng::Exponential(double rate) {
+  PRIVIEW_CHECK(rate > 0.0);
+  return -std::log(UniformOpen()) / rate;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  const double u1 = UniformOpen();
+  const double u2 = UniformDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int count) {
+  PRIVIEW_CHECK(count >= 0 && count <= n);
+  // Floyd's algorithm keeps this O(count) in expectation.
+  std::vector<int> picked;
+  picked.reserve(count);
+  std::vector<bool> in(n, false);
+  for (int j = n - count; j < n; ++j) {
+    int t = static_cast<int>(UniformInt(static_cast<uint64_t>(j) + 1));
+    if (in[t]) t = j;
+    in[t] = true;
+    picked.push_back(t);
+  }
+  std::vector<int> sorted;
+  sorted.reserve(count);
+  for (int i = 0; i < n; ++i) {
+    if (in[i]) sorted.push_back(i);
+  }
+  return sorted;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace priview

@@ -1,0 +1,92 @@
+// Lightweight Status / StatusOr types for recoverable errors (I/O, bad
+// arguments from external input). Programmer errors use PRIVIEW_CHECK from
+// check.h instead. Modeled after the RocksDB/Abseil idiom: cheap to copy in
+// the OK case, carries a code + message otherwise.
+#ifndef PRIVIEW_COMMON_STATUS_H_
+#define PRIVIEW_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace priview {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kIOError,
+};
+
+/// Result of an operation that can fail without it being a programming bug.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or the Status explaining why there is none.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  StatusOr(Status status) : v_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    return ok() ? ok_status : std::get<Status>(v_);
+  }
+  /// Requires ok(); terminates otherwise (std::get throws).
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_COMMON_STATUS_H_

@@ -1,0 +1,136 @@
+#include "core/consistency.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace priview {
+namespace {
+
+// Worklist fixpoint of pairwise intersection: every new set is intersected
+// against everything discovered so far, so each pair of closure members is
+// combined exactly once (hash-set membership keeps duplicates O(1)).
+std::vector<uint64_t> ClosureMasks(const std::vector<AttrSet>& views) {
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> members;
+  members.reserve(views.size() * 4);
+  for (AttrSet v : views) {
+    if (seen.insert(v.mask()).second) members.push_back(v.mask());
+  }
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      const uint64_t inter = members[i] & members[j];
+      if (seen.insert(inter).second) members.push_back(inter);
+    }
+  }
+  seen.insert(0);
+  if (std::find(members.begin(), members.end(), 0ULL) == members.end()) {
+    members.push_back(0);  // totals are always synchronized
+  }
+  return members;
+}
+
+}  // namespace
+
+std::vector<AttrSet> IntersectionClosure(const std::vector<AttrSet>& views) {
+  // Keep only sets shared by at least two views (a set inside one view only
+  // has nothing to reconcile), then order ascending by size.
+  std::vector<AttrSet> result;
+  for (uint64_t mask : ClosureMasks(views)) {
+    const AttrSet a(mask);
+    int containing = 0;
+    for (AttrSet v : views) {
+      if (a.IsSubsetOf(v) && ++containing >= 2) break;
+    }
+    if (containing >= 2) result.push_back(a);
+  }
+  std::stable_sort(result.begin(), result.end(), [](AttrSet a, AttrSet b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a.mask() < b.mask();
+  });
+  return result;
+}
+
+void MutualConsistencyStep(std::vector<MarginalTable>* views, AttrSet common,
+                           const std::vector<int>& view_indices) {
+  PRIVIEW_CHECK(view_indices.size() >= 2);
+  const size_t common_cells = size_t{1} << common.size();
+
+  // Best estimate: arithmetic mean of the participating projections.
+  std::vector<double> mean(common_cells, 0.0);
+  std::vector<MarginalTable> projections;
+  projections.reserve(view_indices.size());
+  for (int idx : view_indices) {
+    const MarginalTable& view = (*views)[idx];
+    PRIVIEW_CHECK(common.IsSubsetOf(view.attrs()));
+    projections.push_back(view.Project(common));
+    for (size_t a = 0; a < common_cells; ++a) {
+      mean[a] += projections.back().At(a);
+    }
+  }
+  for (double& v : mean) v /= static_cast<double>(view_indices.size());
+
+  // Push each view toward the mean: the correction for a constraint cell is
+  // spread uniformly over the 2^{|V|-|common|} view cells projecting to it.
+  for (size_t vi = 0; vi < view_indices.size(); ++vi) {
+    MarginalTable& view = (*views)[view_indices[vi]];
+    const uint64_t within = view.CellIndexMaskFor(common);
+    const double slice =
+        static_cast<double>(size_t{1} << (view.arity() - common.size()));
+    std::vector<double> delta(common_cells);
+    for (size_t a = 0; a < common_cells; ++a) {
+      delta[a] = (mean[a] - projections[vi].At(a)) / slice;
+    }
+    for (uint64_t cell = 0; cell < view.size(); ++cell) {
+      view.At(cell) += delta[ExtractBits(cell, within)];
+    }
+  }
+}
+
+ConsistencyPlan::ConsistencyPlan(const std::vector<AttrSet>& scopes)
+    : scopes_(scopes) {
+  for (AttrSet common : IntersectionClosure(scopes)) {
+    Step step;
+    step.common = common;
+    for (size_t i = 0; i < scopes.size(); ++i) {
+      if (common.IsSubsetOf(scopes[i])) {
+        step.view_indices.push_back(static_cast<int>(i));
+      }
+    }
+    if (step.view_indices.size() >= 2) steps_.push_back(std::move(step));
+  }
+}
+
+void ConsistencyPlan::Apply(std::vector<MarginalTable>* views) const {
+  PRIVIEW_CHECK(views->size() == scopes_.size());
+  for (size_t i = 0; i < scopes_.size(); ++i) {
+    PRIVIEW_CHECK((*views)[i].attrs() == scopes_[i]);
+  }
+  for (const Step& step : steps_) {
+    MutualConsistencyStep(views, step.common, step.view_indices);
+  }
+}
+
+void MakeConsistent(std::vector<MarginalTable>* views) {
+  std::vector<AttrSet> scopes;
+  scopes.reserve(views->size());
+  for (const MarginalTable& v : *views) scopes.push_back(v.attrs());
+  ConsistencyPlan(scopes).Apply(views);
+}
+
+double MaxInconsistency(const std::vector<MarginalTable>& views) {
+  double worst = 0.0;
+  for (size_t i = 0; i < views.size(); ++i) {
+    for (size_t j = i + 1; j < views.size(); ++j) {
+      const AttrSet common = views[i].attrs().Intersect(views[j].attrs());
+      const MarginalTable pi = views[i].Project(common);
+      const MarginalTable pj = views[j].Project(common);
+      worst = std::max(worst, pi.LinfDistanceTo(pj));
+    }
+  }
+  return worst;
+}
+
+}  // namespace priview

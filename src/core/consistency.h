@@ -1,0 +1,67 @@
+// The consistency step (paper §4.4): post-process the noisy view marginals
+// so every pair of views agrees on every shared sub-marginal. The procedure
+// walks the closure of the view set under intersection in ascending-size
+// (topological) order; at each attribute set A it averages the projections
+// of all views containing A (the minimum-variance combination) and pushes
+// the correction back into each view uniformly. Lemma 1 guarantees later
+// steps never invalidate earlier ones.
+//
+// For large view sets (hundreds of views), computing the closure dominates;
+// a ConsistencyPlan caches it so repeated passes (Consistency + Ripple +
+// Consistency, the paper's pipeline) pay for it once.
+#ifndef PRIVIEW_CORE_CONSISTENCY_H_
+#define PRIVIEW_CORE_CONSISTENCY_H_
+
+#include <vector>
+
+#include "table/attr_set.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+/// All attribute sets arising as intersections of two or more views (plus
+/// the empty set, which synchronizes totals), ascending by size — a valid
+/// topological order of the subset relation. Sets equal to a whole view are
+/// included when shared by several views.
+std::vector<AttrSet> IntersectionClosure(const std::vector<AttrSet>& views);
+
+/// One mutual-consistency step: makes every view containing `common`
+/// agree on it. `view_indices` lists which tables participate. Projections
+/// of each view onto attributes outside `common` are unchanged (Lemma 1).
+void MutualConsistencyStep(std::vector<MarginalTable>* views, AttrSet common,
+                           const std::vector<int>& view_indices);
+
+/// Precomputed schedule of mutual-consistency steps for a fixed set of
+/// view scopes: the intersection closure in topological order, with the
+/// participating view indices resolved.
+class ConsistencyPlan {
+ public:
+  /// Builds the plan for the given view scopes.
+  explicit ConsistencyPlan(const std::vector<AttrSet>& scopes);
+
+  /// Runs the full overall-consistency pass. The tables must have exactly
+  /// the scopes the plan was built for, in the same order.
+  void Apply(std::vector<MarginalTable>* views) const;
+
+  /// Number of mutual-consistency steps in the schedule.
+  size_t size() const { return steps_.size(); }
+
+ private:
+  struct Step {
+    AttrSet common;
+    std::vector<int> view_indices;
+  };
+  std::vector<AttrSet> scopes_;
+  std::vector<Step> steps_;
+};
+
+/// Convenience wrapper: one-shot plan + apply.
+void MakeConsistent(std::vector<MarginalTable>* views);
+
+/// Largest disagreement between any two views on any closure set; 0 for a
+/// fully consistent view collection. Diagnostic / test helper.
+double MaxInconsistency(const std::vector<MarginalTable>& views);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_CORE_CONSISTENCY_H_

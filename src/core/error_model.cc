@@ -1,0 +1,46 @@
+#include "core/error_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/combinatorics.h"
+
+namespace priview {
+
+double UnitVariance(double epsilon) {
+  PRIVIEW_CHECK(epsilon > 0.0);
+  return 2.0 / (epsilon * epsilon);
+}
+
+double FlatEse(int d, double epsilon) {
+  return std::pow(2.0, d) * UnitVariance(epsilon);
+}
+
+double DirectEse(int d, int k, double epsilon) {
+  const double m = BinomialDouble(d, k);
+  return std::pow(2.0, k) * m * m * UnitVariance(epsilon);
+}
+
+double FourierEse(int d, int k, double epsilon) {
+  const double m = BinomialPrefixSum(d, k);
+  return m * m * UnitVariance(epsilon);
+}
+
+double PriViewSingleViewEse(int ell, int w, double epsilon) {
+  return std::pow(2.0, ell) * static_cast<double>(w) * w *
+         UnitVariance(epsilon);
+}
+
+int DirectBeatsFlatThreshold(int k) {
+  for (int d = k; d <= 4096; ++d) {
+    if (DirectEse(d, k, 1.0) < FlatEse(d, 1.0)) return d;
+  }
+  return -1;
+}
+
+double ExpectedNormalizedL2(double ese, double n) {
+  PRIVIEW_CHECK(n > 0.0);
+  return std::sqrt(ese) / n;
+}
+
+}  // namespace priview

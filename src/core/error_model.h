@@ -1,0 +1,37 @@
+// Analytic error model from the paper: the unit variance V_u (Eq. 2), the
+// expected squared error of Flat (Eq. 3), Direct (Eq. 4) and Fourier, the
+// Direct-vs-Flat crossover table (§3.2), and helpers to express errors on
+// the normalized L2 scale used in the plots.
+#ifndef PRIVIEW_CORE_ERROR_MODEL_H_
+#define PRIVIEW_CORE_ERROR_MODEL_H_
+
+namespace priview {
+
+/// Eq. 2: variance of Lap(1/eps) noise, the unit of ESE.
+double UnitVariance(double epsilon);
+
+/// Eq. 3: ESE of the Flat method for any k-way marginal, 2^d · V_u.
+double FlatEse(int d, double epsilon);
+
+/// Eq. 4: ESE of the Direct method, 2^k · C(d,k)^2 · V_u.
+double DirectEse(int d, int k, double epsilon);
+
+/// ESE of the Fourier method of Barak et al.: Direct divided by 2^k, with
+/// m = Σ_{j<=k} C(d,j) coefficients in place of C(d,k) tables.
+double FourierEse(int d, int k, double epsilon);
+
+/// ESE of PriView's covered-pair reconstruction from a single view of size
+/// ell out of w views: 2^ell · w^2 · V_u (§4.5).
+double PriViewSingleViewEse(int ell, int w, double epsilon);
+
+/// Smallest d for which Direct has lower ESE than Flat at this k (§3.2
+/// table: 16, 26, 36, 46 for k = 2..5).
+int DirectBeatsFlatThreshold(int k);
+
+/// Converts an ESE into the expected normalized L2 error sqrt(ESE)/N used
+/// on the plots' y-axes.
+double ExpectedNormalizedL2(double ese, double n);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_CORE_ERROR_MODEL_H_

@@ -1,0 +1,128 @@
+#include "core/nonneg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+
+namespace priview {
+
+const char* NonNegMethodName(NonNegMethod method) {
+  switch (method) {
+    case NonNegMethod::kNone:
+      return "None";
+    case NonNegMethod::kSimple:
+      return "Simple";
+    case NonNegMethod::kGlobal:
+      return "Global";
+    case NonNegMethod::kRipple:
+      return "Ripple";
+  }
+  return "?";
+}
+
+namespace {
+
+void SimpleNonNegativity(MarginalTable* table) {
+  for (double& c : table->cells()) c = std::max(c, 0.0);
+}
+
+void GlobalNonNegativity(MarginalTable* table) {
+  // Clamp negatives, then shave the created excess uniformly off positive
+  // cells; repeat because shaving can push small positives negative.
+  const double original_total = table->Total();
+  for (int pass = 0; pass < 64; ++pass) {
+    bool clamped = false;
+    for (double& c : table->cells()) {
+      if (c < 0.0) {
+        c = 0.0;
+        clamped = true;
+      }
+    }
+    const double excess = table->Total() - original_total;
+    if (excess <= 0.0) break;
+    int positive = 0;
+    for (double c : table->cells()) {
+      if (c > 0.0) ++positive;
+    }
+    if (positive == 0) break;
+    const double cut = excess / positive;
+    for (double& c : table->cells()) {
+      if (c > 0.0) c -= cut;
+    }
+    if (!clamped) break;
+  }
+  // The total may still exceed the original if everything went to zero;
+  // that is the method's known limitation, kept faithful to the paper.
+}
+
+}  // namespace
+
+int RippleNonNegativity(MarginalTable* table, const RippleOptions& options) {
+  const int ell = table->arity();
+  PRIVIEW_CHECK(options.theta >= 0.0);
+  if (ell == 0) return 0;
+
+  const size_t num_cells = table->size();
+  std::deque<uint64_t> worklist;
+  std::vector<bool> queued(num_cells, false);
+  for (uint64_t c = 0; c < num_cells; ++c) {
+    if (table->At(c) < -options.theta) {
+      worklist.push_back(c);
+      queued[c] = true;
+    }
+  }
+
+  const long long max_steps =
+      static_cast<long long>(options.max_steps_per_cell) *
+      static_cast<long long>(num_cells);
+  long long steps = 0;
+  int corrections = 0;
+  while (!worklist.empty()) {
+    const uint64_t c = worklist.front();
+    worklist.pop_front();
+    queued[c] = false;
+    const double value = table->At(c);
+    if (value >= -options.theta) continue;
+    // Zero this cell; its (negative) value is split over the ell neighbors.
+    table->At(c) = 0.0;
+    const double share = value / ell;  // negative
+    for (int bit = 0; bit < ell; ++bit) {
+      const uint64_t neighbor = c ^ (1ULL << bit);
+      table->At(neighbor) += share;
+      if (table->At(neighbor) < -options.theta && !queued[neighbor]) {
+        worklist.push_back(neighbor);
+        queued[neighbor] = true;
+      }
+    }
+    ++corrections;
+    if (++steps > max_steps) {
+      // Pathological noise; fall back to the global correction for the
+      // remainder rather than looping forever.
+      GlobalNonNegativity(table);
+      break;
+    }
+  }
+  return corrections;
+}
+
+void ApplyNonNegativity(MarginalTable* table, NonNegMethod method,
+                        const RippleOptions& ripple_options) {
+  switch (method) {
+    case NonNegMethod::kNone:
+      return;
+    case NonNegMethod::kSimple:
+      SimpleNonNegativity(table);
+      return;
+    case NonNegMethod::kGlobal:
+      GlobalNonNegativity(table);
+      return;
+    case NonNegMethod::kRipple:
+      RippleNonNegativity(table, ripple_options);
+      return;
+  }
+}
+
+}  // namespace priview

@@ -1,0 +1,42 @@
+// Non-negativity correction of noisy marginals (paper §4.4, evaluated in
+// Fig. 4). Four variants:
+//   kNone   — leave negative cells alone
+//   kSimple — clamp negatives to zero (introduces positive bias)
+//   kGlobal — clamp, then subtract uniformly from positive cells so the
+//             total count is unchanged
+//   kRipple — the paper's contribution: a cell below -theta is zeroed and
+//             its deficit spread equally over its ell Hamming-1 neighbors,
+//             iterated to fixpoint; preserves the total exactly and avoids
+//             the systematic bias of clamping
+#ifndef PRIVIEW_CORE_NONNEG_H_
+#define PRIVIEW_CORE_NONNEG_H_
+
+#include "table/marginal_table.h"
+
+namespace priview {
+
+enum class NonNegMethod { kNone, kSimple, kGlobal, kRipple };
+
+/// Human-readable method name (for bench output).
+const char* NonNegMethodName(NonNegMethod method);
+
+struct RippleOptions {
+  /// Cells below -theta are corrected. The paper uses a small theta rather
+  /// than exactly 0 so the iteration settles quickly.
+  double theta = 1.0;
+  /// Safety cap; the worklist empirically terminates in a handful of
+  /// passes, but noise is adversarially unbounded in principle.
+  int max_steps_per_cell = 1000;
+};
+
+/// Applies the Ripple correction in place. Returns the number of cell
+/// corrections performed. Total count is preserved exactly.
+int RippleNonNegativity(MarginalTable* table, const RippleOptions& options = {});
+
+/// Applies the chosen method in place.
+void ApplyNonNegativity(MarginalTable* table, NonNegMethod method,
+                        const RippleOptions& ripple_options = {});
+
+}  // namespace priview
+
+#endif  // PRIVIEW_CORE_NONNEG_H_

@@ -1,0 +1,54 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "dp/mechanisms.h"
+
+namespace priview {
+
+StatusOr<PipelineResult> BuildPriViewPipeline(const Dataset& data,
+                                              const PipelineOptions& options,
+                                              Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  if (options.total_epsilon <= 0.0) {
+    return Status::InvalidArgument("total_epsilon must be positive");
+  }
+  if (options.count_epsilon <= 0.0 ||
+      options.count_epsilon >= options.total_epsilon) {
+    return Status::InvalidArgument(
+        "count_epsilon must be in (0, total_epsilon)");
+  }
+  if (data.d() < 2) {
+    return Status::FailedPrecondition("need at least 2 attributes");
+  }
+
+  BudgetAccountant budget(options.total_epsilon);
+
+  // Step 1: noisy N (counting records has sensitivity 1 under the paper's
+  // add-one-tuple neighbor relation).
+  Status spend = budget.Spend(options.count_epsilon);
+  if (!spend.ok()) return spend;
+  const double noisy_n =
+      std::max(1.0, NoisyCount(static_cast<double>(data.size()),
+                               /*sensitivity=*/1.0, options.count_epsilon,
+                               rng));
+
+  // Step 2: view selection from (d, noisy N, remaining epsilon).
+  const double views_epsilon = budget.remaining();
+  ViewSelection selection =
+      SelectViews(data.d(), noisy_n, views_epsilon, rng, options.selection);
+
+  // Step 3: the synopsis, spending everything that is left.
+  spend = budget.Spend(views_epsilon);
+  if (!spend.ok()) return spend;
+  PriViewOptions synopsis_options = options.synopsis;
+  synopsis_options.epsilon = views_epsilon;
+  PriViewSynopsis synopsis = PriViewSynopsis::Build(
+      data, selection.design.blocks, synopsis_options, rng);
+
+  PipelineResult result{std::move(synopsis), std::move(selection), noisy_n,
+                        options.count_epsilon, views_epsilon};
+  return result;
+}
+
+}  // namespace priview

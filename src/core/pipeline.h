@@ -1,0 +1,46 @@
+// One-call PriView pipeline, exactly as §4.5 prescribes end-to-end:
+//   1. spend a sliver of budget on a noisy record count (the N estimate
+//      view selection needs — "a rough estimate suffices"),
+//   2. pick the covering design (ell = 8, t by the Eq. 5 noise-error rule),
+//   3. build the synopsis with the remaining budget.
+// All spending goes through a BudgetAccountant so the total is exactly the
+// requested epsilon.
+#ifndef PRIVIEW_CORE_PIPELINE_H_
+#define PRIVIEW_CORE_PIPELINE_H_
+
+#include "common/status.h"
+#include "core/synopsis.h"
+#include "design/view_selection.h"
+
+namespace priview {
+
+struct PipelineOptions {
+  /// Total privacy budget for the whole release.
+  double total_epsilon = 1.0;
+  /// Budget for the noisy record count (§4.5 suggests 0.001).
+  double count_epsilon = 0.001;
+  /// View-selection knobs (ell, max t, noise-error ceiling).
+  ViewSelectionOptions selection;
+  /// Post-processing knobs; the epsilon field is overwritten with the
+  /// remaining budget.
+  PriViewOptions synopsis;
+};
+
+struct PipelineResult {
+  PriViewSynopsis synopsis;
+  ViewSelection selection;
+  /// The noisy N the selection was based on.
+  double noisy_count = 0.0;
+  double count_epsilon = 0.0;
+  double views_epsilon = 0.0;
+};
+
+/// Runs the pipeline. Fails (without touching the data) if the budget
+/// split is infeasible (count_epsilon >= total_epsilon, etc.).
+StatusOr<PipelineResult> BuildPriViewPipeline(const Dataset& data,
+                                              const PipelineOptions& options,
+                                              Rng* rng);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_CORE_PIPELINE_H_

@@ -1,0 +1,109 @@
+#include "core/query_engine.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace priview {
+namespace cube {
+
+MarginalTable RollUp(const MarginalTable& table, AttrSet keep) {
+  return table.Project(keep);
+}
+
+MarginalTable Slice(const MarginalTable& table, int attr, int value) {
+  PRIVIEW_CHECK(table.attrs().Contains(attr));
+  PRIVIEW_CHECK(value == 0 || value == 1);
+  return Dice(table, AttrSet::FromIndices({attr}),
+              static_cast<uint64_t>(value));
+}
+
+MarginalTable Dice(const MarginalTable& table, AttrSet fixed,
+                   uint64_t values) {
+  PRIVIEW_CHECK(fixed.IsSubsetOf(table.attrs()));
+  PRIVIEW_CHECK(values < (uint64_t{1} << fixed.size()));
+  const AttrSet rest = table.attrs().Minus(fixed);
+  const uint64_t fixed_mask = table.CellIndexMaskFor(fixed);
+  const uint64_t rest_mask = table.CellIndexMaskFor(rest);
+  MarginalTable out(rest);
+  for (uint64_t cell = 0; cell < table.size(); ++cell) {
+    if (ExtractBits(cell, fixed_mask) != values) continue;
+    out.At(ExtractBits(cell, rest_mask)) += table.At(cell);
+  }
+  return out;
+}
+
+}  // namespace cube
+
+QueryEngine::QueryEngine(const PriViewSynopsis* synopsis,
+                         ReconstructionMethod method)
+    : synopsis_(synopsis), method_(method) {
+  PRIVIEW_CHECK(synopsis != nullptr);
+}
+
+double QueryEngine::ConjunctionCount(AttrSet attrs,
+                                     uint64_t assignment) const {
+  PRIVIEW_CHECK(assignment < (uint64_t{1} << attrs.size()));
+  return synopsis_->Query(attrs, method_).At(assignment);
+}
+
+double QueryEngine::Probability(AttrSet attrs, uint64_t assignment) const {
+  const double total = synopsis_->total();
+  if (total <= 0.0) return 0.0;
+  return ConjunctionCount(attrs, assignment) / total;
+}
+
+double QueryEngine::ConditionalProbability(int target_attr, AttrSet attrs,
+                                           uint64_t assignment) const {
+  PRIVIEW_CHECK(!attrs.Contains(target_attr));
+  const AttrSet joint = attrs.Union(AttrSet::FromIndices({target_attr}));
+  const MarginalTable table = synopsis_->Query(joint, method_);
+  // Condition cells: those matching `assignment` on attrs.
+  const uint64_t cond_mask = table.CellIndexMaskFor(attrs);
+  const uint64_t target_bit =
+      table.CellIndexMaskFor(AttrSet::FromIndices({target_attr}));
+  double hit = 0.0, support = 0.0;
+  for (uint64_t cell = 0; cell < table.size(); ++cell) {
+    if (ExtractBits(cell, cond_mask) != assignment) continue;
+    support += table.At(cell);
+    if (cell & target_bit) hit += table.At(cell);
+  }
+  if (support <= 0.0) return 0.5;  // no evidence either way
+  return hit / support;
+}
+
+double QueryEngine::Lift(int a, int b) const {
+  const AttrSet pair = AttrSet::FromIndices({a, b});
+  const MarginalTable table = synopsis_->Query(pair, method_);
+  const double total = table.Total();
+  if (total <= 0.0) return 0.0;
+  const double pa = (table.At(0b01) + table.At(0b11)) / total;
+  const double pb = (table.At(0b10) + table.At(0b11)) / total;
+  const double pab = table.At(0b11) / total;
+  if (pa <= 0.0 || pb <= 0.0) return 0.0;
+  return pab / (pa * pb);
+}
+
+double QueryEngine::MutualInformation(int a, int b) const {
+  const AttrSet pair = AttrSet::FromIndices({a, b});
+  const std::vector<double> joint =
+      synopsis_->Query(pair, method_).Normalized();
+  const double pa1 = joint[0b01] + joint[0b11];
+  const double pb1 = joint[0b10] + joint[0b11];
+  const double pa[2] = {1.0 - pa1, pa1};
+  const double pb[2] = {1.0 - pb1, pb1};
+  double mi = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      const double pij = joint[static_cast<size_t>(i) | (j << 1)];
+      if (pij <= 0.0) continue;
+      const double denom = pa[i] * pb[j];
+      if (denom <= 0.0) continue;
+      mi += pij * std::log(pij / denom);
+    }
+  }
+  return std::max(mi, 0.0);
+}
+
+}  // namespace priview

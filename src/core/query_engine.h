@@ -1,0 +1,69 @@
+// Analyst-side query layer over a PriView synopsis: conjunction counts,
+// conditional probabilities, association measures, and the OLAP cube
+// algebra (roll-up / slice / dice). Marginal tables "are essentially
+// equivalent to OLAP cubes" (§1); this is that equivalence as an API.
+// Everything here is post-processing of the synopsis — no privacy cost.
+#ifndef PRIVIEW_CORE_QUERY_ENGINE_H_
+#define PRIVIEW_CORE_QUERY_ENGINE_H_
+
+#include <cstdint>
+
+#include "core/synopsis.h"
+
+namespace priview {
+
+/// Stateless helpers over marginal tables (the cube algebra).
+namespace cube {
+
+/// Aggregate away the dimensions outside `keep` (keep ⊆ cube.attrs()).
+MarginalTable RollUp(const MarginalTable& table, AttrSet keep);
+
+/// Sub-cube where `attr` (must be in the cube) is fixed to `value`
+/// (0 or 1); the result's scope drops `attr`.
+MarginalTable Slice(const MarginalTable& table, int attr, int value);
+
+/// Sub-cube where every attribute in `fixed` is pinned to the bit given in
+/// `values` (compact cell-index convention over `fixed`). The result's
+/// scope is cube.attrs() minus fixed.
+MarginalTable Dice(const MarginalTable& table, AttrSet fixed,
+                   uint64_t values);
+
+}  // namespace cube
+
+/// Read-side engine bound to a synopsis. The synopsis must outlive it.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const PriViewSynopsis* synopsis,
+                       ReconstructionMethod method =
+                           ReconstructionMethod::kMaxEntropy);
+
+  /// Estimated number of records whose attributes in `attrs` equal
+  /// `assignment` (compact cell-index convention) — a conjunction count.
+  double ConjunctionCount(AttrSet attrs, uint64_t assignment) const;
+
+  /// Estimated P(attributes of `attrs` = assignment).
+  double Probability(AttrSet attrs, uint64_t assignment) const;
+
+  /// Estimated P(target_attr = 1 | attrs = assignment). Returns 0.5 when
+  /// the condition has (estimated) zero support.
+  double ConditionalProbability(int target_attr, AttrSet attrs,
+                                uint64_t assignment) const;
+
+  /// Lift of a = 1 and b = 1 co-occurring: P(ab) / (P(a) P(b)); 1 means
+  /// independent. Returns 0 when either attribute has zero support.
+  double Lift(int a, int b) const;
+
+  /// Mutual information (nats) between two attributes under the synopsis
+  /// distribution.
+  double MutualInformation(int a, int b) const;
+
+  const PriViewSynopsis& synopsis() const { return *synopsis_; }
+
+ private:
+  const PriViewSynopsis* synopsis_;
+  ReconstructionMethod method_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_CORE_QUERY_ENGINE_H_

@@ -1,0 +1,173 @@
+#include "core/reconstruct.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "opt/ipf.h"
+#include "opt/least_norm.h"
+#include "opt/simplex.h"
+
+namespace priview {
+
+const char* ReconstructionMethodName(ReconstructionMethod method) {
+  switch (method) {
+    case ReconstructionMethod::kMaxEntropy:
+      return "CME";
+    case ReconstructionMethod::kLeastNorm:
+      return "CLN";
+    case ReconstructionMethod::kLinearProgram:
+      return "LP";
+  }
+  return "?";
+}
+
+std::vector<MarginalConstraint> ConstraintsFor(
+    const std::vector<MarginalTable>& views, AttrSet target) {
+  std::vector<MarginalConstraint> constraints;
+  for (const MarginalTable& view : views) {
+    const AttrSet common = view.attrs().Intersect(target);
+    if (common.empty()) continue;
+    constraints.push_back({common, view.Project(common)});
+  }
+  return DeduplicateConstraints(std::move(constraints));
+}
+
+namespace {
+
+// Average of the projections of every view fully covering `target`.
+MarginalTable CoveredAnswer(const std::vector<MarginalTable>& views,
+                            AttrSet target) {
+  MarginalTable sum(target);
+  int covering = 0;
+  for (const MarginalTable& view : views) {
+    if (!target.IsSubsetOf(view.attrs())) continue;
+    const MarginalTable proj = view.Project(target);
+    for (size_t a = 0; a < sum.size(); ++a) sum.At(a) += proj.At(a);
+    ++covering;
+  }
+  PRIVIEW_CHECK(covering > 0);
+  sum.Scale(1.0 / covering);
+  return sum;
+}
+
+// Barak-style LP: minimize the largest constraint violation tau over
+// non-negative tables. Works on raw (possibly inconsistent) views, so
+// constraints cannot be merged by averaging — but two exact reductions
+// keep the LP small:
+//   * same-scope targets collapse: |proj - t_v| <= tau for all v is
+//     equivalent to  max_v t_v - tau <= proj <= min_v t_v + tau;
+//   * a sub-scope whose min/max targets equal the projection of a
+//     super-scope's min/max targets is implied and can be dropped (always
+//     the case after the consistency step, which is what makes CLP fast).
+MarginalTable SolveLpReconstruction(const std::vector<MarginalTable>& views,
+                                    AttrSet target, double total) {
+  const int num_cells = 1 << target.size();
+
+  // Per-scope cell-wise min/max over all views sharing the scope.
+  struct ScopeBand {
+    MarginalTable lo;  // min over views
+    MarginalTable hi;  // max over views
+  };
+  std::map<AttrSet, ScopeBand> bands;
+  for (const MarginalTable& view : views) {
+    const AttrSet common = view.attrs().Intersect(target);
+    if (common.empty()) continue;
+    MarginalTable proj = view.Project(common);
+    auto it = bands.find(common);
+    if (it == bands.end()) {
+      bands.emplace(common, ScopeBand{proj, proj});
+    } else {
+      for (size_t a = 0; a < proj.size(); ++a) {
+        it->second.lo.At(a) = std::min(it->second.lo.At(a), proj.At(a));
+        it->second.hi.At(a) = std::max(it->second.hi.At(a), proj.At(a));
+      }
+    }
+  }
+  if (bands.empty()) {
+    return MarginalTable(target, total / num_cells);
+  }
+
+  // Drop scopes implied by a super-scope's band.
+  const double tol = 1e-9 * std::max(1.0, total) + 1e-9;
+  std::vector<std::pair<AttrSet, const ScopeBand*>> active;
+  for (const auto& [scope, band] : bands) {
+    bool implied = false;
+    for (const auto& [other_scope, other_band] : bands) {
+      if (scope == other_scope || !scope.IsSubsetOf(other_scope)) continue;
+      const MarginalTable lo = other_band.lo.Project(scope);
+      const MarginalTable hi = other_band.hi.Project(scope);
+      if (lo.LinfDistanceTo(band.lo) <= tol &&
+          hi.LinfDistanceTo(band.hi) <= tol) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) active.push_back({scope, &band});
+  }
+
+  // Variables: cells 0..num_cells-1, then tau.
+  LpProblem lp;
+  lp.num_vars = num_cells + 1;
+  lp.objective.assign(lp.num_vars, 0.0);
+  lp.objective[num_cells] = 1.0;
+
+  MarginalTable probe(target);
+  for (const auto& [scope, band] : active) {
+    const uint64_t within = probe.CellIndexMaskFor(scope);
+    for (size_t a = 0; a < band->lo.size(); ++a) {
+      std::vector<double> row(lp.num_vars, 0.0);
+      for (int cell = 0; cell < num_cells; ++cell) {
+        if (ExtractBits(static_cast<uint64_t>(cell), within) == a) {
+          row[cell] = 1.0;
+        }
+      }
+      // proj - tau <= min_v t_v  and  -proj - tau <= -max_v t_v.
+      std::vector<double> upper = row;
+      upper[num_cells] = -1.0;
+      lp.AddLe(std::move(upper), band->lo.At(a));
+      std::vector<double> lower = row;
+      for (int cell = 0; cell < num_cells; ++cell) lower[cell] = -row[cell];
+      lower[num_cells] = -1.0;
+      lp.AddLe(std::move(lower), -band->hi.At(a));
+    }
+  }
+
+  const LpResult solution = SolveLp(lp);
+  if (solution.status != LpStatus::kOptimal) {
+    // Degenerate numerical failure: fall back to the max-entropy answer so
+    // callers always get a usable table.
+    return MaxEntropyIpf(target, total, ConstraintsFor(views, target)).table;
+  }
+  std::vector<double> cells(solution.x.begin(),
+                            solution.x.begin() + num_cells);
+  return MarginalTable(target, std::move(cells));
+}
+
+}  // namespace
+
+MarginalTable ReconstructMarginal(const std::vector<MarginalTable>& views,
+                                  AttrSet target, double total,
+                                  ReconstructionMethod method) {
+  for (const MarginalTable& view : views) {
+    if (target.IsSubsetOf(view.attrs())) {
+      return CoveredAnswer(views, target);
+    }
+  }
+  switch (method) {
+    case ReconstructionMethod::kMaxEntropy:
+      return MaxEntropyIpf(target, total, ConstraintsFor(views, target))
+          .table;
+    case ReconstructionMethod::kLeastNorm:
+      return LeastNormSolve(target, total, ConstraintsFor(views, target))
+          .table;
+    case ReconstructionMethod::kLinearProgram:
+      return SolveLpReconstruction(views, target, total);
+  }
+  PRIVIEW_CHECK(false);
+  return MarginalTable(target);
+}
+
+}  // namespace priview

@@ -1,0 +1,40 @@
+// Reconstruction of an arbitrary k-way marginal from the view marginals
+// (paper §4.3). If the scope is covered by a view, the answer is a direct
+// projection. Otherwise the views induce an under-determined system of
+// marginal constraints and one of three solvers completes it:
+//   kMaxEntropy   (CME) — the paper's choice; solved with IPF
+//   kLeastNorm    (CLN) — minimum-L2-norm completion
+//   kLinearProgram (LP) — Barak-style min-max-violation LP; the only
+//                         variant that does not assume consistent views
+#ifndef PRIVIEW_CORE_RECONSTRUCT_H_
+#define PRIVIEW_CORE_RECONSTRUCT_H_
+
+#include <vector>
+
+#include "opt/constraint.h"
+#include "table/attr_set.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+enum class ReconstructionMethod { kMaxEntropy, kLeastNorm, kLinearProgram };
+
+const char* ReconstructionMethodName(ReconstructionMethod method);
+
+/// Extracts the constraint set a query scope `target` inherits from the
+/// views: one constraint per view with a non-empty intersection, already
+/// deduplicated (maximal scopes only).
+std::vector<MarginalConstraint> ConstraintsFor(
+    const std::vector<MarginalTable>& views, AttrSet target);
+
+/// Reconstructs the marginal over `target`. `total` is the common total
+/// count of the (consistent) views, used when no view intersects `target`
+/// and as the max-entropy normalization N_V. Never fails: an empty
+/// constraint set yields the uniform table with the given total.
+MarginalTable ReconstructMarginal(const std::vector<MarginalTable>& views,
+                                  AttrSet target, double total,
+                                  ReconstructionMethod method);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_CORE_RECONSTRUCT_H_

@@ -1,0 +1,144 @@
+#include "core/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace priview {
+namespace {
+
+constexpr char kMagic[] = "priview-synopsis";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+Status WriteSynopsis(const PriViewSynopsis& synopsis, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  std::ostream& os = *out;
+  os << kMagic << " v" << kVersion << "\n";
+  os << "d " << synopsis.d() << "\n";
+  os << "epsilon " << synopsis.options().epsilon << "\n";
+  os << "views " << synopsis.views().size() << "\n";
+  char buffer[32];
+  for (const MarginalTable& view : synopsis.views()) {
+    os << "view";
+    for (int a : view.attrs().ToIndices()) os << ' ' << a;
+    os << "\n";
+    bool first = true;
+    for (double cell : view.cells()) {
+      // Hex floats round-trip exactly.
+      std::snprintf(buffer, sizeof(buffer), "%a", cell);
+      os << (first ? "" : " ") << buffer;
+      first = false;
+    }
+    os << "\n";
+  }
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status SaveSynopsis(const PriViewSynopsis& synopsis,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  return WriteSynopsis(synopsis, &out);
+}
+
+StatusOr<PriViewSynopsis> ReadSynopsis(std::istream* in) {
+  if (in == nullptr) return Status::InvalidArgument("null stream");
+  std::istream& is = *in;
+
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    return Status::InvalidArgument("not a priview synopsis file");
+  }
+  if (version != "v1") {
+    return Status::InvalidArgument("unsupported synopsis version: " +
+                                   version);
+  }
+
+  std::string key;
+  int d = 0;
+  double epsilon = 0.0;
+  size_t num_views = 0;
+  if (!(is >> key >> d) || key != "d" || d < 1 || d > 64) {
+    return Status::InvalidArgument("bad dimension header");
+  }
+  if (!(is >> key >> epsilon) || key != "epsilon") {
+    return Status::InvalidArgument("bad epsilon header");
+  }
+  if (!(is >> key >> num_views) || key != "views" || num_views == 0 ||
+      num_views > 1000000) {
+    return Status::InvalidArgument("bad view-count header");
+  }
+  is.ignore();  // trailing newline
+
+  std::vector<MarginalTable> views;
+  views.reserve(num_views);
+  std::string line;
+  for (size_t v = 0; v < num_views; ++v) {
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument("truncated file: missing view header");
+    }
+    std::istringstream header(line);
+    std::string tag;
+    header >> tag;
+    if (tag != "view") {
+      return Status::InvalidArgument("expected 'view' line, got: " + line);
+    }
+    std::vector<int> attrs;
+    int a;
+    while (header >> a) {
+      if (a < 0 || a >= d) {
+        return Status::OutOfRange("view attribute out of range: " +
+                                  std::to_string(a));
+      }
+      attrs.push_back(a);
+    }
+    if (attrs.empty() || attrs.size() > 26) {
+      return Status::InvalidArgument("view arity out of range");
+    }
+    const AttrSet scope = AttrSet::FromIndices(attrs);
+    if (scope.size() != static_cast<int>(attrs.size())) {
+      return Status::InvalidArgument("duplicate attribute in view");
+    }
+
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument("truncated file: missing cells");
+    }
+    // istream double extraction does not accept hex floats; strtod does.
+    std::istringstream cells_in(line);
+    std::vector<double> cells;
+    cells.reserve(size_t{1} << scope.size());
+    std::string token;
+    while (cells_in >> token) {
+      char* end = nullptr;
+      const double cell = std::strtod(token.c_str(), &end);
+      if (end == token.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad cell value: " + token);
+      }
+      cells.push_back(cell);
+    }
+    if (cells.size() != (size_t{1} << scope.size())) {
+      return Status::InvalidArgument(
+          "cell count mismatch for view " + scope.ToString() + ": got " +
+          std::to_string(cells.size()));
+    }
+    views.emplace_back(scope, std::move(cells));
+  }
+
+  PriViewOptions options;
+  options.epsilon = epsilon;
+  return PriViewSynopsis::FromViews(d, std::move(views), options);
+}
+
+StatusOr<PriViewSynopsis> LoadSynopsis(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  return ReadSynopsis(&in);
+}
+
+}  // namespace priview

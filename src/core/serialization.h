@@ -1,0 +1,32 @@
+// Synopsis serialization. The synopsis IS the published artifact — the
+// data owner runs Build once and ships the file; analysts load it and
+// query forever (differential privacy is preserved under post-processing,
+// so the file can be distributed freely at the chosen epsilon).
+//
+// Format: a line-oriented text header (versioned, self-describing) followed
+// by one line per view: the attribute list and the 2^|V| cell values in
+// full hex-float precision (round-trips exactly).
+#ifndef PRIVIEW_CORE_SERIALIZATION_H_
+#define PRIVIEW_CORE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "core/synopsis.h"
+
+namespace priview {
+
+/// Writes the synopsis to a stream / file.
+Status WriteSynopsis(const PriViewSynopsis& synopsis, std::ostream* out);
+Status SaveSynopsis(const PriViewSynopsis& synopsis, const std::string& path);
+
+/// Reads a synopsis back. Validates the header, dimension bounds, view
+/// sizes and cell counts; rejects malformed input with a descriptive
+/// Status rather than crashing.
+StatusOr<PriViewSynopsis> ReadSynopsis(std::istream* in);
+StatusOr<PriViewSynopsis> LoadSynopsis(const std::string& path);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_CORE_SERIALIZATION_H_

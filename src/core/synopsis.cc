@@ -1,0 +1,85 @@
+#include "core/synopsis.h"
+
+#include "common/check.h"
+#include "core/consistency.h"
+#include "dp/mechanisms.h"
+
+namespace priview {
+
+PriViewSynopsis PriViewSynopsis::Build(const Dataset& data,
+                                       const std::vector<AttrSet>& views,
+                                       const PriViewOptions& options,
+                                       Rng* rng) {
+  PRIVIEW_CHECK(!views.empty());
+  PRIVIEW_CHECK(rng != nullptr);
+  PRIVIEW_CHECK(options.epsilon > 0.0 || !options.add_noise);
+
+  PriViewSynopsis synopsis;
+  synopsis.d_ = data.d();
+  synopsis.options_ = options;
+
+  // Stage 1 (the only data access): noisy view marginals, Lap(w/epsilon).
+  const double w = static_cast<double>(views.size());
+  synopsis.views_.reserve(views.size());
+  for (AttrSet view : views) {
+    MarginalTable table = data.CountMarginal(view);
+    if (options.add_noise) {
+      AddLaplaceNoise(&table, /*sensitivity=*/w, options.epsilon, rng);
+    }
+    synopsis.views_.push_back(std::move(table));
+  }
+
+  // Stage 2: Consistency + rounds of (non-negativity + Consistency). The
+  // consistency schedule depends only on the view scopes, so it is planned
+  // once and re-applied each round.
+  if (options.run_consistency) {
+    const ConsistencyPlan plan(views);
+    plan.Apply(&synopsis.views_);
+    if (options.nonneg != NonNegMethod::kNone) {
+      for (int round = 0; round < options.nonneg_rounds; ++round) {
+        for (MarginalTable& view : synopsis.views_) {
+          ApplyNonNegativity(&view, options.nonneg, options.ripple);
+        }
+        plan.Apply(&synopsis.views_);
+      }
+    }
+  } else if (options.nonneg != NonNegMethod::kNone) {
+    for (MarginalTable& view : synopsis.views_) {
+      ApplyNonNegativity(&view, options.nonneg, options.ripple);
+    }
+  }
+
+  // The consistent total; averaging over views also covers the
+  // no-consistency path.
+  double total = 0.0;
+  for (const MarginalTable& view : synopsis.views_) total += view.Total();
+  synopsis.total_ = total / static_cast<double>(synopsis.views_.size());
+
+  return synopsis;
+}
+
+PriViewSynopsis PriViewSynopsis::FromViews(int d,
+                                           std::vector<MarginalTable> views,
+                                           const PriViewOptions& options) {
+  PRIVIEW_CHECK(!views.empty());
+  PRIVIEW_CHECK(d >= 1 && d <= 64);
+  PriViewSynopsis synopsis;
+  synopsis.d_ = d;
+  synopsis.options_ = options;
+  for (const MarginalTable& view : views) {
+    PRIVIEW_CHECK(view.attrs().IsSubsetOf(AttrSet::Full(d)));
+  }
+  synopsis.views_ = std::move(views);
+  double total = 0.0;
+  for (const MarginalTable& view : synopsis.views_) total += view.Total();
+  synopsis.total_ = total / static_cast<double>(synopsis.views_.size());
+  return synopsis;
+}
+
+MarginalTable PriViewSynopsis::Query(AttrSet target,
+                                     ReconstructionMethod method) const {
+  PRIVIEW_CHECK(target.IsSubsetOf(AttrSet::Full(d_)));
+  return ReconstructMarginal(views_, target, total_, method);
+}
+
+}  // namespace priview

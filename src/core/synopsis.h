@@ -1,0 +1,82 @@
+// PriViewSynopsis — the library's main entry point.
+//
+//   Rng rng(seed);
+//   ViewSelection sel = SelectViews(data.d(), n_estimate, epsilon, &rng);
+//   PriViewSynopsis synopsis =
+//       PriViewSynopsis::Build(data, sel.design.blocks, {.epsilon = 1.0}, &rng);
+//   MarginalTable answer = synopsis.Query(AttrSet::FromIndices({3, 7, 19, 30}));
+//
+// Build touches the dataset exactly once (noisy view materialization); all
+// post-processing and every subsequent query work purely on the synopsis,
+// so the overall mechanism is ε-differentially private by post-processing.
+#ifndef PRIVIEW_CORE_SYNOPSIS_H_
+#define PRIVIEW_CORE_SYNOPSIS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/nonneg.h"
+#include "core/reconstruct.h"
+#include "table/attr_set.h"
+#include "table/dataset.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+/// Knobs for synopsis construction. Defaults are the paper's final
+/// configuration: Laplace noise, Consistency + Ripple + Consistency.
+struct PriViewOptions {
+  double epsilon = 1.0;
+  /// Non-negativity correction applied between consistency passes.
+  NonNegMethod nonneg = NonNegMethod::kRipple;
+  RippleOptions ripple;
+  /// Number of (non-negativity + consistency) rounds after the initial
+  /// consistency pass; the paper's Ripple_1 is 1, Ripple_3 is 3.
+  int nonneg_rounds = 1;
+  /// Skip the consistency machinery entirely (used by ablations and the
+  /// plain-LP reconstruction comparison).
+  bool run_consistency = true;
+  /// Materialize exact views without noise — the C*/CME* reference curves.
+  /// Not differentially private; for evaluation only.
+  bool add_noise = true;
+};
+
+/// The differentially private synopsis: the post-processed view marginals.
+class PriViewSynopsis {
+ public:
+  /// Builds the synopsis over the given views (typically covering-design
+  /// blocks). Each view marginal gets Lap(w/epsilon) noise — releasing all
+  /// w views has L1 sensitivity w since a record hits one cell per view.
+  static PriViewSynopsis Build(const Dataset& data,
+                               const std::vector<AttrSet>& views,
+                               const PriViewOptions& options, Rng* rng);
+
+  /// Reassembles a synopsis from already-released view tables (e.g. loaded
+  /// from disk, see core/serialization.h). No privacy budget is spent —
+  /// the tables are taken as-is; `options` records their provenance.
+  static PriViewSynopsis FromViews(int d, std::vector<MarginalTable> views,
+                                   const PriViewOptions& options);
+
+  /// Reconstructs the marginal over `target` from the synopsis.
+  MarginalTable Query(AttrSet target,
+                      ReconstructionMethod method =
+                          ReconstructionMethod::kMaxEntropy) const;
+
+  const std::vector<MarginalTable>& views() const { return views_; }
+  /// Common total count of the consistent views (the noisy N).
+  double total() const { return total_; }
+  int d() const { return d_; }
+  const PriViewOptions& options() const { return options_; }
+
+ private:
+  PriViewSynopsis() = default;
+
+  int d_ = 0;
+  double total_ = 0.0;
+  PriViewOptions options_;
+  std::vector<MarginalTable> views_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_CORE_SYNOPSIS_H_

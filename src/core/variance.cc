@@ -1,0 +1,90 @@
+#include "core/variance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "core/error_model.h"
+
+namespace priview {
+namespace {
+
+// ESE of the averaged estimate for a scope covered by the views at indices
+// `covering`: the mean of c independent projections, projection from view
+// i summing 2^{ell_i - |scope|} cells of per-cell variance w^2 V_u.
+double CoveredEse(const std::vector<AttrSet>& view_scopes,
+                  const std::vector<int>& covering, int scope_size,
+                  double epsilon) {
+  const double w = static_cast<double>(view_scopes.size());
+  const double vu = UnitVariance(epsilon);
+  const double c = static_cast<double>(covering.size());
+  double sum = 0.0;
+  for (int i : covering) {
+    sum += std::pow(2.0, view_scopes[i].size());
+  }
+  (void)scope_size;  // cancels: 2^{|S|} cells x 2^{ell-|S|} summed each
+  return w * w * vu * sum / (c * c);
+}
+
+}  // namespace
+
+double PredictQueryEse(const std::vector<AttrSet>& view_scopes,
+                       AttrSet target, double epsilon) {
+  PRIVIEW_CHECK(!view_scopes.empty());
+  PRIVIEW_CHECK(epsilon > 0.0);
+
+  // Covered case.
+  std::vector<int> covering;
+  for (size_t i = 0; i < view_scopes.size(); ++i) {
+    if (target.IsSubsetOf(view_scopes[i])) {
+      covering.push_back(static_cast<int>(i));
+    }
+  }
+  if (!covering.empty()) {
+    return CoveredEse(view_scopes, covering, target.size(), epsilon);
+  }
+
+  // Uncovered: noise error of the best (maximal) covered sub-scope,
+  // attenuated by the max-entropy completion — spreading a sub-scope cell
+  // uniformly over its 2^{|target \ I|} slice divides the per-cell noise
+  // variance by 4^{|target \ I|}, so the target ESE is ESE(I) / 2^{..}.
+  std::set<AttrSet> intersections;
+  for (AttrSet scope : view_scopes) {
+    const AttrSet common = scope.Intersect(target);
+    if (!common.empty()) intersections.insert(common);
+  }
+  if (intersections.empty()) return 0.0;  // uniform answer, pure coverage
+
+  double best = 0.0;
+  for (AttrSet sub : intersections) {
+    // Skip dominated intersections.
+    bool dominated = false;
+    for (AttrSet other : intersections) {
+      if (sub != other && sub.IsSubsetOf(other)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    std::vector<int> sub_covering;
+    for (size_t i = 0; i < view_scopes.size(); ++i) {
+      if (sub.IsSubsetOf(view_scopes[i])) {
+        sub_covering.push_back(static_cast<int>(i));
+      }
+    }
+    const double sub_ese =
+        CoveredEse(view_scopes, sub_covering, sub.size(), epsilon);
+    best = std::max(
+        best, sub_ese / std::pow(2.0, target.size() - sub.size()));
+  }
+  return best;
+}
+
+double PredictNormalizedError(const std::vector<AttrSet>& view_scopes,
+                              AttrSet target, double epsilon, double n) {
+  PRIVIEW_CHECK(n > 0.0);
+  return std::sqrt(PredictQueryEse(view_scopes, target, epsilon)) / n;
+}
+
+}  // namespace priview

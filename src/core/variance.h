@@ -1,0 +1,34 @@
+// Predicted noise error for synopsis answers: Eq. 5 generalized from pairs
+// to arbitrary query scopes. Lets a data owner forecast utility *before*
+// spending budget (everything here depends only on public quantities: the
+// design, d, N estimate and epsilon), and lets an analyst attach rough
+// error bars to an answer.
+#ifndef PRIVIEW_CORE_VARIANCE_H_
+#define PRIVIEW_CORE_VARIANCE_H_
+
+#include <vector>
+
+#include "table/attr_set.h"
+
+namespace priview {
+
+/// Predicted expected squared error (in counts^2, summed over the target's
+/// cells) for reconstructing `target` from noisy views `view_scopes` built
+/// with budget epsilon:
+///   - covered target: averaging over the c covering views gives
+///     2^{|target|} * 2^{ell - |target|} * w^2 V_u / c per covering view
+///     slice, i.e. the single-view ESE divided by the coverage count;
+///   - uncovered target: approximated by the covered-case formula applied
+///     to the largest covered sub-scope (noise error only; coverage error
+///     is data-dependent and not predictable from public quantities, §4.5).
+double PredictQueryEse(const std::vector<AttrSet>& view_scopes,
+                       AttrSet target, double epsilon);
+
+/// sqrt(PredictQueryEse) / n — the normalized-L2 prediction plotted as the
+/// paper's Fig. 6 stars, per query.
+double PredictNormalizedError(const std::vector<AttrSet>& view_scopes,
+                              AttrSet target, double epsilon, double n);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_CORE_VARIANCE_H_

@@ -1,0 +1,53 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace priview {
+
+Status WriteTransactions(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  for (uint64_t record : data.records()) {
+    bool first = true;
+    for (int a = 0; a < data.d(); ++a) {
+      if ((record >> a) & 1) {
+        if (!first) out << ' ';
+        out << a;
+        first = false;
+      }
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Dataset> ReadTransactions(const std::string& path, int d) {
+  if (d < 1 || d > 64) {
+    return Status::InvalidArgument("d must be in [1, 64]");
+  }
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  Dataset data(d);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    uint64_t record = 0;
+    std::istringstream fields(line);
+    long long attr;
+    while (fields >> attr) {
+      if (attr < 0 || attr >= d) {
+        return Status::OutOfRange("attribute " + std::to_string(attr) +
+                                  " out of range on line " +
+                                  std::to_string(line_number));
+      }
+      record |= (1ULL << attr);
+    }
+    data.Add(record);
+  }
+  return data;
+}
+
+}  // namespace priview

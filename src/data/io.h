@@ -1,0 +1,23 @@
+// Dataset serialization in the FIMI transaction format used by the
+// repositories the paper draws from (kosarak.dat et al.): one record per
+// line, the line listing the indices of the attributes set to 1.
+#ifndef PRIVIEW_DATA_IO_H_
+#define PRIVIEW_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "table/dataset.h"
+
+namespace priview {
+
+/// Writes `data` to `path` in FIMI transaction format.
+Status WriteTransactions(const Dataset& data, const std::string& path);
+
+/// Reads a FIMI transaction file. Attribute indices must be < d; lines may
+/// be empty (a record with no attributes set).
+StatusOr<Dataset> ReadTransactions(const std::string& path, int d);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_DATA_IO_H_

@@ -1,0 +1,34 @@
+#include "data/mchain.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace priview {
+
+double MchainNextProbability(int order, int ones) {
+  PRIVIEW_CHECK(order >= 1 && ones >= 0 && ones <= order);
+  return 0.5 + (1.0 - 2.0 * static_cast<double>(ones) / order) / 4.0;
+}
+
+Dataset MakeMchainDataset(int order, int d, size_t n, Rng* rng) {
+  PRIVIEW_CHECK(order >= 1 && order < d && d <= 64);
+  Dataset data(d);
+  const uint64_t window_mask = (order >= 64) ? ~0ULL : ((1ULL << order) - 1);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t record = 0;
+    for (int bit = 0; bit < order; ++bit) {
+      if (rng->Bernoulli(0.5)) record |= (1ULL << bit);
+    }
+    for (int bit = order; bit < d; ++bit) {
+      const uint64_t window = (record >> (bit - order)) & window_mask;
+      const int ones = PopCount(window);
+      if (rng->Bernoulli(MchainNextProbability(order, ones))) {
+        record |= (1ULL << bit);
+      }
+    }
+    data.Add(record);
+  }
+  return data;
+}
+
+}  // namespace priview

@@ -1,0 +1,24 @@
+// MCHAIN synthetic datasets (paper §5, after Usatenko & Yampol'skii):
+// order-i binary Markov chains. Each record is a 64-bit sequence; given the
+// previous i bits with s ones, the next bit is 1 with probability
+// 0.5 + (1 - 2s/i)/4. Higher order couples more attributes, letting the
+// evaluation dial attribute correlation up and down.
+#ifndef PRIVIEW_DATA_MCHAIN_H_
+#define PRIVIEW_DATA_MCHAIN_H_
+
+#include "common/rng.h"
+#include "table/dataset.h"
+
+namespace priview {
+
+/// Probability that the next bit is 1 given s ones among the previous
+/// `order` bits.
+double MchainNextProbability(int order, int ones);
+
+/// Generates `n` records of `d` bits from an order-`order` chain. The first
+/// `order` bits of each record are fair coin flips (the chain's burn-in).
+Dataset MakeMchainDataset(int order, int d, size_t n, Rng* rng);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_DATA_MCHAIN_H_

@@ -1,0 +1,245 @@
+#include "design/covering_design.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/combinatorics.h"
+#include "design/gf2_cover.h"
+
+namespace priview {
+namespace {
+
+// Enumerates the t-subsets of `block` (as global attribute masks).
+std::vector<uint64_t> SubsetMasksOf(AttrSet block, int t) {
+  const std::vector<int> attrs = block.ToIndices();
+  std::vector<uint64_t> out;
+  for (const std::vector<int>& idx :
+       AllSubsets(static_cast<int>(attrs.size()), t)) {
+    uint64_t m = 0;
+    for (int i : idx) m |= (1ULL << attrs[i]);
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CoveringDesign::Name() const {
+  return "C" + std::to_string(t) + "(" + std::to_string(ell) + "," +
+         std::to_string(w()) + ")";
+}
+
+bool VerifyCovering(const CoveringDesign& design) {
+  if (design.t < 1 || design.t > design.ell || design.ell > design.d) {
+    return false;
+  }
+  const AttrSet full = AttrSet::Full(design.d);
+  for (AttrSet b : design.blocks) {
+    if (b.size() != design.ell || !b.IsSubsetOf(full)) return false;
+  }
+  bool all_covered = true;
+  ForEachSubsetMask(design.d, design.t, [&](uint64_t sub) {
+    if (!all_covered) return;
+    const AttrSet s(sub);
+    bool covered = false;
+    for (AttrSet b : design.blocks) {
+      if (s.IsSubsetOf(b)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) all_covered = false;
+  });
+  return all_covered;
+}
+
+double AverageCoverageMultiplicity(const CoveringDesign& design) {
+  double total = 0.0;
+  double count = 0.0;
+  ForEachSubsetMask(design.d, design.t, [&](uint64_t sub) {
+    const AttrSet s(sub);
+    for (AttrSet b : design.blocks) {
+      if (s.IsSubsetOf(b)) total += 1.0;
+    }
+    count += 1.0;
+  });
+  return (count == 0.0) ? 0.0 : total / count;
+}
+
+CoveringDesign GreedyCoveringDesign(int d, int ell, int t, Rng* rng) {
+  PRIVIEW_CHECK(rng != nullptr);
+  PRIVIEW_CHECK(1 <= t && t <= ell && ell <= d && d <= 64);
+  PRIVIEW_CHECK(t <= 4);
+
+  // Uncovered t-subsets (global masks) and, kept incrementally, how many
+  // uncovered subsets contain each attribute (the tie-break popularity).
+  std::unordered_set<uint64_t> uncovered;
+  std::vector<int> popularity(d, 0);
+  ForEachSubsetMask(d, t, [&](uint64_t sub) {
+    uncovered.insert(sub);
+    uint64_t m = sub;
+    while (m != 0) {
+      ++popularity[LowestBitIndex(m)];
+      m &= m - 1;
+    }
+  });
+
+  auto erase_covered = [&](uint64_t sub) {
+    if (uncovered.erase(sub) == 0) return;
+    uint64_t m = sub;
+    while (m != 0) {
+      --popularity[LowestBitIndex(m)];
+      m &= m - 1;
+    }
+  };
+
+  CoveringDesign design{d, ell, t, {}};
+
+  // Builds one candidate block: seed with a random uncovered t-subset
+  // (guaranteeing progress, hence termination), then extend one attribute
+  // at a time, picking the attribute that newly covers the most uncovered
+  // t-subsets inside the grown block; ties broken by popularity, then
+  // randomly.
+  auto build_block = [&]() -> uint64_t {
+    uint64_t seed_idx = rng->UniformInt(uncovered.size());
+    auto it = uncovered.begin();
+    std::advance(it, seed_idx);
+    uint64_t block = *it;
+    while (PopCount(block) < ell) {
+      int best_attr = -1;
+      double best_score = -1.0;
+      int num_ties = 0;
+      const AttrSet cur(block);
+      const std::vector<uint64_t> rests = SubsetMasksOf(cur, t - 1);
+      for (int a = 0; a < d; ++a) {
+        const uint64_t abit = 1ULL << a;
+        if (block & abit) continue;
+        int newly = 0;
+        for (uint64_t rest : rests) {
+          if (uncovered.count(rest | abit)) ++newly;
+        }
+        const double score = static_cast<double>(newly) * 1e9 +
+                             static_cast<double>(popularity[a]);
+        if (score > best_score) {
+          best_score = score;
+          best_attr = a;
+          num_ties = 1;
+        } else if (score == best_score) {
+          // Reservoir-style random tie-break.
+          ++num_ties;
+          if (rng->UniformInt(num_ties) == 0) best_attr = a;
+        }
+      }
+      PRIVIEW_CHECK(best_attr >= 0);
+      block |= (1ULL << best_attr);
+    }
+    return block;
+  };
+
+  auto new_coverage = [&](uint64_t block) {
+    int newly = 0;
+    for (uint64_t sub : SubsetMasksOf(AttrSet(block), t)) {
+      if (uncovered.count(sub)) ++newly;
+    }
+    return newly;
+  };
+
+  // Multi-start per block: randomized seeds explore different corners of
+  // the uncovered set; keeping the best candidate trims the final count
+  // noticeably for t >= 3.
+  constexpr int kBlockTrials = 6;
+  while (!uncovered.empty()) {
+    uint64_t best_block = build_block();
+    int best_newly = new_coverage(best_block);
+    for (int trial = 1; trial < kBlockTrials; ++trial) {
+      const uint64_t candidate = build_block();
+      const int newly = new_coverage(candidate);
+      if (newly > best_newly) {
+        best_newly = newly;
+        best_block = candidate;
+      }
+    }
+    const AttrSet block_set(best_block);
+    for (uint64_t covered : SubsetMasksOf(block_set, t)) {
+      erase_covered(covered);
+    }
+    design.blocks.push_back(block_set);
+  }
+
+  // Prune redundant blocks: a block can go if every t-subset it covers is
+  // covered at least twice. Coverage multiplicities kept in a hash map so
+  // the pass costs O(w * C(ell, t)).
+  std::unordered_map<uint64_t, int> coverage;
+  for (AttrSet b : design.blocks) {
+    for (uint64_t sub : SubsetMasksOf(b, t)) ++coverage[sub];
+  }
+  std::vector<AttrSet> kept;
+  for (int i = design.w() - 1; i >= 0; --i) {
+    const AttrSet b = design.blocks[i];
+    const std::vector<uint64_t> subs = SubsetMasksOf(b, t);
+    bool redundant = true;
+    for (uint64_t sub : subs) {
+      if (coverage[sub] < 2) {
+        redundant = false;
+        break;
+      }
+    }
+    // C(d,t) >= 1, so removal (which keeps every multiplicity >= 1) can
+    // never empty the design.
+    if (redundant) {
+      for (uint64_t sub : subs) --coverage[sub];
+    } else {
+      kept.push_back(b);
+    }
+  }
+  std::reverse(kept.begin(), kept.end());
+  design.blocks = std::move(kept);
+
+  PRIVIEW_CHECK(VerifyCovering(design));
+  return design;
+}
+
+std::optional<CoveringDesign> CatalogCoveringDesign(int d, int ell, int t) {
+  // Trivial design: a single block of everything.
+  if (ell == d) {
+    CoveringDesign design{d, ell, t, {AttrSet::Full(d)}};
+    return design;
+  }
+  // The paper's C_2(6, 3) on the 9-attribute MSNBC dataset: three blocks of
+  // six attributes covering all pairs.
+  if (d == 9 && ell == 6 && t == 2) {
+    CoveringDesign design{d, ell, t,
+                          {AttrSet::FromIndices({0, 1, 2, 3, 4, 5}),
+                           AttrSet::FromIndices({3, 4, 5, 6, 7, 8}),
+                           AttrSet::FromIndices({0, 1, 2, 6, 7, 8})}};
+    PRIVIEW_CHECK(VerifyCovering(design));
+    return design;
+  }
+  // C_2(4, 3) on 6 points (optimal w = 3): the complements of a perfect
+  // matching.
+  if (d == 6 && ell == 4 && t == 2) {
+    CoveringDesign design{d, ell, t,
+                          {AttrSet::FromIndices({0, 1, 2, 3}),
+                           AttrSet::FromIndices({2, 3, 4, 5}),
+                           AttrSet::FromIndices({0, 1, 4, 5})}};
+    PRIVIEW_CHECK(VerifyCovering(design));
+    return design;
+  }
+  return std::nullopt;
+}
+
+CoveringDesign MakeCoveringDesign(int d, int ell, int t, Rng* rng) {
+  if (auto hit = CatalogCoveringDesign(d, ell, t)) return *hit;
+  // Power-of-two pair coverings have an exact algebraic construction via
+  // GF(2) subspace cosets (matches the La Jolla optima, e.g. C2(8,20) on
+  // d=32 and C2(8,72) on d=64); prefer it when available.
+  if (t == 2) {
+    if (auto algebraic = SubspaceCoverDesign(d, ell, rng)) return *algebraic;
+  }
+  return GreedyCoveringDesign(d, ell, t, rng);
+}
+
+}  // namespace priview

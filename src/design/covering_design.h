@@ -1,0 +1,57 @@
+// Covering designs (Definition 3 of the paper): w blocks of ell attributes
+// out of d such that every t-subset of attributes lies in some block.
+//
+// The paper looks designs up in the La Jolla repository; offline we
+// construct them with a seeded greedy heuristic (each block is seeded with
+// an uncovered t-subset and extended greedily, followed by a redundant-block
+// pruning pass) plus an exact catalog for small cases. Greedy block counts
+// land within a small factor of the repository optima, and every error
+// formula downstream is parameterized by the actual w achieved.
+#ifndef PRIVIEW_DESIGN_COVERING_DESIGN_H_
+#define PRIVIEW_DESIGN_COVERING_DESIGN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "table/attr_set.h"
+
+namespace priview {
+
+/// A (d, ell, t)-covering design: `blocks` of size ell over {0, .., d-1}
+/// covering all t-subsets.
+struct CoveringDesign {
+  int d = 0;
+  int ell = 0;
+  int t = 0;
+  std::vector<AttrSet> blocks;
+
+  int w() const { return static_cast<int>(blocks.size()); }
+
+  /// "C_t(ell, w)" in the paper's notation.
+  std::string Name() const;
+};
+
+/// True iff every t-subset of {0, .., d-1} is contained in some block and
+/// every block has exactly ell attributes within range.
+bool VerifyCovering(const CoveringDesign& design);
+
+/// Average number of blocks covering a t-subset (coverage multiplicity).
+double AverageCoverageMultiplicity(const CoveringDesign& design);
+
+/// Greedy construction. Requires 1 <= t <= ell <= d, t <= 4 (enumeration of
+/// t-subsets must stay tractable), d <= 64. Deterministic given the rng
+/// seed. Always returns a verified covering.
+CoveringDesign GreedyCoveringDesign(int d, int ell, int t, Rng* rng);
+
+/// Exact hand-constructed designs for small parameters (e.g. the paper's
+/// C_2(6, 3) on d = 9). Returns nullopt when not catalogued.
+std::optional<CoveringDesign> CatalogCoveringDesign(int d, int ell, int t);
+
+/// Best available design: catalog hit if present, else greedy.
+CoveringDesign MakeCoveringDesign(int d, int ell, int t, Rng* rng);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_DESIGN_COVERING_DESIGN_H_

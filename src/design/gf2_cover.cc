@@ -1,0 +1,124 @@
+#include "design/gf2_cover.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace priview {
+
+std::vector<std::vector<uint32_t>> AllGf2Subspaces(int m, int s) {
+  PRIVIEW_CHECK(m >= 1 && m <= 8 && s >= 1 && s <= m);
+  const uint32_t n = 1u << m;
+
+  std::set<std::vector<uint32_t>> unique;
+  // Enumerate ordered independent s-tuples with increasing elements and
+  // canonicalize by the span's sorted element list.
+  std::vector<uint32_t> basis;
+  std::vector<uint32_t> span = {0};
+
+  // Recursive lambda over basis choices.
+  auto recurse = [&](auto&& self, uint32_t min_vector) -> void {
+    if (static_cast<int>(basis.size()) == s) {
+      std::vector<uint32_t> sorted = span;
+      std::sort(sorted.begin(), sorted.end());
+      unique.insert(std::move(sorted));
+      return;
+    }
+    for (uint32_t v = min_vector; v < n; ++v) {
+      // v must be independent of the current basis, i.e. not in the span.
+      if (std::find(span.begin(), span.end(), v) != span.end()) continue;
+      basis.push_back(v);
+      const size_t old_size = span.size();
+      for (size_t i = 0; i < old_size; ++i) span.push_back(span[i] ^ v);
+      self(self, v + 1);
+      span.resize(old_size);
+      basis.pop_back();
+    }
+  };
+  recurse(recurse, 1);
+
+  return std::vector<std::vector<uint32_t>>(unique.begin(), unique.end());
+}
+
+std::vector<int> SubspaceCover(int m, int s, Rng* rng, int restarts) {
+  PRIVIEW_CHECK(rng != nullptr);
+  const std::vector<std::vector<uint32_t>> subspaces = AllGf2Subspaces(m, s);
+  const uint32_t n = 1u << m;
+
+  std::vector<int> best;
+  for (int attempt = 0; attempt < restarts; ++attempt) {
+    std::vector<bool> covered(n, false);
+    covered[0] = true;
+    uint32_t remaining = n - 1;
+    std::vector<int> chosen;
+    while (remaining > 0) {
+      int best_idx = -1;
+      int best_gain = -1;
+      int ties = 0;
+      for (int i = 0; i < static_cast<int>(subspaces.size()); ++i) {
+        int gain = 0;
+        for (uint32_t v : subspaces[i]) {
+          if (!covered[v]) ++gain;
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_idx = i;
+          ties = 1;
+        } else if (gain == best_gain) {
+          ++ties;
+          if (rng->UniformInt(ties) == 0) best_idx = i;
+        }
+      }
+      PRIVIEW_CHECK(best_idx >= 0 && best_gain > 0);
+      chosen.push_back(best_idx);
+      for (uint32_t v : subspaces[best_idx]) {
+        if (!covered[v]) {
+          covered[v] = true;
+          --remaining;
+        }
+      }
+    }
+    if (best.empty() || chosen.size() < best.size()) best = std::move(chosen);
+    // A perfect partial spread covers every nonzero vector exactly once;
+    // nothing can beat it.
+    const size_t lower_bound =
+        ((n - 1) + ((1u << s) - 2)) / ((1u << s) - 1);
+    if (best.size() == lower_bound) break;
+  }
+  return best;
+}
+
+std::optional<CoveringDesign> SubspaceCoverDesign(int d, int ell, Rng* rng) {
+  auto log2_exact = [](int x) -> int {
+    if (x < 2 || (x & (x - 1)) != 0) return -1;
+    return LowestBitIndex(static_cast<uint64_t>(x));
+  };
+  const int m = log2_exact(d);
+  const int s = log2_exact(ell);
+  if (m < 0 || s < 0 || s >= m || d > 64) return std::nullopt;
+
+  const std::vector<std::vector<uint32_t>> subspaces = AllGf2Subspaces(m, s);
+  const std::vector<int> cover = SubspaceCover(m, s, rng);
+
+  CoveringDesign design{d, ell, 2, {}};
+  for (int idx : cover) {
+    const std::vector<uint32_t>& subspace = subspaces[idx];
+    std::vector<bool> seen(static_cast<size_t>(d), false);
+    for (int rep = 0; rep < d; ++rep) {
+      if (seen[rep]) continue;
+      std::vector<int> coset;
+      for (uint32_t u : subspace) {
+        const int element = rep ^ static_cast<int>(u);
+        coset.push_back(element);
+        seen[element] = true;
+      }
+      design.blocks.push_back(AttrSet::FromIndices(coset));
+    }
+  }
+  PRIVIEW_CHECK(VerifyCovering(design));
+  return design;
+}
+
+}  // namespace priview

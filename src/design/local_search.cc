@@ -1,0 +1,233 @@
+#include "design/local_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/combinatorics.h"
+
+namespace priview {
+namespace {
+
+// Enumerates the t-subsets of a block as global attribute masks.
+std::vector<uint64_t> SubsetMasksOf(AttrSet block, int t) {
+  const std::vector<int> attrs = block.ToIndices();
+  std::vector<uint64_t> out;
+  for (const std::vector<int>& idx :
+       AllSubsets(static_cast<int>(attrs.size()), t)) {
+    uint64_t m = 0;
+    for (int i : idx) m |= (1ULL << attrs[i]);
+    out.push_back(m);
+  }
+  return out;
+}
+
+// Coverage state for a fixed block multiset: per-t-subset multiplicity and
+// the list of currently uncovered subsets with O(1) add/remove.
+class CoverageState {
+ public:
+  CoverageState(int d, int t, const std::vector<AttrSet>& blocks)
+      : t_(t) {
+    ForEachSubsetMask(d, t, [&](uint64_t sub) {
+      count_.emplace(sub, 0);
+      AddUncovered(sub);
+    });
+    for (AttrSet b : blocks) AddBlock(b);
+  }
+
+  void AddBlock(AttrSet block) {
+    for (uint64_t sub : SubsetMasksOf(block, t_)) {
+      int& c = count_[sub];
+      if (c == 0) RemoveUncovered(sub);
+      ++c;
+    }
+  }
+
+  void RemoveBlock(AttrSet block) {
+    for (uint64_t sub : SubsetMasksOf(block, t_)) {
+      int& c = count_[sub];
+      --c;
+      PRIVIEW_CHECK(c >= 0);
+      if (c == 0) AddUncovered(sub);
+    }
+  }
+
+  size_t num_uncovered() const { return uncovered_.size(); }
+
+  uint64_t RandomUncovered(Rng* rng) const {
+    PRIVIEW_CHECK(!uncovered_.empty());
+    return uncovered_[rng->UniformInt(uncovered_.size())];
+  }
+
+  bool IsUncovered(uint64_t sub) const { return position_.count(sub) > 0; }
+
+  /// Number of t-subsets only this block covers (holes its removal opens).
+  int RemovalCost(AttrSet block) const {
+    int cost = 0;
+    for (uint64_t sub : SubsetMasksOf(block, t_)) {
+      if (count_.at(sub) == 1) ++cost;
+    }
+    return cost;
+  }
+
+ private:
+  void AddUncovered(uint64_t sub) {
+    position_[sub] = uncovered_.size();
+    uncovered_.push_back(sub);
+  }
+
+  void RemoveUncovered(uint64_t sub) {
+    const size_t pos = position_[sub];
+    const uint64_t last = uncovered_.back();
+    uncovered_[pos] = last;
+    position_[last] = pos;
+    uncovered_.pop_back();
+    position_.erase(sub);
+  }
+
+  int t_;
+  std::unordered_map<uint64_t, int> count_;
+  std::vector<uint64_t> uncovered_;
+  std::unordered_map<uint64_t, size_t> position_;
+};
+
+// Builds a block containing `seed` (a t-subset mask), filling up to `ell`
+// attributes preferentially from `donor`'s attributes, then random ones.
+AttrSet RebuildBlock(int d, int ell, uint64_t seed, AttrSet donor,
+                     Rng* rng) {
+  uint64_t block = seed;
+  std::vector<int> pool = donor.Minus(AttrSet(seed)).ToIndices();
+  // Shuffle the donor pool.
+  for (size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng->UniformInt(i)]);
+  }
+  size_t pi = 0;
+  while (PopCount(block) < ell) {
+    int attr;
+    if (pi < pool.size()) {
+      attr = pool[pi++];
+    } else {
+      attr = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(d)));
+    }
+    block |= (1ULL << attr);
+  }
+  return AttrSet(block);
+}
+
+}  // namespace
+
+CoveringDesign ImproveCoveringDesign(const CoveringDesign& design, Rng* rng,
+                                     const LocalSearchOptions& options) {
+  PRIVIEW_CHECK(rng != nullptr);
+  PRIVIEW_CHECK(VerifyCovering(design));
+  CoveringDesign best = design;
+
+  int failed_attempts = 0;
+  while (failed_attempts < options.max_failed_attempts && best.w() > 1) {
+    // Attempt to cover with one block fewer. Start from the current best
+    // minus the block whose removal leaves the fewest holes.
+    std::vector<AttrSet> blocks = best.blocks;
+    {
+      CoverageState probe(best.d, best.t, blocks);
+      size_t best_holes = SIZE_MAX;
+      int victim = 0;
+      for (int i = 0; i < static_cast<int>(blocks.size()); ++i) {
+        probe.RemoveBlock(blocks[i]);
+        const size_t holes = probe.num_uncovered();
+        probe.AddBlock(blocks[i]);
+        if (holes < best_holes) {
+          best_holes = holes;
+          victim = i;
+        }
+      }
+      blocks.erase(blocks.begin() + victim);
+    }
+
+    CoverageState state(best.d, best.t, blocks);
+    bool success = state.num_uncovered() == 0;
+    // Simulated annealing on the number of uncovered t-subsets: the
+    // temperature decays geometrically over the attempt so early moves
+    // explore and late moves only repair.
+    const double t_start = 3.0, t_end = 0.05;
+    for (long long move = 0;
+         !success && move < options.moves_per_attempt; ++move) {
+      const double progress =
+          static_cast<double>(move) / options.moves_per_attempt;
+      const double temperature =
+          t_start * std::pow(t_end / t_start, progress);
+
+      const uint64_t hole = state.RandomUncovered(rng);
+      // Rebuild the least-essential block among a small random sample —
+      // replacing a load-bearing block is always rejected anyway.
+      size_t bi = rng->UniformInt(blocks.size());
+      int bi_cost = state.RemovalCost(blocks[bi]);
+      for (int probe_i = 0; probe_i < 7; ++probe_i) {
+        const size_t cand = rng->UniformInt(blocks.size());
+        const int cost = state.RemovalCost(blocks[cand]);
+        if (cost < bi_cost) {
+          bi = cand;
+          bi_cost = cost;
+        }
+      }
+      const AttrSet old_block = blocks[bi];
+      AttrSet candidate;
+      if (rng->UniformDouble() < 0.5) {
+        candidate = RebuildBlock(best.d, best.ell, hole, old_block, rng);
+      } else {
+        // Greedy repair: extend the hole one attribute at a time, each step
+        // taking the attribute that plugs the most other holes.
+        uint64_t grown = hole;
+        while (PopCount(grown) < best.ell) {
+          int best_attr = -1;
+          int best_gain = -1;
+          const std::vector<uint64_t> rests =
+              SubsetMasksOf(AttrSet(grown), best.t - 1);
+          for (int a = 0; a < best.d; ++a) {
+            const uint64_t abit = 1ULL << a;
+            if (grown & abit) continue;
+            int gain = 0;
+            for (uint64_t rest : rests) {
+              if (state.IsUncovered(rest | abit)) ++gain;
+            }
+            // Random tie-break via a tiny jitter in comparison order.
+            if (gain > best_gain ||
+                (gain == best_gain && rng->Bernoulli(0.3))) {
+              best_gain = gain;
+              best_attr = a;
+            }
+          }
+          grown |= (1ULL << best_attr);
+        }
+        candidate = AttrSet(grown);
+      }
+
+      const size_t before = state.num_uncovered();
+      state.RemoveBlock(old_block);
+      state.AddBlock(candidate);
+      const size_t after = state.num_uncovered();
+      const double delta =
+          static_cast<double>(after) - static_cast<double>(before);
+      if (delta <= 0 ||
+          rng->UniformDouble() < std::exp(-delta / temperature)) {
+        blocks[bi] = candidate;  // accept
+        if (after == 0) success = true;
+      } else {
+        state.RemoveBlock(candidate);  // revert
+        state.AddBlock(old_block);
+      }
+    }
+
+    if (success) {
+      best.blocks = blocks;
+      PRIVIEW_CHECK(VerifyCovering(best));
+      failed_attempts = 0;
+    } else {
+      ++failed_attempts;
+    }
+  }
+  return best;
+}
+
+}  // namespace priview

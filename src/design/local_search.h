@@ -1,0 +1,31 @@
+// Stochastic local search for covering designs: repeatedly tries to redo
+// the cover with one block fewer, repairing holes by rebuilding random
+// blocks around still-uncovered t-subsets. This is the standard
+// remove-and-repair heuristic used to approach the La Jolla repository
+// values when no algebraic construction applies (e.g. t = 3, or d not a
+// power of two).
+#ifndef PRIVIEW_DESIGN_LOCAL_SEARCH_H_
+#define PRIVIEW_DESIGN_LOCAL_SEARCH_H_
+
+#include "design/covering_design.h"
+
+namespace priview {
+
+struct LocalSearchOptions {
+  /// Moves allowed per attempted block-count reduction.
+  long long moves_per_attempt = 150000;
+  /// Consecutive failed reductions before giving up.
+  int max_failed_attempts = 2;
+  /// Probability of accepting a (slightly) worsening move — keeps the
+  /// search from freezing in shallow local minima.
+  double worsening_acceptance = 0.02;
+};
+
+/// Returns a design with w() less than or equal to the input's (never
+/// worse); always verified. Deterministic given the rng state.
+CoveringDesign ImproveCoveringDesign(const CoveringDesign& design, Rng* rng,
+                                     const LocalSearchOptions& options = {});
+
+}  // namespace priview
+
+#endif  // PRIVIEW_DESIGN_LOCAL_SEARCH_H_

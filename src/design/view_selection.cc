@@ -1,0 +1,58 @@
+#include "design/view_selection.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace priview {
+
+double NoiseErrorEq5(double n, int d, double epsilon, int ell, int w) {
+  PRIVIEW_CHECK(n > 0 && epsilon > 0 && ell >= 2 && w >= 1);
+  const double numerator = std::pow(2.0, (ell + 1) / 2.0);
+  const double coverage = static_cast<double>(w) * d * (d - 1) /
+                          (static_cast<double>(ell) * (ell - 1));
+  return numerator / (n * epsilon) * std::sqrt(coverage);
+}
+
+double EllObjectivePairs(int ell) {
+  PRIVIEW_CHECK(ell >= 2);
+  return std::pow(2.0, ell / 2.0) /
+         (static_cast<double>(ell) * (ell - 1));
+}
+
+double EllObjectiveTriples(int ell) {
+  PRIVIEW_CHECK(ell >= 3);
+  return std::pow(2.0, ell / 2.0) /
+         (static_cast<double>(ell) * (ell - 1) * (ell - 2));
+}
+
+ViewSelection SelectViews(int d, double n, double epsilon, Rng* rng,
+                          const ViewSelectionOptions& options) {
+  PRIVIEW_CHECK(d >= 2);
+  const int ell = std::min(options.ell, d);
+
+  ViewSelection result;
+  for (int t = 2; t <= options.max_t && t <= ell; ++t) {
+    ViewCandidate cand;
+    cand.t = t;
+    cand.design = MakeCoveringDesign(d, ell, t, rng);
+    cand.noise_error = NoiseErrorEq5(n, d, epsilon, ell, cand.design.w());
+    result.candidates.push_back(std::move(cand));
+  }
+  PRIVIEW_CHECK(!result.candidates.empty());
+
+  // Largest t whose noise error stays under the ceiling; if even t = 2 is
+  // over, use t = 2 regardless — pairs are the minimum useful coverage.
+  const ViewCandidate* chosen = &result.candidates.front();
+  for (const ViewCandidate& cand : result.candidates) {
+    if (cand.noise_error <= options.noise_error_ceiling &&
+        cand.t > chosen->t) {
+      chosen = &cand;
+    }
+  }
+  result.design = chosen->design;
+  result.noise_error = chosen->noise_error;
+  return result;
+}
+
+}  // namespace priview

@@ -1,0 +1,56 @@
+// View selection (paper §4.5): fix ell = 8, build covering designs for
+// t = 2, 3, 4, score each with the Eq. 5 noise-error estimate, and pick the
+// largest t whose noise error stays inside the paper's empirical sweet spot
+// (about 0.001 – 0.003).
+#ifndef PRIVIEW_DESIGN_VIEW_SELECTION_H_
+#define PRIVIEW_DESIGN_VIEW_SELECTION_H_
+
+#include <vector>
+
+#include "design/covering_design.h"
+
+namespace priview {
+
+/// Eq. 5: normalized noise error of reconstructing a pair from w views of
+/// size ell each, with averaging over the expected coverage multiplicity:
+///   err = 2^{(ell+1)/2} / (N eps) * sqrt( w d (d-1) / (ell (ell-1)) ).
+double NoiseErrorEq5(double n, int d, double epsilon, int ell, int w);
+
+/// The ell-selection objectives from the paper's table:
+/// 2^{ell/2} / (ell (ell-1)) and 2^{ell/2} / (ell (ell-1) (ell-2)).
+double EllObjectivePairs(int ell);
+double EllObjectiveTriples(int ell);
+
+/// One candidate (t value) considered during selection.
+struct ViewCandidate {
+  int t = 0;
+  CoveringDesign design;
+  double noise_error = 0.0;
+};
+
+/// Outcome of view selection, including every candidate examined so the
+/// §4.5 decision table can be reported.
+struct ViewSelection {
+  CoveringDesign design;
+  double noise_error = 0.0;
+  std::vector<ViewCandidate> candidates;
+};
+
+/// Options for SelectViews.
+struct ViewSelectionOptions {
+  int ell = 8;  // the paper's recommended block size
+  int max_t = 4;
+  /// Pick the largest t with noise error at most this threshold (paper:
+  /// "noise error in the range 0.001 and 0.003 seems to work well").
+  double noise_error_ceiling = 0.003;
+};
+
+/// Chooses a covering design for a d-dimensional dataset of (roughly) n
+/// records under privacy budget epsilon. `n` may itself be a noisy count
+/// obtained with a sliver of budget; a rough estimate suffices (§4.5).
+ViewSelection SelectViews(int d, double n, double epsilon, Rng* rng,
+                          const ViewSelectionOptions& options = {});
+
+}  // namespace priview
+
+#endif  // PRIVIEW_DESIGN_VIEW_SELECTION_H_

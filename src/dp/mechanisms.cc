@@ -1,0 +1,67 @@
+#include "dp/mechanisms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace priview {
+
+double NoisyCount(double x, double sensitivity, double epsilon, Rng* rng) {
+  PRIVIEW_CHECK(sensitivity > 0.0 && epsilon > 0.0);
+  return x + rng->Laplace(sensitivity / epsilon);
+}
+
+void AddLaplaceNoise(MarginalTable* table, double sensitivity, double epsilon,
+                     Rng* rng) {
+  PRIVIEW_CHECK(sensitivity > 0.0 && epsilon > 0.0);
+  const double scale = sensitivity / epsilon;
+  for (double& c : table->cells()) c += rng->Laplace(scale);
+}
+
+void AddLaplaceNoise(ContingencyTable* table, double sensitivity,
+                     double epsilon, Rng* rng) {
+  PRIVIEW_CHECK(sensitivity > 0.0 && epsilon > 0.0);
+  const double scale = sensitivity / epsilon;
+  for (double& c : table->cells()) c += rng->Laplace(scale);
+}
+
+int ExponentialMechanism(const std::vector<double>& scores, double epsilon,
+                         double sensitivity, Rng* rng) {
+  PRIVIEW_CHECK(!scores.empty());
+  PRIVIEW_CHECK(sensitivity > 0.0 && epsilon > 0.0);
+  const double factor = epsilon / (2.0 * sensitivity);
+  const double max_score = *std::max_element(scores.begin(), scores.end());
+  std::vector<double> weights(scores.size());
+  double total = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    weights[i] = std::exp(factor * (scores[i] - max_score));
+    total += weights[i];
+  }
+  double u = rng->UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+BudgetAccountant::BudgetAccountant(double total_epsilon)
+    : total_(total_epsilon) {
+  PRIVIEW_CHECK(total_epsilon > 0.0);
+}
+
+Status BudgetAccountant::Spend(double epsilon) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  const double slack = 1e-9 * total_;
+  if (spent_ + epsilon > total_ + slack) {
+    return Status::ResourceExhausted("privacy budget exceeded");
+  }
+  spent_ += epsilon;
+  return Status::OK();
+}
+
+}  // namespace priview

@@ -1,0 +1,57 @@
+// Differential-privacy primitives: the Laplace mechanism (on scalars,
+// marginal tables and full contingency tables) and the exponential
+// mechanism. Sensitivities are supplied by the caller — each mechanism in
+// the paper derives its own (e.g. releasing w view marginals has L1
+// sensitivity w because a record lands in exactly one cell per view).
+#ifndef PRIVIEW_DP_MECHANISMS_H_
+#define PRIVIEW_DP_MECHANISMS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "table/contingency_table.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+/// y = x + Lap(sensitivity / epsilon).
+double NoisyCount(double x, double sensitivity, double epsilon, Rng* rng);
+
+/// Adds independent Lap(sensitivity / epsilon) noise to every cell.
+void AddLaplaceNoise(MarginalTable* table, double sensitivity, double epsilon,
+                     Rng* rng);
+
+/// Adds independent Lap(sensitivity / epsilon) noise to every cell.
+void AddLaplaceNoise(ContingencyTable* table, double sensitivity,
+                     double epsilon, Rng* rng);
+
+/// Exponential mechanism: selects index i with probability proportional to
+/// exp(epsilon * score[i] / (2 * sensitivity)). Scores may be any reals;
+/// computed with the max subtracted for numerical stability.
+int ExponentialMechanism(const std::vector<double>& scores, double epsilon,
+                         double sensitivity, Rng* rng);
+
+/// Tracks cumulative privacy spending against a fixed total budget.
+/// Spend() returns a failed Status instead of silently exceeding epsilon.
+class BudgetAccountant {
+ public:
+  explicit BudgetAccountant(double total_epsilon);
+
+  /// Consumes `epsilon`; fails (and consumes nothing) if that would exceed
+  /// the total. A tiny relative slack absorbs floating-point drift from
+  /// budgets split into T equal parts.
+  Status Spend(double epsilon);
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_DP_MECHANISMS_H_

@@ -1,0 +1,38 @@
+#include "fourier/wht.h"
+
+#include "common/check.h"
+
+namespace priview {
+
+void Wht(std::vector<double>* data) {
+  const size_t n = data->size();
+  PRIVIEW_CHECK(n != 0 && (n & (n - 1)) == 0);
+  std::vector<double>& a = *data;
+  for (size_t len = 1; len < n; len <<= 1) {
+    for (size_t i = 0; i < n; i += len << 1) {
+      for (size_t j = i; j < i + len; ++j) {
+        const double u = a[j];
+        const double v = a[j + len];
+        a[j] = u + v;
+        a[j + len] = u - v;
+      }
+    }
+  }
+}
+
+std::vector<double> FourierCoefficients(const MarginalTable& table) {
+  std::vector<double> f = table.cells();
+  Wht(&f);
+  return f;
+}
+
+MarginalTable TableFromCoefficients(AttrSet attrs,
+                                    std::vector<double> coefficients) {
+  PRIVIEW_CHECK(coefficients.size() == (size_t{1} << attrs.size()));
+  Wht(&coefficients);
+  const double scale = 1.0 / static_cast<double>(coefficients.size());
+  for (double& c : coefficients) c *= scale;
+  return MarginalTable(attrs, std::move(coefficients));
+}
+
+}  // namespace priview

@@ -1,0 +1,31 @@
+// Fast Walsh–Hadamard transform and the marginal ↔ Fourier-coefficient
+// correspondence used by the Barak et al. (PODS'07) baseline.
+//
+// Conventions (unnormalized): for a table T over k attributes,
+//   f_S = Σ_a T(a) · (-1)^{a·S}          (forward; f_∅ is the total count)
+//   T(a) = (1/2^k) Σ_S f_S · (-1)^{a·S}  (inverse)
+// Both directions are the same butterfly; the inverse divides by 2^k.
+#ifndef PRIVIEW_FOURIER_WHT_H_
+#define PRIVIEW_FOURIER_WHT_H_
+
+#include <vector>
+
+#include "table/marginal_table.h"
+
+namespace priview {
+
+/// In-place unnormalized Walsh–Hadamard transform. data.size() must be a
+/// power of two. Applying it twice multiplies every entry by data.size().
+void Wht(std::vector<double>* data);
+
+/// All 2^k Fourier coefficients of a marginal table; index S is a bitmask
+/// over the table's cell-index bit positions.
+std::vector<double> FourierCoefficients(const MarginalTable& table);
+
+/// Rebuilds a marginal table over `attrs` from its 2^|attrs| coefficients.
+MarginalTable TableFromCoefficients(AttrSet attrs,
+                                    std::vector<double> coefficients);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_FOURIER_WHT_H_

@@ -1,0 +1,125 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+
+namespace priview {
+
+double NormalizedL2Error(const MarginalTable& estimate,
+                         const MarginalTable& truth, double n) {
+  PRIVIEW_CHECK(n > 0.0);
+  return estimate.L2DistanceTo(truth) / n;
+}
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  PRIVIEW_CHECK(p.size() == q.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    // Skip negligible mass: beyond contributing nothing, a subnormal p_i
+    // can make (p_i + q_i)/2 underflow to zero in the JS construction,
+    // which would otherwise trip the q > 0 requirement.
+    if (p[i] <= 1e-15) continue;
+    PRIVIEW_CHECK(q[i] > 0.0);
+    sum += p[i] * std::log(p[i] / q[i]);
+  }
+  return sum;
+}
+
+double JensenShannon(const std::vector<double>& p,
+                     const std::vector<double>& q) {
+  PRIVIEW_CHECK(p.size() == q.size());
+  std::vector<double> m(p.size());
+  for (size_t i = 0; i < p.size(); ++i) m[i] = 0.5 * (p[i] + q[i]);
+  // m_i = 0 implies p_i = q_i = 0, so both KL terms skip index i.
+  return 0.5 * KlDivergence(p, m) + 0.5 * KlDivergence(q, m);
+}
+
+namespace {
+
+// Noisy tables may carry negative cells; JS divergence needs points on the
+// probability simplex, so clamp to zero before normalizing (an all-zero
+// table maps to uniform).
+std::vector<double> ToSimplex(const MarginalTable& table) {
+  std::vector<double> p(table.size());
+  double total = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double cell = table.At(i);
+    // Defensive: non-finite cells (a numerically broken estimate) are
+    // treated as empty rather than poisoning the divergence.
+    p[i] = std::isfinite(cell) ? std::max(cell, 0.0) : 0.0;
+    total += p[i];
+  }
+  if (total <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(p.size());
+    for (double& v : p) v = uniform;
+    return p;
+  }
+  for (double& v : p) v /= total;
+  return p;
+}
+
+}  // namespace
+
+double JensenShannonTables(const MarginalTable& estimate,
+                           const MarginalTable& truth) {
+  return JensenShannon(ToSimplex(estimate), ToSimplex(truth));
+}
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double pct) {
+  const double rank = pct / 100.0 * (static_cast<double>(sorted.size()) - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Candlestick Summarize(std::vector<double> values) {
+  PRIVIEW_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  Candlestick c;
+  c.p25 = Percentile(values, 25.0);
+  c.median = Percentile(values, 50.0);
+  c.p75 = Percentile(values, 75.0);
+  c.p95 = Percentile(values, 95.0);
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  c.mean = sum / static_cast<double>(values.size());
+  return c;
+}
+
+std::vector<AttrSet> SampleQuerySets(int d, int k, int count, Rng* rng) {
+  PRIVIEW_CHECK(k <= d);
+  // Distinct sets; when count exceeds C(d, k) this would loop forever, so
+  // callers must keep count within the population (checked loosely).
+  std::set<AttrSet> seen;
+  std::vector<AttrSet> out;
+  int attempts = 0;
+  while (static_cast<int>(out.size()) < count) {
+    const AttrSet q = AttrSet::FromIndices(
+        rng->SampleWithoutReplacement(d, k));
+    if (seen.insert(q).second) out.push_back(q);
+    PRIVIEW_CHECK(++attempts < count * 1000 + 1000);
+  }
+  return out;
+}
+
+std::vector<AttrSet> ConsecutiveQuerySets(int d, int k) {
+  PRIVIEW_CHECK(k <= d);
+  std::vector<AttrSet> out;
+  for (int start = 0; start + k <= d; ++start) {
+    std::vector<int> attrs(k);
+    for (int i = 0; i < k; ++i) attrs[i] = start + i;
+    out.push_back(AttrSet::FromIndices(attrs));
+  }
+  return out;
+}
+
+}  // namespace priview

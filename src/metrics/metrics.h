@@ -1,0 +1,54 @@
+// Error measures and summary statistics used by the evaluation (§2, §5):
+// normalized L2 error, Jensen–Shannon divergence, and the candlestick
+// five-number profile (25/50/75/95 percentiles + mean) the paper plots.
+#ifndef PRIVIEW_METRICS_METRICS_H_
+#define PRIVIEW_METRICS_METRICS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "table/attr_set.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+/// L2 distance between the tables divided by n (the plots' y-axis).
+double NormalizedL2Error(const MarginalTable& estimate,
+                         const MarginalTable& truth, double n);
+
+/// KL divergence Σ p_i ln(p_i / q_i) over probability vectors; terms with
+/// p_i = 0 contribute 0. Requires q_i > 0 wherever p_i > 0 (guaranteed by
+/// the JS construction below).
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Jensen–Shannon divergence (Eq. 1) between probability vectors.
+double JensenShannon(const std::vector<double>& p,
+                     const std::vector<double>& q);
+
+/// JS divergence between the two tables after normalization.
+double JensenShannonTables(const MarginalTable& estimate,
+                           const MarginalTable& truth);
+
+/// The paper's candlestick: 25th percentile, median, 75th, 95th, mean.
+struct Candlestick {
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double mean = 0.0;
+};
+
+/// Summary of a sample (linear-interpolation percentiles). Values need not
+/// be sorted. Requires a non-empty sample.
+Candlestick Summarize(std::vector<double> values);
+
+/// `count` distinct random k-subsets of {0, .., d-1}.
+std::vector<AttrSet> SampleQuerySets(int d, int k, int count, Rng* rng);
+
+/// All d-k+1 consecutive windows {i, .., i+k-1} — the MCHAIN queries, which
+/// exercise exactly the chain's inter-attribute dependencies.
+std::vector<AttrSet> ConsecutiveQuerySets(int d, int k);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_METRICS_METRICS_H_

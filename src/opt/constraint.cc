@@ -1,0 +1,53 @@
+#include "opt/constraint.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace priview {
+
+std::vector<MarginalConstraint> DeduplicateConstraints(
+    std::vector<MarginalConstraint> constraints) {
+  // Merge duplicates of the same scope by averaging.
+  std::map<AttrSet, std::pair<MarginalTable, int>> by_scope;
+  for (MarginalConstraint& c : constraints) {
+    PRIVIEW_CHECK(c.target.attrs() == c.scope);
+    auto it = by_scope.find(c.scope);
+    if (it == by_scope.end()) {
+      by_scope.emplace(c.scope, std::make_pair(std::move(c.target), 1));
+    } else {
+      MarginalTable& acc = it->second.first;
+      for (size_t i = 0; i < acc.size(); ++i) {
+        acc.At(i) += c.target.At(i);
+      }
+      it->second.second += 1;
+    }
+  }
+  std::vector<MarginalConstraint> merged;
+  merged.reserve(by_scope.size());
+  for (auto& [scope, entry] : by_scope) {
+    MarginalTable table = std::move(entry.first);
+    if (entry.second > 1) {
+      table.Scale(1.0 / entry.second);
+    }
+    merged.push_back({scope, std::move(table)});
+  }
+
+  // Drop scopes strictly contained in another scope.
+  std::vector<MarginalConstraint> result;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < merged.size(); ++j) {
+      if (i == j) continue;
+      if (merged[i].scope.IsSubsetOf(merged[j].scope) &&
+          merged[i].scope != merged[j].scope) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(std::move(merged[i]));
+  }
+  return result;
+}
+
+}  // namespace priview

@@ -1,0 +1,31 @@
+// Marginal constraints: the common input format of all reconstruction
+// solvers. A constraint fixes the projection of the unknown k-way table
+// onto a sub-scope to a target marginal (obtained from a view).
+#ifndef PRIVIEW_OPT_CONSTRAINT_H_
+#define PRIVIEW_OPT_CONSTRAINT_H_
+
+#include <vector>
+
+#include "table/attr_set.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+/// "The marginal of the unknown table over `scope` equals `target`."
+/// `target.attrs() == scope`, and scope must be a subset of the unknown
+/// table's attribute set.
+struct MarginalConstraint {
+  AttrSet scope;
+  MarginalTable target;
+};
+
+/// Removes redundant constraints: duplicates of the same scope are merged
+/// by cell-wise averaging, and scopes contained in another constraint's
+/// scope are dropped (their content is implied when views are consistent,
+/// exactly the situation after PriView's consistency step).
+std::vector<MarginalConstraint> DeduplicateConstraints(
+    std::vector<MarginalConstraint> constraints);
+
+}  // namespace priview
+
+#endif  // PRIVIEW_OPT_CONSTRAINT_H_

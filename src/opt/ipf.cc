@@ -1,0 +1,103 @@
+#include "opt/ipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace priview {
+namespace {
+
+// Pre-resolved constraint: target plus the cell-index mask that maps a cell
+// of the unknown table to its target cell.
+struct Resolved {
+  uint64_t within_mask;
+  std::vector<double> target;
+};
+
+}  // namespace
+
+IpfResult MaxEntropyIpf(AttrSet attrs, double total,
+                        std::vector<MarginalConstraint> constraints,
+                        const IpfOptions& options) {
+  constraints = DeduplicateConstraints(std::move(constraints));
+
+  MarginalTable table(attrs);
+  const size_t num_cells = table.size();
+  const double safe_total = std::max(total, 1e-12);
+
+  // Sanitize targets: non-negativity, and rescale each to the common total
+  // so the fixed-point exists even under residual inconsistency.
+  std::vector<Resolved> resolved;
+  resolved.reserve(constraints.size());
+  for (const MarginalConstraint& c : constraints) {
+    PRIVIEW_CHECK(c.scope.IsSubsetOf(attrs));
+    if (c.scope.empty()) continue;  // total handled via initialization
+    Resolved r;
+    r.within_mask = table.CellIndexMaskFor(c.scope);
+    r.target = c.target.cells();
+    double tsum = 0.0;
+    for (double& v : r.target) {
+      if (v < 0.0) v = 0.0;
+      tsum += v;
+    }
+    if (tsum <= 0.0) continue;  // no usable information
+    const double rescale = safe_total / tsum;
+    for (double& v : r.target) v *= rescale;
+    resolved.push_back(std::move(r));
+  }
+
+  // Uniform start = the max-entropy solution of the unconstrained problem.
+  const double uniform = safe_total / static_cast<double>(num_cells);
+  for (double& c : table.cells()) c = uniform;
+
+  IpfResult result;
+  const double tol = options.relative_tolerance * std::max(1.0, safe_total);
+
+  std::vector<double> projection;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_residual = 0.0;
+    for (const Resolved& r : resolved) {
+      // Current projection of the working table onto the constraint scope.
+      projection.assign(r.target.size(), 0.0);
+      for (uint64_t cell = 0; cell < num_cells; ++cell) {
+        projection[ExtractBits(cell, r.within_mask)] += table.At(cell);
+      }
+      for (size_t a = 0; a < r.target.size(); ++a) {
+        max_residual =
+            std::max(max_residual, std::fabs(projection[a] - r.target[a]));
+      }
+      // Multiplicative update. Slices the table currently assigns zero mass
+      // but the target wants positive mass are refilled uniformly — the
+      // max-entropy completion of that slice. Cells are capped at the
+      // total: a near-zero projection against a positive target produces
+      // huge factors whose products can overflow to inf (and then NaN);
+      // no feasible cell can exceed the total, so the cap is lossless.
+      const size_t slice_size = num_cells / r.target.size();
+      for (uint64_t cell = 0; cell < num_cells; ++cell) {
+        const uint64_t a = ExtractBits(cell, r.within_mask);
+        if (projection[a] > 0.0) {
+          table.At(cell) =
+              std::min(table.At(cell) * (r.target[a] / projection[a]),
+                       safe_total);
+        } else {
+          table.At(cell) =
+              r.target[a] / static_cast<double>(slice_size);
+        }
+      }
+    }
+    result.iterations = iter + 1;
+    result.final_residual = max_residual;
+    if (max_residual <= tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (resolved.empty()) result.converged = true;
+
+  result.table = std::move(table);
+  return result;
+}
+
+}  // namespace priview

@@ -1,0 +1,43 @@
+// Maximum-entropy reconstruction via Iterative Proportional Fitting.
+//
+// IPF is the classical coordinate dual-ascent method for the optimization
+// the paper states in §4.3: maximize entropy of the k-way table subject to
+// the marginal constraints supplied by the views. For consistent
+// constraints it converges to exactly that maximum-entropy solution; for
+// noisy, mildly inconsistent constraints we follow the paper's relaxation
+// spirit — targets are clamped to be non-negative, rescaled to a common
+// total, and the sweep stops after a bounded number of iterations.
+#ifndef PRIVIEW_OPT_IPF_H_
+#define PRIVIEW_OPT_IPF_H_
+
+#include <vector>
+
+#include "opt/constraint.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+struct IpfOptions {
+  int max_iterations = 500;  // full sweeps over all constraints
+  /// Converged when every constraint's Linf residual is below
+  /// tolerance * max(1, total).
+  double relative_tolerance = 1e-9;
+};
+
+struct IpfResult {
+  MarginalTable table;
+  int iterations = 0;
+  bool converged = false;
+  double final_residual = 0.0;  // max Linf over constraints
+};
+
+/// Solves for the max-entropy table over `attrs` with total count `total`
+/// subject to `constraints`. Constraint scopes must be subsets of `attrs`;
+/// they are deduplicated internally.
+IpfResult MaxEntropyIpf(AttrSet attrs, double total,
+                        std::vector<MarginalConstraint> constraints,
+                        const IpfOptions& options = {});
+
+}  // namespace priview
+
+#endif  // PRIVIEW_OPT_IPF_H_

@@ -1,0 +1,116 @@
+#include "opt/least_norm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/linalg.h"
+
+namespace priview {
+namespace {
+
+// Builds the stacked constraint system Cx = b, one row per (scope, target
+// cell). Rows are 0/1 indicators of cells projecting onto the target cell.
+// The total-count constraint (all-ones row) is appended explicitly.
+struct System {
+  Matrix c;
+  std::vector<double> b;
+};
+
+System BuildSystem(AttrSet attrs, double total,
+                   const std::vector<MarginalConstraint>& constraints) {
+  const size_t num_cells = size_t{1} << attrs.size();
+  MarginalTable probe(attrs);
+
+  int rows = 1;  // total-count row
+  for (const MarginalConstraint& c : constraints) {
+    if (!c.scope.empty()) rows += static_cast<int>(c.target.size());
+  }
+
+  System sys{Matrix(rows, static_cast<int>(num_cells)),
+             std::vector<double>(rows)};
+  int row = 0;
+  for (uint64_t cell = 0; cell < num_cells; ++cell) {
+    sys.c(row, static_cast<int>(cell)) = 1.0;
+  }
+  sys.b[row] = total;
+  ++row;
+
+  for (const MarginalConstraint& c : constraints) {
+    if (c.scope.empty()) continue;
+    const uint64_t within = probe.CellIndexMaskFor(c.scope);
+    const int base = row;
+    for (uint64_t cell = 0; cell < num_cells; ++cell) {
+      const int target_cell = static_cast<int>(ExtractBits(cell, within));
+      sys.c(base + target_cell, static_cast<int>(cell)) = 1.0;
+    }
+    for (size_t a = 0; a < c.target.size(); ++a) {
+      sys.b[base + static_cast<int>(a)] = std::max(c.target.At(a), 0.0);
+    }
+    row += static_cast<int>(c.target.size());
+  }
+  return sys;
+}
+
+}  // namespace
+
+LeastNormResult LeastNormSolve(AttrSet attrs, double total,
+                               std::vector<MarginalConstraint> constraints,
+                               const LeastNormOptions& options) {
+  constraints = DeduplicateConstraints(std::move(constraints));
+  const double safe_total = std::max(total, 0.0);
+  const System sys = BuildSystem(attrs, safe_total, constraints);
+  const size_t num_cells = size_t{1} << attrs.size();
+
+  // Factor C Cᵀ once; the ridge handles the (always present) redundancy of
+  // each scope's rows summing to the total row.
+  Matrix gram = sys.c.GramRows();
+  double trace = 0.0;
+  for (int i = 0; i < gram.rows(); ++i) trace += gram(i, i);
+  Cholesky chol;
+  const double ridge = std::max(1e-10 * trace, 1e-12);
+  PRIVIEW_CHECK(chol.Factor(gram, ridge));
+
+  auto project_affine = [&](std::vector<double>* x) {
+    std::vector<double> residual = sys.c.MatVec(*x);
+    for (size_t i = 0; i < residual.size(); ++i) residual[i] -= sys.b[i];
+    const std::vector<double> y = chol.Solve(residual);
+    const std::vector<double> correction = sys.c.TransposedMatVec(y);
+    for (size_t i = 0; i < x->size(); ++i) (*x)[i] -= correction[i];
+  };
+
+  // Dykstra between the affine set and the orthant, starting from 0 so the
+  // limit is the min-norm point of the intersection.
+  std::vector<double> x(num_cells, 0.0);
+  std::vector<double> p(num_cells, 0.0);  // orthant correction memory
+
+  LeastNormResult result;
+  const double tol = options.tolerance * std::max(1.0, safe_total);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    project_affine(&x);
+    // How infeasible w.r.t. the orthant are we?
+    double neg = 0.0;
+    for (double v : x) neg = std::max(neg, -v);
+
+    std::vector<double> y = x;
+    for (size_t i = 0; i < y.size(); ++i) {
+      y[i] = std::max(0.0, x[i] + p[i]);
+      p[i] = x[i] + p[i] - y[i];
+    }
+    x = std::move(y);
+
+    result.iterations = iter + 1;
+    if (neg <= tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  // Final cleanup: clamp the tiny residual negativity.
+  for (double& v : x) v = std::max(v, 0.0);
+
+  result.table = MarginalTable(attrs, std::move(x));
+  return result;
+}
+
+}  // namespace priview

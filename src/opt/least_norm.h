@@ -1,0 +1,37 @@
+// Least-squares ("CLN") reconstruction: of all non-negative tables whose
+// projections satisfy the view constraints, return the one with minimum L2
+// norm (§4.3). Solved with Dykstra's alternating projection between the
+// affine set {x : Cx = b} (projected through a Cholesky solve of C Cᵀ with
+// a small ridge for rank deficiency) and the non-negative orthant —
+// Dykstra's corrections make the iteration converge to the true projection
+// of 0 onto the intersection, i.e. the minimum-norm feasible point.
+#ifndef PRIVIEW_OPT_LEAST_NORM_H_
+#define PRIVIEW_OPT_LEAST_NORM_H_
+
+#include <vector>
+
+#include "opt/constraint.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+struct LeastNormOptions {
+  int max_iterations = 300;
+  double tolerance = 1e-7;  // relative to max(1, total)
+};
+
+struct LeastNormResult {
+  MarginalTable table;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimum-L2-norm non-negative table over `attrs` with total `total`
+/// meeting `constraints` (deduplicated internally).
+LeastNormResult LeastNormSolve(AttrSet attrs, double total,
+                               std::vector<MarginalConstraint> constraints,
+                               const LeastNormOptions& options = {});
+
+}  // namespace priview
+
+#endif  // PRIVIEW_OPT_LEAST_NORM_H_

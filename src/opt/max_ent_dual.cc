@@ -1,0 +1,128 @@
+#include "opt/max_ent_dual.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace priview {
+namespace {
+
+struct DualConstraint {
+  uint64_t within_mask;
+  std::vector<double> target;     // sanitized, rescaled to common total
+  std::vector<double> potential;  // λ, one per target cell
+};
+
+// exp() underflows safely below this; also the clamp for potentials so a
+// slice forced to zero cannot drive anything to ±inf.
+constexpr double kLogFloor = -700.0;
+constexpr double kLogCeil = 700.0;
+
+}  // namespace
+
+MaxEntDualResult MaxEntropyDual(AttrSet attrs, double total,
+                                std::vector<MarginalConstraint> constraints,
+                                const MaxEntDualOptions& options) {
+  constraints = DeduplicateConstraints(std::move(constraints));
+
+  MarginalTable table(attrs);
+  const size_t num_cells = table.size();
+  const double safe_total = std::max(total, 1e-12);
+
+  std::vector<DualConstraint> duals;
+  for (const MarginalConstraint& c : constraints) {
+    PRIVIEW_CHECK(c.scope.IsSubsetOf(attrs));
+    if (c.scope.empty()) continue;
+    DualConstraint d;
+    d.within_mask = table.CellIndexMaskFor(c.scope);
+    d.target = c.target.cells();
+    double tsum = 0.0;
+    for (double& v : d.target) {
+      if (v < 0.0) v = 0.0;
+      tsum += v;
+    }
+    if (tsum <= 0.0) continue;
+    for (double& v : d.target) v *= safe_total / tsum;
+    d.potential.assign(d.target.size(), 0.0);
+    duals.push_back(std::move(d));
+  }
+
+  MaxEntDualResult result;
+  if (duals.empty()) {
+    const double uniform = safe_total / static_cast<double>(num_cells);
+    for (double& c : table.cells()) c = uniform;
+    result.converged = true;
+    result.table = std::move(table);
+    return result;
+  }
+
+  // Rebuilds the primal p(a) ∝ exp(Σ_c λ_c[proj_c(a)]) normalized to the
+  // total. Working from the potentials each time keeps numerical error
+  // from accumulating in the table (unlike in-place multiplicative
+  // updates), which is the point of this cross-check implementation.
+  std::vector<double> log_p(num_cells);
+  auto materialize = [&]() {
+    for (uint64_t cell = 0; cell < num_cells; ++cell) {
+      double lp = 0.0;
+      for (const DualConstraint& d : duals) {
+        lp += d.potential[ExtractBits(cell, d.within_mask)];
+      }
+      log_p[cell] = std::clamp(lp, 2.0 * kLogFloor, 2.0 * kLogCeil);
+    }
+    const double max_lp = *std::max_element(log_p.begin(), log_p.end());
+    double z = 0.0;
+    for (uint64_t cell = 0; cell < num_cells; ++cell) {
+      z += std::exp(log_p[cell] - max_lp);
+    }
+    const double log_norm = std::log(safe_total) - max_lp - std::log(z);
+    for (uint64_t cell = 0; cell < num_cells; ++cell) {
+      table.At(cell) = std::exp(log_p[cell] + log_norm);
+    }
+  };
+
+  const double tol = options.relative_tolerance * std::max(1.0, safe_total);
+  std::vector<double> projection;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Gauss–Seidel coordinate ascent on the dual: each constraint's
+    // potential absorbs log(target / projection) of the *current* primal,
+    // which is re-materialized before every step. (A Jacobi sweep from a
+    // stale primal diverges when constraints overlap.)
+    double max_residual = 0.0;
+    for (DualConstraint& d : duals) {
+      materialize();
+      projection.assign(d.target.size(), 0.0);
+      for (uint64_t cell = 0; cell < num_cells; ++cell) {
+        projection[ExtractBits(cell, d.within_mask)] += table.At(cell);
+      }
+      for (size_t a = 0; a < d.target.size(); ++a) {
+        max_residual =
+            std::max(max_residual, std::fabs(projection[a] - d.target[a]));
+        if (d.target[a] <= 0.0) {
+          d.potential[a] = kLogFloor;  // force the slice to zero
+        } else if (projection[a] > 0.0) {
+          d.potential[a] += std::log(d.target[a] / projection[a]);
+        } else {
+          // Projection vanished but mass is required: lift the potential.
+          d.potential[a] += 1.0;
+        }
+        d.potential[a] = std::clamp(d.potential[a], kLogFloor, kLogCeil);
+      }
+    }
+
+    result.iterations = iter + 1;
+    result.final_residual = max_residual;
+    if (max_residual <= tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  materialize();
+
+  result.table = std::move(table);
+  return result;
+}
+
+}  // namespace priview

@@ -1,0 +1,39 @@
+// Independent max-entropy solver used to cross-validate the IPF solver.
+//
+// Works in the dual: the max-entropy distribution subject to marginal
+// constraints has the log-linear form p(a) ∝ exp(Σ_c λ_c[proj_c(a)]).
+// We ascend the dual by coordinate steps on the potentials λ_c and
+// re-materialize the primal from the potentials at every pass, so numerical
+// error does not accumulate in the table the way it can with in-place
+// multiplicative updates. Agreement of the two solvers on random instances
+// is asserted in tests.
+#ifndef PRIVIEW_OPT_MAX_ENT_DUAL_H_
+#define PRIVIEW_OPT_MAX_ENT_DUAL_H_
+
+#include <vector>
+
+#include "opt/constraint.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+struct MaxEntDualOptions {
+  int max_iterations = 2000;
+  double relative_tolerance = 1e-9;
+};
+
+struct MaxEntDualResult {
+  MarginalTable table;
+  int iterations = 0;
+  bool converged = false;
+  double final_residual = 0.0;
+};
+
+/// Same contract as MaxEntropyIpf.
+MaxEntDualResult MaxEntropyDual(AttrSet attrs, double total,
+                                std::vector<MarginalConstraint> constraints,
+                                const MaxEntDualOptions& options = {});
+
+}  // namespace priview
+
+#endif  // PRIVIEW_OPT_MAX_ENT_DUAL_H_

@@ -1,0 +1,248 @@
+#include "opt/simplex.h"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "common/check.h"
+
+namespace priview {
+namespace {
+
+// Dense tableau: m rows, each row holds coefficients for all structural,
+// slack and artificial columns plus the rhs. Row i has basic variable
+// basis[i]. Objective handled as a separate cost row.
+//
+// Pivoting: Dantzig (most negative reduced cost) for speed, permanently
+// switching to Bland's rule after a long degenerate stall so termination
+// is still guaranteed.
+class Tableau {
+ public:
+  Tableau(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        a_(static_cast<size_t>(rows) * cols, 0.0), rhs_(rows, 0.0),
+        cost_(cols, 0.0), basis_(rows, -1) {}
+
+  double& At(int r, int c) { return a_[static_cast<size_t>(r) * cols_ + c]; }
+  double At(int r, int c) const {
+    return a_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  int rows() const { return rows_; }
+  std::vector<double>& rhs() { return rhs_; }
+  std::vector<double>& cost() { return cost_; }
+  std::vector<int>& basis() { return basis_; }
+  double cost_rhs() const { return cost_rhs_; }
+
+  // Eliminates basic columns from the cost row.
+  void PriceOut() {
+    for (int r = 0; r < rows_; ++r) {
+      const int bv = basis_[r];
+      const double c = cost_[bv];
+      if (c == 0.0) continue;
+      const double* row = &a_[static_cast<size_t>(r) * cols_];
+      for (int j = 0; j < cols_; ++j) cost_[j] -= c * row[j];
+      cost_rhs_ -= c * rhs_[r];
+    }
+  }
+
+  void Pivot(int pr, int pc) {
+    double* prow = &a_[static_cast<size_t>(pr) * cols_];
+    const double inv = 1.0 / prow[pc];
+    for (int j = 0; j < cols_; ++j) prow[j] *= inv;
+    rhs_[pr] *= inv;
+    for (int r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      double* row = &a_[static_cast<size_t>(r) * cols_];
+      const double factor = row[pc];
+      if (factor == 0.0) continue;
+      for (int j = 0; j < cols_; ++j) row[j] -= factor * prow[j];
+      rhs_[r] -= factor * rhs_[pr];
+    }
+    const double cfactor = cost_[pc];
+    if (cfactor != 0.0) {
+      for (int j = 0; j < cols_; ++j) cost_[j] -= cfactor * prow[j];
+      cost_rhs_ -= cfactor * rhs_[pr];
+    }
+    basis_[pr] = pc;
+  }
+
+  // Runs simplex restricted to columns [0, usable_cols).
+  LpStatus Run(int usable_cols, int* pivots_left, double eps) {
+    bool bland = false;
+    int stall = 0;
+    double last_objective = -cost_rhs_;
+    while (true) {
+      // Entering column.
+      int pc = -1;
+      if (bland) {
+        for (int j = 0; j < usable_cols; ++j) {
+          if (cost_[j] < -eps) {
+            pc = j;
+            break;
+          }
+        }
+      } else {
+        double most_negative = -eps;
+        for (int j = 0; j < usable_cols; ++j) {
+          if (cost_[j] < most_negative) {
+            most_negative = cost_[j];
+            pc = j;
+          }
+        }
+      }
+      if (pc < 0) return LpStatus::kOptimal;
+
+      // Leaving row: min ratio, ties broken toward the lowest basic index
+      // (harmless under Dantzig, required under Bland).
+      int pr = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < rows_; ++r) {
+        const double a = At(r, pc);
+        if (a > eps) {
+          const double ratio = rhs_[r] / a;
+          if (ratio < best_ratio - eps ||
+              (std::fabs(ratio - best_ratio) <= eps &&
+               (pr < 0 || basis_[r] < basis_[pr]))) {
+            best_ratio = ratio;
+            pr = r;
+          }
+        }
+      }
+      if (pr < 0) return LpStatus::kUnbounded;
+      Pivot(pr, pc);
+      if (--(*pivots_left) <= 0) return LpStatus::kIterationLimit;
+
+      // Degenerate-stall detection: no objective movement for many pivots
+      // means Dantzig might be cycling; Bland's rule cannot.
+      const double objective = -cost_rhs_;
+      if (!bland) {
+        if (std::fabs(objective - last_objective) <= eps) {
+          if (++stall > 200) bland = true;
+        } else {
+          stall = 0;
+        }
+      }
+      last_objective = objective;
+    }
+  }
+
+ private:
+  int rows_, cols_;
+  std::vector<double> a_;
+  std::vector<double> rhs_;
+  std::vector<double> cost_;
+  std::vector<int> basis_;
+  double cost_rhs_ = 0.0;
+};
+
+}  // namespace
+
+LpResult SolveLp(const LpProblem& problem, const LpOptions& options) {
+  const int n = problem.num_vars;
+  const int m = static_cast<int>(problem.rows.size());
+  PRIVIEW_CHECK(static_cast<int>(problem.objective.size()) == n);
+
+  // Column layout: structural | slacks/surpluses | artificials. A row only
+  // gets an artificial when its slack cannot seed the basis (equalities,
+  // and >=-like rows after rhs normalization).
+  int num_slack = 0;
+  int num_artificial = 0;
+  for (const auto& row : problem.rows) {
+    const double sign = (row.rhs < 0.0) ? -1.0 : 1.0;
+    if (row.relation != LpProblem::Relation::kEq) {
+      ++num_slack;
+      const double slack_coeff =
+          sign * ((row.relation == LpProblem::Relation::kLe) ? 1.0 : -1.0);
+      if (slack_coeff < 0.0) ++num_artificial;
+    } else {
+      ++num_artificial;
+    }
+  }
+  const int art_base = n + num_slack;
+  const int total_cols = art_base + num_artificial;
+
+  Tableau tab(m, total_cols);
+  int slack_idx = n;
+  int art_idx = art_base;
+  for (int r = 0; r < m; ++r) {
+    const auto& row = problem.rows[r];
+    PRIVIEW_CHECK(static_cast<int>(row.coeffs.size()) == n);
+    const double sign = (row.rhs < 0.0) ? -1.0 : 1.0;  // normalize rhs >= 0
+    for (int j = 0; j < n; ++j) tab.At(r, j) = sign * row.coeffs[j];
+    tab.rhs()[r] = sign * row.rhs;
+    bool need_artificial = true;
+    if (row.relation != LpProblem::Relation::kEq) {
+      const double slack_coeff =
+          sign * ((row.relation == LpProblem::Relation::kLe) ? 1.0 : -1.0);
+      tab.At(r, slack_idx) = slack_coeff;
+      if (slack_coeff > 0.0) {
+        tab.basis()[r] = slack_idx;  // slack seeds the basis
+        need_artificial = false;
+      }
+      ++slack_idx;
+    }
+    if (need_artificial) {
+      tab.At(r, art_idx) = 1.0;
+      tab.basis()[r] = art_idx;
+      ++art_idx;
+    }
+  }
+  PRIVIEW_CHECK(art_idx == total_cols);
+
+  int pivots_left = options.max_pivots;
+
+  // Phase 1: minimize the sum of artificials (skipped when there are none).
+  if (num_artificial > 0) {
+    for (int j = art_base; j < total_cols; ++j) tab.cost()[j] = 1.0;
+    tab.PriceOut();
+    const LpStatus st = tab.Run(total_cols, &pivots_left, options.epsilon);
+    LpResult result;
+    if (st == LpStatus::kIterationLimit || st == LpStatus::kUnbounded) {
+      // Phase 1 is bounded below by 0, so kUnbounded cannot legitimately
+      // happen; treat both as iteration trouble.
+      result.status = LpStatus::kIterationLimit;
+      return result;
+    }
+    if (tab.cost_rhs() < -1e-6) {  // phase-1 optimum = -sum(artificials)
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Drive any artificial still in the basis out (degenerate rows).
+    for (int r = 0; r < m; ++r) {
+      if (tab.basis()[r] >= art_base) {
+        for (int j = 0; j < art_base; ++j) {
+          if (std::fabs(tab.At(r, j)) > options.epsilon) {
+            tab.Pivot(r, j);
+            break;
+          }
+        }
+        // An all-zero row is redundant; its artificial stays at value 0.
+      }
+    }
+  }
+
+  // Phase 2: original objective; artificials excluded from entering.
+  for (double& c : tab.cost()) c = 0.0;
+  for (int j = 0; j < n; ++j) tab.cost()[j] = problem.objective[j];
+  tab.PriceOut();
+  const LpStatus st = tab.Run(art_base, &pivots_left, options.epsilon);
+  LpResult result;
+  if (st != LpStatus::kOptimal) {
+    result.status = st;
+    return result;
+  }
+
+  result.status = LpStatus::kOptimal;
+  result.x.assign(n, 0.0);
+  for (int r = 0; r < m; ++r) {
+    if (tab.basis()[r] < n) result.x[tab.basis()[r]] = tab.rhs()[r];
+  }
+  result.objective_value = 0.0;
+  for (int j = 0; j < n; ++j) {
+    result.objective_value += problem.objective[j] * result.x[j];
+  }
+  return result;
+}
+
+}  // namespace priview

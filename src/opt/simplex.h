@@ -1,0 +1,58 @@
+// Dense two-phase primal simplex for the small linear programs the paper
+// needs: the Barak-style Fourier-LP post-processing and the LP / CLP
+// reconstruction variants. Problems here have at most a few hundred
+// variables and ~a thousand rows, squarely in dense-tableau territory.
+// Bland's rule guarantees termination (no cycling) at the cost of a few
+// extra pivots — the right trade for a correctness-first reproduction.
+#ifndef PRIVIEW_OPT_SIMPLEX_H_
+#define PRIVIEW_OPT_SIMPLEX_H_
+
+#include <vector>
+
+namespace priview {
+
+/// Linear program: minimize c·x subject to the rows, x >= 0.
+struct LpProblem {
+  enum class Relation { kLe, kGe, kEq };
+
+  struct Row {
+    std::vector<double> coeffs;  // length num_vars
+    Relation relation = Relation::kLe;
+    double rhs = 0.0;
+  };
+
+  int num_vars = 0;
+  std::vector<double> objective;  // length num_vars
+  std::vector<Row> rows;
+
+  /// Convenience appenders.
+  void AddLe(std::vector<double> coeffs, double rhs) {
+    rows.push_back({std::move(coeffs), Relation::kLe, rhs});
+  }
+  void AddGe(std::vector<double> coeffs, double rhs) {
+    rows.push_back({std::move(coeffs), Relation::kGe, rhs});
+  }
+  void AddEq(std::vector<double> coeffs, double rhs) {
+    rows.push_back({std::move(coeffs), Relation::kEq, rhs});
+  }
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective_value = 0.0;
+  std::vector<double> x;
+};
+
+struct LpOptions {
+  int max_pivots = 200000;
+  double epsilon = 1e-9;
+};
+
+/// Solves the LP. x is meaningful only when status == kOptimal.
+LpResult SolveLp(const LpProblem& problem, const LpOptions& options = {});
+
+}  // namespace priview
+
+#endif  // PRIVIEW_OPT_SIMPLEX_H_

@@ -1,0 +1,87 @@
+// AttrSet: a set of attribute indices in {0, .., 63}, stored as a bitmask.
+// This is the universal currency of the library: views, marginal scopes and
+// covering-design blocks are all AttrSets.
+#ifndef PRIVIEW_TABLE_ATTR_SET_H_
+#define PRIVIEW_TABLE_ATTR_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace priview {
+
+/// Set of attributes (dimensions), d <= 64. Value type, cheap to copy.
+class AttrSet {
+ public:
+  constexpr AttrSet() : mask_(0) {}
+  constexpr explicit AttrSet(uint64_t mask) : mask_(mask) {}
+
+  /// Builds the set {attrs[0], attrs[1], ...}. Indices must be in [0, 64).
+  static AttrSet FromIndices(const std::vector<int>& attrs) {
+    uint64_t m = 0;
+    for (int a : attrs) {
+      PRIVIEW_CHECK(a >= 0 && a < 64);
+      m |= (1ULL << a);
+    }
+    return AttrSet(m);
+  }
+
+  /// The full set {0, .., d-1}.
+  static AttrSet Full(int d) {
+    PRIVIEW_CHECK(d >= 0 && d <= 64);
+    return AttrSet(d == 64 ? ~0ULL : ((1ULL << d) - 1));
+  }
+
+  uint64_t mask() const { return mask_; }
+  int size() const { return PopCount(mask_); }
+  bool empty() const { return mask_ == 0; }
+  bool Contains(int attr) const { return (mask_ >> attr) & 1; }
+  bool IsSubsetOf(AttrSet other) const {
+    return (mask_ & other.mask_) == mask_;
+  }
+
+  AttrSet Intersect(AttrSet other) const {
+    return AttrSet(mask_ & other.mask_);
+  }
+  AttrSet Union(AttrSet other) const { return AttrSet(mask_ | other.mask_); }
+  AttrSet Minus(AttrSet other) const { return AttrSet(mask_ & ~other.mask_); }
+
+  /// Attribute indices in ascending order.
+  std::vector<int> ToIndices() const {
+    std::vector<int> out;
+    out.reserve(size());
+    uint64_t m = mask_;
+    while (m != 0) {
+      out.push_back(LowestBitIndex(m));
+      m &= m - 1;
+    }
+    return out;
+  }
+
+  /// "{1,5,8}"-style rendering for logs and test messages.
+  std::string ToString() const {
+    std::string s = "{";
+    bool first = true;
+    for (int a : ToIndices()) {
+      if (!first) s += ",";
+      s += std::to_string(a);
+      first = false;
+    }
+    s += "}";
+    return s;
+  }
+
+  friend bool operator==(AttrSet a, AttrSet b) { return a.mask_ == b.mask_; }
+  friend bool operator!=(AttrSet a, AttrSet b) { return a.mask_ != b.mask_; }
+  friend bool operator<(AttrSet a, AttrSet b) { return a.mask_ < b.mask_; }
+
+ private:
+  uint64_t mask_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_TABLE_ATTR_SET_H_

@@ -1,0 +1,35 @@
+#include "table/contingency_table.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace priview {
+
+ContingencyTable::ContingencyTable(int d)
+    : d_(d), cells_(size_t{1} << d, 0.0) {
+  PRIVIEW_CHECK(d >= 0 && d <= 26);
+}
+
+ContingencyTable ContingencyTable::FromDataset(const Dataset& data) {
+  ContingencyTable table(data.d());
+  for (uint64_t r : data.records()) table.cells_[r] += 1.0;
+  return table;
+}
+
+double ContingencyTable::Total() const {
+  double sum = 0.0;
+  for (double c : cells_) sum += c;
+  return sum;
+}
+
+MarginalTable ContingencyTable::MarginalOf(AttrSet attrs) const {
+  PRIVIEW_CHECK(attrs.IsSubsetOf(AttrSet::Full(d_)));
+  MarginalTable out(attrs);
+  const uint64_t mask = attrs.mask();
+  for (uint64_t c = 0; c < cells_.size(); ++c) {
+    out.At(ExtractBits(c, mask)) += cells_[c];
+  }
+  return out;
+}
+
+}  // namespace priview

@@ -1,0 +1,45 @@
+// ContingencyTable: the full 2^d table over all attributes. Only feasible
+// for small d; used by the Flat baseline, MWEM and the Fourier-LP
+// post-processing exactly as the paper restricts them (d = 9 experiments).
+#ifndef PRIVIEW_TABLE_CONTINGENCY_TABLE_H_
+#define PRIVIEW_TABLE_CONTINGENCY_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/attr_set.h"
+#include "table/dataset.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+/// Dense full contingency table over d <= 26 binary attributes.
+class ContingencyTable {
+ public:
+  /// Zero table over d attributes.
+  explicit ContingencyTable(int d);
+
+  /// Exact table of record counts.
+  static ContingencyTable FromDataset(const Dataset& data);
+
+  int d() const { return d_; }
+  size_t size() const { return cells_.size(); }
+
+  double& At(uint64_t cell) { return cells_[cell]; }
+  double At(uint64_t cell) const { return cells_[cell]; }
+  const std::vector<double>& cells() const { return cells_; }
+  std::vector<double>& cells() { return cells_; }
+
+  double Total() const;
+
+  /// Marginal over `attrs` by summing cells.
+  MarginalTable MarginalOf(AttrSet attrs) const;
+
+ private:
+  int d_;
+  std::vector<double> cells_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_TABLE_CONTINGENCY_TABLE_H_

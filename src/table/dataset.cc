@@ -1,0 +1,56 @@
+#include "table/dataset.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace priview {
+
+Dataset::Dataset(int d) : d_(d) { PRIVIEW_CHECK(d >= 0 && d <= 64); }
+
+Dataset::Dataset(int d, std::vector<uint64_t> records)
+    : d_(d), records_(std::move(records)) {
+  PRIVIEW_CHECK(d >= 0 && d <= 64);
+  if (d < 64) {
+    const uint64_t illegal = ~((d == 0) ? 0ULL : ((1ULL << d) - 1));
+    for (uint64_t r : records_) PRIVIEW_CHECK((r & illegal) == 0);
+  }
+}
+
+void Dataset::Add(uint64_t record) {
+  if (d_ < 64) {
+    PRIVIEW_CHECK((record >> d_) == 0);
+  }
+  records_.push_back(record);
+}
+
+MarginalTable Dataset::CountMarginal(AttrSet attrs) const {
+  PRIVIEW_CHECK(attrs.IsSubsetOf(AttrSet::Full(d_)));
+  MarginalTable table(attrs);
+  const uint64_t mask = attrs.mask();
+  for (uint64_t r : records_) {
+    table.At(ExtractBits(r, mask)) += 1.0;
+  }
+  return table;
+}
+
+double Dataset::CountCell(AttrSet attrs, uint64_t assignment) const {
+  PRIVIEW_CHECK(attrs.IsSubsetOf(AttrSet::Full(d_)));
+  PRIVIEW_CHECK(assignment < (uint64_t{1} << attrs.size()));
+  const uint64_t mask = attrs.mask();
+  const uint64_t want = DepositBits(assignment, mask);
+  size_t count = 0;
+  for (uint64_t r : records_) {
+    if ((r & mask) == want) ++count;
+  }
+  return static_cast<double>(count);
+}
+
+double Dataset::AttributeFrequency(int a) const {
+  PRIVIEW_CHECK(a >= 0 && a < d_);
+  if (records_.empty()) return 0.0;
+  size_t count = 0;
+  for (uint64_t r : records_) count += (r >> a) & 1;
+  return static_cast<double>(count) / static_cast<double>(records_.size());
+}
+
+}  // namespace priview

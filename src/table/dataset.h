@@ -1,0 +1,51 @@
+// Dataset: a d-dimensional binary dataset, one 64-bit word per record
+// (bit i = value of attribute i). Supports O(N) exact marginal counting —
+// the only primitive any differentially private mechanism in this library
+// uses to touch raw data.
+#ifndef PRIVIEW_TABLE_DATASET_H_
+#define PRIVIEW_TABLE_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/attr_set.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+/// Binary dataset with at most 64 attributes.
+class Dataset {
+ public:
+  /// Empty dataset over d attributes, 0 <= d <= 64.
+  explicit Dataset(int d);
+
+  /// Dataset from pre-built records; bits >= d must be clear.
+  Dataset(int d, std::vector<uint64_t> records);
+
+  int d() const { return d_; }
+  /// Number of records N.
+  size_t size() const { return records_.size(); }
+
+  const std::vector<uint64_t>& records() const { return records_; }
+
+  /// Appends one record. Bits at positions >= d must be clear; checked.
+  void Add(uint64_t record);
+
+  /// Exact (non-private) marginal counts over `attrs`. O(N) time.
+  MarginalTable CountMarginal(AttrSet attrs) const;
+
+  /// Exact count of records whose bits at `attrs` equal `assignment`
+  /// (assignment packed in the compact cell-index convention).
+  double CountCell(AttrSet attrs, uint64_t assignment) const;
+
+  /// Empirical frequency of attribute `a` being 1.
+  double AttributeFrequency(int a) const;
+
+ private:
+  int d_;
+  std::vector<uint64_t> records_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_TABLE_DATASET_H_

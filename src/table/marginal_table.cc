@@ -1,0 +1,89 @@
+#include "table/marginal_table.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace priview {
+
+MarginalTable::MarginalTable(AttrSet attrs, double fill)
+    : attrs_(attrs), cells_(size_t{1} << attrs.size(), fill) {
+  PRIVIEW_CHECK(attrs.size() <= 30);
+}
+
+MarginalTable::MarginalTable(AttrSet attrs, std::vector<double> cells)
+    : attrs_(attrs), cells_(std::move(cells)) {
+  PRIVIEW_CHECK(attrs.size() <= 30);
+  PRIVIEW_CHECK(cells_.size() == (size_t{1} << attrs.size()));
+}
+
+double MarginalTable::Total() const {
+  double sum = 0.0;
+  for (double c : cells_) sum += c;
+  return sum;
+}
+
+uint64_t MarginalTable::CellIndexMaskFor(AttrSet sub) const {
+  PRIVIEW_CHECK(sub.IsSubsetOf(attrs_));
+  // The j-th bit of a cell index corresponds to the j-th smallest attribute
+  // of attrs_; extracting sub's attribute bits through attrs_'s mask yields
+  // exactly the cell-index positions of sub's attributes.
+  return ExtractBits(sub.mask(), attrs_.mask());
+}
+
+MarginalTable MarginalTable::Project(AttrSet sub) const {
+  const uint64_t within = CellIndexMaskFor(sub);
+  MarginalTable out(sub);
+  for (uint64_t c = 0; c < cells_.size(); ++c) {
+    out.At(ExtractBits(c, within)) += cells_[c];
+  }
+  return out;
+}
+
+void MarginalTable::AddConstant(double delta) {
+  for (double& c : cells_) c += delta;
+}
+
+void MarginalTable::Scale(double factor) {
+  for (double& c : cells_) c *= factor;
+}
+
+std::vector<double> MarginalTable::Normalized() const {
+  const double total = Total();
+  std::vector<double> out(cells_.size());
+  if (total == 0.0) {
+    const double u = 1.0 / static_cast<double>(cells_.size());
+    for (double& p : out) p = u;
+    return out;
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) out[i] = cells_[i] / total;
+  return out;
+}
+
+double MarginalTable::L2DistanceTo(const MarginalTable& other) const {
+  PRIVIEW_CHECK(attrs_ == other.attrs_);
+  double sum = 0.0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const double diff = cells_[i] - other.cells_[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+double MarginalTable::LinfDistanceTo(const MarginalTable& other) const {
+  PRIVIEW_CHECK(attrs_ == other.attrs_);
+  double best = 0.0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    best = std::max(best, std::fabs(cells_[i] - other.cells_[i]));
+  }
+  return best;
+}
+
+double MarginalTable::MinCell() const {
+  double best = cells_.empty() ? 0.0 : cells_[0];
+  for (double c : cells_) best = std::min(best, c);
+  return best;
+}
+
+}  // namespace priview

@@ -1,0 +1,76 @@
+// MarginalTable: a (possibly noisy) marginal contingency table over a set A
+// of binary attributes. Holds 2^|A| real-valued cells. Cell indexing: bit j
+// of the cell index is the value assigned to the j-th smallest attribute in
+// A. Projection onto a subset of A sums the matching cells.
+#ifndef PRIVIEW_TABLE_MARGINAL_TABLE_H_
+#define PRIVIEW_TABLE_MARGINAL_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/attr_set.h"
+
+namespace priview {
+
+/// Dense marginal table over up to ~20 attributes (2^|A| cells).
+class MarginalTable {
+ public:
+  MarginalTable() = default;
+
+  /// Zero-filled table over `attrs`.
+  explicit MarginalTable(AttrSet attrs, double fill = 0.0);
+
+  /// Table with the given cell values; cells.size() must be 2^|attrs|.
+  MarginalTable(AttrSet attrs, std::vector<double> cells);
+
+  AttrSet attrs() const { return attrs_; }
+  /// Number of attributes |A|.
+  int arity() const { return attrs_.size(); }
+  /// Number of cells, 2^|A|.
+  size_t size() const { return cells_.size(); }
+
+  double& At(uint64_t cell) { return cells_[cell]; }
+  double At(uint64_t cell) const { return cells_[cell]; }
+
+  const std::vector<double>& cells() const { return cells_; }
+  std::vector<double>& cells() { return cells_; }
+
+  /// Sum of all cells (the table's total count).
+  double Total() const;
+
+  /// Marginal over `sub` (must satisfy sub ⊆ attrs()), by summing cells.
+  MarginalTable Project(AttrSet sub) const;
+
+  /// The mask over *cell-index bit positions* corresponding to the
+  /// attributes of `sub` within this table's attribute ordering. A cell c of
+  /// this table projects to cell ExtractBits(c, mask) of the sub-table.
+  uint64_t CellIndexMaskFor(AttrSet sub) const;
+
+  /// Adds `delta` to every cell.
+  void AddConstant(double delta);
+
+  /// Multiplies every cell by `factor`.
+  void Scale(double factor);
+
+  /// Cells divided by Total(); all zeros stay a uniform distribution if the
+  /// total is 0 (a degenerate but possible noisy outcome).
+  std::vector<double> Normalized() const;
+
+  /// Sqrt of the sum of squared per-cell differences. Tables must share the
+  /// same attribute set.
+  double L2DistanceTo(const MarginalTable& other) const;
+
+  /// Largest absolute per-cell difference. Tables must share attrs.
+  double LinfDistanceTo(const MarginalTable& other) const;
+
+  /// Smallest cell value.
+  double MinCell() const;
+
+ private:
+  AttrSet attrs_;
+  std::vector<double> cells_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_TABLE_MARGINAL_TABLE_H_

@@ -1,0 +1,49 @@
+#include "table/attr_set.h"
+
+#include <gtest/gtest.h>
+
+namespace priview {
+namespace {
+
+TEST(AttrSetTest, FromIndicesAndBack) {
+  const AttrSet s = AttrSet::FromIndices({5, 1, 8});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.ToIndices(), (std::vector<int>{1, 5, 8}));
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_TRUE(s.Contains(8));
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(AttrSetTest, FullSet) {
+  EXPECT_EQ(AttrSet::Full(0).size(), 0);
+  EXPECT_EQ(AttrSet::Full(9).size(), 9);
+  EXPECT_EQ(AttrSet::Full(64).size(), 64);
+}
+
+TEST(AttrSetTest, SetAlgebra) {
+  const AttrSet a = AttrSet::FromIndices({1, 2, 3});
+  const AttrSet b = AttrSet::FromIndices({3, 4});
+  EXPECT_EQ(a.Intersect(b), AttrSet::FromIndices({3}));
+  EXPECT_EQ(a.Union(b), AttrSet::FromIndices({1, 2, 3, 4}));
+  EXPECT_EQ(a.Minus(b), AttrSet::FromIndices({1, 2}));
+  EXPECT_TRUE(AttrSet::FromIndices({2, 3}).IsSubsetOf(a));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(AttrSet().IsSubsetOf(a));
+  EXPECT_TRUE(AttrSet().empty());
+}
+
+TEST(AttrSetTest, ToString) {
+  EXPECT_EQ(AttrSet::FromIndices({2, 0, 7}).ToString(), "{0,2,7}");
+  EXPECT_EQ(AttrSet().ToString(), "{}");
+}
+
+TEST(AttrSetTest, Ordering) {
+  const AttrSet a(0b01), b(0b10);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a == AttrSet::FromIndices({0}));
+  EXPECT_TRUE(a != b);
+}
+
+}  // namespace
+}  // namespace priview

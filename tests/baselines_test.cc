@@ -1,0 +1,158 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/direct.h"
+#include "baselines/flat.h"
+#include "baselines/fourier.h"
+#include "baselines/learning.h"
+#include "baselines/uniform.h"
+#include "common/rng.h"
+#include "core/error_model.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+
+namespace priview {
+namespace {
+
+TEST(UniformTest, ReturnsUniformWithTotalN) {
+  Rng rng(1);
+  Dataset data = MakeMsnbcLike(&rng, 1000);
+  UniformMechanism uniform;
+  uniform.Fit(data, 1.0, 2, &rng);
+  const MarginalTable t = uniform.Query(AttrSet::FromIndices({0, 3}));
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(t.At(i), 250.0);
+}
+
+TEST(ClampAndRedistributeTest, RemovesNegativesKeepsTotalRoughly) {
+  MarginalTable t(AttrSet::FromIndices({0, 1}),
+                  std::vector<double>{-4.0, 10.0, 10.0, 4.0});
+  const double before = t.Total();
+  ClampAndRedistribute(&t);
+  EXPECT_NEAR(t.Total(), before, 1e-9);
+  EXPECT_DOUBLE_EQ(t.At(0), -1.0);  // single-pass redistribution
+  EXPECT_DOUBLE_EQ(t.At(1), 9.0);
+}
+
+TEST(DirectTest, QueriesAreCachedAcrossCalls) {
+  Rng rng(2);
+  Dataset data = MakeMsnbcLike(&rng, 10000);
+  DirectMechanism direct;
+  direct.Fit(data, 1.0, 3, &rng);
+  const AttrSet q = AttrSet::FromIndices({0, 2, 4});
+  const MarginalTable a = direct.Query(q);
+  const MarginalTable b = direct.Query(q);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a.At(i), b.At(i));
+}
+
+TEST(DirectTest, ErrorMatchesAnalyticEse) {
+  // Average squared L2 over many runs should approach DirectEse (before
+  // the clamp optimization, which only lowers it).
+  Rng rng(3);
+  Dataset data = MakeMsnbcLike(&rng, 500000);
+  const int k = 2;
+  const double predicted = DirectEse(9, k, 1.0);
+  const AttrSet q = AttrSet::FromIndices({1, 5});
+  const MarginalTable truth = data.CountMarginal(q);
+  double total_sq = 0.0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    DirectMechanism direct;
+    direct.Fit(data, 1.0, k, &rng);
+    const double dist = direct.Query(q).L2DistanceTo(truth);
+    total_sq += dist * dist;
+  }
+  const double measured = total_sq / trials;
+  EXPECT_LT(measured, 1.3 * predicted);
+  EXPECT_GT(measured, 0.4 * predicted);
+}
+
+TEST(FlatTest, UnbiasedAndAccurateForSmallD) {
+  Rng rng(4);
+  Dataset data = MakeMsnbcLike(&rng, 500000);
+  FlatMechanism flat;
+  flat.Fit(data, 1.0, 2, &rng);
+  const AttrSet q = AttrSet::FromIndices({0, 8});
+  const MarginalTable truth = data.CountMarginal(q);
+  const MarginalTable estimate = flat.Query(q);
+  // ESE = 2^d V_u = 1024; L2 ~ 32 counts on N = 500k.
+  EXPECT_LT(estimate.L2DistanceTo(truth), 150.0);
+}
+
+TEST(FourierTest, SharedCoefficientsMakeOverlappingQueriesConsistent) {
+  Rng rng(5);
+  Dataset data = MakeMsnbcLike(&rng, 20000);
+  FourierMechanism fourier(/*clamp=*/false);
+  fourier.Fit(data, 1.0, 3, &rng);
+  // Marginals over {0,1,2} and {1,2,5} must agree on {1,2} because they
+  // are built from the same noisy coefficients — Barak et al.'s
+  // consistency property.
+  const MarginalTable a = fourier.Query(AttrSet::FromIndices({0, 1, 2}));
+  const MarginalTable b = fourier.Query(AttrSet::FromIndices({1, 2, 5}));
+  const AttrSet common = AttrSet::FromIndices({1, 2});
+  const MarginalTable pa = a.Project(common);
+  const MarginalTable pb = b.Project(common);
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_NEAR(pa.At(i), pb.At(i), 1e-6);
+  }
+}
+
+TEST(FourierTest, NoiselessCoefficientWouldBeExact) {
+  // With huge epsilon the Fourier method reproduces the true marginal.
+  Rng rng(6);
+  Dataset data = MakeMsnbcLike(&rng, 5000);
+  FourierMechanism fourier(/*clamp=*/false);
+  fourier.Fit(data, 1e9, 2, &rng);
+  const AttrSet q = AttrSet::FromIndices({3, 7});
+  const MarginalTable truth = data.CountMarginal(q);
+  const MarginalTable estimate = fourier.Query(q);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(estimate.At(i), truth.At(i), 0.1);
+  }
+}
+
+TEST(FourierLpTest, ProducesNonNegativeConsistentTable) {
+  Rng rng(7);
+  Dataset data = MakeMsnbcLike(&rng, 20000);
+  FourierLpMechanism lp;
+  lp.Fit(data, 1.0, 2, &rng);
+  const MarginalTable t = lp.Query(AttrSet::FromIndices({0, 4}));
+  EXPECT_GE(t.MinCell(), -1e-6);
+  // Different queries agree on shared sub-marginals (one fitted table).
+  const MarginalTable a = lp.Query(AttrSet::FromIndices({0, 1}));
+  const MarginalTable b = lp.Query(AttrSet::FromIndices({1, 2}));
+  EXPECT_NEAR(a.Project(AttrSet::FromIndices({1})).At(0),
+              b.Project(AttrSet::FromIndices({1})).At(0), 1e-6);
+}
+
+TEST(LearningTest, DegreeGrowsAsGammaShrinks) {
+  Rng rng(8);
+  Dataset data = MakeMsnbcLike(&rng, 1000);
+  LearningMechanism l2(0.5), l8(1.0 / 8.0);
+  l2.Fit(data, 1.0, 4, &rng);
+  l8.Fit(data, 1.0, 4, &rng);
+  EXPECT_LE(l2.degree(), l8.degree());
+  EXPECT_LT(l8.degree(), 4);  // always truncated
+}
+
+TEST(LearningTest, NoiseFreeVariantStillHasApproximationError) {
+  Rng rng(9);
+  Dataset data = MakeMsnbcLike(&rng, 50000);
+  LearningMechanism learning(0.5, /*add_noise=*/false);
+  learning.Fit(data, 1.0, 4, &rng);
+  const AttrSet q = AttrSet::FromIndices({0, 1, 2, 3});
+  const MarginalTable truth = data.CountMarginal(q);
+  const MarginalTable estimate = learning.Query(q);
+  // Truncation error is substantial on correlated data...
+  EXPECT_GT(estimate.L2DistanceTo(truth), 1.0);
+  // ...but the total count (degree-0 coefficient) is preserved.
+  EXPECT_NEAR(estimate.Total(), truth.Total(), 1e-6);
+}
+
+TEST(LearningTest, NamesEncodeGamma) {
+  EXPECT_EQ(LearningMechanism(0.5).Name(), "Learning(1/2)");
+  EXPECT_EQ(LearningMechanism(0.25, false).Name(), "Learning(1/4)*");
+}
+
+}  // namespace
+}  // namespace priview

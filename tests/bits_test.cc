@@ -1,0 +1,109 @@
+#include "common/bits.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace priview {
+namespace {
+
+// Reference PEXT for cross-checking the (possibly BMI2) fast path.
+uint64_t NaiveExtract(uint64_t value, uint64_t mask) {
+  uint64_t result = 0;
+  int out = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    if ((mask >> bit) & 1) {
+      if ((value >> bit) & 1) result |= (1ULL << out);
+      ++out;
+    }
+  }
+  return result;
+}
+
+uint64_t NaiveDeposit(uint64_t value, uint64_t mask) {
+  uint64_t result = 0;
+  int in = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    if ((mask >> bit) & 1) {
+      if ((value >> in) & 1) result |= (1ULL << bit);
+      ++in;
+    }
+  }
+  return result;
+}
+
+TEST(BitsTest, PopCount) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(1), 1);
+  EXPECT_EQ(PopCount(0xFF), 8);
+  EXPECT_EQ(PopCount(~0ULL), 64);
+}
+
+TEST(BitsTest, ExtractKnownValues) {
+  EXPECT_EQ(ExtractBits(0b101101, 0b001101), 0b111u);
+  EXPECT_EQ(ExtractBits(0b101101, 0b110010), 0b100u);
+  EXPECT_EQ(ExtractBits(0xFFFF, 0), 0u);
+  EXPECT_EQ(ExtractBits(0, 0xFFFF), 0u);
+}
+
+TEST(BitsTest, ExtractMatchesNaiveRandom) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t value = rng.NextUint64();
+    const uint64_t mask = rng.NextUint64() & rng.NextUint64();
+    EXPECT_EQ(ExtractBits(value, mask), NaiveExtract(value, mask));
+  }
+}
+
+TEST(BitsTest, DepositMatchesNaiveRandom) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t value = rng.NextUint64();
+    const uint64_t mask = rng.NextUint64() & rng.NextUint64();
+    EXPECT_EQ(DepositBits(value, mask), NaiveDeposit(value, mask));
+  }
+}
+
+TEST(BitsTest, ExtractDepositRoundTrip) {
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t mask = rng.NextUint64();
+    const uint64_t compact = rng.NextUint64() &
+                             ((PopCount(mask) >= 64)
+                                  ? ~0ULL
+                                  : ((1ULL << PopCount(mask)) - 1));
+    EXPECT_EQ(ExtractBits(DepositBits(compact, mask), mask), compact);
+  }
+}
+
+TEST(BitsTest, DepositStaysInMask) {
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t mask = rng.NextUint64();
+    const uint64_t out = DepositBits(rng.NextUint64(), mask);
+    EXPECT_EQ(out & ~mask, 0u);
+  }
+}
+
+TEST(BitsTest, LowestBitIndex) {
+  EXPECT_EQ(LowestBitIndex(1), 0);
+  EXPECT_EQ(LowestBitIndex(0b1000), 3);
+  EXPECT_EQ(LowestBitIndex(1ULL << 63), 63);
+}
+
+TEST(BitsTest, NextSubsetEnumeratesAll) {
+  const uint64_t mask = 0b101100;
+  std::vector<uint64_t> subsets;
+  uint64_t sub = 0;
+  do {
+    subsets.push_back(sub);
+    sub = NextSubset(sub, mask);
+  } while (sub != 0);
+  EXPECT_EQ(subsets.size(), 8u);  // 2^popcount(mask)
+  for (uint64_t s : subsets) EXPECT_EQ(s & ~mask, 0u);
+}
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,211 @@
+#include "categorical/cat_priview.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "categorical/cat_table.h"
+
+namespace priview {
+namespace {
+
+CatDataset MakeCorrelatedSurvey(const CatDomain& domain, size_t n, Rng* rng) {
+  // Attribute 0 drawn from a skewed distribution; each later attribute
+  // copies (attr 0 mod its cardinality) with probability 0.6.
+  CatDataset data(domain);
+  std::vector<int> record(domain.d());
+  for (size_t i = 0; i < n; ++i) {
+    record[0] = static_cast<int>(rng->UniformInt(domain.Cardinality(0)));
+    if (rng->Bernoulli(0.5)) record[0] = 0;  // skew
+    for (int a = 1; a < domain.d(); ++a) {
+      if (rng->Bernoulli(0.6)) {
+        record[a] = record[0] % domain.Cardinality(a);
+      } else {
+        record[a] = static_cast<int>(rng->UniformInt(domain.Cardinality(a)));
+      }
+    }
+    data.Add(record);
+  }
+  return data;
+}
+
+TEST(CatTableTest, MixedRadixIndexRoundTrip) {
+  const CatDomain domain({3, 2, 4, 5});
+  CatTable t(domain, AttrSet::FromIndices({0, 2, 3}));
+  EXPECT_EQ(t.size(), 3u * 4 * 5);
+  for (size_t cell = 0; cell < t.size(); ++cell) {
+    EXPECT_EQ(t.IndexOf(t.ValuesOf(cell)), cell);
+  }
+}
+
+TEST(CatTableTest, CountAndProjectMatch) {
+  Rng rng(1);
+  const CatDomain domain({3, 4, 2});
+  CatDataset data(domain);
+  for (int i = 0; i < 3000; ++i) {
+    data.Add({static_cast<int>(rng.UniformInt(3)),
+              static_cast<int>(rng.UniformInt(4)),
+              static_cast<int>(rng.UniformInt(2))});
+  }
+  const AttrSet wide = AttrSet::FromIndices({0, 1});
+  const AttrSet narrow = AttrSet::FromIndices({1});
+  const CatTable direct = data.CountMarginal(narrow);
+  const CatTable projected =
+      data.CountMarginal(wide).Project(domain, narrow);
+  ASSERT_EQ(direct.size(), projected.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct.At(i), projected.At(i));
+  }
+}
+
+TEST(CatRippleTest, PreservesTotalAndClearsDeepNegatives) {
+  Rng rng(2);
+  const CatDomain domain({3, 3});
+  CatTable t(domain, AttrSet::FromIndices({0, 1}));
+  for (double& c : t.cells()) c = rng.Laplace(10.0) + 4.0;
+  const double before = t.Total();
+  CatRippleNonNegativity(&t, 1.0);
+  EXPECT_NEAR(t.Total(), before, 1e-8);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.At(i), -1.0 - 1e-9);
+  }
+}
+
+TEST(CatRippleTest, NeighborsAreSingleValueChanges) {
+  const CatDomain domain({3, 2});
+  CatTable t(domain, AttrSet::FromIndices({0, 1}));
+  // Layout (attr0 fast): idx = v0 + 3*v1.
+  t.At(0) = -6.0;
+  for (size_t i = 1; i < t.size(); ++i) t.At(i) = 10.0;
+  CatRippleNonNegativity(&t, 0.5);
+  // Neighbors of (0,0): (1,0), (2,0), (0,1) -> each got -6/3 = -2.
+  EXPECT_DOUBLE_EQ(t.At(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.At(1), 8.0);
+  EXPECT_DOUBLE_EQ(t.At(2), 8.0);
+  EXPECT_DOUBLE_EQ(t.At(3), 8.0);
+  EXPECT_DOUBLE_EQ(t.At(4), 10.0);  // (1,1) unchanged: differs in 2 attrs
+  EXPECT_DOUBLE_EQ(t.At(5), 10.0);
+}
+
+TEST(CatConsistencyTest, ViewsAgreeAfterConsistency) {
+  Rng rng(3);
+  const CatDomain domain({3, 2, 4, 3});
+  CatDataset data = MakeCorrelatedSurvey(domain, 4000, &rng);
+  std::vector<CatTable> views;
+  for (AttrSet scope : {AttrSet::FromIndices({0, 1, 2}),
+                        AttrSet::FromIndices({1, 2, 3}),
+                        AttrSet::FromIndices({0, 3})}) {
+    CatTable t = data.CountMarginal(scope);
+    for (double& c : t.cells()) c += rng.Laplace(3.0);
+    views.push_back(std::move(t));
+  }
+  CatMakeConsistent(domain, &views);
+  // Check pairwise agreement on intersections.
+  for (size_t i = 0; i < views.size(); ++i) {
+    for (size_t j = i + 1; j < views.size(); ++j) {
+      const AttrSet common = views[i].scope().Intersect(views[j].scope());
+      if (common.empty()) {
+        EXPECT_NEAR(views[i].Total(), views[j].Total(), 1e-7);
+        continue;
+      }
+      const CatTable pi = views[i].Project(domain, common);
+      const CatTable pj = views[j].Project(domain, common);
+      for (size_t a = 0; a < pi.size(); ++a) {
+        EXPECT_NEAR(pi.At(a), pj.At(a), 1e-7);
+      }
+    }
+  }
+}
+
+TEST(CatReconstructTest, CoveredScopeExact) {
+  Rng rng(4);
+  const CatDomain domain({3, 2, 4});
+  CatDataset data = MakeCorrelatedSurvey(domain, 2000, &rng);
+  std::vector<CatTable> views = {
+      data.CountMarginal(AttrSet::FromIndices({0, 1})),
+      data.CountMarginal(AttrSet::FromIndices({1, 2}))};
+  const CatTable answer = CatReconstructMarginal(
+      domain, views, AttrSet::FromIndices({0, 1}), 2000.0);
+  const CatTable truth = data.CountMarginal(AttrSet::FromIndices({0, 1}));
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(answer.At(i), truth.At(i), 1e-9);
+  }
+}
+
+TEST(CatReconstructTest, IpfSatisfiesConstraints) {
+  Rng rng(5);
+  const CatDomain domain({3, 2, 4});
+  CatDataset data = MakeCorrelatedSurvey(domain, 5000, &rng);
+  std::vector<CatTable> views = {
+      data.CountMarginal(AttrSet::FromIndices({0, 1})),
+      data.CountMarginal(AttrSet::FromIndices({1, 2}))};
+  const AttrSet target = AttrSet::FromIndices({0, 1, 2});
+  const CatTable answer =
+      CatReconstructMarginal(domain, views, target, 5000.0);
+  for (const CatTable& view : views) {
+    const CatTable got = answer.Project(domain, view.scope());
+    for (size_t a = 0; a < got.size(); ++a) {
+      EXPECT_NEAR(got.At(a), view.At(a), 0.5);
+    }
+  }
+}
+
+TEST(CatViewSelectionTest, PairCoverRespectsBudget) {
+  Rng rng(6);
+  const CatDomain domain({3, 4, 2, 5, 3, 2, 4, 3});
+  const int budget = 200;
+  const std::vector<AttrSet> blocks =
+      GreedyPairCoverUnderBudget(domain, budget, &rng);
+  // All pairs covered.
+  for (int a = 0; a < domain.d(); ++a) {
+    for (int b = a + 1; b < domain.d(); ++b) {
+      bool covered = false;
+      for (AttrSet block : blocks) {
+        if (block.Contains(a) && block.Contains(b)) covered = true;
+      }
+      EXPECT_TRUE(covered) << a << "," << b;
+    }
+  }
+  // Cell budget respected.
+  for (AttrSet block : blocks) {
+    EXPECT_LE(domain.TableSize(block), static_cast<size_t>(budget));
+  }
+}
+
+TEST(CatBudgetGuidanceTest, ObjectiveAndRanges) {
+  // Objective decreasing then increasing in s (unimodal-ish): check the
+  // recommended windows bracket reasonable values.
+  double lo = 0.0, hi = 0.0;
+  RecommendedCellBudget(2.0, &lo, &hi);
+  EXPECT_DOUBLE_EQ(lo, 100.0);
+  EXPECT_DOUBLE_EQ(hi, 1000.0);
+  RecommendedCellBudget(5.0, &lo, &hi);
+  EXPECT_DOUBLE_EQ(lo, 250.0);
+  EXPECT_DOUBLE_EQ(hi, 5000.0);
+  EXPECT_GT(CellBudgetObjective(2.0, 10000.0),
+            CellBudgetObjective(2.0, 500.0));
+}
+
+TEST(CatSynopsisTest, EndToEndBeatsUniform) {
+  Rng rng(7);
+  const CatDomain domain({3, 3, 2, 4, 3, 2});
+  CatDataset data = MakeCorrelatedSurvey(domain, 50000, &rng);
+  const std::vector<AttrSet> blocks =
+      GreedyPairCoverUnderBudget(domain, 100, &rng);
+  CatPriViewSynopsis::Options options;
+  options.epsilon = 1.0;
+  const CatPriViewSynopsis synopsis =
+      CatPriViewSynopsis::Build(data, blocks, options, &rng);
+
+  const AttrSet target = AttrSet::FromIndices({0, 1, 3});
+  const CatTable truth = data.CountMarginal(target);
+  const CatTable answer = synopsis.Query(target);
+  CatTable uniform(domain, target,
+                   static_cast<double>(data.size()) /
+                       static_cast<double>(domain.TableSize(target)));
+  EXPECT_LT(answer.L2DistanceTo(truth), uniform.L2DistanceTo(truth));
+}
+
+}  // namespace
+}  // namespace priview

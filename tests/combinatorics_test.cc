@@ -1,0 +1,93 @@
+#include "common/combinatorics.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+
+namespace priview {
+namespace {
+
+TEST(CombinatoricsTest, BinomialKnownValues) {
+  EXPECT_EQ(Binomial(0, 0), 1u);
+  EXPECT_EQ(Binomial(5, 0), 1u);
+  EXPECT_EQ(Binomial(5, 5), 1u);
+  EXPECT_EQ(Binomial(5, 2), 10u);
+  EXPECT_EQ(Binomial(32, 8), 10518300u);
+  EXPECT_EQ(Binomial(45, 6), 8145060u);
+  EXPECT_EQ(Binomial(10, 11), 0u);
+}
+
+TEST(CombinatoricsTest, BinomialDoubleMatchesExact) {
+  for (int n = 0; n <= 40; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_DOUBLE_EQ(BinomialDouble(n, k),
+                       static_cast<double>(Binomial(n, k)))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CombinatoricsTest, PascalIdentity) {
+  for (int n = 1; n <= 30; ++n) {
+    for (int k = 1; k <= n; ++k) {
+      EXPECT_EQ(Binomial(n, k), Binomial(n - 1, k - 1) + Binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(CombinatoricsTest, PrefixSum) {
+  // Sum_{j<=2} C(4,j) = 1 + 4 + 6 = 11.
+  EXPECT_DOUBLE_EQ(BinomialPrefixSum(4, 2), 11.0);
+  // Full prefix equals 2^n.
+  EXPECT_DOUBLE_EQ(BinomialPrefixSum(10, 10), 1024.0);
+  // Barak coefficient count for d=9, k=4: 1+9+36+84+126 = 256.
+  EXPECT_DOUBLE_EQ(BinomialPrefixSum(9, 4), 256.0);
+}
+
+TEST(CombinatoricsTest, AllSubsetsCountAndContent) {
+  const auto subsets = AllSubsets(5, 3);
+  EXPECT_EQ(subsets.size(), 10u);
+  std::set<std::vector<int>> unique(subsets.begin(), subsets.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (const auto& s : subsets) {
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_LT(s[0], s[1]);
+    EXPECT_LT(s[1], s[2]);
+    EXPECT_GE(s[0], 0);
+    EXPECT_LT(s[2], 5);
+  }
+}
+
+TEST(CombinatoricsTest, AllSubsetsEdgeCases) {
+  EXPECT_EQ(AllSubsets(4, 0).size(), 1u);
+  EXPECT_EQ(AllSubsets(4, 4).size(), 1u);
+  EXPECT_TRUE(AllSubsets(3, 5).empty());
+}
+
+TEST(CombinatoricsTest, ForEachSubsetMaskMatchesBinomial) {
+  for (int n = 1; n <= 16; ++n) {
+    for (int k = 0; k <= n && k <= 4; ++k) {
+      uint64_t count = 0;
+      std::set<uint64_t> seen;
+      ForEachSubsetMask(n, k, [&](uint64_t mask) {
+        ++count;
+        EXPECT_EQ(PopCount(mask), k);
+        EXPECT_EQ(mask >> n, 0u);
+        seen.insert(mask);
+      });
+      EXPECT_EQ(count, Binomial(n, k)) << "n=" << n << " k=" << k;
+      EXPECT_EQ(seen.size(), count);
+    }
+  }
+}
+
+TEST(CombinatoricsTest, ForEachSubsetMaskLargeN) {
+  uint64_t count = 0;
+  ForEachSubsetMask(64, 2, [&](uint64_t) { ++count; });
+  EXPECT_EQ(count, Binomial(64, 2));
+}
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,179 @@
+#include "core/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dp/mechanisms.h"
+#include "table/dataset.h"
+
+namespace priview {
+namespace {
+
+TEST(IntersectionClosureTest, PairwiseAndTransitive) {
+  const std::vector<AttrSet> views = {AttrSet::FromIndices({0, 1, 2}),
+                                      AttrSet::FromIndices({1, 2, 3}),
+                                      AttrSet::FromIndices({2, 3, 4})};
+  const std::vector<AttrSet> closure = IntersectionClosure(views);
+  // Expected shared sets: {} , {2}, {1,2}, {2,3} (and {2} = v0 ∩ v2).
+  auto contains = [&](AttrSet a) {
+    for (AttrSet c : closure) {
+      if (c == a) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(AttrSet()));
+  EXPECT_TRUE(contains(AttrSet::FromIndices({2})));
+  EXPECT_TRUE(contains(AttrSet::FromIndices({1, 2})));
+  EXPECT_TRUE(contains(AttrSet::FromIndices({2, 3})));
+  // Sets inside only one view are excluded.
+  EXPECT_FALSE(contains(AttrSet::FromIndices({0, 1, 2})));
+  // Ascending-size (topological) order.
+  for (size_t i = 1; i < closure.size(); ++i) {
+    EXPECT_LE(closure[i - 1].size(), closure[i].size());
+  }
+}
+
+TEST(IntersectionClosureTest, DisjointViewsShareOnlyEmptySet) {
+  const std::vector<AttrSet> views = {AttrSet::FromIndices({0, 1}),
+                                      AttrSet::FromIndices({2, 3})};
+  const std::vector<AttrSet> closure = IntersectionClosure(views);
+  ASSERT_EQ(closure.size(), 1u);
+  EXPECT_TRUE(closure[0].empty());
+}
+
+// The paper's §4.4 worked example, translated to this library's cell order
+// (lowest attribute = fastest index bit).
+TEST(MutualConsistencyTest, PaperWorkedExample) {
+  const AttrSet v1 = AttrSet::FromIndices({1, 2});  // {a1, a2}
+  const AttrSet v2 = AttrSet::FromIndices({1, 3});  // {a1, a3}
+  std::vector<MarginalTable> views;
+  views.emplace_back(v1, std::vector<double>{0.3, 0.3, 0.3, 0.1});
+  views.emplace_back(v2, std::vector<double>{0.2, 0.1, 0.3, 0.4});
+
+  MutualConsistencyStep(&views, AttrSet::FromIndices({1}), {0, 1});
+
+  // T_{V1} after: (a1=0,a2=0)=0.275, (1,0)=0.325, (0,1)=0.275, (1,1)=0.125.
+  EXPECT_NEAR(views[0].At(0b00), 0.275, 1e-12);
+  EXPECT_NEAR(views[0].At(0b01), 0.325, 1e-12);
+  EXPECT_NEAR(views[0].At(0b10), 0.275, 1e-12);
+  EXPECT_NEAR(views[0].At(0b11), 0.125, 1e-12);
+  // T_{V2} after: (a1=0,a3=0)=0.225, (1,0)=0.075, (0,1)=0.325, (1,1)=0.375.
+  EXPECT_NEAR(views[1].At(0b00), 0.225, 1e-12);
+  EXPECT_NEAR(views[1].At(0b01), 0.075, 1e-12);
+  EXPECT_NEAR(views[1].At(0b10), 0.325, 1e-12);
+  EXPECT_NEAR(views[1].At(0b11), 0.375, 1e-12);
+
+  // They now agree on a1 (0.55 / 0.45)...
+  const MarginalTable p1 = views[0].Project(AttrSet::FromIndices({1}));
+  const MarginalTable p2 = views[1].Project(AttrSet::FromIndices({1}));
+  EXPECT_NEAR(p1.At(0), 0.55, 1e-12);
+  EXPECT_NEAR(p1.At(1), 0.45, 1e-12);
+  EXPECT_NEAR(p2.At(0), 0.55, 1e-12);
+  EXPECT_NEAR(p2.At(1), 0.45, 1e-12);
+
+  // ...and the marginals of uninvolved attributes are unchanged (Lemma 1):
+  // a2 stays (0.6, 0.4), a3 stays (0.3, 0.7).
+  const MarginalTable a2 = views[0].Project(AttrSet::FromIndices({2}));
+  EXPECT_NEAR(a2.At(0), 0.6, 1e-12);
+  EXPECT_NEAR(a2.At(1), 0.4, 1e-12);
+  const MarginalTable a3 = views[1].Project(AttrSet::FromIndices({3}));
+  EXPECT_NEAR(a3.At(0), 0.3, 1e-12);
+  EXPECT_NEAR(a3.At(1), 0.7, 1e-12);
+}
+
+TEST(MutualConsistencyTest, EmptySetSynchronizesTotals) {
+  std::vector<MarginalTable> views;
+  views.emplace_back(AttrSet::FromIndices({0, 1}),
+                     std::vector<double>{1.0, 1.0, 1.0, 1.0});  // total 4
+  views.emplace_back(AttrSet::FromIndices({2, 3}),
+                     std::vector<double>{3.0, 3.0, 3.0, 3.0});  // total 12
+  MutualConsistencyStep(&views, AttrSet(), {0, 1});
+  EXPECT_NEAR(views[0].Total(), 8.0, 1e-12);
+  EXPECT_NEAR(views[1].Total(), 8.0, 1e-12);
+  // Corrections spread uniformly.
+  EXPECT_NEAR(views[0].At(0), 2.0, 1e-12);
+  EXPECT_NEAR(views[1].At(0), 2.0, 1e-12);
+}
+
+TEST(MakeConsistentTest, NoisyViewsBecomeFullyConsistent) {
+  Rng rng(21);
+  Dataset data(8);
+  for (int i = 0; i < 3000; ++i) data.Add(rng.NextUint64() & 0xFF);
+
+  const std::vector<AttrSet> scopes = {
+      AttrSet::FromIndices({0, 1, 2, 3}), AttrSet::FromIndices({2, 3, 4, 5}),
+      AttrSet::FromIndices({4, 5, 6, 7}), AttrSet::FromIndices({0, 3, 5, 6})};
+  std::vector<MarginalTable> views;
+  for (AttrSet s : scopes) {
+    MarginalTable t = data.CountMarginal(s);
+    AddLaplaceNoise(&t, 4.0, 1.0, &rng);
+    views.push_back(std::move(t));
+  }
+  EXPECT_GT(MaxInconsistency(views), 0.1);  // noisy views disagree
+
+  MakeConsistent(&views);
+  EXPECT_LT(MaxInconsistency(views), 1e-8);
+}
+
+TEST(MakeConsistentTest, ConsistencyImprovesAccuracy) {
+  // Averaging redundancy should reduce error vs. the raw noisy views —
+  // the first purpose of the consistency step claimed in §4.2.
+  Rng rng(22);
+  Dataset data(6);
+  for (int i = 0; i < 5000; ++i) data.Add(rng.NextUint64() & 0x3F);
+  // Heavily overlapping views maximize shared information.
+  const std::vector<AttrSet> scopes = {
+      AttrSet::FromIndices({0, 1, 2, 3}), AttrSet::FromIndices({0, 1, 2, 4}),
+      AttrSet::FromIndices({0, 1, 2, 5})};
+
+  double raw_error = 0.0, consistent_error = 0.0;
+  const AttrSet probe = AttrSet::FromIndices({0, 1, 2});
+  const MarginalTable truth = data.CountMarginal(probe);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<MarginalTable> views;
+    for (AttrSet s : scopes) {
+      MarginalTable t = data.CountMarginal(s);
+      AddLaplaceNoise(&t, 3.0, 1.0, &rng);
+      views.push_back(std::move(t));
+    }
+    raw_error += views[0].Project(probe).L2DistanceTo(truth);
+    MakeConsistent(&views);
+    consistent_error += views[0].Project(probe).L2DistanceTo(truth);
+  }
+  EXPECT_LT(consistent_error, raw_error);
+}
+
+TEST(MakeConsistentTest, ExactViewsStayExact) {
+  // Consistency on already-consistent (noise-free) views is a no-op.
+  Rng rng(23);
+  Dataset data(6);
+  for (int i = 0; i < 1000; ++i) data.Add(rng.NextUint64() & 0x3F);
+  const std::vector<AttrSet> scopes = {AttrSet::FromIndices({0, 1, 2}),
+                                       AttrSet::FromIndices({1, 2, 3}),
+                                       AttrSet::FromIndices({3, 4, 5})};
+  std::vector<MarginalTable> views;
+  for (AttrSet s : scopes) views.push_back(data.CountMarginal(s));
+  const std::vector<MarginalTable> before = views;
+  MakeConsistent(&views);
+  for (size_t v = 0; v < views.size(); ++v) {
+    for (size_t i = 0; i < views[v].size(); ++i) {
+      EXPECT_NEAR(views[v].At(i), before[v].At(i), 1e-9);
+    }
+  }
+}
+
+TEST(MakeConsistentTest, PreservesTotalMassAverage) {
+  Rng rng(24);
+  std::vector<MarginalTable> views;
+  views.emplace_back(AttrSet::FromIndices({0, 1}),
+                     std::vector<double>{5.0, 3.0, 1.0, 1.0});
+  views.emplace_back(AttrSet::FromIndices({1, 2}),
+                     std::vector<double>{2.0, 2.0, 5.0, 5.0});
+  const double mean_total = (10.0 + 14.0) / 2.0;
+  MakeConsistent(&views);
+  EXPECT_NEAR(views[0].Total(), mean_total, 1e-9);
+  EXPECT_NEAR(views[1].Total(), mean_total, 1e-9);
+}
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,56 @@
+#include "opt/constraint.h"
+
+#include <gtest/gtest.h>
+
+namespace priview {
+namespace {
+
+MarginalConstraint Make(std::vector<int> attrs, std::vector<double> cells) {
+  const AttrSet scope = AttrSet::FromIndices(attrs);
+  return {scope, MarginalTable(scope, std::move(cells))};
+}
+
+TEST(ConstraintTest, MergesDuplicateScopesByAveraging) {
+  std::vector<MarginalConstraint> in;
+  in.push_back(Make({0}, {2.0, 4.0}));
+  in.push_back(Make({0}, {4.0, 8.0}));
+  const auto out = DeduplicateConstraints(std::move(in));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].target.At(0), 3.0);
+  EXPECT_DOUBLE_EQ(out[0].target.At(1), 6.0);
+}
+
+TEST(ConstraintTest, DropsDominatedScopes) {
+  std::vector<MarginalConstraint> in;
+  in.push_back(Make({0}, {5.0, 5.0}));
+  in.push_back(Make({0, 1}, {2.0, 3.0, 3.0, 2.0}));
+  const auto out = DeduplicateConstraints(std::move(in));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].scope, AttrSet::FromIndices({0, 1}));
+}
+
+TEST(ConstraintTest, KeepsIncomparableScopes) {
+  std::vector<MarginalConstraint> in;
+  in.push_back(Make({0, 1}, {1.0, 1.0, 1.0, 1.0}));
+  in.push_back(Make({1, 2}, {1.0, 1.0, 1.0, 1.0}));
+  const auto out = DeduplicateConstraints(std::move(in));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(ConstraintTest, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(DeduplicateConstraints({}).empty());
+}
+
+TEST(ConstraintTest, ThreeWayMergeAndDomination) {
+  std::vector<MarginalConstraint> in;
+  in.push_back(Make({2}, {1.0, 2.0}));
+  in.push_back(Make({2}, {3.0, 4.0}));
+  in.push_back(Make({2}, {5.0, 6.0}));
+  in.push_back(Make({0, 2}, {1.0, 1.0, 1.0, 1.0}));
+  const auto out = DeduplicateConstraints(std::move(in));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].scope, AttrSet::FromIndices({0, 2}));
+}
+
+}  // namespace
+}  // namespace priview

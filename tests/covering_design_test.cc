@@ -1,0 +1,84 @@
+#include "design/covering_design.h"
+
+#include <gtest/gtest.h>
+
+#include "common/combinatorics.h"
+
+namespace priview {
+namespace {
+
+TEST(CoveringDesignTest, CatalogC263OnNinePoints) {
+  const auto design = CatalogCoveringDesign(9, 6, 2);
+  ASSERT_TRUE(design.has_value());
+  EXPECT_EQ(design->w(), 3);
+  EXPECT_TRUE(VerifyCovering(*design));
+  EXPECT_EQ(design->Name(), "C2(6,3)");
+}
+
+TEST(CoveringDesignTest, CatalogTrivialFullBlock) {
+  const auto design = CatalogCoveringDesign(8, 8, 3);
+  ASSERT_TRUE(design.has_value());
+  EXPECT_EQ(design->w(), 1);
+  EXPECT_TRUE(VerifyCovering(*design));
+}
+
+TEST(CoveringDesignTest, VerifyRejectsNonCover) {
+  CoveringDesign bad{4, 2, 2, {AttrSet::FromIndices({0, 1})}};
+  EXPECT_FALSE(VerifyCovering(bad));
+}
+
+TEST(CoveringDesignTest, VerifyRejectsWrongBlockSize) {
+  CoveringDesign bad{4, 3, 1, {AttrSet::FromIndices({0, 1})}};
+  EXPECT_FALSE(VerifyCovering(bad));
+}
+
+struct GreedyCase {
+  int d, ell, t;
+  int max_blocks;  // sanity ceiling: greedy should do at least this well
+};
+
+class GreedyCoveringTest : public ::testing::TestWithParam<GreedyCase> {};
+
+TEST_P(GreedyCoveringTest, ProducesVerifiedCoverOfReasonableSize) {
+  const GreedyCase& c = GetParam();
+  Rng rng(12345);
+  const CoveringDesign design = GreedyCoveringDesign(c.d, c.ell, c.t, &rng);
+  EXPECT_TRUE(VerifyCovering(design));
+  EXPECT_LE(design.w(), c.max_blocks)
+      << "greedy cover too large for d=" << c.d << " ell=" << c.ell
+      << " t=" << c.t;
+  // Lower bound: C(d,t)/C(ell,t) blocks are necessary.
+  const double lower = BinomialDouble(c.d, c.t) / BinomialDouble(c.ell, c.t);
+  EXPECT_GE(design.w(), static_cast<int>(lower));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedyCoveringTest,
+    ::testing::Values(GreedyCase{9, 6, 2, 6}, GreedyCase{16, 8, 2, 8},
+                      GreedyCase{32, 8, 2, 35}, GreedyCase{45, 8, 2, 70},
+                      GreedyCase{64, 8, 2, 140}, GreedyCase{16, 8, 3, 35},
+                      GreedyCase{32, 8, 3, 180}, GreedyCase{12, 6, 4, 80},
+                      GreedyCase{10, 5, 1, 3}));
+
+TEST(CoveringDesignTest, GreedyDeterministicForSeed) {
+  Rng a(7), b(7);
+  const CoveringDesign da = GreedyCoveringDesign(20, 8, 2, &a);
+  const CoveringDesign db = GreedyCoveringDesign(20, 8, 2, &b);
+  ASSERT_EQ(da.w(), db.w());
+  for (int i = 0; i < da.w(); ++i) EXPECT_EQ(da.blocks[i], db.blocks[i]);
+}
+
+TEST(CoveringDesignTest, AverageCoverageMultiplicityAtLeastOne) {
+  Rng rng(3);
+  const CoveringDesign design = GreedyCoveringDesign(20, 8, 2, &rng);
+  EXPECT_GE(AverageCoverageMultiplicity(design), 1.0);
+}
+
+TEST(CoveringDesignTest, MakeCoveringDesignPrefersCatalog) {
+  Rng rng(4);
+  const CoveringDesign design = MakeCoveringDesign(9, 6, 2, &rng);
+  EXPECT_EQ(design.w(), 3);
+}
+
+}  // namespace
+}  // namespace priview

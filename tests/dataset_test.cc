@@ -1,0 +1,100 @@
+#include "table/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "table/contingency_table.h"
+
+namespace priview {
+namespace {
+
+Dataset SmallDataset() {
+  // d = 3 records: 000, 101, 111, 101, 010.
+  Dataset data(3);
+  data.Add(0b000);
+  data.Add(0b101);
+  data.Add(0b111);
+  data.Add(0b101);
+  data.Add(0b010);
+  return data;
+}
+
+TEST(DatasetTest, CountMarginalKnown) {
+  const Dataset data = SmallDataset();
+  const MarginalTable t = data.CountMarginal(AttrSet::FromIndices({0, 2}));
+  // (a0, a2) pairs: (0,0), (1,1), (1,1), (1,1), (0,0).
+  EXPECT_DOUBLE_EQ(t.At(0b00), 2.0);
+  EXPECT_DOUBLE_EQ(t.At(0b01), 0.0);
+  EXPECT_DOUBLE_EQ(t.At(0b10), 0.0);
+  EXPECT_DOUBLE_EQ(t.At(0b11), 3.0);
+  EXPECT_DOUBLE_EQ(t.Total(), 5.0);
+}
+
+TEST(DatasetTest, CountCellMatchesMarginal) {
+  const Dataset data = SmallDataset();
+  const AttrSet attrs = AttrSet::FromIndices({1, 2});
+  const MarginalTable t = data.CountMarginal(attrs);
+  for (uint64_t a = 0; a < t.size(); ++a) {
+    EXPECT_DOUBLE_EQ(data.CountCell(attrs, a), t.At(a));
+  }
+}
+
+TEST(DatasetTest, AttributeFrequency) {
+  const Dataset data = SmallDataset();
+  EXPECT_DOUBLE_EQ(data.AttributeFrequency(0), 3.0 / 5);
+  EXPECT_DOUBLE_EQ(data.AttributeFrequency(1), 2.0 / 5);
+  EXPECT_DOUBLE_EQ(data.AttributeFrequency(2), 3.0 / 5);
+}
+
+TEST(DatasetTest, MarginalConsistentAcrossScopes) {
+  // Projecting a wider marginal must equal counting the narrower directly.
+  Rng rng(8);
+  Dataset data(10);
+  for (int i = 0; i < 2000; ++i) {
+    data.Add(rng.NextUint64() & 0x3FF);
+  }
+  const AttrSet wide = AttrSet::FromIndices({1, 3, 4, 8});
+  const AttrSet narrow = AttrSet::FromIndices({3, 8});
+  const MarginalTable direct = data.CountMarginal(narrow);
+  const MarginalTable projected = data.CountMarginal(wide).Project(narrow);
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct.At(i), projected.At(i));
+  }
+}
+
+TEST(ContingencyTableTest, MatchesDirectCounting) {
+  Rng rng(9);
+  Dataset data(8);
+  for (int i = 0; i < 5000; ++i) data.Add(rng.NextUint64() & 0xFF);
+  const ContingencyTable full = ContingencyTable::FromDataset(data);
+  EXPECT_DOUBLE_EQ(full.Total(), 5000.0);
+  const AttrSet attrs = AttrSet::FromIndices({0, 4, 7});
+  const MarginalTable from_full = full.MarginalOf(attrs);
+  const MarginalTable direct = data.CountMarginal(attrs);
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(from_full.At(i), direct.At(i));
+  }
+}
+
+TEST(ContingencyTableTest, FullMarginalIsTableItself) {
+  Rng rng(10);
+  Dataset data(5);
+  for (int i = 0; i < 100; ++i) data.Add(rng.NextUint64() & 0x1F);
+  const ContingencyTable full = ContingencyTable::FromDataset(data);
+  const MarginalTable m = full.MarginalOf(AttrSet::Full(5));
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m.At(i), full.At(i));
+  }
+}
+
+TEST(DatasetTest, D64Supported) {
+  Dataset data(64);
+  data.Add(~0ULL);
+  data.Add(0);
+  const MarginalTable t = data.CountMarginal(AttrSet::FromIndices({0, 63}));
+  EXPECT_DOUBLE_EQ(t.At(0b00), 1.0);
+  EXPECT_DOUBLE_EQ(t.At(0b11), 1.0);
+}
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,61 @@
+#include "core/error_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace priview {
+namespace {
+
+TEST(ErrorModelTest, UnitVariance) {
+  EXPECT_DOUBLE_EQ(UnitVariance(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(UnitVariance(0.1), 200.0);
+}
+
+TEST(ErrorModelTest, FlatEseIsTwoToTheD) {
+  EXPECT_DOUBLE_EQ(FlatEse(16, 1.0), 65536.0 * 2.0);
+}
+
+TEST(ErrorModelTest, DirectEseExample) {
+  // §4.1 example: d=16, k=2 -> 2^2 * C(16,2)^2 V_u = 57600 V_u.
+  EXPECT_DOUBLE_EQ(DirectEse(16, 2, 1.0) / UnitVariance(1.0), 57600.0);
+}
+
+TEST(ErrorModelTest, PriViewMidgroundExample) {
+  // §4.1: six 8-way views -> 2^2 * 6^2 * 2^6 V_u = 9216 V_u for a pair
+  // (the paper prints 9126, an arithmetic slip; 4*36*64 = 9216).
+  const double pair_ese =
+      4.0 * PriViewSingleViewEse(8, 6, 1.0) / UnitVariance(1.0) /
+      std::pow(2.0, 8) * std::pow(2.0, 6);
+  EXPECT_NEAR(pair_ese, 9216.0, 1e-6);
+}
+
+TEST(ErrorModelTest, CrossoverTableMatchesPaper) {
+  // §3.2 table: Direct beats Flat from d >= 16, 26, 36, 46 for k = 2..5.
+  EXPECT_EQ(DirectBeatsFlatThreshold(2), 16);
+  EXPECT_EQ(DirectBeatsFlatThreshold(3), 26);
+  EXPECT_EQ(DirectBeatsFlatThreshold(4), 36);
+  EXPECT_EQ(DirectBeatsFlatThreshold(5), 46);
+}
+
+TEST(ErrorModelTest, FourierBeatsDirectByAbout2ToK) {
+  // §3.3: Fourier reduces the Direct ESE by roughly a factor 2^k (exactly
+  // if m were C(d,k); slightly less since m = sum_j C(d,j) > C(d,k)).
+  const double ratio = DirectEse(32, 4, 1.0) / FourierEse(32, 4, 1.0);
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 16.0);
+}
+
+TEST(ErrorModelTest, ExpectedNormalizedL2) {
+  EXPECT_DOUBLE_EQ(ExpectedNormalizedL2(400.0, 10.0), 2.0);
+}
+
+TEST(ErrorModelTest, EpsilonScaling) {
+  // All ESEs scale as 1/eps^2.
+  EXPECT_NEAR(FlatEse(10, 0.1) / FlatEse(10, 1.0), 100.0, 1e-9);
+  EXPECT_NEAR(DirectEse(10, 3, 0.1) / DirectEse(10, 3, 1.0), 100.0, 1e-9);
+  EXPECT_NEAR(FourierEse(10, 3, 0.1) / FourierEse(10, 3, 1.0), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace priview

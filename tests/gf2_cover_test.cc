@@ -1,0 +1,89 @@
+#include "design/gf2_cover.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+
+namespace priview {
+namespace {
+
+TEST(Gf2SubspaceTest, CountsMatchGaussianBinomials) {
+  // Number of s-dim subspaces of GF(2)^m = Gaussian binomial [m s]_2.
+  EXPECT_EQ(AllGf2Subspaces(4, 2).size(), 35u);
+  EXPECT_EQ(AllGf2Subspaces(4, 3).size(), 15u);
+  EXPECT_EQ(AllGf2Subspaces(5, 3).size(), 155u);
+  EXPECT_EQ(AllGf2Subspaces(6, 3).size(), 1395u);
+}
+
+TEST(Gf2SubspaceTest, EachSubspaceIsClosedUnderXor) {
+  for (const auto& subspace : AllGf2Subspaces(4, 2)) {
+    ASSERT_EQ(subspace.size(), 4u);
+    const std::set<uint32_t> elements(subspace.begin(), subspace.end());
+    EXPECT_TRUE(elements.count(0));
+    for (uint32_t a : elements) {
+      for (uint32_t b : elements) {
+        EXPECT_TRUE(elements.count(a ^ b));
+      }
+    }
+  }
+}
+
+TEST(Gf2SubspaceTest, SpreadOfGf2Dim6Found) {
+  // GF(2)^6 admits a perfect 3-spread: 9 subspaces partitioning the 63
+  // nonzero vectors. The greedy cover must find exactly 9.
+  Rng rng(1);
+  const std::vector<int> cover = SubspaceCover(6, 3, &rng);
+  EXPECT_EQ(cover.size(), 9u);
+}
+
+TEST(Gf2SubspaceTest, CoverOfGf2Dim5IsSmall) {
+  // 31 nonzero vectors, 7 per subspace: lower bound 5. The La Jolla value
+  // C(32,8,2) = 20 = 5 subspaces x 4 cosets implies a 5-cover exists.
+  Rng rng(2);
+  const std::vector<int> cover = SubspaceCover(5, 3, &rng);
+  EXPECT_LE(cover.size(), 6u);
+  EXPECT_GE(cover.size(), 5u);
+}
+
+TEST(Gf2CoverDesignTest, D64MatchesPaper) {
+  Rng rng(3);
+  const auto design = SubspaceCoverDesign(64, 8, &rng);
+  ASSERT_TRUE(design.has_value());
+  EXPECT_EQ(design->w(), 72);  // the paper's C2(8,72)
+  EXPECT_TRUE(VerifyCovering(*design));
+}
+
+TEST(Gf2CoverDesignTest, D32NearPaper) {
+  Rng rng(4);
+  const auto design = SubspaceCoverDesign(32, 8, &rng);
+  ASSERT_TRUE(design.has_value());
+  EXPECT_LE(design->w(), 24);  // paper: 20; 6-subspace fallback gives 24
+  EXPECT_TRUE(VerifyCovering(*design));
+}
+
+TEST(Gf2CoverDesignTest, D16GivesSixViews) {
+  // The §4.1 motivating example: six 8-way views covering all pairs of 16.
+  Rng rng(5);
+  const auto design = SubspaceCoverDesign(16, 8, &rng);
+  ASSERT_TRUE(design.has_value());
+  EXPECT_EQ(design->w(), 6);
+  EXPECT_TRUE(VerifyCovering(*design));
+}
+
+TEST(Gf2CoverDesignTest, RejectsNonPowersOfTwo) {
+  Rng rng(6);
+  EXPECT_FALSE(SubspaceCoverDesign(45, 8, &rng).has_value());
+  EXPECT_FALSE(SubspaceCoverDesign(32, 6, &rng).has_value());
+  EXPECT_FALSE(SubspaceCoverDesign(8, 8, &rng).has_value());
+}
+
+TEST(Gf2CoverDesignTest, MakeCoveringDesignUsesAlgebraicPath) {
+  Rng rng(7);
+  const CoveringDesign design = MakeCoveringDesign(64, 8, 2, &rng);
+  EXPECT_EQ(design.w(), 72);
+}
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,137 @@
+// End-to-end integration tests: the full PriView pipeline against the
+// baselines on shrunk versions of the paper's experimental settings, plus
+// the bench harness utilities.
+#include <gtest/gtest.h>
+
+#include "baselines/direct.h"
+#include "baselines/fourier.h"
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "core/synopsis.h"
+#include "data/mchain.h"
+#include "data/synthetic.h"
+#include "design/view_selection.h"
+#include "metrics/metrics.h"
+
+namespace priview {
+namespace {
+
+TEST(IntegrationTest, PriViewBeatsDirectOnKosarakLike) {
+  // Shrunk Fig. 2 setting: d = 32, k = 4, eps = 1. PriView should beat
+  // Direct by a wide margin (the paper reports 2-3 orders of magnitude at
+  // full N; at N = 50k the gap is smaller but must still be decisive).
+  Rng rng(1);
+  Dataset data = MakeKosarakLike(&rng, 50000);
+  Rng qrng(2);
+  const auto queries = SampleQuerySets(32, 4, 20, &qrng);
+
+  const ViewSelection sel = SelectViews(32, 50000, 1.0, &rng);
+  PriViewOptions options;
+  options.epsilon = 1.0;
+  PriViewSynopsis synopsis =
+      PriViewSynopsis::Build(data, sel.design.blocks, options, &rng);
+  DirectMechanism direct;
+  direct.Fit(data, 1.0, 4, &rng);
+
+  const double n = static_cast<double>(data.size());
+  double priview_error = 0.0, direct_error = 0.0;
+  for (AttrSet q : queries) {
+    const MarginalTable truth = data.CountMarginal(q);
+    priview_error += synopsis.Query(q).L2DistanceTo(truth) / n;
+    direct_error += direct.Query(q).L2DistanceTo(truth) / n;
+  }
+  EXPECT_LT(priview_error * 5.0, direct_error);
+}
+
+TEST(IntegrationTest, PriViewBeatsFourierOnAolLike) {
+  Rng rng(3);
+  Dataset data = MakeAolLike(&rng, 50000);
+  Rng qrng(4);
+  const auto queries = SampleQuerySets(45, 6, 10, &qrng);
+
+  const ViewSelection sel = SelectViews(45, 50000, 1.0, &rng);
+  PriViewOptions options;
+  PriViewSynopsis synopsis =
+      PriViewSynopsis::Build(data, sel.design.blocks, options, &rng);
+  FourierMechanism fourier;
+  fourier.Fit(data, 1.0, 6, &rng);
+
+  const double n = static_cast<double>(data.size());
+  double priview_error = 0.0, fourier_error = 0.0;
+  for (AttrSet q : queries) {
+    const MarginalTable truth = data.CountMarginal(q);
+    priview_error += synopsis.Query(q).L2DistanceTo(truth) / n;
+    fourier_error += fourier.Query(q).L2DistanceTo(truth) / n;
+  }
+  EXPECT_LT(priview_error * 5.0, fourier_error);
+}
+
+TEST(IntegrationTest, MchainConsecutiveQueriesAccurate) {
+  // Shrunk Fig. 5: order-2 chain, d = 64, consecutive queries. Pairwise
+  // coverage suffices (the paper's mc2 observation).
+  Rng rng(5);
+  Dataset data = MakeMchainDataset(2, 64, 100000, &rng);
+  const CoveringDesign design = MakeCoveringDesign(64, 8, 2, &rng);
+  PriViewOptions options;
+  options.epsilon = 1.0;
+  PriViewSynopsis synopsis =
+      PriViewSynopsis::Build(data, design.blocks, options, &rng);
+
+  const auto queries = ConsecutiveQuerySets(64, 4);
+  const double n = static_cast<double>(data.size());
+  double total_error = 0.0;
+  for (AttrSet q : queries) {
+    const MarginalTable truth = data.CountMarginal(q);
+    total_error += synopsis.Query(q).L2DistanceTo(truth) / n;
+  }
+  const double avg_error = total_error / queries.size();
+  EXPECT_LT(avg_error, 0.05);
+}
+
+TEST(IntegrationTest, SynopsisIsReusableAcrossK) {
+  // "One does not need to commit to a specific k" (§1): one synopsis
+  // answers k = 2, 4, 6 without rebuilding.
+  Rng rng(6);
+  Dataset data = MakeKosarakLike(&rng, 30000);
+  const ViewSelection sel = SelectViews(32, 30000, 1.0, &rng);
+  PriViewSynopsis synopsis = PriViewSynopsis::Build(
+      data, sel.design.blocks, PriViewOptions{}, &rng);
+  Rng qrng(7);
+  for (int k : {2, 4, 6}) {
+    for (AttrSet q : SampleQuerySets(32, k, 3, &qrng)) {
+      const MarginalTable answer = synopsis.Query(q);
+      EXPECT_EQ(answer.arity(), k);
+      EXPECT_GE(answer.MinCell(), -1e-6);
+    }
+  }
+}
+
+TEST(HarnessTest, EvaluateWorkloadAveragesRuns) {
+  Rng rng(8);
+  Dataset data = MakeMsnbcLike(&rng, 10000);
+  const auto queries = std::vector<AttrSet>{AttrSet::FromIndices({0, 1}),
+                                            AttrSet::FromIndices({2, 3})};
+  int prepare_calls = 0;
+  const WorkloadErrors errors = EvaluateWorkload(
+      data, queries, /*runs=*/3, [&](int) { ++prepare_calls; },
+      [&](AttrSet q) { return data.CountMarginal(q); });
+  EXPECT_EQ(prepare_calls, 3);
+  ASSERT_EQ(errors.l2.size(), 2u);
+  // Exact answers: zero error.
+  EXPECT_NEAR(errors.l2[0], 0.0, 1e-12);
+  EXPECT_NEAR(errors.js[1], 0.0, 1e-12);
+}
+
+TEST(HarnessTest, FlagParsing) {
+  const char* argv_c[] = {"prog", "--queries=42", "--eps=0.5",
+                          "--js=true"};
+  char** argv = const_cast<char**>(argv_c);
+  EXPECT_EQ(FlagInt(4, argv, "queries", 7), 42);
+  EXPECT_EQ(FlagInt(4, argv, "runs", 7), 7);
+  EXPECT_DOUBLE_EQ(FlagDouble(4, argv, "eps", 1.0), 0.5);
+  EXPECT_TRUE(FlagBool(4, argv, "js", false));
+  EXPECT_FALSE(FlagBool(4, argv, "other", false));
+}
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,69 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace priview {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(IoTest, RoundTrip) {
+  Rng rng(1);
+  Dataset data(12);
+  for (int i = 0; i < 500; ++i) data.Add(rng.NextUint64() & 0xFFF);
+  const std::string path = TempPath("roundtrip.dat");
+  ASSERT_TRUE(WriteTransactions(data, path).ok());
+  const StatusOr<Dataset> back = ReadTransactions(path, 12);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().records(), data.records());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, EmptyLinesAreEmptyRecords) {
+  const std::string path = TempPath("empty_lines.dat");
+  {
+    std::ofstream out(path);
+    out << "0 2\n\n1\n";
+  }
+  const StatusOr<Dataset> data = ReadTransactions(path, 4);
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data.value().size(), 3u);
+  EXPECT_EQ(data.value().records()[0], 0b0101u);
+  EXPECT_EQ(data.value().records()[1], 0u);
+  EXPECT_EQ(data.value().records()[2], 0b0010u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, RejectsOutOfRangeAttribute) {
+  const std::string path = TempPath("bad_attr.dat");
+  {
+    std::ofstream out(path);
+    out << "0 9\n";
+  }
+  const StatusOr<Dataset> data = ReadTransactions(path, 8);
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsIOError) {
+  const StatusOr<Dataset> data =
+      ReadTransactions(TempPath("does_not_exist.dat"), 8);
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kIOError);
+}
+
+TEST(IoTest, RejectsBadDimension) {
+  EXPECT_FALSE(ReadTransactions(TempPath("x.dat"), 0).ok());
+  EXPECT_FALSE(ReadTransactions(TempPath("x.dat"), 65).ok());
+}
+
+}  // namespace
+}  // namespace priview

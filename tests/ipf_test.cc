@@ -1,0 +1,164 @@
+#include "opt/ipf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace priview {
+namespace {
+
+MarginalConstraint Make(std::vector<int> attrs, std::vector<double> cells) {
+  const AttrSet scope = AttrSet::FromIndices(attrs);
+  return {scope, MarginalTable(scope, std::move(cells))};
+}
+
+TEST(IpfTest, NoConstraintsYieldsUniform) {
+  const IpfResult r =
+      MaxEntropyIpf(AttrSet::FromIndices({0, 1}), 100.0, {});
+  EXPECT_TRUE(r.converged);
+  for (size_t i = 0; i < r.table.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.table.At(i), 25.0);
+  }
+}
+
+TEST(IpfTest, SingleMarginalConstraintGivesProductWithUniform) {
+  // Constrain attr 0's marginal to (30, 70); attr 1 stays uniform.
+  std::vector<MarginalConstraint> cs;
+  cs.push_back(Make({0}, {30.0, 70.0}));
+  const IpfResult r =
+      MaxEntropyIpf(AttrSet::FromIndices({0, 1}), 100.0, std::move(cs));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.table.At(0b00), 15.0, 1e-6);
+  EXPECT_NEAR(r.table.At(0b01), 35.0, 1e-6);
+  EXPECT_NEAR(r.table.At(0b10), 15.0, 1e-6);
+  EXPECT_NEAR(r.table.At(0b11), 35.0, 1e-6);
+}
+
+TEST(IpfTest, TwoSingletonConstraintsGiveIndependentProduct) {
+  // Max entropy with both 1-way marginals fixed = independence.
+  std::vector<MarginalConstraint> cs;
+  cs.push_back(Make({0}, {20.0, 80.0}));
+  cs.push_back(Make({1}, {50.0, 50.0}));
+  const IpfResult r =
+      MaxEntropyIpf(AttrSet::FromIndices({0, 1}), 100.0, std::move(cs));
+  EXPECT_TRUE(r.converged);
+  // Cell-index bit 0 is attribute 0: At(0b01) is (a0=1, a1=0).
+  EXPECT_NEAR(r.table.At(0b00), 10.0, 1e-6);  // 0.2 * 0.5 * 100
+  EXPECT_NEAR(r.table.At(0b01), 40.0, 1e-6);  // 0.8 * 0.5 * 100
+  EXPECT_NEAR(r.table.At(0b10), 10.0, 1e-6);
+  EXPECT_NEAR(r.table.At(0b11), 40.0, 1e-6);
+}
+
+TEST(IpfTest, SatisfiesOverlappingConstraints) {
+  // Scopes {0,1} and {1,2} over a 3-attribute table (classic IPF clique
+  // setting). Build consistent targets from a known joint.
+  Rng rng(11);
+  MarginalTable joint(AttrSet::FromIndices({0, 1, 2}));
+  for (double& c : joint.cells()) c = 1.0 + rng.UniformDouble() * 9.0;
+  const double total = joint.Total();
+  std::vector<MarginalConstraint> cs;
+  cs.push_back({AttrSet::FromIndices({0, 1}),
+                joint.Project(AttrSet::FromIndices({0, 1}))});
+  cs.push_back({AttrSet::FromIndices({1, 2}),
+                joint.Project(AttrSet::FromIndices({1, 2}))});
+  const IpfResult r = MaxEntropyIpf(joint.attrs(), total, cs);
+  EXPECT_TRUE(r.converged);
+  // The solution must reproduce both marginals exactly.
+  for (const auto& c : cs) {
+    const MarginalTable proj = r.table.Project(c.scope);
+    for (size_t a = 0; a < proj.size(); ++a) {
+      EXPECT_NEAR(proj.At(a), c.target.At(a), 1e-5);
+    }
+  }
+  // And it should match the conditional-independence closed form
+  // p(x0,x1,x2) = p(x0,x1) p(x2|x1).
+  const MarginalTable m01 = joint.Project(AttrSet::FromIndices({0, 1}));
+  const MarginalTable m12 = joint.Project(AttrSet::FromIndices({1, 2}));
+  const MarginalTable m1 = joint.Project(AttrSet::FromIndices({1}));
+  for (uint64_t x = 0; x < 8; ++x) {
+    const uint64_t x01 = x & 0b11;
+    const uint64_t x12 = (x >> 1) & 0b11;
+    const uint64_t x1 = (x >> 1) & 0b1;
+    const double expected = m01.At(x01) * m12.At(x12) / m1.At(x1);
+    EXPECT_NEAR(r.table.At(x), expected, 1e-5);
+  }
+}
+
+TEST(IpfTest, NegativeTargetsClampedToZero) {
+  std::vector<MarginalConstraint> cs;
+  cs.push_back(Make({0}, {-10.0, 110.0}));
+  const IpfResult r =
+      MaxEntropyIpf(AttrSet::FromIndices({0, 1}), 100.0, std::move(cs));
+  EXPECT_TRUE(r.converged);
+  // attr0 = 0 slice forced to 0 (clamped target), everything on attr0 = 1.
+  EXPECT_NEAR(r.table.At(0b00) + r.table.At(0b10), 0.0, 1e-9);
+  EXPECT_NEAR(r.table.Total(), 100.0, 1e-6);
+}
+
+TEST(IpfTest, TargetsRescaledToCommonTotal) {
+  // Target sums to 50 but declared total is 100: rescaled up.
+  std::vector<MarginalConstraint> cs;
+  cs.push_back(Make({0}, {10.0, 40.0}));
+  const IpfResult r =
+      MaxEntropyIpf(AttrSet::FromIndices({0, 1}), 100.0, std::move(cs));
+  const MarginalTable p = r.table.Project(AttrSet::FromIndices({0}));
+  EXPECT_NEAR(p.At(0), 20.0, 1e-6);
+  EXPECT_NEAR(p.At(1), 80.0, 1e-6);
+}
+
+TEST(IpfTest, HandlesZeroMassSliceRefill) {
+  // First constraint empties attr0=0; the second forces mass back into a
+  // sub-slice of it. IPF's uniform refill must cope without NaNs.
+  std::vector<MarginalConstraint> cs;
+  cs.push_back(Make({0}, {0.0, 100.0}));
+  cs.push_back(Make({1}, {50.0, 50.0}));
+  const IpfResult r =
+      MaxEntropyIpf(AttrSet::FromIndices({0, 1}), 100.0, std::move(cs));
+  for (size_t i = 0; i < r.table.size(); ++i) {
+    EXPECT_FALSE(std::isnan(r.table.At(i)));
+  }
+  EXPECT_NEAR(r.table.Total(), 100.0, 1e-6);
+}
+
+TEST(IpfTest, BoundedIterationsOnInconsistentConstraints) {
+  // Deliberately inconsistent singleton targets (after rescaling they still
+  // conflict on the joint): IPF must stop at max_iterations, not loop.
+  std::vector<MarginalConstraint> cs;
+  cs.push_back(Make({0}, {100.0, 0.0}));
+  cs.push_back(Make({0, 1}, {0.0, 50.0, 0.0, 50.0}));
+  IpfOptions options;
+  options.max_iterations = 50;
+  const IpfResult r = MaxEntropyIpf(AttrSet::FromIndices({0, 1}), 100.0,
+                                    std::move(cs), options);
+  EXPECT_LE(r.iterations, 50);
+  for (size_t i = 0; i < r.table.size(); ++i) {
+    EXPECT_FALSE(std::isnan(r.table.At(i)));
+  }
+}
+
+TEST(IpfTest, LargeScopeConverges) {
+  // 8-attribute table with three overlapping 4-way constraints from a
+  // random joint: converges and satisfies all of them.
+  Rng rng(13);
+  MarginalTable joint(AttrSet::Full(8));
+  for (double& c : joint.cells()) c = rng.UniformDouble() * 4.0;
+  std::vector<MarginalConstraint> cs;
+  for (const auto& scope :
+       {AttrSet::FromIndices({0, 1, 2, 3}), AttrSet::FromIndices({2, 3, 4, 5}),
+        AttrSet::FromIndices({4, 5, 6, 7})}) {
+    cs.push_back({scope, joint.Project(scope)});
+  }
+  const IpfResult r = MaxEntropyIpf(joint.attrs(), joint.Total(), cs);
+  EXPECT_TRUE(r.converged);
+  for (const auto& c : cs) {
+    const MarginalTable proj = r.table.Project(c.scope);
+    for (size_t a = 0; a < proj.size(); ++a) {
+      EXPECT_NEAR(proj.At(a), c.target.At(a), 1e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace priview

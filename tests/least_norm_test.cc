@@ -1,0 +1,88 @@
+#include "opt/least_norm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace priview {
+namespace {
+
+MarginalConstraint Make(std::vector<int> attrs, std::vector<double> cells) {
+  const AttrSet scope = AttrSet::FromIndices(attrs);
+  return {scope, MarginalTable(scope, std::move(cells))};
+}
+
+TEST(LeastNormTest, NoConstraintsIsUniform) {
+  // With only the total fixed, the min-norm nonneg table is uniform.
+  const LeastNormResult r =
+      LeastNormSolve(AttrSet::FromIndices({0, 1}), 100.0, {});
+  EXPECT_TRUE(r.converged);
+  for (size_t i = 0; i < r.table.size(); ++i) {
+    EXPECT_NEAR(r.table.At(i), 25.0, 1e-5);
+  }
+}
+
+TEST(LeastNormTest, SatisfiesMarginalConstraints) {
+  std::vector<MarginalConstraint> cs;
+  cs.push_back(Make({0}, {30.0, 70.0}));
+  const LeastNormResult r =
+      LeastNormSolve(AttrSet::FromIndices({0, 1}), 100.0, cs);
+  EXPECT_TRUE(r.converged);
+  const MarginalTable p = r.table.Project(AttrSet::FromIndices({0}));
+  EXPECT_NEAR(p.At(0), 30.0, 1e-4);
+  EXPECT_NEAR(p.At(1), 70.0, 1e-4);
+  // Min-norm completion spreads each slice uniformly (bit 0 = attr 0, so
+  // the a0=0 slice is cells 0b00 and 0b10).
+  EXPECT_NEAR(r.table.At(0b00), 15.0, 1e-4);
+  EXPECT_NEAR(r.table.At(0b10), 15.0, 1e-4);
+  EXPECT_NEAR(r.table.At(0b01), 35.0, 1e-4);
+  EXPECT_NEAR(r.table.At(0b11), 35.0, 1e-4);
+}
+
+TEST(LeastNormTest, AllCellsNonNegative) {
+  Rng rng(3);
+  // Random (consistent) constraints from a joint with some near-zero cells.
+  MarginalTable joint(AttrSet::Full(5));
+  for (double& c : joint.cells()) c = rng.UniformDouble() < 0.3
+                                          ? 0.0
+                                          : rng.UniformDouble() * 10;
+  std::vector<MarginalConstraint> cs;
+  for (const auto& scope :
+       {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4})}) {
+    cs.push_back({scope, joint.Project(scope)});
+  }
+  const LeastNormResult r =
+      LeastNormSolve(joint.attrs(), joint.Total(), cs);
+  EXPECT_GE(r.table.MinCell(), -1e-9);
+}
+
+TEST(LeastNormTest, MatchesClosedFormMinNorm) {
+  // Unconstrained-by-nonnegativity case: the min-norm solution of
+  // {sum = 100} over 4 cells is (25, 25, 25, 25); with a one-way marginal
+  // (60, 40) it is (30, 30, 20, 20) in the (a0-fast) layout.
+  std::vector<MarginalConstraint> cs;
+  cs.push_back(Make({1}, {60.0, 40.0}));
+  const LeastNormResult r =
+      LeastNormSolve(AttrSet::FromIndices({0, 1}), 100.0, cs);
+  EXPECT_NEAR(r.table.At(0b00), 30.0, 1e-4);
+  EXPECT_NEAR(r.table.At(0b01), 30.0, 1e-4);
+  EXPECT_NEAR(r.table.At(0b10), 20.0, 1e-4);
+  EXPECT_NEAR(r.table.At(0b11), 20.0, 1e-4);
+}
+
+TEST(LeastNormTest, ActiveNonnegativityProjection) {
+  // Target pushes one slice negative in the unconstrained solution; with
+  // the orthant active, mass must be redistributed, staying feasible.
+  std::vector<MarginalConstraint> cs;
+  cs.push_back(Make({0}, {0.0, 100.0}));
+  cs.push_back(Make({1}, {100.0, 0.0}));
+  const LeastNormResult r =
+      LeastNormSolve(AttrSet::FromIndices({0, 1}), 100.0, cs);
+  EXPECT_GE(r.table.MinCell(), -1e-9);
+  // Both constraints are simultaneously satisfiable only by putting all
+  // mass at (a0=1, a1=0) = cell 0b01.
+  EXPECT_NEAR(r.table.At(0b01), 100.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,155 @@
+#include "common/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace priview {
+namespace {
+
+TEST(MatrixTest, IdentityAndMultiply) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Matrix i3 = Matrix::Identity(3);
+  const Matrix product = a.Multiply(i3);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(product(r, c), a(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyKnown) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(1);
+  Matrix a(4, 7);
+  for (auto& v : a.data()) v = rng.UniformDouble();
+  const Matrix att = a.Transposed().Transposed();
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 7; ++c) EXPECT_DOUBLE_EQ(att(r, c), a(r, c));
+  }
+}
+
+TEST(MatrixTest, MatVecAndTransposedMatVec) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const std::vector<double> x = {1.0, 0.0, -1.0};
+  const std::vector<double> y = a.MatVec(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+  const std::vector<double> z = a.TransposedMatVec({1.0, 1.0});
+  ASSERT_EQ(z.size(), 3u);
+  EXPECT_DOUBLE_EQ(z[0], 5.0);
+  EXPECT_DOUBLE_EQ(z[1], 7.0);
+  EXPECT_DOUBLE_EQ(z[2], 9.0);
+}
+
+TEST(MatrixTest, GramRowsMatchesMultiply) {
+  Rng rng(2);
+  Matrix a(5, 8);
+  for (auto& v : a.data()) v = rng.Normal();
+  const Matrix gram = a.GramRows();
+  const Matrix expected = a.Multiply(a.Transposed());
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(gram(r, c), expected(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, Norms) {
+  Matrix a(2, 2);
+  a(0, 0) = 3;
+  a(0, 1) = -4;
+  a(1, 0) = 0;
+  a(1, 1) = 12;
+  EXPECT_DOUBLE_EQ(a.FrobeniusSquared(), 9 + 16 + 144);
+  EXPECT_DOUBLE_EQ(a.MaxColumnL1(), 16.0);
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] => x = [1.5, 2].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factor(a));
+  const std::vector<double> x = chol.Solve({10.0, 9.0});
+  EXPECT_NEAR(x[0], 1.5, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(CholeskyTest, RandomSpdRoundTrip) {
+  Rng rng(3);
+  const int n = 20;
+  Matrix b(n, n);
+  for (auto& v : b.data()) v = rng.Normal();
+  Matrix a = b.Multiply(b.Transposed());
+  for (int i = 0; i < n; ++i) a(i, i) += 1.0;  // ensure SPD
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factor(a));
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.Normal();
+  const std::vector<double> rhs = a.MatVec(x_true);
+  const std::vector<double> x = chol.Solve(rhs);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  Cholesky chol;
+  EXPECT_FALSE(chol.Factor(a));
+}
+
+TEST(CholeskyTest, RidgeRescuesSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 1;  // rank 1
+  Cholesky chol;
+  EXPECT_TRUE(chol.Factor(a, 1e-6));
+}
+
+TEST(VectorOpsTest, NormAndDot) {
+  EXPECT_DOUBLE_EQ(NormSquared({3.0, 4.0}), 25.0);
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+}
+
+}  // namespace
+}  // namespace priview

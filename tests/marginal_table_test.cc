@@ -1,0 +1,96 @@
+#include "table/marginal_table.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace priview {
+namespace {
+
+TEST(MarginalTableTest, SizeAndFill) {
+  const MarginalTable t(AttrSet::FromIndices({0, 3, 7}), 2.5);
+  EXPECT_EQ(t.arity(), 3);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_DOUBLE_EQ(t.Total(), 20.0);
+}
+
+TEST(MarginalTableTest, CellIndexMaskFor) {
+  // attrs {1,4,6}: cell-index bits 0,1,2 map to attrs 1,4,6.
+  const MarginalTable t(AttrSet::FromIndices({1, 4, 6}));
+  EXPECT_EQ(t.CellIndexMaskFor(AttrSet::FromIndices({1})), 0b001u);
+  EXPECT_EQ(t.CellIndexMaskFor(AttrSet::FromIndices({4})), 0b010u);
+  EXPECT_EQ(t.CellIndexMaskFor(AttrSet::FromIndices({6})), 0b100u);
+  EXPECT_EQ(t.CellIndexMaskFor(AttrSet::FromIndices({1, 6})), 0b101u);
+  EXPECT_EQ(t.CellIndexMaskFor(AttrSet()), 0u);
+}
+
+TEST(MarginalTableTest, ProjectionSumsCorrectCells) {
+  // Table over {0,1}: cells [c00, c10, c01, c11] (bit0 = attr0).
+  MarginalTable t(AttrSet::FromIndices({0, 1}),
+                  std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  const MarginalTable p0 = t.Project(AttrSet::FromIndices({0}));
+  EXPECT_DOUBLE_EQ(p0.At(0), 4.0);  // attr0 = 0: cells 0 and 2
+  EXPECT_DOUBLE_EQ(p0.At(1), 6.0);  // attr0 = 1: cells 1 and 3
+  const MarginalTable p1 = t.Project(AttrSet::FromIndices({1}));
+  EXPECT_DOUBLE_EQ(p1.At(0), 3.0);
+  EXPECT_DOUBLE_EQ(p1.At(1), 7.0);
+  const MarginalTable pe = t.Project(AttrSet());
+  EXPECT_DOUBLE_EQ(pe.At(0), 10.0);
+}
+
+TEST(MarginalTableTest, ProjectionIsConsistentWithComposition) {
+  // Projecting A->B->C must equal projecting A->C directly.
+  Rng rng(5);
+  MarginalTable t(AttrSet::FromIndices({2, 3, 5, 9}));
+  for (double& c : t.cells()) c = rng.UniformDouble() * 10;
+  const AttrSet b = AttrSet::FromIndices({2, 5, 9});
+  const AttrSet c = AttrSet::FromIndices({5, 9});
+  const MarginalTable direct = t.Project(c);
+  const MarginalTable via = t.Project(b).Project(c);
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct.At(i), via.At(i), 1e-12);
+  }
+}
+
+TEST(MarginalTableTest, ProjectionPreservesTotal) {
+  Rng rng(6);
+  MarginalTable t(AttrSet::FromIndices({0, 1, 4, 6, 7}));
+  for (double& c : t.cells()) c = rng.Normal();
+  EXPECT_NEAR(t.Project(AttrSet::FromIndices({1, 6})).Total(), t.Total(),
+              1e-10);
+}
+
+TEST(MarginalTableTest, NormalizedSumsToOne) {
+  MarginalTable t(AttrSet::FromIndices({0, 1}),
+                  std::vector<double>{1.0, 1.0, 2.0, 0.0});
+  const std::vector<double> p = t.Normalized();
+  EXPECT_DOUBLE_EQ(p[0] + p[1] + p[2] + p[3], 1.0);
+  EXPECT_DOUBLE_EQ(p[2], 0.5);
+}
+
+TEST(MarginalTableTest, NormalizedOfZeroTableIsUniform) {
+  const MarginalTable t(AttrSet::FromIndices({0, 1}));
+  const std::vector<double> p = t.Normalized();
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(MarginalTableTest, Distances) {
+  MarginalTable a(AttrSet::FromIndices({0}), std::vector<double>{1.0, 2.0});
+  MarginalTable b(AttrSet::FromIndices({0}), std::vector<double>{4.0, 6.0});
+  EXPECT_DOUBLE_EQ(a.L2DistanceTo(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.LinfDistanceTo(b), 4.0);
+  EXPECT_DOUBLE_EQ(a.MinCell(), 1.0);
+}
+
+TEST(MarginalTableTest, ScaleAndAddConstant) {
+  MarginalTable t(AttrSet::FromIndices({0}), std::vector<double>{1.0, 3.0});
+  t.Scale(2.0);
+  t.AddConstant(1.0);
+  EXPECT_DOUBLE_EQ(t.At(0), 3.0);
+  EXPECT_DOUBLE_EQ(t.At(1), 7.0);
+}
+
+}  // namespace
+}  // namespace priview

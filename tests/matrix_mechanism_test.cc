@@ -1,0 +1,55 @@
+#include "baselines/matrix_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error_model.h"
+
+namespace priview {
+namespace {
+
+TEST(MatrixMechanismTest, IdentityStrategyMatchesFlatEse) {
+  // Strategy = identity is exactly the Flat method: per-marginal ESE
+  // should equal 2^d V_u (summing 2^{d-k} unit-variance cells per entry
+  // over 2^k entries).
+  const MatrixMechanismResult r = EvaluateMatrixMechanism(6, 2, 1.0);
+  double identity_ese = -1.0;
+  for (const auto& e : r.evaluations) {
+    if (e.strategy == "identity") identity_ese = e.expected_marginal_ese;
+  }
+  EXPECT_NEAR(identity_ese, FlatEse(6, 1.0), 1e-6 * FlatEse(6, 1.0));
+}
+
+TEST(MatrixMechanismTest, FourierStrategyMatchesFourierEse) {
+  const MatrixMechanismResult r = EvaluateMatrixMechanism(6, 2, 1.0);
+  double fourier_ese = -1.0;
+  for (const auto& e : r.evaluations) {
+    if (e.strategy == "fourier") fourier_ese = e.expected_marginal_ese;
+  }
+  const double predicted = FourierEse(6, 2, 1.0);
+  EXPECT_NEAR(fourier_ese, predicted, 0.01 * predicted);
+}
+
+TEST(MatrixMechanismTest, BestIsMinimumOverAdaptiveStrategies) {
+  const MatrixMechanismResult r = EvaluateMatrixMechanism(7, 2, 1.0);
+  EXPECT_NE(r.best.strategy, "identity");
+  for (const auto& e : r.evaluations) {
+    if (e.strategy == "identity") continue;
+    EXPECT_LE(r.best.expected_marginal_ese, e.expected_marginal_ese);
+  }
+}
+
+TEST(MatrixMechanismTest, EpsilonScaling) {
+  const MatrixMechanismResult a = EvaluateMatrixMechanism(6, 2, 1.0);
+  const MatrixMechanismResult b = EvaluateMatrixMechanism(6, 2, 0.5);
+  EXPECT_NEAR(b.best.expected_marginal_ese / a.best.expected_marginal_ese,
+              4.0, 1e-6);
+}
+
+TEST(MatrixMechanismTest, BetterThanDirectAtSmallD) {
+  // §5.1: "The result is better than direct, and worse than flat" at d=9.
+  const MatrixMechanismResult r = EvaluateMatrixMechanism(9, 2, 1.0);
+  EXPECT_LT(r.best.expected_marginal_ese, DirectEse(9, 2, 1.0));
+}
+
+}  // namespace
+}  // namespace priview

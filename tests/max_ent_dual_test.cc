@@ -1,0 +1,77 @@
+#include "opt/max_ent_dual.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "opt/ipf.h"
+
+namespace priview {
+namespace {
+
+MarginalConstraint Make(std::vector<int> attrs, std::vector<double> cells) {
+  const AttrSet scope = AttrSet::FromIndices(attrs);
+  return {scope, MarginalTable(scope, std::move(cells))};
+}
+
+TEST(MaxEntDualTest, IndependentProduct) {
+  std::vector<MarginalConstraint> cs;
+  cs.push_back(Make({0}, {20.0, 80.0}));
+  cs.push_back(Make({1}, {50.0, 50.0}));
+  const MaxEntDualResult r =
+      MaxEntropyDual(AttrSet::FromIndices({0, 1}), 100.0, std::move(cs));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.table.At(0b00), 10.0, 1e-5);
+  EXPECT_NEAR(r.table.At(0b11), 40.0, 1e-5);
+}
+
+TEST(MaxEntDualTest, NoConstraintsUniform) {
+  const MaxEntDualResult r =
+      MaxEntropyDual(AttrSet::FromIndices({0, 1, 2}), 80.0, {});
+  EXPECT_TRUE(r.converged);
+  for (size_t i = 0; i < r.table.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.table.At(i), 10.0);
+  }
+}
+
+// The two independently implemented max-entropy solvers must agree on
+// random consistent instances — the strongest correctness check we have
+// for the paper's CME step.
+class SolverAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreementTest, IpfAndDualAgree) {
+  Rng rng(1000 + GetParam());
+  MarginalTable joint(AttrSet::Full(6));
+  for (double& c : joint.cells()) c = 0.5 + rng.UniformDouble() * 9.5;
+  const double total = joint.Total();
+
+  // Random overlapping scopes.
+  std::vector<MarginalConstraint> cs;
+  for (int i = 0; i < 3; ++i) {
+    const AttrSet scope =
+        AttrSet::FromIndices(rng.SampleWithoutReplacement(6, 3));
+    cs.push_back({scope, joint.Project(scope)});
+  }
+
+  const IpfResult ipf = MaxEntropyIpf(joint.attrs(), total, cs);
+  const MaxEntDualResult dual = MaxEntropyDual(joint.attrs(), total, cs);
+  ASSERT_TRUE(ipf.converged);
+  ASSERT_TRUE(dual.converged);
+  for (size_t i = 0; i < ipf.table.size(); ++i) {
+    EXPECT_NEAR(ipf.table.At(i), dual.table.At(i), 1e-3)
+        << "cell " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SolverAgreementTest,
+                         ::testing::Range(0, 10));
+
+TEST(MaxEntDualTest, ZeroTargetForcesZeroSlice) {
+  std::vector<MarginalConstraint> cs;
+  cs.push_back(Make({0}, {0.0, 100.0}));
+  const MaxEntDualResult r =
+      MaxEntropyDual(AttrSet::FromIndices({0, 1}), 100.0, std::move(cs));
+  EXPECT_NEAR(r.table.At(0b00) + r.table.At(0b10), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace priview

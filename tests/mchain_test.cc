@@ -1,0 +1,71 @@
+#include "data/mchain.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace priview {
+namespace {
+
+TEST(MchainTest, NextProbabilityFormula) {
+  // order 1: prev bit 0 -> 0.75, prev bit 1 -> 0.25.
+  EXPECT_DOUBLE_EQ(MchainNextProbability(1, 0), 0.75);
+  EXPECT_DOUBLE_EQ(MchainNextProbability(1, 1), 0.25);
+  // order 4, s = 2 -> exactly 0.5 (balanced window).
+  EXPECT_DOUBLE_EQ(MchainNextProbability(4, 2), 0.5);
+  EXPECT_DOUBLE_EQ(MchainNextProbability(4, 0), 0.75);
+  EXPECT_DOUBLE_EQ(MchainNextProbability(4, 4), 0.25);
+}
+
+TEST(MchainTest, DatasetShape) {
+  Rng rng(1);
+  const Dataset data = MakeMchainDataset(2, 64, 1000, &rng);
+  EXPECT_EQ(data.d(), 64);
+  EXPECT_EQ(data.size(), 1000u);
+}
+
+TEST(MchainTest, MarginalFrequenciesNearHalf) {
+  // The chain is anti-persistent around 1/2; every attribute frequency
+  // should hover near 0.5.
+  Rng rng(2);
+  const Dataset data = MakeMchainDataset(3, 32, 20000, &rng);
+  for (int a = 0; a < 32; ++a) {
+    EXPECT_NEAR(data.AttributeFrequency(a), 0.5, 0.03) << "attr " << a;
+  }
+}
+
+TEST(MchainTest, Order1HasNegativeLagCorrelation) {
+  // P(next = prev) = 0.25 under order 1, so adjacent bits anticorrelate.
+  Rng rng(3);
+  const Dataset data = MakeMchainDataset(1, 16, 30000, &rng);
+  const MarginalTable pair =
+      data.CountMarginal(AttrSet::FromIndices({5, 6}));
+  const double n = pair.Total();
+  const double agree = (pair.At(0b00) + pair.At(0b11)) / n;
+  EXPECT_NEAR(agree, 0.25, 0.02);
+}
+
+TEST(MchainTest, HigherOrderWeakensAdjacentCoupling) {
+  Rng rng(4);
+  const Dataset d1 = MakeMchainDataset(1, 16, 30000, &rng);
+  const Dataset d7 = MakeMchainDataset(7, 16, 30000, &rng);
+  auto adjacent_agreement = [](const Dataset& data) {
+    const MarginalTable pair =
+        data.CountMarginal(AttrSet::FromIndices({9, 10}));
+    return (pair.At(0b00) + pair.At(0b11)) / pair.Total();
+  };
+  // Order 1 pins adjacent disagreement at 0.75; order 7 spreads the
+  // dependence over 7 bits, pulling pairwise agreement back toward 0.5.
+  EXPECT_LT(std::fabs(adjacent_agreement(d7) - 0.5),
+            std::fabs(adjacent_agreement(d1) - 0.5));
+}
+
+TEST(MchainTest, DeterministicForSeed) {
+  Rng a(5), b(5);
+  const Dataset da = MakeMchainDataset(2, 16, 100, &a);
+  const Dataset db = MakeMchainDataset(2, 16, 100, &b);
+  EXPECT_EQ(da.records(), db.records());
+}
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,104 @@
+#include "dp/mechanisms.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace priview {
+namespace {
+
+TEST(LaplaceMechanismTest, NoiseHasRightScale) {
+  Rng rng(1);
+  const double sensitivity = 3.0;
+  const double epsilon = 0.5;
+  // Variance should be 2 (sens/eps)^2 = 72.
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double noise = NoisyCount(0.0, sensitivity, epsilon, &rng);
+    sum += noise;
+    sum_sq += noise * noise;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(sum_sq / n - mean * mean, 72.0, 2.5);
+}
+
+TEST(LaplaceMechanismTest, TablePerturbedEverywhere) {
+  Rng rng(2);
+  MarginalTable t(AttrSet::FromIndices({0, 1, 2}), 10.0);
+  AddLaplaceNoise(&t, 1.0, 1.0, &rng);
+  for (double c : t.cells()) EXPECT_NE(c, 10.0);
+}
+
+TEST(LaplaceMechanismTest, ContingencyPerturbed) {
+  Rng rng(2);
+  ContingencyTable t(4);
+  AddLaplaceNoise(&t, 1.0, 1.0, &rng);
+  int nonzero = 0;
+  for (double c : t.cells()) {
+    if (c != 0.0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 16);
+}
+
+TEST(ExponentialMechanismTest, PrefersHighScores) {
+  Rng rng(3);
+  const std::vector<double> scores = {0.0, 0.0, 10.0, 0.0};
+  int hits = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    if (ExponentialMechanism(scores, /*epsilon=*/2.0, /*sensitivity=*/1.0,
+                             &rng) == 2) {
+      ++hits;
+    }
+  }
+  // exp(10) dwarfs exp(0); selection should be nearly always index 2.
+  EXPECT_GT(hits, trials * 95 / 100);
+}
+
+TEST(ExponentialMechanismTest, UniformWhenScoresEqual) {
+  Rng rng(4);
+  const std::vector<double> scores = {5.0, 5.0, 5.0, 5.0};
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[ExponentialMechanism(scores, 1.0, 1.0, &rng)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.25, 0.02);
+  }
+}
+
+TEST(ExponentialMechanismTest, HandlesExtremeScores) {
+  Rng rng(5);
+  // Would overflow exp() without max-subtraction.
+  const std::vector<double> scores = {1e6, 1e6 - 1.0};
+  const int pick = ExponentialMechanism(scores, 1.0, 1.0, &rng);
+  EXPECT_TRUE(pick == 0 || pick == 1);
+}
+
+TEST(BudgetAccountantTest, TracksSpending) {
+  BudgetAccountant budget(1.0);
+  EXPECT_TRUE(budget.Spend(0.4).ok());
+  EXPECT_TRUE(budget.Spend(0.6).ok());
+  EXPECT_NEAR(budget.remaining(), 0.0, 1e-12);
+  EXPECT_EQ(budget.Spend(0.1).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetAccountantTest, RejectsNonPositive) {
+  BudgetAccountant budget(1.0);
+  EXPECT_EQ(budget.Spend(0.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(budget.Spend(-0.5).code(), StatusCode::kInvalidArgument);
+  EXPECT_DOUBLE_EQ(budget.spent(), 0.0);
+}
+
+TEST(BudgetAccountantTest, ToleratesFloatSplit) {
+  BudgetAccountant budget(1.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(budget.Spend(0.1).ok()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,103 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace priview {
+namespace {
+
+TEST(MetricsTest, NormalizedL2) {
+  MarginalTable a(AttrSet::FromIndices({0}), std::vector<double>{3.0, 0.0});
+  MarginalTable b(AttrSet::FromIndices({0}), std::vector<double>{0.0, 4.0});
+  EXPECT_DOUBLE_EQ(NormalizedL2Error(a, b, 10.0), 0.5);
+}
+
+TEST(MetricsTest, KlOfIdenticalIsZero) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, KlKnownValue) {
+  const std::vector<double> p = {0.5, 0.5};
+  const std::vector<double> q = {0.25, 0.75};
+  const double expected =
+      0.5 * std::log(0.5 / 0.25) + 0.5 * std::log(0.5 / 0.75);
+  EXPECT_NEAR(KlDivergence(p, q), expected, 1e-12);
+}
+
+TEST(MetricsTest, KlSkipsZeroP) {
+  EXPECT_NEAR(KlDivergence({0.0, 1.0}, {0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+TEST(MetricsTest, JensenShannonProperties) {
+  const std::vector<double> p = {0.1, 0.9};
+  const std::vector<double> q = {0.8, 0.2};
+  const double js = JensenShannon(p, q);
+  EXPECT_GT(js, 0.0);
+  EXPECT_LE(js, std::log(2.0) + 1e-12);  // JS (nats) bounded by ln 2
+  EXPECT_NEAR(JensenShannon(p, q), JensenShannon(q, p), 1e-12);  // symmetric
+  EXPECT_NEAR(JensenShannon(p, p), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, JensenShannonHandlesDisjointSupport) {
+  // Exactly the case that breaks raw KL: q has zeros where p is positive.
+  const std::vector<double> p = {1.0, 0.0};
+  const std::vector<double> q = {0.0, 1.0};
+  EXPECT_NEAR(JensenShannon(p, q), std::log(2.0), 1e-12);
+}
+
+TEST(MetricsTest, JensenShannonTablesNormalizes) {
+  MarginalTable a(AttrSet::FromIndices({0}), std::vector<double>{30.0, 70.0});
+  MarginalTable b(AttrSet::FromIndices({0}), std::vector<double>{3.0, 7.0});
+  EXPECT_NEAR(JensenShannonTables(a, b), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, SummarizeKnownQuartiles) {
+  // 1..100: p25 = 25.75, median = 50.5, p75 = 75.25, p95 = 95.05.
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(i);
+  const Candlestick c = Summarize(values);
+  EXPECT_NEAR(c.p25, 25.75, 1e-9);
+  EXPECT_NEAR(c.median, 50.5, 1e-9);
+  EXPECT_NEAR(c.p75, 75.25, 1e-9);
+  EXPECT_NEAR(c.p95, 95.05, 1e-9);
+  EXPECT_NEAR(c.mean, 50.5, 1e-9);
+}
+
+TEST(MetricsTest, SummarizeSingleValue) {
+  const Candlestick c = Summarize({7.0});
+  EXPECT_DOUBLE_EQ(c.p25, 7.0);
+  EXPECT_DOUBLE_EQ(c.median, 7.0);
+  EXPECT_DOUBLE_EQ(c.p95, 7.0);
+  EXPECT_DOUBLE_EQ(c.mean, 7.0);
+}
+
+TEST(MetricsTest, SummarizeUnsortedInput) {
+  const Candlestick c = Summarize({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(c.median, 3.0);
+  EXPECT_DOUBLE_EQ(c.mean, 3.0);
+}
+
+TEST(MetricsTest, SampleQuerySetsDistinctAndSized) {
+  Rng rng(1);
+  const std::vector<AttrSet> queries = SampleQuerySets(20, 4, 50, &rng);
+  EXPECT_EQ(queries.size(), 50u);
+  std::set<AttrSet> unique(queries.begin(), queries.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (AttrSet q : queries) {
+    EXPECT_EQ(q.size(), 4);
+    EXPECT_TRUE(q.IsSubsetOf(AttrSet::Full(20)));
+  }
+}
+
+TEST(MetricsTest, ConsecutiveQuerySets) {
+  const std::vector<AttrSet> queries = ConsecutiveQuerySets(6, 3);
+  ASSERT_EQ(queries.size(), 4u);
+  EXPECT_EQ(queries[0], AttrSet::FromIndices({0, 1, 2}));
+  EXPECT_EQ(queries[3], AttrSet::FromIndices({3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace priview

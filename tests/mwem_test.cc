@@ -1,0 +1,88 @@
+#include "baselines/mwem.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+
+namespace priview {
+namespace {
+
+TEST(MwemTest, DefaultRoundsMatchPaperFormula) {
+  Rng rng(1);
+  Dataset data = MakeMsnbcLike(&rng, 2000);
+  MwemOptions options;
+  options.update_sweeps = 5;  // keep the test quick
+  MwemMechanism mwem(options);
+  mwem.Fit(data, 1.0, 2, &rng);
+  // ceil(4 log2 9) + 2 = 13 + 2 = 15, the value quoted in §5.1.
+  EXPECT_EQ(mwem.rounds_used(), 15);
+}
+
+TEST(MwemTest, EstimatePreservesTotal) {
+  Rng rng(2);
+  Dataset data = MakeMsnbcLike(&rng, 5000);
+  MwemOptions options;
+  options.rounds = 4;
+  options.update_sweeps = 10;
+  MwemMechanism mwem(options);
+  mwem.Fit(data, 1.0, 2, &rng);
+  const MarginalTable t = mwem.Query(AttrSet::FromIndices({0, 1}));
+  EXPECT_NEAR(t.Total(), 5000.0, 1.0);
+}
+
+TEST(MwemTest, EstimateIsNonNegative) {
+  Rng rng(3);
+  Dataset data = MakeMsnbcLike(&rng, 5000);
+  MwemOptions options;
+  options.rounds = 4;
+  options.update_sweeps = 10;
+  MwemMechanism mwem(options);
+  mwem.Fit(data, 0.5, 2, &rng);
+  const MarginalTable t = mwem.Query(AttrSet::FromIndices({2, 6}));
+  EXPECT_GE(t.MinCell(), 0.0);
+}
+
+TEST(MwemTest, ImprovesOverUniformOnSkewedData) {
+  Rng rng(4);
+  Dataset data = MakeMsnbcLike(&rng, 200000);
+  MwemOptions options;
+  options.rounds = 8;
+  options.update_sweeps = 20;
+  MwemMechanism mwem(options);
+  mwem.Fit(data, 1.0, 2, &rng);
+
+  Rng qrng(5);
+  const auto queries = SampleQuerySets(9, 2, 15, &qrng);
+  const double n = static_cast<double>(data.size());
+  double mwem_error = 0.0, uniform_error = 0.0;
+  for (AttrSet q : queries) {
+    const MarginalTable truth = data.CountMarginal(q);
+    mwem_error += mwem.Query(q).L2DistanceTo(truth) / n;
+    uniform_error += MarginalTable(q, n / 4.0).L2DistanceTo(truth) / n;
+  }
+  EXPECT_LT(mwem_error, uniform_error);
+}
+
+TEST(MwemTest, MeasuredMarginalIsWellApproximated) {
+  // With generous budget and rounds, the worst marginals get measured and
+  // fitted; check overall error is small on a strongly structured dataset.
+  Rng rng(6);
+  Dataset data(4);
+  for (int i = 0; i < 100000; ++i) {
+    // Perfectly correlated attributes: only 0000 and 1111 occur.
+    data.Add(rng.Bernoulli(0.5) ? 0b1111 : 0b0000);
+  }
+  MwemOptions options;
+  options.rounds = 6;
+  options.update_sweeps = 50;
+  MwemMechanism mwem(options);
+  mwem.Fit(data, 2.0, 2, &rng);
+  const MarginalTable truth = data.CountMarginal(AttrSet::FromIndices({0, 3}));
+  const MarginalTable estimate = mwem.Query(AttrSet::FromIndices({0, 3}));
+  EXPECT_LT(estimate.L2DistanceTo(truth) / 100000.0, 0.1);
+}
+
+}  // namespace
+}  // namespace priview

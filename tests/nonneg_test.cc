@@ -1,0 +1,117 @@
+#include "core/nonneg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace priview {
+namespace {
+
+MarginalTable Table3(std::vector<double> cells) {
+  return MarginalTable(AttrSet::FromIndices({0, 1, 2}), std::move(cells));
+}
+
+TEST(NonNegTest, NoneLeavesTableUntouched) {
+  MarginalTable t = Table3({-5, 1, 2, 3, 4, 5, 6, 7});
+  MarginalTable original = t;
+  ApplyNonNegativity(&t, NonNegMethod::kNone);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t.At(i), original.At(i));
+  }
+}
+
+TEST(NonNegTest, SimpleClampsNegatives) {
+  MarginalTable t = Table3({-5, 1, -2, 3, 4, 5, 6, 7});
+  ApplyNonNegativity(&t, NonNegMethod::kSimple);
+  EXPECT_DOUBLE_EQ(t.At(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.At(2), 0.0);
+  EXPECT_DOUBLE_EQ(t.At(1), 1.0);
+  EXPECT_GE(t.MinCell(), 0.0);
+}
+
+TEST(NonNegTest, SimpleIntroducesPositiveBias) {
+  MarginalTable t = Table3({-5, 1, -2, 3, 4, 5, 6, 7});
+  const double before = t.Total();
+  ApplyNonNegativity(&t, NonNegMethod::kSimple);
+  EXPECT_GT(t.Total(), before);  // the bias the paper warns about
+}
+
+TEST(NonNegTest, GlobalPreservesTotalWhenFeasible) {
+  MarginalTable t = Table3({-4, 10, 10, 10, 10, 10, 10, 10});
+  const double before = t.Total();
+  ApplyNonNegativity(&t, NonNegMethod::kGlobal);
+  EXPECT_NEAR(t.Total(), before, 1e-9);
+  EXPECT_GE(t.MinCell(), 0.0);
+}
+
+TEST(NonNegTest, RipplePreservesTotalExactly) {
+  Rng rng(5);
+  MarginalTable t(AttrSet::Full(8));
+  for (double& c : t.cells()) c = rng.Laplace(20.0) + 5.0;
+  const double before = t.Total();
+  RippleOptions options;
+  options.theta = 1.0;
+  const int corrections = RippleNonNegativity(&t, options);
+  EXPECT_GT(corrections, 0);
+  EXPECT_NEAR(t.Total(), before, 1e-6);
+  EXPECT_GE(t.MinCell(), -options.theta - 1e-9);
+}
+
+TEST(NonNegTest, RippleFixesIsolatedNegative) {
+  // One deep negative surrounded by large positives: a single correction.
+  MarginalTable t = Table3({-9, 10, 10, 10, 10, 10, 10, 10});
+  RippleOptions options;
+  options.theta = 0.5;
+  const int corrections = RippleNonNegativity(&t, options);
+  EXPECT_EQ(corrections, 1);
+  EXPECT_DOUBLE_EQ(t.At(0), 0.0);
+  // Neighbors of cell 0 (cells 1, 2, 4) each absorbed 9/3 = 3.
+  EXPECT_DOUBLE_EQ(t.At(1), 7.0);
+  EXPECT_DOUBLE_EQ(t.At(2), 7.0);
+  EXPECT_DOUBLE_EQ(t.At(4), 7.0);
+  EXPECT_DOUBLE_EQ(t.At(3), 10.0);
+}
+
+TEST(NonNegTest, RippleCascades) {
+  // Neighbor driven below -theta by the first correction gets fixed too.
+  MarginalTable t(AttrSet::FromIndices({0, 1}),
+                  std::vector<double>{-10.0, 0.5, 0.5, 20.0});
+  RippleOptions options;
+  options.theta = 1.0;
+  RippleNonNegativity(&t, options);
+  EXPECT_GE(t.MinCell(), -options.theta - 1e-9);
+  EXPECT_NEAR(t.Total(), 11.0, 1e-9);
+}
+
+TEST(NonNegTest, RippleIgnoresShallowNegatives) {
+  MarginalTable t = Table3({-0.5, 1, 2, 3, 4, 5, 6, 7});
+  RippleOptions options;
+  options.theta = 1.0;
+  EXPECT_EQ(RippleNonNegativity(&t, options), 0);
+  EXPECT_DOUBLE_EQ(t.At(0), -0.5);
+}
+
+TEST(NonNegTest, RippleHandlesAllNegativeTable) {
+  MarginalTable t = Table3({-10, -10, -10, -10, -10, -10, -10, -10});
+  RippleOptions options;
+  options.theta = 1.0;
+  RippleNonNegativity(&t, options);
+  // Total is hugely negative, so the fallback (or the ripple fixpoint)
+  // cannot make everything nonnegative AND preserve total; we only require
+  // termination and no NaNs.
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_FALSE(std::isnan(t.At(i)));
+  }
+}
+
+TEST(NonNegTest, MethodNames) {
+  EXPECT_STREQ(NonNegMethodName(NonNegMethod::kNone), "None");
+  EXPECT_STREQ(NonNegMethodName(NonNegMethod::kSimple), "Simple");
+  EXPECT_STREQ(NonNegMethodName(NonNegMethod::kGlobal), "Global");
+  EXPECT_STREQ(NonNegMethodName(NonNegMethod::kRipple), "Ripple");
+}
+
+}  // namespace
+}  // namespace priview

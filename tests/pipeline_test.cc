@@ -1,0 +1,95 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+
+namespace priview {
+namespace {
+
+TEST(PipelineTest, EndToEndProducesUsableSynopsis) {
+  Rng rng(1);
+  Dataset data = MakeKosarakLike(&rng, 50000);
+  PipelineOptions options;
+  options.total_epsilon = 1.0;
+  StatusOr<PipelineResult> result =
+      BuildPriViewPipeline(data, options, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const PipelineResult& r = result.value();
+
+  // Budget adds up exactly.
+  EXPECT_NEAR(r.count_epsilon + r.views_epsilon, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.count_epsilon, 0.001);
+
+  // Noisy N is close at this epsilon and N.
+  EXPECT_NEAR(r.noisy_count, 50000.0, 20000.0);
+
+  // Selection produced a verified covering.
+  EXPECT_TRUE(VerifyCovering(r.selection.design));
+
+  // The synopsis answers queries sensibly.
+  const AttrSet q = AttrSet::FromIndices({0, 1, 2, 3});
+  const MarginalTable truth = data.CountMarginal(q);
+  const MarginalTable uniform(q, 50000.0 / 16.0);
+  EXPECT_LT(r.synopsis.Query(q).L2DistanceTo(truth),
+            uniform.L2DistanceTo(truth));
+}
+
+TEST(PipelineTest, RejectsBadBudgetSplits) {
+  Rng rng(2);
+  Dataset data = MakeMsnbcLike(&rng, 1000);
+  {
+    PipelineOptions options;
+    options.total_epsilon = 0.0;
+    EXPECT_FALSE(BuildPriViewPipeline(data, options, &rng).ok());
+  }
+  {
+    PipelineOptions options;
+    options.total_epsilon = 0.5;
+    options.count_epsilon = 0.5;  // nothing left for the views
+    EXPECT_FALSE(BuildPriViewPipeline(data, options, &rng).ok());
+  }
+  {
+    PipelineOptions options;
+    options.count_epsilon = -1.0;
+    EXPECT_FALSE(BuildPriViewPipeline(data, options, &rng).ok());
+  }
+}
+
+TEST(PipelineTest, RejectsNullRng) {
+  Rng rng(3);
+  Dataset data = MakeMsnbcLike(&rng, 100);
+  EXPECT_FALSE(BuildPriViewPipeline(data, PipelineOptions{}, nullptr).ok());
+}
+
+TEST(PipelineTest, TightBudgetStillSucceedsWithPairs) {
+  Rng rng(4);
+  Dataset data = MakeMsnbcLike(&rng, 5000);
+  PipelineOptions options;
+  options.total_epsilon = 0.05;  // very tight: forces t = 2
+  StatusOr<PipelineResult> result =
+      BuildPriViewPipeline(data, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().selection.design.t, 2);
+}
+
+TEST(PipelineTest, SelectionUsesNoisyCountNotTrueCount) {
+  // With an absurdly small count budget, the noisy N can deviate wildly;
+  // the pipeline must still produce a valid design (robustness property —
+  // §4.5: "a rough estimate suffices").
+  Rng rng(5);
+  Dataset data = MakeMsnbcLike(&rng, 3000);
+  PipelineOptions options;
+  options.total_epsilon = 1.0;
+  options.count_epsilon = 0.00001;
+  StatusOr<PipelineResult> result =
+      BuildPriViewPipeline(data, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(VerifyCovering(result.value().selection.design));
+  EXPECT_GE(result.value().noisy_count, 1.0);
+}
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,142 @@
+// Property tests for the consistency machinery over random view systems:
+// the §4.4 guarantees must hold for any views, not just the hand-picked
+// ones in consistency_test.cc.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/consistency.h"
+#include "dp/mechanisms.h"
+#include "table/dataset.h"
+
+namespace priview {
+namespace {
+
+struct RandomSystem {
+  Dataset data;
+  std::vector<MarginalTable> views;
+};
+
+RandomSystem MakeRandomNoisySystem(int seed, int d, int num_views,
+                                   int view_size) {
+  Rng rng(seed);
+  Dataset data(d);
+  const uint64_t mask = (d == 64) ? ~0ULL : ((1ULL << d) - 1);
+  for (int i = 0; i < 2000; ++i) data.Add(rng.NextUint64() & mask);
+  std::vector<MarginalTable> views;
+  for (int v = 0; v < num_views; ++v) {
+    const AttrSet scope =
+        AttrSet::FromIndices(rng.SampleWithoutReplacement(d, view_size));
+    MarginalTable t = data.CountMarginal(scope);
+    AddLaplaceNoise(&t, static_cast<double>(num_views), 1.0, &rng);
+    views.push_back(std::move(t));
+  }
+  return {std::move(data), std::move(views)};
+}
+
+class ConsistencyProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencyProperties, MakeConsistentReachesExactAgreement) {
+  RandomSystem sys = MakeRandomNoisySystem(1000 + GetParam(), 12, 6, 5);
+  MakeConsistent(&sys.views);
+  EXPECT_LT(MaxInconsistency(sys.views), 1e-7);
+}
+
+TEST_P(ConsistencyProperties, ConsistencyIsIdempotent) {
+  RandomSystem sys = MakeRandomNoisySystem(2000 + GetParam(), 10, 5, 4);
+  MakeConsistent(&sys.views);
+  const std::vector<MarginalTable> once = sys.views;
+  MakeConsistent(&sys.views);
+  for (size_t v = 0; v < once.size(); ++v) {
+    for (size_t i = 0; i < once[v].size(); ++i) {
+      EXPECT_NEAR(sys.views[v].At(i), once[v].At(i), 1e-7);
+    }
+  }
+}
+
+TEST_P(ConsistencyProperties, TotalsEqualTheMeanOfInputTotals) {
+  RandomSystem sys = MakeRandomNoisySystem(3000 + GetParam(), 10, 4, 4);
+  double mean_total = 0.0;
+  for (const MarginalTable& v : sys.views) mean_total += v.Total();
+  mean_total /= static_cast<double>(sys.views.size());
+  MakeConsistent(&sys.views);
+  for (const MarginalTable& v : sys.views) {
+    EXPECT_NEAR(v.Total(), mean_total, 1e-7);
+  }
+}
+
+TEST_P(ConsistencyProperties, Lemma1HoldsForRandomMutualSteps) {
+  // A mutual-consistency step on `common` must not change any view's
+  // projection onto attributes disjoint from `common`.
+  Rng rng(4000 + GetParam());
+  RandomSystem sys = MakeRandomNoisySystem(5000 + GetParam(), 12, 4, 5);
+  // Find two views with a nonempty intersection.
+  for (size_t i = 0; i < sys.views.size(); ++i) {
+    for (size_t j = i + 1; j < sys.views.size(); ++j) {
+      const AttrSet common =
+          sys.views[i].attrs().Intersect(sys.views[j].attrs());
+      if (common.empty()) continue;
+      // Lemma 1's precondition: the views must already be consistent on a
+      // subset of `common` — here the empty set (equal totals), which is
+      // always the first step of the paper's topological schedule.
+      MutualConsistencyStep(&sys.views, AttrSet(),
+                            {static_cast<int>(i), static_cast<int>(j)});
+      const AttrSet outside_i = sys.views[i].attrs().Minus(common);
+      const AttrSet outside_j = sys.views[j].attrs().Minus(common);
+      const MarginalTable before_i = sys.views[i].Project(outside_i);
+      const MarginalTable before_j = sys.views[j].Project(outside_j);
+      MutualConsistencyStep(&sys.views, common,
+                            {static_cast<int>(i), static_cast<int>(j)});
+      const MarginalTable after_i = sys.views[i].Project(outside_i);
+      const MarginalTable after_j = sys.views[j].Project(outside_j);
+      for (size_t c = 0; c < before_i.size(); ++c) {
+        EXPECT_NEAR(after_i.At(c), before_i.At(c), 1e-8);
+      }
+      for (size_t c = 0; c < before_j.size(); ++c) {
+        EXPECT_NEAR(after_j.At(c), before_j.At(c), 1e-8);
+      }
+      // Agreement achieved on `common`.
+      EXPECT_LT(sys.views[i].Project(common).LinfDistanceTo(
+                    sys.views[j].Project(common)),
+                1e-8);
+    }
+  }
+}
+
+TEST_P(ConsistencyProperties, MutualStepMatchesMinimumVarianceAverage) {
+  // The post-step shared marginal equals the arithmetic mean of the
+  // pre-step projections (the minimum-variance combination for equal
+  // budgets, §4.4).
+  RandomSystem sys = MakeRandomNoisySystem(6000 + GetParam(), 10, 3, 4);
+  const AttrSet common =
+      sys.views[0].attrs().Intersect(sys.views[1].attrs());
+  if (common.empty()) return;
+  const MarginalTable p0 = sys.views[0].Project(common);
+  const MarginalTable p1 = sys.views[1].Project(common);
+  MutualConsistencyStep(&sys.views, common, {0, 1});
+  const MarginalTable after = sys.views[0].Project(common);
+  for (size_t c = 0; c < after.size(); ++c) {
+    EXPECT_NEAR(after.At(c), 0.5 * (p0.At(c) + p1.At(c)), 1e-9);
+  }
+}
+
+TEST_P(ConsistencyProperties, PlanReuseMatchesFreshConsistency) {
+  // Applying a cached ConsistencyPlan must equal a fresh MakeConsistent.
+  RandomSystem a = MakeRandomNoisySystem(7000 + GetParam(), 10, 5, 4);
+  RandomSystem b = a;
+  std::vector<AttrSet> scopes;
+  for (const MarginalTable& v : a.views) scopes.push_back(v.attrs());
+  const ConsistencyPlan plan(scopes);
+  plan.Apply(&a.views);
+  MakeConsistent(&b.views);
+  for (size_t v = 0; v < a.views.size(); ++v) {
+    for (size_t i = 0; i < a.views[v].size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.views[v].At(i), b.views[v].At(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConsistencyProperties,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace priview

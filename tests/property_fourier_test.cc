@@ -1,0 +1,98 @@
+// Property tests for the Walsh–Hadamard layer: the identities that make
+// the Barak et al. baseline correct.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "fourier/wht.h"
+#include "table/dataset.h"
+
+namespace priview {
+namespace {
+
+class FourierProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(FourierProperties, ParsevalIdentity) {
+  Rng rng(100 + GetParam());
+  const int k = 2 + GetParam() % 5;
+  std::vector<double> data(size_t{1} << k);
+  for (double& v : data) v = rng.Normal();
+  double time_energy = 0.0;
+  for (double v : data) time_energy += v * v;
+  std::vector<double> freq = data;
+  Wht(&freq);
+  double freq_energy = 0.0;
+  for (double v : freq) freq_energy += v * v;
+  // Unnormalized WHT: ||f||^2 = 2^k ||x||^2.
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(data.size()),
+              1e-6 * freq_energy);
+}
+
+TEST_P(FourierProperties, TransformIsLinear) {
+  Rng rng(200 + GetParam());
+  const size_t n = 32;
+  std::vector<double> a(n), b(n), combo(n);
+  const double alpha = rng.Normal(), beta = rng.Normal();
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+    combo[i] = alpha * a[i] + beta * b[i];
+  }
+  Wht(&a);
+  Wht(&b);
+  Wht(&combo);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(combo[i], alpha * a[i] + beta * b[i], 1e-8);
+  }
+}
+
+TEST_P(FourierProperties, ProjectionKeepsSubScopeCoefficients) {
+  // The identity behind shared-coefficient consistency: for B ⊆ A and
+  // S ⊆ B, the coefficient f_S of T_A[B] equals f_S of T_A. (Projection =
+  // discarding coefficients outside B.)
+  Rng rng(300 + GetParam());
+  const AttrSet attrs =
+      AttrSet::FromIndices(rng.SampleWithoutReplacement(12, 5));
+  MarginalTable table(attrs);
+  for (double& c : table.cells()) c = rng.UniformDouble() * 50;
+
+  AttrSet sub = attrs;
+  for (int a : attrs.ToIndices()) {
+    if (rng.Bernoulli(0.4)) sub = sub.Minus(AttrSet::FromIndices({a}));
+  }
+  const MarginalTable projected = table.Project(sub);
+
+  const std::vector<double> full_coeffs = FourierCoefficients(table);
+  const std::vector<double> sub_coeffs = FourierCoefficients(projected);
+  const uint64_t sub_within = table.CellIndexMaskFor(sub);
+  for (uint64_t s = 0; s < sub_coeffs.size(); ++s) {
+    // Local subset s of `sub` -> cell-index subset of `attrs`.
+    const uint64_t in_full = DepositBits(s, sub_within);
+    EXPECT_NEAR(sub_coeffs[s], full_coeffs[in_full], 1e-8)
+        << "s=" << s;
+  }
+}
+
+TEST_P(FourierProperties, CoefficientSensitivityIsOne) {
+  // Adding one record changes every coefficient by exactly ±1 — the basis
+  // of the Barak mechanism's sensitivity analysis.
+  Rng rng(400 + GetParam());
+  Dataset data(6);
+  for (int i = 0; i < 100; ++i) data.Add(rng.NextUint64() & 0x3F);
+  const AttrSet attrs = AttrSet::FromIndices({0, 2, 5});
+  const std::vector<double> before =
+      FourierCoefficients(data.CountMarginal(attrs));
+  data.Add(rng.NextUint64() & 0x3F);
+  const std::vector<double> after =
+      FourierCoefficients(data.CountMarginal(attrs));
+  for (size_t s = 0; s < before.size(); ++s) {
+    EXPECT_NEAR(std::fabs(after[s] - before[s]), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FourierProperties, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,144 @@
+// Randomized verification of the simplex solver against brute force:
+// for tiny LPs the optimum lies at a vertex — an intersection of
+// constraint/axis hyperplanes — so enumerating all candidate vertices and
+// taking the best feasible one gives an independent ground truth.
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/linalg.h"
+#include "common/rng.h"
+#include "opt/simplex.h"
+
+namespace priview {
+namespace {
+
+// Solves a tiny LP (n variables, inequality rows + x >= 0) by enumerating
+// all vertices: choose n hyperplanes among {rows} ∪ {axes}, solve, check
+// feasibility. Returns nullopt if no feasible vertex exists (infeasible or
+// unbounded-without-vertex never arises in the generated instances since
+// objective coefficients are positive -> bounded below on the feasible
+// set, and the region is in the positive orthant).
+std::optional<double> BruteForceLp(const LpProblem& lp) {
+  const int n = lp.num_vars;
+  const int m = static_cast<int>(lp.rows.size());
+  const int planes = m + n;  // rows then axes
+  std::vector<int> choice(n);
+  double best = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  // Enumerate n-subsets of planes (n <= 3, planes <= 9: trivial).
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  while (true) {
+    // Build the n x n system.
+    Matrix a(n, n);
+    std::vector<double> b(n);
+    for (int r = 0; r < n; ++r) {
+      const int plane = idx[r];
+      if (plane < m) {
+        for (int c = 0; c < n; ++c) a(r, c) = lp.rows[plane].coeffs[c];
+        b[r] = lp.rows[plane].rhs;
+      } else {
+        a(r, plane - m) = 1.0;
+        b[r] = 0.0;
+      }
+    }
+    // Solve via normal equations (works when a is invertible; the ridge 0
+    // Cholesky of aᵀa fails for singular a, which we just skip).
+    const Matrix at = a.Transposed();
+    Cholesky chol;
+    if (chol.Factor(at.GramRows(), 1e-12)) {
+      const std::vector<double> rhs = at.MatVec(b);
+      const std::vector<double> x = chol.Solve(rhs);
+      // Check it actually solves ax=b (Gram trick can hide rank issues).
+      const std::vector<double> ax = a.MatVec(x);
+      bool exact = true;
+      for (int r = 0; r < n; ++r) {
+        if (std::fabs(ax[r] - b[r]) > 1e-6) exact = false;
+      }
+      if (exact) {
+        bool feasible = true;
+        for (int j = 0; j < n && feasible; ++j) {
+          if (x[j] < -1e-7) feasible = false;
+        }
+        for (int r = 0; r < m && feasible; ++r) {
+          double dot = 0.0;
+          for (int j = 0; j < n; ++j) dot += lp.rows[r].coeffs[j] * x[j];
+          if (dot > lp.rows[r].rhs + 1e-7) feasible = false;
+        }
+        if (feasible) {
+          double value = 0.0;
+          for (int j = 0; j < n; ++j) value += lp.objective[j] * x[j];
+          best = std::min(best, value);
+          found = true;
+        }
+      }
+    }
+    // Next combination.
+    int i = n - 1;
+    while (i >= 0 && idx[i] == planes - n + i) --i;
+    if (i < 0) break;
+    ++idx[i];
+    for (int j = i + 1; j < n; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+class SimplexVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexVsBruteForce, AgreesOnRandomLps) {
+  Rng rng(7000 + GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(2));  // 2..3
+    const int m = 2 + static_cast<int>(rng.UniformInt(5));  // 2..6
+    LpProblem lp;
+    lp.num_vars = n;
+    lp.objective.resize(n);
+    // Positive objective -> bounded below over the positive orthant.
+    for (double& c : lp.objective) c = 0.1 + rng.UniformDouble();
+    for (int r = 0; r < m; ++r) {
+      std::vector<double> row(n);
+      for (double& v : row) v = rng.Normal();
+      // Mix of <= and >= rows with moderate rhs.
+      if (rng.Bernoulli(0.5)) {
+        lp.AddLe(std::move(row), rng.Normal() * 2.0 + 1.0);
+      } else {
+        lp.AddGe(std::move(row), rng.Normal() * 2.0 - 1.0);
+      }
+    }
+
+    // Brute force operates on <= rows only; convert.
+    LpProblem le_only = lp;
+    le_only.rows.clear();
+    for (const auto& row : lp.rows) {
+      if (row.relation == LpProblem::Relation::kLe) {
+        le_only.rows.push_back(row);
+      } else {
+        std::vector<double> flipped = row.coeffs;
+        for (double& v : flipped) v = -v;
+        le_only.AddLe(std::move(flipped), -row.rhs);
+      }
+    }
+
+    const std::optional<double> brute = BruteForceLp(le_only);
+    const LpResult solved = SolveLp(lp);
+    if (brute.has_value()) {
+      ASSERT_EQ(solved.status, LpStatus::kOptimal)
+          << "trial " << trial;
+      EXPECT_NEAR(solved.objective_value, *brute, 1e-5)
+          << "trial " << trial;
+    } else {
+      EXPECT_EQ(solved.status, LpStatus::kInfeasible) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexVsBruteForce, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,130 @@
+// Property tests for the table layer: randomized sweeps over scopes and
+// cell contents, checking the algebraic identities everything downstream
+// (consistency, IPF, cube ops) silently relies on.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "table/dataset.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+namespace {
+
+MarginalTable RandomTable(AttrSet attrs, Rng* rng, bool allow_negative) {
+  MarginalTable t(attrs);
+  for (double& c : t.cells()) {
+    c = allow_negative ? rng->Normal(0.0, 10.0) : rng->UniformDouble() * 10;
+  }
+  return t;
+}
+
+AttrSet RandomScope(int d, int k, Rng* rng) {
+  return AttrSet::FromIndices(rng->SampleWithoutReplacement(d, k));
+}
+
+class TableProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableProperties, ProjectionIsLinear) {
+  Rng rng(100 + GetParam());
+  const AttrSet attrs = RandomScope(12, 5, &rng);
+  const MarginalTable a = RandomTable(attrs, &rng, true);
+  const MarginalTable b = RandomTable(attrs, &rng, true);
+  const AttrSet sub = RandomScope(12, 5, &rng).Intersect(attrs);
+
+  MarginalTable sum(attrs);
+  for (size_t i = 0; i < sum.size(); ++i) sum.At(i) = a.At(i) + b.At(i);
+  const MarginalTable proj_sum = sum.Project(sub);
+  const MarginalTable pa = a.Project(sub);
+  const MarginalTable pb = b.Project(sub);
+  for (size_t i = 0; i < proj_sum.size(); ++i) {
+    EXPECT_NEAR(proj_sum.At(i), pa.At(i) + pb.At(i), 1e-9);
+  }
+}
+
+TEST_P(TableProperties, ProjectionChainsCommute) {
+  Rng rng(200 + GetParam());
+  const AttrSet attrs = RandomScope(14, 6, &rng);
+  const MarginalTable t = RandomTable(attrs, &rng, true);
+  // Two nested sub-scopes: attrs ⊇ mid ⊇ low.
+  std::vector<int> all = attrs.ToIndices();
+  AttrSet mid = attrs;
+  AttrSet low = attrs;
+  // Drop random attributes to form mid and low.
+  for (int a : all) {
+    if (rng.Bernoulli(0.3)) mid = mid.Minus(AttrSet::FromIndices({a}));
+  }
+  for (int a : mid.ToIndices()) {
+    if (rng.Bernoulli(0.4)) low = low.Minus(AttrSet::FromIndices({a}));
+  }
+  low = low.Intersect(mid);
+  const MarginalTable direct = t.Project(low);
+  const MarginalTable chained = t.Project(mid).Project(low);
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct.At(i), chained.At(i), 1e-9);
+  }
+}
+
+TEST_P(TableProperties, ProjectionPreservesTotal) {
+  Rng rng(300 + GetParam());
+  const AttrSet attrs = RandomScope(16, 7, &rng);
+  const MarginalTable t = RandomTable(attrs, &rng, true);
+  const AttrSet sub = RandomScope(16, 7, &rng).Intersect(attrs);
+  EXPECT_NEAR(t.Project(sub).Total(), t.Total(), 1e-8);
+}
+
+TEST_P(TableProperties, CellIndexMaskRoundTrip) {
+  Rng rng(400 + GetParam());
+  const AttrSet attrs = RandomScope(20, 6, &rng);
+  const MarginalTable t(attrs);
+  const AttrSet sub = RandomScope(20, 6, &rng).Intersect(attrs);
+  const uint64_t within = t.CellIndexMaskFor(sub);
+  EXPECT_EQ(PopCount(within), sub.size());
+  // The mask must select exactly the sub-attributes in cell-index space:
+  // deposit a compact index through `within`, then through attrs' mask, and
+  // check the resulting global bits lie exactly on sub's attributes.
+  for (uint64_t v = 0; v < (uint64_t{1} << sub.size()); ++v) {
+    const uint64_t cell_bits = DepositBits(v, within);
+    const uint64_t global_bits = DepositBits(cell_bits, attrs.mask());
+    EXPECT_EQ(global_bits & ~sub.mask(), 0u);
+    EXPECT_EQ(ExtractBits(global_bits, sub.mask()), v);
+  }
+}
+
+TEST_P(TableProperties, DatasetMarginalsAgreeWithProjection) {
+  Rng rng(500 + GetParam());
+  const int d = 10;
+  Dataset data(d);
+  for (int i = 0; i < 500; ++i) {
+    data.Add(rng.NextUint64() & ((1ULL << d) - 1));
+  }
+  const AttrSet wide = RandomScope(d, 6, &rng);
+  AttrSet narrow = wide;
+  for (int a : wide.ToIndices()) {
+    if (rng.Bernoulli(0.5)) narrow = narrow.Minus(AttrSet::FromIndices({a}));
+  }
+  const MarginalTable direct = data.CountMarginal(narrow);
+  const MarginalTable projected = data.CountMarginal(wide).Project(narrow);
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct.At(i), projected.At(i));
+  }
+}
+
+TEST_P(TableProperties, L2DistanceIsAMetric) {
+  Rng rng(600 + GetParam());
+  const AttrSet attrs = RandomScope(10, 4, &rng);
+  const MarginalTable a = RandomTable(attrs, &rng, true);
+  const MarginalTable b = RandomTable(attrs, &rng, true);
+  const MarginalTable c = RandomTable(attrs, &rng, true);
+  EXPECT_NEAR(a.L2DistanceTo(b), b.L2DistanceTo(a), 1e-12);
+  EXPECT_GE(a.L2DistanceTo(b) + b.L2DistanceTo(c),
+            a.L2DistanceTo(c) - 1e-9);
+  EXPECT_NEAR(a.L2DistanceTo(a), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TableProperties, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace priview

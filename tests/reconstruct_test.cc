@@ -1,0 +1,154 @@
+#include "core/reconstruct.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/consistency.h"
+#include "data/synthetic.h"
+#include "table/dataset.h"
+
+namespace priview {
+namespace {
+
+std::vector<MarginalTable> ExactViews(const Dataset& data,
+                                      const std::vector<AttrSet>& scopes) {
+  std::vector<MarginalTable> views;
+  for (AttrSet s : scopes) views.push_back(data.CountMarginal(s));
+  return views;
+}
+
+TEST(ReconstructTest, CoveredScopeIsExactProjection) {
+  Rng rng(1);
+  Dataset data(8);
+  for (int i = 0; i < 2000; ++i) data.Add(rng.NextUint64() & 0xFF);
+  const auto views = ExactViews(data, {AttrSet::FromIndices({0, 1, 2, 3}),
+                                       AttrSet::FromIndices({4, 5, 6, 7})});
+  const AttrSet target = AttrSet::FromIndices({1, 3});
+  const MarginalTable answer = ReconstructMarginal(
+      views, target, 2000.0, ReconstructionMethod::kMaxEntropy);
+  const MarginalTable truth = data.CountMarginal(target);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(answer.At(i), truth.At(i), 1e-9);
+  }
+}
+
+TEST(ReconstructTest, NoIntersectionGivesUniform) {
+  Rng rng(2);
+  Dataset data(6);
+  for (int i = 0; i < 100; ++i) data.Add(rng.NextUint64() & 0x3F);
+  const auto views = ExactViews(data, {AttrSet::FromIndices({0, 1})});
+  for (auto method :
+       {ReconstructionMethod::kMaxEntropy, ReconstructionMethod::kLeastNorm,
+        ReconstructionMethod::kLinearProgram}) {
+    const MarginalTable answer = ReconstructMarginal(
+        views, AttrSet::FromIndices({4, 5}), 100.0, method);
+    for (size_t i = 0; i < answer.size(); ++i) {
+      EXPECT_NEAR(answer.At(i), 25.0, 1e-6)
+          << ReconstructionMethodName(method);
+    }
+  }
+}
+
+TEST(ReconstructTest, IndependentAttributesRecoveredFromDisjointViews) {
+  // If the data is an independent product, max entropy over 1-way pieces
+  // recovers the joint.
+  Rng rng(3);
+  Dataset data(4);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t r = 0;
+    if (rng.Bernoulli(0.3)) r |= 1;
+    if (rng.Bernoulli(0.7)) r |= 2;
+    if (rng.Bernoulli(0.5)) r |= 4;
+    if (rng.Bernoulli(0.2)) r |= 8;
+    data.Add(r);
+  }
+  const auto views = ExactViews(data, {AttrSet::FromIndices({0, 1}),
+                                       AttrSet::FromIndices({2, 3})});
+  const AttrSet target = AttrSet::FromIndices({0, 2});
+  const MarginalTable answer = ReconstructMarginal(
+      views, target, static_cast<double>(data.size()),
+      ReconstructionMethod::kMaxEntropy);
+  const MarginalTable truth = data.CountMarginal(target);
+  // Sampling noise only: within ~1.5% of N.
+  EXPECT_LT(answer.L2DistanceTo(truth) / data.size(), 0.015);
+}
+
+TEST(ReconstructTest, ChainDependencyRecoveredThroughOverlap) {
+  // Correlated chain: x1 copies x0 w.p. 0.9, x2 copies x1 w.p. 0.9. Views
+  // {0,1} and {1,2} overlap on x1; CME should capture the (conditional
+  // independence) joint of {0,2} well.
+  Rng rng(4);
+  Dataset data(3);
+  for (int i = 0; i < 50000; ++i) {
+    const bool x0 = rng.Bernoulli(0.5);
+    const bool x1 = rng.Bernoulli(0.9) ? x0 : !x0;
+    const bool x2 = rng.Bernoulli(0.9) ? x1 : !x1;
+    data.Add((x0 ? 1u : 0u) | (x1 ? 2u : 0u) | (x2 ? 4u : 0u));
+  }
+  const auto views = ExactViews(data, {AttrSet::FromIndices({0, 1}),
+                                       AttrSet::FromIndices({1, 2})});
+  const AttrSet target = AttrSet::FromIndices({0, 1, 2});
+  const MarginalTable answer = ReconstructMarginal(
+      views, target, static_cast<double>(data.size()),
+      ReconstructionMethod::kMaxEntropy);
+  const MarginalTable truth = data.CountMarginal(target);
+  // Max entropy = conditional independence, which holds by construction.
+  EXPECT_LT(answer.L2DistanceTo(truth) / data.size(), 0.02);
+}
+
+TEST(ReconstructTest, AllMethodsSatisfyCoveredConstraintsOnExactViews) {
+  Rng rng(5);
+  Dataset data = MakeMsnbcLike(&rng, 20000);
+  std::vector<MarginalTable> views =
+      ExactViews(data, {AttrSet::FromIndices({0, 1, 2, 3, 4, 5}),
+                        AttrSet::FromIndices({3, 4, 5, 6, 7, 8}),
+                        AttrSet::FromIndices({0, 1, 2, 6, 7, 8})});
+  const AttrSet target = AttrSet::FromIndices({0, 3, 6, 8});
+  const double n = static_cast<double>(data.size());
+  for (auto method :
+       {ReconstructionMethod::kMaxEntropy, ReconstructionMethod::kLeastNorm,
+        ReconstructionMethod::kLinearProgram}) {
+    const MarginalTable answer =
+        ReconstructMarginal(views, target, n, method);
+    EXPECT_NEAR(answer.Total(), n, n * 0.01)
+        << ReconstructionMethodName(method);
+    EXPECT_GE(answer.MinCell(), -1e-6) << ReconstructionMethodName(method);
+    // Every view constraint (projection onto view ∩ target) is satisfied
+    // closely, since exact views are mutually consistent.
+    for (const MarginalTable& view : views) {
+      const AttrSet common = view.attrs().Intersect(target);
+      if (common.empty()) continue;
+      const MarginalTable want = view.Project(common);
+      const MarginalTable got = answer.Project(common);
+      EXPECT_LT(got.LinfDistanceTo(want) / n, 0.01)
+          << ReconstructionMethodName(method);
+    }
+  }
+}
+
+TEST(ReconstructTest, MaxEntropyBeatsUniformOnCorrelatedData) {
+  Rng rng(6);
+  Dataset data = MakeKosarakLike(&rng, 20000);
+  std::vector<AttrSet> scopes;
+  // Simple pair-covering views over the first 12 attributes.
+  for (int start = 0; start < 12; start += 4) {
+    scopes.push_back(
+        AttrSet::FromIndices({start, start + 1, start + 2, start + 3}));
+  }
+  scopes.push_back(AttrSet::FromIndices({0, 4, 8, 11}));
+  scopes.push_back(AttrSet::FromIndices({1, 5, 9, 10}));
+  scopes.push_back(AttrSet::FromIndices({2, 6, 3, 7}));
+  auto views = ExactViews(data, scopes);
+  MakeConsistent(&views);
+
+  const AttrSet target = AttrSet::FromIndices({0, 1, 4, 5});
+  const MarginalTable truth = data.CountMarginal(target);
+  const double n = static_cast<double>(data.size());
+  const MarginalTable cme = ReconstructMarginal(
+      views, target, n, ReconstructionMethod::kMaxEntropy);
+  MarginalTable uniform(target, n / 16.0);
+  EXPECT_LT(cme.L2DistanceTo(truth), uniform.L2DistanceTo(truth));
+}
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,166 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace priview {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformOpenNeverZero) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.UniformOpen(), 0.0);
+    EXPECT_LT(rng.UniformOpen(), 1.0);
+  }
+}
+
+TEST(RngTest, LaplaceMeanAndVariance) {
+  Rng rng(42);
+  const double scale = 3.0;
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Laplace(scale);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  // Var of Laplace(b) is 2 b^2 = 18.
+  EXPECT_NEAR(variance, 18.0, 0.6);
+}
+
+TEST(RngTest, LaplaceSymmetric) {
+  Rng rng(42);
+  int positive = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Laplace(1.0) > 0) ++positive;
+  }
+  EXPECT_NEAR(static_cast<double>(positive) / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(5);
+  const double rate = 2.0;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(rate);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(9);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(sum_sq / n - mean * mean, 9.0, 0.2);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(3);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SampleWithoutReplacementProperties) {
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::vector<int> sample = rng.SampleWithoutReplacement(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (size_t i = 1; i < sample.size(); ++i) {
+      EXPECT_LT(sample[i - 1], sample[i]);  // sorted
+    }
+    for (int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(17);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(5, 5);
+  EXPECT_EQ(sample, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, SampleWithoutReplacementUnbiased) {
+  // Each element of [0, 10) should appear in a 3-sample with prob 0.3.
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  const int trials = 50000;
+  for (int t = 0; t < trials; ++t) {
+    for (int v : rng.SampleWithoutReplacement(10, 3)) ++counts[v];
+  }
+  for (int v = 0; v < 10; ++v) {
+    EXPECT_NEAR(static_cast<double>(counts[v]) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.Fork();
+  // The child stream should not equal the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == child.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace priview

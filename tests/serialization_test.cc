@@ -1,0 +1,119 @@
+#include "core/serialization.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "design/covering_design.h"
+
+namespace priview {
+namespace {
+
+PriViewSynopsis MakeTestSynopsis() {
+  Rng rng(1);
+  Dataset data = MakeMsnbcLike(&rng, 20000);
+  const CoveringDesign design = MakeCoveringDesign(9, 6, 2, &rng);
+  PriViewOptions options;
+  options.epsilon = 0.7;
+  return PriViewSynopsis::Build(data, design.blocks, options, &rng);
+}
+
+TEST(SerializationTest, RoundTripIsExact) {
+  const PriViewSynopsis original = MakeTestSynopsis();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSynopsis(original, &stream).ok());
+  StatusOr<PriViewSynopsis> loaded = ReadSynopsis(&stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const PriViewSynopsis& copy = loaded.value();
+  EXPECT_EQ(copy.d(), original.d());
+  EXPECT_DOUBLE_EQ(copy.options().epsilon, 0.7);
+  ASSERT_EQ(copy.views().size(), original.views().size());
+  for (size_t v = 0; v < copy.views().size(); ++v) {
+    EXPECT_EQ(copy.views()[v].attrs(), original.views()[v].attrs());
+    for (size_t c = 0; c < copy.views()[v].size(); ++c) {
+      // Hex-float serialization: bit-exact round trip.
+      EXPECT_EQ(copy.views()[v].At(c), original.views()[v].At(c));
+    }
+  }
+  EXPECT_DOUBLE_EQ(copy.total(), original.total());
+}
+
+TEST(SerializationTest, QueriesIdenticalAfterRoundTrip) {
+  const PriViewSynopsis original = MakeTestSynopsis();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSynopsis(original, &stream).ok());
+  const PriViewSynopsis copy = ReadSynopsis(&stream).value();
+  const AttrSet scope = AttrSet::FromIndices({0, 3, 6, 8});
+  const MarginalTable a = original.Query(scope);
+  const MarginalTable b = copy.Query(scope);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.At(i), b.At(i));
+  }
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const PriViewSynopsis original = MakeTestSynopsis();
+  const std::string path = ::testing::TempDir() + "/synopsis.pv";
+  ASSERT_TRUE(SaveSynopsis(original, path).ok());
+  StatusOr<PriViewSynopsis> loaded = LoadSynopsis(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().views().size(), original.views().size());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsWrongMagic) {
+  std::stringstream stream("not-a-synopsis v1\n");
+  EXPECT_FALSE(ReadSynopsis(&stream).ok());
+}
+
+TEST(SerializationTest, RejectsWrongVersion) {
+  std::stringstream stream("priview-synopsis v99\nd 4\n");
+  EXPECT_FALSE(ReadSynopsis(&stream).ok());
+}
+
+TEST(SerializationTest, RejectsBadDimension) {
+  std::stringstream stream("priview-synopsis v1\nd 200\nepsilon 1\nviews 1\n");
+  EXPECT_FALSE(ReadSynopsis(&stream).ok());
+}
+
+TEST(SerializationTest, RejectsOutOfRangeAttribute) {
+  std::stringstream stream(
+      "priview-synopsis v1\nd 4\nepsilon 1\nviews 1\n"
+      "view 0 9\n0x0p+0 0x0p+0 0x0p+0 0x0p+0\n");
+  const auto result = ReadSynopsis(&stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializationTest, RejectsCellCountMismatch) {
+  std::stringstream stream(
+      "priview-synopsis v1\nd 4\nepsilon 1\nviews 1\n"
+      "view 0 1\n0x0p+0 0x0p+0 0x0p+0\n");  // 3 cells, needs 4
+  EXPECT_FALSE(ReadSynopsis(&stream).ok());
+}
+
+TEST(SerializationTest, RejectsTruncatedFile) {
+  std::stringstream stream("priview-synopsis v1\nd 4\nepsilon 1\nviews 2\n"
+                           "view 0 1\n0x0p+0 0x0p+0 0x0p+0 0x0p+0\n");
+  EXPECT_FALSE(ReadSynopsis(&stream).ok());
+}
+
+TEST(SerializationTest, RejectsGarbageCell) {
+  std::stringstream stream(
+      "priview-synopsis v1\nd 4\nepsilon 1\nviews 1\n"
+      "view 0 1\n0x0p+0 frog 0x0p+0 0x0p+0\n");
+  EXPECT_FALSE(ReadSynopsis(&stream).ok());
+}
+
+TEST(SerializationTest, MissingFileIsIOError) {
+  const auto result = LoadSynopsis(::testing::TempDir() + "/nope.pv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,145 @@
+#include "opt/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace priview {
+namespace {
+
+TEST(SimplexTest, SimpleMaximizationViaNegation) {
+  // max x + y s.t. x + 2y <= 4, 3x + y <= 6  =>  (8/5, 6/5), value 14/5.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, -1.0};  // minimize the negation
+  lp.AddLe({1.0, 2.0}, 4.0);
+  lp.AddLe({3.0, 1.0}, 6.0);
+  const LpResult r = SolveLp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 1.6, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.2, 1e-9);
+  EXPECT_NEAR(r.objective_value, -2.8, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // min x + y s.t. x + y = 10, x - y = 2  =>  (6, 4).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.AddEq({1.0, 1.0}, 10.0);
+  lp.AddEq({1.0, -1.0}, 2.0);
+  const LpResult r = SolveLp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 6.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, GeConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1  =>  (4, 0), value 8.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {2.0, 3.0};
+  lp.AddGe({1.0, 1.0}, 4.0);
+  lp.AddGe({1.0, 0.0}, 1.0);
+  const LpResult r = SolveLp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective_value, 8.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.AddGe({1.0}, 5.0);
+  lp.AddLe({1.0}, 3.0);
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // min -x s.t. x >= 1: x can grow forever.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};
+  lp.AddGe({1.0}, 1.0);
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // min x s.t. -x <= -3 (i.e. x >= 3).
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.AddLe({-1.0}, -3.0);
+  const LpResult r = SolveLp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateRedundantRows) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 2.0};
+  lp.AddEq({1.0, 1.0}, 5.0);
+  lp.AddEq({2.0, 2.0}, 10.0);  // duplicate of the first
+  lp.AddGe({0.0, 1.0}, 1.0);
+  const LpResult r = SolveLp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0] + r.x[1], 5.0, 1e-9);
+  EXPECT_NEAR(r.objective_value, 4.0 + 2.0, 1e-9);  // x=(4,1)
+}
+
+TEST(SimplexTest, MinMaxViolationPattern) {
+  // The LP-reconstruction shape: minimize tau with |x_i - t_i| <= tau and a
+  // coupling constraint. t = (1, 5), coupling x0 + x1 = 8 => x = (2, 6),
+  // tau = 1.
+  LpProblem lp;
+  lp.num_vars = 3;  // x0, x1, tau
+  lp.objective = {0.0, 0.0, 1.0};
+  lp.AddLe({1.0, 0.0, -1.0}, 1.0);
+  lp.AddLe({-1.0, 0.0, -1.0}, -1.0);
+  lp.AddLe({0.0, 1.0, -1.0}, 5.0);
+  lp.AddLe({0.0, -1.0, -1.0}, -5.0);
+  lp.AddEq({1.0, 1.0, 0.0}, 8.0);
+  const LpResult r = SolveLp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective_value, 1.0, 1e-9);
+  EXPECT_NEAR(r.x[0] + r.x[1], 8.0, 1e-9);
+}
+
+TEST(SimplexTest, RandomFeasibleProblemsSolveToFeasiblePoints) {
+  Rng rng(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Construct a guaranteed-feasible problem: pick x*, derive slack rhs.
+    const int n = 5, m = 8;
+    std::vector<double> x_star(n);
+    for (double& v : x_star) v = rng.UniformDouble() * 5.0;
+    LpProblem lp;
+    lp.num_vars = n;
+    lp.objective.assign(n, 0.0);
+    for (int j = 0; j < n; ++j) lp.objective[j] = rng.Normal();
+    for (int i = 0; i < m; ++i) {
+      std::vector<double> row(n);
+      double dot = 0.0;
+      for (int j = 0; j < n; ++j) {
+        row[j] = rng.Normal();
+        dot += row[j] * x_star[j];
+      }
+      lp.AddLe(std::move(row), dot + rng.UniformDouble());
+    }
+    const LpResult r = SolveLp(lp);
+    // Feasible by construction; objective may be unbounded below.
+    ASSERT_NE(r.status, LpStatus::kInfeasible);
+    if (r.status == LpStatus::kOptimal) {
+      for (int i = 0; i < m; ++i) {
+        double dot = 0.0;
+        for (int j = 0; j < n; ++j) dot += lp.rows[i].coeffs[j] * r.x[j];
+        EXPECT_LE(dot, lp.rows[i].rhs + 1e-6);
+      }
+      for (double v : r.x) EXPECT_GE(v, -1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,140 @@
+#include "core/synopsis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/consistency.h"
+#include "data/synthetic.h"
+#include "design/covering_design.h"
+#include "design/view_selection.h"
+#include "metrics/metrics.h"
+
+namespace priview {
+namespace {
+
+TEST(SynopsisTest, BuildsConsistentViews) {
+  Rng rng(1);
+  Dataset data = MakeMsnbcLike(&rng, 50000);
+  const CoveringDesign design = MakeCoveringDesign(9, 6, 2, &rng);
+  PriViewOptions options;
+  options.epsilon = 1.0;
+  const PriViewSynopsis synopsis =
+      PriViewSynopsis::Build(data, design.blocks, options, &rng);
+  EXPECT_EQ(synopsis.views().size(), 3u);
+  EXPECT_LT(MaxInconsistency(synopsis.views()), 1e-6);
+  EXPECT_NEAR(synopsis.total(), 50000.0, 5000.0);
+}
+
+TEST(SynopsisTest, NoNoiseReproducesExactCoveredMarginals) {
+  Rng rng(2);
+  Dataset data = MakeMsnbcLike(&rng, 20000);
+  const CoveringDesign design = MakeCoveringDesign(9, 6, 2, &rng);
+  PriViewOptions options;
+  options.add_noise = false;
+  const PriViewSynopsis synopsis =
+      PriViewSynopsis::Build(data, design.blocks, options, &rng);
+  const AttrSet covered = AttrSet::FromIndices({0, 1, 5});
+  const MarginalTable answer = synopsis.Query(covered);
+  const MarginalTable truth = data.CountMarginal(covered);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(answer.At(i), truth.At(i), 1e-6);
+  }
+}
+
+TEST(SynopsisTest, NoisyAnswersTrackTruth) {
+  Rng rng(3);
+  Dataset data = MakeMsnbcLike(&rng, 200000);
+  const CoveringDesign design = MakeCoveringDesign(9, 6, 2, &rng);
+  PriViewOptions options;
+  options.epsilon = 1.0;
+  const PriViewSynopsis synopsis =
+      PriViewSynopsis::Build(data, design.blocks, options, &rng);
+  const double n = static_cast<double>(data.size());
+  // Covered pair: error should be far below the uniform baseline.
+  const AttrSet pair = AttrSet::FromIndices({2, 7});
+  const MarginalTable truth = data.CountMarginal(pair);
+  const MarginalTable answer = synopsis.Query(pair);
+  const MarginalTable uniform(pair, n / 4.0);
+  EXPECT_LT(answer.L2DistanceTo(truth), uniform.L2DistanceTo(truth));
+}
+
+TEST(SynopsisTest, QueryWorksForUncoveredScopes) {
+  Rng rng(4);
+  Dataset data = MakeMsnbcLike(&rng, 100000);
+  const CoveringDesign design = MakeCoveringDesign(9, 6, 2, &rng);
+  PriViewOptions options;
+  const PriViewSynopsis synopsis =
+      PriViewSynopsis::Build(data, design.blocks, options, &rng);
+  // 4-way scope not inside any block of C2(6,3): e.g. {0, 3, 6, 8} spans
+  // all three blocks.
+  const AttrSet target = AttrSet::FromIndices({0, 3, 6, 8});
+  for (auto method :
+       {ReconstructionMethod::kMaxEntropy, ReconstructionMethod::kLeastNorm,
+        ReconstructionMethod::kLinearProgram}) {
+    const MarginalTable answer = synopsis.Query(target, method);
+    EXPECT_EQ(answer.attrs(), target);
+    EXPECT_GE(answer.MinCell(), -1e-6);
+    EXPECT_NEAR(answer.Total(), synopsis.total(),
+                0.05 * synopsis.total());
+  }
+}
+
+TEST(SynopsisTest, RippleRemovesDeepNegatives) {
+  Rng rng(5);
+  Dataset data = MakeMsnbcLike(&rng, 1000);  // tiny N, eps makes noise huge
+  const CoveringDesign design = MakeCoveringDesign(9, 6, 2, &rng);
+  PriViewOptions options;
+  options.epsilon = 0.5;
+  options.ripple.theta = 1.0;
+  const PriViewSynopsis synopsis =
+      PriViewSynopsis::Build(data, design.blocks, options, &rng);
+  // After C + Ripple + C, residual negatives should be small relative to
+  // the noise scale w/eps = 6 (the paper: "they tend to be very small").
+  for (const MarginalTable& view : synopsis.views()) {
+    EXPECT_GT(view.MinCell(), -15.0);
+  }
+}
+
+TEST(SynopsisTest, NonNegRoundsMatchRippleIterations) {
+  Rng rng(6);
+  Dataset data = MakeMsnbcLike(&rng, 5000);
+  const CoveringDesign design = MakeCoveringDesign(9, 6, 2, &rng);
+  PriViewOptions r1;
+  r1.nonneg_rounds = 1;
+  PriViewOptions r3;
+  r3.nonneg_rounds = 3;
+  Rng rng1(77), rng3(77);
+  const PriViewSynopsis s1 =
+      PriViewSynopsis::Build(data, design.blocks, r1, &rng1);
+  const PriViewSynopsis s3 =
+      PriViewSynopsis::Build(data, design.blocks, r3, &rng3);
+  // Same noise seed: Ripple_3 should produce (weakly) fewer negatives.
+  double min1 = 0.0, min3 = 0.0;
+  for (const MarginalTable& v : s1.views()) min1 = std::min(min1, v.MinCell());
+  for (const MarginalTable& v : s3.views()) min3 = std::min(min3, v.MinCell());
+  EXPECT_LE(min3, 0.0);
+  EXPECT_GE(min3, min1 - 1e-9);
+}
+
+TEST(SynopsisTest, EndToEndWithViewSelection) {
+  Rng rng(7);
+  Dataset data = MakeKosarakLike(&rng, 30000);
+  const ViewSelection sel = SelectViews(32, 30000.0, 1.0, &rng);
+  PriViewOptions options;
+  options.epsilon = 1.0;
+  const PriViewSynopsis synopsis =
+      PriViewSynopsis::Build(data, sel.design.blocks, options, &rng);
+  Rng qrng(8);
+  const std::vector<AttrSet> queries = SampleQuerySets(32, 4, 10, &qrng);
+  const double n = static_cast<double>(data.size());
+  double priview_error = 0.0, uniform_error = 0.0;
+  for (AttrSet q : queries) {
+    const MarginalTable truth = data.CountMarginal(q);
+    priview_error += synopsis.Query(q).L2DistanceTo(truth) / n;
+    uniform_error += MarginalTable(q, n / 16.0).L2DistanceTo(truth) / n;
+  }
+  EXPECT_LT(priview_error, uniform_error);
+}
+
+}  // namespace
+}  // namespace priview

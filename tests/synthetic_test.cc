@@ -1,0 +1,67 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace priview {
+namespace {
+
+TEST(SyntheticTest, KosarakLikeShape) {
+  Rng rng(1);
+  const Dataset data = MakeKosarakLike(&rng, 5000);
+  EXPECT_EQ(data.d(), 32);
+  EXPECT_EQ(data.size(), 5000u);
+}
+
+TEST(SyntheticTest, AolLikeShape) {
+  Rng rng(2);
+  const Dataset data = MakeAolLike(&rng, 3000);
+  EXPECT_EQ(data.d(), 45);
+  EXPECT_EQ(data.size(), 3000u);
+}
+
+TEST(SyntheticTest, MsnbcLikeShape) {
+  Rng rng(3);
+  const Dataset data = MakeMsnbcLike(&rng, 2000);
+  EXPECT_EQ(data.d(), 9);
+  EXPECT_EQ(data.size(), 2000u);
+}
+
+TEST(SyntheticTest, PopularityDecaysAcrossAttributes) {
+  Rng rng(4);
+  const Dataset data = MakeKosarakLike(&rng, 50000);
+  // The first attribute (most popular page) should be much more frequent
+  // than the last.
+  EXPECT_GT(data.AttributeFrequency(0), 3.0 * data.AttributeFrequency(31));
+  EXPECT_GT(data.AttributeFrequency(0), 0.2);
+  EXPECT_LT(data.AttributeFrequency(31), 0.2);
+}
+
+TEST(SyntheticTest, TopicStructureInducesPositiveCorrelation) {
+  // Attributes sharing a topic (round-robin: j and j + num_topics) should
+  // be positively correlated: P(both) > P(a) P(b).
+  Rng rng(5);
+  ClickstreamModel model;
+  model.d = 16;
+  model.n = 80000;
+  model.num_topics = 4;
+  model.topic_boost = 6.0;
+  model.topic_activation = 0.3;
+  model.activity_scale = 0.0;  // isolate the topic effect
+  const Dataset data = MakeClickstreamDataset(model, &rng);
+  const double n = static_cast<double>(data.size());
+  const MarginalTable pair = data.CountMarginal(AttrSet::FromIndices({1, 5}));
+  const double p_both = pair.At(0b11) / n;
+  const double p_a = data.AttributeFrequency(1);
+  const double p_b = data.AttributeFrequency(5);
+  EXPECT_GT(p_both, 1.15 * p_a * p_b);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  Rng a(6), b(6);
+  const Dataset da = MakeMsnbcLike(&a, 500);
+  const Dataset db = MakeMsnbcLike(&b, 500);
+  EXPECT_EQ(da.records(), db.records());
+}
+
+}  // namespace
+}  // namespace priview

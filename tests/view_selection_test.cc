@@ -1,0 +1,93 @@
+#include "design/view_selection.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace priview {
+namespace {
+
+TEST(ViewSelectionTest, EllObjectivesMatchPaperTable) {
+  // §4.5 table: 2^{l/2}/(l(l-1)) values for l = 5..12.
+  EXPECT_NEAR(EllObjectivePairs(5), 0.283, 0.001);
+  EXPECT_NEAR(EllObjectivePairs(6), 0.267, 0.001);
+  EXPECT_NEAR(EllObjectivePairs(7), 0.269, 0.001);
+  EXPECT_NEAR(EllObjectivePairs(8), 0.286, 0.001);
+  EXPECT_NEAR(EllObjectivePairs(9), 0.314, 0.001);
+  EXPECT_NEAR(EllObjectivePairs(10), 0.356, 0.001);
+  EXPECT_NEAR(EllObjectivePairs(11), 0.411, 0.001);
+  EXPECT_NEAR(EllObjectivePairs(12), 0.485, 0.001);
+
+  EXPECT_NEAR(EllObjectiveTriples(5), 0.094, 0.001);
+  EXPECT_NEAR(EllObjectiveTriples(6), 0.067, 0.001);
+  EXPECT_NEAR(EllObjectiveTriples(7), 0.054, 0.001);
+  EXPECT_NEAR(EllObjectiveTriples(8), 0.048, 0.001);
+  EXPECT_NEAR(EllObjectiveTriples(9), 0.045, 0.001);
+  EXPECT_NEAR(EllObjectiveTriples(10), 0.044, 0.001);
+  EXPECT_NEAR(EllObjectiveTriples(11), 0.046, 0.001);
+  EXPECT_NEAR(EllObjectiveTriples(12), 0.048, 0.001);
+}
+
+TEST(ViewSelectionTest, NoiseErrorMatchesPaperKosarakRow) {
+  // §4.5 example: d = 32, N ≈ 900,000, eps = 1, ell = 8:
+  //   t=2 (w=20)  err ≈ 0.00047
+  //   t=3 (w=106) err ≈ 0.0011
+  //   t=4 (w=620) err ≈ 0.0026
+  const double n = 900000.0;
+  EXPECT_NEAR(NoiseErrorEq5(n, 32, 1.0, 8, 20), 0.00047, 0.00003);
+  EXPECT_NEAR(NoiseErrorEq5(n, 32, 1.0, 8, 106), 0.0011, 0.0001);
+  EXPECT_NEAR(NoiseErrorEq5(n, 32, 1.0, 8, 620), 0.0026, 0.0002);
+}
+
+TEST(ViewSelectionTest, NoiseErrorScalesInverselyWithEpsilon) {
+  const double e1 = NoiseErrorEq5(1e6, 32, 1.0, 8, 20);
+  const double e01 = NoiseErrorEq5(1e6, 32, 0.1, 8, 20);
+  EXPECT_NEAR(e01 / e1, 10.0, 1e-9);
+}
+
+TEST(ViewSelectionTest, NoiseErrorGrowsWithW) {
+  EXPECT_LT(NoiseErrorEq5(1e6, 32, 1.0, 8, 20),
+            NoiseErrorEq5(1e6, 32, 1.0, 8, 100));
+}
+
+TEST(ViewSelectionTest, SelectsHigherTWhenBudgetAllows) {
+  Rng rng(1);
+  // Huge dataset: even t = 4 noise error is tiny -> picks max_t.
+  const ViewSelection big = SelectViews(16, 1e9, 1.0, &rng);
+  int chosen_t = 0;
+  for (const ViewCandidate& c : big.candidates) {
+    if (c.design.blocks == big.design.blocks) chosen_t = c.t;
+  }
+  EXPECT_EQ(chosen_t, 4);
+}
+
+TEST(ViewSelectionTest, FallsBackToPairsUnderTightBudget) {
+  Rng rng(2);
+  // Tiny dataset at eps = 0.1: everything is over the ceiling -> t = 2.
+  const ViewSelection tight = SelectViews(32, 10000, 0.1, &rng);
+  EXPECT_EQ(tight.design.t, 2);
+}
+
+TEST(ViewSelectionTest, CandidatesCoverRequestedRange) {
+  Rng rng(3);
+  const ViewSelection sel = SelectViews(20, 1e6, 1.0, &rng);
+  ASSERT_EQ(sel.candidates.size(), 3u);  // t = 2, 3, 4
+  EXPECT_EQ(sel.candidates[0].t, 2);
+  EXPECT_EQ(sel.candidates[1].t, 3);
+  EXPECT_EQ(sel.candidates[2].t, 4);
+  for (const ViewCandidate& c : sel.candidates) {
+    EXPECT_TRUE(VerifyCovering(c.design));
+    EXPECT_GT(c.noise_error, 0.0);
+  }
+}
+
+TEST(ViewSelectionTest, EllClampedToD) {
+  Rng rng(4);
+  const ViewSelection sel = SelectViews(6, 1e6, 1.0, &rng);
+  for (const ViewCandidate& c : sel.candidates) {
+    EXPECT_EQ(c.design.ell, 6);
+  }
+}
+
+}  // namespace
+}  // namespace priview

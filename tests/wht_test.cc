@@ -1,0 +1,87 @@
+#include "fourier/wht.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "table/dataset.h"
+
+namespace priview {
+namespace {
+
+TEST(WhtTest, InvolutionUpToScale) {
+  Rng rng(1);
+  std::vector<double> data(32);
+  for (double& v : data) v = rng.Normal();
+  std::vector<double> twice = data;
+  Wht(&twice);
+  Wht(&twice);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(twice[i], 32.0 * data[i], 1e-9);
+  }
+}
+
+TEST(WhtTest, MatchesNaiveTransform) {
+  Rng rng(2);
+  const int n = 16;
+  std::vector<double> data(n);
+  for (double& v : data) v = rng.Normal();
+  std::vector<double> fast = data;
+  Wht(&fast);
+  for (int s = 0; s < n; ++s) {
+    double naive = 0.0;
+    for (int x = 0; x < n; ++x) {
+      naive += data[x] *
+               ((PopCount(static_cast<uint64_t>(x & s)) % 2 == 0) ? 1.0 : -1.0);
+    }
+    EXPECT_NEAR(fast[s], naive, 1e-9);
+  }
+}
+
+TEST(WhtTest, CoefficientZeroIsTotal) {
+  MarginalTable t(AttrSet::FromIndices({0, 1, 3}));
+  Rng rng(3);
+  for (double& c : t.cells()) c = rng.UniformDouble() * 100;
+  const std::vector<double> f = FourierCoefficients(t);
+  EXPECT_NEAR(f[0], t.Total(), 1e-9);
+}
+
+TEST(WhtTest, TableCoefficientsRoundTrip) {
+  MarginalTable t(AttrSet::FromIndices({2, 5, 6, 9}));
+  Rng rng(4);
+  for (double& c : t.cells()) c = rng.Normal() * 10;
+  const MarginalTable back =
+      TableFromCoefficients(t.attrs(), FourierCoefficients(t));
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(back.At(i), t.At(i), 1e-9);
+  }
+}
+
+TEST(WhtTest, MarginalCoefficientsAreParityCounts) {
+  // f_S of a marginal equals (#even-parity records - #odd-parity records)
+  // restricted to S's attributes.
+  Rng rng(5);
+  Dataset data(6);
+  for (int i = 0; i < 500; ++i) data.Add(rng.NextUint64() & 0x3F);
+  const AttrSet attrs = AttrSet::FromIndices({1, 2, 4});
+  const MarginalTable t = data.CountMarginal(attrs);
+  const std::vector<double> f = FourierCoefficients(t);
+  // Check S = {attr 1, attr 4} = local mask 0b101.
+  const uint64_t global_mask = AttrSet::FromIndices({1, 4}).mask();
+  double expected = 0.0;
+  for (uint64_t r : data.records()) {
+    expected += (PopCount(r & global_mask) % 2 == 0) ? 1.0 : -1.0;
+  }
+  EXPECT_NEAR(f[0b101], expected, 1e-9);
+}
+
+TEST(WhtTest, SingleElementTransform) {
+  std::vector<double> one = {7.0};
+  Wht(&one);
+  EXPECT_DOUBLE_EQ(one[0], 7.0);
+}
+
+}  // namespace
+}  // namespace priview
