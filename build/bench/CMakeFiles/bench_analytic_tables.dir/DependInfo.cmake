@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_analytic_tables.cc" "bench/CMakeFiles/bench_analytic_tables.dir/bench_analytic_tables.cc.o" "gcc" "bench/CMakeFiles/bench_analytic_tables.dir/bench_analytic_tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/priview_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/priview_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/priview_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/priview_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/priview_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_util/CMakeFiles/priview_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/priview_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/priview_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/fourier/CMakeFiles/priview_fourier.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/priview_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/priview_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analytic_tables.dir/bench_analytic_tables.cc.o"
+  "CMakeFiles/bench_analytic_tables.dir/bench_analytic_tables.cc.o.d"
+  "bench_analytic_tables"
+  "bench_analytic_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analytic_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

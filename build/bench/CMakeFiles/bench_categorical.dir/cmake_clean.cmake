@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_categorical.dir/bench_categorical.cc.o"
+  "CMakeFiles/bench_categorical.dir/bench_categorical.cc.o.d"
+  "bench_categorical"
+  "bench_categorical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_categorical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_msnbc.dir/bench_fig1_msnbc.cc.o"
+  "CMakeFiles/bench_fig1_msnbc.dir/bench_fig1_msnbc.cc.o.d"
+  "bench_fig1_msnbc"
+  "bench_fig1_msnbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_msnbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_kosarak_aol.dir/bench_fig2_kosarak_aol.cc.o"
+  "CMakeFiles/bench_fig2_kosarak_aol.dir/bench_fig2_kosarak_aol.cc.o.d"
+  "bench_fig2_kosarak_aol"
+  "bench_fig2_kosarak_aol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_kosarak_aol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_reconstruction.dir/bench_fig3_reconstruction.cc.o"
+  "CMakeFiles/bench_fig3_reconstruction.dir/bench_fig3_reconstruction.cc.o.d"
+  "bench_fig3_reconstruction"
+  "bench_fig3_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

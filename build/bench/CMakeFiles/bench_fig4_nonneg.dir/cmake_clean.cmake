@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_nonneg.dir/bench_fig4_nonneg.cc.o"
+  "CMakeFiles/bench_fig4_nonneg.dir/bench_fig4_nonneg.cc.o.d"
+  "bench_fig4_nonneg"
+  "bench_fig4_nonneg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_nonneg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_mchain.dir/bench_fig5_mchain.cc.o"
+  "CMakeFiles/bench_fig5_mchain.dir/bench_fig5_mchain.cc.o.d"
+  "bench_fig5_mchain"
+  "bench_fig5_mchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_views.dir/bench_fig6_views.cc.o"
+  "CMakeFiles/bench_fig6_views.dir/bench_fig6_views.cc.o.d"
+  "bench_fig6_views"
+  "bench_fig6_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clickstream_release.dir/clickstream_release.cpp.o"
+  "CMakeFiles/clickstream_release.dir/clickstream_release.cpp.o.d"
+  "clickstream_release"
+  "clickstream_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clickstream_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mchain_explorer.dir/mchain_explorer.cpp.o"
+  "CMakeFiles/mchain_explorer.dir/mchain_explorer.cpp.o.d"
+  "mchain_explorer"
+  "mchain_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mchain_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

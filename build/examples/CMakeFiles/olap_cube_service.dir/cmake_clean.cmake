@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_cube_service.dir/olap_cube_service.cpp.o"
+  "CMakeFiles/olap_cube_service.dir/olap_cube_service.cpp.o.d"
+  "olap_cube_service"
+  "olap_cube_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_cube_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priview_tool.dir/priview_tool.cpp.o"
+  "CMakeFiles/priview_tool.dir/priview_tool.cpp.o.d"
+  "priview_tool"
+  "priview_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priview_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

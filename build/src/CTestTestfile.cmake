@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("table")
+subdirs("dp")
+subdirs("fourier")
+subdirs("design")
+subdirs("opt")
+subdirs("core")
+subdirs("baselines")
+subdirs("data")
+subdirs("metrics")
+subdirs("categorical")
+subdirs("bench_util")

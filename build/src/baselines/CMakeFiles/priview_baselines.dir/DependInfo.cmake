@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/datacube.cc" "src/baselines/CMakeFiles/priview_baselines.dir/datacube.cc.o" "gcc" "src/baselines/CMakeFiles/priview_baselines.dir/datacube.cc.o.d"
+  "/root/repo/src/baselines/direct.cc" "src/baselines/CMakeFiles/priview_baselines.dir/direct.cc.o" "gcc" "src/baselines/CMakeFiles/priview_baselines.dir/direct.cc.o.d"
+  "/root/repo/src/baselines/flat.cc" "src/baselines/CMakeFiles/priview_baselines.dir/flat.cc.o" "gcc" "src/baselines/CMakeFiles/priview_baselines.dir/flat.cc.o.d"
+  "/root/repo/src/baselines/fourier.cc" "src/baselines/CMakeFiles/priview_baselines.dir/fourier.cc.o" "gcc" "src/baselines/CMakeFiles/priview_baselines.dir/fourier.cc.o.d"
+  "/root/repo/src/baselines/learning.cc" "src/baselines/CMakeFiles/priview_baselines.dir/learning.cc.o" "gcc" "src/baselines/CMakeFiles/priview_baselines.dir/learning.cc.o.d"
+  "/root/repo/src/baselines/matrix_mechanism.cc" "src/baselines/CMakeFiles/priview_baselines.dir/matrix_mechanism.cc.o" "gcc" "src/baselines/CMakeFiles/priview_baselines.dir/matrix_mechanism.cc.o.d"
+  "/root/repo/src/baselines/mwem.cc" "src/baselines/CMakeFiles/priview_baselines.dir/mwem.cc.o" "gcc" "src/baselines/CMakeFiles/priview_baselines.dir/mwem.cc.o.d"
+  "/root/repo/src/baselines/uniform.cc" "src/baselines/CMakeFiles/priview_baselines.dir/uniform.cc.o" "gcc" "src/baselines/CMakeFiles/priview_baselines.dir/uniform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/priview_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/priview_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/priview_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fourier/CMakeFiles/priview_fourier.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/priview_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/priview_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/priview_design.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

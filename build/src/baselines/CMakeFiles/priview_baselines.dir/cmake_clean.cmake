@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priview_baselines.dir/datacube.cc.o"
+  "CMakeFiles/priview_baselines.dir/datacube.cc.o.d"
+  "CMakeFiles/priview_baselines.dir/direct.cc.o"
+  "CMakeFiles/priview_baselines.dir/direct.cc.o.d"
+  "CMakeFiles/priview_baselines.dir/flat.cc.o"
+  "CMakeFiles/priview_baselines.dir/flat.cc.o.d"
+  "CMakeFiles/priview_baselines.dir/fourier.cc.o"
+  "CMakeFiles/priview_baselines.dir/fourier.cc.o.d"
+  "CMakeFiles/priview_baselines.dir/learning.cc.o"
+  "CMakeFiles/priview_baselines.dir/learning.cc.o.d"
+  "CMakeFiles/priview_baselines.dir/matrix_mechanism.cc.o"
+  "CMakeFiles/priview_baselines.dir/matrix_mechanism.cc.o.d"
+  "CMakeFiles/priview_baselines.dir/mwem.cc.o"
+  "CMakeFiles/priview_baselines.dir/mwem.cc.o.d"
+  "CMakeFiles/priview_baselines.dir/uniform.cc.o"
+  "CMakeFiles/priview_baselines.dir/uniform.cc.o.d"
+  "libpriview_baselines.a"
+  "libpriview_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priview_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priview_bench_util.dir/harness.cc.o"
+  "CMakeFiles/priview_bench_util.dir/harness.cc.o.d"
+  "libpriview_bench_util.a"
+  "libpriview_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priview_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/categorical/cat_priview.cc" "src/categorical/CMakeFiles/priview_categorical.dir/cat_priview.cc.o" "gcc" "src/categorical/CMakeFiles/priview_categorical.dir/cat_priview.cc.o.d"
+  "/root/repo/src/categorical/cat_table.cc" "src/categorical/CMakeFiles/priview_categorical.dir/cat_table.cc.o" "gcc" "src/categorical/CMakeFiles/priview_categorical.dir/cat_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/priview_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/priview_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priview_categorical.dir/cat_priview.cc.o"
+  "CMakeFiles/priview_categorical.dir/cat_priview.cc.o.d"
+  "CMakeFiles/priview_categorical.dir/cat_table.cc.o"
+  "CMakeFiles/priview_categorical.dir/cat_table.cc.o.d"
+  "libpriview_categorical.a"
+  "libpriview_categorical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priview_categorical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

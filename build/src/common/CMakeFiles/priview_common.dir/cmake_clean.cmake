@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priview_common.dir/combinatorics.cc.o"
+  "CMakeFiles/priview_common.dir/combinatorics.cc.o.d"
+  "CMakeFiles/priview_common.dir/linalg.cc.o"
+  "CMakeFiles/priview_common.dir/linalg.cc.o.d"
+  "CMakeFiles/priview_common.dir/rng.cc.o"
+  "CMakeFiles/priview_common.dir/rng.cc.o.d"
+  "CMakeFiles/priview_common.dir/status.cc.o"
+  "CMakeFiles/priview_common.dir/status.cc.o.d"
+  "libpriview_common.a"
+  "libpriview_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priview_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

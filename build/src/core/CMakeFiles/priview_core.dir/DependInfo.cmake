@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/consistency.cc" "src/core/CMakeFiles/priview_core.dir/consistency.cc.o" "gcc" "src/core/CMakeFiles/priview_core.dir/consistency.cc.o.d"
+  "/root/repo/src/core/error_model.cc" "src/core/CMakeFiles/priview_core.dir/error_model.cc.o" "gcc" "src/core/CMakeFiles/priview_core.dir/error_model.cc.o.d"
+  "/root/repo/src/core/nonneg.cc" "src/core/CMakeFiles/priview_core.dir/nonneg.cc.o" "gcc" "src/core/CMakeFiles/priview_core.dir/nonneg.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/priview_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/priview_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/query_engine.cc" "src/core/CMakeFiles/priview_core.dir/query_engine.cc.o" "gcc" "src/core/CMakeFiles/priview_core.dir/query_engine.cc.o.d"
+  "/root/repo/src/core/reconstruct.cc" "src/core/CMakeFiles/priview_core.dir/reconstruct.cc.o" "gcc" "src/core/CMakeFiles/priview_core.dir/reconstruct.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "src/core/CMakeFiles/priview_core.dir/serialization.cc.o" "gcc" "src/core/CMakeFiles/priview_core.dir/serialization.cc.o.d"
+  "/root/repo/src/core/synopsis.cc" "src/core/CMakeFiles/priview_core.dir/synopsis.cc.o" "gcc" "src/core/CMakeFiles/priview_core.dir/synopsis.cc.o.d"
+  "/root/repo/src/core/variance.cc" "src/core/CMakeFiles/priview_core.dir/variance.cc.o" "gcc" "src/core/CMakeFiles/priview_core.dir/variance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/priview_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/priview_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/priview_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/priview_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/design/CMakeFiles/priview_design.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

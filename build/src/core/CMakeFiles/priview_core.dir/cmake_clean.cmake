@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priview_core.dir/consistency.cc.o"
+  "CMakeFiles/priview_core.dir/consistency.cc.o.d"
+  "CMakeFiles/priview_core.dir/error_model.cc.o"
+  "CMakeFiles/priview_core.dir/error_model.cc.o.d"
+  "CMakeFiles/priview_core.dir/nonneg.cc.o"
+  "CMakeFiles/priview_core.dir/nonneg.cc.o.d"
+  "CMakeFiles/priview_core.dir/pipeline.cc.o"
+  "CMakeFiles/priview_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/priview_core.dir/query_engine.cc.o"
+  "CMakeFiles/priview_core.dir/query_engine.cc.o.d"
+  "CMakeFiles/priview_core.dir/reconstruct.cc.o"
+  "CMakeFiles/priview_core.dir/reconstruct.cc.o.d"
+  "CMakeFiles/priview_core.dir/serialization.cc.o"
+  "CMakeFiles/priview_core.dir/serialization.cc.o.d"
+  "CMakeFiles/priview_core.dir/synopsis.cc.o"
+  "CMakeFiles/priview_core.dir/synopsis.cc.o.d"
+  "CMakeFiles/priview_core.dir/variance.cc.o"
+  "CMakeFiles/priview_core.dir/variance.cc.o.d"
+  "libpriview_core.a"
+  "libpriview_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priview_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

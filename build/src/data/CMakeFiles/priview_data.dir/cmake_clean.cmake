@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priview_data.dir/io.cc.o"
+  "CMakeFiles/priview_data.dir/io.cc.o.d"
+  "CMakeFiles/priview_data.dir/mchain.cc.o"
+  "CMakeFiles/priview_data.dir/mchain.cc.o.d"
+  "CMakeFiles/priview_data.dir/synthetic.cc.o"
+  "CMakeFiles/priview_data.dir/synthetic.cc.o.d"
+  "libpriview_data.a"
+  "libpriview_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priview_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

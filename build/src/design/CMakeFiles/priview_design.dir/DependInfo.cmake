@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/design/covering_design.cc" "src/design/CMakeFiles/priview_design.dir/covering_design.cc.o" "gcc" "src/design/CMakeFiles/priview_design.dir/covering_design.cc.o.d"
+  "/root/repo/src/design/gf2_cover.cc" "src/design/CMakeFiles/priview_design.dir/gf2_cover.cc.o" "gcc" "src/design/CMakeFiles/priview_design.dir/gf2_cover.cc.o.d"
+  "/root/repo/src/design/local_search.cc" "src/design/CMakeFiles/priview_design.dir/local_search.cc.o" "gcc" "src/design/CMakeFiles/priview_design.dir/local_search.cc.o.d"
+  "/root/repo/src/design/view_selection.cc" "src/design/CMakeFiles/priview_design.dir/view_selection.cc.o" "gcc" "src/design/CMakeFiles/priview_design.dir/view_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/priview_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/priview_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

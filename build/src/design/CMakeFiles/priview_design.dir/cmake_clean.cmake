@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priview_design.dir/covering_design.cc.o"
+  "CMakeFiles/priview_design.dir/covering_design.cc.o.d"
+  "CMakeFiles/priview_design.dir/gf2_cover.cc.o"
+  "CMakeFiles/priview_design.dir/gf2_cover.cc.o.d"
+  "CMakeFiles/priview_design.dir/local_search.cc.o"
+  "CMakeFiles/priview_design.dir/local_search.cc.o.d"
+  "CMakeFiles/priview_design.dir/view_selection.cc.o"
+  "CMakeFiles/priview_design.dir/view_selection.cc.o.d"
+  "libpriview_design.a"
+  "libpriview_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priview_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

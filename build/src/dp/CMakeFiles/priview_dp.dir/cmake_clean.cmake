@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priview_dp.dir/mechanisms.cc.o"
+  "CMakeFiles/priview_dp.dir/mechanisms.cc.o.d"
+  "libpriview_dp.a"
+  "libpriview_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priview_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpriview_dp.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priview_fourier.dir/wht.cc.o"
+  "CMakeFiles/priview_fourier.dir/wht.cc.o.d"
+  "libpriview_fourier.a"
+  "libpriview_fourier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priview_fourier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priview_metrics.dir/metrics.cc.o"
+  "CMakeFiles/priview_metrics.dir/metrics.cc.o.d"
+  "libpriview_metrics.a"
+  "libpriview_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priview_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

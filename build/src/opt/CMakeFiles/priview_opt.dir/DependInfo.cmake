@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/constraint.cc" "src/opt/CMakeFiles/priview_opt.dir/constraint.cc.o" "gcc" "src/opt/CMakeFiles/priview_opt.dir/constraint.cc.o.d"
+  "/root/repo/src/opt/ipf.cc" "src/opt/CMakeFiles/priview_opt.dir/ipf.cc.o" "gcc" "src/opt/CMakeFiles/priview_opt.dir/ipf.cc.o.d"
+  "/root/repo/src/opt/least_norm.cc" "src/opt/CMakeFiles/priview_opt.dir/least_norm.cc.o" "gcc" "src/opt/CMakeFiles/priview_opt.dir/least_norm.cc.o.d"
+  "/root/repo/src/opt/max_ent_dual.cc" "src/opt/CMakeFiles/priview_opt.dir/max_ent_dual.cc.o" "gcc" "src/opt/CMakeFiles/priview_opt.dir/max_ent_dual.cc.o.d"
+  "/root/repo/src/opt/simplex.cc" "src/opt/CMakeFiles/priview_opt.dir/simplex.cc.o" "gcc" "src/opt/CMakeFiles/priview_opt.dir/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/priview_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/priview_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

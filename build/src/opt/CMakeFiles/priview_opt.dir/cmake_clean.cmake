@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priview_opt.dir/constraint.cc.o"
+  "CMakeFiles/priview_opt.dir/constraint.cc.o.d"
+  "CMakeFiles/priview_opt.dir/ipf.cc.o"
+  "CMakeFiles/priview_opt.dir/ipf.cc.o.d"
+  "CMakeFiles/priview_opt.dir/least_norm.cc.o"
+  "CMakeFiles/priview_opt.dir/least_norm.cc.o.d"
+  "CMakeFiles/priview_opt.dir/max_ent_dual.cc.o"
+  "CMakeFiles/priview_opt.dir/max_ent_dual.cc.o.d"
+  "CMakeFiles/priview_opt.dir/simplex.cc.o"
+  "CMakeFiles/priview_opt.dir/simplex.cc.o.d"
+  "libpriview_opt.a"
+  "libpriview_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priview_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

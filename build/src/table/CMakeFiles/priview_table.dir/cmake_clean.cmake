@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priview_table.dir/contingency_table.cc.o"
+  "CMakeFiles/priview_table.dir/contingency_table.cc.o.d"
+  "CMakeFiles/priview_table.dir/dataset.cc.o"
+  "CMakeFiles/priview_table.dir/dataset.cc.o.d"
+  "CMakeFiles/priview_table.dir/marginal_table.cc.o"
+  "CMakeFiles/priview_table.dir/marginal_table.cc.o.d"
+  "libpriview_table.a"
+  "libpriview_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priview_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covering_design_test.dir/covering_design_test.cc.o"
+  "CMakeFiles/covering_design_test.dir/covering_design_test.cc.o.d"
+  "covering_design_test"
+  "covering_design_test.pdb"
+  "covering_design_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covering_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_test.dir/datacube_test.cc.o"
+  "CMakeFiles/datacube_test.dir/datacube_test.cc.o.d"
+  "datacube_test"
+  "datacube_test.pdb"
+  "datacube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf2_cover_test.dir/gf2_cover_test.cc.o"
+  "CMakeFiles/gf2_cover_test.dir/gf2_cover_test.cc.o.d"
+  "gf2_cover_test"
+  "gf2_cover_test.pdb"
+  "gf2_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf2_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

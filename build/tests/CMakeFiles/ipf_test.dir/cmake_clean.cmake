@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipf_test.dir/ipf_test.cc.o"
+  "CMakeFiles/ipf_test.dir/ipf_test.cc.o.d"
+  "ipf_test"
+  "ipf_test.pdb"
+  "ipf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/least_norm_test.dir/least_norm_test.cc.o"
+  "CMakeFiles/least_norm_test.dir/least_norm_test.cc.o.d"
+  "least_norm_test"
+  "least_norm_test.pdb"
+  "least_norm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/least_norm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_mechanism_test.dir/matrix_mechanism_test.cc.o"
+  "CMakeFiles/matrix_mechanism_test.dir/matrix_mechanism_test.cc.o.d"
+  "matrix_mechanism_test"
+  "matrix_mechanism_test.pdb"
+  "matrix_mechanism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_mechanism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max_ent_dual_test.dir/max_ent_dual_test.cc.o"
+  "CMakeFiles/max_ent_dual_test.dir/max_ent_dual_test.cc.o.d"
+  "max_ent_dual_test"
+  "max_ent_dual_test.pdb"
+  "max_ent_dual_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_ent_dual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

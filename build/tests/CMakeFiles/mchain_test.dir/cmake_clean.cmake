@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mchain_test.dir/mchain_test.cc.o"
+  "CMakeFiles/mchain_test.dir/mchain_test.cc.o.d"
+  "mchain_test"
+  "mchain_test.pdb"
+  "mchain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mchain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

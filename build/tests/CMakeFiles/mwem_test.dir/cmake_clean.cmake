@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwem_test.dir/mwem_test.cc.o"
+  "CMakeFiles/mwem_test.dir/mwem_test.cc.o.d"
+  "mwem_test"
+  "mwem_test.pdb"
+  "mwem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

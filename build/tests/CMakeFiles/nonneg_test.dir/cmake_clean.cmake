@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonneg_test.dir/nonneg_test.cc.o"
+  "CMakeFiles/nonneg_test.dir/nonneg_test.cc.o.d"
+  "nonneg_test"
+  "nonneg_test.pdb"
+  "nonneg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonneg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

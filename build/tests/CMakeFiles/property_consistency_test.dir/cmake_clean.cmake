@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_consistency_test.dir/property_consistency_test.cc.o"
+  "CMakeFiles/property_consistency_test.dir/property_consistency_test.cc.o.d"
+  "property_consistency_test"
+  "property_consistency_test.pdb"
+  "property_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

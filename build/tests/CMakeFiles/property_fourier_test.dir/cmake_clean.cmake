@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_fourier_test.dir/property_fourier_test.cc.o"
+  "CMakeFiles/property_fourier_test.dir/property_fourier_test.cc.o.d"
+  "property_fourier_test"
+  "property_fourier_test.pdb"
+  "property_fourier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_fourier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

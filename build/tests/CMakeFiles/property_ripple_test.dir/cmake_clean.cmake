@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_ripple_test.dir/property_ripple_test.cc.o"
+  "CMakeFiles/property_ripple_test.dir/property_ripple_test.cc.o.d"
+  "property_ripple_test"
+  "property_ripple_test.pdb"
+  "property_ripple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_ripple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_simplex_test.dir/property_simplex_test.cc.o"
+  "CMakeFiles/property_simplex_test.dir/property_simplex_test.cc.o.d"
+  "property_simplex_test"
+  "property_simplex_test.pdb"
+  "property_simplex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_simplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_lifecycle_test.dir/release_lifecycle_test.cc.o"
+  "CMakeFiles/release_lifecycle_test.dir/release_lifecycle_test.cc.o.d"
+  "release_lifecycle_test"
+  "release_lifecycle_test.pdb"
+  "release_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

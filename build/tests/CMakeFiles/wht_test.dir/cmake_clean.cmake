@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wht_test.dir/wht_test.cc.o"
+  "CMakeFiles/wht_test.dir/wht_test.cc.o.d"
+  "wht_test"
+  "wht_test.pdb"
+  "wht_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wht_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
