@@ -1,0 +1,136 @@
+// Robustness-cost benchmark: what do the failpoint sites cost when nothing
+// is armed (the production state)? Times the reconstruction hot path with
+// all failpoints disarmed, times the disarmed fast path itself in
+// isolation, counts how many sites one reconstruction actually evaluates,
+// and reports the overhead fraction — the acceptance bar is < 1%.
+//
+// Flags: --iters=400 --check_iters=20000000 --out=BENCH_robustness.json
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "core/reconstruct.h"
+#include "core/synopsis.h"
+#include "data/synthetic.h"
+
+using namespace priview;
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iters = FlagInt(argc, argv, "iters", 400);
+  const long long check_iters =
+      FlagInt(argc, argv, "check_iters", 20000000);
+  std::string out_path = "BENCH_robustness.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+
+  PrintHeader("Robustness: failpoints-disarmed overhead, reconstruction path");
+
+  // The workload: solver-path reconstructions (uncovered targets) over an
+  // exact synopsis — the serving hot path the failpoints instrument.
+  Rng rng(42);
+  Dataset data = MakeMsnbcLike(&rng, 50000);
+  PriViewOptions options;
+  options.add_noise = false;
+  const PriViewSynopsis synopsis = PriViewSynopsis::Build(
+      data,
+      {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4}),
+       AttrSet::FromIndices({4, 5, 6})},
+      options, &rng);
+  const std::vector<AttrSet> targets = {
+      AttrSet::FromIndices({0, 4}), AttrSet::FromIndices({1, 3}),
+      AttrSet::FromIndices({0, 3, 5}), AttrSet::FromIndices({2, 6})};
+
+  failpoint::DisarmAll();
+
+  // 1. Reconstruction throughput with every failpoint disarmed.
+  double sink = 0.0;
+  const double t0 = NowSeconds();
+  for (int i = 0; i < iters; ++i) {
+    const MarginalTable table = ReconstructMarginal(
+        synopsis.views(), targets[static_cast<size_t>(i) % targets.size()],
+        synopsis.total(), ReconstructionMethod::kMaxEntropy);
+    sink += table.At(0);
+  }
+  const double reconstruct_ns =
+      (NowSeconds() - t0) / static_cast<double>(iters) * 1e9;
+
+  // 2. The disarmed fast path in isolation: one env-init check plus one
+  // relaxed atomic load per site visit.
+  long long fired = 0;
+  const double t1 = NowSeconds();
+  for (long long i = 0; i < check_iters; ++i) {
+    if (PRIVIEW_FAILPOINT("bench/robustness-probe")) ++fired;
+  }
+  const double check_ns =
+      (NowSeconds() - t1) / static_cast<double>(check_iters) * 1e9;
+
+  // 3. Sites evaluated per reconstruction: arm everything in counting mode
+  // ("off" never fires but counts hits) and replay the workload.
+  for (const std::string& name : failpoint::KnownFailpoints()) {
+    (void)failpoint::Arm(name, "off");
+  }
+  const int count_iters = 32;
+  for (int i = 0; i < count_iters; ++i) {
+    const MarginalTable table = ReconstructMarginal(
+        synopsis.views(), targets[static_cast<size_t>(i) % targets.size()],
+        synopsis.total(), ReconstructionMethod::kMaxEntropy);
+    sink += table.At(0);
+  }
+  double total_hits = 0.0;
+  for (const std::string& name : failpoint::KnownFailpoints()) {
+    total_hits += static_cast<double>(failpoint::HitCount(name));
+  }
+  failpoint::DisarmAll();
+  const double checks_per_op = total_hits / count_iters;
+
+  const double overhead = reconstruct_ns > 0.0
+                              ? checks_per_op * check_ns / reconstruct_ns
+                              : 0.0;
+  const double overhead_percent = overhead * 100.0;
+  const bool pass = overhead_percent < 1.0;
+
+  std::printf("reconstruct           %12.1f ns/op  (%d iters, sink %.3g)\n",
+              reconstruct_ns, iters, sink + fired);
+  std::printf("failpoint fast path   %12.3f ns/check  (%lld iters)\n",
+              check_ns, check_iters);
+  std::printf("sites per reconstruct %12.2f\n", checks_per_op);
+  std::printf("overhead              %12.5f %%  (bar: < 1%%)  %s\n",
+              overhead_percent, pass ? "PASS" : "FAIL");
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"robustness\",\n"
+                 "  \"workload\": \"solver-path reconstruction, failpoints "
+                 "compiled in but disarmed\",\n"
+                 "  \"reconstruct_ns_per_op\": %.1f,\n"
+                 "  \"failpoint_ns_per_check\": %.4f,\n"
+                 "  \"failpoint_checks_per_op\": %.2f,\n"
+                 "  \"overhead_percent\": %.6f,\n"
+                 "  \"threshold_percent\": 1.0,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 reconstruct_ns, check_ns, checks_per_op, overhead_percent,
+                 pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return pass ? 0 : 1;
+}

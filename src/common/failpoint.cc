@@ -1,0 +1,242 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace priview::failpoint {
+namespace {
+
+enum class TriggerKind { kOff, kAlways, kNthHit, kFromHit, kProbability };
+
+struct Trigger {
+  TriggerKind kind = TriggerKind::kOff;
+  uint64_t hit_threshold = 0;  // kNthHit / kFromHit
+  double probability = 0.0;    // kProbability
+  uint64_t prng_state = 0;     // kProbability: splitmix64 stream
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Trigger> armed;
+  // Hit counts survive disarm so tests can assert a site was exercised.
+  std::map<std::string, uint64_t> last_hits;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Parses "key=value" with an unsigned integer value.
+bool ParseU64(const std::string& s, size_t prefix_len, uint64_t* out) {
+  const std::string digits = s.substr(prefix_len);
+  if (digits.empty()) return false;
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+StatusOr<Trigger> ParseSpec(const std::string& spec) {
+  Trigger t;
+  if (spec == "off") {
+    t.kind = TriggerKind::kOff;
+    return t;
+  }
+  if (spec == "always") {
+    t.kind = TriggerKind::kAlways;
+    return t;
+  }
+  if (spec.rfind("hit=", 0) == 0 || spec.rfind("from=", 0) == 0) {
+    const bool nth = spec[0] == 'h';
+    t.kind = nth ? TriggerKind::kNthHit : TriggerKind::kFromHit;
+    if (!ParseU64(spec, nth ? 4 : 5, &t.hit_threshold) ||
+        t.hit_threshold == 0) {
+      return Status::InvalidArgument("bad failpoint hit spec: " + spec);
+    }
+    return t;
+  }
+  if (spec.rfind("p=", 0) == 0) {
+    // "p=0.25,seed=7" — seed optional, defaults to 1.
+    const size_t comma = spec.find(',');
+    const std::string prob_str = spec.substr(2, comma == std::string::npos
+                                                    ? std::string::npos
+                                                    : comma - 2);
+    char* end = nullptr;
+    t.probability = std::strtod(prob_str.c_str(), &end);
+    if (end == prob_str.c_str() || *end != '\0' || t.probability < 0.0 ||
+        t.probability > 1.0) {
+      return Status::InvalidArgument("bad failpoint probability: " + spec);
+    }
+    uint64_t seed = 1;
+    if (comma != std::string::npos) {
+      const std::string seed_part = spec.substr(comma + 1);
+      if (seed_part.rfind("seed=", 0) != 0 ||
+          !ParseU64(seed_part, 5, &seed)) {
+        return Status::InvalidArgument("bad failpoint seed: " + spec);
+      }
+    }
+    t.kind = TriggerKind::kProbability;
+    t.prng_state = seed;
+    return t;
+  }
+  return Status::InvalidArgument("unknown failpoint spec: " + spec);
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int> g_armed_count{0};
+
+bool Evaluate(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.armed.find(name);
+  if (it == registry.armed.end()) return false;
+  Trigger& t = it->second;
+  ++t.hits;
+  registry.last_hits[name] = t.hits;
+  switch (t.kind) {
+    case TriggerKind::kOff:
+      return false;
+    case TriggerKind::kAlways:
+      return true;
+    case TriggerKind::kNthHit:
+      return t.hits == t.hit_threshold;
+    case TriggerKind::kFromHit:
+      return t.hits >= t.hit_threshold;
+    case TriggerKind::kProbability: {
+      const double u =
+          static_cast<double>(SplitMix64(&t.prng_state) >> 11) * 0x1.0p-53;
+      return u < t.probability;
+    }
+  }
+  return false;
+}
+
+void InitFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("PRIVIEW_FAILPOINTS");
+    if (env != nullptr && *env != '\0') {
+      // Malformed env entries are ignored (a diagnostics knob must never
+      // take the process down); tests cover the parse via
+      // ArmFromSpecString directly.
+      (void)ArmFromSpecString(env);
+    }
+  });
+}
+
+}  // namespace internal
+
+namespace {
+
+// Env activation happens before main so PRIVIEW_FAILPOINT sites stay a
+// single relaxed load. (g_armed_count is constant-initialized, so the
+// cross-TU initialization order is safe; failpoint sites evaluated during
+// other TUs' static initialization may miss env-armed points, which is
+// acceptable for a diagnostics knob.)
+const bool g_env_initialized = [] {
+  internal::InitFromEnvOnce();
+  return true;
+}();
+
+}  // namespace
+
+const std::vector<std::string>& KnownFailpoints() {
+  static const std::vector<std::string>* points =
+      new std::vector<std::string>{
+          "rng/laplace-nan",
+          "rng/laplace-huge",
+          "dp/budget-exhausted",
+          "serialize/write-io",
+          "serialize/open-write",
+          "serialize/open-read",
+          "serialize/view-checksum",
+          "serialize/file-checksum",
+          "ipf/stall",
+          "ipf/nan-cell",
+          "maxent/stall",
+          "leastnorm/stall",
+          "reconstruct/primary-junk",
+          "pipeline/budget-exhausted",
+      };
+  return *points;
+}
+
+Status Arm(const std::string& name, const std::string& spec) {
+  StatusOr<Trigger> trigger = ParseSpec(spec);
+  if (!trigger.ok()) return trigger.status();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.armed.emplace(name, trigger.value());
+  if (!inserted) {
+    it->second = trigger.value();
+  } else {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  registry.last_hits[name] = 0;
+  return Status::OK();
+}
+
+void Disarm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.armed.erase(name) > 0) {
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  internal::g_armed_count.fetch_sub(static_cast<int>(registry.armed.size()),
+                                    std::memory_order_relaxed);
+  registry.armed.clear();
+}
+
+bool IsArmed(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.armed.count(name) > 0;
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.last_hits.find(name);
+  return it == registry.last_hits.end() ? 0 : it->second;
+}
+
+Status ArmFromSpecString(const std::string& activation) {
+  size_t start = 0;
+  while (start <= activation.size()) {
+    size_t end = activation.find(';', start);
+    if (end == std::string::npos) end = activation.size();
+    const std::string entry = activation.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad failpoint entry: " + entry);
+    }
+    const Status st = Arm(entry.substr(0, eq), entry.substr(eq + 1));
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace priview::failpoint

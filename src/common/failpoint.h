@@ -1,0 +1,134 @@
+// Deterministic fault-injection framework for the release/serve pipeline.
+//
+// A *failpoint* is a named site in production code that tests (and chaos
+// drills) can arm to force a rare failure — an I/O error, a solver stall, a
+// NaN sample — without mocking the world. Sites are written as
+//
+//   if (PRIVIEW_FAILPOINT("serialize/write-io")) {
+//     return Status::IOError("injected: serialize/write-io");
+//   }
+//
+// and cost one relaxed atomic load when nothing is armed (the common case);
+// when the library is configured with -DPRIVIEW_FAILPOINTS=OFF the macro
+// compiles to the literal `false` and the site vanishes entirely.
+//
+// Triggering is deterministic and reproducible:
+//   "always"            fire on every hit
+//   "off"               never fire (but still count hits)
+//   "hit=K"             fire only on the K-th hit (1-based)
+//   "from=K"            fire on every hit >= K
+//   "p=P,seed=S"        fire with probability P per hit, driven by a
+//                       splitmix64 stream seeded with S (same seed ->
+//                       same firing pattern, run to run)
+//
+// Activation is programmatic (failpoint::Arm / Disarm / DisarmAll) or via
+// the environment: PRIVIEW_FAILPOINTS="name=spec;name2=spec" is parsed on
+// library first use, so chaos can be injected into an unmodified binary.
+#ifndef PRIVIEW_COMMON_FAILPOINT_H_
+#define PRIVIEW_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+#ifndef PRIVIEW_FAILPOINTS_ENABLED
+#define PRIVIEW_FAILPOINTS_ENABLED 1
+#endif
+
+namespace priview::failpoint {
+
+/// Canonical list of every failpoint wired into the library, so chaos
+/// suites can walk all fault sites without grepping the sources. Keep in
+/// sync with the PRIVIEW_FAILPOINT sites (failpoint_test cross-checks that
+/// each of these names is hittable).
+///
+///   rng/laplace-nan            Laplace sample returns NaN
+///   rng/laplace-huge           Laplace sample returns 1e300
+///   dp/budget-exhausted        BudgetAccountant::Spend fails
+///   serialize/write-io         WriteSynopsis fails mid-stream
+///   serialize/open-write       SaveSynopsis cannot open the file
+///   serialize/open-read        LoadSynopsis cannot open the file
+///   serialize/view-checksum    per-view checksum verification fails
+///   serialize/file-checksum    whole-file checksum verification fails
+///   ipf/stall                  IPF reports non-convergence immediately
+///   ipf/nan-cell               IPF result has a NaN cell
+///   maxent/stall               dual max-ent solver reports non-convergence
+///   leastnorm/stall            least-norm solver reports non-convergence
+///   reconstruct/primary-junk   primary solver output treated as junk
+///   pipeline/budget-exhausted  pipeline budget spend fails
+const std::vector<std::string>& KnownFailpoints();
+
+/// Arms `name` with a trigger spec (grammar above). Returns
+/// InvalidArgument on a malformed spec. Arming resets the hit counter.
+Status Arm(const std::string& name, const std::string& spec);
+
+/// Disarms one failpoint / all failpoints. Hit counters survive until the
+/// point is re-armed.
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// True if `name` is currently armed (with any spec, including "off").
+bool IsArmed(const std::string& name);
+
+/// Number of times the site `name` has been evaluated since it was last
+/// armed (armed points only; disarmed sites take the fast path and do not
+/// count).
+uint64_t HitCount(const std::string& name);
+
+/// Parses a "name=spec;name=spec" activation string (the
+/// PRIVIEW_FAILPOINTS env-var format) and arms each entry. Empty segments
+/// are ignored; the first malformed entry aborts the parse with a Status.
+Status ArmFromSpecString(const std::string& activation);
+
+namespace internal {
+
+/// Count of armed failpoints; the macro's fast path checks this before
+/// taking any lock. Relaxed is fine: arming happens-before the test code
+/// that exercises the site in every supported usage.
+extern std::atomic<int> g_armed_count;
+
+/// Slow path: looks `name` up in the registry, counts the hit, evaluates
+/// the trigger. Called only when at least one failpoint is armed.
+bool Evaluate(const char* name);
+
+/// Parses PRIVIEW_FAILPOINTS from the environment once per process. Run
+/// from a static initializer in failpoint.cc (before main), so the hot
+/// path below never pays for it.
+void InitFromEnvOnce();
+
+inline bool Hit(const char* name) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return false;
+  return Evaluate(name);
+}
+
+}  // namespace internal
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(const std::string& name, const std::string& spec)
+      : name_(name) {
+    status_ = Arm(name, spec);
+  }
+  ~ScopedFailpoint() { Disarm(name_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+  const Status& status() const { return status_; }
+
+ private:
+  std::string name_;
+  Status status_;
+};
+
+}  // namespace priview::failpoint
+
+#if PRIVIEW_FAILPOINTS_ENABLED
+#define PRIVIEW_FAILPOINT(name) (::priview::failpoint::internal::Hit(name))
+#else
+#define PRIVIEW_FAILPOINT(name) (false)
+#endif
+
+#endif  // PRIVIEW_COMMON_FAILPOINT_H_

@@ -1,8 +1,10 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace priview {
 namespace {
@@ -58,6 +60,10 @@ bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
 
 double Rng::Laplace(double scale) {
   PRIVIEW_CHECK(scale > 0.0);
+  if (PRIVIEW_FAILPOINT("rng/laplace-nan")) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (PRIVIEW_FAILPOINT("rng/laplace-huge")) return 1e300;
   // Inverse-CDF: U uniform in (-1/2, 1/2), x = -b·sgn(U)·ln(1 - 2|U|).
   const double u = UniformOpen() - 0.5;
   const double sign = (u < 0) ? -1.0 : 1.0;

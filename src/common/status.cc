@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kIOError:
       return "IO_ERROR";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kIOError,
+  kDataLoss,
 };
 
 /// Result of an operation that can fail without it being a programming bug.
@@ -52,6 +53,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// Stored data failed integrity verification (checksum mismatch,
+  /// truncated artifact) — distinct from InvalidArgument so callers can
+  /// route to recovery instead of rejecting the request.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,7 +1,9 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/failpoint.h"
 #include "dp/mechanisms.h"
 
 namespace priview {
@@ -26,12 +28,18 @@ StatusOr<PipelineResult> BuildPriViewPipeline(const Dataset& data,
 
   // Step 1: noisy N (counting records has sensitivity 1 under the paper's
   // add-one-tuple neighbor relation).
+  if (PRIVIEW_FAILPOINT("pipeline/budget-exhausted")) {
+    return Status::ResourceExhausted("injected: pipeline/budget-exhausted");
+  }
   Status spend = budget.Spend(options.count_epsilon);
   if (!spend.ok()) return spend;
+  const double raw_noisy_n =
+      NoisyCount(static_cast<double>(data.size()),
+                 /*sensitivity=*/1.0, options.count_epsilon, rng);
+  // A degenerate sample (NaN from a faulty noise source) must not poison
+  // view selection; N=1 is the harmless "rough estimate" floor.
   const double noisy_n =
-      std::max(1.0, NoisyCount(static_cast<double>(data.size()),
-                               /*sensitivity=*/1.0, options.count_epsilon,
-                               rng));
+      std::isfinite(raw_noisy_n) ? std::max(1.0, raw_noisy_n) : 1.0;
 
   // Step 2: view selection from (d, noisy N, remaining epsilon).
   const double views_epsilon = budget.remaining();
@@ -43,11 +51,12 @@ StatusOr<PipelineResult> BuildPriViewPipeline(const Dataset& data,
   if (!spend.ok()) return spend;
   PriViewOptions synopsis_options = options.synopsis;
   synopsis_options.epsilon = views_epsilon;
-  PriViewSynopsis synopsis = PriViewSynopsis::Build(
+  StatusOr<PriViewSynopsis> synopsis = PriViewSynopsis::TryBuild(
       data, selection.design.blocks, synopsis_options, rng);
+  if (!synopsis.ok()) return synopsis.status();
 
-  PipelineResult result{std::move(synopsis), std::move(selection), noisy_n,
-                        options.count_epsilon, views_epsilon};
+  PipelineResult result{std::move(synopsis).value(), std::move(selection),
+                        noisy_n, options.count_epsilon, views_epsilon};
   return result;
 }
 

@@ -1,6 +1,8 @@
 #include "core/query_engine.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/bits.h"
 #include "common/check.h"
@@ -36,29 +38,101 @@ MarginalTable Dice(const MarginalTable& table, AttrSet fixed,
 
 }  // namespace cube
 
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Reconstructed cells can go slightly negative (Laplace noise minus the
+// non-negativity post-processing's tolerance); clamping at read time keeps
+// ratios like conditional probabilities inside [0, 1].
+inline double ClampCell(double v) { return std::max(v, 0.0); }
+
+// Unwraps a StatusOr<double> into the legacy double API: errors become a
+// benign NaN instead of an abort.
+double OrNaN(const StatusOr<double>& v) { return v.ok() ? v.value() : kNaN; }
+
+}  // namespace
+
+StatusOr<QueryEngine> QueryEngine::Create(const PriViewSynopsis* synopsis,
+                                          ReconstructionMethod method) {
+  if (synopsis == nullptr) {
+    return Status::InvalidArgument("null synopsis");
+  }
+  if (synopsis->views().empty() || synopsis->d() < 1) {
+    return Status::FailedPrecondition("synopsis has no views to serve from");
+  }
+  return QueryEngine(synopsis, method);
+}
+
 QueryEngine::QueryEngine(const PriViewSynopsis* synopsis,
                          ReconstructionMethod method)
     : synopsis_(synopsis), method_(method) {
   PRIVIEW_CHECK(synopsis != nullptr);
 }
 
+Status QueryEngine::ValidateScope(AttrSet attrs, uint64_t assignment) const {
+  if (!attrs.IsSubsetOf(AttrSet::Full(synopsis_->d()))) {
+    return Status::InvalidArgument("query scope outside universe: " +
+                                   attrs.ToString());
+  }
+  if (attrs.size() < 64 && assignment >= (uint64_t{1} << attrs.size())) {
+    return Status::OutOfRange("assignment out of range for scope " +
+                              attrs.ToString());
+  }
+  return Status::OK();
+}
+
+Status QueryEngine::ValidateAttr(int attr) const {
+  if (attr < 0 || attr >= synopsis_->d()) {
+    return Status::InvalidArgument("attribute out of range: " +
+                                   std::to_string(attr));
+  }
+  return Status::OK();
+}
+
+StatusOr<double> QueryEngine::TryConjunctionCount(AttrSet attrs,
+                                                  uint64_t assignment) const {
+  const Status valid = ValidateScope(attrs, assignment);
+  if (!valid.ok()) return valid;
+  StatusOr<MarginalTable> table = synopsis_->TryQuery(attrs, method_);
+  if (!table.ok()) return table.status();
+  return table.value().At(assignment);
+}
+
 double QueryEngine::ConjunctionCount(AttrSet attrs,
                                      uint64_t assignment) const {
-  PRIVIEW_CHECK(assignment < (uint64_t{1} << attrs.size()));
-  return synopsis_->Query(attrs, method_).At(assignment);
+  return OrNaN(TryConjunctionCount(attrs, assignment));
+}
+
+StatusOr<double> QueryEngine::TryProbability(AttrSet attrs,
+                                             uint64_t assignment) const {
+  StatusOr<double> count = TryConjunctionCount(attrs, assignment);
+  if (!count.ok()) return count;
+  const double total = synopsis_->total();
+  // !(… > 0) also catches a NaN total from a degraded synopsis.
+  if (!(total > 0.0) || !std::isfinite(total)) return 0.0;
+  return count.value() / total;
 }
 
 double QueryEngine::Probability(AttrSet attrs, uint64_t assignment) const {
-  const double total = synopsis_->total();
-  if (total <= 0.0) return 0.0;
-  return ConjunctionCount(attrs, assignment) / total;
+  return OrNaN(TryProbability(attrs, assignment));
 }
 
-double QueryEngine::ConditionalProbability(int target_attr, AttrSet attrs,
-                                           uint64_t assignment) const {
-  PRIVIEW_CHECK(!attrs.Contains(target_attr));
+StatusOr<double> QueryEngine::TryConditionalProbability(
+    int target_attr, AttrSet attrs, uint64_t assignment) const {
+  Status valid = ValidateAttr(target_attr);
+  if (!valid.ok()) return valid;
+  if (attrs.Contains(target_attr)) {
+    return Status::InvalidArgument(
+        "target attribute is part of the condition");
+  }
+  valid = ValidateScope(attrs, assignment);
+  if (!valid.ok()) return valid;
+
   const AttrSet joint = attrs.Union(AttrSet::FromIndices({target_attr}));
-  const MarginalTable table = synopsis_->Query(joint, method_);
+  StatusOr<MarginalTable> table_or = synopsis_->TryQuery(joint, method_);
+  if (!table_or.ok()) return table_or.status();
+  const MarginalTable& table = table_or.value();
   // Condition cells: those matching `assignment` on attrs.
   const uint64_t cond_mask = table.CellIndexMaskFor(attrs);
   const uint64_t target_bit =
@@ -66,29 +140,74 @@ double QueryEngine::ConditionalProbability(int target_attr, AttrSet attrs,
   double hit = 0.0, support = 0.0;
   for (uint64_t cell = 0; cell < table.size(); ++cell) {
     if (ExtractBits(cell, cond_mask) != assignment) continue;
-    support += table.At(cell);
-    if (cell & target_bit) hit += table.At(cell);
+    const double mass = ClampCell(table.At(cell));
+    support += mass;
+    if (cell & target_bit) hit += mass;
   }
-  if (support <= 0.0) return 0.5;  // no evidence either way
+  // Near-zero support is reconstruction noise, not evidence: answer the
+  // uninformative prior rather than a 0/0-shaped ratio.
+  const double support_floor = 1e-9 * std::max(1.0, synopsis_->total());
+  if (!(support > support_floor)) return 0.5;
   return hit / support;
 }
 
-double QueryEngine::Lift(int a, int b) const {
+double QueryEngine::ConditionalProbability(int target_attr, AttrSet attrs,
+                                           uint64_t assignment) const {
+  return OrNaN(TryConditionalProbability(target_attr, attrs, assignment));
+}
+
+StatusOr<double> QueryEngine::TryLift(int a, int b) const {
+  Status valid = ValidateAttr(a);
+  if (!valid.ok()) return valid;
+  valid = ValidateAttr(b);
+  if (!valid.ok()) return valid;
+  if (a == b) return Status::InvalidArgument("lift of an attribute with itself");
+
   const AttrSet pair = AttrSet::FromIndices({a, b});
-  const MarginalTable table = synopsis_->Query(pair, method_);
-  const double total = table.Total();
-  if (total <= 0.0) return 0.0;
-  const double pa = (table.At(0b01) + table.At(0b11)) / total;
-  const double pb = (table.At(0b10) + table.At(0b11)) / total;
-  const double pab = table.At(0b11) / total;
-  if (pa <= 0.0 || pb <= 0.0) return 0.0;
+  StatusOr<MarginalTable> table_or = synopsis_->TryQuery(pair, method_);
+  if (!table_or.ok()) return table_or.status();
+  const MarginalTable& table = table_or.value();
+  const double c00 = ClampCell(table.At(0b00));
+  const double c01 = ClampCell(table.At(0b01));
+  const double c10 = ClampCell(table.At(0b10));
+  const double c11 = ClampCell(table.At(0b11));
+  const double total = c00 + c01 + c10 + c11;
+  const double support_floor = 1e-9 * std::max(1.0, synopsis_->total());
+  if (!(total > support_floor)) return 0.0;
+  const double pa = (c01 + c11) / total;
+  const double pb = (c10 + c11) / total;
+  const double pab = c11 / total;
+  // Near-zero marginal support would make the ratio explode on noise.
+  if (pa <= 1e-12 || pb <= 1e-12) return 0.0;
   return pab / (pa * pb);
 }
 
-double QueryEngine::MutualInformation(int a, int b) const {
+double QueryEngine::Lift(int a, int b) const { return OrNaN(TryLift(a, b)); }
+
+StatusOr<double> QueryEngine::TryMutualInformation(int a, int b) const {
+  Status valid = ValidateAttr(a);
+  if (!valid.ok()) return valid;
+  valid = ValidateAttr(b);
+  if (!valid.ok()) return valid;
+  if (a == b) {
+    return Status::InvalidArgument(
+        "mutual information of an attribute with itself");
+  }
+
   const AttrSet pair = AttrSet::FromIndices({a, b});
-  const std::vector<double> joint =
-      synopsis_->Query(pair, method_).Normalized();
+  StatusOr<MarginalTable> table_or = synopsis_->TryQuery(pair, method_);
+  if (!table_or.ok()) return table_or.status();
+  std::vector<double> joint = table_or.value().Normalized();
+  // Clamp the tiny negative mass noise can leave and renormalize so the
+  // entropies below see a genuine distribution.
+  double mass = 0.0;
+  for (double& p : joint) {
+    p = ClampCell(p);
+    mass += p;
+  }
+  if (mass <= 0.0) return 0.0;
+  for (double& p : joint) p /= mass;
+
   const double pa1 = joint[0b01] + joint[0b11];
   const double pb1 = joint[0b10] + joint[0b11];
   const double pa[2] = {1.0 - pa1, pa1};
@@ -104,6 +223,20 @@ double QueryEngine::MutualInformation(int a, int b) const {
     }
   }
   return std::max(mi, 0.0);
+}
+
+double QueryEngine::MutualInformation(int a, int b) const {
+  return OrNaN(TryMutualInformation(a, b));
+}
+
+StatusOr<ReconstructionResult> QueryEngine::TryQueryWithDiagnostics(
+    AttrSet target) const {
+  if (!target.IsSubsetOf(AttrSet::Full(synopsis_->d()))) {
+    return Status::InvalidArgument("query scope outside universe: " +
+                                   target.ToString());
+  }
+  return ReconstructMarginalWithDiagnostics(synopsis_->views(), target,
+                                            synopsis_->total(), method_);
 }
 
 }  // namespace priview

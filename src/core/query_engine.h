@@ -3,11 +3,18 @@
 // algebra (roll-up / slice / dice). Marginal tables "are essentially
 // equivalent to OLAP cubes" (§1); this is that equivalence as an API.
 // Everything here is post-processing of the synopsis — no privacy cost.
+//
+// Boundary policy: the Try* methods are the serving surface — they
+// validate their inputs and return Status instead of aborting, so a bad
+// request from an analyst can never take the process down. The plain
+// methods are conveniences for pre-validated callers; on invalid input
+// they return a benign NaN (never abort) and are annotated per method.
 #ifndef PRIVIEW_CORE_QUERY_ENGINE_H_
 #define PRIVIEW_CORE_QUERY_ENGINE_H_
 
 #include <cstdint>
 
+#include "common/status.h"
 #include "core/synopsis.h"
 
 namespace priview {
@@ -33,33 +40,57 @@ MarginalTable Dice(const MarginalTable& table, AttrSet fixed,
 /// Read-side engine bound to a synopsis. The synopsis must outlive it.
 class QueryEngine {
  public:
+  /// Validating constructor for unvalidated callers: rejects a null or
+  /// empty synopsis with a Status instead of aborting.
+  static StatusOr<QueryEngine> Create(const PriViewSynopsis* synopsis,
+                                      ReconstructionMethod method =
+                                          ReconstructionMethod::kMaxEntropy);
+
   explicit QueryEngine(const PriViewSynopsis* synopsis,
                        ReconstructionMethod method =
                            ReconstructionMethod::kMaxEntropy);
 
   /// Estimated number of records whose attributes in `attrs` equal
   /// `assignment` (compact cell-index convention) — a conjunction count.
+  /// Invalid input → NaN.
   double ConjunctionCount(AttrSet attrs, uint64_t assignment) const;
+  StatusOr<double> TryConjunctionCount(AttrSet attrs,
+                                       uint64_t assignment) const;
 
-  /// Estimated P(attributes of `attrs` = assignment).
+  /// Estimated P(attributes of `attrs` = assignment). Invalid input → NaN.
   double Probability(AttrSet attrs, uint64_t assignment) const;
+  StatusOr<double> TryProbability(AttrSet attrs, uint64_t assignment) const;
 
   /// Estimated P(target_attr = 1 | attrs = assignment). Returns 0.5 when
-  /// the condition has (estimated) zero support.
+  /// the condition has (estimated) zero or near-zero support — tiny
+  /// reconstructed support is noise, not evidence. Negative reconstructed
+  /// cells are clamped to zero before dividing. Invalid input → NaN.
   double ConditionalProbability(int target_attr, AttrSet attrs,
                                 uint64_t assignment) const;
+  StatusOr<double> TryConditionalProbability(int target_attr, AttrSet attrs,
+                                             uint64_t assignment) const;
 
   /// Lift of a = 1 and b = 1 co-occurring: P(ab) / (P(a) P(b)); 1 means
-  /// independent. Returns 0 when either attribute has zero support.
+  /// independent. Returns 0 when either attribute has zero or near-zero
+  /// support (negative cells clamped first). Invalid input → NaN.
   double Lift(int a, int b) const;
+  StatusOr<double> TryLift(int a, int b) const;
 
   /// Mutual information (nats) between two attributes under the synopsis
-  /// distribution.
+  /// distribution. Invalid input → NaN.
   double MutualInformation(int a, int b) const;
+  StatusOr<double> TryMutualInformation(int a, int b) const;
+
+  /// Full marginal with the solver diagnostics (fallbacks taken,
+  /// convergence) for the serving layer to log.
+  StatusOr<ReconstructionResult> TryQueryWithDiagnostics(AttrSet target) const;
 
   const PriViewSynopsis& synopsis() const { return *synopsis_; }
 
  private:
+  Status ValidateScope(AttrSet attrs, uint64_t assignment) const;
+  Status ValidateAttr(int attr) const;
+
   const PriViewSynopsis* synopsis_;
   ReconstructionMethod method_;
 };

@@ -1,11 +1,14 @@
 #include "core/reconstruct.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
+#include <sstream>
 #include <vector>
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "opt/ipf.h"
 #include "opt/least_norm.h"
 #include "opt/simplex.h"
@@ -24,6 +27,19 @@ const char* ReconstructionMethodName(ReconstructionMethod method) {
   return "?";
 }
 
+std::string SolverDiagnostics::ToString() const {
+  std::ostringstream out;
+  out << "SolverDiagnostics{" << ReconstructionMethodName(requested) << "->"
+      << (used_uniform_fallback ? "uniform" : ReconstructionMethodName(used));
+  if (covered) out << ", covered";
+  out << (converged ? ", converged" : ", NOT CONVERGED") << " in "
+      << iterations << " iters, residual " << final_residual;
+  if (fallbacks > 0) out << ", " << fallbacks << " fallback(s)";
+  if (non_finite_cells > 0) out << ", " << non_finite_cells << " bad cells";
+  out << "}";
+  return out.str();
+}
+
 std::vector<MarginalConstraint> ConstraintsFor(
     const std::vector<MarginalTable>& views, AttrSet target) {
   std::vector<MarginalConstraint> constraints;
@@ -36,6 +52,14 @@ std::vector<MarginalConstraint> ConstraintsFor(
 }
 
 namespace {
+
+int CountNonFinite(const MarginalTable& table) {
+  int bad = 0;
+  for (double cell : table.cells()) {
+    if (!std::isfinite(cell)) ++bad;
+  }
+  return bad;
+}
 
 // Average of the projections of every view fully covering `target`.
 MarginalTable CoveredAnswer(const std::vector<MarginalTable>& views,
@@ -62,8 +86,11 @@ MarginalTable CoveredAnswer(const std::vector<MarginalTable>& views,
 //   * a sub-scope whose min/max targets equal the projection of a
 //     super-scope's min/max targets is implied and can be dropped (always
 //     the case after the consistency step, which is what makes CLP fast).
+// Sets *ok to false (leaving the uniform table) when the LP solver fails;
+// the caller's fallback chain takes over from there.
 MarginalTable SolveLpReconstruction(const std::vector<MarginalTable>& views,
-                                    AttrSet target, double total) {
+                                    AttrSet target, double total, bool* ok) {
+  *ok = true;
   const int num_cells = 1 << target.size();
 
   // Per-scope cell-wise min/max over all views sharing the scope.
@@ -137,37 +164,152 @@ MarginalTable SolveLpReconstruction(const std::vector<MarginalTable>& views,
 
   const LpResult solution = SolveLp(lp);
   if (solution.status != LpStatus::kOptimal) {
-    // Degenerate numerical failure: fall back to the max-entropy answer so
-    // callers always get a usable table.
-    return MaxEntropyIpf(target, total, ConstraintsFor(views, target)).table;
+    *ok = false;
+    return MarginalTable(target, total / num_cells);
   }
   std::vector<double> cells(solution.x.begin(),
                             solution.x.begin() + num_cells);
   return MarginalTable(target, std::move(cells));
 }
 
+// One solver attempt plus the facts the fallback chain decides on.
+struct Attempt {
+  MarginalTable table;
+  bool converged = true;
+  int iterations = 0;
+  double final_residual = 0.0;
+  bool solver_failed = false;  // LP infeasible / internal failure
+};
+
+Attempt RunSolver(ReconstructionMethod method,
+                  const std::vector<MarginalTable>& views, AttrSet target,
+                  double total,
+                  const std::vector<MarginalConstraint>& constraints) {
+  Attempt attempt;
+  switch (method) {
+    case ReconstructionMethod::kMaxEntropy: {
+      IpfResult r = MaxEntropyIpf(target, total, constraints);
+      attempt.table = std::move(r.table);
+      attempt.converged = r.converged;
+      attempt.iterations = r.iterations;
+      attempt.final_residual = r.final_residual;
+      return attempt;
+    }
+    case ReconstructionMethod::kLeastNorm: {
+      LeastNormResult r = LeastNormSolve(target, total, constraints);
+      attempt.table = std::move(r.table);
+      attempt.converged = r.converged;
+      attempt.iterations = r.iterations;
+      return attempt;
+    }
+    case ReconstructionMethod::kLinearProgram: {
+      bool ok = true;
+      attempt.table = SolveLpReconstruction(views, target, total, &ok);
+      attempt.solver_failed = !ok;
+      return attempt;
+    }
+  }
+  attempt.solver_failed = true;
+  attempt.table = MarginalTable(target);
+  return attempt;
+}
+
+// A solver output is junk when serving it would hand the analyst garbage:
+// non-finite cells, a residual that blew past any plausible constraint
+// scale, or an outright solver failure.
+bool IsJunk(const Attempt& attempt, double total, int* non_finite_cells) {
+  const int bad = CountNonFinite(attempt.table);
+  *non_finite_cells += bad;
+  if (bad > 0 || attempt.solver_failed) return true;
+  if (!std::isfinite(attempt.final_residual)) return true;
+  constexpr double kResidualBlowup = 10.0;
+  return attempt.final_residual > kResidualBlowup * std::max(1.0, total);
+}
+
 }  // namespace
+
+ReconstructionResult ReconstructMarginalWithDiagnostics(
+    const std::vector<MarginalTable>& views, AttrSet target, double total,
+    ReconstructionMethod method) {
+  ReconstructionResult result;
+  result.diagnostics.requested = method;
+
+  // A corrupted synopsis can carry a non-finite total; the uniform
+  // fallback and the solvers all normalize against it, so sanitize once.
+  if (!std::isfinite(total) || total < 0.0) total = 0.0;
+
+  bool covered = false;
+  for (const MarginalTable& view : views) {
+    if (target.IsSubsetOf(view.attrs())) {
+      covered = true;
+      break;
+    }
+  }
+  if (covered) {
+    MarginalTable answer = CoveredAnswer(views, target);
+    const int bad = CountNonFinite(answer);
+    if (bad == 0 && !PRIVIEW_FAILPOINT("reconstruct/primary-junk")) {
+      result.diagnostics.covered = true;
+      result.table = std::move(answer);
+      return result;
+    }
+    // A covering view is damaged (NaN cells): fall through to the solver
+    // chain, which works from the surviving finite constraints.
+    result.diagnostics.non_finite_cells += bad;
+    ++result.diagnostics.fallbacks;
+  }
+
+  std::vector<MarginalConstraint> constraints = ConstraintsFor(views, target);
+  // Constraints with non-finite targets poison every solver; drop them and
+  // let the chain answer from what is intact.
+  const size_t before = constraints.size();
+  constraints.erase(
+      std::remove_if(constraints.begin(), constraints.end(),
+                     [](const MarginalConstraint& c) {
+                       return CountNonFinite(c.target) > 0;
+                     }),
+      constraints.end());
+  result.diagnostics.non_finite_cells +=
+      static_cast<int>(before - constraints.size());
+
+  // The degradation chain: the requested solver first, then max-entropy,
+  // then least-norm, then the uniform table as the last resort.
+  std::vector<ReconstructionMethod> chain{method};
+  for (ReconstructionMethod fallback :
+       {ReconstructionMethod::kMaxEntropy, ReconstructionMethod::kLeastNorm}) {
+    if (fallback != method) chain.push_back(fallback);
+  }
+
+  for (ReconstructionMethod candidate : chain) {
+    Attempt attempt = RunSolver(candidate, views, target, total, constraints);
+    bool junk = IsJunk(attempt, total, &result.diagnostics.non_finite_cells);
+    if (PRIVIEW_FAILPOINT("reconstruct/primary-junk")) junk = true;
+    if (!junk) {
+      result.diagnostics.used = candidate;
+      result.diagnostics.converged = attempt.converged;
+      result.diagnostics.iterations = attempt.iterations;
+      result.diagnostics.final_residual = attempt.final_residual;
+      result.table = std::move(attempt.table);
+      return result;
+    }
+    ++result.diagnostics.fallbacks;
+  }
+
+  // Everything failed: the uniform table is always finite and integrates
+  // to the (sanitized) total.
+  result.diagnostics.used_uniform_fallback = true;
+  result.diagnostics.converged = false;
+  const double uniform =
+      total / static_cast<double>(size_t{1} << target.size());
+  result.table = MarginalTable(target, uniform);
+  return result;
+}
 
 MarginalTable ReconstructMarginal(const std::vector<MarginalTable>& views,
                                   AttrSet target, double total,
                                   ReconstructionMethod method) {
-  for (const MarginalTable& view : views) {
-    if (target.IsSubsetOf(view.attrs())) {
-      return CoveredAnswer(views, target);
-    }
-  }
-  switch (method) {
-    case ReconstructionMethod::kMaxEntropy:
-      return MaxEntropyIpf(target, total, ConstraintsFor(views, target))
-          .table;
-    case ReconstructionMethod::kLeastNorm:
-      return LeastNormSolve(target, total, ConstraintsFor(views, target))
-          .table;
-    case ReconstructionMethod::kLinearProgram:
-      return SolveLpReconstruction(views, target, total);
-  }
-  PRIVIEW_CHECK(false);
-  return MarginalTable(target);
+  return ReconstructMarginalWithDiagnostics(views, target, total, method)
+      .table;
 }
 
 }  // namespace priview

@@ -9,6 +9,7 @@
 #ifndef PRIVIEW_CORE_RECONSTRUCT_H_
 #define PRIVIEW_CORE_RECONSTRUCT_H_
 
+#include <string>
 #include <vector>
 
 #include "opt/constraint.h"
@@ -21,6 +22,39 @@ enum class ReconstructionMethod { kMaxEntropy, kLeastNorm, kLinearProgram };
 
 const char* ReconstructionMethodName(ReconstructionMethod method);
 
+/// What actually happened while answering a query — which solver produced
+/// the table, whether it converged, and how many fallback steps were taken
+/// before a usable (finite) answer emerged. A serving layer logs this
+/// instead of silently returning junk.
+struct SolverDiagnostics {
+  ReconstructionMethod requested = ReconstructionMethod::kMaxEntropy;
+  ReconstructionMethod used = ReconstructionMethod::kMaxEntropy;
+  /// Did the solver that produced the answer report convergence?
+  bool converged = true;
+  int iterations = 0;
+  double final_residual = 0.0;
+  /// NaN/Inf cells seen in rejected solver outputs along the way.
+  int non_finite_cells = 0;
+  /// Solvers abandoned (junk output / residual blow-up) before `used`.
+  int fallbacks = 0;
+  /// The whole chain failed; the answer is the uniform table.
+  bool used_uniform_fallback = false;
+  /// The answer came straight off a covering view (no solver involved).
+  bool covered = false;
+
+  /// True when the answer needed no degradation at all.
+  bool clean() const {
+    return converged && fallbacks == 0 && !used_uniform_fallback;
+  }
+  std::string ToString() const;
+};
+
+/// A reconstructed table plus the diagnostics describing how it was made.
+struct ReconstructionResult {
+  MarginalTable table;
+  SolverDiagnostics diagnostics;
+};
+
 /// Extracts the constraint set a query scope `target` inherits from the
 /// views: one constraint per view with a non-empty intersection, already
 /// deduplicated (maximal scopes only).
@@ -29,8 +63,16 @@ std::vector<MarginalConstraint> ConstraintsFor(
 
 /// Reconstructs the marginal over `target`. `total` is the common total
 /// count of the (consistent) views, used when no view intersects `target`
-/// and as the max-entropy normalization N_V. Never fails: an empty
-/// constraint set yields the uniform table with the given total.
+/// and as the max-entropy normalization N_V. Never fails and never returns
+/// a non-finite table: if the requested solver emits junk (NaN/Inf cells,
+/// residual blow-up) the fallback chain max-entropy → least-norm →
+/// uniform runs until a finite answer emerges, and the diagnostics record
+/// the degradation.
+ReconstructionResult ReconstructMarginalWithDiagnostics(
+    const std::vector<MarginalTable>& views, AttrSet target, double total,
+    ReconstructionMethod method);
+
+/// Table-only convenience wrapper over the diagnostics variant.
 MarginalTable ReconstructMarginal(const std::vector<MarginalTable>& views,
                                   AttrSet target, double total,
                                   ReconstructionMethod method);

@@ -7,138 +7,424 @@
 #include <sstream>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace priview {
 namespace {
 
 constexpr char kMagic[] = "priview-synopsis";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
+
+// FNV-1a 64-bit. For a same-length single-byte substitution the digest
+// always changes (XOR-then-multiply by an odd prime is injective per
+// byte), which is exactly the guarantee the 1-byte-corruption fuzzer
+// asserts.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t Fnv1a(const std::string& bytes, uint64_t h) {
+  for (unsigned char c : bytes) {
+    h ^= static_cast<uint64_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string ChecksumHex(uint64_t h) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, h);
+  return std::string(buffer);
+}
+
+// Strict parse of the writer's lowercase 16-digit hex — an uppercased
+// digit is corruption, not an alternate spelling.
+bool ParseChecksumHex(const std::string& hex, uint64_t* out) {
+  if (hex.size() != 16) return false;
+  uint64_t v = 0;
+  for (char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+// One serialized view: the "view ..." header line and the cells line.
+struct ViewLines {
+  std::string header;
+  std::string cells;
+  uint64_t Checksum() const {
+    return Fnv1a(cells + "\n", Fnv1a(header + "\n", kFnvOffset));
+  }
+};
+
+ViewLines RenderView(const MarginalTable& view) {
+  ViewLines lines;
+  std::ostringstream header;
+  header << "view";
+  for (int a : view.attrs().ToIndices()) header << ' ' << a;
+  lines.header = header.str();
+  std::ostringstream cells;
+  char buffer[32];
+  bool first = true;
+  for (double cell : view.cells()) {
+    // Hex floats round-trip exactly.
+    std::snprintf(buffer, sizeof(buffer), "%a", cell);
+    cells << (first ? "" : " ") << buffer;
+    first = false;
+  }
+  lines.cells = cells.str();
+  return lines;
+}
+
+/// Parses one view from its two lines. Returns the table or a Status
+/// explaining the defect; `d` bounds the attribute indices.
+StatusOr<MarginalTable> ParseView(const std::string& header_line,
+                                  const std::string& cells_line, int d) {
+  std::istringstream header(header_line);
+  std::string tag;
+  header >> tag;
+  if (tag != "view") {
+    return Status::InvalidArgument("expected 'view' line, got: " +
+                                   header_line);
+  }
+  std::vector<int> attrs;
+  int a;
+  while (header >> a) {
+    if (a < 0 || a >= d) {
+      return Status::OutOfRange("view attribute out of range: " +
+                                std::to_string(a));
+    }
+    attrs.push_back(a);
+  }
+  if (!header.eof()) {
+    return Status::InvalidArgument("garbage in view header: " + header_line);
+  }
+  if (attrs.empty() || attrs.size() > 26) {
+    return Status::InvalidArgument("view arity out of range");
+  }
+  const AttrSet scope = AttrSet::FromIndices(attrs);
+  if (scope.size() != static_cast<int>(attrs.size())) {
+    return Status::InvalidArgument("duplicate attribute in view");
+  }
+
+  // istream double extraction does not accept hex floats; strtod does.
+  std::istringstream cells_in(cells_line);
+  std::vector<double> cells;
+  cells.reserve(size_t{1} << scope.size());
+  std::string token;
+  while (cells_in >> token) {
+    char* end = nullptr;
+    const double cell = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad cell value: " + token);
+    }
+    cells.push_back(cell);
+  }
+  if (cells.size() != (size_t{1} << scope.size())) {
+    return Status::InvalidArgument(
+        "cell count mismatch for view " + scope.ToString() + ": got " +
+        std::to_string(cells.size()));
+  }
+  return MarginalTable(scope, std::move(cells));
+}
+
+struct Header {
+  int version = 0;
+  int d = 0;
+  double epsilon = 0.0;
+  size_t num_views = 0;
+};
+
+// Parses the four header lines; fills `file_hash` with the hash of their
+// bytes so the caller can continue the whole-file checksum.
+StatusOr<Header> ParseHeader(const std::vector<std::string>& lines,
+                             uint64_t* file_hash) {
+  Header h;
+  {
+    std::istringstream first(lines.empty() ? std::string() : lines[0]);
+    std::string magic, version;
+    if (!(first >> magic >> version) || magic != kMagic) {
+      return Status::InvalidArgument("not a priview synopsis file");
+    }
+    if (version == "v1") {
+      h.version = 1;
+    } else if (version == "v2") {
+      h.version = 2;
+    } else {
+      return Status::InvalidArgument("unsupported synopsis version: " +
+                                     version);
+    }
+  }
+  if (lines.size() < 4) {
+    return Status::InvalidArgument("truncated file: missing header");
+  }
+  std::string key;
+  {
+    std::istringstream line(lines[1]);
+    if (!(line >> key >> h.d) || key != "d" || h.d < 1 || h.d > 64) {
+      return Status::InvalidArgument("bad dimension header");
+    }
+  }
+  {
+    std::istringstream line(lines[2]);
+    if (!(line >> key >> h.epsilon) || key != "epsilon") {
+      return Status::InvalidArgument("bad epsilon header");
+    }
+  }
+  {
+    std::istringstream line(lines[3]);
+    if (!(line >> key >> h.num_views) || key != "views" || h.num_views == 0 ||
+        h.num_views > 1000000) {
+      return Status::InvalidArgument("bad view-count header");
+    }
+  }
+  for (int i = 0; i < 4; ++i) *file_hash = Fnv1a(lines[i] + "\n", *file_hash);
+  return h;
+}
+
+// Legacy v1 body: alternating view/cells lines, no checksums. Strict — a
+// v1 file carries no integrity data to recover with.
+StatusOr<PriViewSynopsis> ReadBodyV1(const std::vector<std::string>& lines,
+                                     const Header& header,
+                                     LoadReport* report) {
+  std::vector<MarginalTable> views;
+  views.reserve(header.num_views);
+  size_t next = 4;
+  for (size_t v = 0; v < header.num_views; ++v) {
+    if (next >= lines.size()) {
+      return Status::InvalidArgument("truncated file: missing view header");
+    }
+    if (next + 1 >= lines.size()) {
+      return Status::InvalidArgument("truncated file: missing cells");
+    }
+    StatusOr<MarginalTable> view =
+        ParseView(lines[next], lines[next + 1], header.d);
+    if (!view.ok()) return view.status();
+    views.push_back(std::move(view).value());
+    next += 2;
+  }
+  report->views_loaded = static_cast<int>(views.size());
+  PriViewOptions options;
+  options.epsilon = header.epsilon;
+  return PriViewSynopsis::TryFromViews(header.d, std::move(views), options);
+}
+
+// v2 body: (view, cells, vsum) triples then a filesum line. In recovery
+// mode a triple that fails parse or checksum is dropped and the scan
+// resyncs at the next "view" line; otherwise the first defect fails the
+// load.
+StatusOr<PriViewSynopsis> ReadBodyV2(const std::vector<std::string>& lines,
+                                     const Header& header, uint64_t file_hash,
+                                     const ReadOptions& options,
+                                     LoadReport* report) {
+  std::vector<MarginalTable> views;
+  views.reserve(header.num_views);
+  bool saw_filesum = false;
+  size_t i = 4;
+  while (i < lines.size()) {
+    const std::string& line = lines[i];
+    if (line.rfind("filesum ", 0) == 0) {
+      uint64_t expected = 0;
+      bool ok = ParseChecksumHex(line.substr(8), &expected) &&
+                expected == file_hash;
+      if (PRIVIEW_FAILPOINT("serialize/file-checksum")) ok = false;
+      if (!ok) {
+        if (!options.recover) {
+          return Status::DataLoss("file checksum mismatch");
+        }
+        report->file_checksum_ok = false;
+        report->warnings.push_back("file checksum mismatch");
+      }
+      saw_filesum = true;
+      if (i + 1 < lines.size()) {
+        if (!options.recover) {
+          return Status::InvalidArgument("trailing data after filesum");
+        }
+        report->warnings.push_back("trailing data after filesum");
+      }
+      break;
+    }
+    file_hash = Fnv1a(line + "\n", file_hash);
+
+    // Expect a (view, cells, vsum) triple starting here. Integrity first:
+    // the checksum is verified before the payload is parsed, so corrupted
+    // view bytes always surface as kDataLoss rather than a parse error.
+    Status defect = Status::OK();
+    MarginalTable parsed;
+    if (line.rfind("view", 0) != 0) {
+      defect = Status::InvalidArgument("expected 'view' line, got: " + line);
+    } else if (i + 2 >= lines.size()) {
+      defect = Status::InvalidArgument("truncated view record");
+    } else {
+      const std::string& cells_line = lines[i + 1];
+      const std::string& vsum_line = lines[i + 2];
+      uint64_t expected = 0;
+      bool sum_ok = vsum_line.rfind("vsum ", 0) == 0 &&
+                    ParseChecksumHex(vsum_line.substr(5), &expected) &&
+                    expected == ViewLines{line, cells_line}.Checksum();
+      if (PRIVIEW_FAILPOINT("serialize/view-checksum")) sum_ok = false;
+      if (!sum_ok) {
+        defect = Status::DataLoss("view checksum mismatch: " + line);
+      } else {
+        StatusOr<MarginalTable> view = ParseView(line, cells_line, header.d);
+        if (!view.ok()) {
+          defect = view.status();
+        } else {
+          parsed = std::move(view).value();
+          file_hash = Fnv1a(cells_line + "\n", file_hash);
+          file_hash = Fnv1a(vsum_line + "\n", file_hash);
+        }
+      }
+    }
+
+    if (defect.ok()) {
+      views.push_back(std::move(parsed));
+      i += 3;
+      continue;
+    }
+    if (!options.recover) return defect;
+    report->dropped.push_back(defect.ToString());
+    // Resync: skip lines until the next "view" record or the filesum.
+    ++i;
+    while (i < lines.size() && lines[i].rfind("view", 0) != 0 &&
+           lines[i].rfind("filesum ", 0) != 0) {
+      file_hash = Fnv1a(lines[i] + "\n", file_hash);
+      ++i;
+    }
+  }
+
+  if (!saw_filesum) {
+    if (!options.recover) {
+      return Status::DataLoss("truncated file: missing filesum");
+    }
+    report->file_checksum_ok = false;
+    report->warnings.push_back("missing filesum line");
+  }
+  if (views.size() != header.num_views) {
+    if (!options.recover && views.size() > header.num_views) {
+      return Status::InvalidArgument("more views than declared");
+    }
+    if (!options.recover) {
+      return Status::DataLoss("view count mismatch: declared " +
+                              std::to_string(header.num_views) + ", found " +
+                              std::to_string(views.size()));
+    }
+    if (report->dropped.empty()) {
+      report->warnings.push_back("view count differs from header");
+    }
+  }
+  if (views.empty()) {
+    return Status::DataLoss("no intact views survived the load");
+  }
+  report->views_loaded = static_cast<int>(views.size());
+  PriViewOptions view_options;
+  view_options.epsilon = header.epsilon;
+  return PriViewSynopsis::TryFromViews(header.d, std::move(views),
+                                       view_options);
+}
 
 }  // namespace
 
+std::string LoadReport::ToString() const {
+  std::ostringstream out;
+  out << "LoadReport{v" << format_version << ", views " << views_loaded << "/"
+      << views_declared;
+  if (legacy_format) out << ", legacy (no checksums)";
+  if (!file_checksum_ok) out << ", FILE CHECKSUM FAILED";
+  for (const std::string& d : dropped) out << ", dropped[" << d << "]";
+  for (const std::string& w : warnings) out << ", warning[" << w << "]";
+  out << "}";
+  return out.str();
+}
+
 Status WriteSynopsis(const PriViewSynopsis& synopsis, std::ostream* out) {
   if (out == nullptr) return Status::InvalidArgument("null stream");
-  std::ostream& os = *out;
-  os << kMagic << " v" << kVersion << "\n";
-  os << "d " << synopsis.d() << "\n";
-  os << "epsilon " << synopsis.options().epsilon << "\n";
-  os << "views " << synopsis.views().size() << "\n";
-  char buffer[32];
-  for (const MarginalTable& view : synopsis.views()) {
-    os << "view";
-    for (int a : view.attrs().ToIndices()) os << ' ' << a;
-    os << "\n";
-    bool first = true;
-    for (double cell : view.cells()) {
-      // Hex floats round-trip exactly.
-      std::snprintf(buffer, sizeof(buffer), "%a", cell);
-      os << (first ? "" : " ") << buffer;
-      first = false;
-    }
-    os << "\n";
+  if (PRIVIEW_FAILPOINT("serialize/write-io")) {
+    return Status::IOError("injected: serialize/write-io");
   }
+  std::ostream& os = *out;
+  uint64_t file_hash = kFnvOffset;
+  auto emit = [&](const std::string& line) {
+    file_hash = Fnv1a(line + "\n", file_hash);
+    os << line << "\n";
+  };
+
+  {
+    std::ostringstream line;
+    line << kMagic << " v" << kVersion;
+    emit(line.str());
+  }
+  emit("d " + std::to_string(synopsis.d()));
+  {
+    std::ostringstream line;
+    line << "epsilon " << synopsis.options().epsilon;
+    emit(line.str());
+  }
+  emit("views " + std::to_string(synopsis.views().size()));
+  for (const MarginalTable& view : synopsis.views()) {
+    const ViewLines lines = RenderView(view);
+    emit(lines.header);
+    emit(lines.cells);
+    emit("vsum " + ChecksumHex(lines.Checksum()));
+  }
+  os << "filesum " << ChecksumHex(file_hash) << "\n";
   if (!os) return Status::IOError("write failed");
   return Status::OK();
 }
 
 Status SaveSynopsis(const PriViewSynopsis& synopsis,
                     const std::string& path) {
+  if (PRIVIEW_FAILPOINT("serialize/open-write")) {
+    return Status::IOError("injected: serialize/open-write");
+  }
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for write: " + path);
   return WriteSynopsis(synopsis, &out);
 }
 
-StatusOr<PriViewSynopsis> ReadSynopsis(std::istream* in) {
+StatusOr<PriViewSynopsis> ReadSynopsis(std::istream* in,
+                                       const ReadOptions& options,
+                                       LoadReport* report) {
   if (in == nullptr) return Status::InvalidArgument("null stream");
-  std::istream& is = *in;
+  LoadReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = LoadReport();
 
-  std::string magic, version;
-  if (!(is >> magic >> version) || magic != kMagic) {
-    return Status::InvalidArgument("not a priview synopsis file");
-  }
-  if (version != "v1") {
-    return Status::InvalidArgument("unsupported synopsis version: " +
-                                   version);
-  }
-
-  std::string key;
-  int d = 0;
-  double epsilon = 0.0;
-  size_t num_views = 0;
-  if (!(is >> key >> d) || key != "d" || d < 1 || d > 64) {
-    return Status::InvalidArgument("bad dimension header");
-  }
-  if (!(is >> key >> epsilon) || key != "epsilon") {
-    return Status::InvalidArgument("bad epsilon header");
-  }
-  if (!(is >> key >> num_views) || key != "views" || num_views == 0 ||
-      num_views > 1000000) {
-    return Status::InvalidArgument("bad view-count header");
-  }
-  is.ignore();  // trailing newline
-
-  std::vector<MarginalTable> views;
-  views.reserve(num_views);
+  std::vector<std::string> lines;
   std::string line;
-  for (size_t v = 0; v < num_views; ++v) {
-    if (!std::getline(is, line)) {
-      return Status::InvalidArgument("truncated file: missing view header");
-    }
-    std::istringstream header(line);
-    std::string tag;
-    header >> tag;
-    if (tag != "view") {
-      return Status::InvalidArgument("expected 'view' line, got: " + line);
-    }
-    std::vector<int> attrs;
-    int a;
-    while (header >> a) {
-      if (a < 0 || a >= d) {
-        return Status::OutOfRange("view attribute out of range: " +
-                                  std::to_string(a));
-      }
-      attrs.push_back(a);
-    }
-    if (attrs.empty() || attrs.size() > 26) {
-      return Status::InvalidArgument("view arity out of range");
-    }
-    const AttrSet scope = AttrSet::FromIndices(attrs);
-    if (scope.size() != static_cast<int>(attrs.size())) {
-      return Status::InvalidArgument("duplicate attribute in view");
-    }
+  while (std::getline(*in, line)) lines.push_back(std::move(line));
 
-    if (!std::getline(is, line)) {
-      return Status::InvalidArgument("truncated file: missing cells");
-    }
-    // istream double extraction does not accept hex floats; strtod does.
-    std::istringstream cells_in(line);
-    std::vector<double> cells;
-    cells.reserve(size_t{1} << scope.size());
-    std::string token;
-    while (cells_in >> token) {
-      char* end = nullptr;
-      const double cell = std::strtod(token.c_str(), &end);
-      if (end == token.c_str() || *end != '\0') {
-        return Status::InvalidArgument("bad cell value: " + token);
-      }
-      cells.push_back(cell);
-    }
-    if (cells.size() != (size_t{1} << scope.size())) {
-      return Status::InvalidArgument(
-          "cell count mismatch for view " + scope.ToString() + ": got " +
-          std::to_string(cells.size()));
-    }
-    views.emplace_back(scope, std::move(cells));
+  uint64_t file_hash = kFnvOffset;
+  StatusOr<Header> header = ParseHeader(lines, &file_hash);
+  if (!header.ok()) return header.status();
+  report->format_version = header.value().version;
+  report->views_declared = static_cast<int>(header.value().num_views);
+
+  if (header.value().version == 1) {
+    report->legacy_format = true;
+    report->warnings.push_back(
+        "legacy v1 file: no checksums, integrity not verifiable");
+    return ReadBodyV1(lines, header.value(), report);
   }
-
-  PriViewOptions options;
-  options.epsilon = epsilon;
-  return PriViewSynopsis::FromViews(d, std::move(views), options);
+  return ReadBodyV2(lines, header.value(), file_hash, options, report);
 }
 
-StatusOr<PriViewSynopsis> LoadSynopsis(const std::string& path) {
+StatusOr<PriViewSynopsis> LoadSynopsis(const std::string& path,
+                                       const ReadOptions& options,
+                                       LoadReport* report) {
+  if (PRIVIEW_FAILPOINT("serialize/open-read")) {
+    return Status::IOError("injected: serialize/open-read");
+  }
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for read: " + path);
-  return ReadSynopsis(&in);
+  return ReadSynopsis(&in, options, report);
 }
 
 }  // namespace priview

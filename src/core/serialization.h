@@ -3,29 +3,73 @@
 // query forever (differential privacy is preserved under post-processing,
 // so the file can be distributed freely at the chosen epsilon).
 //
-// Format: a line-oriented text header (versioned, self-describing) followed
-// by one line per view: the attribute list and the 2^|V| cell values in
-// full hex-float precision (round-trips exactly).
+// Format v2: a line-oriented text header (versioned, self-describing),
+// then per view three lines — the attribute list, the 2^|V| cell values in
+// full hex-float precision (round-trips exactly), and a `vsum` line with
+// the FNV-1a-64 checksum of the two preceding lines — and finally a
+// `filesum` line covering every byte above it. Per-view checksums localize
+// corruption so a damaged file can still serve its surviving views;
+// the whole-file checksum catches damage to the header and to the
+// checksum lines themselves. v1 files (no checksums) still load through a
+// legacy path that flags the missing integrity data in the LoadReport.
 #ifndef PRIVIEW_CORE_SERIALIZATION_H_
 #define PRIVIEW_CORE_SERIALIZATION_H_
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/synopsis.h"
 
 namespace priview {
 
-/// Writes the synopsis to a stream / file.
+/// Read-side behaviour knobs.
+struct ReadOptions {
+  /// When true, a view that fails its checksum or does not parse is
+  /// dropped (and recorded in the LoadReport) instead of failing the whole
+  /// load; the synopsis then answers from the surviving constraint set.
+  /// Header damage and an empty surviving view set still fail.
+  bool recover = false;
+};
+
+/// What a load actually delivered — consult after recovery-mode loads (and
+/// to detect checksum-free legacy files).
+struct LoadReport {
+  int format_version = 0;
+  /// v1 file: loaded without integrity verification.
+  bool legacy_format = false;
+  int views_declared = 0;
+  int views_loaded = 0;
+  bool file_checksum_ok = true;
+  /// One human-readable entry per dropped view (recovery mode only).
+  std::vector<std::string> dropped;
+  std::vector<std::string> warnings;
+
+  /// True when every declared view loaded and all checksums verified.
+  bool fully_intact() const {
+    return !legacy_format && file_checksum_ok && dropped.empty() &&
+           warnings.empty() && views_loaded == views_declared;
+  }
+  std::string ToString() const;
+};
+
+/// Writes the synopsis to a stream / file (format v2, with checksums).
 Status WriteSynopsis(const PriViewSynopsis& synopsis, std::ostream* out);
 Status SaveSynopsis(const PriViewSynopsis& synopsis, const std::string& path);
 
 /// Reads a synopsis back. Validates the header, dimension bounds, view
-/// sizes and cell counts; rejects malformed input with a descriptive
-/// Status rather than crashing.
-StatusOr<PriViewSynopsis> ReadSynopsis(std::istream* in);
-StatusOr<PriViewSynopsis> LoadSynopsis(const std::string& path);
+/// sizes, cell counts and (v2) checksums; rejects malformed input with a
+/// descriptive Status rather than crashing. Checksum failures surface as
+/// StatusCode::kDataLoss unless `options.recover` is set, in which case
+/// damaged views are dropped and reported via `report` (pass nullptr if
+/// the report is not wanted).
+StatusOr<PriViewSynopsis> ReadSynopsis(std::istream* in,
+                                       const ReadOptions& options = {},
+                                       LoadReport* report = nullptr);
+StatusOr<PriViewSynopsis> LoadSynopsis(const std::string& path,
+                                       const ReadOptions& options = {},
+                                       LoadReport* report = nullptr);
 
 }  // namespace priview
 

@@ -10,9 +10,25 @@ PriViewSynopsis PriViewSynopsis::Build(const Dataset& data,
                                        const std::vector<AttrSet>& views,
                                        const PriViewOptions& options,
                                        Rng* rng) {
-  PRIVIEW_CHECK(!views.empty());
-  PRIVIEW_CHECK(rng != nullptr);
-  PRIVIEW_CHECK(options.epsilon > 0.0 || !options.add_noise);
+  StatusOr<PriViewSynopsis> synopsis = TryBuild(data, views, options, rng);
+  PRIVIEW_CHECK_OK(synopsis.status());
+  return std::move(synopsis).value();
+}
+
+StatusOr<PriViewSynopsis> PriViewSynopsis::TryBuild(
+    const Dataset& data, const std::vector<AttrSet>& views,
+    const PriViewOptions& options, Rng* rng) {
+  if (views.empty()) return Status::InvalidArgument("no views to build");
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  if (options.add_noise && options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive to add noise");
+  }
+  for (const AttrSet& view : views) {
+    if (view.empty() || !view.IsSubsetOf(AttrSet::Full(data.d()))) {
+      return Status::InvalidArgument("view scope outside dataset universe: " +
+                                     view.ToString());
+    }
+  }
 
   PriViewSynopsis synopsis;
   synopsis.d_ = data.d();
@@ -61,13 +77,27 @@ PriViewSynopsis PriViewSynopsis::Build(const Dataset& data,
 PriViewSynopsis PriViewSynopsis::FromViews(int d,
                                            std::vector<MarginalTable> views,
                                            const PriViewOptions& options) {
-  PRIVIEW_CHECK(!views.empty());
-  PRIVIEW_CHECK(d >= 1 && d <= 64);
+  StatusOr<PriViewSynopsis> synopsis =
+      TryFromViews(d, std::move(views), options);
+  PRIVIEW_CHECK_OK(synopsis.status());
+  return std::move(synopsis).value();
+}
+
+StatusOr<PriViewSynopsis> PriViewSynopsis::TryFromViews(
+    int d, std::vector<MarginalTable> views, const PriViewOptions& options) {
+  if (views.empty()) return Status::InvalidArgument("no views");
+  if (d < 1 || d > 64) {
+    return Status::InvalidArgument("dimension out of range: " +
+                                   std::to_string(d));
+  }
   PriViewSynopsis synopsis;
   synopsis.d_ = d;
   synopsis.options_ = options;
   for (const MarginalTable& view : views) {
-    PRIVIEW_CHECK(view.attrs().IsSubsetOf(AttrSet::Full(d)));
+    if (!view.attrs().IsSubsetOf(AttrSet::Full(d))) {
+      return Status::InvalidArgument("view scope outside universe: " +
+                                     view.attrs().ToString());
+    }
   }
   synopsis.views_ = std::move(views);
   double total = 0.0;
@@ -78,7 +108,17 @@ PriViewSynopsis PriViewSynopsis::FromViews(int d,
 
 MarginalTable PriViewSynopsis::Query(AttrSet target,
                                      ReconstructionMethod method) const {
-  PRIVIEW_CHECK(target.IsSubsetOf(AttrSet::Full(d_)));
+  StatusOr<MarginalTable> answer = TryQuery(target, method);
+  PRIVIEW_CHECK_OK(answer.status());
+  return std::move(answer).value();
+}
+
+StatusOr<MarginalTable> PriViewSynopsis::TryQuery(
+    AttrSet target, ReconstructionMethod method) const {
+  if (!target.IsSubsetOf(AttrSet::Full(d_))) {
+    return Status::InvalidArgument("query scope outside universe: " +
+                                   target.ToString());
+  }
   return ReconstructMarginal(views_, target, total_, method);
 }
 

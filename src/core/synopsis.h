@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/nonneg.h"
 #include "core/reconstruct.h"
 #include "table/attr_set.h"
@@ -51,16 +52,34 @@ class PriViewSynopsis {
                                const std::vector<AttrSet>& views,
                                const PriViewOptions& options, Rng* rng);
 
+  /// Status-returning Build for callers passing unvalidated input (the
+  /// pipeline, CLIs): returns InvalidArgument instead of aborting.
+  static StatusOr<PriViewSynopsis> TryBuild(const Dataset& data,
+                                            const std::vector<AttrSet>& views,
+                                            const PriViewOptions& options,
+                                            Rng* rng);
+
   /// Reassembles a synopsis from already-released view tables (e.g. loaded
   /// from disk, see core/serialization.h). No privacy budget is spent —
   /// the tables are taken as-is; `options` records their provenance.
   static PriViewSynopsis FromViews(int d, std::vector<MarginalTable> views,
                                    const PriViewOptions& options);
 
+  /// Status-returning FromViews for data deserialized from untrusted
+  /// files; validates d and the view scopes instead of CHECK-aborting.
+  static StatusOr<PriViewSynopsis> TryFromViews(
+      int d, std::vector<MarginalTable> views, const PriViewOptions& options);
+
   /// Reconstructs the marginal over `target` from the synopsis.
   MarginalTable Query(AttrSet target,
                       ReconstructionMethod method =
                           ReconstructionMethod::kMaxEntropy) const;
+
+  /// Query for unvalidated targets: InvalidArgument if `target` is not a
+  /// subset of the synopsis' attribute universe.
+  StatusOr<MarginalTable> TryQuery(AttrSet target,
+                                   ReconstructionMethod method =
+                                       ReconstructionMethod::kMaxEntropy) const;
 
   const std::vector<MarginalTable>& views() const { return views_; }
   /// Common total count of the consistent views (the noisy N).

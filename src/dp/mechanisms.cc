@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/status.h"
 
 namespace priview {
@@ -53,6 +54,9 @@ BudgetAccountant::BudgetAccountant(double total_epsilon)
 }
 
 Status BudgetAccountant::Spend(double epsilon) {
+  if (PRIVIEW_FAILPOINT("dp/budget-exhausted")) {
+    return Status::ResourceExhausted("injected: dp/budget-exhausted");
+  }
   if (epsilon <= 0.0) {
     return Status::InvalidArgument("epsilon must be positive");
   }

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include <limits>
+
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace priview {
 namespace {
@@ -95,6 +98,14 @@ IpfResult MaxEntropyIpf(AttrSet attrs, double total,
     }
   }
   if (resolved.empty()) result.converged = true;
+
+  if (PRIVIEW_FAILPOINT("ipf/stall")) {
+    result.converged = false;
+    result.final_residual = std::numeric_limits<double>::infinity();
+  }
+  if (PRIVIEW_FAILPOINT("ipf/nan-cell") && num_cells > 0) {
+    table.At(0) = std::numeric_limits<double>::quiet_NaN();
+  }
 
   result.table = std::move(table);
   return result;

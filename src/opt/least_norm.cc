@@ -5,6 +5,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/linalg.h"
 
 namespace priview {
@@ -108,6 +109,8 @@ LeastNormResult LeastNormSolve(AttrSet attrs, double total,
   }
   // Final cleanup: clamp the tiny residual negativity.
   for (double& v : x) v = std::max(v, 0.0);
+
+  if (PRIVIEW_FAILPOINT("leastnorm/stall")) result.converged = false;
 
   result.table = MarginalTable(attrs, std::move(x));
   return result;

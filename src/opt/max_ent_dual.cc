@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include <limits>
+
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace priview {
 namespace {
@@ -120,6 +123,11 @@ MaxEntDualResult MaxEntropyDual(AttrSet attrs, double total,
     }
   }
   materialize();
+
+  if (PRIVIEW_FAILPOINT("maxent/stall")) {
+    result.converged = false;
+    result.final_residual = std::numeric_limits<double>::infinity();
+  }
 
   result.table = std::move(table);
   return result;

@@ -1,0 +1,285 @@
+// Chaos suite: walks every registered failpoint and runs the full
+// release/serve pipeline (build → save → load → query) with that fault
+// injected. The contract under test is graceful degradation — every call
+// either returns a descriptive Status or a finite (possibly degraded)
+// answer; nothing aborts, and nothing serves NaN/Inf to an analyst. Run
+// under the asan-ubsan preset this also proves the fault paths are UB-free.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "core/query_engine.h"
+#include "core/serialization.h"
+#include "data/synthetic.h"
+#include "opt/max_ent_dual.h"
+
+namespace priview {
+namespace {
+
+// Every finite value the engine hands back must be a number an analyst
+// could act on; a Status must carry a message worth logging.
+void ExpectServable(const StatusOr<double>& answer, const std::string& what) {
+  if (answer.ok()) {
+    EXPECT_TRUE(std::isfinite(answer.value()))
+        << what << " returned non-finite " << answer.value();
+  } else {
+    EXPECT_FALSE(answer.status().message().empty())
+        << what << " failed without a message";
+  }
+}
+
+void ExpectFiniteTable(const MarginalTable& table, const std::string& what) {
+  for (double cell : table.cells()) {
+    EXPECT_TRUE(std::isfinite(cell)) << what << " served non-finite cell";
+  }
+}
+
+// The end-to-end lifecycle under an injected fault. Each stage that fails
+// with a Status ends the run (that is a valid degradation); each stage
+// that succeeds must hand the next stage servable data.
+void RunLifecycleUnderFault(const std::string& fault) {
+  Rng rng(1234);
+  Dataset data = MakeMsnbcLike(&rng, 4000);
+  PipelineOptions options;
+  options.total_epsilon = 1.0;
+
+  StatusOr<PipelineResult> built = BuildPriViewPipeline(data, options, &rng);
+  if (!built.ok()) {
+    EXPECT_FALSE(built.status().message().empty());
+    return;
+  }
+
+  std::string path = ::testing::TempDir() + "/chaos.pv";
+  const Status saved = SaveSynopsis(built.value().synopsis, path);
+  if (!saved.ok()) {
+    EXPECT_FALSE(saved.message().empty());
+    return;
+  }
+
+  LoadReport report;
+  ReadOptions read_options;
+  read_options.recover = true;
+  StatusOr<PriViewSynopsis> loaded = LoadSynopsis(path, read_options, &report);
+  std::remove(path.c_str());
+  if (!loaded.ok()) {
+    EXPECT_FALSE(loaded.status().message().empty());
+    return;
+  }
+
+  StatusOr<QueryEngine> engine = QueryEngine::Create(&loaded.value());
+  if (!engine.ok()) {
+    EXPECT_FALSE(engine.status().message().empty());
+    return;
+  }
+
+  const AttrSet scope = AttrSet::FromIndices({0, 3, 6});
+  ExpectServable(engine.value().TryConjunctionCount(scope, 0b101),
+                 fault + ": conjunction");
+  ExpectServable(engine.value().TryProbability(scope, 0b010),
+                 fault + ": probability");
+  ExpectServable(engine.value().TryConditionalProbability(
+                     1, AttrSet::FromIndices({0, 2}), 0b11),
+                 fault + ": conditional");
+  ExpectServable(engine.value().TryLift(0, 5), fault + ": lift");
+  ExpectServable(engine.value().TryMutualInformation(2, 7), fault + ": mi");
+
+  StatusOr<ReconstructionResult> diag =
+      engine.value().TryQueryWithDiagnostics(AttrSet::FromIndices({1, 4, 8}));
+  if (diag.ok()) {
+    ExpectFiniteTable(diag.value().table, fault + ": diagnostics query");
+    EXPECT_FALSE(diag.value().diagnostics.ToString().empty());
+  } else {
+    EXPECT_FALSE(diag.status().message().empty());
+  }
+}
+
+// The release pipeline answers in-design queries from covering views, so
+// the solver stack (IPF, dual max-ent, least-norm) needs an explicitly
+// uncovered target to run. Always expected to produce a finite table —
+// that is what the fallback chain guarantees.
+void RunSolverStackUnderFault(const std::string& fault) {
+  Rng rng(11);
+  Dataset data = MakeMsnbcLike(&rng, 2000);
+  PriViewOptions options;
+  options.add_noise = false;
+  const PriViewSynopsis synopsis = PriViewSynopsis::Build(
+      data,
+      {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4})},
+      options, &rng);
+  const AttrSet target = AttrSet::FromIndices({0, 4});
+  for (ReconstructionMethod method :
+       {ReconstructionMethod::kMaxEntropy, ReconstructionMethod::kLeastNorm,
+        ReconstructionMethod::kLinearProgram}) {
+    const ReconstructionResult result = ReconstructMarginalWithDiagnostics(
+        synopsis.views(), target, synopsis.total(), method);
+    ExpectFiniteTable(result.table, fault + ": solver stack");
+  }
+  const MaxEntDualResult dual = MaxEntropyDual(
+      target, synopsis.total(),
+      {{AttrSet::FromIndices({0}),
+        synopsis.views()[0].Project(AttrSet::FromIndices({0}))},
+       {AttrSet::FromIndices({4}),
+        synopsis.views()[1].Project(AttrSet::FromIndices({4}))}});
+  ExpectFiniteTable(dual.table, fault + ": dual max-ent");
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if !PRIVIEW_FAILPOINTS_ENABLED
+    GTEST_SKIP() << "failpoints compiled out (PRIVIEW_FAILPOINTS=OFF)";
+#endif
+  }
+  ~ChaosTest() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(ChaosTest, EveryKnownFailpointDegradesGracefully) {
+  for (const std::string& fault : failpoint::KnownFailpoints()) {
+    SCOPED_TRACE("failpoint: " + fault);
+    failpoint::ScopedFailpoint scoped(fault, "always");
+    ASSERT_TRUE(scoped.status().ok());
+    RunLifecycleUnderFault(fault);
+    RunSolverStackUnderFault(fault);
+  }
+}
+
+TEST_F(ChaosTest, EveryKnownFailpointFiresSomewhereInTheLifecycle) {
+  // Guards against a registered name drifting out of sync with the wired
+  // sites: under "off" the site still counts hits, so a zero count means
+  // the failpoint is not wired into any path the suite exercises.
+  for (const std::string& fault : failpoint::KnownFailpoints()) {
+    SCOPED_TRACE("failpoint: " + fault);
+    failpoint::ScopedFailpoint scoped(fault, "off");
+    ASSERT_TRUE(scoped.status().ok());
+    RunLifecycleUnderFault(fault);
+    RunSolverStackUnderFault(fault);
+    EXPECT_GT(failpoint::HitCount(fault), 0u) << fault << " never evaluated";
+  }
+}
+
+TEST_F(ChaosTest, IntermittentFaultsDegradeOnlyTheFaultyCall) {
+  // A fault on the 1st Laplace draw only: the pipeline must still produce
+  // a servable synopsis (the noisy-count floor absorbs the bad sample).
+  failpoint::ScopedFailpoint scoped("rng/laplace-nan", "hit=1");
+  ASSERT_TRUE(scoped.status().ok());
+  Rng rng(99);
+  Dataset data = MakeMsnbcLike(&rng, 4000);
+  PipelineOptions options;
+  options.total_epsilon = 1.0;
+  StatusOr<PipelineResult> built = BuildPriViewPipeline(data, options, &rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const MarginalTable answer =
+      built.value().synopsis.Query(AttrSet::FromIndices({0, 4}));
+  ExpectFiniteTable(answer, "post-intermittent-fault query");
+}
+
+TEST_F(ChaosTest, SolverStallFallsBackDownTheChain) {
+  // With IPF stalled, reconstruction must fall back (least-norm) and say
+  // so in the diagnostics; with the whole chain junked it must land on
+  // the uniform table.
+  Rng rng(5);
+  Dataset data = MakeMsnbcLike(&rng, 4000);
+  PriViewOptions options;
+  options.add_noise = false;
+  const PriViewSynopsis synopsis = PriViewSynopsis::Build(
+      data,
+      {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4})},
+      options, &rng);
+  const AttrSet target = AttrSet::FromIndices({0, 4});  // needs a solver
+
+  {
+    failpoint::ScopedFailpoint scoped("ipf/stall", "always");
+    const ReconstructionResult result = ReconstructMarginalWithDiagnostics(
+        synopsis.views(), target, synopsis.total(),
+        ReconstructionMethod::kMaxEntropy);
+    ExpectFiniteTable(result.table, "ipf-stall fallback");
+    EXPECT_EQ(result.diagnostics.used, ReconstructionMethod::kLeastNorm);
+    EXPECT_GE(result.diagnostics.fallbacks, 1);
+    EXPECT_FALSE(result.diagnostics.clean());
+  }
+  {
+    failpoint::ScopedFailpoint scoped("reconstruct/primary-junk", "always");
+    const ReconstructionResult result = ReconstructMarginalWithDiagnostics(
+        synopsis.views(), target, synopsis.total(),
+        ReconstructionMethod::kMaxEntropy);
+    ExpectFiniteTable(result.table, "uniform fallback");
+    EXPECT_TRUE(result.diagnostics.used_uniform_fallback);
+    // Uniform still integrates to the synopsis total.
+    EXPECT_NEAR(result.table.Total(), synopsis.total(),
+                1e-9 * std::max(1.0, synopsis.total()));
+  }
+}
+
+TEST_F(ChaosTest, NanCellFromSolverIsNeverServed) {
+  Rng rng(6);
+  Dataset data = MakeMsnbcLike(&rng, 4000);
+  PriViewOptions options;
+  options.add_noise = false;
+  const PriViewSynopsis synopsis = PriViewSynopsis::Build(
+      data,
+      {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4})},
+      options, &rng);
+  failpoint::ScopedFailpoint scoped("ipf/nan-cell", "always");
+  const ReconstructionResult result = ReconstructMarginalWithDiagnostics(
+      synopsis.views(), AttrSet::FromIndices({0, 4}), synopsis.total(),
+      ReconstructionMethod::kMaxEntropy);
+  ExpectFiniteTable(result.table, "nan-cell fallback");
+  EXPECT_GT(result.diagnostics.non_finite_cells, 0);
+  EXPECT_NE(result.diagnostics.used, ReconstructionMethod::kMaxEntropy);
+}
+
+TEST_F(ChaosTest, BoundaryValidationNeverAborts) {
+  // Malformed analyst input at every public API boundary returns Status.
+  Rng rng(7);
+  Dataset data = MakeMsnbcLike(&rng, 2000);
+  PriViewOptions options;
+  options.add_noise = false;
+  const PriViewSynopsis synopsis = PriViewSynopsis::Build(
+      data, {AttrSet::FromIndices({0, 1, 2})}, options, &rng);
+
+  EXPECT_FALSE(QueryEngine::Create(nullptr).ok());
+
+  StatusOr<QueryEngine> engine = QueryEngine::Create(&synopsis);
+  ASSERT_TRUE(engine.ok());
+  // Scope outside the universe.
+  EXPECT_FALSE(
+      engine.value().TryConjunctionCount(AttrSet::FromIndices({40}), 0).ok());
+  // Assignment out of range for the scope.
+  EXPECT_FALSE(
+      engine.value().TryConjunctionCount(AttrSet::FromIndices({0, 1}), 9).ok());
+  // Target attribute inside the condition.
+  EXPECT_FALSE(engine.value()
+                   .TryConditionalProbability(0, AttrSet::FromIndices({0}), 1)
+                   .ok());
+  // Out-of-range attributes.
+  EXPECT_FALSE(engine.value().TryLift(0, 99).ok());
+  EXPECT_FALSE(engine.value().TryMutualInformation(-1, 2).ok());
+  // Self-information requests.
+  EXPECT_FALSE(engine.value().TryLift(1, 1).ok());
+
+  // The legacy double API degrades to NaN, not an abort.
+  EXPECT_TRUE(std::isnan(
+      engine.value().ConjunctionCount(AttrSet::FromIndices({40}), 0)));
+
+  // Synopsis-level boundaries.
+  EXPECT_FALSE(synopsis.TryQuery(AttrSet::FromIndices({40})).ok());
+  EXPECT_FALSE(
+      PriViewSynopsis::TryFromViews(0, {MarginalTable(AttrSet::FromIndices({0}))},
+                                    options)
+          .ok());
+  EXPECT_FALSE(PriViewSynopsis::TryFromViews(2, {}, options).ok());
+  EXPECT_FALSE(
+      PriViewSynopsis::TryBuild(data, {}, options, &rng).ok());
+  EXPECT_FALSE(
+      PriViewSynopsis::TryBuild(data, {AttrSet::FromIndices({0})}, options,
+                                nullptr)
+          .ok());
+}
+
+}  // namespace
+}  // namespace priview

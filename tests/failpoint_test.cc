@@ -1,0 +1,133 @@
+#include "common/failpoint.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace priview {
+namespace {
+
+// Every test disarms on exit so suites can run in any order.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if !PRIVIEW_FAILPOINTS_ENABLED
+    GTEST_SKIP() << "failpoints compiled out (PRIVIEW_FAILPOINTS=OFF)";
+#endif
+  }
+  ~FailpointTest() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteNeverFires) {
+  EXPECT_FALSE(PRIVIEW_FAILPOINT("test/never-armed"));
+  EXPECT_FALSE(failpoint::IsArmed("test/never-armed"));
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryHit) {
+  ASSERT_TRUE(failpoint::Arm("test/fp", "always").ok());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(PRIVIEW_FAILPOINT("test/fp"));
+  EXPECT_EQ(failpoint::HitCount("test/fp"), 5u);
+}
+
+TEST_F(FailpointTest, OffCountsButNeverFires) {
+  ASSERT_TRUE(failpoint::Arm("test/fp", "off").ok());
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(PRIVIEW_FAILPOINT("test/fp"));
+  EXPECT_EQ(failpoint::HitCount("test/fp"), 3u);
+}
+
+TEST_F(FailpointTest, NthHitFiresExactlyOnce) {
+  ASSERT_TRUE(failpoint::Arm("test/fp", "hit=3").ok());
+  EXPECT_FALSE(PRIVIEW_FAILPOINT("test/fp"));
+  EXPECT_FALSE(PRIVIEW_FAILPOINT("test/fp"));
+  EXPECT_TRUE(PRIVIEW_FAILPOINT("test/fp"));
+  EXPECT_FALSE(PRIVIEW_FAILPOINT("test/fp"));
+}
+
+TEST_F(FailpointTest, FromHitFiresFromThereOn) {
+  ASSERT_TRUE(failpoint::Arm("test/fp", "from=2").ok());
+  EXPECT_FALSE(PRIVIEW_FAILPOINT("test/fp"));
+  EXPECT_TRUE(PRIVIEW_FAILPOINT("test/fp"));
+  EXPECT_TRUE(PRIVIEW_FAILPOINT("test/fp"));
+}
+
+TEST_F(FailpointTest, ProbabilisticIsSeededAndDeterministic) {
+  auto run = [](uint64_t seed) {
+    std::string spec = "p=0.5,seed=" + std::to_string(seed);
+    EXPECT_TRUE(failpoint::Arm("test/fp", spec).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(PRIVIEW_FAILPOINT("test/fp"));
+    return fired;
+  };
+  const std::vector<bool> a = run(7), b = run(7), c = run(8);
+  EXPECT_EQ(a, b);       // same seed, same pattern
+  EXPECT_NE(a, c);       // different seed, different pattern
+  int fired = 0;
+  for (bool f : a) fired += f;
+  EXPECT_GT(fired, 10);  // p=0.5 over 64 draws
+  EXPECT_LT(fired, 54);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroAndOneAreExact) {
+  ASSERT_TRUE(failpoint::Arm("test/fp", "p=0,seed=1").ok());
+  for (int i = 0; i < 16; ++i) EXPECT_FALSE(PRIVIEW_FAILPOINT("test/fp"));
+  ASSERT_TRUE(failpoint::Arm("test/fp", "p=1,seed=1").ok());
+  for (int i = 0; i < 16; ++i) EXPECT_TRUE(PRIVIEW_FAILPOINT("test/fp"));
+}
+
+TEST_F(FailpointTest, RearmingResetsHitCount) {
+  ASSERT_TRUE(failpoint::Arm("test/fp", "always").ok());
+  PRIVIEW_FAILPOINT("test/fp");
+  PRIVIEW_FAILPOINT("test/fp");
+  EXPECT_EQ(failpoint::HitCount("test/fp"), 2u);
+  ASSERT_TRUE(failpoint::Arm("test/fp", "hit=1").ok());
+  EXPECT_EQ(failpoint::HitCount("test/fp"), 0u);
+  EXPECT_TRUE(PRIVIEW_FAILPOINT("test/fp"));
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  EXPECT_FALSE(failpoint::Arm("test/fp", "sometimes").ok());
+  EXPECT_FALSE(failpoint::Arm("test/fp", "hit=0").ok());
+  EXPECT_FALSE(failpoint::Arm("test/fp", "hit=x").ok());
+  EXPECT_FALSE(failpoint::Arm("test/fp", "p=2").ok());
+  EXPECT_FALSE(failpoint::Arm("test/fp", "p=0.5,seed=frog").ok());
+  EXPECT_FALSE(failpoint::IsArmed("test/fp"));
+}
+
+TEST_F(FailpointTest, SpecStringArmsMultiplePoints) {
+  ASSERT_TRUE(
+      failpoint::ArmFromSpecString("test/a=always;test/b=hit=2;;").ok());
+  EXPECT_TRUE(failpoint::IsArmed("test/a"));
+  EXPECT_TRUE(failpoint::IsArmed("test/b"));
+  EXPECT_TRUE(PRIVIEW_FAILPOINT("test/a"));
+  EXPECT_FALSE(PRIVIEW_FAILPOINT("test/b"));
+  EXPECT_TRUE(PRIVIEW_FAILPOINT("test/b"));
+}
+
+TEST_F(FailpointTest, SpecStringRejectsMalformedEntry) {
+  EXPECT_FALSE(failpoint::ArmFromSpecString("=always").ok());
+  EXPECT_FALSE(failpoint::ArmFromSpecString("test/a").ok());
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  {
+    failpoint::ScopedFailpoint scoped("test/fp", "always");
+    ASSERT_TRUE(scoped.status().ok());
+    EXPECT_TRUE(PRIVIEW_FAILPOINT("test/fp"));
+  }
+  EXPECT_FALSE(failpoint::IsArmed("test/fp"));
+  EXPECT_FALSE(PRIVIEW_FAILPOINT("test/fp"));
+}
+
+TEST_F(FailpointTest, KnownFailpointsAreNonEmptyAndUnique) {
+  const auto& points = failpoint::KnownFailpoints();
+  EXPECT_GE(points.size(), 10u);
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      EXPECT_NE(points[i], points[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace priview

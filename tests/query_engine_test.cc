@@ -109,6 +109,76 @@ TEST_F(QueryEngineTest, MutualInformationDetectsCorrelation) {
   EXPECT_LT(engine.MutualInformation(0, 2), 0.01);  // independent
 }
 
+// Regression suite for the zero/near-zero-support and negative-cell edge
+// cases: noise can leave reconstructed cells slightly negative, and ratio
+// statistics must stay inside their ranges instead of exploding on them.
+class QueryEdgeCaseTest : public ::testing::Test {
+ protected:
+  // A synopsis whose single exact view carries hand-picked cells.
+  static PriViewSynopsis FromCells(std::vector<double> cells) {
+    MarginalTable view(AttrSet::FromIndices({0, 1}), std::move(cells));
+    PriViewOptions options;
+    options.add_noise = false;
+    return PriViewSynopsis::FromViews(2, {view}, options);
+  }
+};
+
+TEST_F(QueryEdgeCaseTest, NegativeCellsAreClampedBeforeDividing) {
+  // cell(a0=0,a1=0) is negative, as post-noise views can be. Without
+  // clamping, P(a1=1 | a0=0) = 20/15 > 1.
+  const PriViewSynopsis synopsis = FromCells({-5.0, 10.0, 20.0, 30.0});
+  const QueryEngine engine(&synopsis);
+  const double p = engine.ConditionalProbability(
+      1, AttrSet::FromIndices({0}), 0);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+  EXPECT_DOUBLE_EQ(p, 1.0);  // 20 / (0 + 20) after the clamp
+  const double lift = engine.Lift(0, 1);
+  EXPECT_TRUE(std::isfinite(lift));
+  EXPECT_GE(lift, 0.0);
+}
+
+TEST_F(QueryEdgeCaseTest, ConditionalOnNearZeroSupportIsHalf) {
+  // Attribute 0's "=1" cells hold only negative-noise dust: conditioning
+  // on it is conditioning on nothing, so the answer is the 0.5 prior.
+  const PriViewSynopsis synopsis =
+      FromCells({100.0, -1e-12, 50.0, 2e-13});
+  const QueryEngine engine(&synopsis);
+  EXPECT_DOUBLE_EQ(
+      engine.ConditionalProbability(1, AttrSet::FromIndices({0}), 1), 0.5);
+}
+
+TEST_F(QueryEdgeCaseTest, LiftWithZeroSupportAttributeIsZero) {
+  // Same dust scope: lift against an unsupported attribute is 0, not a
+  // division-by-near-zero blowup.
+  const PriViewSynopsis synopsis =
+      FromCells({100.0, -1e-12, 50.0, 2e-13});
+  const QueryEngine engine(&synopsis);
+  const double lift = engine.Lift(0, 1);
+  EXPECT_DOUBLE_EQ(lift, 0.0);
+}
+
+TEST_F(QueryEdgeCaseTest, LiftOfEmptySynopsisTotalIsZero) {
+  const PriViewSynopsis synopsis = FromCells({0.0, 0.0, 0.0, 0.0});
+  const QueryEngine engine(&synopsis);
+  EXPECT_DOUBLE_EQ(engine.Lift(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(
+      engine.ConditionalProbability(1, AttrSet::FromIndices({0}), 1), 0.5);
+  EXPECT_DOUBLE_EQ(engine.Probability(AttrSet::FromIndices({0}), 1), 0.0);
+  EXPECT_DOUBLE_EQ(engine.MutualInformation(0, 1), 0.0);
+}
+
+TEST_F(QueryEdgeCaseTest, TryVariantsAgreeWithLegacyOnValidInput) {
+  const PriViewSynopsis synopsis = FromCells({10.0, 20.0, 30.0, 40.0});
+  const QueryEngine engine(&synopsis);
+  const AttrSet scope = AttrSet::FromIndices({0, 1});
+  EXPECT_DOUBLE_EQ(engine.TryConjunctionCount(scope, 3).value(),
+                   engine.ConjunctionCount(scope, 3));
+  EXPECT_DOUBLE_EQ(engine.TryLift(0, 1).value(), engine.Lift(0, 1));
+  EXPECT_DOUBLE_EQ(engine.TryMutualInformation(0, 1).value(),
+                   engine.MutualInformation(0, 1));
+}
+
 TEST(CubeAlgebraTest, RollUpEqualsProjection) {
   MarginalTable cube(AttrSet::FromIndices({1, 3, 5}),
                      std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8});

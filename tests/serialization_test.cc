@@ -1,5 +1,6 @@
 #include "core/serialization.h"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -113,6 +114,119 @@ TEST(SerializationTest, MissingFileIsIOError) {
   const auto result = LoadSynopsis(::testing::TempDir() + "/nope.pv");
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(SerializationTest, WritesV2WithChecksums) {
+  const PriViewSynopsis original = MakeTestSynopsis();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSynopsis(original, &stream).ok());
+  const std::string bytes = stream.str();
+  EXPECT_EQ(bytes.rfind("priview-synopsis v2\n", 0), 0u);
+  // One vsum per view plus the trailing filesum.
+  size_t vsums = 0;
+  for (size_t at = bytes.find("\nvsum "); at != std::string::npos;
+       at = bytes.find("\nvsum ", at + 1)) {
+    ++vsums;
+  }
+  EXPECT_EQ(vsums, original.views().size());
+  EXPECT_NE(bytes.find("\nfilesum "), std::string::npos);
+}
+
+TEST(SerializationTest, CleanLoadReportsFullyIntact) {
+  const PriViewSynopsis original = MakeTestSynopsis();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSynopsis(original, &stream).ok());
+  LoadReport report;
+  ASSERT_TRUE(ReadSynopsis(&stream, ReadOptions{}, &report).ok());
+  EXPECT_EQ(report.format_version, 2);
+  EXPECT_FALSE(report.legacy_format);
+  EXPECT_TRUE(report.file_checksum_ok);
+  EXPECT_EQ(report.views_loaded, report.views_declared);
+  EXPECT_TRUE(report.fully_intact()) << report.ToString();
+}
+
+TEST(SerializationTest, LegacyV1FileLoadsWithVersionGatedWarning) {
+  // A checksum-free v1 file (the pre-checksum format) must still load;
+  // the LoadReport flags that its integrity could not be verified.
+  std::stringstream stream(
+      "priview-synopsis v1\nd 4\nepsilon 0.5\nviews 2\n"
+      "view 0 1\n0x1p+3 0x1p+2 0x1p+1 0x1p+0\n"
+      "view 2 3\n0x1p+2 0x1p+2 0x1p+2 0x1p+1\n");
+  LoadReport report;
+  StatusOr<PriViewSynopsis> loaded =
+      ReadSynopsis(&stream, ReadOptions{}, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(report.format_version, 1);
+  EXPECT_TRUE(report.legacy_format);
+  EXPECT_FALSE(report.fully_intact());
+  ASSERT_EQ(report.warnings.size(), 1u);
+  EXPECT_NE(report.warnings[0].find("legacy"), std::string::npos);
+  EXPECT_EQ(loaded.value().d(), 4);
+  EXPECT_EQ(loaded.value().views().size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.value().views()[0].At(0), 8.0);
+  EXPECT_DOUBLE_EQ(loaded.value().options().epsilon, 0.5);
+}
+
+TEST(SerializationTest, ChecksumMismatchIsDataLossStrict) {
+  const PriViewSynopsis original = MakeTestSynopsis();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSynopsis(original, &stream).ok());
+  std::string bytes = stream.str();
+  // Corrupt one cell byte inside the first view's cells line.
+  const size_t cells_pos = bytes.find('\n', bytes.find("\nview ") + 1) + 1;
+  ASSERT_LT(cells_pos, bytes.size());
+  bytes[cells_pos] ^= 0x01;
+  std::stringstream corrupted(bytes);
+  StatusOr<PriViewSynopsis> loaded = ReadSynopsis(&corrupted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializationTest, RecoveryDropsDamagedViewAndServesTheRest) {
+  const PriViewSynopsis original = MakeTestSynopsis();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSynopsis(original, &stream).ok());
+  std::string bytes = stream.str();
+  const size_t cells_pos = bytes.find('\n', bytes.find("\nview ") + 1) + 1;
+  bytes[cells_pos] ^= 0x01;
+  std::stringstream corrupted(bytes);
+  ReadOptions options;
+  options.recover = true;
+  LoadReport report;
+  StatusOr<PriViewSynopsis> loaded =
+      ReadSynopsis(&corrupted, options, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().views().size(), original.views().size() - 1);
+  EXPECT_EQ(report.views_loaded, report.views_declared - 1);
+  EXPECT_EQ(report.dropped.size(), 1u);
+  EXPECT_FALSE(report.fully_intact());
+  // The degraded synopsis still answers queries.
+  const MarginalTable answer =
+      loaded.value().Query(AttrSet::FromIndices({0, 3}));
+  for (size_t i = 0; i < answer.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(answer.At(i)));
+  }
+}
+
+TEST(SerializationTest, RecoveryStillFailsWhenNothingSurvives) {
+  std::stringstream stream(
+      "priview-synopsis v2\nd 4\nepsilon 1\nviews 1\n"
+      "view 0 1\n0x0p+0 0x0p+0 0x0p+0 0x0p+0\n"
+      "vsum 0000000000000000\n"  // wrong digest
+      "filesum 0000000000000000\n");
+  ReadOptions options;
+  options.recover = true;
+  LoadReport report;
+  StatusOr<PriViewSynopsis> loaded = ReadSynopsis(&stream, options, &report);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializationTest, RecoveryIsOffByDefault) {
+  // Strict is the default so a corrupted artifact cannot be consumed
+  // silently: recovery must be an explicit opt-in.
+  const ReadOptions defaults;
+  EXPECT_FALSE(defaults.recover);
 }
 
 }  // namespace
