@@ -1,0 +1,222 @@
+// Parallel-execution benchmark: quantifies the three wins of the parallel
+// layer and writes them to a JSON perf record (BENCH_perf.json).
+//
+//   1. Fused multi-view counting — one cache-blocked pass over the records
+//      for all w views vs the legacy per-view scans, serial and threaded.
+//   2. Threaded synopsis publication (P in the paper's §4.6 table) at 1
+//      and 8 threads — bit-identical outputs by the determinism contract.
+//   3. The read-side marginal cache — cold vs cached Q6 latency and the
+//      hit rate over a repeating analyst workload, plus AnswerBatch.
+//
+// Speedups on a multi-core host come from the thread pool; on a 1-core
+// host only the fused-kernel win (an algorithmic one) shows, which is why
+// the record includes hardware_threads.
+//
+// Usage: bench_parallel [--quick] [--out=PATH.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/query_engine.h"
+#include "core/synopsis.h"
+#include "data/synthetic.h"
+#include "design/covering_design.h"
+#include "metrics/metrics.h"
+
+using namespace priview;
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return MillisSince(start);
+}
+
+volatile double g_sink = 0.0;
+
+void Consume(const std::vector<MarginalTable>& tables) {
+  double s = 0.0;
+  for (const MarginalTable& t : tables) s += t.cells().empty() ? 0.0 : t.cells()[0];
+  g_sink = s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    // Ignore unknown flags so run_benches.sh can pass figure knobs through.
+  }
+
+  // AOL-like d=45 with a C3(8, w) design — the paper's heaviest timing
+  // setting; --quick shrinks N for CI-speed smoke runs.
+  const size_t n = quick ? 50000 : 647377;
+  Rng data_rng(862);
+  const Dataset data = MakeAolLike(&data_rng, n);
+  Rng design_rng(900 + 45 + 3);
+  const CoveringDesign design = MakeCoveringDesign(data.d(), 8, 3, &design_rng);
+  const std::vector<AttrSet>& views = design.blocks;
+  std::printf("dataset: aol-like d=%d N=%zu, design %s (w=%d)\n", data.d(), n,
+              design.Name().c_str(), design.w());
+
+  // --- 1. Counting kernels -------------------------------------------------
+  const double legacy_ms = TimeMs([&] {
+    std::vector<MarginalTable> tables;
+    tables.reserve(views.size());
+    for (const AttrSet& view : views) tables.push_back(data.CountMarginal(view));
+    Consume(tables);
+  });
+  parallel::SetThreadCount(1);
+  const double fused_serial_ms =
+      TimeMs([&] { Consume(data.CountMarginals(views)); });
+  std::printf("count: legacy per-view %.1f ms, fused serial %.1f ms (%.2fx)\n",
+              legacy_ms, fused_serial_ms, legacy_ms / fused_serial_ms);
+  std::vector<std::pair<int, double>> fused_threaded;
+  for (int threads : {2, 4, 8}) {
+    parallel::SetThreadCount(threads);
+    fused_threaded.emplace_back(
+        threads, TimeMs([&] { Consume(data.CountMarginals(views)); }));
+    std::printf("count: fused %d threads %.1f ms (%.2fx vs serial)\n", threads,
+                fused_threaded.back().second,
+                fused_serial_ms / fused_threaded.back().second);
+  }
+
+  // --- 2. Publication (P) --------------------------------------------------
+  PriViewOptions options;
+  options.epsilon = 1.0;
+  parallel::SetThreadCount(1);
+  double publish_serial_ms;
+  {
+    Rng rng(1);
+    publish_serial_ms = TimeMs(
+        [&] { PriViewSynopsis::Build(data, views, options, &rng); });
+  }
+  parallel::SetThreadCount(8);
+  double publish_8t_ms;
+  {
+    Rng rng(1);
+    publish_8t_ms = TimeMs(
+        [&] { PriViewSynopsis::Build(data, views, options, &rng); });
+  }
+  std::printf("publish: serial %.1f ms, 8 threads %.1f ms (%.2fx)\n",
+              publish_serial_ms, publish_8t_ms,
+              publish_serial_ms / publish_8t_ms);
+
+  // --- 3. Query serving ----------------------------------------------------
+  parallel::SetThreadCount(0);
+  Rng build_rng(7);
+  const PriViewSynopsis synopsis =
+      PriViewSynopsis::Build(data, views, options, &build_rng);
+  const QueryEngine engine(&synopsis);
+  Rng qrng(8);
+  const std::vector<AttrSet> q6 = SampleQuerySets(data.d(), 6, 8, &qrng);
+  const std::vector<AttrSet> q8 = SampleQuerySets(data.d(), 8, 8, &qrng);
+
+  double q6_cold_ms = 0.0, q8_cold_ms = 0.0;
+  for (const AttrSet& q : q6) {
+    q6_cold_ms += TimeMs([&] { (void)engine.TryQueryWithDiagnostics(q); });
+  }
+  q6_cold_ms /= static_cast<double>(q6.size());
+  for (const AttrSet& q : q8) {
+    q8_cold_ms += TimeMs([&] { (void)engine.TryQueryWithDiagnostics(q); });
+  }
+  q8_cold_ms /= static_cast<double>(q8.size());
+
+  // Warm the cache, then measure the cached path on the same queries.
+  for (const AttrSet& q : q6) (void)engine.TryMarginal(q);
+  double q6_cached_ms = 0.0;
+  const int kCachedReps = 50;
+  for (int rep = 0; rep < kCachedReps; ++rep) {
+    for (const AttrSet& q : q6) {
+      q6_cached_ms += TimeMs([&] { (void)engine.TryMarginal(q); });
+    }
+  }
+  q6_cached_ms /= static_cast<double>(q6.size() * kCachedReps);
+  std::printf("query: Q6 cold %.3f ms, Q8 cold %.3f ms, Q6 cached %.4f ms "
+              "(%.0fx faster than cold)\n",
+              q6_cold_ms, q8_cold_ms, q6_cached_ms, q6_cold_ms / q6_cached_ms);
+
+  // Analyst workload with repetition: every query asked 4 times, plus
+  // sub-marginals of cached answers — the hit rate the cache earns.
+  const QueryEngine workload_engine(&synopsis);
+  std::vector<AttrSet> workload;
+  for (int round = 0; round < 4; ++round) {
+    for (const AttrSet& q : q6) workload.push_back(q);
+  }
+  for (const AttrSet& q : q6) {
+    const std::vector<int> attrs = q.ToIndices();
+    workload.push_back(AttrSet::FromIndices({attrs[0], attrs[1], attrs[2]}));
+  }
+  const double workload_ms = TimeMs([&] {
+    for (const AttrSet& q : workload) (void)workload_engine.TryMarginal(q);
+  });
+  const MarginalCache::Stats stats = workload_engine.cache_stats();
+  std::printf("workload: %zu queries in %.1f ms, hit rate %.3f "
+              "(%llu exact, %llu rollup, %llu miss)\n",
+              workload.size(), workload_ms, stats.HitRate(),
+              static_cast<unsigned long long>(stats.exact_hits),
+              static_cast<unsigned long long>(stats.rollup_hits),
+              static_cast<unsigned long long>(stats.misses));
+
+  // Batch answering of the distinct Q6 targets on a cold engine.
+  const QueryEngine batch_engine(&synopsis);
+  const double batch_ms =
+      TimeMs([&] { (void)batch_engine.AnswerBatch(q6); });
+  std::printf("batch: %zu distinct Q6 in %.1f ms\n", q6.size(), batch_ms);
+
+  if (!out_path.empty()) {
+    FILE* f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"bench_parallel\",\n");
+    std::fprintf(f, "  \"dataset\": \"aol-like\",\n");
+    std::fprintf(f, "  \"d\": %d,\n  \"n\": %zu,\n", data.d(), n);
+    std::fprintf(f, "  \"design\": \"%s\",\n  \"w\": %d,\n",
+                 design.Name().c_str(), design.w());
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"hardware_threads\": %d,\n",
+                 parallel::ThreadCount());
+    std::fprintf(f, "  \"count_legacy_per_view_ms\": %.3f,\n", legacy_ms);
+    std::fprintf(f, "  \"count_fused_serial_ms\": %.3f,\n", fused_serial_ms);
+    std::fprintf(f, "  \"count_fused_vs_legacy_speedup\": %.3f,\n",
+                 legacy_ms / fused_serial_ms);
+    for (const auto& [threads, ms] : fused_threaded) {
+      std::fprintf(f, "  \"count_fused_%dt_ms\": %.3f,\n", threads, ms);
+    }
+    std::fprintf(f, "  \"publish_serial_ms\": %.3f,\n", publish_serial_ms);
+    std::fprintf(f, "  \"publish_8t_ms\": %.3f,\n", publish_8t_ms);
+    std::fprintf(f, "  \"publish_speedup_8t\": %.3f,\n",
+                 publish_serial_ms / publish_8t_ms);
+    std::fprintf(f, "  \"q6_cold_ms\": %.4f,\n", q6_cold_ms);
+    std::fprintf(f, "  \"q8_cold_ms\": %.4f,\n", q8_cold_ms);
+    std::fprintf(f, "  \"q6_cached_ms\": %.5f,\n", q6_cached_ms);
+    std::fprintf(f, "  \"cached_vs_cold_speedup\": %.1f,\n",
+                 q6_cold_ms / q6_cached_ms);
+    std::fprintf(f, "  \"workload_queries\": %zu,\n", workload.size());
+    std::fprintf(f, "  \"workload_ms\": %.3f,\n", workload_ms);
+    std::fprintf(f, "  \"cache_hit_rate\": %.4f,\n", stats.HitRate());
+    std::fprintf(f, "  \"batch_q6_ms\": %.3f\n", batch_ms);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -173,6 +173,7 @@ const std::vector<std::string>& KnownFailpoints() {
           "leastnorm/stall",
           "reconstruct/primary-junk",
           "pipeline/budget-exhausted",
+          "parallel/task-throw",
       };
   return *points;
 }

@@ -59,6 +59,8 @@ namespace priview::failpoint {
 ///   leastnorm/stall            least-norm solver reports non-convergence
 ///   reconstruct/primary-junk   primary solver output treated as junk
 ///   pipeline/budget-exhausted  pipeline budget spend fails
+///   parallel/task-throw        a thread-pool task throws before running;
+///                              the pool recovers it by inline retry
 const std::vector<std::string>& KnownFailpoints();
 
 /// Arms `name` with a trigger spec (grammar above). Returns

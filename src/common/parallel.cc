@@ -1,0 +1,261 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "common/failpoint.h"
+
+namespace priview::parallel {
+namespace {
+
+// Thrown (and caught internally) when the "parallel/task-throw" failpoint
+// fires; distinguishes an injected fault, which is safe to retry inline,
+// from a genuine exception out of a chunk body, which is not.
+struct InjectedTaskFault {};
+
+// True on pool worker threads; a parallel region entered from a worker
+// (nesting) runs inline instead of re-entering the pool.
+thread_local bool t_in_pool_worker = false;
+
+std::atomic<uint64_t> g_inline_retries{0};
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("PRIVIEW_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// One shared pool. Workers are spawned lazily on the first multi-chunk
+// region and live for the rest of the process (the pool itself is
+// intentionally leaked; workers park between jobs). A single dispatch runs
+// at a time (job_mu_); a second thread hitting a parallel region while the
+// pool is busy falls back to inline execution, so concurrent callers (e.g.
+// two analyst threads issuing AnswerBatch at once) can never deadlock.
+class Pool {
+ public:
+  static Pool& Get() {
+    static Pool* pool = new Pool();
+    return *pool;
+  }
+
+  int threads() {
+    std::lock_guard<std::mutex> lock(config_mu_);
+    return override_ > 0 ? override_ : DefaultThreadCount();
+  }
+
+  void SetOverride(int n) {
+    PRIVIEW_CHECK(n >= 0);
+    // Taking job_mu_ waits out any in-flight dispatch, so the count never
+    // changes under a running region. The pool only ever grows; workers
+    // beyond the current count sit jobs out.
+    std::lock_guard<std::mutex> dispatch(job_mu_);
+    std::lock_guard<std::mutex> lock(config_mu_);
+    override_ = n;
+  }
+
+  void Run(size_t chunks, const std::function<void(int, size_t)>& chunk_body) {
+    if (chunks == 0) return;
+    const int want = threads();
+    std::unique_lock<std::mutex> dispatch(job_mu_, std::try_to_lock);
+    if (want <= 1 || chunks == 1 || t_in_pool_worker ||
+        !dispatch.owns_lock()) {
+      RunInline(chunks, chunk_body);
+      return;
+    }
+    EnsureWorkers(want - 1);
+
+    JobState job;
+    job.body = &chunk_body;
+    job.chunk_count = chunks;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &job;
+      active_worker_limit_ = want - 1;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+
+    // The caller is worker slot 0.
+    WorkChunks(&job, /*slot=*/0);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Wait until every chunk completed AND every joined worker has left
+      // the (stack-allocated) job before tearing it down.
+      done_cv_.wait(lock, [&] {
+        return job.done_count == job.chunk_count && job.workers_inside == 0;
+      });
+      job_ = nullptr;
+    }
+    FinishJob(&job);
+  }
+
+ private:
+  struct JobState {
+    const std::function<void(int, size_t)>* body = nullptr;
+    size_t chunk_count = 0;
+    std::atomic<size_t> next_chunk{0};
+    size_t done_count = 0;     // guarded by Pool::mu_
+    int workers_inside = 0;    // guarded by Pool::mu_
+    // Failure bookkeeping (guarded by fail_mu).
+    std::mutex fail_mu;
+    std::vector<size_t> injected_chunks;
+    std::exception_ptr first_error;
+  };
+
+  // One chunk attempt: evaluates the task-throw failpoint, shields the
+  // pool from exceptions. Returns normally in every case.
+  static void AttemptChunk(JobState* job, int slot, size_t chunk) {
+    try {
+      if (PRIVIEW_FAILPOINT("parallel/task-throw")) throw InjectedTaskFault{};
+      (*job->body)(slot, chunk);
+    } catch (const InjectedTaskFault&) {
+      std::lock_guard<std::mutex> lock(job->fail_mu);
+      job->injected_chunks.push_back(chunk);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job->fail_mu);
+      if (!job->first_error) job->first_error = std::current_exception();
+    }
+  }
+
+  // Replays injected-fault chunks inline (ascending order, slot 0) and
+  // rethrows the first genuine error. Runs on the calling thread after the
+  // barrier, so slot 0 is exclusively ours again; the injected failpoint
+  // fires before the chunk body, so a retried chunk has no partial effects
+  // to undo and the recovered result is bit-identical to an unfaulted run.
+  static void FinishJob(JobState* job) {
+    if (job->first_error) std::rethrow_exception(job->first_error);
+    if (job->injected_chunks.empty()) return;
+    std::sort(job->injected_chunks.begin(), job->injected_chunks.end());
+    for (size_t chunk : job->injected_chunks) {
+      g_inline_retries.fetch_add(1, std::memory_order_relaxed);
+      (*job->body)(/*slot=*/0, chunk);
+    }
+  }
+
+  static void RunInline(size_t chunks,
+                        const std::function<void(int, size_t)>& chunk_body) {
+    JobState job;
+    job.body = &chunk_body;
+    job.chunk_count = chunks;
+    for (size_t c = 0; c < chunks; ++c) AttemptChunk(&job, /*slot=*/0, c);
+    FinishJob(&job);
+  }
+
+  void WorkChunks(JobState* job, int slot) {
+    for (;;) {
+      const size_t chunk = job->next_chunk.fetch_add(1);
+      if (chunk >= job->chunk_count) break;
+      AttemptChunk(job, slot, chunk);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++job->done_count == job->chunk_count) done_cv_.notify_all();
+    }
+  }
+
+  void EnsureWorkers(int count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (static_cast<int>(workers_.size()) < count) {
+      const int slot = static_cast<int>(workers_.size()) + 1;
+      workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+    }
+  }
+
+  void WorkerLoop(int slot) {
+    t_in_pool_worker = true;
+    uint64_t seen = 0;
+    for (;;) {
+      JobState* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        // Workers parked beyond the current thread count sit this job out;
+        // a worker waking after the job already finished sees nullptr.
+        if (job_ == nullptr || slot > active_worker_limit_) continue;
+        job = job_;
+        ++job->workers_inside;
+      }
+      WorkChunks(job, slot);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--job->workers_inside == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex config_mu_;
+  int override_ = 0;
+
+  std::mutex job_mu_;  // serializes dispatches
+
+  std::mutex mu_;  // guards everything below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  uint64_t generation_ = 0;
+  JobState* job_ = nullptr;
+  int active_worker_limit_ = 0;
+};
+
+// Chunk partition shared by every entry point: depends only on (n, grain).
+struct Partition {
+  size_t grain;
+  size_t chunks;
+};
+
+Partition MakePartition(size_t begin, size_t end, size_t grain) {
+  const size_t n = begin < end ? end - begin : 0;
+  const size_t g = grain == 0 ? 1 : grain;
+  return {g, n == 0 ? 0 : (n + g - 1) / g};
+}
+
+}  // namespace
+
+int ThreadCount() { return Pool::Get().threads(); }
+
+int MaxWorkerSlots() { return Pool::Get().threads(); }
+
+void SetThreadCount(int n) { Pool::Get().SetOverride(n); }
+
+uint64_t InlineRetryCount() {
+  return g_inline_retries.load(std::memory_order_relaxed);
+}
+
+void ParallelForChunks(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  const Partition part = MakePartition(begin, end, grain);
+  if (part.chunks == 0) return;
+  Pool::Get().Run(part.chunks, [&](int /*slot*/, size_t chunk) {
+    const size_t b = begin + chunk * part.grain;
+    const size_t e = std::min(end, b + part.grain);
+    body(chunk, b, e);
+  });
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  ParallelForChunks(begin, end, grain,
+                    [&](size_t /*chunk*/, size_t b, size_t e) { body(b, e); });
+}
+
+void ParallelForWorkers(size_t begin, size_t end, size_t grain,
+                        const std::function<void(int, size_t, size_t)>& body) {
+  const Partition part = MakePartition(begin, end, grain);
+  if (part.chunks == 0) return;
+  Pool::Get().Run(part.chunks, [&](int slot, size_t chunk) {
+    const size_t b = begin + chunk * part.grain;
+    const size_t e = std::min(end, b + part.grain);
+    body(slot, b, e);
+  });
+}
+
+}  // namespace priview::parallel

@@ -1,0 +1,96 @@
+// Parallel execution substrate: a lazily-initialized process-wide thread
+// pool with blocked-range ParallelFor and a deterministic reduction helper.
+//
+// Determinism contract (relied on by the synopsis pipeline and its tests):
+// the partition of [begin, end) into chunks depends only on the range and
+// the grain — never on the thread count — and ParallelReduce folds the
+// per-chunk partials in ascending chunk order on the calling thread. Any
+// computation whose chunks write disjoint state (or accumulate
+// exactly-representable integers, where addition is associative) therefore
+// produces bit-identical results at 1, 2 or 8 threads.
+//
+// Thread-count resolution, in priority order:
+//   1. SetThreadCount(n) with n >= 1 (tests and benches),
+//   2. the PRIVIEW_THREADS environment variable,
+//   3. std::thread::hardware_concurrency().
+// A count of 1 (or a single-chunk range, or a call made from inside a pool
+// worker) runs the chunks inline on the caller — the pool is never entered,
+// so serial behavior is exactly the pre-parallel code path.
+//
+// Fault injection: each chunk's first attempt evaluates the
+// "parallel/task-throw" failpoint; an injected fault marks the chunk failed
+// and the caller re-runs every failed chunk inline (in ascending chunk
+// order) after the barrier. Injection happens before the chunk body runs,
+// so the retry cannot double-apply side effects and the recovered result is
+// bit-identical to an unfaulted run. A genuine exception escaping a chunk
+// body is not retried (the body may have partially executed); it is
+// captured and rethrown on the calling thread.
+#ifndef PRIVIEW_COMMON_PARALLEL_H_
+#define PRIVIEW_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace priview::parallel {
+
+/// Effective thread count the next parallel region will use (>= 1).
+int ThreadCount();
+
+/// Overrides the thread count; n == 0 restores the default resolution
+/// (PRIVIEW_THREADS, then hardware concurrency). Takes effect on the next
+/// parallel region; must not be called from inside one.
+void SetThreadCount(int n);
+
+/// Upper bound on the worker-slot index ParallelForWorkers can pass —
+/// equal to the current thread count. Slot 0 is the calling thread.
+int MaxWorkerSlots();
+
+/// Total chunks recovered via the inline-retry path since process start
+/// (diagnostics; exercised by the chaos suite).
+uint64_t InlineRetryCount();
+
+/// Runs body(chunk_begin, chunk_end) over a blocked partition of
+/// [begin, end) with ~grain items per chunk. Blocks until every chunk has
+/// completed. `grain` must be >= 1; a range of fewer than 2 chunks runs
+/// inline on the caller.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// As ParallelFor, also passing the chunk's index (0-based, stable across
+/// thread counts) — the hook deterministic reductions key partials on.
+void ParallelForChunks(size_t begin, size_t end, size_t grain,
+                       const std::function<void(size_t, size_t, size_t)>& body);
+
+/// As ParallelFor, also passing a worker slot in [0, MaxWorkerSlots())
+/// that is unique among concurrently running chunks — for per-thread
+/// accumulator tables. Slot contents must be merge-order-independent
+/// (e.g. exact integer counts) for the determinism contract to hold.
+void ParallelForWorkers(size_t begin, size_t end, size_t grain,
+                        const std::function<void(int, size_t, size_t)>& body);
+
+/// Deterministic map-reduce: map(chunk_begin, chunk_end) -> T runs on the
+/// pool, then the partials are folded left-to-right in chunk order on the
+/// calling thread: acc = combine(acc, partial). Bit-identical results for
+/// any thread count, including non-associative (floating-point) combines.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(size_t begin, size_t end, size_t grain, T init, MapFn map,
+                 CombineFn combine) {
+  if (begin >= end) return init;
+  const size_t n = end - begin;
+  const size_t g = grain == 0 ? 1 : grain;
+  const size_t chunks = (n + g - 1) / g;
+  std::vector<T> partials(chunks, init);
+  ParallelForChunks(begin, end, g,
+                    [&](size_t chunk, size_t chunk_begin, size_t chunk_end) {
+                      partials[chunk] = map(chunk_begin, chunk_end);
+                    });
+  T acc = init;
+  for (const T& partial : partials) acc = combine(acc, partial);
+  return acc;
+}
+
+}  // namespace priview::parallel
+
+#endif  // PRIVIEW_COMMON_PARALLEL_H_

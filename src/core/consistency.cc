@@ -5,9 +5,14 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace priview {
 namespace {
+
+// Per-view work inside a mutual-consistency step is tiny (2^ell cells), so
+// chunks batch several views to keep pool dispatch overhead below the work.
+constexpr size_t kViewGrain = 8;
 
 // Worklist fixpoint of pairwise intersection: every new set is intersected
 // against everything discovered so far, so each pair of closure members is
@@ -58,35 +63,44 @@ void MutualConsistencyStep(std::vector<MarginalTable>* views, AttrSet common,
   PRIVIEW_CHECK(view_indices.size() >= 2);
   const size_t common_cells = size_t{1} << common.size();
 
-  // Best estimate: arithmetic mean of the participating projections.
+  // Best estimate: arithmetic mean of the participating projections. The
+  // projections are independent reads, so they run across the pool; the
+  // mean is folded sequentially in view order so the floating-point sum is
+  // identical at any thread count.
+  std::vector<MarginalTable> projections(view_indices.size());
+  parallel::ParallelFor(
+      0, view_indices.size(), kViewGrain, [&](size_t begin, size_t end) {
+        for (size_t vi = begin; vi < end; ++vi) {
+          const MarginalTable& view = (*views)[view_indices[vi]];
+          PRIVIEW_CHECK(common.IsSubsetOf(view.attrs()));
+          projections[vi] = view.Project(common);
+        }
+      });
   std::vector<double> mean(common_cells, 0.0);
-  std::vector<MarginalTable> projections;
-  projections.reserve(view_indices.size());
-  for (int idx : view_indices) {
-    const MarginalTable& view = (*views)[idx];
-    PRIVIEW_CHECK(common.IsSubsetOf(view.attrs()));
-    projections.push_back(view.Project(common));
-    for (size_t a = 0; a < common_cells; ++a) {
-      mean[a] += projections.back().At(a);
-    }
+  for (const MarginalTable& projection : projections) {
+    for (size_t a = 0; a < common_cells; ++a) mean[a] += projection.At(a);
   }
   for (double& v : mean) v /= static_cast<double>(view_indices.size());
 
   // Push each view toward the mean: the correction for a constraint cell is
   // spread uniformly over the 2^{|V|-|common|} view cells projecting to it.
-  for (size_t vi = 0; vi < view_indices.size(); ++vi) {
-    MarginalTable& view = (*views)[view_indices[vi]];
-    const uint64_t within = view.CellIndexMaskFor(common);
-    const double slice =
-        static_cast<double>(size_t{1} << (view.arity() - common.size()));
-    std::vector<double> delta(common_cells);
-    for (size_t a = 0; a < common_cells; ++a) {
-      delta[a] = (mean[a] - projections[vi].At(a)) / slice;
-    }
-    for (uint64_t cell = 0; cell < view.size(); ++cell) {
-      view.At(cell) += delta[ExtractBits(cell, within)];
-    }
-  }
+  // Each view's update touches only that view's table — disjoint writes.
+  parallel::ParallelFor(
+      0, view_indices.size(), kViewGrain, [&](size_t begin, size_t end) {
+        for (size_t vi = begin; vi < end; ++vi) {
+          MarginalTable& view = (*views)[view_indices[vi]];
+          const uint64_t within = view.CellIndexMaskFor(common);
+          const double slice =
+              static_cast<double>(size_t{1} << (view.arity() - common.size()));
+          std::vector<double> delta(common_cells);
+          for (size_t a = 0; a < common_cells; ++a) {
+            delta[a] = (mean[a] - projections[vi].At(a)) / slice;
+          }
+          for (uint64_t cell = 0; cell < view.size(); ++cell) {
+            view.At(cell) += delta[ExtractBits(cell, within)];
+          }
+        }
+      });
 }
 
 ConsistencyPlan::ConsistencyPlan(const std::vector<AttrSet>& scopes)

@@ -1,0 +1,74 @@
+#include "core/marginal_cache.h"
+
+#include <utility>
+
+#include "core/query_engine.h"
+
+namespace priview {
+
+MarginalCache::MarginalCache(size_t capacity) : capacity_(capacity) {}
+
+std::optional<MarginalTable> MarginalCache::Lookup(AttrSet target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_scope_.find(target.mask());
+  if (it != by_scope_.end()) {
+    ++stats_.exact_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->table;
+  }
+  // No exact entry: the smallest cached superset answers by roll-up
+  // (smallest so the projection sums the fewest cells). Scans the whole
+  // cache, which is fine at serving-cache capacities (tens of entries).
+  auto best = lru_.end();
+  for (auto entry = lru_.begin(); entry != lru_.end(); ++entry) {
+    if (!target.IsSubsetOf(entry->scope)) continue;
+    if (best == lru_.end() || entry->scope.size() < best->scope.size()) {
+      best = entry;
+    }
+  }
+  if (best == lru_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.rollup_hits;
+  MarginalTable answer = cube::RollUp(best->table, target);
+  lru_.splice(lru_.begin(), lru_, best);
+  return answer;
+}
+
+void MarginalCache::Insert(AttrSet scope, MarginalTable table) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_scope_.find(scope.mask());
+  if (it != by_scope_.end()) {
+    it->second->table = std::move(table);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{scope, std::move(table)});
+  by_scope_[scope.mask()] = lru_.begin();
+  ++stats_.insertions;
+  while (lru_.size() > capacity_) {
+    by_scope_.erase(lru_.back().scope.mask());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void MarginalCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  by_scope_.clear();
+}
+
+size_t MarginalCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+MarginalCache::Stats MarginalCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace priview

@@ -1,0 +1,80 @@
+// Read-side LRU cache of reconstructed marginal tables, keyed by scope
+// (AttrSet). Reconstruction (max-entropy IPF over the view constraints) is
+// the query-latency bottleneck; a cache hit is a table copy. Beyond exact
+// hits, a lookup for a scope CONTAINED in a cached scope is answered by
+// rolling the cached table up (cube::RollUp) — a cached 8-way marginal
+// answers every contained k-way for free. Note the semantics: a rolled-up
+// answer is the projection of the cached reconstruction, which for
+// consistent views matches what the paper's max-entropy reconstruction
+// guarantees on shared sub-marginals up to solver tolerance, not bit-for-
+// bit; callers who need the direct solve (e.g. diagnostics) bypass the
+// cache.
+//
+// Thread safety: all methods are safe to call concurrently (one internal
+// mutex); tables are returned by value.
+#ifndef PRIVIEW_CORE_MARGINAL_CACHE_H_
+#define PRIVIEW_CORE_MARGINAL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "table/attr_set.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+
+class MarginalCache {
+ public:
+  struct Stats {
+    uint64_t exact_hits = 0;
+    uint64_t rollup_hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+
+    uint64_t lookups() const { return exact_hits + rollup_hits + misses; }
+    /// Fraction of lookups served from the cache (exact or rolled up).
+    double HitRate() const {
+      const uint64_t n = lookups();
+      return n == 0 ? 0.0
+                    : static_cast<double>(exact_hits + rollup_hits) /
+                          static_cast<double>(n);
+    }
+  };
+
+  /// Cache holding at most `capacity` tables; 0 disables caching (every
+  /// Lookup misses, Insert is a no-op).
+  explicit MarginalCache(size_t capacity);
+
+  /// Exact hit, or roll-up from the smallest cached superset scope, or
+  /// nullopt (a miss). Hits refresh LRU recency of the serving entry.
+  std::optional<MarginalTable> Lookup(AttrSet target);
+
+  /// Inserts (or replaces) the table for `scope`, evicting the least
+  /// recently used entries over capacity.
+  void Insert(AttrSet scope, MarginalTable table);
+
+  void Clear();
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    AttrSet scope;
+    MarginalTable table;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> by_scope_;
+  Stats stats_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_CORE_MARGINAL_CACHE_H_

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <unordered_map>
+#include <utility>
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace priview {
 namespace cube {
@@ -55,19 +59,115 @@ double OrNaN(const StatusOr<double>& v) { return v.ok() ? v.value() : kNaN; }
 
 StatusOr<QueryEngine> QueryEngine::Create(const PriViewSynopsis* synopsis,
                                           ReconstructionMethod method) {
+  QueryEngineOptions options;
+  options.method = method;
+  return Create(synopsis, options);
+}
+
+StatusOr<QueryEngine> QueryEngine::Create(const PriViewSynopsis* synopsis,
+                                          const QueryEngineOptions& options) {
   if (synopsis == nullptr) {
     return Status::InvalidArgument("null synopsis");
   }
   if (synopsis->views().empty() || synopsis->d() < 1) {
     return Status::FailedPrecondition("synopsis has no views to serve from");
   }
-  return QueryEngine(synopsis, method);
+  return QueryEngine(synopsis, options);
 }
 
 QueryEngine::QueryEngine(const PriViewSynopsis* synopsis,
                          ReconstructionMethod method)
-    : synopsis_(synopsis), method_(method) {
+    : QueryEngine(synopsis, [&] {
+        QueryEngineOptions options;
+        options.method = method;
+        return options;
+      }()) {}
+
+QueryEngine::QueryEngine(const PriViewSynopsis* synopsis,
+                         const QueryEngineOptions& options)
+    : synopsis_(synopsis),
+      method_(options.method),
+      cache_(options.cache_capacity == 0
+                 ? nullptr
+                 : std::make_unique<MarginalCache>(options.cache_capacity)) {
   PRIVIEW_CHECK(synopsis != nullptr);
+}
+
+StatusOr<MarginalTable> QueryEngine::CachedQuery(AttrSet target) const {
+  if (cache_ == nullptr) return synopsis_->TryQuery(target, method_);
+  if (std::optional<MarginalTable> hit = cache_->Lookup(target)) {
+    return *std::move(hit);
+  }
+  StatusOr<MarginalTable> table = synopsis_->TryQuery(target, method_);
+  if (table.ok()) cache_->Insert(target, table.value());
+  return table;
+}
+
+StatusOr<MarginalTable> QueryEngine::TryMarginal(AttrSet target) const {
+  if (!target.IsSubsetOf(AttrSet::Full(synopsis_->d()))) {
+    return Status::InvalidArgument("query scope outside universe: " +
+                                   target.ToString());
+  }
+  return CachedQuery(target);
+}
+
+std::vector<StatusOr<MarginalTable>> QueryEngine::AnswerBatch(
+    const std::vector<AttrSet>& targets) const {
+  // Phase 1 (sequential): validate, serve what the current cache already
+  // answers, and collect the distinct remaining targets.
+  std::vector<std::optional<StatusOr<MarginalTable>>> resolved(targets.size());
+  std::vector<AttrSet> pending;
+  std::unordered_map<uint64_t, size_t> pending_index;
+  const AttrSet universe = AttrSet::Full(synopsis_->d());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (!targets[i].IsSubsetOf(universe)) {
+      resolved[i] = Status::InvalidArgument("query scope outside universe: " +
+                                            targets[i].ToString());
+      continue;
+    }
+    if (cache_ != nullptr) {
+      if (std::optional<MarginalTable> hit = cache_->Lookup(targets[i])) {
+        resolved[i] = *std::move(hit);
+        continue;
+      }
+    }
+    if (pending_index.emplace(targets[i].mask(), pending.size()).second) {
+      pending.push_back(targets[i]);
+    }
+  }
+
+  // Phase 2 (parallel): reconstruct the distinct missing marginals
+  // concurrently. Each reconstruction is independent and deterministic, and
+  // the slots are disjoint, so the batch result does not depend on the
+  // thread count.
+  std::vector<std::optional<StatusOr<MarginalTable>>> computed(pending.size());
+  parallel::ParallelFor(0, pending.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      computed[j] = synopsis_->TryQuery(pending[j], method_);
+    }
+  });
+
+  // Phase 3 (sequential): populate the cache in batch order and assemble
+  // the per-request answers (duplicates share the computed table).
+  if (cache_ != nullptr) {
+    for (size_t j = 0; j < pending.size(); ++j) {
+      if (computed[j]->ok()) cache_->Insert(pending[j], computed[j]->value());
+    }
+  }
+  std::vector<StatusOr<MarginalTable>> answers;
+  answers.reserve(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (resolved[i].has_value()) {
+      answers.push_back(*std::move(resolved[i]));
+    } else {
+      answers.push_back(*computed[pending_index.at(targets[i].mask())]);
+    }
+  }
+  return answers;
+}
+
+MarginalCache::Stats QueryEngine::cache_stats() const {
+  return cache_ == nullptr ? MarginalCache::Stats{} : cache_->stats();
 }
 
 Status QueryEngine::ValidateScope(AttrSet attrs, uint64_t assignment) const {
@@ -94,7 +194,7 @@ StatusOr<double> QueryEngine::TryConjunctionCount(AttrSet attrs,
                                                   uint64_t assignment) const {
   const Status valid = ValidateScope(attrs, assignment);
   if (!valid.ok()) return valid;
-  StatusOr<MarginalTable> table = synopsis_->TryQuery(attrs, method_);
+  StatusOr<MarginalTable> table = CachedQuery(attrs);
   if (!table.ok()) return table.status();
   return table.value().At(assignment);
 }
@@ -130,7 +230,7 @@ StatusOr<double> QueryEngine::TryConditionalProbability(
   if (!valid.ok()) return valid;
 
   const AttrSet joint = attrs.Union(AttrSet::FromIndices({target_attr}));
-  StatusOr<MarginalTable> table_or = synopsis_->TryQuery(joint, method_);
+  StatusOr<MarginalTable> table_or = CachedQuery(joint);
   if (!table_or.ok()) return table_or.status();
   const MarginalTable& table = table_or.value();
   // Condition cells: those matching `assignment` on attrs.
@@ -164,7 +264,7 @@ StatusOr<double> QueryEngine::TryLift(int a, int b) const {
   if (a == b) return Status::InvalidArgument("lift of an attribute with itself");
 
   const AttrSet pair = AttrSet::FromIndices({a, b});
-  StatusOr<MarginalTable> table_or = synopsis_->TryQuery(pair, method_);
+  StatusOr<MarginalTable> table_or = CachedQuery(pair);
   if (!table_or.ok()) return table_or.status();
   const MarginalTable& table = table_or.value();
   const double c00 = ClampCell(table.At(0b00));
@@ -195,7 +295,7 @@ StatusOr<double> QueryEngine::TryMutualInformation(int a, int b) const {
   }
 
   const AttrSet pair = AttrSet::FromIndices({a, b});
-  StatusOr<MarginalTable> table_or = synopsis_->TryQuery(pair, method_);
+  StatusOr<MarginalTable> table_or = CachedQuery(pair);
   if (!table_or.ok()) return table_or.status();
   std::vector<double> joint = table_or.value().Normalized();
   // Clamp the tiny negative mass noise can leave and renormalize so the

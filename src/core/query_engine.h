@@ -9,12 +9,20 @@
 // request from an analyst can never take the process down. The plain
 // methods are conveniences for pre-validated callers; on invalid input
 // they return a benign NaN (never abort) and are annotated per method.
+//
+// Thread safety: every const method is safe to call concurrently from any
+// number of threads (the synopsis is read-only and the marginal cache is
+// internally synchronized). The engine itself must not be destroyed or
+// moved while calls are in flight.
 #ifndef PRIVIEW_CORE_QUERY_ENGINE_H_
 #define PRIVIEW_CORE_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/status.h"
+#include "core/marginal_cache.h"
 #include "core/synopsis.h"
 
 namespace priview {
@@ -37,6 +45,15 @@ MarginalTable Dice(const MarginalTable& table, AttrSet fixed,
 
 }  // namespace cube
 
+/// Serving knobs for a QueryEngine.
+struct QueryEngineOptions {
+  ReconstructionMethod method = ReconstructionMethod::kMaxEntropy;
+  /// Capacity of the read-side marginal cache (reconstructed tables, LRU,
+  /// with sub-marginals rolled up from cached supersets). 0 disables it:
+  /// every query runs the reconstruction solver.
+  size_t cache_capacity = 64;
+};
+
 /// Read-side engine bound to a synopsis. The synopsis must outlive it.
 class QueryEngine {
  public:
@@ -45,10 +62,14 @@ class QueryEngine {
   static StatusOr<QueryEngine> Create(const PriViewSynopsis* synopsis,
                                       ReconstructionMethod method =
                                           ReconstructionMethod::kMaxEntropy);
+  static StatusOr<QueryEngine> Create(const PriViewSynopsis* synopsis,
+                                      const QueryEngineOptions& options);
 
   explicit QueryEngine(const PriViewSynopsis* synopsis,
                        ReconstructionMethod method =
                            ReconstructionMethod::kMaxEntropy);
+  QueryEngine(const PriViewSynopsis* synopsis,
+              const QueryEngineOptions& options);
 
   /// Estimated number of records whose attributes in `attrs` equal
   /// `assignment` (compact cell-index convention) — a conjunction count.
@@ -81,18 +102,42 @@ class QueryEngine {
   double MutualInformation(int a, int b) const;
   StatusOr<double> TryMutualInformation(int a, int b) const;
 
+  /// The reconstructed marginal over `target`, served through the cache:
+  /// an exact cached table, a roll-up of a cached superset, or a fresh
+  /// reconstruction (which is then cached). This is the single-query
+  /// serving entry point.
+  StatusOr<MarginalTable> TryMarginal(AttrSet target) const;
+
+  /// Answers a batch of marginal queries. Targets already in the cache
+  /// (exactly or by roll-up) are served from it; the remaining distinct
+  /// targets are reconstructed concurrently on the thread pool and then
+  /// cached. result[i] corresponds to targets[i]; an invalid scope yields
+  /// that slot's Status without affecting the rest of the batch.
+  std::vector<StatusOr<MarginalTable>> AnswerBatch(
+      const std::vector<AttrSet>& targets) const;
+
   /// Full marginal with the solver diagnostics (fallbacks taken,
-  /// convergence) for the serving layer to log.
+  /// convergence) for the serving layer to log. Always runs the solver —
+  /// diagnostics describe a real solve, never a cache hit.
   StatusOr<ReconstructionResult> TryQueryWithDiagnostics(AttrSet target) const;
+
+  /// Read-side cache counters (zeroes when the cache is disabled).
+  MarginalCache::Stats cache_stats() const;
 
   const PriViewSynopsis& synopsis() const { return *synopsis_; }
 
  private:
   Status ValidateScope(AttrSet attrs, uint64_t assignment) const;
   Status ValidateAttr(int attr) const;
+  /// Cache-through reconstruction; `target` must already be validated as a
+  /// subset of the universe.
+  StatusOr<MarginalTable> CachedQuery(AttrSet target) const;
 
   const PriViewSynopsis* synopsis_;
   ReconstructionMethod method_;
+  /// unique_ptr keeps the engine movable (Create returns by value) while
+  /// the cache holds a mutex; null when cache_capacity == 0.
+  std::unique_ptr<MarginalCache> cache_;
 };
 
 }  // namespace priview

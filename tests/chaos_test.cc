@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "common/failpoint.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/pipeline.h"
 #include "core/query_engine.h"
@@ -135,7 +136,10 @@ class ChaosTest : public ::testing::Test {
     GTEST_SKIP() << "failpoints compiled out (PRIVIEW_FAILPOINTS=OFF)";
 #endif
   }
-  ~ChaosTest() override { failpoint::DisarmAll(); }
+  ~ChaosTest() override {
+    failpoint::DisarmAll();
+    parallel::SetThreadCount(0);
+  }
 };
 
 TEST_F(ChaosTest, EveryKnownFailpointDegradesGracefully) {
@@ -231,6 +235,37 @@ TEST_F(ChaosTest, NanCellFromSolverIsNeverServed) {
   ExpectFiniteTable(result.table, "nan-cell fallback");
   EXPECT_GT(result.diagnostics.non_finite_cells, 0);
   EXPECT_NE(result.diagnostics.used, ReconstructionMethod::kMaxEntropy);
+}
+
+TEST_F(ChaosTest, ThreadPoolFaultsAreRecoveredBitIdentically) {
+  // Intermittent task faults on a multi-threaded build must be absorbed by
+  // the pool's inline retry: the synopsis is not merely servable, it is
+  // bit-identical to the unfaulted build with the same seed.
+  Rng clean_rng(314);
+  Dataset data = MakeMsnbcLike(&clean_rng, 4000);
+  PriViewOptions options;
+  options.epsilon = 1.0;
+  const std::vector<AttrSet> views = {AttrSet::FromIndices({0, 1, 2, 3}),
+                                      AttrSet::FromIndices({2, 3, 4, 5}),
+                                      AttrSet::FromIndices({0, 4, 6, 8})};
+  parallel::SetThreadCount(4);
+  Rng build_rng(2718);
+  const PriViewSynopsis clean =
+      PriViewSynopsis::Build(data, views, options, &build_rng);
+
+  {
+    failpoint::ScopedFailpoint scoped("parallel/task-throw", "p=0.5,seed=27");
+    ASSERT_TRUE(scoped.status().ok());
+    Rng faulted_rng(2718);
+    const PriViewSynopsis faulted =
+        PriViewSynopsis::Build(data, views, options, &faulted_rng);
+    ASSERT_EQ(faulted.views().size(), clean.views().size());
+    for (size_t v = 0; v < clean.views().size(); ++v) {
+      EXPECT_EQ(faulted.views()[v].cells(), clean.views()[v].cells())
+          << "view " << v << " diverged under injected task faults";
+    }
+  }
+  parallel::SetThreadCount(0);
 }
 
 TEST_F(ChaosTest, BoundaryValidationNeverAborts) {

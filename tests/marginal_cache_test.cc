@@ -1,0 +1,260 @@
+// MarginalCache unit tests plus the QueryEngine integration: cache-through
+// serving, roll-up answers from cached supersets, LRU eviction, batch
+// answering, and a concurrent thrash for the tsan preset.
+#include "core/marginal_cache.h"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/query_engine.h"
+#include "core/synopsis.h"
+#include "design/covering_design.h"
+#include "table/attr_set.h"
+#include "table/dataset.h"
+
+namespace priview {
+namespace {
+
+MarginalTable TableOver(AttrSet attrs, double base) {
+  std::vector<double> cells(size_t{1} << attrs.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    cells[i] = base + static_cast<double>(i);
+  }
+  return MarginalTable(attrs, std::move(cells));
+}
+
+TEST(MarginalCacheTest, ExactHitReturnsStoredTable) {
+  MarginalCache cache(4);
+  const AttrSet scope = AttrSet::FromIndices({1, 3});
+  cache.Insert(scope, TableOver(scope, 10.0));
+  const auto hit = cache.Lookup(scope);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->attrs().mask(), scope.mask());
+  EXPECT_EQ(hit->cells(), TableOver(scope, 10.0).cells());
+  EXPECT_EQ(cache.stats().exact_hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(MarginalCacheTest, MissOnEmptyAndUnrelatedScopes) {
+  MarginalCache cache(4);
+  EXPECT_FALSE(cache.Lookup(AttrSet::FromIndices({0})).has_value());
+  cache.Insert(AttrSet::FromIndices({1, 2}), TableOver(AttrSet::FromIndices({1, 2}), 0.0));
+  EXPECT_FALSE(cache.Lookup(AttrSet::FromIndices({3})).has_value());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(MarginalCacheTest, RollupHitMatchesExplicitRollUp) {
+  MarginalCache cache(4);
+  const AttrSet super = AttrSet::FromIndices({0, 2, 5});
+  const MarginalTable table = TableOver(super, 3.0);
+  cache.Insert(super, table);
+  const AttrSet sub = AttrSet::FromIndices({0, 5});
+  const auto hit = cache.Lookup(sub);
+  ASSERT_TRUE(hit.has_value());
+  const MarginalTable expected = cube::RollUp(table, sub);
+  EXPECT_EQ(hit->attrs().mask(), sub.mask());
+  EXPECT_EQ(hit->cells(), expected.cells());
+  EXPECT_EQ(cache.stats().rollup_hits, 1u);
+}
+
+TEST(MarginalCacheTest, SmallestSupersetIsPreferred) {
+  MarginalCache cache(4);
+  const AttrSet big = AttrSet::FromIndices({0, 1, 2, 3});
+  const AttrSet small = AttrSet::FromIndices({0, 1});
+  cache.Insert(big, TableOver(big, 100.0));
+  cache.Insert(small, TableOver(small, 7.0));
+  const auto hit = cache.Lookup(AttrSet::FromIndices({0}));
+  ASSERT_TRUE(hit.has_value());
+  // Rolled up from the 2-way table, not the 4-way one.
+  EXPECT_EQ(hit->cells(),
+            cube::RollUp(TableOver(small, 7.0), AttrSet::FromIndices({0})).cells());
+}
+
+TEST(MarginalCacheTest, EvictsLeastRecentlyUsed) {
+  MarginalCache cache(2);
+  const AttrSet a = AttrSet::FromIndices({0});
+  const AttrSet b = AttrSet::FromIndices({1});
+  const AttrSet c = AttrSet::FromIndices({2});
+  cache.Insert(a, TableOver(a, 1.0));
+  cache.Insert(b, TableOver(b, 2.0));
+  ASSERT_TRUE(cache.Lookup(a).has_value());  // refresh a; b is now LRU
+  cache.Insert(c, TableOver(c, 3.0));        // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.Lookup(a).has_value());
+  EXPECT_TRUE(cache.Lookup(c).has_value());
+  EXPECT_FALSE(cache.Lookup(b).has_value());
+}
+
+TEST(MarginalCacheTest, ZeroCapacityDisablesInsertion) {
+  MarginalCache cache(0);
+  const AttrSet a = AttrSet::FromIndices({0});
+  cache.Insert(a, TableOver(a, 1.0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(a).has_value());
+}
+
+TEST(MarginalCacheTest, HitRate) {
+  MarginalCache cache(4);
+  EXPECT_EQ(cache.stats().HitRate(), 0.0);
+  const AttrSet a = AttrSet::FromIndices({0, 1});
+  cache.Insert(a, TableOver(a, 1.0));
+  (void)cache.Lookup(a);                          // exact hit
+  (void)cache.Lookup(AttrSet::FromIndices({1}));  // rollup hit
+  (void)cache.Lookup(AttrSet::FromIndices({5}));  // miss
+  EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 2.0 / 3.0);
+  EXPECT_EQ(cache.stats().lookups(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryEngine integration.
+
+PriViewSynopsis MakeTestSynopsis() {
+  Rng data_rng(77);
+  Dataset data(10);
+  for (int i = 0; i < 4000; ++i) data.Add(data_rng.NextUint64() & 0x3FFu);
+  Rng design_rng(78);
+  const CoveringDesign design = MakeCoveringDesign(10, 5, 2, &design_rng);
+  PriViewOptions options;
+  options.add_noise = false;  // deterministic answers for exact compares
+  Rng build_rng(79);
+  return PriViewSynopsis::Build(data, design.blocks, options, &build_rng);
+}
+
+class QueryCacheTest : public ::testing::Test {
+ protected:
+  ~QueryCacheTest() override { parallel::SetThreadCount(0); }
+
+  const PriViewSynopsis synopsis_ = MakeTestSynopsis();
+};
+
+TEST_F(QueryCacheTest, RepeatedQueryHitsCache) {
+  const QueryEngine engine(&synopsis_);
+  const AttrSet target = AttrSet::FromIndices({0, 3, 7});
+  const auto first = engine.TryMarginal(target);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(engine.cache_stats().misses, 1u);
+  const auto second = engine.TryMarginal(target);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.cache_stats().exact_hits, 1u);
+  EXPECT_EQ(first.value().cells(), second.value().cells());
+}
+
+TEST_F(QueryCacheTest, SubMarginalServedByRollup) {
+  const QueryEngine engine(&synopsis_);
+  const AttrSet super = AttrSet::FromIndices({1, 4, 6, 8});
+  ASSERT_TRUE(engine.TryMarginal(super).ok());
+  const AttrSet sub = AttrSet::FromIndices({1, 6});
+  const auto answer = engine.TryMarginal(sub);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(engine.cache_stats().rollup_hits, 1u);
+  // The roll-up of the cached superset, not a fresh solve.
+  const auto direct = synopsis_.TryQuery(super);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(answer.value().cells(), cube::RollUp(direct.value(), sub).cells());
+}
+
+TEST_F(QueryCacheTest, DisabledCacheStillAnswers) {
+  QueryEngineOptions options;
+  options.cache_capacity = 0;
+  const QueryEngine cached(&synopsis_);
+  const QueryEngine uncached(&synopsis_, options);
+  const AttrSet target = AttrSet::FromIndices({2, 5});
+  const auto a = cached.TryMarginal(target);
+  const auto b = uncached.TryMarginal(target);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().cells(), b.value().cells());
+  EXPECT_EQ(uncached.cache_stats().lookups(), 0u);
+}
+
+TEST_F(QueryCacheTest, InvalidTargetIsStatusNotAbort) {
+  const QueryEngine engine(&synopsis_);
+  const auto bad = engine.TryMarginal(AttrSet::FromIndices({63}));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(QueryCacheTest, AnswerBatchMatchesIndividualQueries) {
+  const QueryEngine batch_engine(&synopsis_);
+  const QueryEngine single_engine(&synopsis_);
+  const std::vector<AttrSet> targets = {
+      AttrSet::FromIndices({0, 1}),     AttrSet::FromIndices({2, 3, 4}),
+      AttrSet::FromIndices({0, 1}),     // duplicate
+      AttrSet::FromIndices({63}),       // invalid slot
+      AttrSet::FromIndices({5, 8, 9}),
+  };
+  parallel::SetThreadCount(4);
+  const auto answers = batch_engine.AnswerBatch(targets);
+  ASSERT_EQ(answers.size(), targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const auto individual = single_engine.TryMarginal(targets[i]);
+    ASSERT_EQ(answers[i].ok(), individual.ok()) << "slot " << i;
+    if (answers[i].ok()) {
+      EXPECT_EQ(answers[i].value().cells(), individual.value().cells())
+          << "slot " << i;
+    }
+  }
+  // The duplicate must not have been solved twice.
+  EXPECT_EQ(batch_engine.cache_stats().insertions, 3u);
+}
+
+TEST_F(QueryCacheTest, BatchThenSingleHitsCache) {
+  const QueryEngine engine(&synopsis_);
+  const AttrSet target = AttrSet::FromIndices({3, 6, 9});
+  (void)engine.AnswerBatch({target});
+  const auto again = engine.TryMarginal(target);
+  ASSERT_TRUE(again.ok());
+  EXPECT_GE(engine.cache_stats().exact_hits, 1u);
+}
+
+TEST_F(QueryCacheTest, ConcurrentMixedQueriesAreSafe) {
+  // Exercises the cache mutex and the read-only engine paths under real
+  // concurrency; run under -DPRIVIEW_SANITIZE=thread to verify.
+  const QueryEngine engine(&synopsis_);
+  const std::vector<AttrSet> targets = {
+      AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({3, 4}),
+      AttrSet::FromIndices({5, 6, 7}), AttrSet::FromIndices({1, 2}),
+      AttrSet::FromIndices({8, 9}),
+  };
+  std::vector<std::vector<double>> reference;
+  for (const AttrSet& target : targets) {
+    const auto answer = engine.TryMarginal(target);
+    ASSERT_TRUE(answer.ok());
+    reference.push_back(answer.value().cells());
+  }
+  std::vector<std::thread> threads;
+  std::atomic<bool> mismatch{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 8; ++round) {
+        if ((round + t) % 2 == 0) {
+          const auto answers = engine.AnswerBatch(targets);
+          for (size_t i = 0; i < targets.size(); ++i) {
+            if (!answers[i].ok() ||
+                answers[i].value().cells() != reference[i]) {
+              mismatch = true;
+            }
+          }
+        } else {
+          const size_t i = static_cast<size_t>((round + t) % targets.size());
+          const auto answer = engine.TryMarginal(targets[i]);
+          if (!answer.ok() || answer.value().cells() != reference[i]) {
+            mismatch = true;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_GT(engine.cache_stats().HitRate(), 0.5);
+}
+
+}  // namespace
+}  // namespace priview

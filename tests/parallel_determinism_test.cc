@@ -1,0 +1,126 @@
+// The determinism contract, end to end: the fused multi-view counting
+// kernel, the word-blocked frequency kernel, and a full synopsis build are
+// all bit-identical across thread counts (and the fused kernel matches the
+// per-view reference exactly).
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/synopsis.h"
+#include "design/covering_design.h"
+#include "table/attr_set.h"
+#include "table/dataset.h"
+
+namespace priview {
+namespace {
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  ~ParallelDeterminismTest() override { parallel::SetThreadCount(0); }
+};
+
+Dataset RandomDataset(int d, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(d);
+  const uint64_t mask = (d == 64) ? ~0ull : ((1ull << d) - 1);
+  for (size_t i = 0; i < n; ++i) data.Add(rng.NextUint64() & mask);
+  return data;
+}
+
+std::vector<AttrSet> RandomViews(int d, int ell, int count, uint64_t seed) {
+  Rng rng(seed);
+  const CoveringDesign design = MakeCoveringDesign(d, ell, 2, &rng);
+  std::vector<AttrSet> views = design.blocks;
+  if (static_cast<int>(views.size()) > count) views.resize(count);
+  return views;
+}
+
+TEST_F(ParallelDeterminismTest, FusedCountMatchesPerViewExactly) {
+  const Dataset data = RandomDataset(20, 20000, 41);
+  const std::vector<AttrSet> views = RandomViews(20, 8, 12, 42);
+  for (int threads : {1, 2, 8}) {
+    parallel::SetThreadCount(threads);
+    const std::vector<MarginalTable> fused = data.CountMarginals(views);
+    ASSERT_EQ(fused.size(), views.size());
+    for (size_t v = 0; v < views.size(); ++v) {
+      const MarginalTable reference = data.CountMarginal(views[v]);
+      ASSERT_EQ(fused[v].attrs().mask(), reference.attrs().mask());
+      ASSERT_EQ(fused[v].cells(), reference.cells())
+          << "view " << v << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, AttributeFrequencyMatchesNaiveCount) {
+  // Sizes straddling the 64-record word boundary exercise the packed
+  // popcount path and its tail loop.
+  for (size_t n : {0ul, 1ul, 63ul, 64ul, 65ul, 4097ul}) {
+    const Dataset data = RandomDataset(17, n, 7 + n);
+    for (int a = 0; a < data.d(); ++a) {
+      double expected = n == 0 ? 0.0 : 0.0;
+      size_t ones = 0;
+      for (size_t i = 0; i < n; ++i) {
+        ones += (data.records()[i] >> a) & 1u;
+      }
+      if (n > 0) expected = static_cast<double>(ones) / static_cast<double>(n);
+      for (int threads : {1, 4}) {
+        parallel::SetThreadCount(threads);
+        EXPECT_DOUBLE_EQ(data.AttributeFrequency(a), expected)
+            << "n=" << n << " a=" << a;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, SynopsisBuildIsBitIdenticalAcrossThreads) {
+  const Dataset data = RandomDataset(16, 30000, 99);
+  Rng design_rng(17);
+  const CoveringDesign design = MakeCoveringDesign(16, 6, 2, &design_rng);
+  PriViewOptions options;
+  options.epsilon = 1.0;
+
+  std::vector<std::vector<MarginalTable>> runs;
+  double reference_total = 0.0;
+  for (int threads : {1, 2, 8}) {
+    parallel::SetThreadCount(threads);
+    Rng rng(2024);  // fresh, identical seed per run
+    const PriViewSynopsis synopsis =
+        PriViewSynopsis::Build(data, design.blocks, options, &rng);
+    if (runs.empty()) reference_total = synopsis.total();
+    EXPECT_EQ(synopsis.total(), reference_total) << "threads=" << threads;
+    runs.push_back(synopsis.views());
+  }
+  for (size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (size_t v = 0; v < runs[0].size(); ++v) {
+      ASSERT_EQ(runs[run][v].attrs().mask(), runs[0][v].attrs().mask());
+      // Bit-identical: noise, Ripple, and Consistency all included.
+      ASSERT_EQ(runs[run][v].cells(), runs[0][v].cells())
+          << "view " << v << " run " << run;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, NoiselessSynopsisViewsStayExactCounts) {
+  // With add_noise off and consistency off, Stage 1's fused pass is the
+  // whole build; the views must be the raw counts.
+  const Dataset data = RandomDataset(12, 5000, 5);
+  const std::vector<AttrSet> views = RandomViews(12, 5, 6, 6);
+  PriViewOptions options;
+  options.add_noise = false;
+  options.run_consistency = false;
+  parallel::SetThreadCount(4);
+  Rng rng(1);
+  const PriViewSynopsis synopsis =
+      PriViewSynopsis::Build(data, views, options, &rng);
+  for (size_t v = 0; v < views.size(); ++v) {
+    EXPECT_EQ(synopsis.views()[v].cells(), data.CountMarginal(views[v]).cells());
+  }
+}
+
+}  // namespace
+}  // namespace priview
