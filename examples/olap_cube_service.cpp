@@ -1,98 +1,194 @@
-// Scenario: an OLAP-style cube service over a private synopsis. Marginal
-// tables are "essentially equivalent to OLAP cubes" (§1); this example
-// implements the cube operations analysts expect — slice, dice, roll-up —
-// all computed from one differentially private PriView synopsis, and shows
-// that roll-ups are internally consistent (a property Direct-style noise
-// does not give you).
+// Scenario: an OLAP-style cube service over private synopses — as a real
+// service. Marginal tables are "essentially equivalent to OLAP cubes"
+// (§1); this example forks a server process that hosts two differentially
+// private releases of the same clickstream (eps=1.0 and eps=0.5) behind
+// the src/serve stack, then acts as the analyst: it connects to the
+// Unix-domain socket with the client library and issues cube queries over
+// the wire — roll-up, slice, dice, conjunction — including the coherence
+// check that makes consistent synopses worth serving (a roll-up of a
+// serve-side cube agrees with a fresh query for the smaller cube, a
+// property Direct-style noise does not give you).
 //
 //   ./olap_cube_service
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <string>
+#include <thread>
 
 #include "common/rng.h"
 #include "core/synopsis.h"
 #include "data/synthetic.h"
 #include "design/view_selection.h"
+#include "serve/client.h"
+#include "serve/server.h"
 
 namespace {
 
-using priview::AttrSet;
-using priview::MarginalTable;
-using priview::PriViewSynopsis;
+using namespace priview;
 
-// Roll-up: aggregate a cube to fewer dimensions.
-MarginalTable RollUp(const MarginalTable& cube, AttrSet keep) {
-  return cube.Project(keep);
+volatile sig_atomic_t g_stop = 0;
+void HandleTerm(int) { g_stop = 1; }
+
+// Child process: build the private releases, host them, serve until
+// SIGTERM. Exits via _exit so the parent's stdio buffers are not flushed
+// twice.
+int RunServer(const std::string& socket_path) {
+  signal(SIGTERM, HandleTerm);
+
+  Rng rng(99);
+  Dataset data = MakeKosarakLike(&rng, 300000);
+  const ViewSelection sel =
+      SelectViews(data.d(), static_cast<double>(data.size()), 1.0, &rng);
+
+  serve::ServerOptions server_options;
+  server_options.socket_path = socket_path;
+  serve::PriViewServer server(server_options);
+  for (const double epsilon : {1.0, 0.5}) {
+    PriViewOptions options;
+    options.epsilon = epsilon;
+    const std::string name = epsilon == 1.0 ? "eps1" : "eps05";
+    const Status install = server.registry().Install(
+        name, PriViewSynopsis::Build(data, sel.design.blocks, options, &rng));
+    if (!install.ok()) {
+      std::fprintf(stderr, "[server] install %s: %s\n", name.c_str(),
+                   install.ToString().c_str());
+      return 1;
+    }
+  }
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "[server] start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("[server] pid %d serving d=%d (%s) on %s\n",
+              static_cast<int>(getpid()), data.d(), sel.design.Name().c_str(),
+              socket_path.c_str());
+  std::fflush(stdout);
+
+  while (!g_stop) pause();
+  server.Stop();
+  return 0;
 }
 
-// Slice: fix one attribute's value, producing the sub-cube over the rest.
-MarginalTable Slice(const MarginalTable& cube, int attr, int value) {
-  const AttrSet rest = cube.attrs().Minus(AttrSet::FromIndices({attr}));
-  MarginalTable out(rest);
-  const uint64_t attr_bit = cube.CellIndexMaskFor(AttrSet::FromIndices({attr}));
-  const uint64_t rest_mask = cube.CellIndexMaskFor(rest);
-  for (uint64_t cell = 0; cell < cube.size(); ++cell) {
-    const int bit = (cell & attr_bit) ? 1 : 0;
-    if (bit != value) continue;
-    out.At(priview::ExtractBits(cell, rest_mask)) += cube.At(cell);
+// The server builds two synopses from 300k records before it binds the
+// socket; keep retrying the connect until it is up.
+StatusOr<serve::PriViewClient> ConnectWithRetry(const std::string& path) {
+  for (int attempt = 0; attempt < 600; ++attempt) {
+    StatusOr<serve::PriViewClient> client =
+        serve::PriViewClient::Connect(path);
+    if (client.ok()) return client;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  return out;
+  return Status::IOError("server never came up on " + path);
+}
+
+#define CHECK_OK(expr)                                                      \
+  ({                                                                        \
+    auto result_ = (expr);                                                  \
+    if (!result_.ok()) {                                                    \
+      std::fprintf(stderr, "[analyst] %s failed: %s\n", #expr,              \
+                   result_.status().ToString().c_str());                    \
+      return 1;                                                             \
+    }                                                                       \
+    std::move(result_).value();                                             \
+  })
+
+// Parent process: the analyst. Everything below travels over the wire —
+// the synopses live in the other process.
+int RunAnalyst(const std::string& socket_path) {
+  serve::PriViewClient client = CHECK_OK(ConnectWithRetry(socket_path));
+
+  const std::string listing = CHECK_OK(client.List());
+  std::printf("[analyst] connected; hosted releases:\n%s", listing.c_str());
+
+  // A 4-dimensional cube from the eps=1.0 release.
+  const AttrSet dims = AttrSet::FromIndices({1, 5, 12, 20});
+  const serve::ClientTable cube = CHECK_OK(client.Marginal("eps1", dims));
+  std::printf("\n[analyst] 4-d cube over %s: total %.0f (epoch %llu, "
+              "tier %d)\n",
+              dims.ToString().c_str(), cube.table.Total(),
+              static_cast<unsigned long long>(cube.epoch),
+              static_cast<int>(cube.tier));
+
+  // Roll-up coherence, across the wire: the server rolls the 4-d cube up
+  // to {1, 5}, and separately answers {1, 5} as a fresh query. Consistent
+  // synopses make these agree.
+  const AttrSet pair = AttrSet::FromIndices({1, 5});
+  const serve::ClientTable rolled =
+      CHECK_OK(client.RollUp("eps1", dims, pair));
+  const serve::ClientTable fresh = CHECK_OK(client.Marginal("eps1", pair));
+  double max_gap = 0.0;
+  for (uint64_t c = 0; c < rolled.table.size(); ++c) {
+    max_gap = std::max(max_gap,
+                       std::abs(rolled.table.At(c) - fresh.table.At(c)));
+  }
+  std::printf("[analyst] roll-up coherence |rollup - fresh query|_inf = "
+              "%.4f\n",
+              max_gap);
+
+  // Slice on page1: visitors vs non-visitors, then the conditional visit
+  // rate of page 5 in each slice.
+  const serve::ClientTable visitors =
+      CHECK_OK(client.Slice("eps1", dims, /*attr=*/1, /*value=*/1));
+  const serve::ClientTable others =
+      CHECK_OK(client.Slice("eps1", dims, /*attr=*/1, /*value=*/0));
+  std::printf("\n[analyst] slice page1=1: %.0f readers; page1=0: %.0f\n",
+              visitors.table.Total(), others.table.Total());
+  const AttrSet page5 = AttrSet::FromIndices({5});
+  std::printf("[analyst] P(page5 | page1)  = %.4f\n",
+              visitors.table.Project(page5).At(1) / visitors.table.Total());
+  std::printf("[analyst] P(page5 | !page1) = %.4f\n",
+              others.table.Project(page5).At(1) / others.table.Total());
+
+  // Dice down to the page1=1, page5=1 corner, and cross-check it with a
+  // conjunction query (which the server answers from the same broker).
+  const serve::ClientTable diced =
+      CHECK_OK(client.Dice("eps1", dims, pair, /*values=*/0b11));
+  const serve::ClientValue both =
+      CHECK_OK(client.Conjunction("eps1", pair, /*assignment=*/0b11));
+  std::printf("\n[analyst] dice page1=1&page5=1: %.0f readers "
+              "(conjunction query says %.0f)\n",
+              diced.table.Total(), both.value);
+
+  // Same question at lower privacy budget: the eps=0.5 release answers
+  // from its own engine, independently.
+  const serve::ClientTable loose = CHECK_OK(client.Marginal("eps05", pair));
+  double eps_gap = 0.0;
+  for (uint64_t c = 0; c < loose.table.size(); ++c) {
+    eps_gap = std::max(eps_gap,
+                       std::abs(loose.table.At(c) - fresh.table.At(c)));
+  }
+  std::printf("[analyst] eps=0.5 vs eps=1.0 on %s: |diff|_inf = %.1f\n",
+              pair.ToString().c_str(), eps_gap);
+
+  const std::string stats = CHECK_OK(client.Stats());
+  std::printf("\n[analyst] server stats: %s\n", stats.c_str());
+  return 0;
 }
 
 }  // namespace
 
 int main() {
-  using namespace priview;
-  Rng rng(99);
-  Dataset data = MakeKosarakLike(&rng, 300000);
+  const std::string socket_path =
+      "/tmp/priview_olap_" + std::to_string(::getpid()) + ".sock";
 
-  const double epsilon = 1.0;
-  const ViewSelection sel =
-      SelectViews(data.d(), static_cast<double>(data.size()), epsilon, &rng);
-  PriViewOptions options;
-  options.epsilon = epsilon;
-  const PriViewSynopsis synopsis =
-      PriViewSynopsis::Build(data, sel.design.blocks, options, &rng);
-  std::printf("cube service online: d=%d, synopsis %s, eps=%.1f\n\n",
-              data.d(), sel.design.Name().c_str(), epsilon);
-
-  // Analyst asks for a 4-dimensional cube.
-  const AttrSet dims = AttrSet::FromIndices({1, 5, 12, 20});
-  const MarginalTable cube = synopsis.Query(dims);
-  std::printf("4-d cube over %s (total %.0f)\n", dims.ToString().c_str(),
-              cube.Total());
-
-  // Roll-up to {1, 5} two ways: via the cube, and as a fresh query. With a
-  // consistent synopsis both agree — the cube algebra is coherent.
-  const AttrSet pair = AttrSet::FromIndices({1, 5});
-  const MarginalTable rolled = RollUp(cube, pair);
-  const MarginalTable direct_query = synopsis.Query(pair);
-  double max_gap = 0.0;
-  for (uint64_t c = 0; c < rolled.size(); ++c) {
-    max_gap = std::max(max_gap,
-                       std::abs(rolled.At(c) - direct_query.At(c)));
+  const pid_t server_pid = fork();
+  if (server_pid < 0) {
+    std::perror("fork");
+    return 1;
   }
-  std::printf("roll-up coherence |cube rollup - fresh query|_inf = %.4f "
-              "(%.4f%% of N)\n",
-              max_gap, 100.0 * max_gap / synopsis.total());
+  if (server_pid == 0) _exit(RunServer(socket_path));
 
-  // Slice: readers who did visit page 1 — distribution over {5, 12, 20}.
-  const MarginalTable visitors = Slice(cube, 1, 1);
-  const MarginalTable non_visitors = Slice(cube, 1, 0);
-  std::printf("\nslice on page1=1: %.0f readers; page1=0: %.0f readers\n",
-              visitors.Total(), non_visitors.Total());
-
-  // Dice: compare conditional visit rates of page 5 given page 1.
-  const double p5_given_1 =
-      visitors.Project(AttrSet::FromIndices({5})).At(1) / visitors.Total();
-  const double p5_given_not1 =
-      non_visitors.Project(AttrSet::FromIndices({5})).At(1) /
-      non_visitors.Total();
-  std::printf("P(page5 | page1)   = %.4f\n", p5_given_1);
-  std::printf("P(page5 | !page1)  = %.4f\n", p5_given_not1);
-
-  // Ground truth for reference.
-  const MarginalTable truth = data.CountMarginal(dims);
-  std::printf("\ncube normalized L2 error vs truth: %.5f\n",
-              cube.L2DistanceTo(truth) / static_cast<double>(data.size()));
-  return 0;
+  const int rc = RunAnalyst(socket_path);
+  kill(server_pid, SIGTERM);
+  int wait_status = 0;
+  waitpid(server_pid, &wait_status, 0);
+  std::printf("[analyst] server stopped (exit %d)\n",
+              WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : -1);
+  return rc;
 }

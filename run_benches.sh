@@ -9,8 +9,10 @@ out=../bench_output.txt
 : > "$out"
 for b in bench/*; do
   [ -x "$b" ] || continue
-  # bench_parallel runs separately below so it can regenerate BENCH_perf.json.
+  # bench_parallel / bench_serve run separately below so they can
+  # regenerate BENCH_perf.json / BENCH_serve.json.
   [ "$(basename "$b")" = bench_parallel ] && continue
+  [ "$(basename "$b")" = bench_serve ] && continue
   echo "##### $(basename "$b") #####" | tee -a "$out"
   ( time "./$b" "$@" ) >> "$out" 2>&1
   echo "exit=$? done $(basename "$b")"
@@ -23,5 +25,12 @@ if [ -x bench/bench_parallel ]; then
   echo "##### bench_parallel #####" | tee -a "$out"
   ( time ./bench/bench_parallel --out=../BENCH_perf.json "$@" ) >> "$out" 2>&1
   echo "exit=$? done bench_parallel"
+fi
+# Serving record: throughput + p50/p99 at 1/8/64 clients with and without
+# coalescing, plus the overloaded (queue-full, rejecting) regime.
+if [ -x bench/bench_serve ]; then
+  echo "##### bench_serve #####" | tee -a "$out"
+  ( time ./bench/bench_serve --out=../BENCH_serve.json "$@" ) >> "$out" 2>&1
+  echo "exit=$? done bench_serve"
 fi
 echo "ALL BENCHES DONE"

@@ -174,6 +174,9 @@ const std::vector<std::string>& KnownFailpoints() {
           "reconstruct/primary-junk",
           "pipeline/budget-exhausted",
           "parallel/task-throw",
+          "serve/queue-full",
+          "serve/io-torn-frame",
+          "serve/swap-race",
       };
   return *points;
 }

@@ -61,6 +61,9 @@ namespace priview::failpoint {
 ///   pipeline/budget-exhausted  pipeline budget spend fails
 ///   parallel/task-throw        a thread-pool task throws before running;
 ///                              the pool recovers it by inline retry
+///   serve/queue-full           broker admission queue reports full
+///   serve/io-torn-frame        wire frame write is torn mid-payload
+///   serve/swap-race            registry hot-swap loses a concurrent race
 const std::vector<std::string>& KnownFailpoints();
 
 /// Arms `name` with a trigger spec (grammar above). Returns

@@ -23,6 +23,8 @@ const char* CodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kDataLoss,
+  kDeadlineExceeded,
 };
 
 /// Result of an operation that can fail without it being a programming bug.
@@ -59,6 +60,12 @@ class Status {
   /// route to recovery instead of rejecting the request.
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  /// The request's deadline passed before an answer could be produced —
+  /// distinct from ResourceExhausted (admission refusal) so serving-layer
+  /// callers can tell "retry later" from "ask for more time".
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

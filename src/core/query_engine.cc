@@ -166,6 +166,12 @@ std::vector<StatusOr<MarginalTable>> QueryEngine::AnswerBatch(
   return answers;
 }
 
+std::optional<MarginalTable> QueryEngine::CacheProbe(AttrSet target) const {
+  if (cache_ == nullptr) return std::nullopt;
+  if (!target.IsSubsetOf(AttrSet::Full(synopsis_->d()))) return std::nullopt;
+  return cache_->Lookup(target);
+}
+
 MarginalCache::Stats QueryEngine::cache_stats() const {
   return cache_ == nullptr ? MarginalCache::Stats{} : cache_->stats();
 }

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -115,6 +116,13 @@ class QueryEngine {
   /// that slot's Status without affecting the rest of the batch.
   std::vector<StatusOr<MarginalTable>> AnswerBatch(
       const std::vector<AttrSet>& targets) const;
+
+  /// Cache-only probe: the marginal over `target` if the cache can serve
+  /// it (exactly or by rolling up a cached superset) without running any
+  /// solver; nullopt on a miss, an invalid scope, or a disabled cache.
+  /// This is the serving layer's deadline-pressure escape hatch — an
+  /// overloaded broker answers from here rather than queueing a solve.
+  std::optional<MarginalTable> CacheProbe(AttrSet target) const;
 
   /// Full marginal with the solver diagnostics (fallbacks taken,
   /// convergence) for the serving layer to log. Always runs the solver —

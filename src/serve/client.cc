@@ -1,0 +1,202 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace priview::serve {
+
+StatusOr<PriViewClient> PriViewClient::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path: '" + socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket(): " + std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st =
+        Status::IOError("connect(" + socket_path +
+                        "): " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  return PriViewClient(fd);
+}
+
+PriViewClient::PriViewClient(PriViewClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+PriViewClient& PriViewClient::operator=(PriViewClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+PriViewClient::~PriViewClient() { Close(); }
+
+void PriViewClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<WireResponse> PriViewClient::RoundTrip(const WireRequest& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  Status st = WriteFrame(fd_, EncodeRequest(request));
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;
+  st = ReadFrame(fd_, &payload, &clean_eof);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  if (clean_eof) {
+    Close();
+    return Status::IOError("server closed the connection");
+  }
+  StatusOr<WireResponse> response = DecodeResponse(payload);
+  if (!response.ok()) Close();  // framing is suspect; do not reuse
+  return response;
+}
+
+StatusOr<ClientTable> PriViewClient::TableRequest(const WireRequest& request) {
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  const WireResponse& wire = response.value();
+  if (wire.type == MessageType::kError) return wire.ToStatus();
+  StatusOr<MarginalTable> table = wire.ToTable();
+  if (!table.ok()) return table.status();
+  ClientTable out;
+  out.table = std::move(table).value();
+  out.tier = wire.tier < kServeTierCount ? ServeTier(wire.tier)
+                                         : ServeTier::kFull;
+  out.coalesced = wire.coalesced != 0;
+  out.epoch = wire.epoch;
+  return out;
+}
+
+StatusOr<ClientTable> PriViewClient::Marginal(const std::string& synopsis,
+                                              AttrSet target,
+                                              uint32_t deadline_ms) {
+  WireRequest request;
+  request.type = MessageType::kMarginal;
+  request.synopsis = synopsis;
+  request.target_mask = target.mask();
+  request.deadline_ms = deadline_ms;
+  return TableRequest(request);
+}
+
+StatusOr<ClientValue> PriViewClient::Conjunction(const std::string& synopsis,
+                                                 AttrSet attrs,
+                                                 uint64_t assignment,
+                                                 uint32_t deadline_ms) {
+  WireRequest request;
+  request.type = MessageType::kConjunction;
+  request.synopsis = synopsis;
+  request.target_mask = attrs.mask();
+  request.assignment = assignment;
+  request.deadline_ms = deadline_ms;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  const WireResponse& wire = response.value();
+  if (wire.type == MessageType::kError) return wire.ToStatus();
+  if (wire.type != MessageType::kValue) {
+    return Status::DataLoss("expected a value response");
+  }
+  ClientValue out;
+  out.value = wire.value;
+  out.tier = wire.tier < kServeTierCount ? ServeTier(wire.tier)
+                                         : ServeTier::kFull;
+  out.coalesced = wire.coalesced != 0;
+  out.epoch = wire.epoch;
+  return out;
+}
+
+StatusOr<ClientTable> PriViewClient::RollUp(const std::string& synopsis,
+                                            AttrSet cube, AttrSet keep,
+                                            uint32_t deadline_ms) {
+  WireRequest request;
+  request.type = MessageType::kRollUp;
+  request.synopsis = synopsis;
+  request.target_mask = cube.mask();
+  request.aux_mask = keep.mask();
+  request.deadline_ms = deadline_ms;
+  return TableRequest(request);
+}
+
+StatusOr<ClientTable> PriViewClient::Slice(const std::string& synopsis,
+                                           AttrSet cube, int attr, int value,
+                                           uint32_t deadline_ms) {
+  if (attr < 0 || attr >= 64 || value < 0 || value > 1) {
+    return Status::InvalidArgument("slice attr/value out of range");
+  }
+  WireRequest request;
+  request.type = MessageType::kSlice;
+  request.synopsis = synopsis;
+  request.target_mask = cube.mask();
+  request.attr = uint8_t(attr);
+  request.value = uint8_t(value);
+  request.deadline_ms = deadline_ms;
+  return TableRequest(request);
+}
+
+StatusOr<ClientTable> PriViewClient::Dice(const std::string& synopsis,
+                                          AttrSet cube, AttrSet fixed,
+                                          uint64_t values,
+                                          uint32_t deadline_ms) {
+  WireRequest request;
+  request.type = MessageType::kDice;
+  request.synopsis = synopsis;
+  request.target_mask = cube.mask();
+  request.aux_mask = fixed.mask();
+  request.assignment = values;
+  request.deadline_ms = deadline_ms;
+  return TableRequest(request);
+}
+
+StatusOr<std::string> PriViewClient::Stats() {
+  WireRequest request;
+  request.type = MessageType::kStats;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  if (response.value().type == MessageType::kError) {
+    return response.value().ToStatus();
+  }
+  if (response.value().type != MessageType::kText) {
+    return Status::DataLoss("expected a text response");
+  }
+  return response.value().text;
+}
+
+StatusOr<std::string> PriViewClient::List() {
+  WireRequest request;
+  request.type = MessageType::kList;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  if (response.value().type == MessageType::kError) {
+    return response.value().ToStatus();
+  }
+  if (response.value().type != MessageType::kText) {
+    return Status::DataLoss("expected a text response");
+  }
+  return response.value().text;
+}
+
+}  // namespace priview::serve

@@ -1,0 +1,94 @@
+// Blocking client for the PriView query server: connects to the server's
+// Unix-domain socket and exposes the wire protocol as a typed API. One
+// request in flight per client (the protocol is strict request/response);
+// analysts wanting concurrency open one client per thread — connections
+// are cheap and the server is one thread per connection.
+//
+// Every method returns Status: server-side errors (unknown synopsis,
+// invalid scope, admission rejection, deadline) arrive as the error
+// response's code + message; transport damage (torn frame, oversized
+// frame, closed socket) is IOError/DataLoss, after which the client is
+// dead and must be reconnected.
+#ifndef PRIVIEW_SERVE_CLIENT_H_
+#define PRIVIEW_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "serve/server_metrics.h"
+#include "serve/wire_protocol.h"
+#include "table/attr_set.h"
+#include "table/marginal_table.h"
+
+namespace priview::serve {
+
+/// A table answer plus the serving metadata the wire carries.
+struct ClientTable {
+  MarginalTable table;
+  ServeTier tier = ServeTier::kFull;
+  bool coalesced = false;
+  uint64_t epoch = 0;
+};
+
+/// A scalar answer plus the serving metadata.
+struct ClientValue {
+  double value = 0.0;
+  ServeTier tier = ServeTier::kFull;
+  bool coalesced = false;
+  uint64_t epoch = 0;
+};
+
+class PriViewClient {
+ public:
+  /// Connects to the server socket. IOError if nothing is listening.
+  static StatusOr<PriViewClient> Connect(const std::string& socket_path);
+
+  PriViewClient(PriViewClient&& other) noexcept;
+  PriViewClient& operator=(PriViewClient&& other) noexcept;
+  PriViewClient(const PriViewClient&) = delete;
+  PriViewClient& operator=(const PriViewClient&) = delete;
+  ~PriViewClient();
+
+  /// The reconstructed marginal over `target` from the named synopsis.
+  /// `deadline_ms` = 0 uses the server's default deadline.
+  StatusOr<ClientTable> Marginal(const std::string& synopsis, AttrSet target,
+                                 uint32_t deadline_ms = 0);
+
+  /// Conjunction count: the cell of the marginal over `attrs` at
+  /// `assignment` (compact cell-index convention).
+  StatusOr<ClientValue> Conjunction(const std::string& synopsis, AttrSet attrs,
+                                    uint64_t assignment,
+                                    uint32_t deadline_ms = 0);
+
+  /// Cube algebra, computed server-side on the reconstructed cube.
+  StatusOr<ClientTable> RollUp(const std::string& synopsis, AttrSet cube,
+                               AttrSet keep, uint32_t deadline_ms = 0);
+  StatusOr<ClientTable> Slice(const std::string& synopsis, AttrSet cube,
+                              int attr, int value, uint32_t deadline_ms = 0);
+  StatusOr<ClientTable> Dice(const std::string& synopsis, AttrSet cube,
+                             AttrSet fixed, uint64_t values,
+                             uint32_t deadline_ms = 0);
+
+  /// Server metrics snapshot as JSON.
+  StatusOr<std::string> Stats();
+  /// Hosted synopses, one "name d=... views=... eps=... epoch=..." line
+  /// each.
+  StatusOr<std::string> List();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit PriViewClient(int fd) : fd_(fd) {}
+
+  /// One request/response round trip.
+  StatusOr<WireResponse> RoundTrip(const WireRequest& request);
+  StatusOr<ClientTable> TableRequest(const WireRequest& request);
+
+  int fd_ = -1;
+};
+
+}  // namespace priview::serve
+
+#endif  // PRIVIEW_SERVE_CLIENT_H_

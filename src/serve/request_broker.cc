@@ -1,0 +1,331 @@
+#include "serve/request_broker.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/reconstruct.h"
+
+namespace priview::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// How long past its deadline a caller keeps waiting for the dispatcher to
+// deliver a verdict (the dispatcher may be mid-solve on its behalf). After
+// this the caller unblocks unconditionally — Ask never hangs.
+constexpr std::chrono::seconds kCompletionGrace{5};
+
+uint64_t MicrosBetween(Clock::time_point from, Clock::time_point to) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
+  return us < 0 ? 0 : static_cast<uint64_t>(us);
+}
+
+}  // namespace
+
+struct RequestBroker::Pending {
+  std::string synopsis;
+  AttrSet target;
+  Clock::time_point deadline;
+  Clock::time_point admitted_at;
+  std::promise<StatusOr<ServedAnswer>> promise;
+};
+
+RequestBroker::RequestBroker(SynopsisRegistry* registry, ServerMetrics* metrics,
+                             const BrokerOptions& options)
+    : registry_(registry), metrics_(metrics), options_(options) {}
+
+RequestBroker::~RequestBroker() { Stop(); }
+
+void RequestBroker::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_ || stopping_) return;
+  running_ = true;
+  dispatcher_ = std::thread(&RequestBroker::DispatchLoop, this);
+}
+
+void RequestBroker::Stop() {
+  std::thread to_join;
+  std::deque<std::unique_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    if (!running_) orphans.swap(queue_);
+    running_ = false;
+    to_join = std::move(dispatcher_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  for (std::unique_ptr<Pending>& p : orphans) {
+    p->promise.set_value(Status::FailedPrecondition("broker stopped"));
+  }
+}
+
+StatusOr<ServedAnswer> RequestBroker::Ask(const std::string& synopsis,
+                                          AttrSet target) {
+  return Ask(synopsis, target, Clock::now() + options_.default_deadline);
+}
+
+StatusOr<ServedAnswer> RequestBroker::Ask(const std::string& synopsis,
+                                          AttrSet target,
+                                          Clock::time_point deadline) {
+  auto pending = std::make_unique<Pending>();
+  pending->synopsis = synopsis;
+  pending->target = target;
+  pending->deadline = deadline;
+  pending->admitted_at = Clock::now();
+  std::future<StatusOr<ServedAnswer>> answer = pending->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("broker stopped");
+    }
+    if (queue_.size() >= options_.queue_capacity ||
+        PRIVIEW_FAILPOINT("serve/queue-full")) {
+      metrics_->RecordRejected();
+      return Status::ResourceExhausted(
+          "admission queue full (capacity " +
+          std::to_string(options_.queue_capacity) + "); retry later");
+    }
+    queue_.push_back(std::move(pending));
+    metrics_->RecordAdmitted();
+  }
+  cv_.notify_one();
+  if (answer.wait_until(deadline + kCompletionGrace) ==
+      std::future_status::ready) {
+    return answer.get();
+  }
+  // The dispatcher will still account for this request when it reaches it;
+  // the caller just stops waiting.
+  return Status::DeadlineExceeded(
+      "no verdict on '" + synopsis + "' " + target.ToString() +
+      " within deadline + completion grace");
+}
+
+size_t RequestBroker::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void RequestBroker::DispatchLoop() {
+  for (;;) {
+    std::deque<std::unique_ptr<Pending>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      batch.swap(queue_);
+      if (stopping_) {
+        lock.unlock();
+        for (std::unique_ptr<Pending>& p : batch) {
+          p->promise.set_value(Status::FailedPrecondition("broker stopped"));
+        }
+        return;
+      }
+    }
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void RequestBroker::ProcessBatch(std::deque<std::unique_ptr<Pending>> batch) {
+  const Clock::time_point dispatch_time = Clock::now();
+
+  auto fail = [&](Pending* p, Status status) {
+    metrics_->RecordLatency(RequestKind::kMarginal,
+                            MicrosBetween(p->admitted_at, Clock::now()));
+    p->promise.set_value(std::move(status));
+  };
+  auto deliver = [&](Pending* p, ServedAnswer answer) {
+    metrics_->RecordServedByTier(answer.tier);
+    if (answer.coalesced) metrics_->RecordCoalesced();
+    metrics_->RecordLatency(RequestKind::kMarginal,
+                            MicrosBetween(p->admitted_at, Clock::now()));
+    p->promise.set_value(std::move(answer));
+  };
+
+  // Partition by synopsis name, shedding requests that are already past
+  // their deadline — answering late would just burn solver time nobody is
+  // waiting for.
+  std::map<std::string, std::vector<Pending*>> groups;
+  for (std::unique_ptr<Pending>& p : batch) {
+    if (dispatch_time >= p->deadline) {
+      metrics_->RecordDeadlineExpired();
+      fail(p.get(), Status::DeadlineExceeded(
+                        "deadline passed while queued for '" + p->synopsis +
+                        "' " + p->target.ToString()));
+      continue;
+    }
+    groups[p->synopsis].push_back(p.get());
+  }
+
+  for (auto& [name, requests] : groups) {
+    StatusOr<std::shared_ptr<const HostedSynopsis>> hosted =
+        registry_->Acquire(name);
+    if (!hosted.ok()) {
+      for (Pending* p : requests) fail(p, hosted.status());
+      continue;
+    }
+    const HostedSynopsis& host = *hosted.value();
+    const QueryEngine& engine = host.engine();
+    const AttrSet universe = AttrSet::Full(host.synopsis().d());
+
+    // Validate scopes up front so an invalid target can never become a
+    // coalescing superset for a valid one.
+    std::vector<Pending*> valid;
+    valid.reserve(requests.size());
+    for (Pending* p : requests) {
+      if (!p->target.IsSubsetOf(universe)) {
+        fail(p, Status::InvalidArgument("query scope outside universe: " +
+                                        p->target.ToString()));
+      } else {
+        valid.push_back(p);
+      }
+    }
+    if (valid.empty()) continue;
+
+    // Degradation tier for the group: driven by the most urgent remaining
+    // budget, so one slow full solve cannot blow every deadline in the
+    // batch.
+    const Clock::time_point now = Clock::now();
+    auto min_remaining = std::chrono::milliseconds::max();
+    for (Pending* p : valid) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(p->deadline -
+                                                                now);
+      min_remaining = std::min(min_remaining, remaining);
+    }
+    ServeTier tier = ServeTier::kFull;
+    if (min_remaining <= options_.cache_only_below) {
+      tier = ServeTier::kCacheRollUp;
+    } else if (min_remaining <= options_.least_norm_below) {
+      tier = ServeTier::kLeastNorm;
+    }
+
+    // Serves one already-executed table to one request.
+    auto serve_table = [&](Pending* p, const MarginalTable& exec_table,
+                           bool coalesced) {
+      ServedAnswer answer;
+      answer.tier = tier;
+      answer.coalesced = coalesced;
+      answer.epoch = host.epoch();
+      answer.table = exec_table.attrs() == p->target
+                         ? exec_table
+                         : exec_table.Project(p->target);
+      deliver(p, std::move(answer));
+    };
+    // Executes one target at the chosen tier (the non-coalesced unit).
+    auto execute_one = [&](AttrSet target) -> StatusOr<MarginalTable> {
+      switch (tier) {
+        case ServeTier::kFull:
+          return engine.TryMarginal(target);
+        case ServeTier::kLeastNorm: {
+          if (std::optional<MarginalTable> hit = engine.CacheProbe(target)) {
+            return *std::move(hit);
+          }
+          // Deliberately not inserted into the cache: the cache holds
+          // requested-method reconstructions and a least-norm table must
+          // not masquerade as one after the pressure passes.
+          return host.synopsis().TryQuery(target,
+                                          ReconstructionMethod::kLeastNorm);
+        }
+        case ServeTier::kCacheRollUp: {
+          if (std::optional<MarginalTable> hit = engine.CacheProbe(target)) {
+            return *std::move(hit);
+          }
+          metrics_->RecordDeadlineExpired();
+          return Status::DeadlineExceeded(
+              "deadline pressure: cache-only tier missed on " +
+              target.ToString());
+        }
+      }
+      return Status::Internal("unreachable tier");
+    };
+
+    if (!options_.coalesce) {
+      for (Pending* p : valid) {
+        StatusOr<MarginalTable> table = execute_one(p->target);
+        if (!table.ok()) {
+          fail(p, table.status());
+        } else {
+          serve_table(p, table.value(), /*coalesced=*/false);
+        }
+      }
+      continue;
+    }
+
+    // Coalescing: dedupe targets, then keep only the maximal scopes — a
+    // scope strictly contained in another pending scope is answered by
+    // rolling the superset's table up. Representative choice is
+    // deterministic (first maximal superset in first-seen order).
+    std::vector<AttrSet> distinct;
+    std::unordered_map<uint64_t, size_t> index_of;
+    for (Pending* p : valid) {
+      if (index_of.emplace(p->target.mask(), distinct.size()).second) {
+        distinct.push_back(p->target);
+      }
+    }
+    std::vector<bool> is_maximal(distinct.size(), true);
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      for (size_t j = 0; j < distinct.size(); ++j) {
+        if (i != j && distinct[i] != distinct[j] &&
+            distinct[i].IsSubsetOf(distinct[j])) {
+          is_maximal[i] = false;
+          break;
+        }
+      }
+    }
+    // rep[mask of distinct target] -> index into exec_targets.
+    std::unordered_map<uint64_t, size_t> rep;
+    std::vector<AttrSet> exec_targets;
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      if (is_maximal[i]) {
+        rep[distinct[i].mask()] = exec_targets.size();
+        exec_targets.push_back(distinct[i]);
+      }
+    }
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      if (is_maximal[i]) continue;
+      for (size_t e = 0; e < exec_targets.size(); ++e) {
+        if (distinct[i].IsSubsetOf(exec_targets[e])) {
+          rep[distinct[i].mask()] = e;
+          break;
+        }
+      }
+    }
+
+    std::vector<StatusOr<MarginalTable>> exec_answers;
+    exec_answers.reserve(exec_targets.size());
+    if (tier == ServeTier::kFull) {
+      // The batch entry point: distinct reconstructions run concurrently
+      // on the parallel pool and land in the read-side cache.
+      exec_answers = engine.AnswerBatch(exec_targets);
+    } else {
+      for (const AttrSet& target : exec_targets) {
+        exec_answers.push_back(execute_one(target));
+      }
+    }
+
+    // The representative of each exec target is the first request that
+    // asked for exactly that scope; everyone else sharing the solve is
+    // coalesced.
+    std::vector<bool> rep_taken(exec_targets.size(), false);
+    for (Pending* p : valid) {
+      const size_t e = rep.at(p->target.mask());
+      if (!exec_answers[e].ok()) {
+        fail(p, exec_answers[e].status());
+        continue;
+      }
+      const bool exact = p->target == exec_targets[e];
+      const bool coalesced = !(exact && !rep_taken[e]);
+      if (exact) rep_taken[e] = true;
+      serve_table(p, exec_answers[e].value(), coalesced);
+    }
+  }
+}
+
+}  // namespace priview::serve

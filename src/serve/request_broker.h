@@ -1,0 +1,125 @@
+// RequestBroker: the admission-controlled execution path between the
+// connection handlers and the query engines.
+//
+// Lifecycle of a request (Ask):
+//   1. Admission — the bounded queue either accepts the request or rejects
+//      it immediately with ResourceExhausted (backpressure; the caller is
+//      never blocked behind an unbounded backlog). The "serve/queue-full"
+//      failpoint forces the full-queue path for chaos drills.
+//   2. Batching + coalescing — the dispatcher thread drains the whole
+//      queue each wake-up. Within a batch, requests for the same synopsis
+//      are grouped and their targets coalesced: a duplicate target, or a
+//      target contained in another pending target, shares the superset's
+//      single reconstruction and is answered by cube roll-up. Concurrent
+//      analysts asking overlapping questions cost one solve.
+//   3. Execution — the surviving distinct targets run through
+//      QueryEngine::AnswerBatch, which reconstructs concurrently on the
+//      src/common/parallel pool and populates the read-side cache.
+//   4. Deadlines + degradation — a request whose deadline has already
+//      passed at dispatch time is failed with DeadlineExceeded (never
+//      silently answered late). When the *remaining* budget at dispatch is
+//      below the degradation thresholds the broker downgrades the whole
+//      group along the PR 1 fallback chain — full requested-method solve,
+//      then the cheaper least-norm solve, then cache roll-up only (a
+//      cache miss at that tier is DeadlineExceeded: there is no time left
+//      to solve). Every answer records the tier that produced it.
+//
+// Start() spawns the dispatcher; requests submitted before Start() queue
+// up (tests use this to stage deterministic batches). Stop() drains the
+// queue with FailedPrecondition and joins. Ask() never blocks past the
+// request deadline plus a small completion grace.
+#ifndef PRIVIEW_SERVE_REQUEST_BROKER_H_
+#define PRIVIEW_SERVE_REQUEST_BROKER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "serve/server_metrics.h"
+#include "serve/synopsis_registry.h"
+#include "table/attr_set.h"
+#include "table/marginal_table.h"
+
+namespace priview::serve {
+
+struct BrokerOptions {
+  /// Maximum queued (admitted, not yet dispatched) requests; admission
+  /// past this rejects with ResourceExhausted.
+  size_t queue_capacity = 256;
+  /// Deadline applied when Ask is called without one.
+  std::chrono::milliseconds default_deadline{1000};
+  /// Share reconstructions between duplicate / sub-marginal targets in a
+  /// batch. Off, every request solves (or cache-hits) independently —
+  /// kept as a knob so bench_serve can measure the win.
+  bool coalesce = true;
+  /// Remaining-deadline threshold below which the group downgrades to the
+  /// least-norm solver.
+  std::chrono::milliseconds least_norm_below{50};
+  /// Remaining-deadline threshold below which only the cache may answer.
+  std::chrono::milliseconds cache_only_below{5};
+};
+
+/// A broker answer: the table plus how it was produced.
+struct ServedAnswer {
+  MarginalTable table;
+  ServeTier tier = ServeTier::kFull;
+  /// True when this request shared another pending request's
+  /// reconstruction (exact duplicate or sub-marginal roll-up).
+  bool coalesced = false;
+  /// Epoch of the hosted synopsis that answered (registry install epoch).
+  uint64_t epoch = 0;
+};
+
+class RequestBroker {
+ public:
+  RequestBroker(SynopsisRegistry* registry, ServerMetrics* metrics,
+                const BrokerOptions& options = {});
+  ~RequestBroker();
+  RequestBroker(const RequestBroker&) = delete;
+  RequestBroker& operator=(const RequestBroker&) = delete;
+
+  /// Spawns the dispatcher thread (idempotent).
+  void Start();
+  /// Stops the dispatcher and fails everything still queued. Idempotent.
+  void Stop();
+
+  /// Admission-controlled marginal query against the named synopsis.
+  /// Blocks the calling thread until the answer, a rejection, or the
+  /// deadline. See the file comment for the lifecycle.
+  StatusOr<ServedAnswer> Ask(const std::string& synopsis, AttrSet target);
+  StatusOr<ServedAnswer> Ask(const std::string& synopsis, AttrSet target,
+                             std::chrono::steady_clock::time_point deadline);
+
+  /// Requests admitted but not yet dispatched (diagnostics).
+  size_t QueueDepth() const;
+
+  const BrokerOptions& options() const { return options_; }
+
+ private:
+  struct Pending;
+
+  void DispatchLoop();
+  void ProcessBatch(std::deque<std::unique_ptr<Pending>> batch);
+
+  SynopsisRegistry* const registry_;
+  ServerMetrics* const metrics_;
+  const BrokerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace priview::serve
+
+#endif  // PRIVIEW_SERVE_REQUEST_BROKER_H_

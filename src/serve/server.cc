@@ -1,0 +1,286 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "core/query_engine.h"
+#include "serve/wire_protocol.h"
+
+namespace priview::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(Clock::time_point start) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - start)
+                      .count();
+  return us < 0 ? 0 : static_cast<uint64_t>(us);
+}
+
+}  // namespace
+
+PriViewServer::PriViewServer(const ServerOptions& options)
+    : options_(options),
+      broker_(std::make_unique<RequestBroker>(&registry_, &metrics_,
+                                              options.broker)) {}
+
+PriViewServer::~PriViewServer() { Stop(); }
+
+Status PriViewServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::FailedPrecondition("server already running");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path: '" +
+                                   options_.socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket(): " + std::string(std::strerror(errno)));
+  }
+  // A stale socket file from a dead server would make bind fail; serving
+  // anew is always the right call for a fresh Start.
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st =
+        Status::IOError("bind(" + options_.socket_path +
+                        "): " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status st =
+        Status::IOError("listen(): " + std::string(std::strerror(errno)));
+    ::close(fd);
+    ::unlink(options_.socket_path.c_str());
+    return st;
+  }
+  listen_fd_ = fd;
+  running_ = true;
+  broker_->Start();
+  accept_thread_ = std::thread(&PriViewServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void PriViewServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  // Fail queued work fast so connection handlers blocked in Ask unblock
+  // with a Status instead of waiting out their deadlines.
+  broker_->Stop();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::unique_ptr<Connection>& conn : connections_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (std::unique_ptr<Connection>& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  connections_.clear();
+  ::unlink(options_.socket_path.c_str());
+}
+
+void PriViewServer::AcceptLoop() {
+  for (;;) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!running_) return;
+    }
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listen socket gone (Stop) or unrecoverable
+    }
+    metrics_.RecordConnectionOpened();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!running_) {
+        ::close(fd);
+        metrics_.RecordConnectionClosed();
+        return;
+      }
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { ServeConnection(raw->fd); });
+  }
+}
+
+void PriViewServer::ServeConnection(int fd) {
+  std::vector<uint8_t> payload;
+  for (;;) {
+    bool clean_eof = false;
+    const Status read = ReadFrame(fd, &payload, &clean_eof);
+    if (!read.ok()) {
+      // Torn or oversized inbound frame: the stream cannot be resynced.
+      metrics_.RecordFrameError();
+      break;
+    }
+    if (clean_eof) break;
+
+    std::vector<uint8_t> response_bytes;
+    StatusOr<WireRequest> request = DecodeRequest(payload);
+    if (!request.ok()) {
+      // The frame boundary is intact, so the connection survives a
+      // malformed payload; the analyst just gets the error.
+      metrics_.RecordFrameError();
+      response_bytes = EncodeResponse(MakeErrorResponse(request.status()));
+    } else {
+      response_bytes = HandleRequest(request.value());
+    }
+    if (!WriteFrame(fd, response_bytes).ok()) {
+      metrics_.RecordFrameError();
+      break;
+    }
+  }
+  ::close(fd);
+  metrics_.RecordConnectionClosed();
+}
+
+std::vector<uint8_t> PriViewServer::HandleRequest(const WireRequest& request) {
+  const Clock::time_point start = Clock::now();
+  const auto deadline =
+      start + (request.deadline_ms > 0
+                   ? std::chrono::milliseconds(request.deadline_ms)
+                   : broker_->options().default_deadline);
+
+  // Fetches the scope every data request is built on, through the broker
+  // (admission, coalescing, degradation all apply).
+  auto ask = [&](AttrSet scope) {
+    return broker_->Ask(request.synopsis, scope, deadline);
+  };
+  auto error = [&](const Status& status) {
+    return EncodeResponse(MakeErrorResponse(status));
+  };
+
+  switch (request.type) {
+    case MessageType::kMarginal: {
+      StatusOr<ServedAnswer> answer = ask(AttrSet(request.target_mask));
+      if (!answer.ok()) return error(answer.status());
+      const ServedAnswer& served = answer.value();
+      return EncodeResponse(MakeTableResponse(served.table,
+                                              uint8_t(served.tier),
+                                              served.coalesced, served.epoch));
+    }
+    case MessageType::kConjunction: {
+      const AttrSet attrs(request.target_mask);
+      if (attrs.size() < 64 &&
+          request.assignment >= (uint64_t{1} << attrs.size())) {
+        return error(Status::OutOfRange("assignment out of range for scope " +
+                                        attrs.ToString()));
+      }
+      StatusOr<ServedAnswer> answer = ask(attrs);
+      if (!answer.ok()) return error(answer.status());
+      WireResponse response;
+      response.type = MessageType::kValue;
+      response.tier = uint8_t(answer.value().tier);
+      response.coalesced = answer.value().coalesced ? 1 : 0;
+      response.epoch = answer.value().epoch;
+      response.value = answer.value().table.At(request.assignment);
+      metrics_.RecordLatency(RequestKind::kConjunction, MicrosSince(start));
+      return EncodeResponse(response);
+    }
+    case MessageType::kRollUp:
+    case MessageType::kSlice:
+    case MessageType::kDice: {
+      const AttrSet scope(request.target_mask);
+      // Validate the cube operation before asking, so an impossible
+      // request never costs a reconstruction.
+      if (request.type == MessageType::kRollUp &&
+          !AttrSet(request.aux_mask).IsSubsetOf(scope)) {
+        return error(Status::InvalidArgument(
+            "roll-up keep set not contained in the cube scope"));
+      }
+      if (request.type == MessageType::kSlice &&
+          (!scope.Contains(request.attr) || request.value > 1)) {
+        return error(
+            Status::InvalidArgument("slice attribute/value invalid for scope " +
+                                    scope.ToString()));
+      }
+      if (request.type == MessageType::kDice) {
+        const AttrSet fixed(request.aux_mask);
+        if (!fixed.IsSubsetOf(scope) ||
+            (fixed.size() < 64 &&
+             request.assignment >= (uint64_t{1} << fixed.size()))) {
+          return error(Status::InvalidArgument(
+              "dice fixed-set/values invalid for scope " + scope.ToString()));
+        }
+      }
+      StatusOr<ServedAnswer> answer = ask(scope);
+      if (!answer.ok()) return error(answer.status());
+      const ServedAnswer& served = answer.value();
+      MarginalTable result;
+      switch (request.type) {
+        case MessageType::kRollUp:
+          result = cube::RollUp(served.table, AttrSet(request.aux_mask));
+          break;
+        case MessageType::kSlice:
+          result = cube::Slice(served.table, request.attr, request.value);
+          break;
+        default:
+          result = cube::Dice(served.table, AttrSet(request.aux_mask),
+                              request.assignment);
+          break;
+      }
+      metrics_.RecordLatency(RequestKind::kCube, MicrosSince(start));
+      return EncodeResponse(MakeTableResponse(
+          result, uint8_t(served.tier), served.coalesced, served.epoch));
+    }
+    case MessageType::kStats: {
+      WireResponse response;
+      response.type = MessageType::kText;
+      response.text = metrics_.TakeSnapshot().ToJson();
+      metrics_.RecordLatency(RequestKind::kStats, MicrosSince(start));
+      return EncodeResponse(response);
+    }
+    case MessageType::kList: {
+      WireResponse response;
+      response.type = MessageType::kText;
+      for (const SynopsisInfo& info : registry_.List()) {
+        char line[192];
+        std::snprintf(line, sizeof(line),
+                      "%s d=%d views=%zu eps=%.3f epoch=%llu intact=%d\n",
+                      info.name.c_str(), info.d, info.views, info.epsilon,
+                      (unsigned long long)info.epoch,
+                      info.fully_intact ? 1 : 0);
+        response.text += line;
+      }
+      metrics_.RecordLatency(RequestKind::kStats, MicrosSince(start));
+      return EncodeResponse(response);
+    }
+    default:
+      return error(Status::InvalidArgument("unhandled request type"));
+  }
+}
+
+}  // namespace priview::serve

@@ -1,0 +1,90 @@
+// PriViewServer: the process boundary. Listens on a Unix-domain stream
+// socket, speaks the serve/wire_protocol framing, and routes every data
+// request through the RequestBroker (admission control, coalescing,
+// deadline degradation) against the SynopsisRegistry. One thread per
+// connection; connections are independent, and a malformed or torn frame
+// kills only its own connection, never the process.
+//
+// Request handling:
+//   marginal            broker Ask -> table response
+//   conjunction         broker Ask(attrs) -> cell lookup -> value response
+//   roll-up/slice/dice  broker Ask(cube scope) -> cube algebra on the
+//                       answered table -> table response (so the cube ops
+//                       inherit coalescing: concurrent slices of the same
+//                       cube share one reconstruction)
+//   stats               ServerMetrics snapshot as JSON -> text response
+//   list                registry contents -> text response
+//
+// The registry stays exposed so the owning process can hot-swap releases
+// while the server is accepting queries; in-flight requests hold their
+// engine via the registry's refcount and finish on the release they
+// started on.
+#ifndef PRIVIEW_SERVE_SERVER_H_
+#define PRIVIEW_SERVE_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/request_broker.h"
+#include "serve/server_metrics.h"
+#include "serve/synopsis_registry.h"
+#include "serve/wire_protocol.h"
+
+namespace priview::serve {
+
+struct ServerOptions {
+  /// Filesystem path of the Unix-domain socket (bound at Start; unlinked
+  /// at Stop). Must fit sockaddr_un (~107 bytes).
+  std::string socket_path;
+  BrokerOptions broker;
+};
+
+class PriViewServer {
+ public:
+  explicit PriViewServer(const ServerOptions& options);
+  ~PriViewServer();
+  PriViewServer(const PriViewServer&) = delete;
+  PriViewServer& operator=(const PriViewServer&) = delete;
+
+  /// Binds the socket, starts the broker dispatcher and the accept loop.
+  Status Start();
+  /// Stops accepting, shuts down live connections, joins every thread,
+  /// unlinks the socket. Idempotent.
+  void Stop();
+
+  /// Host / hot-swap synopses through this (thread-safe, live during
+  /// serving).
+  SynopsisRegistry& registry() { return registry_; }
+  ServerMetrics& metrics() { return metrics_; }
+  RequestBroker& broker() { return *broker_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Builds the response for one decoded request (never throws; every
+  /// failure is an error response).
+  std::vector<uint8_t> HandleRequest(const WireRequest& request);
+
+  const ServerOptions options_;
+  SynopsisRegistry registry_;
+  ServerMetrics metrics_;
+  std::unique_ptr<RequestBroker> broker_;
+
+  std::mutex mu_;
+  bool running_ = false;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace priview::serve
+
+#endif  // PRIVIEW_SERVE_SERVER_H_

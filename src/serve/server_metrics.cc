@@ -1,0 +1,171 @@
+#include "serve/server_metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace priview::serve {
+
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kMarginal:
+      return "marginal";
+    case RequestKind::kConjunction:
+      return "conjunction";
+    case RequestKind::kCube:
+      return "cube";
+    case RequestKind::kStats:
+      return "stats";
+  }
+  return "unknown";
+}
+
+const char* ServeTierName(ServeTier tier) {
+  switch (tier) {
+    case ServeTier::kFull:
+      return "full";
+    case ServeTier::kLeastNorm:
+      return "least-norm";
+    case ServeTier::kCacheRollUp:
+      return "cache-rollup";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Bucket i covers [2^i, 2^(i+1)) microseconds; bucket 0 also takes 0 us.
+int BucketFor(uint64_t micros) {
+  if (micros < 2) return 0;
+  const int b = std::bit_width(micros) - 1;
+  return b >= ServerMetrics::kLatencyBuckets
+             ? ServerMetrics::kLatencyBuckets - 1
+             : b;
+}
+
+double BucketUpperBoundMs(int bucket) {
+  return static_cast<double>(uint64_t{1} << (bucket + 1)) / 1000.0;
+}
+
+}  // namespace
+
+void ServerMetrics::RecordLatency(RequestKind kind, uint64_t micros) {
+  Add(&latency_counts_[static_cast<int>(kind)][BucketFor(micros)]);
+}
+
+ServerMetrics::Snapshot ServerMetrics::TakeSnapshot() const {
+  Snapshot s;
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  for (int t = 0; t < kServeTierCount; ++t) {
+    s.served_by_tier[t] = served_by_tier_[t].load(std::memory_order_relaxed);
+  }
+  s.connections_opened = connections_opened_.load(std::memory_order_relaxed);
+  s.connections_closed = connections_closed_.load(std::memory_order_relaxed);
+  s.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  for (int k = 0; k < kRequestKindCount; ++k) {
+    for (int b = 0; b < kLatencyBuckets; ++b) {
+      s.latency_counts[k][b] =
+          latency_counts_[k][b].load(std::memory_order_relaxed);
+      s.latency_totals[k] += s.latency_counts[k][b];
+    }
+  }
+  return s;
+}
+
+double ServerMetrics::Snapshot::CoalescingHitRate() const {
+  return admitted == 0
+             ? 0.0
+             : static_cast<double>(coalesced) / static_cast<double>(admitted);
+}
+
+double ServerMetrics::Snapshot::LatencyPercentileMs(RequestKind kind,
+                                                    double p) const {
+  const int k = static_cast<int>(kind);
+  const uint64_t total = latency_totals[k];
+  if (total == 0 || !(p > 0.0)) return 0.0;
+  if (p > 1.0) p = 1.0;
+  const double rank = p * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    cumulative += latency_counts[k][b];
+    if (static_cast<double>(cumulative) >= rank) return BucketUpperBoundMs(b);
+  }
+  return BucketUpperBoundMs(kLatencyBuckets - 1);
+}
+
+std::string ServerMetrics::Snapshot::ToString() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "requests: admitted=%llu rejected=%llu coalesced=%llu "
+                "deadline_expired=%llu\n",
+                (unsigned long long)admitted, (unsigned long long)rejected,
+                (unsigned long long)coalesced,
+                (unsigned long long)deadline_expired);
+  out += line;
+  out += "served_by_tier:";
+  for (int t = 0; t < kServeTierCount; ++t) {
+    std::snprintf(line, sizeof(line), " %s=%llu",
+                  ServeTierName(static_cast<ServeTier>(t)),
+                  (unsigned long long)served_by_tier[t]);
+    out += line;
+  }
+  out += "\n";
+  std::snprintf(line, sizeof(line),
+                "connections: opened=%llu closed=%llu frame_errors=%llu\n",
+                (unsigned long long)connections_opened,
+                (unsigned long long)connections_closed,
+                (unsigned long long)frame_errors);
+  out += line;
+  for (int k = 0; k < kRequestKindCount; ++k) {
+    if (latency_totals[k] == 0) continue;
+    const RequestKind kind = static_cast<RequestKind>(k);
+    std::snprintf(line, sizeof(line),
+                  "latency[%s]: n=%llu p50<=%.3fms p99<=%.3fms\n",
+                  RequestKindName(kind), (unsigned long long)latency_totals[k],
+                  LatencyPercentileMs(kind, 0.5),
+                  LatencyPercentileMs(kind, 0.99));
+    out += line;
+  }
+  return out;
+}
+
+std::string ServerMetrics::Snapshot::ToJson() const {
+  char buf[256];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"admitted\": %llu, \"rejected\": %llu, \"coalesced\": %llu, "
+                "\"deadline_expired\": %llu, \"coalescing_hit_rate\": %.4f",
+                (unsigned long long)admitted, (unsigned long long)rejected,
+                (unsigned long long)coalesced,
+                (unsigned long long)deadline_expired, CoalescingHitRate());
+  out += buf;
+  for (int t = 0; t < kServeTierCount; ++t) {
+    std::snprintf(buf, sizeof(buf), ", \"served_%s\": %llu",
+                  ServeTierName(static_cast<ServeTier>(t)),
+                  (unsigned long long)served_by_tier[t]);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                ", \"connections_opened\": %llu, \"connections_closed\": %llu"
+                ", \"frame_errors\": %llu",
+                (unsigned long long)connections_opened,
+                (unsigned long long)connections_closed,
+                (unsigned long long)frame_errors);
+  out += buf;
+  for (int k = 0; k < kRequestKindCount; ++k) {
+    const RequestKind kind = static_cast<RequestKind>(k);
+    std::snprintf(buf, sizeof(buf),
+                  ", \"%s_n\": %llu, \"%s_p50_ms\": %.4f, \"%s_p99_ms\": %.4f",
+                  RequestKindName(kind), (unsigned long long)latency_totals[k],
+                  RequestKindName(kind), LatencyPercentileMs(kind, 0.5),
+                  RequestKindName(kind), LatencyPercentileMs(kind, 0.99));
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace priview::serve

@@ -1,0 +1,124 @@
+// Server-side observability for the query-serving subsystem: lock-free
+// atomic counters for the request lifecycle (admitted / rejected /
+// coalesced / deadline-expired / degraded) and fixed-bucket latency
+// histograms per request kind. Everything here is queryable in-process
+// (Snapshot) and over the wire (the stats request renders Snapshot as
+// JSON), and cheap enough to record on every request: one relaxed
+// fetch_add per counter, two per completed request.
+//
+// Histogram shape: bucket i covers latencies in [2^i, 2^(i+1)) microseconds
+// (bucket 0 additionally absorbs sub-microsecond samples), 22 buckets total
+// so the top bucket starts at ~2.1 s — far past any serving deadline.
+// Percentiles are read off the cumulative bucket counts and reported as the
+// bucket's upper bound, so a reported p99 is a true upper bound at ~2x
+// resolution, which is what capacity planning needs.
+#ifndef PRIVIEW_SERVE_SERVER_METRICS_H_
+#define PRIVIEW_SERVE_SERVER_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace priview::serve {
+
+/// Wire-level request families the server tracks latency for separately.
+/// Cube operations (roll-up / slice / dice) share one family: they are all
+/// "fetch a marginal, post-process it" and have the same cost profile.
+enum class RequestKind : int {
+  kMarginal = 0,
+  kConjunction = 1,
+  kCube = 2,
+  kStats = 3,
+};
+inline constexpr int kRequestKindCount = 4;
+const char* RequestKindName(RequestKind kind);
+
+/// Degradation tier that produced an answer (the PR 1 fallback chain as
+/// seen from the broker): full requested-method reconstruction, the
+/// cheaper least-norm solve, or a cache roll-up with no solve at all.
+enum class ServeTier : int {
+  kFull = 0,
+  kLeastNorm = 1,
+  kCacheRollUp = 2,
+};
+inline constexpr int kServeTierCount = 3;
+const char* ServeTierName(ServeTier tier);
+
+class ServerMetrics {
+ public:
+  static constexpr int kLatencyBuckets = 22;
+
+  ServerMetrics() = default;
+  ServerMetrics(const ServerMetrics&) = delete;
+  ServerMetrics& operator=(const ServerMetrics&) = delete;
+
+  // --- request lifecycle ---------------------------------------------------
+  void RecordAdmitted() { Add(&admitted_); }
+  void RecordRejected() { Add(&rejected_); }
+  void RecordCoalesced() { Add(&coalesced_); }
+  void RecordDeadlineExpired() { Add(&deadline_expired_); }
+  void RecordServedByTier(ServeTier tier) {
+    Add(&served_by_tier_[static_cast<int>(tier)]);
+  }
+
+  // --- connections and framing ---------------------------------------------
+  void RecordConnectionOpened() { Add(&connections_opened_); }
+  void RecordConnectionClosed() { Add(&connections_closed_); }
+  void RecordFrameError() { Add(&frame_errors_); }
+
+  /// Completed request of `kind` that took `micros` microseconds end to
+  /// end (admission to response), successful or not.
+  void RecordLatency(RequestKind kind, uint64_t micros);
+
+  /// Point-in-time copy of every counter — plain values, safe to hand to
+  /// other threads or serialize. Individual counters are read relaxed, so a
+  /// snapshot taken mid-request may be off by in-flight increments; it is
+  /// never torn within a single counter.
+  struct Snapshot {
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t coalesced = 0;
+    uint64_t deadline_expired = 0;
+    uint64_t served_by_tier[kServeTierCount] = {};
+    uint64_t connections_opened = 0;
+    uint64_t connections_closed = 0;
+    uint64_t frame_errors = 0;
+    uint64_t latency_counts[kRequestKindCount][kLatencyBuckets] = {};
+    uint64_t latency_totals[kRequestKindCount] = {};
+
+    /// Fraction of admitted requests that shared another request's
+    /// reconstruction (duplicate or sub-marginal coalescing).
+    double CoalescingHitRate() const;
+    /// Latency below which a fraction `p` (in (0, 1]) of completed `kind`
+    /// requests fell, in milliseconds (bucket upper bound; 0 when no
+    /// requests of that kind completed).
+    double LatencyPercentileMs(RequestKind kind, double p) const;
+    /// Multi-line human-readable rendering for logs.
+    std::string ToString() const;
+    /// Single JSON object — the stats request's wire payload.
+    std::string ToJson() const;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  static void Add(std::atomic<uint64_t>* counter) {
+    counter->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+  std::array<std::atomic<uint64_t>, kServeTierCount> served_by_tier_{};
+  std::atomic<uint64_t> connections_opened_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> frame_errors_{0};
+  std::array<std::array<std::atomic<uint64_t>, kLatencyBuckets>,
+             kRequestKindCount>
+      latency_counts_{};
+};
+
+}  // namespace priview::serve
+
+#endif  // PRIVIEW_SERVE_SERVER_METRICS_H_

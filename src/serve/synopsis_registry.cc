@@ -1,0 +1,93 @@
+#include "serve/synopsis_registry.h"
+
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace priview::serve {
+
+Status SynopsisRegistry::Install(const std::string& name,
+                                 PriViewSynopsis synopsis,
+                                 const QueryEngineOptions& engine_options,
+                                 LoadReport report) {
+  if (name.empty()) {
+    return Status::InvalidArgument("synopsis name must be non-empty");
+  }
+  if (synopsis.views().empty() || synopsis.d() < 1) {
+    return Status::FailedPrecondition("synopsis '" + name +
+                                      "' has no views to serve from");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (PRIVIEW_FAILPOINT("serve/swap-race")) {
+    return Status::FailedPrecondition(
+        "injected: serve/swap-race — hot-swap of '" + name +
+        "' lost a concurrent swap; previous release still live, retry");
+  }
+  const uint64_t epoch = next_epoch_++;
+  // The swap is this one shared_ptr assignment: readers that Acquire()d
+  // the old release keep it alive through their queries; new Acquires see
+  // the new release atomically.
+  hosted_[name] = std::make_shared<HostedSynopsis>(
+      name, std::move(synopsis), engine_options, std::move(report), epoch);
+  ++install_count_;
+  return Status::OK();
+}
+
+StatusOr<LoadReport> SynopsisRegistry::InstallFromFile(
+    const std::string& name, const std::string& path,
+    const ReadOptions& read_options, const QueryEngineOptions& engine_options) {
+  LoadReport report;
+  StatusOr<PriViewSynopsis> loaded = LoadSynopsis(path, read_options, &report);
+  if (!loaded.ok()) return loaded.status();
+  const Status installed =
+      Install(name, std::move(loaded).value(), engine_options, report);
+  if (!installed.ok()) return installed;
+  return report;
+}
+
+StatusOr<std::shared_ptr<const HostedSynopsis>> SynopsisRegistry::Acquire(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hosted_.find(name);
+  if (it == hosted_.end()) {
+    return Status::NotFound("no synopsis named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status SynopsisRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hosted_.erase(name) == 0) {
+    return Status::NotFound("no synopsis named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<SynopsisInfo> SynopsisRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SynopsisInfo> out;
+  out.reserve(hosted_.size());
+  for (const auto& [name, hosted] : hosted_) {
+    SynopsisInfo info;
+    info.name = name;
+    info.d = hosted->synopsis().d();
+    info.views = hosted->synopsis().views().size();
+    info.epsilon = hosted->synopsis().options().epsilon;
+    info.epoch = hosted->epoch();
+    info.fully_intact = hosted->load_report().fully_intact();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+size_t SynopsisRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hosted_.size();
+}
+
+uint64_t SynopsisRegistry::install_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return install_count_;
+}
+
+}  // namespace priview::serve

@@ -1,0 +1,121 @@
+// SynopsisRegistry: hosts multiple named synopses (dataset x epsilon x
+// design) behind one process, with atomic hot-swap. The unit of hosting is
+// a HostedSynopsis — the synopsis, the QueryEngine bound to it (with its
+// marginal cache), and the LoadReport describing how intact the on-disk
+// artifact was. Queries run against a shared_ptr acquired from the
+// registry, so an in-flight query holds its engine alive across a
+// concurrent swap and never observes a torn replacement: the swap is a
+// single shared_ptr exchange under the registry mutex, and the old hosted
+// synopsis is destroyed only when the last in-flight reference drops.
+//
+// Epochs: every successful install gets a registry-global, monotonically
+// increasing epoch. Responses carry the answering epoch so an analyst (or
+// a test) can tell exactly which release produced an answer across a swap.
+#ifndef PRIVIEW_SERVE_SYNOPSIS_REGISTRY_H_
+#define PRIVIEW_SERVE_SYNOPSIS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query_engine.h"
+#include "core/serialization.h"
+#include "core/synopsis.h"
+
+namespace priview::serve {
+
+/// One hosted release: the synopsis, its engine, and its provenance. The
+/// engine points into the synopsis member, so the object is pinned
+/// (non-copyable, non-movable) and always heap-allocated via shared_ptr.
+class HostedSynopsis {
+ public:
+  HostedSynopsis(std::string name, PriViewSynopsis synopsis,
+                 const QueryEngineOptions& engine_options, LoadReport report,
+                 uint64_t epoch)
+      : name_(std::move(name)),
+        synopsis_(std::move(synopsis)),
+        engine_(&synopsis_, engine_options),
+        report_(std::move(report)),
+        epoch_(epoch) {}
+  HostedSynopsis(const HostedSynopsis&) = delete;
+  HostedSynopsis& operator=(const HostedSynopsis&) = delete;
+
+  const std::string& name() const { return name_; }
+  const PriViewSynopsis& synopsis() const { return synopsis_; }
+  const QueryEngine& engine() const { return engine_; }
+  const LoadReport& load_report() const { return report_; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::string name_;
+  PriViewSynopsis synopsis_;
+  QueryEngine engine_;
+  LoadReport report_;
+  uint64_t epoch_;
+};
+
+/// Summary row for the list request (and logs).
+struct SynopsisInfo {
+  std::string name;
+  int d = 0;
+  size_t views = 0;
+  double epsilon = 0.0;
+  uint64_t epoch = 0;
+  bool fully_intact = true;
+};
+
+class SynopsisRegistry {
+ public:
+  SynopsisRegistry() = default;
+  SynopsisRegistry(const SynopsisRegistry&) = delete;
+  SynopsisRegistry& operator=(const SynopsisRegistry&) = delete;
+
+  /// Installs (or hot-swaps) `name` to host `synopsis`. Validates the
+  /// synopsis the way QueryEngine::Create does (non-empty views, d >= 1)
+  /// before touching the map, so a failed install never disturbs the
+  /// currently served release. Under the "serve/swap-race" failpoint the
+  /// swap reports losing a concurrent compare-and-swap race with
+  /// FailedPrecondition — the previous release stays live and the caller
+  /// retries.
+  Status Install(const std::string& name, PriViewSynopsis synopsis,
+                 const QueryEngineOptions& engine_options = {},
+                 LoadReport report = {});
+
+  /// Loads the v2 (or legacy v1) serialized synopsis at `path` and
+  /// installs it under `name`, surfacing the LoadReport: with
+  /// read_options.recover set, a partially damaged file still installs and
+  /// the report (also returned on success) says what was dropped.
+  StatusOr<LoadReport> InstallFromFile(
+      const std::string& name, const std::string& path,
+      const ReadOptions& read_options = {},
+      const QueryEngineOptions& engine_options = {});
+
+  /// The hosted synopsis serving `name`, refcounted: callers keep the
+  /// shared_ptr for the duration of their query and the release cannot be
+  /// torn down under them by a concurrent swap or Remove.
+  StatusOr<std::shared_ptr<const HostedSynopsis>> Acquire(
+      const std::string& name) const;
+
+  /// Removes `name` from the registry. In-flight queries holding an
+  /// acquired shared_ptr finish normally. NotFound if absent.
+  Status Remove(const std::string& name);
+
+  std::vector<SynopsisInfo> List() const;
+  size_t size() const;
+  /// Number of successful installs (swaps included) since construction.
+  uint64_t install_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const HostedSynopsis>> hosted_;
+  uint64_t next_epoch_ = 1;
+  uint64_t install_count_ = 0;
+};
+
+}  // namespace priview::serve
+
+#endif  // PRIVIEW_SERVE_SYNOPSIS_REGISTRY_H_

@@ -1,0 +1,433 @@
+#include "serve/wire_protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace priview::serve {
+
+namespace {
+
+// --- byte-order-explicit serialization helpers -----------------------------
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U16(uint16_t v) { AppendLE(v, 2); }
+  void U32(uint32_t v) { AppendLE(v, 4); }
+  void U64(uint64_t v) { AppendLE(v, 8); }
+  void I32(int32_t v) { AppendLE(static_cast<uint32_t>(v), 4); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    const uint16_t n = s.size() > 0xffff ? 0xffff : uint16_t(s.size());
+    U16(n);
+    out_->insert(out_->end(), s.begin(), s.begin() + n);
+  }
+
+ private:
+  void AppendLE(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) out_->push_back(uint8_t(v >> (8 * i)));
+  }
+  std::vector<uint8_t>* out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& in) : in_(in) {}
+
+  Status U8(uint8_t* v) { return ReadLE(v, 1); }
+  Status U16(uint16_t* v) { return ReadLE(v, 2); }
+  Status U32(uint32_t* v) { return ReadLE(v, 4); }
+  Status U64(uint64_t* v) { return ReadLE(v, 8); }
+  Status I32(int32_t* v) {
+    uint32_t u;
+    const Status st = ReadLE(&u, 4);
+    if (st.ok()) *v = static_cast<int32_t>(u);
+    return st;
+  }
+  Status F64(double* v) {
+    uint64_t bits;
+    const Status st = U64(&bits);
+    if (st.ok()) std::memcpy(v, &bits, sizeof(*v));
+    return st;
+  }
+  Status Str(std::string* s) {
+    uint16_t n;
+    Status st = U16(&n);
+    if (!st.ok()) return st;
+    if (in_.size() - pos_ < n) {
+      return Status::DataLoss("truncated string in payload");
+    }
+    s->assign(reinterpret_cast<const char*>(in_.data() + pos_), n);
+    pos_ += n;
+    return Status::OK();
+  }
+  bool exhausted() const { return pos_ == in_.size(); }
+
+ private:
+  template <typename T>
+  Status ReadLE(T* v, size_t bytes) {
+    if (in_.size() - pos_ < bytes) {
+      return Status::DataLoss("truncated payload");
+    }
+    uint64_t u = 0;
+    for (size_t i = 0; i < bytes; ++i) {
+      u |= uint64_t(in_[pos_ + i]) << (8 * i);
+    }
+    pos_ += bytes;
+    *v = static_cast<T>(u);
+    return Status::OK();
+  }
+
+  const std::vector<uint8_t>& in_;
+  size_t pos_ = 0;
+};
+
+bool IsRequestType(uint8_t t) {
+  return t >= uint8_t(MessageType::kMarginal) &&
+         t <= uint8_t(MessageType::kList);
+}
+
+bool IsResponseType(uint8_t t) {
+  return t >= uint8_t(MessageType::kTable) &&
+         t <= uint8_t(MessageType::kError);
+}
+
+}  // namespace
+
+// --- request ---------------------------------------------------------------
+
+std::vector<uint8_t> EncodeRequest(const WireRequest& request) {
+  std::vector<uint8_t> out;
+  ByteWriter w(&out);
+  w.U8(uint8_t(request.type));
+  switch (request.type) {
+    case MessageType::kMarginal:
+      w.Str(request.synopsis);
+      w.U64(request.target_mask);
+      w.U32(request.deadline_ms);
+      break;
+    case MessageType::kConjunction:
+      w.Str(request.synopsis);
+      w.U64(request.target_mask);
+      w.U64(request.assignment);
+      w.U32(request.deadline_ms);
+      break;
+    case MessageType::kRollUp:
+      w.Str(request.synopsis);
+      w.U64(request.target_mask);
+      w.U64(request.aux_mask);
+      w.U32(request.deadline_ms);
+      break;
+    case MessageType::kSlice:
+      w.Str(request.synopsis);
+      w.U64(request.target_mask);
+      w.U8(request.attr);
+      w.U8(request.value);
+      w.U32(request.deadline_ms);
+      break;
+    case MessageType::kDice:
+      w.Str(request.synopsis);
+      w.U64(request.target_mask);
+      w.U64(request.aux_mask);
+      w.U64(request.assignment);
+      w.U32(request.deadline_ms);
+      break;
+    case MessageType::kStats:
+    case MessageType::kList:
+      break;
+    default:
+      break;  // encoded as a bare (undecodable) type byte
+  }
+  return out;
+}
+
+StatusOr<WireRequest> DecodeRequest(const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  uint8_t type_byte;
+  Status st = r.U8(&type_byte);
+  if (!st.ok()) return st;
+  if (!IsRequestType(type_byte)) {
+    return Status::InvalidArgument("unknown request type " +
+                                   std::to_string(type_byte));
+  }
+  WireRequest request;
+  request.type = MessageType(type_byte);
+  auto all = [&](std::initializer_list<Status> steps) {
+    for (const Status& s : steps) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  };
+  switch (request.type) {
+    case MessageType::kMarginal:
+      st = all({r.Str(&request.synopsis), r.U64(&request.target_mask),
+                r.U32(&request.deadline_ms)});
+      break;
+    case MessageType::kConjunction:
+      st = all({r.Str(&request.synopsis), r.U64(&request.target_mask),
+                r.U64(&request.assignment), r.U32(&request.deadline_ms)});
+      break;
+    case MessageType::kRollUp:
+      st = all({r.Str(&request.synopsis), r.U64(&request.target_mask),
+                r.U64(&request.aux_mask), r.U32(&request.deadline_ms)});
+      break;
+    case MessageType::kSlice:
+      st = all({r.Str(&request.synopsis), r.U64(&request.target_mask),
+                r.U8(&request.attr), r.U8(&request.value),
+                r.U32(&request.deadline_ms)});
+      break;
+    case MessageType::kDice:
+      st = all({r.Str(&request.synopsis), r.U64(&request.target_mask),
+                r.U64(&request.aux_mask), r.U64(&request.assignment),
+                r.U32(&request.deadline_ms)});
+      break;
+    case MessageType::kStats:
+    case MessageType::kList:
+      break;
+    default:
+      return Status::Internal("unreachable request type");
+  }
+  if (!st.ok()) return st;
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after request payload");
+  }
+  return request;
+}
+
+// --- response --------------------------------------------------------------
+
+std::vector<uint8_t> EncodeResponse(const WireResponse& response) {
+  std::vector<uint8_t> out;
+  ByteWriter w(&out);
+  w.U8(uint8_t(response.type));
+  switch (response.type) {
+    case MessageType::kTable:
+      w.U8(response.tier);
+      w.U8(response.coalesced);
+      w.U64(response.epoch);
+      w.U64(response.table_attrs_mask);
+      w.U32(uint32_t(response.cells.size()));
+      for (double c : response.cells) w.F64(c);
+      break;
+    case MessageType::kValue:
+      w.U8(response.tier);
+      w.U8(response.coalesced);
+      w.U64(response.epoch);
+      w.F64(response.value);
+      break;
+    case MessageType::kText:
+      w.Str(response.text);
+      break;
+    case MessageType::kError:
+      w.I32(response.code);
+      w.Str(response.message);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+StatusOr<WireResponse> DecodeResponse(const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  uint8_t type_byte;
+  Status st = r.U8(&type_byte);
+  if (!st.ok()) return st;
+  if (!IsResponseType(type_byte)) {
+    return Status::InvalidArgument("unknown response type " +
+                                   std::to_string(type_byte));
+  }
+  WireResponse response;
+  response.type = MessageType(type_byte);
+  switch (response.type) {
+    case MessageType::kTable: {
+      st = r.U8(&response.tier);
+      if (st.ok()) st = r.U8(&response.coalesced);
+      if (st.ok()) st = r.U64(&response.epoch);
+      if (st.ok()) st = r.U64(&response.table_attrs_mask);
+      uint32_t cell_count = 0;
+      if (st.ok()) st = r.U32(&cell_count);
+      if (!st.ok()) return st;
+      // Bound the count by what the payload can actually hold before
+      // reserving anything — a hostile header must not drive allocation.
+      if (size_t(cell_count) * 8 > payload.size()) {
+        return Status::DataLoss("cell count exceeds payload");
+      }
+      response.cells.resize(cell_count);
+      for (uint32_t i = 0; i < cell_count && st.ok(); ++i) {
+        st = r.F64(&response.cells[i]);
+      }
+      break;
+    }
+    case MessageType::kValue:
+      st = r.U8(&response.tier);
+      if (st.ok()) st = r.U8(&response.coalesced);
+      if (st.ok()) st = r.U64(&response.epoch);
+      if (st.ok()) st = r.F64(&response.value);
+      break;
+    case MessageType::kText:
+      st = r.Str(&response.text);
+      break;
+    case MessageType::kError:
+      st = r.I32(&response.code);
+      if (st.ok()) st = r.Str(&response.message);
+      break;
+    default:
+      return Status::Internal("unreachable response type");
+  }
+  if (!st.ok()) return st;
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after response payload");
+  }
+  return response;
+}
+
+StatusOr<MarginalTable> WireResponse::ToTable() const {
+  if (type != MessageType::kTable) {
+    return Status::InvalidArgument("response is not a table");
+  }
+  const AttrSet attrs(table_attrs_mask);
+  if (attrs.size() > 30 || cells.size() != (size_t{1} << attrs.size())) {
+    return Status::DataLoss("table cell count does not match scope " +
+                            attrs.ToString());
+  }
+  return MarginalTable(attrs, cells);
+}
+
+Status WireResponse::ToStatus() const {
+  if (type != MessageType::kError) return Status::OK();
+  const int32_t max_code = int32_t(StatusCode::kDeadlineExceeded);
+  const StatusCode status_code =
+      (code < 0 || code > max_code) ? StatusCode::kInternal : StatusCode(code);
+  return Status(status_code, message);
+}
+
+WireResponse MakeErrorResponse(const Status& status) {
+  WireResponse response;
+  response.type = MessageType::kError;
+  response.code = int32_t(status.code());
+  response.message = status.message();
+  return response;
+}
+
+WireResponse MakeTableResponse(const MarginalTable& table, uint8_t tier,
+                               bool coalesced, uint64_t epoch) {
+  WireResponse response;
+  response.type = MessageType::kTable;
+  response.tier = tier;
+  response.coalesced = coalesced ? 1 : 0;
+  response.epoch = epoch;
+  response.table_attrs_mask = table.attrs().mask();
+  response.cells = table.cells();
+  return response;
+}
+
+// --- framing ---------------------------------------------------------------
+
+namespace {
+
+Status WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t written = 0;
+  while (written < len) {
+    // MSG_NOSIGNAL: writing to a peer-closed socket must surface as EPIPE
+    // (an IOError the caller handles), never a process-killing SIGPIPE.
+    const ssize_t n =
+        ::send(fd, data + written, len - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("frame write failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    written += size_t(n);
+  }
+  return Status::OK();
+}
+
+// Reads exactly len bytes. *eof_at_start distinguishes a clean close (no
+// bytes at all) from a torn read (some bytes, then EOF).
+Status ReadAll(int fd, uint8_t* data, size_t len, bool* eof_at_start) {
+  *eof_at_start = false;
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, data + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("frame read failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (got == 0) {
+        *eof_at_start = true;
+        return Status::OK();
+      }
+      return Status::DataLoss("torn frame: connection closed after " +
+                              std::to_string(got) + " of " +
+                              std::to_string(len) + " bytes");
+    }
+    got += size_t(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload over limit: " +
+                                   std::to_string(payload.size()));
+  }
+  uint8_t header[4];
+  const uint32_t len = uint32_t(payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = uint8_t(len >> (8 * i));
+  Status st = WriteAll(fd, header, sizeof(header));
+  if (!st.ok()) return st;
+  if (PRIVIEW_FAILPOINT("serve/io-torn-frame")) {
+    // Tear the frame: ship only half the payload, then report the failure
+    // so the caller abandons the connection. The peer's ReadFrame sees the
+    // truncation as DataLoss once the socket closes.
+    (void)WriteAll(fd, payload.data(), payload.size() / 2);
+    return Status::IOError("injected: serve/io-torn-frame");
+  }
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Status ReadFrame(int fd, std::vector<uint8_t>* payload, bool* clean_eof) {
+  payload->clear();
+  *clean_eof = false;
+  uint8_t header[4];
+  bool eof_at_start = false;
+  Status st = ReadAll(fd, header, sizeof(header), &eof_at_start);
+  if (!st.ok()) return st;
+  if (eof_at_start) {
+    *clean_eof = true;
+    return Status::OK();
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= uint32_t(header[i]) << (8 * i);
+  if (len > kMaxFramePayload) {
+    return Status::DataLoss("oversized frame: declared " +
+                            std::to_string(len) + " bytes (cap " +
+                            std::to_string(kMaxFramePayload) + ")");
+  }
+  payload->resize(len);
+  if (len == 0) return Status::OK();
+  st = ReadAll(fd, payload->data(), len, &eof_at_start);
+  if (!st.ok()) return st;
+  if (eof_at_start) {
+    return Status::DataLoss("torn frame: connection closed after header");
+  }
+  return Status::OK();
+}
+
+}  // namespace priview::serve

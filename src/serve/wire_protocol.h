@@ -1,0 +1,131 @@
+// Compact binary wire protocol for the query server: length-prefixed
+// frames over a Unix-domain stream socket.
+//
+// Frame:   uint32 LE payload length, then that many payload bytes. The
+//          payload cap (kMaxFramePayload) bounds a 20-attribute table
+//          response with headroom; an oversized declared length is DataLoss
+//          and the connection is closed (there is no way to resync a
+//          stream after a liar header).
+// Payload: one message. Byte 0 is the MessageType; all integers are
+//          little-endian, doubles are IEEE-754 bit patterns (memcpy'd), and
+//          strings are uint16 length + bytes.
+//
+//   request            payload after the type byte
+//   ----------------   -------------------------------------------------
+//   kMarginal          name, u64 target mask, u32 deadline_ms
+//   kConjunction       name, u64 attrs mask, u64 assignment, u32 deadline_ms
+//   kRollUp            name, u64 cube mask, u64 keep mask, u32 deadline_ms
+//   kSlice             name, u64 cube mask, u8 attr, u8 value, u32 deadline_ms
+//   kDice              name, u64 cube mask, u64 fixed mask, u64 values,
+//                      u32 deadline_ms
+//   kStats             (empty)
+//   kList              (empty)
+//
+//   response           payload after the type byte
+//   ----------------   -------------------------------------------------
+//   kTable             u8 tier, u8 coalesced, u64 epoch, u64 attrs mask,
+//                      u32 cell count, doubles
+//   kValue             u8 tier, u8 coalesced, u64 epoch, double
+//   kText              string
+//   kError             i32 status code, string message
+//
+// deadline_ms is relative (milliseconds from server receipt); 0 means the
+// broker default. Failure modes are first-class: a torn frame (peer died
+// mid-write, or the "serve/io-torn-frame" failpoint) and an oversized
+// frame both surface as DataLoss on the reader, never a hang on a closed
+// connection and never a crash.
+#ifndef PRIVIEW_SERVE_WIRE_PROTOCOL_H_
+#define PRIVIEW_SERVE_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/attr_set.h"
+#include "table/marginal_table.h"
+
+namespace priview::serve {
+
+inline constexpr size_t kMaxFramePayload = 1u << 20;  // 1 MiB
+
+enum class MessageType : uint8_t {
+  // Requests.
+  kMarginal = 1,
+  kConjunction = 2,
+  kRollUp = 3,
+  kSlice = 4,
+  kDice = 5,
+  kStats = 6,
+  kList = 7,
+  // Responses.
+  kTable = 64,
+  kValue = 65,
+  kText = 66,
+  kError = 67,
+};
+
+/// A decoded request. Fields are per-type (see the table above); unused
+/// fields stay zero.
+struct WireRequest {
+  MessageType type = MessageType::kMarginal;
+  std::string synopsis;
+  uint64_t target_mask = 0;  // marginal target / conjunction attrs / cube scope
+  uint64_t aux_mask = 0;     // rollup keep / dice fixed
+  uint64_t assignment = 0;   // conjunction assignment / dice values
+  uint8_t attr = 0;          // slice attribute
+  uint8_t value = 0;         // slice value
+  uint32_t deadline_ms = 0;  // 0 = broker default
+};
+
+/// A decoded response.
+struct WireResponse {
+  MessageType type = MessageType::kError;
+  // kTable / kValue serving metadata.
+  uint8_t tier = 0;
+  uint8_t coalesced = 0;
+  uint64_t epoch = 0;
+  // kTable payload.
+  uint64_t table_attrs_mask = 0;
+  std::vector<double> cells;
+  // kValue payload.
+  double value = 0.0;
+  // kText payload.
+  std::string text;
+  // kError payload.
+  int32_t code = 0;
+  std::string message;
+
+  /// Reassembles the kTable payload as a MarginalTable. InvalidArgument
+  /// when the cell count does not match 2^|attrs| (a malformed or hostile
+  /// response must not CHECK-abort the client).
+  StatusOr<MarginalTable> ToTable() const;
+  /// The kError payload as a Status (code clamped into the known range).
+  Status ToStatus() const;
+};
+
+std::vector<uint8_t> EncodeRequest(const WireRequest& request);
+StatusOr<WireRequest> DecodeRequest(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeResponse(const WireResponse& response);
+StatusOr<WireResponse> DecodeResponse(const std::vector<uint8_t>& payload);
+
+/// Convenience builders for the common responses.
+WireResponse MakeErrorResponse(const Status& status);
+WireResponse MakeTableResponse(const MarginalTable& table, uint8_t tier,
+                               bool coalesced, uint64_t epoch);
+
+/// Writes one frame (header + payload) to `fd`, retrying short writes and
+/// EINTR. The "serve/io-torn-frame" failpoint aborts the write mid-payload
+/// and reports IOError — the caller must treat the connection as dead.
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload);
+
+/// Reads one frame from `fd`. A clean close at a frame boundary sets
+/// `*clean_eof` and returns OK with an empty payload; EOF mid-frame is
+/// DataLoss ("torn frame"), a declared length over kMaxFramePayload is
+/// DataLoss ("oversized frame"), and read errors are IOError.
+Status ReadFrame(int fd, std::vector<uint8_t>* payload, bool* clean_eof);
+
+}  // namespace priview::serve
+
+#endif  // PRIVIEW_SERVE_WIRE_PROTOCOL_H_

@@ -4,6 +4,9 @@
 // either returns a descriptive Status or a finite (possibly degraded)
 // answer; nothing aborts, and nothing serves NaN/Inf to an analyst. Run
 // under the asan-ubsan preset this also proves the fault paths are UB-free.
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -18,6 +21,9 @@
 #include "core/serialization.h"
 #include "data/synthetic.h"
 #include "opt/max_ent_dual.h"
+#include "serve/request_broker.h"
+#include "serve/synopsis_registry.h"
+#include "serve/wire_protocol.h"
 
 namespace priview {
 namespace {
@@ -129,6 +135,67 @@ void RunSolverStackUnderFault(const std::string& fault) {
   ExpectFiniteTable(dual.table, fault + ": dual max-ent");
 }
 
+// The serving layer under an injected fault: registry install (hot-swap),
+// broker admission + dispatch, and a wire-frame round trip over a real
+// socketpair. Exercises the serve/* failpoints ("serve/swap-race" on the
+// install, "serve/queue-full" on admission, "serve/io-torn-frame" on the
+// frame write) and must degrade to a descriptive Status — never a hang,
+// an abort, or a non-finite answer — under *any* armed fault.
+void RunServeUnderFault(const std::string& fault) {
+  Rng rng(321);
+  Dataset data = MakeMsnbcLike(&rng, 2000);
+  PriViewOptions options;
+  options.add_noise = false;
+  PriViewSynopsis synopsis = PriViewSynopsis::Build(
+      data,
+      {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4})},
+      options, &rng);
+
+  serve::SynopsisRegistry registry;
+  serve::ServerMetrics metrics;
+  const Status installed = registry.Install("chaos", std::move(synopsis));
+  if (!installed.ok()) {
+    EXPECT_FALSE(installed.message().empty())
+        << fault << ": install failed without a message";
+  }
+
+  serve::RequestBroker broker(&registry, &metrics);
+  broker.Start();
+  StatusOr<serve::ServedAnswer> answer =
+      broker.Ask("chaos", AttrSet::FromIndices({0, 4}));
+  if (answer.ok()) {
+    ExpectFiniteTable(answer.value().table, fault + ": broker answer");
+  } else {
+    EXPECT_FALSE(answer.status().message().empty())
+        << fault << ": broker failed without a message";
+  }
+  broker.Stop();
+
+  // One wire frame over a socketpair: a torn write surfaces as IOError on
+  // the writer and DataLoss (not a hang) on the reader.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  serve::WireRequest request;
+  request.type = serve::MessageType::kMarginal;
+  request.synopsis = "chaos";
+  request.target_mask = 0b11;
+  const Status written =
+      serve::WriteFrame(fds[0], serve::EncodeRequest(request));
+  ::close(fds[0]);  // writer is done (or dead after a torn write)
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;
+  const Status read = serve::ReadFrame(fds[1], &payload, &clean_eof);
+  if (written.ok()) {
+    EXPECT_TRUE(read.ok()) << fault << ": " << read.ToString();
+    EXPECT_FALSE(clean_eof);
+    EXPECT_TRUE(serve::DecodeRequest(payload).ok());
+  } else {
+    EXPECT_FALSE(written.message().empty());
+    EXPECT_FALSE(read.ok()) << fault << ": torn frame read back clean";
+  }
+  ::close(fds[1]);
+}
+
 class ChaosTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -149,6 +216,7 @@ TEST_F(ChaosTest, EveryKnownFailpointDegradesGracefully) {
     ASSERT_TRUE(scoped.status().ok());
     RunLifecycleUnderFault(fault);
     RunSolverStackUnderFault(fault);
+    RunServeUnderFault(fault);
   }
 }
 
@@ -162,6 +230,7 @@ TEST_F(ChaosTest, EveryKnownFailpointFiresSomewhereInTheLifecycle) {
     ASSERT_TRUE(scoped.status().ok());
     RunLifecycleUnderFault(fault);
     RunSolverStackUnderFault(fault);
+    RunServeUnderFault(fault);
     EXPECT_GT(failpoint::HitCount(fault), 0u) << fault << " never evaluated";
   }
 }

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "data/synthetic.h"
 #include "design/covering_design.h"
@@ -213,6 +214,53 @@ TEST(CubeAlgebraTest, DiceMultipleAttributes) {
   EXPECT_EQ(diced.attrs(), AttrSet::FromIndices({1}));
   EXPECT_DOUBLE_EQ(diced.At(0), 2.0);
   EXPECT_DOUBLE_EQ(diced.At(1), 4.0);
+}
+
+TEST(AnswerBatchTest, OneSolverInvocationPerDistinctTarget) {
+  // Regression: a batch with duplicate targets must run the reconstruction
+  // solver once per *distinct* target, not once per request. The counter
+  // is the "reconstruct/primary-junk" failpoint armed "off": it is
+  // evaluated exactly once per reconstruction (covered check or first
+  // successful solver attempt) and never fires, so the hit-count delta is
+  // the number of solves.
+#if !PRIVIEW_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "failpoints compiled out (PRIVIEW_FAILPOINTS=OFF)";
+#endif
+  Rng rng(23);
+  Dataset data = MakeMsnbcLike(&rng, 3000);
+  PriViewOptions options;
+  options.add_noise = false;
+  const PriViewSynopsis synopsis = PriViewSynopsis::Build(
+      data,
+      {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4})},
+      options, &rng);
+  const QueryEngine engine(&synopsis);
+
+  failpoint::ScopedFailpoint scoped("reconstruct/primary-junk", "off");
+  ASSERT_TRUE(scoped.status().ok());
+  const uint64_t before = failpoint::HitCount("reconstruct/primary-junk");
+
+  // Both distinct targets are uncovered (need a solver); T1 thrice, T2 once.
+  const AttrSet t1 = AttrSet::FromIndices({0, 4});
+  const AttrSet t2 = AttrSet::FromIndices({1, 3});
+  const std::vector<StatusOr<MarginalTable>> answers =
+      engine.AnswerBatch({t1, t1, t2, t1});
+  ASSERT_EQ(answers.size(), 4u);
+  for (const StatusOr<MarginalTable>& answer : answers) {
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  }
+  EXPECT_EQ(answers[1].value().cells(), answers[0].value().cells());
+  EXPECT_EQ(answers[3].value().cells(), answers[0].value().cells());
+  EXPECT_EQ(failpoint::HitCount("reconstruct/primary-junk") - before, 2u)
+      << "expected exactly one solve per distinct target";
+
+  // The whole batch is now cached: a repeat costs zero solves.
+  const std::vector<StatusOr<MarginalTable>> repeat =
+      engine.AnswerBatch({t1, t2, t1});
+  for (const StatusOr<MarginalTable>& answer : repeat) {
+    ASSERT_TRUE(answer.ok());
+  }
+  EXPECT_EQ(failpoint::HitCount("reconstruct/primary-junk") - before, 2u);
 }
 
 TEST(CubeAlgebraTest, SliceThenRollUpCommutes) {

@@ -1,0 +1,317 @@
+// RequestBroker suite: admission control (bounded queue, reject-not-block
+// backpressure), deterministic batch coalescing (duplicate and sub-marginal
+// requests share one reconstruction), deadline shedding, and the
+// deadline-pressure degradation tiers — each answer bit-compared against
+// the engine or solver it claims to have come from.
+//
+// Determinism trick used throughout: Start() is explicit, so asks staged
+// from helper threads *before* Start() land in one queue and the dispatcher
+// drains them as a single batch — coalescing behaviour is then exact, not
+// timing-dependent.
+#include "serve/request_broker.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "serve/server_metrics.h"
+#include "serve/synopsis_registry.h"
+
+namespace priview::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+PriViewSynopsis MakeSynopsis(uint64_t seed = 17) {
+  Rng rng(seed);
+  Dataset data = MakeMsnbcLike(&rng, 5000);
+  PriViewOptions options;
+  options.add_noise = false;
+  return PriViewSynopsis::Build(
+      data,
+      {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4}),
+       AttrSet::FromIndices({4, 5, 6})},
+      options, &rng);
+}
+
+// Stages `targets` as concurrent Asks against a not-yet-started broker,
+// waits until all are queued, starts the broker, and returns the answers
+// in target order. One deterministic batch.
+std::vector<StatusOr<ServedAnswer>> AskAsOneBatch(
+    RequestBroker* broker, const std::string& name,
+    const std::vector<AttrSet>& targets) {
+  std::vector<StatusOr<ServedAnswer>> answers(
+      targets.size(), StatusOr<ServedAnswer>(Status::Internal("unset")));
+  std::vector<std::thread> askers;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    askers.emplace_back(
+        [&, i] { answers[i] = broker->Ask(name, targets[i]); });
+  }
+  // Admission is synchronous inside Ask, so queue depth reaches the batch
+  // size before any asker can block on its future.
+  while (broker->QueueDepth() < targets.size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  broker->Start();
+  for (std::thread& asker : askers) asker.join();
+  return answers;
+}
+
+class RequestBrokerTest : public ::testing::Test {
+ protected:
+  RequestBrokerTest() {
+    EXPECT_TRUE(registry_.Install("main", MakeSynopsis()).ok());
+  }
+  ~RequestBrokerTest() override { failpoint::DisarmAll(); }
+
+  SynopsisRegistry registry_;
+  ServerMetrics metrics_;
+};
+
+TEST_F(RequestBrokerTest, AnswersMatchTheEngineBitForBit) {
+  RequestBroker broker(&registry_, &metrics_);
+  broker.Start();
+  const AttrSet scope = AttrSet::FromIndices({0, 4});  // needs a solver
+  StatusOr<ServedAnswer> answer = broker.Ask("main", scope);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer.value().tier, ServeTier::kFull);
+  EXPECT_EQ(answer.value().epoch, 1u);
+
+  const StatusOr<MarginalTable> reference =
+      registry_.Acquire("main").value()->engine().TryMarginal(scope);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(answer.value().table.cells(), reference.value().cells());
+}
+
+TEST_F(RequestBrokerTest, UnknownSynopsisAndBadScopeFailCleanly) {
+  RequestBroker broker(&registry_, &metrics_);
+  broker.Start();
+  EXPECT_EQ(broker.Ask("ghost", AttrSet::FromIndices({0})).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(broker.Ask("main", AttrSet::FromIndices({40})).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RequestBrokerTest, DuplicatesAndSubMarginalsCoalesceDeterministically) {
+  RequestBroker broker(&registry_, &metrics_);
+  const AttrSet big = AttrSet::FromIndices({0, 1, 2});
+  const AttrSet dup = AttrSet::FromIndices({0, 1, 2});
+  const AttrSet sub = AttrSet::FromIndices({0, 2});
+  const AttrSet other = AttrSet::FromIndices({4, 5});
+
+  std::vector<StatusOr<ServedAnswer>> answers =
+      AskAsOneBatch(&broker, "main", {big, dup, sub, other});
+  for (const StatusOr<ServedAnswer>& answer : answers) {
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  }
+  // Exactly one request per distinct executed scope is the representative;
+  // the duplicate and the sub-marginal both shared big's reconstruction.
+  const int coalesced_count = int(answers[0].value().coalesced) +
+                              int(answers[1].value().coalesced) +
+                              int(answers[2].value().coalesced) +
+                              int(answers[3].value().coalesced);
+  EXPECT_EQ(coalesced_count, 2);
+  EXPECT_FALSE(answers[3].value().coalesced);  // distinct scope, own solve
+  EXPECT_TRUE(answers[2].value().coalesced);   // sub-marginal always shares
+
+  // The shared answers are consistent: dup == big, sub == big projected.
+  EXPECT_EQ(answers[1].value().table.cells(), answers[0].value().table.cells());
+  EXPECT_EQ(answers[2].value().table.cells(),
+            answers[0].value().table.Project(sub).cells());
+
+  const ServerMetrics::Snapshot snapshot = metrics_.TakeSnapshot();
+  EXPECT_EQ(snapshot.admitted, 4u);
+  EXPECT_EQ(snapshot.coalesced, 2u);
+  EXPECT_GT(snapshot.CoalescingHitRate(), 0.0);
+  EXPECT_EQ(snapshot.served_by_tier[int(ServeTier::kFull)], 4u);
+}
+
+TEST_F(RequestBrokerTest, CoalescingOffEveryRequestStandsAlone) {
+  BrokerOptions options;
+  options.coalesce = false;
+  RequestBroker broker(&registry_, &metrics_, options);
+  const AttrSet scope = AttrSet::FromIndices({0, 1});
+  std::vector<StatusOr<ServedAnswer>> answers =
+      AskAsOneBatch(&broker, "main", {scope, scope, scope});
+  for (const StatusOr<ServedAnswer>& answer : answers) {
+    ASSERT_TRUE(answer.ok());
+    EXPECT_FALSE(answer.value().coalesced);
+  }
+  EXPECT_EQ(metrics_.TakeSnapshot().coalesced, 0u);
+}
+
+TEST_F(RequestBrokerTest, FullQueueRejectsImmediatelyWithBackpressure) {
+  BrokerOptions options;
+  options.queue_capacity = 2;
+  RequestBroker broker(&registry_, &metrics_, options);
+  // Not started: the queue only fills. Stage to capacity from threads.
+  std::vector<std::thread> askers;
+  for (int i = 0; i < 2; ++i) {
+    askers.emplace_back(
+        [&] { (void)broker.Ask("main", AttrSet::FromIndices({0, 1})); });
+  }
+  while (broker.QueueDepth() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The third ask must be rejected *now* — no blocking, no queueing.
+  const Clock::time_point before = Clock::now();
+  StatusOr<ServedAnswer> rejected =
+      broker.Ask("main", AttrSet::FromIndices({2, 3}));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_LT(Clock::now() - before, std::chrono::seconds(1));
+  EXPECT_EQ(metrics_.TakeSnapshot().rejected, 1u);
+
+  broker.Start();  // drain the staged two
+  for (std::thread& asker : askers) asker.join();
+  EXPECT_EQ(metrics_.TakeSnapshot().admitted, 2u);
+}
+
+TEST_F(RequestBrokerTest, QueueFullFailpointForcesTheRejectPath) {
+#if !PRIVIEW_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "failpoints compiled out";
+#endif
+  RequestBroker broker(&registry_, &metrics_);
+  broker.Start();
+  failpoint::ScopedFailpoint scoped("serve/queue-full", "always");
+  ASSERT_TRUE(scoped.status().ok());
+  StatusOr<ServedAnswer> rejected =
+      broker.Ask("main", AttrSet::FromIndices({0}));
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(metrics_.TakeSnapshot().rejected, 1u);
+}
+
+TEST_F(RequestBrokerTest, ExpiredDeadlineIsShedNotAnsweredLate) {
+  RequestBroker broker(&registry_, &metrics_);
+  // Staged before Start with a deadline already in the past: the
+  // dispatcher must shed it, not burn a solve on it.
+  std::thread asker([&] {
+    StatusOr<ServedAnswer> answer =
+        broker.Ask("main", AttrSet::FromIndices({0, 1}),
+                   Clock::now() - std::chrono::milliseconds(10));
+    EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
+  });
+  while (broker.QueueDepth() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  broker.Start();
+  asker.join();
+  EXPECT_EQ(metrics_.TakeSnapshot().deadline_expired, 1u);
+}
+
+TEST_F(RequestBrokerTest, TightDeadlineDegradesToLeastNormBitIdentically) {
+  // least_norm_below set far above any realistic dispatch latency: every
+  // request lands in the least-norm tier deterministically.
+  BrokerOptions options;
+  options.default_deadline = std::chrono::milliseconds(60000);
+  options.least_norm_below = std::chrono::milliseconds(3600000);
+  options.cache_only_below = std::chrono::milliseconds(0);
+  RequestBroker broker(&registry_, &metrics_, options);
+  broker.Start();
+
+  const AttrSet scope = AttrSet::FromIndices({0, 4});  // uncovered
+  StatusOr<ServedAnswer> answer = broker.Ask("main", scope);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer.value().tier, ServeTier::kLeastNorm);
+
+  const StatusOr<MarginalTable> reference =
+      registry_.Acquire("main").value()->synopsis().TryQuery(
+          scope, ReconstructionMethod::kLeastNorm);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(answer.value().table.cells(), reference.value().cells());
+  EXPECT_EQ(
+      metrics_.TakeSnapshot().served_by_tier[int(ServeTier::kLeastNorm)], 1u);
+}
+
+TEST_F(RequestBrokerTest, CacheOnlyTierServesHitsAndShedsMisses) {
+  // Warm the hosted engine's cache through a normal full-tier broker.
+  {
+    RequestBroker warm(&registry_, &metrics_);
+    warm.Start();
+    ASSERT_TRUE(warm.Ask("main", AttrSet::FromIndices({0, 1, 2})).ok());
+  }
+
+  // Now a broker under permanent worst-case pressure: cache or nothing.
+  BrokerOptions options;
+  options.default_deadline = std::chrono::milliseconds(60000);
+  options.least_norm_below = std::chrono::milliseconds(3600000);
+  options.cache_only_below = std::chrono::milliseconds(3600000);
+  RequestBroker broker(&registry_, &metrics_, options);
+  broker.Start();
+
+  // Exact cached scope: served.
+  StatusOr<ServedAnswer> hit =
+      broker.Ask("main", AttrSet::FromIndices({0, 1, 2}));
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_EQ(hit.value().tier, ServeTier::kCacheRollUp);
+
+  // Sub-marginal of the cached scope: served by roll-up.
+  StatusOr<ServedAnswer> rollup =
+      broker.Ask("main", AttrSet::FromIndices({0, 2}));
+  ASSERT_TRUE(rollup.ok()) << rollup.status().ToString();
+  EXPECT_EQ(rollup.value().tier, ServeTier::kCacheRollUp);
+  EXPECT_EQ(rollup.value().table.cells(),
+            hit.value().table.Project(AttrSet::FromIndices({0, 2})).cells());
+
+  // Never-seen scope: there is no time to solve — honest DeadlineExceeded.
+  StatusOr<ServedAnswer> miss =
+      broker.Ask("main", AttrSet::FromIndices({5, 6}));
+  EXPECT_EQ(miss.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(metrics_.TakeSnapshot().deadline_expired, 1u);
+}
+
+TEST_F(RequestBrokerTest, StopFailsStagedWorkAndRefusesNewWork) {
+  RequestBroker broker(&registry_, &metrics_);
+  std::thread asker([&] {
+    StatusOr<ServedAnswer> answer =
+        broker.Ask("main", AttrSet::FromIndices({0}));
+    EXPECT_EQ(answer.status().code(), StatusCode::kFailedPrecondition);
+  });
+  while (broker.QueueDepth() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  broker.Stop();  // never started: staged work must still fail promptly
+  asker.join();
+  EXPECT_EQ(broker.Ask("main", AttrSet::FromIndices({0})).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RequestBrokerTest, ConcurrentAsksAllAnswerCorrectly) {
+  RequestBroker broker(&registry_, &metrics_);
+  broker.Start();
+  const std::vector<AttrSet> scopes = {
+      AttrSet::FromIndices({0, 1}), AttrSet::FromIndices({2, 3}),
+      AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({4, 5, 6})};
+  std::vector<std::vector<double>> expected;
+  const auto hosted = registry_.Acquire("main").value();
+  for (const AttrSet& scope : scopes) {
+    expected.push_back(hosted->engine().TryMarginal(scope).value().cells());
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 20; ++i) {
+        const size_t which = (t + i) % scopes.size();
+        StatusOr<ServedAnswer> answer = broker.Ask("main", scopes[which]);
+        if (!answer.ok() ||
+            answer.value().table.cells() != expected[which]) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(metrics_.TakeSnapshot().admitted, 160u);
+}
+
+}  // namespace
+}  // namespace priview::serve

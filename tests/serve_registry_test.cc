@@ -1,0 +1,198 @@
+// SynopsisRegistry suite: hosting lifecycle (install / acquire / list /
+// remove / epochs), disk installs with LoadReport surfacing, and the two
+// contracts serving depends on — a hot-swap never tears an in-flight
+// query (refcounted acquires), and a failed or raced swap leaves the
+// previous release live.
+#include "serve/synopsis_registry.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "core/serialization.h"
+#include "data/synthetic.h"
+
+namespace priview::serve {
+namespace {
+
+// A deterministic noiseless synopsis: every install of MakeSynopsis(seed)
+// with the same seed hosts bit-identical views, which the swap tests use
+// to assert answers never change across an equivalent swap.
+PriViewSynopsis MakeSynopsis(uint64_t seed, double epsilon = 1.0) {
+  Rng rng(seed);
+  Dataset data = MakeMsnbcLike(&rng, 5000);
+  PriViewOptions options;
+  options.add_noise = false;
+  options.epsilon = epsilon;
+  return PriViewSynopsis::Build(
+      data,
+      {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4}),
+       AttrSet::FromIndices({4, 5, 6})},
+      options, &rng);
+}
+
+TEST(SynopsisRegistryTest, InstallAcquireListRemove) {
+  SynopsisRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+
+  ASSERT_TRUE(registry.Install("adult-eps1", MakeSynopsis(1)).ok());
+  ASSERT_TRUE(registry.Install("adult-eps05", MakeSynopsis(1, 0.5)).ok());
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.install_count(), 2u);
+
+  StatusOr<std::shared_ptr<const HostedSynopsis>> hosted =
+      registry.Acquire("adult-eps1");
+  ASSERT_TRUE(hosted.ok());
+  EXPECT_EQ(hosted.value()->name(), "adult-eps1");
+  EXPECT_EQ(hosted.value()->synopsis().d(), 9);
+  EXPECT_EQ(hosted.value()->epoch(), 1u);
+
+  const std::vector<SynopsisInfo> listed = registry.List();
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0].name, "adult-eps05");  // map order
+  EXPECT_EQ(listed[1].name, "adult-eps1");
+  EXPECT_DOUBLE_EQ(listed[0].epsilon, 0.5);
+
+  EXPECT_TRUE(registry.Remove("adult-eps05").ok());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Remove("adult-eps05").code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Acquire("adult-eps05").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SynopsisRegistryTest, InvalidInstallsRejectedWithoutSideEffects) {
+  SynopsisRegistry registry;
+  EXPECT_EQ(registry.Install("", MakeSynopsis(1)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.install_count(), 0u);
+}
+
+TEST(SynopsisRegistryTest, EpochsAreRegistryGlobalAndMonotonic) {
+  SynopsisRegistry registry;
+  ASSERT_TRUE(registry.Install("a", MakeSynopsis(1)).ok());
+  ASSERT_TRUE(registry.Install("b", MakeSynopsis(2)).ok());
+  ASSERT_TRUE(registry.Install("a", MakeSynopsis(3)).ok());  // hot-swap
+  EXPECT_EQ(registry.Acquire("b").value()->epoch(), 2u);
+  EXPECT_EQ(registry.Acquire("a").value()->epoch(), 3u);
+  EXPECT_EQ(registry.install_count(), 3u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(SynopsisRegistryTest, InstallFromFileSurfacesTheLoadReport) {
+  const PriViewSynopsis synopsis = MakeSynopsis(7);
+  const std::string path = ::testing::TempDir() + "/registry_install.pv";
+  ASSERT_TRUE(SaveSynopsis(synopsis, path).ok());
+
+  SynopsisRegistry registry;
+  StatusOr<LoadReport> report = registry.InstallFromFile("from-disk", path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().fully_intact());
+  EXPECT_EQ(report.value().views_loaded, 3);
+
+  StatusOr<std::shared_ptr<const HostedSynopsis>> hosted =
+      registry.Acquire("from-disk");
+  ASSERT_TRUE(hosted.ok());
+  EXPECT_TRUE(hosted.value()->load_report().fully_intact());
+  // The loaded release answers identically to the source synopsis.
+  const AttrSet scope = AttrSet::FromIndices({0, 1, 2});
+  EXPECT_EQ(hosted.value()->synopsis().Query(scope).cells(),
+            synopsis.Query(scope).cells());
+}
+
+TEST(SynopsisRegistryTest, InstallFromMissingFileLeavesRegistryUntouched) {
+  SynopsisRegistry registry;
+  ASSERT_TRUE(registry.Install("live", MakeSynopsis(1)).ok());
+  EXPECT_FALSE(
+      registry.InstallFromFile("live", "/nonexistent/priview.pv").ok());
+  // The failed install never disturbed the served release.
+  EXPECT_EQ(registry.Acquire("live").value()->epoch(), 1u);
+  EXPECT_EQ(registry.install_count(), 1u);
+}
+
+TEST(SynopsisRegistryTest, AcquiredReleaseSurvivesSwapAndRemove) {
+  SynopsisRegistry registry;
+  ASSERT_TRUE(registry.Install("s", MakeSynopsis(1)).ok());
+  StatusOr<std::shared_ptr<const HostedSynopsis>> held = registry.Acquire("s");
+  ASSERT_TRUE(held.ok());
+  const AttrSet scope = AttrSet::FromIndices({0, 1, 2});
+  const MarginalTable before = held.value()->engine().TryMarginal(scope).value();
+
+  // Swap to different content, then remove entirely: the held release
+  // must keep answering, bit-identically to before.
+  ASSERT_TRUE(registry.Install("s", MakeSynopsis(99)).ok());
+  ASSERT_TRUE(registry.Remove("s").ok());
+  EXPECT_EQ(held.value()->epoch(), 1u);
+  const MarginalTable after = held.value()->engine().TryMarginal(scope).value();
+  EXPECT_EQ(after.cells(), before.cells());
+}
+
+TEST(SynopsisRegistryTest, SwapRaceFailpointKeepsPreviousReleaseLive) {
+#if !PRIVIEW_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "failpoints compiled out";
+#endif
+  SynopsisRegistry registry;
+  ASSERT_TRUE(registry.Install("s", MakeSynopsis(1)).ok());
+  {
+    failpoint::ScopedFailpoint scoped("serve/swap-race", "always");
+    ASSERT_TRUE(scoped.status().ok());
+    const Status swap = registry.Install("s", MakeSynopsis(2));
+    EXPECT_EQ(swap.code(), StatusCode::kFailedPrecondition);
+    EXPECT_FALSE(swap.message().empty());
+    // Lost race: epoch 1 still serves.
+    EXPECT_EQ(registry.Acquire("s").value()->epoch(), 1u);
+    EXPECT_EQ(registry.install_count(), 1u);
+  }
+  // Fault cleared: the retry wins.
+  ASSERT_TRUE(registry.Install("s", MakeSynopsis(2)).ok());
+  EXPECT_EQ(registry.Acquire("s").value()->epoch(), 2u);
+}
+
+TEST(SynopsisRegistryTest, HotSwapUnderConcurrentQueriesIsNeverTorn) {
+  // Readers hammer Acquire+query while a writer re-installs the same
+  // (bit-identical) synopsis under the same name. Every answer must be
+  // bit-identical to the reference — a torn swap, a dangling engine, or a
+  // half-installed release would break that (and trip tsan).
+  SynopsisRegistry registry;
+  ASSERT_TRUE(registry.Install("hot", MakeSynopsis(5)).ok());
+  const PriViewSynopsis reference = MakeSynopsis(5);
+  const AttrSet scope = AttrSet::FromIndices({2, 3, 4});
+  const std::vector<double> expected = reference.Query(scope).cells();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        StatusOr<std::shared_ptr<const HostedSynopsis>> hosted =
+            registry.Acquire("hot");
+        if (!hosted.ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        StatusOr<MarginalTable> answer =
+            hosted.value()->engine().TryMarginal(scope);
+        if (!answer.ok() || answer.value().cells() != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int swap = 0; swap < 25; ++swap) {
+    ASSERT_TRUE(registry.Install("hot", MakeSynopsis(5)).ok());
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(registry.install_count(), 26u);
+}
+
+}  // namespace
+}  // namespace priview::serve

@@ -29,6 +29,10 @@ TEST(StatusTest, FactoryCodes) {
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DEADLINE_EXCEEDED: late");
 }
 
 TEST(StatusOrTest, HoldsValue) {
