@@ -13,6 +13,7 @@ for b in bench/*; do
   # regenerate BENCH_perf.json / BENCH_serve.json.
   [ "$(basename "$b")" = bench_parallel ] && continue
   [ "$(basename "$b")" = bench_serve ] && continue
+  [ "$(basename "$b")" = bench_obs ] && continue
   echo "##### $(basename "$b") #####" | tee -a "$out"
   ( time "./$b" "$@" ) >> "$out" 2>&1
   echo "exit=$? done $(basename "$b")"
@@ -32,5 +33,13 @@ if [ -x bench/bench_serve ]; then
   echo "##### bench_serve #####" | tee -a "$out"
   ( time ./bench/bench_serve --out=../BENCH_serve.json "$@" ) >> "$out" 2>&1
   echo "exit=$? done bench_serve"
+fi
+# Observability record: disarmed-span overhead (<1% bar — a non-zero exit
+# here means the tracing substrate got too expensive), armed publish-phase
+# breakdown, and the slow-query log hit count.
+if [ -x bench/bench_obs ]; then
+  echo "##### bench_obs #####" | tee -a "$out"
+  ( time ./bench/bench_obs --out=../BENCH_observability.json "$@" ) >> "$out" 2>&1
+  echo "exit=$? done bench_obs"
 fi
 echo "ALL BENCHES DONE"

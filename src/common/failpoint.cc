@@ -177,6 +177,7 @@ const std::vector<std::string>& KnownFailpoints() {
           "serve/queue-full",
           "serve/io-torn-frame",
           "serve/swap-race",
+          "obs/span-torn",
       };
   return *points;
 }

@@ -64,6 +64,9 @@ namespace priview::failpoint {
 ///   serve/queue-full           broker admission queue reports full
 ///   serve/io-torn-frame        wire frame write is torn mid-payload
 ///   serve/swap-race            registry hot-swap loses a concurrent race
+///   obs/span-torn              a trace span's end is lost mid-fault; the
+///                              tear is counted, never recorded as a
+///                              duration, and nesting self-heals
 const std::vector<std::string>& KnownFailpoints();
 
 /// Arms `name` with a trigger spec (grammar above). Returns

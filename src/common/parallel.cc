@@ -24,6 +24,9 @@ struct InjectedTaskFault {};
 thread_local bool t_in_pool_worker = false;
 
 std::atomic<uint64_t> g_inline_retries{0};
+std::atomic<uint64_t> g_jobs_dispatched{0};
+std::atomic<uint64_t> g_chunks_executed{0};
+std::atomic<size_t> g_queue_depth{0};
 
 int DefaultThreadCount() {
   if (const char* env = std::getenv("PRIVIEW_THREADS")) {
@@ -64,6 +67,11 @@ class Pool {
 
   void Run(size_t chunks, const std::function<void(int, size_t)>& chunk_body) {
     if (chunks == 0) return;
+    // Observability accounting: every chunk below flows through
+    // AttemptChunk exactly once (retries replay already-counted chunks),
+    // which pairs each fetch_add here with one fetch_sub there.
+    g_jobs_dispatched.fetch_add(1, std::memory_order_relaxed);
+    g_queue_depth.fetch_add(chunks, std::memory_order_relaxed);
     const int want = threads();
     std::unique_lock<std::mutex> dispatch(job_mu_, std::try_to_lock);
     if (want <= 1 || chunks == 1 || t_in_pool_worker ||
@@ -114,6 +122,7 @@ class Pool {
   // One chunk attempt: evaluates the task-throw failpoint, shields the
   // pool from exceptions. Returns normally in every case.
   static void AttemptChunk(JobState* job, int slot, size_t chunk) {
+    g_chunks_executed.fetch_add(1, std::memory_order_relaxed);
     try {
       if (PRIVIEW_FAILPOINT("parallel/task-throw")) throw InjectedTaskFault{};
       (*job->body)(slot, chunk);
@@ -124,6 +133,7 @@ class Pool {
       std::lock_guard<std::mutex> lock(job->fail_mu);
       if (!job->first_error) job->first_error = std::current_exception();
     }
+    g_queue_depth.fetch_sub(1, std::memory_order_relaxed);
   }
 
   // Replays injected-fault chunks inline (ascending order, slot 0) and
@@ -227,6 +237,18 @@ void SetThreadCount(int n) { Pool::Get().SetOverride(n); }
 
 uint64_t InlineRetryCount() {
   return g_inline_retries.load(std::memory_order_relaxed);
+}
+
+uint64_t JobsDispatched() {
+  return g_jobs_dispatched.load(std::memory_order_relaxed);
+}
+
+uint64_t ChunksExecuted() {
+  return g_chunks_executed.load(std::memory_order_relaxed);
+}
+
+size_t QueueDepth() {
+  return g_queue_depth.load(std::memory_order_relaxed);
 }
 
 void ParallelForChunks(

@@ -51,6 +51,18 @@ int MaxWorkerSlots();
 /// (diagnostics; exercised by the chaos suite).
 uint64_t InlineRetryCount();
 
+/// Parallel regions dispatched since process start (including inline
+/// ones). Pulled by the observability registry's callback counters.
+uint64_t JobsDispatched();
+
+/// Chunks executed since process start (every attempt, inline or pooled).
+uint64_t ChunksExecuted();
+
+/// Chunks of the in-flight parallel region not yet completed; 0 when no
+/// region is running. One dispatch runs at a time, so this is the pool's
+/// whole backlog — the serving layer's queue-depth gauge.
+size_t QueueDepth();
+
 /// Runs body(chunk_begin, chunk_end) over a blocked partition of
 /// [begin, end) with ~grain items per chunk. Blocks until every chunk has
 /// completed. `grain` must be >= 1; a range of fewer than 2 chunks runs

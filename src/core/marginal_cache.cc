@@ -8,11 +8,14 @@ namespace priview {
 
 MarginalCache::MarginalCache(size_t capacity) : capacity_(capacity) {}
 
-std::optional<MarginalTable> MarginalCache::Lookup(AttrSet target) {
+std::optional<MarginalTable> MarginalCache::Lookup(AttrSet target,
+                                                   HitKind* kind) {
+  if (kind != nullptr) *kind = HitKind::kMiss;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_scope_.find(target.mask());
   if (it != by_scope_.end()) {
     ++stats_.exact_hits;
+    if (kind != nullptr) *kind = HitKind::kExact;
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->table;
   }
@@ -31,6 +34,7 @@ std::optional<MarginalTable> MarginalCache::Lookup(AttrSet target) {
     return std::nullopt;
   }
   ++stats_.rollup_hits;
+  if (kind != nullptr) *kind = HitKind::kRollUp;
   MarginalTable answer = cube::RollUp(best->table, target);
   lru_.splice(lru_.begin(), lru_, best);
   return answer;

@@ -28,6 +28,11 @@ namespace priview {
 
 class MarginalCache {
  public:
+  /// How a lookup was (or was not) answered — reported to the caller so
+  /// the query path can attribute hits without re-deriving them from
+  /// Stats deltas.
+  enum class HitKind { kMiss, kExact, kRollUp };
+
   struct Stats {
     uint64_t exact_hits = 0;
     uint64_t rollup_hits = 0;
@@ -51,7 +56,9 @@ class MarginalCache {
 
   /// Exact hit, or roll-up from the smallest cached superset scope, or
   /// nullopt (a miss). Hits refresh LRU recency of the serving entry.
-  std::optional<MarginalTable> Lookup(AttrSet target);
+  /// `kind`, when non-null, reports how the lookup was answered.
+  std::optional<MarginalTable> Lookup(AttrSet target,
+                                      HitKind* kind = nullptr);
 
   /// Inserts (or replaces) the table for `scope`, evicting the least
   /// recently used entries over capacity.

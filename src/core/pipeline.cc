@@ -5,6 +5,7 @@
 
 #include "common/failpoint.h"
 #include "dp/mechanisms.h"
+#include "obs/tracer.h"
 
 namespace priview {
 
@@ -43,8 +44,11 @@ StatusOr<PipelineResult> BuildPriViewPipeline(const Dataset& data,
 
   // Step 2: view selection from (d, noisy N, remaining epsilon).
   const double views_epsilon = budget.remaining();
-  ViewSelection selection =
-      SelectViews(data.d(), noisy_n, views_epsilon, rng, options.selection);
+  ViewSelection selection = [&] {
+    obs::TraceSpan select_span("pipeline/select-views");
+    return SelectViews(data.d(), noisy_n, views_epsilon, rng,
+                       options.selection);
+  }();
 
   // Step 3: the synopsis, spending everything that is left.
   spend = budget.Spend(views_epsilon);

@@ -10,6 +10,8 @@
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 
 namespace priview {
 namespace cube {
@@ -55,6 +57,31 @@ inline double ClampCell(double v) { return std::max(v, 0.0); }
 // benign NaN instead of an abort.
 double OrNaN(const StatusOr<double>& v) { return v.ok() ? v.value() : kNaN; }
 
+// Attributes one serving-cache lookup to its outcome. Instrument pointers
+// are stable for the process lifetime, so they are resolved once.
+void CountCacheLookup(MarginalCache::HitKind kind) {
+  static obs::Counter* const exact =
+      obs::MetricsRegistry::Global().GetCounter(
+          "priview_query_cache_lookups_total", {{"result", "exact"}},
+          "Query-path marginal-cache lookups by outcome");
+  static obs::Counter* const rollup =
+      obs::MetricsRegistry::Global().GetCounter(
+          "priview_query_cache_lookups_total", {{"result", "rollup"}});
+  static obs::Counter* const miss = obs::MetricsRegistry::Global().GetCounter(
+      "priview_query_cache_lookups_total", {{"result", "miss"}});
+  switch (kind) {
+    case MarginalCache::HitKind::kExact:
+      exact->Increment();
+      break;
+    case MarginalCache::HitKind::kRollUp:
+      rollup->Increment();
+      break;
+    case MarginalCache::HitKind::kMiss:
+      miss->Increment();
+      break;
+  }
+}
+
 }  // namespace
 
 StatusOr<QueryEngine> QueryEngine::Create(const PriViewSynopsis* synopsis,
@@ -94,12 +121,26 @@ QueryEngine::QueryEngine(const PriViewSynopsis* synopsis,
 }
 
 StatusOr<MarginalTable> QueryEngine::CachedQuery(AttrSet target) const {
-  if (cache_ == nullptr) return synopsis_->TryQuery(target, method_);
-  if (std::optional<MarginalTable> hit = cache_->Lookup(target)) {
-    return *std::move(hit);
+  // The cache-hit path is tens of nanoseconds — below the histogram's
+  // microsecond resolution and cheap enough that even a disarmed span
+  // would be a measurable fraction (bench_obs's <1% bar). Hits are
+  // observed through the lookup counters only; spans cover the miss path,
+  // where the op costs microseconds to milliseconds.
+  if (cache_ != nullptr) {
+    MarginalCache::HitKind kind;
+    if (std::optional<MarginalTable> hit = cache_->Lookup(target, &kind)) {
+      CountCacheLookup(kind);
+      return *std::move(hit);
+    }
+    CountCacheLookup(kind);
   }
+  // One span for the whole miss (solve + insert); the finer-grained
+  // "query/solve" span belongs to AnswerBatch's parallel solves, where no
+  // per-request marginal span exists.
+  obs::TraceSpan span("query/marginal");
+  if (span.active()) span.Annotate(target.ToString());
   StatusOr<MarginalTable> table = synopsis_->TryQuery(target, method_);
-  if (table.ok()) cache_->Insert(target, table.value());
+  if (table.ok() && cache_ != nullptr) cache_->Insert(target, table.value());
   return table;
 }
 
@@ -126,7 +167,10 @@ std::vector<StatusOr<MarginalTable>> QueryEngine::AnswerBatch(
       continue;
     }
     if (cache_ != nullptr) {
-      if (std::optional<MarginalTable> hit = cache_->Lookup(targets[i])) {
+      MarginalCache::HitKind kind;
+      std::optional<MarginalTable> hit = cache_->Lookup(targets[i], &kind);
+      CountCacheLookup(kind);
+      if (hit) {
         resolved[i] = *std::move(hit);
         continue;
       }
@@ -143,6 +187,7 @@ std::vector<StatusOr<MarginalTable>> QueryEngine::AnswerBatch(
   std::vector<std::optional<StatusOr<MarginalTable>>> computed(pending.size());
   parallel::ParallelFor(0, pending.size(), 1, [&](size_t begin, size_t end) {
     for (size_t j = begin; j < end; ++j) {
+      obs::TraceSpan solve("query/solve");
       computed[j] = synopsis_->TryQuery(pending[j], method_);
     }
   });

@@ -9,6 +9,7 @@
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "obs/metrics_registry.h"
 #include "opt/ipf.h"
 #include "opt/least_norm.h"
 #include "opt/simplex.h"
@@ -214,6 +215,51 @@ Attempt RunSolver(ReconstructionMethod method,
   return attempt;
 }
 
+obs::Counter* SolveCounter(const char* method) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "priview_solver_solves_total", {{"method", method}},
+      "Reconstruction solves by answering method");
+}
+
+// Attributes one finished reconstruction to the method that actually
+// answered it, plus fallback and iteration accounting.
+void CountSolve(const SolverDiagnostics& diag) {
+  static obs::Counter* const covered = SolveCounter("covered");
+  static obs::Counter* const cme = SolveCounter("CME");
+  static obs::Counter* const cln = SolveCounter("CLN");
+  static obs::Counter* const lp = SolveCounter("LP");
+  static obs::Counter* const uniform = SolveCounter("uniform");
+  static obs::Counter* const fallbacks =
+      obs::MetricsRegistry::Global().GetCounter(
+          "priview_solver_fallbacks_total", {},
+          "Degradation-chain fallbacks taken during reconstruction");
+  static obs::Histogram* const iterations =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "priview_solver_iterations", {},
+          "Iterations used by the answering solver");
+  if (diag.covered) {
+    covered->Increment();
+  } else if (diag.used_uniform_fallback) {
+    uniform->Increment();
+  } else {
+    switch (diag.used) {
+      case ReconstructionMethod::kMaxEntropy:
+        cme->Increment();
+        break;
+      case ReconstructionMethod::kLeastNorm:
+        cln->Increment();
+        break;
+      case ReconstructionMethod::kLinearProgram:
+        lp->Increment();
+        break;
+    }
+  }
+  if (diag.fallbacks > 0) {
+    fallbacks->Increment(static_cast<uint64_t>(diag.fallbacks));
+  }
+  iterations->Observe(static_cast<uint64_t>(std::max(0, diag.iterations)));
+}
+
 // A solver output is junk when serving it would hand the analyst garbage:
 // non-finite cells, a residual that blew past any plausible constraint
 // scale, or an outright solver failure.
@@ -251,6 +297,7 @@ ReconstructionResult ReconstructMarginalWithDiagnostics(
     if (bad == 0 && !PRIVIEW_FAILPOINT("reconstruct/primary-junk")) {
       result.diagnostics.covered = true;
       result.table = std::move(answer);
+      CountSolve(result.diagnostics);
       return result;
     }
     // A covering view is damaged (NaN cells): fall through to the solver
@@ -290,6 +337,7 @@ ReconstructionResult ReconstructMarginalWithDiagnostics(
       result.diagnostics.iterations = attempt.iterations;
       result.diagnostics.final_residual = attempt.final_residual;
       result.table = std::move(attempt.table);
+      CountSolve(result.diagnostics);
       return result;
     }
     ++result.diagnostics.fallbacks;
@@ -302,6 +350,7 @@ ReconstructionResult ReconstructMarginalWithDiagnostics(
   const double uniform =
       total / static_cast<double>(size_t{1} << target.size());
   result.table = MarginalTable(target, uniform);
+  CountSolve(result.diagnostics);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include "common/parallel.h"
 #include "core/consistency.h"
 #include "dp/mechanisms.h"
+#include "obs/tracer.h"
 
 namespace priview {
 
@@ -31,6 +32,8 @@ StatusOr<PriViewSynopsis> PriViewSynopsis::TryBuild(
     }
   }
 
+  obs::TraceSpan publish_span("publish");
+
   PriViewSynopsis synopsis;
   synopsis.d_ = data.d();
   synopsis.options_ = options;
@@ -42,13 +45,18 @@ StatusOr<PriViewSynopsis> PriViewSynopsis::TryBuild(
   // depend on the thread count — synopses are bit-identical at 1 or 8
   // threads for the same seed.
   const double w = static_cast<double>(views.size());
-  synopsis.views_ = data.CountMarginals(views);
+  {
+    obs::TraceSpan count_span("publish/count");
+    synopsis.views_ = data.CountMarginals(views);
+  }
   if (options.add_noise) {
+    obs::TraceSpan noise_span("publish/noise");
     std::vector<Rng> view_rngs;
     view_rngs.reserve(views.size());
     for (size_t i = 0; i < views.size(); ++i) view_rngs.push_back(rng->Fork());
     parallel::ParallelFor(0, views.size(), 1, [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
+        obs::TraceSpan view_span("publish/noise/view");
         AddLaplaceNoise(&synopsis.views_[i], /*sensitivity=*/w,
                         options.epsilon, &view_rngs[i]);
       }
@@ -62,22 +70,28 @@ StatusOr<PriViewSynopsis> PriViewSynopsis::TryBuild(
   // sequential step barrier (each mutual-consistency step parallelizes
   // internally over the participating views).
   const auto nonneg_pass = [&] {
+    obs::TraceSpan ripple_span("publish/ripple");
     parallel::ParallelFor(0, synopsis.views_.size(), 1,
                           [&](size_t begin, size_t end) {
                             for (size_t i = begin; i < end; ++i) {
+                              obs::TraceSpan view_span("publish/ripple/view");
                               ApplyNonNegativity(&synopsis.views_[i],
                                                  options.nonneg,
                                                  options.ripple);
                             }
                           });
   };
+  const auto consistency_pass = [&](const ConsistencyPlan& plan) {
+    obs::TraceSpan consistency_span("publish/consistency");
+    plan.Apply(&synopsis.views_);
+  };
   if (options.run_consistency) {
     const ConsistencyPlan plan(views);
-    plan.Apply(&synopsis.views_);
+    consistency_pass(plan);
     if (options.nonneg != NonNegMethod::kNone) {
       for (int round = 0; round < options.nonneg_rounds; ++round) {
         nonneg_pass();
-        plan.Apply(&synopsis.views_);
+        consistency_pass(plan);
       }
     }
   } else if (options.nonneg != NonNegMethod::kNone) {

@@ -69,9 +69,9 @@ double JensenShannonTables(const MarginalTable& estimate,
   return JensenShannon(ToSimplex(estimate), ToSimplex(truth));
 }
 
-namespace {
-
-double Percentile(const std::vector<double>& sorted, double pct) {
+double PercentileOfSorted(const std::vector<double>& sorted, double pct) {
+  PRIVIEW_CHECK(!sorted.empty());
+  PRIVIEW_CHECK(pct >= 0.0 && pct <= 100.0);
   const double rank = pct / 100.0 * (static_cast<double>(sorted.size()) - 1);
   const size_t lo = static_cast<size_t>(rank);
   const size_t hi = std::min(lo + 1, sorted.size() - 1);
@@ -79,34 +79,90 @@ double Percentile(const std::vector<double>& sorted, double pct) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
-}  // namespace
-
 Candlestick Summarize(std::vector<double> values) {
   PRIVIEW_CHECK(!values.empty());
   std::sort(values.begin(), values.end());
   Candlestick c;
-  c.p25 = Percentile(values, 25.0);
-  c.median = Percentile(values, 50.0);
-  c.p75 = Percentile(values, 75.0);
-  c.p95 = Percentile(values, 95.0);
+  c.p25 = PercentileOfSorted(values, 25.0);
+  c.median = PercentileOfSorted(values, 50.0);
+  c.p75 = PercentileOfSorted(values, 75.0);
+  c.p95 = PercentileOfSorted(values, 95.0);
   double sum = 0.0;
   for (double v : values) sum += v;
   c.mean = sum / static_cast<double>(values.size());
   return c;
 }
 
+namespace {
+
+// C(n, r), saturating at `cap`: the sampler only needs to know how the
+// population compares to the request, never the exact astronomical value.
+uint64_t BinomialCapped(int n, int r, uint64_t cap) {
+  if (r < 0 || r > n) return 0;
+  r = std::min(r, n - r);
+  uint64_t result = 1;
+  for (int i = 1; i <= r; ++i) {
+    const uint64_t num = static_cast<uint64_t>(n - r + i);
+    // result is C(n-r+i-1, i-1) here, so result*num/i is exact; saturate
+    // before the multiply can overflow.
+    if (result > cap / num) return cap;
+    result = result * num / static_cast<uint64_t>(i);
+    if (result >= cap) return cap;
+  }
+  return result;
+}
+
+// Every k-subset of {0, .., d-1}, lexicographic. Only called when the
+// population is known to be within a small factor of the request size.
+std::vector<AttrSet> EnumerateQuerySets(int d, int k) {
+  std::vector<AttrSet> out;
+  std::vector<int> idx(k);
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    out.push_back(AttrSet::FromIndices(idx));
+    int i = k - 1;
+    while (i >= 0 && idx[i] == d - k + i) --i;
+    if (i < 0) break;
+    ++idx[i];
+    for (int j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<AttrSet> SampleQuerySets(int d, int k, int count, Rng* rng) {
-  PRIVIEW_CHECK(k <= d);
-  // Distinct sets; when count exceeds C(d, k) this would loop forever, so
-  // callers must keep count within the population (checked loosely).
+  PRIVIEW_CHECK(k >= 0 && k <= d);
+  if (count <= 0) return {};
+  // The population size picks the strategy. Rejection sampling near (or
+  // past) C(d, k) distinct sets degenerates — at count == C(d, k) it used
+  // to abort on its attempt limit — so dense requests enumerate instead.
+  const uint64_t want = static_cast<uint64_t>(count);
+  const uint64_t total = BinomialCapped(d, k, /*cap=*/4 * want);
+  if (total <= want) {
+    // The request covers the whole population: return all of it.
+    return EnumerateQuerySets(d, k);
+  }
+  if (total <= 2 * want) {
+    // Dense: draw `count` positions from the enumerated population.
+    std::vector<AttrSet> all = EnumerateQuerySets(d, k);
+    std::vector<AttrSet> out;
+    out.reserve(want);
+    for (int i : rng->SampleWithoutReplacement(static_cast<int>(all.size()),
+                                               count)) {
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  // Sparse (acceptance rate > 1/2 throughout): rejection sampling is cheap
+  // and needs no enumeration.
   std::set<AttrSet> seen;
   std::vector<AttrSet> out;
-  int attempts = 0;
+  out.reserve(want);
   while (static_cast<int>(out.size()) < count) {
     const AttrSet q = AttrSet::FromIndices(
         rng->SampleWithoutReplacement(d, k));
     if (seen.insert(q).second) out.push_back(q);
-    PRIVIEW_CHECK(++attempts < count * 1000 + 1000);
   }
   return out;
 }

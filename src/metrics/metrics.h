@@ -42,7 +42,17 @@ struct Candlestick {
 /// be sorted. Requires a non-empty sample.
 Candlestick Summarize(std::vector<double> values);
 
-/// `count` distinct random k-subsets of {0, .., d-1}.
+/// Linear-interpolation percentile of an ascending-sorted sample:
+/// rank = pct/100 * (n-1), interpolated between the two neighbouring order
+/// statistics (so a single-element sample returns that element for every
+/// pct). Requires a non-empty `sorted` and pct in [0, 100].
+double PercentileOfSorted(const std::vector<double>& sorted, double pct);
+
+/// `count` distinct random k-subsets of {0, .., d-1}. Safe at every count:
+/// when `count` meets or exceeds C(d, k), the entire population is returned
+/// (which may be fewer than `count` sets); requests within a factor of two
+/// of the population are drawn from an enumeration, so sampling never
+/// degenerates near the boundary. count <= 0 returns empty.
 std::vector<AttrSet> SampleQuerySets(int d, int k, int count, Rng* rng);
 
 /// All d-k+1 consecutive windows {i, .., i+k-1} — the MCHAIN queries, which

@@ -1,0 +1,309 @@
+#include "obs/metrics_registry.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace priview::obs {
+
+namespace {
+
+// Label values may carry request detail (scope strings); escape per the
+// exposition format so a hostile value cannot break the scrape.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// `{k1="v1",k2="v2"}` (empty string for no labels). `extra` appends one
+// more pair — the histogram renderer's `le`.
+std::string RenderLabels(const Labels& labels, const Label* extra = nullptr) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Label& label : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += label.first + "=\"" + EscapeLabelValue(label.second) + "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out += ",";
+    out += extra->first + "=\"" + EscapeLabelValue(extra->second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < 2) return 0;
+  const int b = std::bit_width(value) - 1;
+  return b >= kBuckets ? kBuckets - 1 : b;
+}
+
+void Histogram::Observe(uint64_t value) {
+  counts_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot s;
+  for (int b = 0; b < kBuckets; ++b) {
+    s.counts[b] = counts_[b].load(std::memory_order_relaxed);
+    s.total += s.counts[b];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t Histogram::total_count() const {
+  uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    total += counts_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::PercentileUpperBound(double p) const {
+  const Snapshot s = TakeSnapshot();
+  if (s.total == 0 || !(p > 0.0)) return 0.0;
+  if (p > 1.0) p = 1.0;
+  const double rank = p * static_cast<double>(s.total);
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += s.counts[b];
+    if (static_cast<double>(cumulative) >= rank) {
+      return static_cast<double>(BucketUpperBound(b));
+    }
+  }
+  return static_cast<double>(BucketUpperBound(kBuckets - 1));
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    // The parallel pool exposes its counters as plain functions (common
+    // cannot depend on obs); pull them at render time.
+    r->RegisterCallbackGauge(
+        "priview_parallel_queue_depth",
+        "Chunks of the in-flight parallel region not yet completed",
+        [] { return static_cast<int64_t>(parallel::QueueDepth()); });
+    r->RegisterCallbackGauge(
+        "priview_parallel_threads", "Effective parallel pool thread count",
+        [] { return static_cast<int64_t>(parallel::ThreadCount()); });
+    r->RegisterCallbackCounter(
+        "priview_parallel_jobs_total", "Parallel regions dispatched",
+        [] { return parallel::JobsDispatched(); });
+    r->RegisterCallbackCounter(
+        "priview_parallel_chunks_total", "Parallel chunks executed",
+        [] { return parallel::ChunksExecuted(); });
+    r->RegisterCallbackCounter(
+        "priview_parallel_inline_retries_total",
+        "Chunks recovered via the inline-retry path",
+        [] { return parallel::InlineRetryCount(); });
+    return r;
+  }();
+  return *registry;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::GetOrCreate(
+    const std::string& name, const Labels& labels, Kind kind,
+    const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Instrument& instrument : instruments_) {
+    if (instrument.name == name && instrument.labels == labels) {
+      // One family, one type: a counter named like an existing histogram
+      // would render an invalid exposition.
+      PRIVIEW_CHECK(instrument.kind == kind);
+      return &instrument;
+    }
+  }
+  // Instruments hold atomics, so they are neither movable nor copyable:
+  // construct in place, then fill in the identity fields.
+  Instrument& created = instruments_.emplace_back();
+  created.name = name;
+  created.labels = labels;
+  created.kind = kind;
+  bool family_known = false;
+  for (const auto& [family, _] : family_help_) {
+    if (family == name) {
+      family_known = true;
+      break;
+    }
+  }
+  if (!family_known) family_help_.emplace_back(name, help);
+  return &instruments_.back();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels,
+                                     const std::string& help) {
+  return &GetOrCreate(name, labels, Kind::kCounter, help)->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
+                                 const std::string& help) {
+  return &GetOrCreate(name, labels, Kind::kGauge, help)->gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         const std::string& help) {
+  return &GetOrCreate(name, labels, Kind::kHistogram, help)->histogram;
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            const std::string& help,
+                                            std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (CallbackInstrument& callback : callbacks_) {
+    if (callback.name == name) {
+      callback.gauge_fn = std::move(fn);
+      callback.monotonic = false;
+      return;
+    }
+  }
+  callbacks_.push_back({name, help, false, std::move(fn), nullptr});
+}
+
+void MetricsRegistry::RegisterCallbackCounter(const std::string& name,
+                                              const std::string& help,
+                                              std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (CallbackInstrument& callback : callbacks_) {
+    if (callback.name == name) {
+      callback.counter_fn = std::move(fn);
+      callback.monotonic = true;
+      return;
+    }
+  }
+  callbacks_.push_back({name, help, true, nullptr, std::move(fn)});
+}
+
+size_t MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return instruments_.size() + callbacks_.size();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  // Families in first-registration order; series within a family in
+  // registration order. # HELP / # TYPE once per family.
+  for (const auto& [family, help] : family_help_) {
+    Kind kind = Kind::kCounter;
+    bool seen = false;
+    for (const Instrument& instrument : instruments_) {
+      if (instrument.name != family) continue;
+      if (!seen) {
+        seen = true;
+        kind = instrument.kind;
+        if (!help.empty()) out += "# HELP " + family + " " + help + "\n";
+        out += "# TYPE " + family + " ";
+        switch (kind) {
+          case Kind::kCounter:
+            out += "counter\n";
+            break;
+          case Kind::kGauge:
+            out += "gauge\n";
+            break;
+          case Kind::kHistogram:
+            out += "histogram\n";
+            break;
+        }
+      }
+      switch (instrument.kind) {
+        case Kind::kCounter:
+          out += family + RenderLabels(instrument.labels) + " ";
+          AppendU64(&out, instrument.counter.value());
+          out += "\n";
+          break;
+        case Kind::kGauge:
+          out += family + RenderLabels(instrument.labels) + " ";
+          AppendI64(&out, instrument.gauge.value());
+          out += "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot s = instrument.histogram.TakeSnapshot();
+          uint64_t cumulative = 0;
+          for (int b = 0; b < Histogram::kBuckets; ++b) {
+            cumulative += s.counts[b];
+            // Skip interior empty buckets to keep scrapes compact, but
+            // always emit the first and last so the shape is parseable.
+            if (s.counts[b] == 0 && b != 0 && b != Histogram::kBuckets - 1) {
+              continue;
+            }
+            char le[32];
+            std::snprintf(le, sizeof(le), "%" PRIu64,
+                          Histogram::BucketUpperBound(b));
+            const Label le_label{"le", le};
+            out += family + "_bucket" +
+                   RenderLabels(instrument.labels, &le_label) + " ";
+            AppendU64(&out, cumulative);
+            out += "\n";
+          }
+          const Label inf_label{"le", "+Inf"};
+          out += family + "_bucket" +
+                 RenderLabels(instrument.labels, &inf_label) + " ";
+          AppendU64(&out, s.total);
+          out += "\n";
+          out += family + "_sum" + RenderLabels(instrument.labels) + " ";
+          AppendU64(&out, s.sum);
+          out += "\n";
+          out += family + "_count" + RenderLabels(instrument.labels) + " ";
+          AppendU64(&out, s.total);
+          out += "\n";
+        }
+      }
+    }
+  }
+  for (const CallbackInstrument& callback : callbacks_) {
+    if (!callback.help.empty()) {
+      out += "# HELP " + callback.name + " " + callback.help + "\n";
+    }
+    out += "# TYPE " + callback.name +
+           (callback.monotonic ? " counter\n" : " gauge\n");
+    out += callback.name + " ";
+    if (callback.monotonic) {
+      AppendU64(&out, callback.counter_fn ? callback.counter_fn() : 0);
+    } else {
+      AppendI64(&out, callback.gauge_fn ? callback.gauge_fn() : 0);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace priview::obs

@@ -1,0 +1,172 @@
+// Unified metrics substrate for the whole stack: named counters, gauges
+// and fixed-bucket histograms, registered once and updated lock-free, with
+// a Prometheus text-exposition renderer for in-process scraping and the
+// server's wire `metrics` request.
+//
+// Design:
+//   - Instruments are owned by a MetricsRegistry and live as long as it
+//     does; Get* returns a stable pointer (the same pointer for the same
+//     name + label set), so call sites cache it once (typically in a
+//     function-local static) and pay one relaxed atomic RMW per update.
+//   - The process-wide registry (MetricsRegistry::Global()) carries the
+//     publish-pipeline, query-path and solver instruments plus pull-style
+//     callback gauges over the parallel pool (queue depth, thread count,
+//     inline retries). Subsystems needing isolation (one ServerMetrics per
+//     server, so tests and multi-server processes do not cross-pollute)
+//     own an instance registry instead.
+//   - Histograms share one shape with serve's latency histograms: bucket i
+//     covers [2^i, 2^(i+1)) of whatever unit the caller observes (bucket 0
+//     also absorbs 0 and 1), 22 buckets, top bucket open-ended. For
+//     microsecond latencies the top bucket starts at ~2.1 s.
+//
+// Naming scheme (DESIGN.md §12): `priview_<subsystem>_<what>[_<unit>]`,
+// labels for the dimension within a family — e.g.
+// `priview_span_duration_us{span="publish/noise"}`,
+// `priview_query_cache_lookups_total{result="exact"}`.
+#ifndef PRIVIEW_OBS_METRICS_REGISTRY_H_
+#define PRIVIEW_OBS_METRICS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace priview::obs {
+
+/// One label dimension: rendered as `{key="value"}`.
+using Label = std::pair<std::string, std::string>;
+using Labels = std::vector<Label>;
+
+/// Monotonically increasing count. Updates are one relaxed fetch_add.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depths, arm states).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket power-of-two histogram: bucket i covers [2^i, 2^(i+1))
+/// (bucket 0 also takes 0 and 1), 22 buckets. One relaxed fetch_add on the
+/// bucket plus one on the sum per observation; snapshots may be off by
+/// in-flight increments but are never torn within a single bucket.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 22;
+
+  void Observe(uint64_t value);
+
+  struct Snapshot {
+    uint64_t counts[kBuckets] = {};
+    uint64_t total = 0;
+    uint64_t sum = 0;
+  };
+  Snapshot TakeSnapshot() const;
+
+  uint64_t total_count() const;
+  /// Upper bound below which a fraction `p` in (0, 1] of observations
+  /// fell (bucket upper bound; 0 when empty).
+  double PercentileUpperBound(double p) const;
+  /// Inclusive upper bound of bucket `b` (the Prometheus `le` value).
+  static uint64_t BucketUpperBound(int b) {
+    return (uint64_t{1} << (b + 1)) - 1;
+  }
+  static int BucketFor(uint64_t value);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry. First use registers the parallel-pool
+  /// callback gauges (queue depth, thread count, jobs/chunks/retries).
+  static MetricsRegistry& Global();
+
+  /// Returns the instrument for (name, labels), creating it on first use.
+  /// `help` is recorded on creation (first caller wins) and rendered as
+  /// the family's # HELP line. Mixing instrument types under one family
+  /// name is a programming error (checked).
+  Counter* GetCounter(const std::string& name, const Labels& labels = {},
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {},
+                  const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
+                          const std::string& help = "");
+
+  /// Pull-style instrument: `fn` is evaluated at render time. Useful for
+  /// values owned elsewhere (pool queue depth, broker queue depth).
+  /// Registering the same name again replaces the callback.
+  void RegisterCallbackGauge(const std::string& name, const std::string& help,
+                             std::function<int64_t()> fn);
+  /// As RegisterCallbackGauge but rendered with counter semantics — for
+  /// monotonic values owned elsewhere.
+  void RegisterCallbackCounter(const std::string& name,
+                               const std::string& help,
+                               std::function<uint64_t()> fn);
+
+  /// Prometheus text exposition (version 0.0.4): # HELP / # TYPE per
+  /// family, then one series per label set; histograms render cumulative
+  /// `_bucket{le=...}` series plus `_sum` and `_count`.
+  std::string RenderPrometheus() const;
+
+  /// Number of registered instrument series (diagnostics/tests).
+  size_t series_count() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Instrument {
+    std::string name;
+    Labels labels;
+    Kind kind = Kind::kCounter;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+  };
+  struct CallbackInstrument {
+    std::string name;
+    std::string help;
+    bool monotonic = false;
+    std::function<int64_t()> gauge_fn;
+    std::function<uint64_t()> counter_fn;
+  };
+
+  Instrument* GetOrCreate(const std::string& name, const Labels& labels,
+                          Kind kind, const std::string& help);
+
+  mutable std::mutex mu_;  // guards registration and render bookkeeping
+  // deque: stable addresses across registration (instrument pointers are
+  // handed out and cached by call sites).
+  std::deque<Instrument> instruments_;
+  std::vector<CallbackInstrument> callbacks_;
+  // family name -> (help, kind): one # HELP/# TYPE per family.
+  std::vector<std::pair<std::string, std::string>> family_help_;
+};
+
+}  // namespace priview::obs
+
+#endif  // PRIVIEW_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,128 @@
+#include "obs/tracer.h"
+
+#include <chrono>
+
+#include "common/failpoint.h"
+
+namespace priview::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_armed{false};
+}  // namespace internal
+
+namespace {
+
+// Thread-local nesting depth. End() restores the depth to the span's own
+// level rather than decrementing, so a torn child (whose End never ran)
+// cannot leave the accounting skewed for the rest of the thread.
+thread_local int t_span_depth = 0;
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Arm(const TracerOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    slow_log_.clear();
+    slow_capacity_ = options.slow_log_capacity;
+  }
+  slow_total_.store(0, std::memory_order_relaxed);
+  slow_threshold_us_.store(options.slow_span_threshold_us,
+                           std::memory_order_relaxed);
+  internal::g_tracing_armed.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disarm() {
+  internal::g_tracing_armed.store(false, std::memory_order_relaxed);
+}
+
+std::vector<SlowSpanEntry> Tracer::SlowEntries() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return {slow_log_.begin(), slow_log_.end()};
+}
+
+uint64_t Tracer::SlowSpanCount() const {
+  return slow_total_.load(std::memory_order_relaxed);
+}
+
+void Tracer::ClearSlowLog() {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_log_.clear();
+}
+
+void Tracer::RecordSlow(SlowSpanEntry entry) {
+  slow_total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  if (slow_capacity_ == 0) return;
+  while (slow_log_.size() >= slow_capacity_) slow_log_.pop_front();
+  slow_log_.push_back(std::move(entry));
+}
+
+void TraceSpan::Begin(const char* name) {
+  name_ = name;
+  active_ = true;
+  depth_ = t_span_depth;
+  t_span_depth = depth_ + 1;
+  start_us_ = NowMicros();
+}
+
+void TraceSpan::Annotate(const std::string& detail) {
+  if (!active_) return;
+  if (detail_ != nullptr) {
+    *detail_ = detail;
+  } else {
+    detail_ = std::make_unique<std::string>(detail);
+  }
+}
+
+void TraceSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  if (PRIVIEW_FAILPOINT("obs/span-torn")) {
+    // A fault tore this span mid-flight: its duration is meaningless and
+    // its depth bookkeeping is lost. Count the tear and bail — the
+    // enclosing span's End() self-heals the thread-local depth, and the
+    // registry sees a counter bump instead of a junk observation.
+    static Counter* const torn = MetricsRegistry::Global().GetCounter(
+        "priview_spans_torn_total", {},
+        "Spans abandoned mid-fault (not recorded)");
+    torn->Increment();
+    detail_.reset();
+    return;
+  }
+  const uint64_t duration_us = NowMicros() - start_us_;
+  t_span_depth = depth_;
+  // Tracing may have been disarmed while this span was open; record
+  // anyway — the span was started under an armed tracer and dropping it
+  // would skew the histogram's count against its sum... both are updated
+  // together here, so the family stays internally consistent.
+  MetricsRegistry::Global()
+      .GetHistogram("priview_span_duration_us", {{"span", name_}},
+                    "Span durations in microseconds, by span name")
+      ->Observe(duration_us);
+  const uint64_t threshold =
+      Tracer::Global().slow_threshold_us_.load(std::memory_order_relaxed);
+  if (threshold > 0 && duration_us >= threshold) {
+    static Counter* const slow = MetricsRegistry::Global().GetCounter(
+        "priview_slow_spans_total", {},
+        "Spans at or above the slow-span threshold");
+    slow->Increment();
+    Tracer::Global().RecordSlow(SlowSpanEntry{
+        name_, detail_ != nullptr ? std::move(*detail_) : std::string(),
+        duration_us, depth_});
+  }
+  detail_.reset();
+}
+
+}  // namespace priview::obs

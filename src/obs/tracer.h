@@ -1,0 +1,142 @@
+// Low-overhead tracing: RAII TraceSpans over the monotonic clock, recorded
+// into the process-wide MetricsRegistry as per-span-name duration
+// histograms, plus a bounded slow-span log with a configurable threshold.
+//
+// Arming model (same shape as the failpoint framework): the Tracer is
+// process-wide and disarmed by default. A disarmed TraceSpan costs one
+// relaxed atomic load in its constructor and one branch in its destructor
+// — the same budget as a disarmed failpoint site (<1%, enforced by
+// bench_obs / BENCH_observability.json). Armed spans take one
+// steady_clock reading at each end and one histogram observation.
+//
+// Nesting: spans nest freely (a thread-local depth is tracked for the
+// slow log). The bookkeeping is self-healing: a span abandoned mid-fault
+// (see the "obs/span-torn" failpoint, which simulates a span whose end is
+// lost inside a fault handler) can never corrupt the registry or the
+// depth accounting — the enclosing span restores the depth to its own
+// level, and the torn span is counted in priview_spans_torn_total rather
+// than recorded with a junk duration.
+//
+// Span taxonomy (DESIGN.md §12):
+//   publish                    whole synopsis build
+//   publish/count              fused marginal counting pass
+//   publish/noise[/view]       Laplace noising, per phase and per view
+//   publish/ripple[/view]      non-negativity pass, per phase and per view
+//   publish/consistency        one consistency projection pass
+//   pipeline/select-views      view selection inside the release pipeline
+//   query/marginal             cache-miss marginal answer (solve + insert;
+//                              sub-microsecond cache hits are deliberately
+//                              span-free — see QueryEngine::CachedQuery)
+//   query/solve                one reconstruction solve inside AnswerBatch
+//   broker/dispatch            one broker batch dispatch
+#ifndef PRIVIEW_OBS_TRACER_H_
+#define PRIVIEW_OBS_TRACER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace priview::obs {
+
+struct TracerOptions {
+  /// Spans at or above this duration land in the slow log (and count in
+  /// priview_slow_spans_total). 0 disables the slow log.
+  uint64_t slow_span_threshold_us = 0;
+  /// Ring-buffer capacity of the slow log; older entries are dropped.
+  size_t slow_log_capacity = 128;
+};
+
+/// One slow-log record.
+struct SlowSpanEntry {
+  std::string name;
+  std::string detail;  // optional Annotate() payload (e.g. query scope)
+  uint64_t duration_us = 0;
+  int depth = 0;  // nesting depth at which the span ran
+};
+
+namespace internal {
+/// The disarmed fast path reads only this (cf. failpoint::g_armed_count).
+extern std::atomic<bool> g_tracing_armed;
+inline bool TracingArmed() {
+  return g_tracing_armed.load(std::memory_order_relaxed);
+}
+}  // namespace internal
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Arms tracing process-wide (idempotent; re-arming replaces options
+  /// and clears the slow log).
+  void Arm(const TracerOptions& options = {});
+  void Disarm();
+  bool armed() const { return internal::TracingArmed(); }
+
+  uint64_t slow_threshold_us() const {
+    return slow_threshold_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Point-in-time copy of the slow log, oldest first.
+  std::vector<SlowSpanEntry> SlowEntries() const;
+  /// Total slow spans observed since arming (including ones the ring
+  /// buffer has already dropped).
+  uint64_t SlowSpanCount() const;
+  void ClearSlowLog();
+
+ private:
+  friend class TraceSpan;
+  Tracer() = default;
+
+  void RecordSlow(SlowSpanEntry entry);
+
+  std::atomic<uint64_t> slow_threshold_us_{0};
+  mutable std::mutex slow_mu_;
+  std::deque<SlowSpanEntry> slow_log_;
+  size_t slow_capacity_ = 128;
+  std::atomic<uint64_t> slow_total_{0};
+};
+
+/// RAII span. Construct with a static-storage name (string literal); the
+/// pointer is kept for the span's lifetime. Copying is disabled — a span
+/// marks a region of one stack frame.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (internal::TracingArmed()) Begin(name);
+  }
+  ~TraceSpan() {
+    if (active_) End();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span early (idempotent; the destructor becomes a no-op).
+  void End();
+
+  /// Attaches a detail string carried into the slow log (ignored when the
+  /// span is disarmed or the slow log is off).
+  void Annotate(const std::string& detail);
+
+  bool active() const { return active_; }
+
+ private:
+  void Begin(const char* name);
+
+  const char* name_ = nullptr;
+  bool active_ = false;
+  int depth_ = 0;
+  uint64_t start_us_ = 0;
+  // Lazily allocated: an inline std::string's ctor/dtor would tax every
+  // disarmed span, and annotations only exist on armed slow-log paths.
+  std::unique_ptr<std::string> detail_;
+};
+
+}  // namespace priview::obs
+
+#endif  // PRIVIEW_OBS_TRACER_H_

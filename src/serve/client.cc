@@ -185,6 +185,20 @@ StatusOr<std::string> PriViewClient::Stats() {
   return response.value().text;
 }
 
+StatusOr<std::string> PriViewClient::Metrics() {
+  WireRequest request;
+  request.type = MessageType::kMetrics;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  if (response.value().type == MessageType::kError) {
+    return response.value().ToStatus();
+  }
+  if (response.value().type != MessageType::kText) {
+    return Status::DataLoss("expected a text response");
+  }
+  return response.value().text;
+}
+
 StatusOr<std::string> PriViewClient::List() {
   WireRequest request;
   request.type = MessageType::kList;

@@ -72,6 +72,12 @@ class PriViewClient {
 
   /// Server metrics snapshot as JSON.
   StatusOr<std::string> Stats();
+  /// Full metrics scrape in Prometheus text-exposition format: the
+  /// server's per-instance instruments (request lifecycle, latency,
+  /// broker queue wait / coalesce width / dispatch) followed by the
+  /// process-wide registry (publish pipeline spans, query path, solver,
+  /// parallel pool) and the slow-span log as comment lines.
+  StatusOr<std::string> Metrics();
   /// Hosted synopses, one "name d=... views=... eps=... epoch=..." line
   /// each.
   StatusOr<std::string> List();

@@ -9,6 +9,7 @@
 
 #include "common/failpoint.h"
 #include "core/reconstruct.h"
+#include "obs/tracer.h"
 
 namespace priview::serve {
 
@@ -75,6 +76,17 @@ StatusOr<ServedAnswer> RequestBroker::Ask(const std::string& synopsis,
 StatusOr<ServedAnswer> RequestBroker::Ask(const std::string& synopsis,
                                           AttrSet target,
                                           Clock::time_point deadline) {
+  // An already-expired deadline is rejected at admission: queueing it
+  // would only burn dispatcher time on an answer nobody is waiting for,
+  // and (worse) a caller-side clock mistake would still occupy a queue
+  // slot. Counted separately from queue-full rejections so operators can
+  // tell client clock/deadline bugs from genuine overload.
+  if (deadline <= Clock::now()) {
+    metrics_->RecordExpiredAtAdmission();
+    return Status::DeadlineExceeded("deadline already expired at admission "
+                                    "for '" +
+                                    synopsis + "' " + target.ToString());
+  }
   auto pending = std::make_unique<Pending>();
   pending->synopsis = synopsis;
   pending->target = target;
@@ -133,7 +145,11 @@ void RequestBroker::DispatchLoop() {
 }
 
 void RequestBroker::ProcessBatch(std::deque<std::unique_ptr<Pending>> batch) {
+  obs::TraceSpan dispatch_span("broker/dispatch");
   const Clock::time_point dispatch_time = Clock::now();
+  for (const std::unique_ptr<Pending>& p : batch) {
+    metrics_->RecordQueueWait(MicrosBetween(p->admitted_at, dispatch_time));
+  }
 
   auto fail = [&](Pending* p, Status status) {
     metrics_->RecordLatency(RequestKind::kMarginal,
@@ -247,6 +263,7 @@ void RequestBroker::ProcessBatch(std::deque<std::unique_ptr<Pending>> batch) {
     };
 
     if (!options_.coalesce) {
+      metrics_->RecordCoalesceWidth(valid.size());
       for (Pending* p : valid) {
         StatusOr<MarginalTable> table = execute_one(p->target);
         if (!table.ok()) {
@@ -298,6 +315,7 @@ void RequestBroker::ProcessBatch(std::deque<std::unique_ptr<Pending>> batch) {
       }
     }
 
+    metrics_->RecordCoalesceWidth(exec_targets.size());
     std::vector<StatusOr<MarginalTable>> exec_answers;
     exec_answers.reserve(exec_targets.size());
     if (tier == ServeTier::kFull) {
@@ -326,6 +344,7 @@ void RequestBroker::ProcessBatch(std::deque<std::unique_ptr<Pending>> batch) {
       serve_table(p, exec_answers[e].value(), coalesced);
     }
   }
+  metrics_->RecordDispatchLatency(MicrosBetween(dispatch_time, Clock::now()));
 }
 
 }  // namespace priview::serve

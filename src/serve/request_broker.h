@@ -2,10 +2,13 @@
 // connection handlers and the query engines.
 //
 // Lifecycle of a request (Ask):
-//   1. Admission — the bounded queue either accepts the request or rejects
-//      it immediately with ResourceExhausted (backpressure; the caller is
-//      never blocked behind an unbounded backlog). The "serve/queue-full"
-//      failpoint forces the full-queue path for chaos drills.
+//   1. Admission — a request whose deadline has already passed is rejected
+//      up front with DeadlineExceeded (counted separately from queue-full
+//      rejections: a client clock bug must not read as overload); then the
+//      bounded queue either accepts the request or rejects it immediately
+//      with ResourceExhausted (backpressure; the caller is never blocked
+//      behind an unbounded backlog). The "serve/queue-full" failpoint
+//      forces the full-queue path for chaos drills.
 //   2. Batching + coalescing — the dispatcher thread drains the whole
 //      queue each wake-up. Within a batch, requests for the same synopsis
 //      are grouped and their targets coalesced: a duplicate target, or a

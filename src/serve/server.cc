@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "core/query_engine.h"
+#include "obs/tracer.h"
 #include "serve/wire_protocol.h"
 
 namespace priview::serve {
@@ -32,7 +33,15 @@ uint64_t MicrosSince(Clock::time_point start) {
 PriViewServer::PriViewServer(const ServerOptions& options)
     : options_(options),
       broker_(std::make_unique<RequestBroker>(&registry_, &metrics_,
-                                              options.broker)) {}
+                                              options.broker)) {
+  // Queue depth is owned by the broker; pull it at scrape time. The
+  // callback outlives nothing: registry, broker and metrics share this
+  // object's lifetime.
+  metrics_.registry().RegisterCallbackGauge(
+      "priview_broker_queue_depth",
+      "Requests admitted but not yet dispatched",
+      [this] { return static_cast<int64_t>(broker_->QueueDepth()); });
+}
 
 PriViewServer::~PriViewServer() { Stop(); }
 
@@ -260,6 +269,31 @@ std::vector<uint8_t> PriViewServer::HandleRequest(const WireRequest& request) {
       WireResponse response;
       response.type = MessageType::kText;
       response.text = metrics_.TakeSnapshot().ToJson();
+      metrics_.RecordLatency(RequestKind::kStats, MicrosSince(start));
+      return EncodeResponse(response);
+    }
+    case MessageType::kMetrics: {
+      WireResponse response;
+      response.type = MessageType::kText;
+      // This server's instruments first, then the process-wide registry
+      // (publish-phase span histograms, query path, solver, parallel
+      // pool). Two renders, one scrape payload.
+      response.text = metrics_.registry().RenderPrometheus();
+      response.text += obs::MetricsRegistry::Global().RenderPrometheus();
+      // Slow-span log as exposition comments: human-greppable in the same
+      // scrape without inventing series per entry.
+      const obs::Tracer& tracer = obs::Tracer::Global();
+      if (tracer.slow_threshold_us() > 0) {
+        for (const obs::SlowSpanEntry& entry : tracer.SlowEntries()) {
+          char line[256];
+          std::snprintf(line, sizeof(line),
+                        "# slow-span %s duration_us=%llu depth=%d %s\n",
+                        entry.name.c_str(),
+                        (unsigned long long)entry.duration_us, entry.depth,
+                        entry.detail.c_str());
+          response.text += line;
+        }
+      }
       metrics_.RecordLatency(RequestKind::kStats, MicrosSince(start));
       return EncodeResponse(response);
     }

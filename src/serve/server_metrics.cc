@@ -1,6 +1,5 @@
 #include "serve/server_metrics.h"
 
-#include <bit>
 #include <cstdio>
 
 namespace priview::serve {
@@ -33,43 +32,74 @@ const char* ServeTierName(ServeTier tier) {
 
 namespace {
 
-// Bucket i covers [2^i, 2^(i+1)) microseconds; bucket 0 also takes 0 us.
-int BucketFor(uint64_t micros) {
-  if (micros < 2) return 0;
-  const int b = std::bit_width(micros) - 1;
-  return b >= ServerMetrics::kLatencyBuckets
-             ? ServerMetrics::kLatencyBuckets - 1
-             : b;
-}
-
 double BucketUpperBoundMs(int bucket) {
   return static_cast<double>(uint64_t{1} << (bucket + 1)) / 1000.0;
 }
 
 }  // namespace
 
-void ServerMetrics::RecordLatency(RequestKind kind, uint64_t micros) {
-  Add(&latency_counts_[static_cast<int>(kind)][BucketFor(micros)]);
+ServerMetrics::ServerMetrics() {
+  admitted_ = registry_.GetCounter("priview_serve_requests_total",
+                                   {{"event", "admitted"}},
+                                   "Request lifecycle events by outcome");
+  rejected_ = registry_.GetCounter("priview_serve_requests_total",
+                                   {{"event", "rejected"}});
+  expired_at_admission_ = registry_.GetCounter(
+      "priview_serve_requests_total", {{"event", "expired_at_admission"}});
+  coalesced_ = registry_.GetCounter("priview_serve_requests_total",
+                                    {{"event", "coalesced"}});
+  deadline_expired_ = registry_.GetCounter("priview_serve_requests_total",
+                                           {{"event", "deadline_expired"}});
+  for (int t = 0; t < kServeTierCount; ++t) {
+    served_by_tier_[t] = registry_.GetCounter(
+        "priview_serve_served_total",
+        {{"tier", ServeTierName(static_cast<ServeTier>(t))}},
+        "Answered requests by degradation tier");
+  }
+  connections_opened_ =
+      registry_.GetCounter("priview_serve_connections_total",
+                           {{"event", "opened"}}, "Connection lifecycle");
+  connections_closed_ = registry_.GetCounter("priview_serve_connections_total",
+                                             {{"event", "closed"}});
+  frame_errors_ =
+      registry_.GetCounter("priview_serve_frame_errors_total", {},
+                           "Malformed or unreadable wire frames seen");
+  for (int k = 0; k < kRequestKindCount; ++k) {
+    latency_us_[k] = registry_.GetHistogram(
+        "priview_serve_request_latency_us",
+        {{"kind", RequestKindName(static_cast<RequestKind>(k))}},
+        "End-to-end request latency (admission to response), microseconds");
+  }
+  queue_wait_us_ = registry_.GetHistogram(
+      "priview_broker_queue_wait_us", {},
+      "Time a request waited in the admission queue, microseconds");
+  coalesce_width_ = registry_.GetHistogram(
+      "priview_broker_coalesce_width", {},
+      "Distinct scopes per dispatched batch after coalescing");
+  dispatch_latency_us_ = registry_.GetHistogram(
+      "priview_broker_dispatch_latency_us", {},
+      "Wall time of one broker batch dispatch, microseconds");
 }
 
 ServerMetrics::Snapshot ServerMetrics::TakeSnapshot() const {
   Snapshot s;
-  s.admitted = admitted_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.coalesced = coalesced_.load(std::memory_order_relaxed);
-  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.admitted = admitted_->value();
+  s.rejected = rejected_->value();
+  s.expired_at_admission = expired_at_admission_->value();
+  s.coalesced = coalesced_->value();
+  s.deadline_expired = deadline_expired_->value();
   for (int t = 0; t < kServeTierCount; ++t) {
-    s.served_by_tier[t] = served_by_tier_[t].load(std::memory_order_relaxed);
+    s.served_by_tier[t] = served_by_tier_[t]->value();
   }
-  s.connections_opened = connections_opened_.load(std::memory_order_relaxed);
-  s.connections_closed = connections_closed_.load(std::memory_order_relaxed);
-  s.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  s.connections_opened = connections_opened_->value();
+  s.connections_closed = connections_closed_->value();
+  s.frame_errors = frame_errors_->value();
   for (int k = 0; k < kRequestKindCount; ++k) {
+    const obs::Histogram::Snapshot h = latency_us_[k]->TakeSnapshot();
     for (int b = 0; b < kLatencyBuckets; ++b) {
-      s.latency_counts[k][b] =
-          latency_counts_[k][b].load(std::memory_order_relaxed);
-      s.latency_totals[k] += s.latency_counts[k][b];
+      s.latency_counts[k][b] = h.counts[b];
     }
+    s.latency_totals[k] = h.total;
   }
   return s;
 }
@@ -99,9 +129,11 @@ std::string ServerMetrics::Snapshot::ToString() const {
   char line[256];
   std::string out;
   std::snprintf(line, sizeof(line),
-                "requests: admitted=%llu rejected=%llu coalesced=%llu "
+                "requests: admitted=%llu rejected=%llu "
+                "expired_at_admission=%llu coalesced=%llu "
                 "deadline_expired=%llu\n",
                 (unsigned long long)admitted, (unsigned long long)rejected,
+                (unsigned long long)expired_at_admission,
                 (unsigned long long)coalesced,
                 (unsigned long long)deadline_expired);
   out += line;
@@ -136,9 +168,11 @@ std::string ServerMetrics::Snapshot::ToJson() const {
   char buf[256];
   std::string out = "{";
   std::snprintf(buf, sizeof(buf),
-                "\"admitted\": %llu, \"rejected\": %llu, \"coalesced\": %llu, "
+                "\"admitted\": %llu, \"rejected\": %llu, "
+                "\"expired_at_admission\": %llu, \"coalesced\": %llu, "
                 "\"deadline_expired\": %llu, \"coalescing_hit_rate\": %.4f",
                 (unsigned long long)admitted, (unsigned long long)rejected,
+                (unsigned long long)expired_at_admission,
                 (unsigned long long)coalesced,
                 (unsigned long long)deadline_expired, CoalescingHitRate());
   out += buf;

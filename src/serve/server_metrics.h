@@ -1,24 +1,32 @@
-// Server-side observability for the query-serving subsystem: lock-free
-// atomic counters for the request lifecycle (admitted / rejected /
-// coalesced / deadline-expired / degraded) and fixed-bucket latency
-// histograms per request kind. Everything here is queryable in-process
-// (Snapshot) and over the wire (the stats request renders Snapshot as
-// JSON), and cheap enough to record on every request: one relaxed
-// fetch_add per counter, two per completed request.
+// Server-side observability for the query-serving subsystem, built on the
+// unified obs substrate: every counter and latency histogram below is an
+// obs instrument owned by a per-server MetricsRegistry, so one scrape
+// (registry().RenderPrometheus()) exports the whole request lifecycle —
+// admitted / rejected / expired-at-admission / coalesced /
+// deadline-expired / degraded — alongside per-kind latency, broker queue
+// wait, coalesce width and dispatch latency.
 //
-// Histogram shape: bucket i covers latencies in [2^i, 2^(i+1)) microseconds
-// (bucket 0 additionally absorbs sub-microsecond samples), 22 buckets total
-// so the top bucket starts at ~2.1 s — far past any serving deadline.
-// Percentiles are read off the cumulative bucket counts and reported as the
-// bucket's upper bound, so a reported p99 is a true upper bound at ~2x
-// resolution, which is what capacity planning needs.
+// Each ServerMetrics owns its registry rather than writing into
+// MetricsRegistry::Global(): tests and multi-server processes must not
+// cross-pollute counts. The legacy Snapshot/ToJson API is kept as a facade
+// over the instruments (the wire `stats` request still renders JSON; the
+// new `metrics` request renders the Prometheus exposition).
+//
+// Histogram shape (shared with obs::Histogram): bucket i covers latencies
+// in [2^i, 2^(i+1)) microseconds (bucket 0 additionally absorbs
+// sub-microsecond samples), 22 buckets total so the top bucket starts at
+// ~2.1 s — far past any serving deadline. Percentiles are read off the
+// cumulative bucket counts and reported as the bucket's upper bound, so a
+// reported p99 is a true upper bound at ~2x resolution, which is what
+// capacity planning needs.
 #ifndef PRIVIEW_SERVE_SERVER_METRICS_H_
 #define PRIVIEW_SERVE_SERVER_METRICS_H_
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "obs/metrics_registry.h"
 
 namespace priview::serve {
 
@@ -47,29 +55,54 @@ const char* ServeTierName(ServeTier tier);
 
 class ServerMetrics {
  public:
-  static constexpr int kLatencyBuckets = 22;
+  static constexpr int kLatencyBuckets = obs::Histogram::kBuckets;
 
-  ServerMetrics() = default;
+  ServerMetrics();
   ServerMetrics(const ServerMetrics&) = delete;
   ServerMetrics& operator=(const ServerMetrics&) = delete;
 
   // --- request lifecycle ---------------------------------------------------
-  void RecordAdmitted() { Add(&admitted_); }
-  void RecordRejected() { Add(&rejected_); }
-  void RecordCoalesced() { Add(&coalesced_); }
-  void RecordDeadlineExpired() { Add(&deadline_expired_); }
+  void RecordAdmitted() { admitted_->Increment(); }
+  void RecordRejected() { rejected_->Increment(); }
+  /// Request whose deadline had already passed when it reached admission:
+  /// rejected up front, counted separately from queue-full rejections.
+  void RecordExpiredAtAdmission() { expired_at_admission_->Increment(); }
+  void RecordCoalesced() { coalesced_->Increment(); }
+  void RecordDeadlineExpired() { deadline_expired_->Increment(); }
   void RecordServedByTier(ServeTier tier) {
-    Add(&served_by_tier_[static_cast<int>(tier)]);
+    served_by_tier_[static_cast<int>(tier)]->Increment();
+  }
+
+  // --- broker internals ----------------------------------------------------
+  /// Time a request sat in the admission queue before its batch was
+  /// picked up, in microseconds.
+  void RecordQueueWait(uint64_t micros) { queue_wait_us_->Observe(micros); }
+  /// Distinct scopes handed to the engine for one dispatched batch after
+  /// coalescing (batch width as the solver sees it).
+  void RecordCoalesceWidth(uint64_t width) {
+    coalesce_width_->Observe(width);
+  }
+  /// End-to-end time for one broker batch dispatch (shed + group +
+  /// coalesce + answer + complete), in microseconds.
+  void RecordDispatchLatency(uint64_t micros) {
+    dispatch_latency_us_->Observe(micros);
   }
 
   // --- connections and framing ---------------------------------------------
-  void RecordConnectionOpened() { Add(&connections_opened_); }
-  void RecordConnectionClosed() { Add(&connections_closed_); }
-  void RecordFrameError() { Add(&frame_errors_); }
+  void RecordConnectionOpened() { connections_opened_->Increment(); }
+  void RecordConnectionClosed() { connections_closed_->Increment(); }
+  void RecordFrameError() { frame_errors_->Increment(); }
 
   /// Completed request of `kind` that took `micros` microseconds end to
   /// end (admission to response), successful or not.
-  void RecordLatency(RequestKind kind, uint64_t micros);
+  void RecordLatency(RequestKind kind, uint64_t micros) {
+    latency_us_[static_cast<int>(kind)]->Observe(micros);
+  }
+
+  /// The registry every instrument above lives in; rendering it is the
+  /// server's Prometheus scrape payload for this server instance.
+  obs::MetricsRegistry& registry() { return registry_; }
+  const obs::MetricsRegistry& registry() const { return registry_; }
 
   /// Point-in-time copy of every counter — plain values, safe to hand to
   /// other threads or serialize. Individual counters are read relaxed, so a
@@ -78,6 +111,7 @@ class ServerMetrics {
   struct Snapshot {
     uint64_t admitted = 0;
     uint64_t rejected = 0;
+    uint64_t expired_at_admission = 0;
     uint64_t coalesced = 0;
     uint64_t deadline_expired = 0;
     uint64_t served_by_tier[kServeTierCount] = {};
@@ -102,21 +136,21 @@ class ServerMetrics {
   Snapshot TakeSnapshot() const;
 
  private:
-  static void Add(std::atomic<uint64_t>* counter) {
-    counter->fetch_add(1, std::memory_order_relaxed);
-  }
+  obs::MetricsRegistry registry_;
 
-  std::atomic<uint64_t> admitted_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> coalesced_{0};
-  std::atomic<uint64_t> deadline_expired_{0};
-  std::array<std::atomic<uint64_t>, kServeTierCount> served_by_tier_{};
-  std::atomic<uint64_t> connections_opened_{0};
-  std::atomic<uint64_t> connections_closed_{0};
-  std::atomic<uint64_t> frame_errors_{0};
-  std::array<std::array<std::atomic<uint64_t>, kLatencyBuckets>,
-             kRequestKindCount>
-      latency_counts_{};
+  obs::Counter* admitted_;
+  obs::Counter* rejected_;
+  obs::Counter* expired_at_admission_;
+  obs::Counter* coalesced_;
+  obs::Counter* deadline_expired_;
+  std::array<obs::Counter*, kServeTierCount> served_by_tier_;
+  obs::Counter* connections_opened_;
+  obs::Counter* connections_closed_;
+  obs::Counter* frame_errors_;
+  std::array<obs::Histogram*, kRequestKindCount> latency_us_;
+  obs::Histogram* queue_wait_us_;
+  obs::Histogram* coalesce_width_;
+  obs::Histogram* dispatch_latency_us_;
 };
 
 }  // namespace priview::serve

@@ -1,5 +1,6 @@
 #include "serve/wire_protocol.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -95,7 +96,7 @@ class ByteReader {
 
 bool IsRequestType(uint8_t t) {
   return t >= uint8_t(MessageType::kMarginal) &&
-         t <= uint8_t(MessageType::kList);
+         t <= uint8_t(MessageType::kMetrics);
 }
 
 bool IsResponseType(uint8_t t) {
@@ -145,6 +146,7 @@ std::vector<uint8_t> EncodeRequest(const WireRequest& request) {
       break;
     case MessageType::kStats:
     case MessageType::kList:
+    case MessageType::kMetrics:
       break;
     default:
       break;  // encoded as a bare (undecodable) type byte
@@ -194,6 +196,7 @@ StatusOr<WireRequest> DecodeRequest(const std::vector<uint8_t>& payload) {
       break;
     case MessageType::kStats:
     case MessageType::kList:
+    case MessageType::kMetrics:
       break;
     default:
       return Status::Internal("unreachable request type");
@@ -337,6 +340,26 @@ WireResponse MakeTableResponse(const MarginalTable& table, uint8_t tier,
 
 namespace {
 
+// Blocks until `fd` is ready for `events` (POLLIN / POLLOUT). Used when a
+// read/write on a non-blocking fd reports EAGAIN: parking in poll() keeps
+// the exactly-N-bytes contract of ReadAll/WriteAll without busy-spinning,
+// and without silently looping forever on a genuinely broken descriptor
+// (poll errors surface as IOError).
+Status WaitReady(int fd, short events) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    const int n = ::poll(&pfd, 1, /*timeout_ms=*/-1);
+    if (n > 0) return Status::OK();
+    if (n < 0 && errno != EINTR) {
+      return Status::IOError("poll failed: " +
+                             std::string(std::strerror(errno)));
+    }
+  }
+}
+
 Status WriteAll(int fd, const uint8_t* data, size_t len) {
   size_t written = 0;
   while (written < len) {
@@ -346,6 +369,11 @@ Status WriteAll(int fd, const uint8_t* data, size_t len) {
         ::send(fd, data + written, len - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        const Status ready = WaitReady(fd, POLLOUT);
+        if (!ready.ok()) return ready;
+        continue;
+      }
       return Status::IOError("frame write failed: " +
                              std::string(std::strerror(errno)));
     }
@@ -363,6 +391,14 @@ Status ReadAll(int fd, uint8_t* data, size_t len, bool* eof_at_start) {
     const ssize_t n = ::read(fd, data + got, len - got);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with nothing buffered yet: wait for readability
+        // instead of spinning on EAGAIN (the pre-fix behavior surfaced
+        // this as IOError, and a retry loop above it would spin forever).
+        const Status ready = WaitReady(fd, POLLIN);
+        if (!ready.ok()) return ready;
+        continue;
+      }
       return Status::IOError("frame read failed: " +
                              std::string(std::strerror(errno)));
     }

@@ -20,6 +20,7 @@
 //                      u32 deadline_ms
 //   kStats             (empty)
 //   kList              (empty)
+//   kMetrics           (empty) — Prometheus text exposition via kText
 //
 //   response           payload after the type byte
 //   ----------------   -------------------------------------------------
@@ -58,6 +59,7 @@ enum class MessageType : uint8_t {
   kDice = 5,
   kStats = 6,
   kList = 7,
+  kMetrics = 8,
   // Responses.
   kTable = 64,
   kValue = 65,
@@ -116,14 +118,18 @@ WireResponse MakeTableResponse(const MarginalTable& table, uint8_t tier,
                                bool coalesced, uint64_t epoch);
 
 /// Writes one frame (header + payload) to `fd`, retrying short writes and
-/// EINTR. The "serve/io-torn-frame" failpoint aborts the write mid-payload
-/// and reports IOError — the caller must treat the connection as dead.
+/// EINTR, and waiting out EAGAIN/EWOULDBLOCK (the fd may be non-blocking).
+/// The "serve/io-torn-frame" failpoint aborts the write mid-payload and
+/// reports IOError — the caller must treat the connection as dead.
 Status WriteFrame(int fd, const std::vector<uint8_t>& payload);
 
 /// Reads one frame from `fd`. A clean close at a frame boundary sets
 /// `*clean_eof` and returns OK with an empty payload; EOF mid-frame is
 /// DataLoss ("torn frame"), a declared length over kMaxFramePayload is
-/// DataLoss ("oversized frame"), and read errors are IOError.
+/// DataLoss ("oversized frame"), and read errors are IOError. A
+/// non-blocking fd is handled by polling for readiness on
+/// EAGAIN/EWOULDBLOCK rather than spinning, so both frame calls are
+/// correct regardless of the fd's O_NONBLOCK state.
 Status ReadFrame(int fd, std::vector<uint8_t>* payload, bool* clean_eof);
 
 }  // namespace priview::serve

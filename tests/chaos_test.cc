@@ -16,6 +16,8 @@
 #include "common/failpoint.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "core/pipeline.h"
 #include "core/query_engine.h"
 #include "core/serialization.h"
@@ -202,8 +204,13 @@ class ChaosTest : public ::testing::Test {
 #if !PRIVIEW_FAILPOINTS_ENABLED
     GTEST_SKIP() << "failpoints compiled out (PRIVIEW_FAILPOINTS=OFF)";
 #endif
+    // Armed tracing is part of the surface under chaos: spans must survive
+    // every fault, and the "obs/span-torn" site only exists inside an
+    // armed span's End().
+    obs::Tracer::Global().Arm();
   }
   ~ChaosTest() override {
+    obs::Tracer::Global().Disarm();
     failpoint::DisarmAll();
     parallel::SetThreadCount(0);
   }
@@ -233,6 +240,44 @@ TEST_F(ChaosTest, EveryKnownFailpointFiresSomewhereInTheLifecycle) {
     RunServeUnderFault(fault);
     EXPECT_GT(failpoint::HitCount(fault), 0u) << fault << " never evaluated";
   }
+}
+
+TEST_F(ChaosTest, TornSpanNeverCorruptsTheRegistry) {
+  // A span abandoned mid-fault must be counted as torn — not recorded as a
+  // junk duration — and must leave the registry and the thread-local depth
+  // accounting in a state where later spans record normally.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* torn = registry.GetCounter("priview_spans_torn_total");
+  obs::Histogram* publish =
+      registry.GetHistogram("priview_span_duration_us", {{"span", "publish"}});
+  const uint64_t torn_before = torn->value();
+  const uint64_t recorded_during = [&] {
+    failpoint::ScopedFailpoint scoped("obs/span-torn", "always");
+    EXPECT_TRUE(scoped.status().ok());
+    const uint64_t before = publish->total_count();
+    RunLifecycleUnderFault("obs/span-torn");
+    return publish->total_count() - before;
+  }();
+  // Every span end under the fault was torn: counted, never observed.
+  EXPECT_GT(torn->value(), torn_before);
+  EXPECT_EQ(recorded_during, 0u);
+
+  // With the fault gone, a fresh publish records again — the torn spans
+  // did not skew the depth bookkeeping or wedge the registry.
+  const uint64_t publish_before = publish->total_count();
+  Rng rng(4321);
+  Dataset data = MakeMsnbcLike(&rng, 2000);
+  PipelineOptions options;
+  options.total_epsilon = 1.0;
+  StatusOr<PipelineResult> built = BuildPriViewPipeline(data, options, &rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_GT(publish->total_count(), publish_before);
+
+  // And the exposition still renders whole: torn counter present,
+  // histogram families intact.
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("priview_spans_torn_total"), std::string::npos);
+  EXPECT_NE(text.find("priview_span_duration_us_bucket"), std::string::npos);
 }
 
 TEST_F(ChaosTest, IntermittentFaultsDegradeOnlyTheFaultyCall) {

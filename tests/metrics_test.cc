@@ -1,6 +1,8 @@
 #include "metrics/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -89,6 +91,122 @@ TEST(MetricsTest, SampleQuerySetsDistinctAndSized) {
   for (AttrSet q : queries) {
     EXPECT_EQ(q.size(), 4);
     EXPECT_TRUE(q.IsSubsetOf(AttrSet::Full(20)));
+  }
+}
+
+TEST(MetricsTest, SampleQuerySetsAtExactPopulationSize) {
+  // count == C(6, 3) == 20: used to abort on the rejection-sampling
+  // attempt limit; must now return the whole population.
+  Rng rng(2);
+  const std::vector<AttrSet> queries = SampleQuerySets(6, 3, 20, &rng);
+  EXPECT_EQ(queries.size(), 20u);
+  std::set<AttrSet> unique(queries.begin(), queries.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (AttrSet q : queries) EXPECT_EQ(q.size(), 3);
+}
+
+TEST(MetricsTest, SampleQuerySetsBeyondPopulationReturnsAll) {
+  // count > C(5, 2) == 10: the population is all there is.
+  Rng rng(3);
+  const std::vector<AttrSet> queries = SampleQuerySets(5, 2, 1000, &rng);
+  EXPECT_EQ(queries.size(), 10u);
+  std::set<AttrSet> unique(queries.begin(), queries.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(MetricsTest, SampleQuerySetsDenseNearPopulation) {
+  // count just below C(8, 4) == 70 lands in the dense enumerate-and-pick
+  // regime; the draw must still be distinct, sized, and in-universe.
+  Rng rng(4);
+  const std::vector<AttrSet> queries = SampleQuerySets(8, 4, 69, &rng);
+  EXPECT_EQ(queries.size(), 69u);
+  std::set<AttrSet> unique(queries.begin(), queries.end());
+  EXPECT_EQ(unique.size(), 69u);
+  for (AttrSet q : queries) {
+    EXPECT_EQ(q.size(), 4);
+    EXPECT_TRUE(q.IsSubsetOf(AttrSet::Full(8)));
+  }
+}
+
+TEST(MetricsTest, SampleQuerySetsLargeUniverseStaysSparse) {
+  // C(50, 5) overflows nothing here, but it is astronomically larger than
+  // the request: the capped binomial must route this through rejection
+  // sampling without ever materializing the population.
+  Rng rng(5);
+  const std::vector<AttrSet> queries = SampleQuerySets(50, 5, 64, &rng);
+  EXPECT_EQ(queries.size(), 64u);
+  std::set<AttrSet> unique(queries.begin(), queries.end());
+  EXPECT_EQ(unique.size(), 64u);
+}
+
+TEST(MetricsTest, SampleQuerySetsZeroCountIsEmpty) {
+  Rng rng(6);
+  EXPECT_TRUE(SampleQuerySets(10, 3, 0, &rng).empty());
+  EXPECT_TRUE(SampleQuerySets(10, 3, -5, &rng).empty());
+}
+
+TEST(MetricsTest, SummarizeTwoValuesInterpolates) {
+  const Candlestick c = Summarize({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(c.p25, 12.5);
+  EXPECT_DOUBLE_EQ(c.median, 15.0);
+  EXPECT_DOUBLE_EQ(c.p75, 17.5);
+  EXPECT_DOUBLE_EQ(c.p95, 19.5);
+  EXPECT_DOUBLE_EQ(c.mean, 15.0);
+}
+
+TEST(MetricsTest, P95OnSmallSamplesStaysInRange) {
+  // For n < 20 the p95 rank lands inside the top gap; it must interpolate
+  // between the two largest order statistics, never past the max.
+  for (int n = 1; n < 20; ++n) {
+    std::vector<double> values;
+    for (int i = 1; i <= n; ++i) values.push_back(i);
+    const Candlestick c = Summarize(values);
+    EXPECT_LE(c.p95, static_cast<double>(n)) << "n=" << n;
+    EXPECT_GE(c.p95, n > 1 ? static_cast<double>(n - 1) : 1.0) << "n=" << n;
+    EXPECT_GE(c.p95, c.p75) << "n=" << n;
+  }
+}
+
+TEST(MetricsTest, PercentileOfSortedEndpoints) {
+  const std::vector<double> sorted = {1.0, 2.0, 4.0, 8.0};
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 100.0), 8.0);
+  // rank 1.5: halfway between the 2nd and 3rd order statistics.
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 50.0), 3.0);
+}
+
+TEST(MetricsTest, PercentileMatchesNearestRankOracle) {
+  // Property: the interpolated percentile is bracketed by the naive
+  // nearest-rank order statistics on either side of the fractional rank,
+  // for a sweep of sample sizes and percentiles (deterministic LCG data).
+  uint64_t state = 12345;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 40);
+  };
+  for (int n : {1, 2, 3, 5, 7, 19, 20, 64, 100}) {
+    std::vector<double> sorted;
+    for (int i = 0; i < n; ++i) sorted.push_back(next());
+    std::sort(sorted.begin(), sorted.end());
+    for (double pct : {0.0, 1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0}) {
+      const double value = PercentileOfSorted(sorted, pct);
+      const double rank = pct / 100.0 * (n - 1);
+      const size_t lo = static_cast<size_t>(rank);
+      const size_t hi = std::min(lo + 1, sorted.size() - 1);
+      EXPECT_GE(value, sorted[lo]) << "n=" << n << " pct=" << pct;
+      EXPECT_LE(value, sorted[hi]) << "n=" << n << " pct=" << pct;
+      // Nearest-rank oracle: ceil(pct/100 * n)-th order statistic (1-based)
+      // never differs from the interpolated value by more than one gap.
+      const size_t nearest =
+          pct == 0.0 ? 0
+                     : std::min(static_cast<size_t>(
+                                    std::ceil(pct / 100.0 * n)) - 1,
+                                sorted.size() - 1);
+      const size_t gap_lo = nearest > 0 ? nearest - 1 : 0;
+      const size_t gap_hi = std::min(nearest + 1, sorted.size() - 1);
+      EXPECT_GE(value, sorted[gap_lo]) << "n=" << n << " pct=" << pct;
+      EXPECT_LE(value, sorted[gap_hi]) << "n=" << n << " pct=" << pct;
+    }
   }
 }
 

@@ -1,0 +1,209 @@
+// Tracer suite: arming semantics, span recording into the global registry,
+// nesting depth, early/idempotent End, the slow-span log, and the
+// torn-span self-heal contract. Spans record into the process-wide
+// registry, so every assertion is a delta against the pre-test value.
+#include "obs/tracer.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "obs/metrics_registry.h"
+
+namespace priview::obs {
+namespace {
+
+uint64_t SpanCount(const char* name) {
+  return MetricsRegistry::Global()
+      .GetHistogram("priview_span_duration_us", {{"span", name}})
+      ->total_count();
+}
+
+class TracerTest : public ::testing::Test {
+ protected:
+  ~TracerTest() override { Tracer::Global().Disarm(); }
+};
+
+TEST_F(TracerTest, DisarmedSpanIsInactiveAndRecordsNothing) {
+  ASSERT_FALSE(Tracer::Global().armed());
+  const uint64_t before = SpanCount("obs-test/disarmed");
+  {
+    TraceSpan span("obs-test/disarmed");
+    EXPECT_FALSE(span.active());
+    span.Annotate("ignored");
+  }
+  EXPECT_EQ(SpanCount("obs-test/disarmed"), before);
+}
+
+TEST_F(TracerTest, ArmedSpanRecordsOneObservation) {
+  Tracer::Global().Arm();
+  const uint64_t before = SpanCount("obs-test/armed");
+  {
+    TraceSpan span("obs-test/armed");
+    EXPECT_TRUE(span.active());
+  }
+  EXPECT_EQ(SpanCount("obs-test/armed"), before + 1);
+}
+
+TEST_F(TracerTest, EndIsIdempotent) {
+  Tracer::Global().Arm();
+  const uint64_t before = SpanCount("obs-test/idem");
+  TraceSpan span("obs-test/idem");
+  span.End();
+  span.End();             // explicit double end
+  EXPECT_FALSE(span.active());
+  // ... and the destructor must not add a third.
+  {
+    TraceSpan inner("obs-test/idem");
+    inner.End();
+  }
+  EXPECT_EQ(SpanCount("obs-test/idem"), before + 2);
+}
+
+TEST_F(TracerTest, NestedSpansEachRecord) {
+  Tracer::Global().Arm();
+  const uint64_t outer_before = SpanCount("obs-test/outer");
+  const uint64_t inner_before = SpanCount("obs-test/inner");
+  {
+    TraceSpan outer("obs-test/outer");
+    {
+      TraceSpan inner("obs-test/inner");
+    }
+    {
+      TraceSpan inner("obs-test/inner");
+    }
+  }
+  EXPECT_EQ(SpanCount("obs-test/outer"), outer_before + 1);
+  EXPECT_EQ(SpanCount("obs-test/inner"), inner_before + 2);
+}
+
+TEST_F(TracerTest, SpanStartedArmedRecordsEvenIfDisarmedMidFlight) {
+  // Dropping the in-flight span would skew _count against _sum; the
+  // contract is that a span started under an armed tracer completes.
+  Tracer::Global().Arm();
+  const uint64_t before = SpanCount("obs-test/midflight");
+  {
+    TraceSpan span("obs-test/midflight");
+    Tracer::Global().Disarm();
+  }
+  EXPECT_EQ(SpanCount("obs-test/midflight"), before + 1);
+}
+
+TEST_F(TracerTest, SlowLogCapturesThresholdedSpansWithDetailAndDepth) {
+  TracerOptions options;
+  options.slow_span_threshold_us = 500;
+  Tracer::Global().Arm(options);
+  EXPECT_EQ(Tracer::Global().slow_threshold_us(), 500u);
+  {
+    TraceSpan fast("obs-test/fast");  // well under 500us
+  }
+  EXPECT_TRUE(Tracer::Global().SlowEntries().empty());
+  {
+    TraceSpan outer("obs-test/slow-outer");
+    TraceSpan slow("obs-test/slow");
+    slow.Annotate("scope={0,3}");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::vector<SlowSpanEntry> entries = Tracer::Global().SlowEntries();
+  ASSERT_GE(entries.size(), 1u);
+  bool found = false;
+  for (const SlowSpanEntry& entry : entries) {
+    if (entry.name != "obs-test/slow") continue;
+    found = true;
+    EXPECT_EQ(entry.detail, "scope={0,3}");
+    EXPECT_GE(entry.duration_us, 500u);
+    EXPECT_EQ(entry.depth, 1);  // nested one level under slow-outer
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GE(Tracer::Global().SlowSpanCount(), 1u);
+  Tracer::Global().ClearSlowLog();
+  EXPECT_TRUE(Tracer::Global().SlowEntries().empty());
+}
+
+TEST_F(TracerTest, SlowLogRingBufferDropsOldestButKeepsTheTotal) {
+  TracerOptions options;
+  options.slow_span_threshold_us = 1;
+  options.slow_log_capacity = 2;
+  Tracer::Global().Arm(options);
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan span("obs-test/ring");
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  EXPECT_EQ(Tracer::Global().SlowEntries().size(), 2u);
+  EXPECT_EQ(Tracer::Global().SlowSpanCount(), 3u);
+}
+
+TEST_F(TracerTest, RearmingClearsTheSlowLog) {
+  TracerOptions options;
+  options.slow_span_threshold_us = 1;
+  Tracer::Global().Arm(options);
+  {
+    TraceSpan span("obs-test/rearm");
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  EXPECT_FALSE(Tracer::Global().SlowEntries().empty());
+  Tracer::Global().Arm(options);
+  EXPECT_TRUE(Tracer::Global().SlowEntries().empty());
+  EXPECT_EQ(Tracer::Global().SlowSpanCount(), 0u);
+}
+
+TEST_F(TracerTest, TornSpanIsCountedAndDepthSelfHeals) {
+#if !PRIVIEW_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "failpoints compiled out (PRIVIEW_FAILPOINTS=OFF)";
+#endif
+  TracerOptions options;
+  options.slow_span_threshold_us = 1;
+  Tracer::Global().Arm(options);
+  Counter* torn =
+      MetricsRegistry::Global().GetCounter("priview_spans_torn_total");
+  const uint64_t torn_before = torn->value();
+  const uint64_t inner_before = SpanCount("obs-test/torn-inner");
+  {
+    TraceSpan outer("obs-test/torn-outer");
+    {
+      failpoint::ScopedFailpoint scoped("obs/span-torn", "always");
+      ASSERT_TRUE(scoped.status().ok());
+      TraceSpan inner("obs-test/torn-inner");
+    }  // inner's End fires the failpoint: counted as torn, not recorded
+  }  // outer's End (failpoint gone) restores the thread depth to 0
+  EXPECT_EQ(torn->value(), torn_before + 1);
+  EXPECT_EQ(SpanCount("obs-test/torn-inner"), inner_before);
+
+  // Depth healed: a fresh top-level span runs at depth 0 again.
+  Tracer::Global().ClearSlowLog();
+  {
+    TraceSpan fresh("obs-test/torn-fresh");
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const std::vector<SlowSpanEntry> entries = Tracer::Global().SlowEntries();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries.back().name, "obs-test/torn-fresh");
+  EXPECT_EQ(entries.back().depth, 0);
+  failpoint::DisarmAll();
+}
+
+TEST_F(TracerTest, ConcurrentArmedSpansAreRaceFree) {
+  // Spans on many threads into one histogram family; under tsan this is
+  // the race proof for Begin/End against Arm-time state.
+  Tracer::Global().Arm();
+  const uint64_t before = SpanCount("obs-test/mt");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span("obs-test/mt");
+        TraceSpan nested("obs-test/mt-nested");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(SpanCount("obs-test/mt"), before + uint64_t{kThreads} * kPerThread);
+}
+
+}  // namespace
+}  // namespace priview::obs

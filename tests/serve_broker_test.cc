@@ -187,22 +187,47 @@ TEST_F(RequestBrokerTest, QueueFullFailpointForcesTheRejectPath) {
   EXPECT_EQ(metrics_.TakeSnapshot().rejected, 1u);
 }
 
-TEST_F(RequestBrokerTest, ExpiredDeadlineIsShedNotAnsweredLate) {
+TEST_F(RequestBrokerTest, ExpiredDeadlineIsRejectedAtAdmission) {
   RequestBroker broker(&registry_, &metrics_);
-  // Staged before Start with a deadline already in the past: the
-  // dispatcher must shed it, not burn a solve on it.
+  // Already past its deadline when Ask is called: rejected immediately,
+  // without occupying a queue slot or waking the dispatcher. The
+  // pre-fix behavior enqueued it and made the caller wait out the
+  // completion grace for a verdict that was knowable up front.
+  StatusOr<ServedAnswer> answer =
+      broker.Ask("main", AttrSet::FromIndices({0, 1}),
+                 Clock::now() - std::chrono::milliseconds(10));
+  EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(broker.QueueDepth(), 0u);
+  const ServerMetrics::Snapshot snapshot = metrics_.TakeSnapshot();
+  EXPECT_EQ(snapshot.expired_at_admission, 1u);
+  // Counted apart from both queue-full rejections and dispatch-time
+  // sheds: a client clock bug must not read as overload.
+  EXPECT_EQ(snapshot.rejected, 0u);
+  EXPECT_EQ(snapshot.deadline_expired, 0u);
+  EXPECT_EQ(snapshot.admitted, 0u);
+}
+
+TEST_F(RequestBrokerTest, DeadlinePassingWhileQueuedIsShedAtDispatch) {
+  RequestBroker broker(&registry_, &metrics_);
+  // Admitted with a real (tiny) budget and staged before Start; the
+  // deadline passes while the request is queued, so the dispatcher must
+  // shed it at dispatch time, not burn a solve on it.
   std::thread asker([&] {
     StatusOr<ServedAnswer> answer =
         broker.Ask("main", AttrSet::FromIndices({0, 1}),
-                   Clock::now() - std::chrono::milliseconds(10));
+                   Clock::now() + std::chrono::milliseconds(30));
     EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
   });
   while (broker.QueueDepth() < 1) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  // Let the queued deadline lapse before the dispatcher ever runs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
   broker.Start();
   asker.join();
-  EXPECT_EQ(metrics_.TakeSnapshot().deadline_expired, 1u);
+  const ServerMetrics::Snapshot snapshot = metrics_.TakeSnapshot();
+  EXPECT_EQ(snapshot.deadline_expired, 1u);
+  EXPECT_EQ(snapshot.expired_at_admission, 0u);
 }
 
 TEST_F(RequestBrokerTest, TightDeadlineDegradesToLeastNormBitIdentically) {

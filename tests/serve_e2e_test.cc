@@ -18,6 +18,7 @@
 
 #include "common/rng.h"
 #include "data/synthetic.h"
+#include "obs/tracer.h"
 #include "serve/client.h"
 
 namespace priview::serve {
@@ -166,6 +167,55 @@ TEST_F(ServeE2ETest, ListAndStatsReflectTheServer) {
   ASSERT_TRUE(stats.ok());
   EXPECT_NE(stats.value().find("\"admitted\""), std::string::npos);
   EXPECT_NE(stats.value().find("\"connections_opened\""), std::string::npos);
+}
+
+TEST_F(ServeE2ETest, MetricsScrapeExposesPublishAndBrokerHistograms) {
+  // Acceptance criterion: the wire `metrics` request returns a Prometheus
+  // scrape carrying the publish-phase span histograms and the broker
+  // queue-wait histogram, plus the slow-span log when the threshold is on.
+  obs::TracerOptions trace_options;
+  trace_options.slow_span_threshold_us = 1;  // everything is "slow"
+  obs::Tracer::Global().Arm(trace_options);
+  // A publish under armed tracing lands the per-phase spans in the
+  // process-wide registry; Install runs the same build path.
+  ASSERT_TRUE(server_->registry().Install("traced", MakeSynopsis(7, 1.0)).ok());
+
+  PriViewClient client = Connect();
+  ASSERT_TRUE(client.Marginal("traced", AttrSet::FromIndices({0, 1})).ok());
+
+  StatusOr<std::string> scrape = client.Metrics();
+  obs::Tracer::Global().Disarm();
+  ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+  const std::string& text = scrape.value();
+  const size_t npos = std::string::npos;
+
+  // Server-side lifecycle counters and broker histograms.
+  EXPECT_NE(text.find("priview_serve_requests_total{event=\"admitted\"}"),
+            npos);
+  EXPECT_NE(text.find("# TYPE priview_broker_queue_wait_us histogram"), npos);
+  EXPECT_NE(text.find("priview_broker_queue_wait_us_bucket"), npos);
+  EXPECT_NE(text.find("priview_broker_coalesce_width_count"), npos);
+  EXPECT_NE(text.find("priview_broker_dispatch_latency_us_sum"), npos);
+  EXPECT_NE(text.find("priview_broker_queue_depth"), npos);
+
+  // Publish-phase histograms from the armed build, and the query span
+  // from the marginal that just went through the broker.
+  EXPECT_NE(text.find("# TYPE priview_span_duration_us histogram"), npos);
+  EXPECT_NE(text.find("priview_span_duration_us_bucket{span=\"publish\""),
+            npos);
+  EXPECT_NE(text.find("span=\"publish/count\""), npos);
+  // The broker's coalesced kFull dispatch answers through AnswerBatch,
+  // whose misses run under query/solve spans.
+  EXPECT_NE(text.find("span=\"query/solve\""), npos);
+  EXPECT_NE(text.find("span=\"broker/dispatch\""), npos);
+
+  // The slow-span log rides along as exposition comments.
+  EXPECT_NE(text.find("# slow-span "), npos);
+
+  // Stats (JSON) and metrics (Prometheus) stay distinct surfaces.
+  StatusOr<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().find("# TYPE"), npos);
 }
 
 TEST_F(ServeE2ETest, UnknownSynopsisErrorKeepsTheConnectionUsable) {

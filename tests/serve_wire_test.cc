@@ -6,9 +6,11 @@
 // damage is a descriptive Status, never a crash, never a hang.
 #include "serve/wire_protocol.h"
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -75,7 +77,7 @@ TEST(WireProtocolTest, EveryRequestTypeRoundTrips) {
   for (MessageType type :
        {MessageType::kMarginal, MessageType::kConjunction, MessageType::kRollUp,
         MessageType::kSlice, MessageType::kDice, MessageType::kStats,
-        MessageType::kList}) {
+        MessageType::kList, MessageType::kMetrics}) {
     request.type = type;
     StatusOr<WireRequest> decoded = DecodeRequest(EncodeRequest(request));
     ASSERT_TRUE(decoded.ok())
@@ -272,6 +274,70 @@ TEST(WireFramingTest, TornFrameFailpointSurfacesOnBothEnds) {
   const Status read = ReadFrame(pair.b(), &payload, &clean_eof);
   EXPECT_EQ(read.code(), StatusCode::kDataLoss);
   failpoint::DisarmAll();
+}
+
+TEST(WireFramingTest, NonBlockingReaderWaitsForSlowWriter) {
+  // Regression: a non-blocking fd used to spin ReadAll forever on EAGAIN.
+  // ReadFrame must poll for readiness and return the complete frame even
+  // when the bytes trickle in after the read starts.
+  SocketPair pair;
+  ASSERT_EQ(::fcntl(pair.b(), F_SETFL,
+                    ::fcntl(pair.b(), F_GETFL) | O_NONBLOCK),
+            0);
+
+  WireRequest request;
+  request.type = MessageType::kMarginal;
+  request.synopsis = "slow-writer";
+  request.target_mask = 0b111;
+  const std::vector<uint8_t> bytes = EncodeRequest(request);
+  std::vector<uint8_t> frame(4);
+  const uint32_t len = static_cast<uint32_t>(bytes.size());
+  std::memcpy(frame.data(), &len, 4);
+  frame.insert(frame.end(), bytes.begin(), bytes.end());
+
+  // Dribble the frame one byte at a time with pauses, so the reader hits
+  // EAGAIN between nearly every byte.
+  std::thread writer([&] {
+    for (uint8_t byte : frame) {
+      ASSERT_EQ(::write(pair.a(), &byte, 1), 1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::vector<uint8_t> payload;
+  bool clean_eof = true;
+  const Status read = ReadFrame(pair.b(), &payload, &clean_eof);
+  writer.join();
+  ASSERT_TRUE(read.ok()) << read.ToString();
+  EXPECT_FALSE(clean_eof);
+  StatusOr<WireRequest> decoded = DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().synopsis, "slow-writer");
+}
+
+TEST(WireFramingTest, NonBlockingWriterSurvivesFullSocketBuffer) {
+  // The mirror case: a non-blocking writer pushing a frame larger than
+  // the socket buffer hits EAGAIN mid-frame and must wait for the reader
+  // to drain instead of failing (or spinning).
+  SocketPair pair;
+  ASSERT_EQ(::fcntl(pair.a(), F_SETFL,
+                    ::fcntl(pair.a(), F_GETFL) | O_NONBLOCK),
+            0);
+
+  std::vector<double> cells(1u << 16);
+  for (size_t i = 0; i < cells.size(); ++i) cells[i] = double(i) * 0.25;
+  MarginalTable table(AttrSet::Full(16), std::move(cells));
+  const std::vector<uint8_t> bytes =
+      EncodeResponse(MakeTableResponse(table, 0, false, 1));
+
+  std::thread writer([&] {
+    const Status written = WriteFrame(pair.a(), bytes);
+    EXPECT_TRUE(written.ok()) << written.ToString();
+  });
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;
+  ASSERT_TRUE(ReadFrame(pair.b(), &payload, &clean_eof).ok());
+  writer.join();
+  EXPECT_EQ(payload, bytes);
 }
 
 TEST(WireFramingTest, LargeFrameUnderTheCapRoundTrips) {
