@@ -100,16 +100,18 @@ namespace {
 uint64_t BinomialCapped(int n, int r, uint64_t cap) {
   if (r < 0 || r > n) return 0;
   r = std::min(r, n - r);
-  uint64_t result = 1;
+  // result is C(n-r+i-1, i-1) entering iteration i, so result*num/i is an
+  // exact integer. The product is formed in 128 bits — result stays below
+  // cap (< 2^64) and num <= n — so saturation is decided on the true
+  // post-division value, never on the pre-division product (which can be
+  // up to a factor of i larger and must not trip the cap by itself).
+  unsigned __int128 result = 1;
   for (int i = 1; i <= r; ++i) {
-    const uint64_t num = static_cast<uint64_t>(n - r + i);
-    // result is C(n-r+i-1, i-1) here, so result*num/i is exact; saturate
-    // before the multiply can overflow.
-    if (result > cap / num) return cap;
-    result = result * num / static_cast<uint64_t>(i);
+    const unsigned __int128 num = static_cast<unsigned __int128>(n - r + i);
+    result = result * num / static_cast<unsigned __int128>(i);
     if (result >= cap) return cap;
   }
-  return result;
+  return static_cast<uint64_t>(result);
 }
 
 // Every k-subset of {0, .., d-1}, lexicographic. Only called when the

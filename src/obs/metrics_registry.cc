@@ -218,78 +218,90 @@ size_t MetricsRegistry::series_count() const {
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
-  // Families in first-registration order; series within a family in
-  // registration order. # HELP / # TYPE once per family.
-  for (const auto& [family, help] : family_help_) {
-    Kind kind = Kind::kCounter;
-    bool seen = false;
-    for (const Instrument& instrument : instruments_) {
-      if (instrument.name != family) continue;
-      if (!seen) {
-        seen = true;
-        kind = instrument.kind;
-        if (!help.empty()) out += "# HELP " + family + " " + help + "\n";
-        out += "# TYPE " + family + " ";
-        switch (kind) {
+  // Callbacks are invoked after mu_ is released: a callback that touches
+  // this registry (GetCounter, series_count, ...) would self-deadlock on
+  // the non-recursive mutex if run under the lock. The list is
+  // snapshotted under the lock instead (std::function copies are cheap
+  // and registration-ordered), then evaluated lock-free below.
+  std::vector<CallbackInstrument> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks = callbacks_;
+    // Families in first-registration order; series within a family in
+    // registration order. # HELP / # TYPE once per family.
+    for (const auto& [family, help] : family_help_) {
+      Kind kind = Kind::kCounter;
+      bool seen = false;
+      for (const Instrument& instrument : instruments_) {
+        if (instrument.name != family) continue;
+        if (!seen) {
+          seen = true;
+          kind = instrument.kind;
+          if (!help.empty()) out += "# HELP " + family + " " + help + "\n";
+          out += "# TYPE " + family + " ";
+          switch (kind) {
+            case Kind::kCounter:
+              out += "counter\n";
+              break;
+            case Kind::kGauge:
+              out += "gauge\n";
+              break;
+            case Kind::kHistogram:
+              out += "histogram\n";
+              break;
+          }
+        }
+        switch (instrument.kind) {
           case Kind::kCounter:
-            out += "counter\n";
+            out += family + RenderLabels(instrument.labels) + " ";
+            AppendU64(&out, instrument.counter.value());
+            out += "\n";
             break;
           case Kind::kGauge:
-            out += "gauge\n";
+            out += family + RenderLabels(instrument.labels) + " ";
+            AppendI64(&out, instrument.gauge.value());
+            out += "\n";
             break;
-          case Kind::kHistogram:
-            out += "histogram\n";
-            break;
-        }
-      }
-      switch (instrument.kind) {
-        case Kind::kCounter:
-          out += family + RenderLabels(instrument.labels) + " ";
-          AppendU64(&out, instrument.counter.value());
-          out += "\n";
-          break;
-        case Kind::kGauge:
-          out += family + RenderLabels(instrument.labels) + " ";
-          AppendI64(&out, instrument.gauge.value());
-          out += "\n";
-          break;
-        case Kind::kHistogram: {
-          const Histogram::Snapshot s = instrument.histogram.TakeSnapshot();
-          uint64_t cumulative = 0;
-          for (int b = 0; b < Histogram::kBuckets; ++b) {
-            cumulative += s.counts[b];
-            // Skip interior empty buckets to keep scrapes compact, but
-            // always emit the first and last so the shape is parseable.
-            if (s.counts[b] == 0 && b != 0 && b != Histogram::kBuckets - 1) {
-              continue;
+          case Kind::kHistogram: {
+            const Histogram::Snapshot s =
+                instrument.histogram.TakeSnapshot();
+            uint64_t cumulative = 0;
+            for (int b = 0; b < Histogram::kBuckets; ++b) {
+              cumulative += s.counts[b];
+              // Skip interior empty buckets to keep scrapes compact, but
+              // always emit the first and last so the shape is parseable.
+              if (s.counts[b] == 0 && b != 0 &&
+                  b != Histogram::kBuckets - 1) {
+                continue;
+              }
+              char le[32];
+              std::snprintf(le, sizeof(le), "%" PRIu64,
+                            Histogram::BucketUpperBound(b));
+              const Label le_label{"le", le};
+              out += family + "_bucket" +
+                     RenderLabels(instrument.labels, &le_label) + " ";
+              AppendU64(&out, cumulative);
+              out += "\n";
             }
-            char le[32];
-            std::snprintf(le, sizeof(le), "%" PRIu64,
-                          Histogram::BucketUpperBound(b));
-            const Label le_label{"le", le};
+            const Label inf_label{"le", "+Inf"};
             out += family + "_bucket" +
-                   RenderLabels(instrument.labels, &le_label) + " ";
-            AppendU64(&out, cumulative);
+                   RenderLabels(instrument.labels, &inf_label) + " ";
+            AppendU64(&out, s.total);
+            out += "\n";
+            out += family + "_sum" + RenderLabels(instrument.labels) + " ";
+            AppendU64(&out, s.sum);
+            out += "\n";
+            out += family + "_count" + RenderLabels(instrument.labels) +
+                   " ";
+            AppendU64(&out, s.total);
             out += "\n";
           }
-          const Label inf_label{"le", "+Inf"};
-          out += family + "_bucket" +
-                 RenderLabels(instrument.labels, &inf_label) + " ";
-          AppendU64(&out, s.total);
-          out += "\n";
-          out += family + "_sum" + RenderLabels(instrument.labels) + " ";
-          AppendU64(&out, s.sum);
-          out += "\n";
-          out += family + "_count" + RenderLabels(instrument.labels) + " ";
-          AppendU64(&out, s.total);
-          out += "\n";
         }
       }
     }
   }
-  for (const CallbackInstrument& callback : callbacks_) {
+  for (const CallbackInstrument& callback : callbacks) {
     if (!callback.help.empty()) {
       out += "# HELP " + callback.name + " " + callback.help + "\n";
     }

@@ -90,10 +90,13 @@ void TraceSpan::End() {
   if (!active_) return;
   active_ = false;
   if (PRIVIEW_FAILPOINT("obs/span-torn")) {
-    // A fault tore this span mid-flight: its duration is meaningless and
-    // its depth bookkeeping is lost. Count the tear and bail — the
-    // enclosing span's End() self-heals the thread-local depth, and the
-    // registry sees a counter bump instead of a junk observation.
+    // A fault tore this span mid-flight: its duration is meaningless, but
+    // the depth bookkeeping captured at Begin() is still valid — restore
+    // it here so a torn top-level span (with no enclosing span to heal
+    // behind it) does not skew every later slow-log depth on this thread.
+    // Count the tear and bail; the registry sees a counter bump instead
+    // of a junk observation.
+    t_span_depth = depth_;
     static Counter* const torn = MetricsRegistry::Global().GetCounter(
         "priview_spans_torn_total", {},
         "Spans abandoned mid-fault (not recorded)");

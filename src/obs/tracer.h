@@ -13,9 +13,9 @@
 // slow log). The bookkeeping is self-healing: a span abandoned mid-fault
 // (see the "obs/span-torn" failpoint, which simulates a span whose end is
 // lost inside a fault handler) can never corrupt the registry or the
-// depth accounting — the enclosing span restores the depth to its own
-// level, and the torn span is counted in priview_spans_torn_total rather
-// than recorded with a junk duration.
+// depth accounting — the torn span itself restores the thread-local depth
+// (so even a torn top-level span leaves no skew behind), and is counted
+// in priview_spans_torn_total rather than recorded with a junk duration.
 //
 // Span taxonomy (DESIGN.md §12):
 //   publish                    whole synopsis build

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -26,6 +27,17 @@ uint64_t MicrosSince(Clock::time_point start) {
                       Clock::now() - start)
                       .count();
   return us < 0 ? 0 : static_cast<uint64_t>(us);
+}
+
+// Slow-span details are request-derived (query scopes, degradation
+// notes); a newline in one would inject arbitrary lines — including fake
+// series — into the Prometheus exposition body. Comments must stay one
+// line.
+std::string OneLine(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
 }
 
 }  // namespace
@@ -146,10 +158,17 @@ void PriViewServer::AcceptLoop() {
 }
 
 void PriViewServer::ServeConnection(int fd) {
+  // Non-blocking: every read/write goes through the frame layer's
+  // poll-based readiness wait, where the io deadline is enforceable. On a
+  // blocking fd a peer stalled mid-frame would park this thread in the
+  // kernel, outside any timeout's reach.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   std::vector<uint8_t> payload;
   for (;;) {
     bool clean_eof = false;
-    const Status read = ReadFrame(fd, &payload, &clean_eof);
+    const Status read =
+        ReadFrame(fd, &payload, &clean_eof, options_.io_timeout_ms);
     if (!read.ok()) {
       // Torn or oversized inbound frame: the stream cannot be resynced.
       metrics_.RecordFrameError();
@@ -167,7 +186,7 @@ void PriViewServer::ServeConnection(int fd) {
     } else {
       response_bytes = HandleRequest(request.value());
     }
-    if (!WriteFrame(fd, response_bytes).ok()) {
+    if (!WriteFrame(fd, response_bytes, options_.io_timeout_ms).ok()) {
       metrics_.RecordFrameError();
       break;
     }
@@ -290,7 +309,7 @@ std::vector<uint8_t> PriViewServer::HandleRequest(const WireRequest& request) {
                         "# slow-span %s duration_us=%llu depth=%d %s\n",
                         entry.name.c_str(),
                         (unsigned long long)entry.duration_us, entry.depth,
-                        entry.detail.c_str());
+                        OneLine(entry.detail).c_str());
           response.text += line;
         }
       }

@@ -41,6 +41,12 @@ struct ServerOptions {
   /// at Stop). Must fit sockaddr_un (~107 bytes).
   std::string socket_path;
   BrokerOptions broker;
+  /// Per-frame io deadline on connection sockets: a frame that has
+  /// started (or a response being written) must complete within this
+  /// budget or the connection is dropped, so a peer that dies mid-frame
+  /// cannot park a handler thread forever. Idle connections (no frame in
+  /// flight) are not policed. <= 0 disables the deadline.
+  int io_timeout_ms = kDefaultIoTimeoutMs;
 };
 
 class PriViewServer {

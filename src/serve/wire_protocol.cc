@@ -4,8 +4,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <limits>
 
 #include "common/failpoint.h"
 
@@ -340,27 +343,58 @@ WireResponse MakeTableResponse(const MarginalTable& table, uint8_t tier,
 
 namespace {
 
-// Blocks until `fd` is ready for `events` (POLLIN / POLLOUT). Used when a
-// read/write on a non-blocking fd reports EAGAIN: parking in poll() keeps
-// the exactly-N-bytes contract of ReadAll/WriteAll without busy-spinning,
-// and without silently looping forever on a genuinely broken descriptor
-// (poll errors surface as IOError).
-Status WaitReady(int fd, short events) {
-  struct pollfd pfd;
-  pfd.fd = fd;
-  pfd.events = events;
-  pfd.revents = 0;
+using IoClock = std::chrono::steady_clock;
+
+// The default-constructed time_point means "no deadline": wait forever.
+constexpr IoClock::time_point kNoDeadline{};
+
+// Blocks until `fd` is ready for `events` (POLLIN / POLLOUT) or `deadline`
+// passes. Used when a read/write on a non-blocking fd reports EAGAIN:
+// parking in poll() keeps the exactly-N-bytes contract of ReadAll/WriteAll
+// without busy-spinning, the deadline keeps a stalled peer from parking
+// the calling thread forever (DeadlineExceeded), and a genuinely broken
+// descriptor surfaces as IOError (poll failure or POLLERR/POLLNVAL).
+Status WaitReady(int fd, short events, IoClock::time_point deadline) {
   for (;;) {
-    const int n = ::poll(&pfd, 1, /*timeout_ms=*/-1);
-    if (n > 0) return Status::OK();
-    if (n < 0 && errno != EINTR) {
+    int timeout_ms = -1;
+    if (deadline != kNoDeadline) {
+      const IoClock::time_point now = IoClock::now();
+      if (now >= deadline) {
+        return Status::DeadlineExceeded(
+            "socket stalled past the frame io deadline");
+      }
+      const auto remaining =
+          std::chrono::ceil<std::chrono::milliseconds>(deadline - now)
+              .count();
+      timeout_ms = static_cast<int>(
+          std::min<long long>(remaining, std::numeric_limits<int>::max()));
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n > 0) {
+      // POLLHUP alone is left to read()/send(): it can coexist with
+      // buffered data, and the syscall reports the precise condition.
+      if (pfd.revents & (POLLERR | POLLNVAL)) {
+        return Status::IOError("socket error while waiting for readiness");
+      }
+      return Status::OK();
+    }
+    if (n == 0) {
+      return Status::DeadlineExceeded(
+          "socket stalled past the frame io deadline");
+    }
+    if (errno != EINTR) {
       return Status::IOError("poll failed: " +
                              std::string(std::strerror(errno)));
     }
   }
 }
 
-Status WriteAll(int fd, const uint8_t* data, size_t len) {
+Status WriteAll(int fd, const uint8_t* data, size_t len,
+                IoClock::time_point deadline) {
   size_t written = 0;
   while (written < len) {
     // MSG_NOSIGNAL: writing to a peer-closed socket must surface as EPIPE
@@ -370,7 +404,7 @@ Status WriteAll(int fd, const uint8_t* data, size_t len) {
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        const Status ready = WaitReady(fd, POLLOUT);
+        const Status ready = WaitReady(fd, POLLOUT, deadline);
         if (!ready.ok()) return ready;
         continue;
       }
@@ -383,8 +417,13 @@ Status WriteAll(int fd, const uint8_t* data, size_t len) {
 }
 
 // Reads exactly len bytes. *eof_at_start distinguishes a clean close (no
-// bytes at all) from a torn read (some bytes, then EOF).
-Status ReadAll(int fd, uint8_t* data, size_t len, bool* eof_at_start) {
+// bytes at all) from a torn read (some bytes, then EOF). `*deadline`
+// starts as kNoDeadline for the first ReadAll of a frame — the wait for a
+// frame to *begin* is unbounded (an idle connection is healthy) — and is
+// armed to now + timeout_ms by the first byte that arrives, bounding how
+// long a frame, once started, may stall or trickle.
+Status ReadAll(int fd, uint8_t* data, size_t len, bool* eof_at_start,
+               int timeout_ms, IoClock::time_point* deadline) {
   *eof_at_start = false;
   size_t got = 0;
   while (got < len) {
@@ -395,7 +434,7 @@ Status ReadAll(int fd, uint8_t* data, size_t len, bool* eof_at_start) {
         // Non-blocking fd with nothing buffered yet: wait for readability
         // instead of spinning on EAGAIN (the pre-fix behavior surfaced
         // this as IOError, and a retry loop above it would spin forever).
-        const Status ready = WaitReady(fd, POLLIN);
+        const Status ready = WaitReady(fd, POLLIN, *deadline);
         if (!ready.ok()) return ready;
         continue;
       }
@@ -411,6 +450,9 @@ Status ReadAll(int fd, uint8_t* data, size_t len, bool* eof_at_start) {
                               std::to_string(got) + " of " +
                               std::to_string(len) + " bytes");
     }
+    if (got == 0 && timeout_ms > 0 && *deadline == kNoDeadline) {
+      *deadline = IoClock::now() + std::chrono::milliseconds(timeout_ms);
+    }
     got += size_t(n);
   }
   return Status::OK();
@@ -418,32 +460,44 @@ Status ReadAll(int fd, uint8_t* data, size_t len, bool* eof_at_start) {
 
 }  // namespace
 
-Status WriteFrame(int fd, const std::vector<uint8_t>& payload) {
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload,
+                  int timeout_ms) {
   if (payload.size() > kMaxFramePayload) {
     return Status::InvalidArgument("frame payload over limit: " +
                                    std::to_string(payload.size()));
   }
+  // A write has data in hand, so the deadline arms immediately: a peer
+  // that stops draining its socket is a stall, not an idle connection.
+  const IoClock::time_point deadline =
+      timeout_ms > 0 ? IoClock::now() + std::chrono::milliseconds(timeout_ms)
+                     : kNoDeadline;
   uint8_t header[4];
   const uint32_t len = uint32_t(payload.size());
   for (int i = 0; i < 4; ++i) header[i] = uint8_t(len >> (8 * i));
-  Status st = WriteAll(fd, header, sizeof(header));
+  Status st = WriteAll(fd, header, sizeof(header), deadline);
   if (!st.ok()) return st;
   if (PRIVIEW_FAILPOINT("serve/io-torn-frame")) {
     // Tear the frame: ship only half the payload, then report the failure
     // so the caller abandons the connection. The peer's ReadFrame sees the
     // truncation as DataLoss once the socket closes.
-    (void)WriteAll(fd, payload.data(), payload.size() / 2);
+    (void)WriteAll(fd, payload.data(), payload.size() / 2, deadline);
     return Status::IOError("injected: serve/io-torn-frame");
   }
-  return WriteAll(fd, payload.data(), payload.size());
+  return WriteAll(fd, payload.data(), payload.size(), deadline);
 }
 
-Status ReadFrame(int fd, std::vector<uint8_t>* payload, bool* clean_eof) {
+Status ReadFrame(int fd, std::vector<uint8_t>* payload, bool* clean_eof,
+                 int timeout_ms) {
   payload->clear();
   *clean_eof = false;
+  // Shared across header and payload reads: armed by the frame's first
+  // byte, so one budget covers the whole frame.
+  IoClock::time_point deadline = kNoDeadline;
   uint8_t header[4];
   bool eof_at_start = false;
-  Status st = ReadAll(fd, header, sizeof(header), &eof_at_start);
+  Status st =
+      ReadAll(fd, header, sizeof(header), &eof_at_start, timeout_ms,
+              &deadline);
   if (!st.ok()) return st;
   if (eof_at_start) {
     *clean_eof = true;
@@ -458,7 +512,8 @@ Status ReadFrame(int fd, std::vector<uint8_t>* payload, bool* clean_eof) {
   }
   payload->resize(len);
   if (len == 0) return Status::OK();
-  st = ReadAll(fd, payload->data(), len, &eof_at_start);
+  st = ReadAll(fd, payload->data(), len, &eof_at_start, timeout_ms,
+               &deadline);
   if (!st.ok()) return st;
   if (eof_at_start) {
     return Status::DataLoss("torn frame: connection closed after header");

@@ -50,6 +50,12 @@ namespace priview::serve {
 
 inline constexpr size_t kMaxFramePayload = 1u << 20;  // 1 MiB
 
+/// Default bound on how long one frame, once started, may stall waiting
+/// for socket readiness before the frame call gives up with
+/// DeadlineExceeded. Generous — it exists to free handler threads from
+/// peers that die mid-frame, not to police slow-but-live clients.
+inline constexpr int kDefaultIoTimeoutMs = 30'000;
+
 enum class MessageType : uint8_t {
   // Requests.
   kMarginal = 1,
@@ -119,9 +125,14 @@ WireResponse MakeTableResponse(const MarginalTable& table, uint8_t tier,
 
 /// Writes one frame (header + payload) to `fd`, retrying short writes and
 /// EINTR, and waiting out EAGAIN/EWOULDBLOCK (the fd may be non-blocking).
-/// The "serve/io-torn-frame" failpoint aborts the write mid-payload and
-/// reports IOError — the caller must treat the connection as dead.
-Status WriteFrame(int fd, const std::vector<uint8_t>& payload);
+/// The whole frame must go out within `timeout_ms` of the call (counting
+/// only readiness waits on a non-blocking fd; <= 0 waits forever) —
+/// a peer that stops draining yields DeadlineExceeded instead of parking
+/// the thread. The "serve/io-torn-frame" failpoint aborts the write
+/// mid-payload and reports IOError — the caller must treat the connection
+/// as dead.
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload,
+                  int timeout_ms = kDefaultIoTimeoutMs);
 
 /// Reads one frame from `fd`. A clean close at a frame boundary sets
 /// `*clean_eof` and returns OK with an empty payload; EOF mid-frame is
@@ -129,8 +140,15 @@ Status WriteFrame(int fd, const std::vector<uint8_t>& payload);
 /// DataLoss ("oversized frame"), and read errors are IOError. A
 /// non-blocking fd is handled by polling for readiness on
 /// EAGAIN/EWOULDBLOCK rather than spinning, so both frame calls are
-/// correct regardless of the fd's O_NONBLOCK state.
-Status ReadFrame(int fd, std::vector<uint8_t>* payload, bool* clean_eof);
+/// correct regardless of the fd's O_NONBLOCK state. Waiting for a frame
+/// to *begin* is unbounded (idle connections are healthy); once the first
+/// byte arrives the rest of the frame must land within `timeout_ms`
+/// (<= 0 waits forever) or the read fails DeadlineExceeded — a peer that
+/// stalls or trickles mid-frame cannot park the reader thread forever.
+/// The deadline is enforceable only on a non-blocking fd (a blocking fd
+/// parks in the kernel, outside poll's reach).
+Status ReadFrame(int fd, std::vector<uint8_t>* payload, bool* clean_eof,
+                 int timeout_ms = kDefaultIoTimeoutMs);
 
 }  // namespace priview::serve
 

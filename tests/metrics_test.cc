@@ -114,6 +114,35 @@ TEST(MetricsTest, SampleQuerySetsBeyondPopulationReturnsAll) {
   EXPECT_EQ(unique.size(), 10u);
 }
 
+TEST(MetricsTest, SampleQuerySetsOverPopulationAtDeepK) {
+  // count > C(12, 6) == 924, a shape where the capped binomial's running
+  // product crosses the cap mid-iteration. A premature saturation (on the
+  // pre-division product rather than the true value) over-reports the
+  // population, routes this into rejection sampling, and the sampler then
+  // spins forever trying to collect 1000 distinct sets out of 924. The
+  // fixed cap logic must report 924 exactly and return the population.
+  Rng rng(7);
+  const std::vector<AttrSet> queries = SampleQuerySets(12, 6, 1000, &rng);
+  EXPECT_EQ(queries.size(), 924u);
+  std::set<AttrSet> unique(queries.begin(), queries.end());
+  EXPECT_EQ(unique.size(), 924u);
+  for (AttrSet q : queries) {
+    EXPECT_EQ(q.size(), 6);
+    EXPECT_TRUE(q.IsSubsetOf(AttrSet::Full(12)));
+  }
+}
+
+TEST(MetricsTest, SampleQuerySetsDenseAtDeepK) {
+  // Same deep-k shape, count just over half the population: must land in
+  // the dense enumerate-and-pick regime and return exactly `count`
+  // distinct sets (quickly — no rejection-sampling tail near saturation).
+  Rng rng(8);
+  const std::vector<AttrSet> queries = SampleQuerySets(12, 6, 500, &rng);
+  EXPECT_EQ(queries.size(), 500u);
+  std::set<AttrSet> unique(queries.begin(), queries.end());
+  EXPECT_EQ(unique.size(), 500u);
+}
+
 TEST(MetricsTest, SampleQuerySetsDenseNearPopulation) {
   // count just below C(8, 4) == 70 lands in the dense enumerate-and-pick
   // regime; the draw must still be distinct, sized, and in-universe.

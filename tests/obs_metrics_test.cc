@@ -172,6 +172,26 @@ TEST(MetricsRegistryTest, CallbackInstrumentsPullAtRenderTime) {
   EXPECT_EQ(registry.series_count(), 2u);
 }
 
+TEST(MetricsRegistryTest, ReentrantCallbackDoesNotDeadlockRender) {
+  // A callback that reads back into its own registry (series_count, a
+  // counter lookup) must not self-deadlock: RenderPrometheus snapshots
+  // the callback list and invokes it after releasing the registry mutex.
+  MetricsRegistry registry;
+  registry.GetCounter("priview_reentrant_total")->Increment();
+  registry.RegisterCallbackGauge(
+      "priview_reentrant_series", "Series seen by a reentrant callback",
+      [&registry] {
+        registry.GetCounter("priview_reentrant_total")->Increment();
+        return static_cast<int64_t>(registry.series_count());
+      });
+  const std::string text = registry.RenderPrometheus();
+  // 1 instrument + 1 callback registered at evaluation time.
+  EXPECT_NE(text.find("priview_reentrant_series 2\n"), std::string::npos);
+  // The callback's own counter bump landed (evaluated post-render of the
+  // instrument section, so the rendered value is the pre-bump 1).
+  EXPECT_EQ(registry.GetCounter("priview_reentrant_total")->value(), 2u);
+}
+
 TEST(MetricsRegistryTest, GlobalRegistryExportsTheParallelPool) {
   const std::string text = MetricsRegistry::Global().RenderPrometheus();
   EXPECT_NE(text.find("priview_parallel_queue_depth"), std::string::npos);

@@ -185,6 +185,32 @@ TEST_F(TracerTest, TornSpanIsCountedAndDepthSelfHeals) {
   failpoint::DisarmAll();
 }
 
+TEST_F(TracerTest, TornTopLevelSpanRestoresDepth) {
+#if !PRIVIEW_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "failpoints compiled out (PRIVIEW_FAILPOINTS=OFF)";
+#endif
+  TracerOptions options;
+  options.slow_span_threshold_us = 1;
+  Tracer::Global().Arm(options);
+  {
+    failpoint::ScopedFailpoint scoped("obs/span-torn", "always");
+    ASSERT_TRUE(scoped.status().ok());
+    TraceSpan top("obs-test/torn-top");
+  }  // a depth-0 tear: no enclosing span exists to heal the depth behind it
+  // The torn span must restore the thread depth itself, so later spans on
+  // this thread still report depth 0, not a permanent +1 skew.
+  Tracer::Global().ClearSlowLog();
+  {
+    TraceSpan fresh("obs-test/after-top-tear");
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const std::vector<SlowSpanEntry> entries = Tracer::Global().SlowEntries();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries.back().name, "obs-test/after-top-tear");
+  EXPECT_EQ(entries.back().depth, 0);
+  failpoint::DisarmAll();
+}
+
 TEST_F(TracerTest, ConcurrentArmedSpansAreRaceFree) {
   // Spans on many threads into one histogram family; under tsan this is
   // the race proof for Begin/End against Arm-time state.

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -181,9 +182,26 @@ TEST_F(ServeE2ETest, MetricsScrapeExposesPublishAndBrokerHistograms) {
   ASSERT_TRUE(server_->registry().Install("traced", MakeSynopsis(7, 1.0)).ok());
 
   PriViewClient client = Connect();
-  ASSERT_TRUE(client.Marginal("traced", AttrSet::FromIndices({0, 1})).ok());
+  // Generous deadline: under sanitizer builds on a loaded machine the
+  // default 1 s budget can expire and fail the solve this test depends
+  // on; deadline behavior has its own tests.
+  ASSERT_TRUE(client
+                  .Marginal("traced", AttrSet::FromIndices({0, 1}),
+                            /*deadline_ms=*/30'000)
+                  .ok());
 
   StatusOr<std::string> scrape = client.Metrics();
+  // The dispatcher fulfills the answer promise before its broker/dispatch
+  // span unwinds, so that span's registration can trail the unblocked
+  // client by a hair. Eventual visibility is the scrape contract; poll
+  // briefly instead of racing the dispatcher thread.
+  for (int retry = 0;
+       retry < 100 && scrape.ok() &&
+       scrape.value().find("span=\"broker/dispatch\"") == std::string::npos;
+       ++retry) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    scrape = client.Metrics();
+  }
   obs::Tracer::Global().Disarm();
   ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
   const std::string& text = scrape.value();

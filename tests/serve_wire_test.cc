@@ -314,6 +314,28 @@ TEST(WireFramingTest, NonBlockingReaderWaitsForSlowWriter) {
   EXPECT_EQ(decoded.value().synopsis, "slow-writer");
 }
 
+TEST(WireFramingTest, MidFrameStallHitsTheIoDeadline) {
+  // A peer that starts a frame and then goes silent must not park the
+  // reader thread forever: once the first byte has arrived, the io
+  // deadline is armed and the stalled read fails DeadlineExceeded.
+  SocketPair pair;
+  ASSERT_EQ(::fcntl(pair.b(), F_SETFL,
+                    ::fcntl(pair.b(), F_GETFL) | O_NONBLOCK),
+            0);
+  // Two header bytes, then nothing — mid-frame, not idle.
+  const uint8_t partial[2] = {7, 0};
+  ASSERT_EQ(::write(pair.a(), partial, sizeof(partial)), 2);
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;
+  const auto start = std::chrono::steady_clock::now();
+  const Status read =
+      ReadFrame(pair.b(), &payload, &clean_eof, /*timeout_ms=*/50);
+  EXPECT_EQ(read.code(), StatusCode::kDeadlineExceeded) << read.ToString();
+  // The wait was bounded by the timeout, not by test patience.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(10));
+}
+
 TEST(WireFramingTest, NonBlockingWriterSurvivesFullSocketBuffer) {
   // The mirror case: a non-blocking writer pushing a frame larger than
   // the socket buffer hits EAGAIN mid-frame and must wait for the reader
