@@ -14,6 +14,7 @@ for b in bench/*; do
   [ "$(basename "$b")" = bench_parallel ] && continue
   [ "$(basename "$b")" = bench_serve ] && continue
   [ "$(basename "$b")" = bench_obs ] && continue
+  [ "$(basename "$b")" = bench_store ] && continue
   echo "##### $(basename "$b") #####" | tee -a "$out"
   ( time "./$b" "$@" ) >> "$out" 2>&1
   echo "exit=$? done $(basename "$b")"
@@ -41,5 +42,13 @@ if [ -x bench/bench_obs ]; then
   echo "##### bench_obs #####" | tee -a "$out"
   ( time ./bench/bench_obs --out=../BENCH_observability.json "$@" ) >> "$out" 2>&1
   echo "exit=$? done bench_obs"
+fi
+# Durability record: atomic-install and recovery-scan latency plus the
+# disarmed store-failpoint overhead (<1% of an install bar — a non-zero
+# exit here means crash safety got too expensive on the hot path).
+if [ -x bench/bench_store ]; then
+  echo "##### bench_store #####" | tee -a "$out"
+  ( time ./bench/bench_store --out=../BENCH_store.json "$@" ) >> "$out" 2>&1
+  echo "exit=$? done bench_store"
 fi
 echo "ALL BENCHES DONE"

@@ -178,6 +178,9 @@ const std::vector<std::string>& KnownFailpoints() {
           "serve/io-torn-frame",
           "serve/swap-race",
           "obs/span-torn",
+          "store/fsync-fail",
+          "store/torn-rename",
+          "store/manifest-torn-tail",
       };
   return *points;
 }

@@ -67,6 +67,13 @@ namespace priview::failpoint {
 ///   obs/span-torn              a trace span's end is lost mid-fault; the
 ///                              tear is counted, never recorded as a
 ///                              duration, and nesting self-heals
+///   store/fsync-fail           a SynopsisStore fsync (temp file, manifest
+///                              or directory) fails, leaving unsynced state
+///   store/torn-rename          crash window between the durable rename and
+///                              the manifest append: the synopsis file
+///                              lands on disk as an unjournaled orphan
+///   store/manifest-torn-tail   the manifest append writes only a record
+///                              prefix (torn tail); recovery must truncate
 const std::vector<std::string>& KnownFailpoints();
 
 /// Arms `name` with a trigger spec (grammar above). Returns

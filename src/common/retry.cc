@@ -1,0 +1,82 @@
+#include "common/retry.h"
+
+#include <algorithm>
+
+namespace priview {
+
+bool IsRetryableStatus(const Status& status, bool connect_phase) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kIOError:
+    case StatusCode::kDataLoss:
+      return true;
+    case StatusCode::kDeadlineExceeded:
+      // Only the connect phase: a booting/recovering peer times out the
+      // handshake and comes back; a request-level deadline is the caller's
+      // budget and must not be silently re-spent.
+      return connect_phase;
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kResourceExhausted:  // admission shed: never amplify
+    case StatusCode::kInternal:
+      return false;
+  }
+  return false;
+}
+
+RetryController::RetryController(const RetryOptions& options, Rng jitter_stream)
+    : options_(options),
+      rng_(jitter_stream),
+      call_start_(std::chrono::steady_clock::now()) {}
+
+bool RetryController::ShouldRetry(const Status& status, bool connect_phase) {
+  if (status.ok()) return false;
+  if (!IsRetryableStatus(status, connect_phase)) return false;
+  if (attempts_ >= options_.max_attempts) return false;
+  if (options_.overall_budget.count() > 0) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - call_start_);
+    if (elapsed >= options_.overall_budget) return false;
+    // Project the *shortest* possible next backoff (the jitter band's low
+    // edge): if even that lands past the budget, the retry cannot help.
+    double base = static_cast<double>(options_.initial_backoff.count());
+    for (int i = 0; i < backoffs_granted_; ++i) base *= options_.multiplier;
+    base = std::min(base, static_cast<double>(options_.max_backoff.count()));
+    const double shortest = base * (1.0 - std::min(options_.jitter, 1.0));
+    if (elapsed.count() + shortest >
+        static_cast<double>(options_.overall_budget.count())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::chrono::milliseconds RetryController::NextBackoff() {
+  double base = static_cast<double>(options_.initial_backoff.count());
+  for (int i = 0; i < backoffs_granted_; ++i) base *= options_.multiplier;
+  ++backoffs_granted_;
+  base = std::min(base, static_cast<double>(options_.max_backoff.count()));
+  double scaled = base;
+  if (options_.jitter > 0.0) {
+    // Uniform in [1 - j, 1 + j], drawn from this call's forked stream.
+    const double u = rng_.UniformDouble();
+    scaled = base * (1.0 - options_.jitter + 2.0 * options_.jitter * u);
+  }
+  if (scaled < 0.0) scaled = 0.0;
+  auto backoff = std::chrono::milliseconds(static_cast<int64_t>(scaled));
+  if (options_.overall_budget.count() > 0) {
+    // Never sleep past the budget: clamp so the final attempt still gets a
+    // slice of wall clock instead of waking up already out of time.
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - call_start_);
+    const auto remaining = options_.overall_budget - elapsed;
+    backoff = std::max(std::chrono::milliseconds(0),
+                       std::min(backoff, remaining));
+  }
+  return backoff;
+}
+
+}  // namespace priview

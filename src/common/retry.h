@@ -1,0 +1,107 @@
+// RetryPolicy: capped exponential backoff with deterministic seeded
+// jitter and a transport-aware error classifier, for callers that repeat
+// *idempotent* work against a flaky peer (the PriViewClient, bench
+// drivers, future replication).
+//
+// Design points:
+//   - Determinism. Jitter is drawn from a forked Rng stream (one fork per
+//     call via NewCall()), so a test that seeds the policy sees the same
+//     backoff schedule run to run — retries are reproducible the same way
+//     the rest of the library's randomness is.
+//   - Classification, not blanket retries. Transport damage (Unavailable,
+//     IOError, DataLoss) is retryable because the caller promises the
+//     request is idempotent. DeadlineExceeded is retryable only for the
+//     *connect* phase (the peer may be booting/recovering); a request
+//     deadline is the caller's budget and retrying inside it is wrong.
+//     InvalidArgument/NotFound/OutOfRange are deterministic failures, and
+//     ResourceExhausted is admission control shedding load — retrying it
+//     amplifies exactly the overload being shed, so it is never retried.
+//   - Budgets. A per-call attempt cap plus an optional overall wall-clock
+//     budget bound how long one logical call can camp on a dead peer.
+#ifndef PRIVIEW_COMMON_RETRY_H_
+#define PRIVIEW_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace priview {
+
+struct RetryOptions {
+  /// Total attempts for one logical call, first try included. 1 disables
+  /// retries entirely.
+  int max_attempts = 4;
+  /// Backoff before the first retry; doubles (see `multiplier`) up to
+  /// `max_backoff` for later ones.
+  std::chrono::milliseconds initial_backoff{10};
+  std::chrono::milliseconds max_backoff{1000};
+  double multiplier = 2.0;
+  /// Symmetric jitter fraction: the drawn backoff is uniform in
+  /// [base*(1-jitter), base*(1+jitter)]. 0 disables jitter.
+  double jitter = 0.2;
+  /// Seed for the jitter stream; the same seed reproduces the same
+  /// schedule across runs.
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  /// Overall wall-clock budget for one logical call (first attempt
+  /// included). Zero means "attempt cap only". When a retry's backoff
+  /// would land past the budget the call gives up with the last error.
+  std::chrono::milliseconds overall_budget{0};
+};
+
+/// Pure classifier: may `status` be retried at all (caller must separately
+/// guarantee idempotency)? `connect_phase` widens the set to
+/// DeadlineExceeded, which is retryable only while establishing a
+/// connection.
+bool IsRetryableStatus(const Status& status, bool connect_phase = false);
+
+/// Per-call retry state: attempt counting, budget tracking, and the
+/// deterministic backoff schedule. Obtain via RetryPolicy::NewCall().
+class RetryController {
+ public:
+  RetryController(const RetryOptions& options, Rng jitter_stream);
+
+  /// True when `status` is worth another attempt: retryable per the
+  /// classifier, attempts remain, and the next backoff still fits the
+  /// overall budget. Does not sleep.
+  bool ShouldRetry(const Status& status, bool connect_phase = false);
+
+  /// The backoff to sleep before the next attempt. Advances the schedule;
+  /// call exactly once per granted retry.
+  std::chrono::milliseconds NextBackoff();
+
+  int attempts_started() const { return attempts_; }
+  /// Record that an attempt is starting (the first one included).
+  void BeginAttempt() { ++attempts_; }
+
+ private:
+  const RetryOptions options_;
+  Rng rng_;
+  int attempts_ = 0;
+  int backoffs_granted_ = 0;
+  std::chrono::steady_clock::time_point call_start_;
+};
+
+/// Immutable retry configuration plus the root of the jitter stream. Not
+/// thread-safe (NewCall forks the stream): share by value, one policy per
+/// client/thread, the way Rng is used everywhere else in the library.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(const RetryOptions& options = {})
+      : options_(options), rng_(options.seed) {}
+
+  /// Fresh per-call state with its own forked jitter stream.
+  RetryController NewCall() { return RetryController(options_, rng_.Fork()); }
+
+  const RetryOptions& options() const { return options_; }
+  bool enabled() const { return options_.max_attempts > 1; }
+
+ private:
+  RetryOptions options_;
+  Rng rng_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_COMMON_RETRY_H_

@@ -25,6 +25,8 @@ const char* CodeName(StatusCode code) {
       return "DATA_LOSS";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

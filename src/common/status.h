@@ -23,6 +23,10 @@ enum class StatusCode {
   kIOError,
   kDataLoss,
   kDeadlineExceeded,
+  // The service cannot take the request right now (nothing listening,
+  // connection refused, server draining). Appended after the original
+  // codes so serialized code values stay stable on the wire.
+  kUnavailable,
 };
 
 /// Result of an operation that can fail without it being a programming bug.
@@ -66,6 +70,13 @@ class Status {
   /// callers can tell "retry later" from "ask for more time".
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The peer cannot take the request right now (nothing listening,
+  /// connection refused, server draining). The canonical *retryable*
+  /// failure: transient by definition, unlike ResourceExhausted (which is
+  /// load shedding — retrying amplifies the overload being shed).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,37 +1,139 @@
 #include "serve/client.h"
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <sstream>
+#include <thread>
 #include <utility>
+
+#include "obs/metrics_registry.h"
 
 namespace priview::serve {
 
-StatusOr<PriViewClient> PriViewClient::Connect(const std::string& socket_path) {
+namespace {
+
+obs::Counter* RetriesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "priview_client_retries_total", {},
+      "Client request attempts beyond the first (granted retries)");
+  return c;
+}
+
+obs::Counter* ReconnectsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "priview_client_reconnects_total", {},
+      "Client reconnects after a lost connection");
+  return c;
+}
+
+/// Non-blocking connect with a deadline. Classification matters to the
+/// retry layer: nothing listening (ECONNREFUSED/ENOENT) is Unavailable
+/// (retryable — the server may be restarting); a handshake that never
+/// completes is DeadlineExceeded (retryable only in this connect phase);
+/// anything else is IOError.
+StatusOr<int> ConnectFd(const ClientOptions& options) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("bad socket path: '" + socket_path + "'");
+  if (options.socket_path.empty() ||
+      options.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path: '" + options.socket_path +
+                                   "'");
   }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  std::memcpy(addr.sun_path, options.socket_path.c_str(),
+              options.socket_path.size() + 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError("socket(): " + std::string(std::strerror(errno)));
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const Status st =
-        Status::IOError("connect(" + socket_path +
-                        "): " + std::string(std::strerror(errno)));
-    ::close(fd);
-    return st;
+  // Non-blocking from the start: the connect cannot park the thread, and
+  // the frame layer's poll-based waits handle the fd from here on.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    return fd;
   }
-  return PriViewClient(fd);
+  if (errno == EINPROGRESS || errno == EAGAIN) {
+    // EAGAIN on a Unix socket: the backlog is full — readiness-wait and
+    // let SO_ERROR deliver the verdict, same as EINPROGRESS.
+    const Status ready =
+        WaitSocketReady(fd, /*for_write=*/true, options.connect_timeout_ms);
+    if (!ready.ok()) {
+      ::close(fd);
+      if (ready.code() == StatusCode::kDeadlineExceeded) {
+        return Status::DeadlineExceeded("connect(" + options.socket_path +
+                                        ") timed out");
+      }
+      return Status::Unavailable("connect(" + options.socket_path +
+                                 "): " + ready.message());
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      const int err = so_error != 0 ? so_error : errno;
+      ::close(fd);
+      return Status::Unavailable("connect(" + options.socket_path +
+                                 "): " + std::strerror(err));
+    }
+    return fd;
+  }
+  const int err = errno;
+  ::close(fd);
+  if (err == ECONNREFUSED || err == ENOENT) {
+    return Status::Unavailable("connect(" + options.socket_path +
+                               "): " + std::strerror(err));
+  }
+  return Status::IOError("connect(" + options.socket_path +
+                         "): " + std::strerror(err));
 }
 
-PriViewClient::PriViewClient(PriViewClient&& other) noexcept : fd_(other.fd_) {
+bool ParseHealthFlag(const std::string& raw, const std::string& key,
+                     uint64_t* value) {
+  const size_t pos = raw.find(key + "=");
+  if (pos != 0 && (pos == std::string::npos || raw[pos - 1] != ' ')) {
+    return false;
+  }
+  *value = std::strtoull(raw.c_str() + pos + key.size() + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+StatusOr<PriViewClient> PriViewClient::Connect(const ClientOptions& options) {
+  RetryPolicy policy(options.retry);
+  RetryController call = policy.NewCall();
+  for (;;) {
+    call.BeginAttempt();
+    StatusOr<int> fd = ConnectFd(options);
+    if (fd.ok()) return PriViewClient(fd.value(), options);
+    if (!options.enable_retries ||
+        !call.ShouldRetry(fd.status(), /*connect_phase=*/true)) {
+      return fd.status();
+    }
+    RetriesCounter()->Increment();
+    std::this_thread::sleep_for(call.NextBackoff());
+  }
+}
+
+StatusOr<PriViewClient> PriViewClient::Connect(const std::string& socket_path) {
+  ClientOptions options;
+  options.socket_path = socket_path;
+  return Connect(options);
+}
+
+PriViewClient::PriViewClient(int fd, ClientOptions options)
+    : fd_(fd), options_(std::move(options)), retry_policy_(options_.retry) {}
+
+PriViewClient::PriViewClient(PriViewClient&& other) noexcept
+    : fd_(other.fd_),
+      options_(std::move(other.options_)),
+      retry_policy_(std::move(other.retry_policy_)) {
   other.fd_ = -1;
 }
 
@@ -39,6 +141,8 @@ PriViewClient& PriViewClient::operator=(PriViewClient&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    options_ = std::move(other.options_);
+    retry_policy_ = std::move(other.retry_policy_);
     other.fd_ = -1;
   }
   return *this;
@@ -53,27 +157,83 @@ void PriViewClient::Close() {
   }
 }
 
-StatusOr<WireResponse> PriViewClient::RoundTrip(const WireRequest& request) {
+Status PriViewClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  if (!options_.enable_retries) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  StatusOr<int> fd = ConnectFd(options_);
+  if (!fd.ok()) return fd.status();
+  fd_ = fd.value();
+  ReconnectsCounter()->Increment();
+  return Status::OK();
+}
+
+StatusOr<WireResponse> PriViewClient::RoundTripOnce(
+    const WireRequest& request) {
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");
-  Status st = WriteFrame(fd_, EncodeRequest(request));
+  Status st = WriteFrame(fd_, EncodeRequest(request), options_.io_timeout_ms);
   if (!st.ok()) {
     Close();
     return st;
   }
   std::vector<uint8_t> payload;
   bool clean_eof = false;
-  st = ReadFrame(fd_, &payload, &clean_eof);
+  st = ReadFrame(fd_, &payload, &clean_eof, options_.io_timeout_ms);
   if (!st.ok()) {
     Close();
     return st;
   }
   if (clean_eof) {
     Close();
-    return Status::IOError("server closed the connection");
+    // The server closed between request and response (e.g. a restart):
+    // ambiguous for a non-idempotent request, harmless for ours — and
+    // Unavailable tells the retry layer to try the new incarnation.
+    return Status::Unavailable("server closed the connection");
   }
   StatusOr<WireResponse> response = DecodeResponse(payload);
   if (!response.ok()) Close();  // framing is suspect; do not reuse
   return response;
+}
+
+StatusOr<WireResponse> PriViewClient::RoundTrip(const WireRequest& request) {
+  if (!options_.enable_retries || !retry_policy_.enabled() ||
+      !IsIdempotentRequest(request.type)) {
+    const Status st = EnsureConnected();
+    if (!st.ok()) return st;
+    return RoundTripOnce(request);
+  }
+  RetryController call = retry_policy_.NewCall();
+  for (;;) {
+    call.BeginAttempt();
+    Status attempt_status;
+    bool connect_phase = false;
+    StatusOr<WireResponse> response = Status::OK();
+    const Status conn = EnsureConnected();
+    if (!conn.ok()) {
+      attempt_status = conn;
+      connect_phase = true;
+    } else {
+      response = RoundTripOnce(request);
+      if (response.ok()) {
+        if (response.value().type != MessageType::kError) return response;
+        // A decoded error response: the connection is healthy, but the
+        // server may be in a transient state (draining broker ->
+        // Unavailable). Only the retryable codes loop; everything else —
+        // including ResourceExhausted shed — is the caller's answer.
+        attempt_status = response.value().ToStatus();
+        if (!IsRetryableStatus(attempt_status)) return response;
+      } else {
+        attempt_status = response.status();
+      }
+    }
+    if (!call.ShouldRetry(attempt_status, connect_phase)) {
+      if (conn.ok() && response.ok()) return response;
+      return attempt_status;
+    }
+    RetriesCounter()->Increment();
+    std::this_thread::sleep_for(call.NextBackoff());
+  }
 }
 
 StatusOr<ClientTable> PriViewClient::TableRequest(const WireRequest& request) {
@@ -90,6 +250,20 @@ StatusOr<ClientTable> PriViewClient::TableRequest(const WireRequest& request) {
   out.coalesced = wire.coalesced != 0;
   out.epoch = wire.epoch;
   return out;
+}
+
+StatusOr<std::string> PriViewClient::TextRequest(MessageType type) {
+  WireRequest request;
+  request.type = type;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  if (response.value().type == MessageType::kError) {
+    return response.value().ToStatus();
+  }
+  if (response.value().type != MessageType::kText) {
+    return Status::DataLoss("expected a text response");
+  }
+  return response.value().text;
 }
 
 StatusOr<ClientTable> PriViewClient::Marginal(const std::string& synopsis,
@@ -172,45 +346,33 @@ StatusOr<ClientTable> PriViewClient::Dice(const std::string& synopsis,
 }
 
 StatusOr<std::string> PriViewClient::Stats() {
-  WireRequest request;
-  request.type = MessageType::kStats;
-  StatusOr<WireResponse> response = RoundTrip(request);
-  if (!response.ok()) return response.status();
-  if (response.value().type == MessageType::kError) {
-    return response.value().ToStatus();
-  }
-  if (response.value().type != MessageType::kText) {
-    return Status::DataLoss("expected a text response");
-  }
-  return response.value().text;
+  return TextRequest(MessageType::kStats);
 }
 
 StatusOr<std::string> PriViewClient::Metrics() {
-  WireRequest request;
-  request.type = MessageType::kMetrics;
-  StatusOr<WireResponse> response = RoundTrip(request);
-  if (!response.ok()) return response.status();
-  if (response.value().type == MessageType::kError) {
-    return response.value().ToStatus();
-  }
-  if (response.value().type != MessageType::kText) {
-    return Status::DataLoss("expected a text response");
-  }
-  return response.value().text;
+  return TextRequest(MessageType::kMetrics);
 }
 
 StatusOr<std::string> PriViewClient::List() {
-  WireRequest request;
-  request.type = MessageType::kList;
-  StatusOr<WireResponse> response = RoundTrip(request);
-  if (!response.ok()) return response.status();
-  if (response.value().type == MessageType::kError) {
-    return response.value().ToStatus();
+  return TextRequest(MessageType::kList);
+}
+
+StatusOr<HealthReport> PriViewClient::Health() {
+  StatusOr<std::string> text = TextRequest(MessageType::kHealth);
+  if (!text.ok()) return text.status();
+  HealthReport report;
+  report.raw = text.value();
+  uint64_t v = 0;
+  if (ParseHealthFlag(report.raw, "ready", &v)) report.ready = v != 0;
+  if (ParseHealthFlag(report.raw, "draining", &v)) report.draining = v != 0;
+  if (ParseHealthFlag(report.raw, "accepting", &v)) report.accepting = v != 0;
+  if (ParseHealthFlag(report.raw, "store_recovered", &v)) {
+    report.store_recovered = v != 0;
   }
-  if (response.value().type != MessageType::kText) {
-    return Status::DataLoss("expected a text response");
+  if (ParseHealthFlag(report.raw, "synopses", &v)) {
+    report.synopses = static_cast<size_t>(v);
   }
-  return response.value().text;
+  return report;
 }
 
 }  // namespace priview::serve

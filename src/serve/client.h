@@ -4,17 +4,31 @@
 // analysts wanting concurrency open one client per thread — connections
 // are cheap and the server is one thread per connection.
 //
+// Resilience (opt-in via ClientOptions):
+//   - Connect is non-blocking with a deadline: a peer that accepts but
+//     never completes the handshake yields DeadlineExceeded instead of
+//     parking the thread in connect(2); nothing listening is Unavailable.
+//   - With enable_retries set, every *idempotent* request (today: all of
+//     them — see IsIdempotentRequest) survives transport damage and
+//     retryable server errors (Unavailable from a draining broker,
+//     injected IO faults) by reconnecting and retrying under a
+//     common/retry RetryPolicy: capped exponential backoff, deterministic
+//     seeded jitter, bounded attempts. ResourceExhausted (admission shed)
+//     and other deterministic failures are NEVER retried.
+//
 // Every method returns Status: server-side errors (unknown synopsis,
 // invalid scope, admission rejection, deadline) arrive as the error
 // response's code + message; transport damage (torn frame, oversized
-// frame, closed socket) is IOError/DataLoss, after which the client is
-// dead and must be reconnected.
+// frame, closed socket) is IOError/DataLoss, after which the connection
+// is closed — with retries off the client must be reconnected by the
+// caller, with retries on the next call reconnects itself.
 #ifndef PRIVIEW_SERVE_CLIENT_H_
 #define PRIVIEW_SERVE_CLIENT_H_
 
 #include <cstdint>
 #include <string>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "serve/server_metrics.h"
 #include "serve/wire_protocol.h"
@@ -22,6 +36,20 @@
 #include "table/marginal_table.h"
 
 namespace priview::serve {
+
+struct ClientOptions {
+  std::string socket_path;
+  /// Deadline for establishing one connection (non-blocking connect +
+  /// readiness wait). <= 0 waits forever (not recommended).
+  int connect_timeout_ms = 5000;
+  /// Per-frame io deadline once a frame has started (see wire_protocol).
+  int io_timeout_ms = kDefaultIoTimeoutMs;
+  /// Retry idempotent requests across transport failures and retryable
+  /// server errors, reconnecting as needed. Off by default: the caller
+  /// owns failure handling unless they opt in.
+  bool enable_retries = false;
+  RetryOptions retry;
+};
 
 /// A table answer plus the serving metadata the wire carries.
 struct ClientTable {
@@ -39,9 +67,26 @@ struct ClientValue {
   uint64_t epoch = 0;
 };
 
+/// Parsed kHealth response. `ready` is the orchestration gate; the rest
+/// explains why it is (or is not) set.
+struct HealthReport {
+  bool ready = false;
+  bool draining = false;
+  bool accepting = false;
+  bool store_recovered = false;
+  size_t synopses = 0;
+  /// The raw "key=value ..." wire text, for logs.
+  std::string raw;
+};
+
 class PriViewClient {
  public:
-  /// Connects to the server socket. IOError if nothing is listening.
+  /// Connects with full options. With enable_retries the connect itself
+  /// is retried (DeadlineExceeded and Unavailable are retryable in the
+  /// connect phase — the server may be restarting).
+  static StatusOr<PriViewClient> Connect(const ClientOptions& options);
+  /// Convenience overload: default options (no retries), matching the
+  /// pre-resilience behavior apart from the bounded connect.
   static StatusOr<PriViewClient> Connect(const std::string& socket_path);
 
   PriViewClient(PriViewClient&& other) noexcept;
@@ -81,18 +126,33 @@ class PriViewClient {
   /// Hosted synopses, one "name d=... views=... eps=... epoch=..." line
   /// each.
   StatusOr<std::string> List();
+  /// Readiness/liveness probe. Any OK return means the server is live;
+  /// report.ready is the readiness gate. Served without touching the
+  /// broker, so it works on a draining or still-recovering server.
+  StatusOr<HealthReport> Health();
 
   void Close();
   bool connected() const { return fd_ >= 0; }
+  const ClientOptions& options() const { return options_; }
 
  private:
-  explicit PriViewClient(int fd) : fd_(fd) {}
+  PriViewClient(int fd, ClientOptions options);
 
-  /// One request/response round trip.
+  /// Reconnects if the connection was lost (retry-enabled clients only
+  /// reach this disconnected; legacy clients fail FailedPrecondition).
+  Status EnsureConnected();
+  /// One request/response round trip on the current connection; closes it
+  /// on transport damage.
+  StatusOr<WireResponse> RoundTripOnce(const WireRequest& request);
+  /// The retry loop around RoundTripOnce (straight pass-through when
+  /// retries are disabled or the request is not idempotent).
   StatusOr<WireResponse> RoundTrip(const WireRequest& request);
   StatusOr<ClientTable> TableRequest(const WireRequest& request);
+  StatusOr<std::string> TextRequest(MessageType type);
 
   int fd_ = -1;
+  ClientOptions options_;
+  RetryPolicy retry_policy_;
 };
 
 }  // namespace priview::serve

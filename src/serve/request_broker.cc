@@ -17,11 +17,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// How long past its deadline a caller keeps waiting for the dispatcher to
-// deliver a verdict (the dispatcher may be mid-solve on its behalf). After
-// this the caller unblocks unconditionally — Ask never hangs.
-constexpr std::chrono::seconds kCompletionGrace{5};
-
 uint64_t MicrosBetween(Clock::time_point from, Clock::time_point to) {
   const auto us =
       std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
@@ -64,8 +59,35 @@ void RequestBroker::Stop() {
   cv_.notify_all();
   if (to_join.joinable()) to_join.join();
   for (std::unique_ptr<Pending>& p : orphans) {
-    p->promise.set_value(Status::FailedPrecondition("broker stopped"));
+    // Admitted work failed by the stop is a service-side event, not caller
+    // misuse: answer retryably so a client redials the restarted server.
+    p->promise.set_value(
+        Status::Unavailable("broker stopped before dispatch; retry later"));
   }
+}
+
+size_t RequestBroker::Drain(std::chrono::milliseconds grace) {
+  if (grace.count() <= 0) grace = options_.stop_grace;
+  size_t left = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;  // admission now rejects with Unavailable
+    const Clock::time_point deadline = Clock::now() + grace;
+    drain_cv_.wait_until(lock, deadline, [&] {
+      return (queue_.empty() && inflight_ == 0) || !running_;
+    });
+    left = queue_.size() + inflight_;
+  }
+  cv_.notify_all();
+  // Whatever did not finish within the grace is failed by the stop; the
+  // count tells the operator how much work the drain abandoned.
+  Stop();
+  return left;
+}
+
+bool RequestBroker::accepting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_ && !stopping_ && !draining_;
 }
 
 StatusOr<ServedAnswer> RequestBroker::Ask(const std::string& synopsis,
@@ -98,6 +120,11 @@ StatusOr<ServedAnswer> RequestBroker::Ask(const std::string& synopsis,
     if (stopping_) {
       return Status::FailedPrecondition("broker stopped");
     }
+    if (draining_) {
+      // Unlike a full stop this is a transient state: the client should
+      // retry against the restarted (or a different) server.
+      return Status::Unavailable("broker draining; retry later");
+    }
     if (queue_.size() >= options_.queue_capacity ||
         PRIVIEW_FAILPOINT("serve/queue-full")) {
       metrics_->RecordRejected();
@@ -109,7 +136,7 @@ StatusOr<ServedAnswer> RequestBroker::Ask(const std::string& synopsis,
     metrics_->RecordAdmitted();
   }
   cv_.notify_one();
-  if (answer.wait_until(deadline + kCompletionGrace) ==
+  if (answer.wait_until(deadline + options_.stop_grace) ==
       std::future_status::ready) {
     return answer.get();
   }
@@ -135,12 +162,22 @@ void RequestBroker::DispatchLoop() {
       if (stopping_) {
         lock.unlock();
         for (std::unique_ptr<Pending>& p : batch) {
-          p->promise.set_value(Status::FailedPrecondition("broker stopped"));
+          // Same contract as Stop(): the caller did nothing wrong, the
+          // service went away mid-queue — retryable, not misuse.
+          p->promise.set_value(Status::Unavailable(
+              "broker stopped before dispatch; retry later"));
         }
         return;
       }
+      inflight_ += batch.size();
     }
+    const size_t processed = batch.size();
     ProcessBatch(std::move(batch));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_ -= processed;
+    }
+    drain_cv_.notify_all();
   }
 }
 

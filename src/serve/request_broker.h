@@ -28,9 +28,11 @@
 //      to solve). Every answer records the tier that produced it.
 //
 // Start() spawns the dispatcher; requests submitted before Start() queue
-// up (tests use this to stage deterministic batches). Stop() drains the
-// queue with FailedPrecondition and joins. Ask() never blocks past the
-// request deadline plus a small completion grace.
+// up (tests use this to stage deterministic batches). Stop() fails the
+// queue with retryable Unavailable (the work was admitted; the service
+// went away) and joins; only *new* Asks on a stopped broker get
+// FailedPrecondition. Ask() never blocks past the request deadline plus a
+// small completion grace.
 #ifndef PRIVIEW_SERVE_REQUEST_BROKER_H_
 #define PRIVIEW_SERVE_REQUEST_BROKER_H_
 
@@ -67,6 +69,11 @@ struct BrokerOptions {
   std::chrono::milliseconds least_norm_below{50};
   /// Remaining-deadline threshold below which only the cache may answer.
   std::chrono::milliseconds cache_only_below{5};
+  /// How long past its deadline an Ask caller keeps waiting for the
+  /// dispatcher's verdict (it may be mid-solve on the caller's behalf), and
+  /// how long Drain waits for in-flight work by default. Bounded so Ask
+  /// can never hang on a wedged dispatcher.
+  std::chrono::milliseconds stop_grace{5000};
 };
 
 /// A broker answer: the table plus how it was produced.
@@ -90,8 +97,23 @@ class RequestBroker {
 
   /// Spawns the dispatcher thread (idempotent).
   void Start();
-  /// Stops the dispatcher and fails everything still queued. Idempotent.
+  /// Stops the dispatcher and fails everything still queued with
+  /// retryable Unavailable (admitted work failed by the stop is the
+  /// service's fault, not the caller's). Idempotent.
   void Stop();
+
+  /// Graceful shutdown: stops admitting (new Asks are rejected with
+  /// Unavailable — retryable, unlike the FailedPrecondition a *new* Ask
+  /// gets after the stop), lets
+  /// already-admitted work dispatch and finish for up to `grace`, then
+  /// Stops. Returns how many requests were still queued or in flight when
+  /// the grace expired (0 = everything admitted before the drain
+  /// completed). A zero grace uses options().stop_grace.
+  size_t Drain(std::chrono::milliseconds grace = std::chrono::milliseconds{0});
+
+  /// True while the broker accepts new work (started, not stopping or
+  /// draining) — the readiness half of the health probe.
+  bool accepting() const;
 
   /// Admission-controlled marginal query against the named synopsis.
   /// Blocks the calling thread until the answer, a rejection, or the
@@ -117,9 +139,14 @@ class RequestBroker {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  /// Signalled whenever queued/in-flight work finishes (Drain waits here).
+  std::condition_variable drain_cv_;
   std::deque<std::unique_ptr<Pending>> queue_;
   bool running_ = false;
   bool stopping_ = false;
+  bool draining_ = false;
+  /// Requests swapped out of the queue and currently being processed.
+  size_t inflight_ = 0;
   std::thread dispatcher_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -91,39 +92,112 @@ Status PriViewServer::Start() {
     ::unlink(options_.socket_path.c_str());
     return st;
   }
+  if (::pipe(drain_pipe_) != 0) {
+    const Status st =
+        Status::IOError("pipe(): " + std::string(std::strerror(errno)));
+    ::close(fd);
+    ::unlink(options_.socket_path.c_str());
+    return st;
+  }
   listen_fd_ = fd;
   running_ = true;
+  draining_.store(false, std::memory_order_relaxed);
+  watcher_stop_.store(false, std::memory_order_relaxed);
   broker_->Start();
   accept_thread_ = std::thread(&PriViewServer::AcceptLoop, this);
+  drain_watcher_ = std::thread(&PriViewServer::DrainWatcherLoop, this);
   return Status::OK();
 }
 
-void PriViewServer::Stop() {
+void PriViewServer::Stop() { (void)Shutdown(/*graceful=*/false); }
+
+size_t PriViewServer::Drain() { return Shutdown(/*graceful=*/true); }
+
+size_t PriViewServer::Shutdown(bool graceful) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  bool was_running = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return;
+    was_running = running_;
     running_ = false;
   }
-  // Fail queued work fast so connection handlers blocked in Ask unblock
-  // with a Status instead of waiting out their deadlines.
-  broker_->Stop();
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  listen_fd_ = -1;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t left = 0;
+  if (was_running) {
+    if (graceful) {
+      draining_.store(true, std::memory_order_relaxed);
+    } else {
+      // Fail queued work fast so connection handlers blocked in Ask
+      // unblock with a Status instead of waiting out their deadlines.
+      broker_->Stop();
+    }
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    listen_fd_ = -1;
+    if (graceful) {
+      // Accepting has stopped; let everything already admitted run to
+      // completion within the grace. New Asks on live connections are
+      // rejected by the broker with (retryable) Unavailable meanwhile.
+      left = broker_->Drain(options_.drain_grace);
+      metrics_.RecordDrain(left);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::unique_ptr<Connection>& conn : connections_) {
+        if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
     for (std::unique_ptr<Connection>& conn : connections_) {
-      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    connections_.clear();
+    ::unlink(options_.socket_path.c_str());
+  }
+  watcher_stop_.store(true, std::memory_order_relaxed);
+  if (drain_watcher_.joinable() &&
+      drain_watcher_.get_id() != std::this_thread::get_id()) {
+    // A signal-driven drain runs Shutdown *on* the watcher thread; it must
+    // not join itself — the thread exits right after this returns and the
+    // destructor's Stop() collects it.
+    drain_watcher_.join();
+    for (int& pipe_fd : drain_pipe_) {
+      if (pipe_fd >= 0) ::close(pipe_fd);
+      pipe_fd = -1;
     }
   }
-  for (std::unique_ptr<Connection>& conn : connections_) {
-    if (conn->thread.joinable()) conn->thread.join();
+  return left;
+}
+
+void PriViewServer::RequestDrain() {
+  // Async-signal-safe: one write(2), nothing else. The watcher thread
+  // turns the byte into a Drain() on a normal thread context.
+  if (drain_pipe_[1] >= 0) {
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n = ::write(drain_pipe_[1], &byte, 1);
   }
-  connections_.clear();
-  ::unlink(options_.socket_path.c_str());
+}
+
+void PriViewServer::DrainWatcherLoop() {
+  const int pipe_fd = drain_pipe_[0];
+  for (;;) {
+    pollfd pfd{pipe_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (watcher_stop_.load(std::memory_order_relaxed)) return;
+    if (ready > 0 && (pfd.revents & POLLIN)) {
+      char buf[16];
+      (void)::read(pipe_fd, buf, sizeof(buf));
+      (void)Shutdown(/*graceful=*/true);
+      return;
+    }
+  }
+}
+
+bool PriViewServer::Ready() const {
+  return !draining_.load(std::memory_order_relaxed) &&
+         store_recovered_.load(std::memory_order_relaxed) &&
+         broker_->accepting() && registry_.size() > 0;
 }
 
 void PriViewServer::AcceptLoop() {
@@ -204,8 +278,18 @@ std::vector<uint8_t> PriViewServer::HandleRequest(const WireRequest& request) {
 
   // Fetches the scope every data request is built on, through the broker
   // (admission, coalescing, degradation all apply).
-  auto ask = [&](AttrSet scope) {
-    return broker_->Ask(request.synopsis, scope, deadline);
+  auto ask = [&](AttrSet scope) -> StatusOr<ServedAnswer> {
+    StatusOr<ServedAnswer> answer =
+        broker_->Ask(request.synopsis, scope, deadline);
+    if (!answer.ok() &&
+        answer.status().code() == StatusCode::kFailedPrecondition) {
+      // The only FailedPrecondition Ask can produce is a stopped broker —
+      // lifecycle a remote caller cannot observe or misuse. Over the wire
+      // the verdict is the retryable one: the server is going away (or
+      // restarting) and the request deserves a redial, not a hard fail.
+      return Status::Unavailable("server shutting down; retry later");
+    }
+    return answer;
   };
   auto error = [&](const Status& status) {
     return EncodeResponse(MakeErrorResponse(status));
@@ -316,6 +400,25 @@ std::vector<uint8_t> PriViewServer::HandleRequest(const WireRequest& request) {
       metrics_.RecordLatency(RequestKind::kStats, MicrosSince(start));
       return EncodeResponse(response);
     }
+    case MessageType::kHealth: {
+      // Answered inline, never through the broker: the probe must work
+      // while draining, recovering, or hosting nothing — exactly the
+      // states an orchestrator needs to see. Any response at all is
+      // liveness; the ready bit is the readiness gate.
+      WireResponse response;
+      response.type = MessageType::kText;
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "ready=%d draining=%d accepting=%d store_recovered=%d "
+                    "synopses=%zu",
+                    Ready() ? 1 : 0, draining() ? 1 : 0,
+                    broker_->accepting() ? 1 : 0,
+                    store_recovered_.load(std::memory_order_relaxed) ? 1 : 0,
+                    registry_.size());
+      response.text = line;
+      metrics_.RecordHealthProbe();
+      return EncodeResponse(response);
+    }
     case MessageType::kList: {
       WireResponse response;
       response.type = MessageType::kText;
@@ -334,6 +437,30 @@ std::vector<uint8_t> PriViewServer::HandleRequest(const WireRequest& request) {
     default:
       return error(Status::InvalidArgument("unhandled request type"));
   }
+}
+
+namespace {
+
+std::atomic<PriViewServer*> g_sigterm_server{nullptr};
+
+void SigtermToDrain(int /*signo*/) {
+  PriViewServer* server = g_sigterm_server.load(std::memory_order_relaxed);
+  if (server != nullptr) server->RequestDrain();
+}
+
+}  // namespace
+
+Status InstallSigtermDrain(PriViewServer* server) {
+  g_sigterm_server.store(server, std::memory_order_relaxed);
+  struct sigaction action {};
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  action.sa_handler = server != nullptr ? &SigtermToDrain : SIG_DFL;
+  if (::sigaction(SIGTERM, &action, nullptr) != 0) {
+    return Status::IOError("sigaction(SIGTERM): " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
 }
 
 }  // namespace priview::serve

@@ -22,6 +22,7 @@
 #ifndef PRIVIEW_SERVE_SERVER_H_
 #define PRIVIEW_SERVE_SERVER_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -47,6 +48,9 @@ struct ServerOptions {
   /// cannot park a handler thread forever. Idle connections (no frame in
   /// flight) are not policed. <= 0 disables the deadline.
   int io_timeout_ms = kDefaultIoTimeoutMs;
+  /// How long Drain() lets already-admitted broker work finish before
+  /// closing connections. <= 0 falls back to broker.stop_grace.
+  std::chrono::milliseconds drain_grace{5000};
 };
 
 class PriViewServer {
@@ -56,11 +60,36 @@ class PriViewServer {
   PriViewServer(const PriViewServer&) = delete;
   PriViewServer& operator=(const PriViewServer&) = delete;
 
-  /// Binds the socket, starts the broker dispatcher and the accept loop.
+  /// Binds the socket, starts the broker dispatcher, the accept loop and
+  /// the drain watcher (the thread behind RequestDrain / SIGTERM).
   Status Start();
-  /// Stops accepting, shuts down live connections, joins every thread,
-  /// unlinks the socket. Idempotent.
+  /// Hard stop: fails queued broker work, shuts down live connections,
+  /// joins every thread, unlinks the socket. Idempotent.
   void Stop();
+  /// Graceful shutdown: stop accepting new connections and requests, let
+  /// already-admitted broker work finish within options().drain_grace,
+  /// then close connections and stop. Returns how many requests were still
+  /// queued or in flight when the grace expired (also exported as the
+  /// priview_drain_inflight_at_close gauge). Idempotent with Stop —
+  /// whichever runs first wins.
+  size_t Drain();
+
+  /// Async-signal-safe drain trigger: writes one byte to a self-pipe that
+  /// the watcher thread (started by Start) turns into a Drain() call.
+  /// Callable from a signal handler.
+  void RequestDrain();
+
+  /// Readiness for the kHealth probe: accepting work, the registry hosts
+  /// at least one synopsis, and the backing store (if any) recovered.
+  /// Liveness is implied by any response at all.
+  bool Ready() const;
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+  /// Owning processes that recover a SynopsisStore into registry() report
+  /// the outcome here; readiness stays false after a failed recovery.
+  /// Defaults to true for store-less servers.
+  void SetStoreRecovered(bool recovered) {
+    store_recovered_.store(recovered, std::memory_order_relaxed);
+  }
 
   /// Host / hot-swap synopses through this (thread-safe, live during
   /// serving).
@@ -71,6 +100,11 @@ class PriViewServer {
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
+  void DrainWatcherLoop();
+  /// The single shutdown funnel behind Stop and Drain; serialized by
+  /// lifecycle_mu_ so a signal-driven drain and a destructor Stop cannot
+  /// tear down the same threads twice.
+  size_t Shutdown(bool graceful);
   /// Builds the response for one decoded request (never throws; every
   /// failure is an error response).
   std::vector<uint8_t> HandleRequest(const WireRequest& request);
@@ -89,7 +123,22 @@ class PriViewServer {
     std::thread thread;
   };
   std::vector<std::unique_ptr<Connection>> connections_;
+
+  /// Serializes Shutdown bodies (signal-driven Drain vs destructor Stop).
+  std::mutex lifecycle_mu_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> store_recovered_{true};
+  /// Self-pipe: RequestDrain writes, the watcher thread reads.
+  int drain_pipe_[2] = {-1, -1};
+  std::thread drain_watcher_;
+  std::atomic<bool> watcher_stop_{false};
 };
+
+/// Installs a SIGTERM handler that calls `server->RequestDrain()` — the
+/// standard "finish what you admitted, then exit" orchestration contract.
+/// One server per process: installing for a second server replaces the
+/// first. Pass nullptr to uninstall (restores SIG_DFL).
+Status InstallSigtermDrain(PriViewServer* server);
 
 }  // namespace priview::serve
 

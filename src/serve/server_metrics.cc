@@ -64,6 +64,14 @@ ServerMetrics::ServerMetrics() {
   frame_errors_ =
       registry_.GetCounter("priview_serve_frame_errors_total", {},
                            "Malformed or unreadable wire frames seen");
+  drains_ = registry_.GetCounter("priview_serve_drains_total", {},
+                                 "Graceful drains completed");
+  drain_inflight_at_close_ = registry_.GetGauge(
+      "priview_drain_inflight_at_close", {},
+      "Requests still queued or in flight when the last drain's grace "
+      "expired (0 = clean drain)");
+  health_probes_ = registry_.GetCounter("priview_serve_health_probes_total",
+                                        {}, "Health requests answered");
   for (int k = 0; k < kRequestKindCount; ++k) {
     latency_us_[k] = registry_.GetHistogram(
         "priview_serve_request_latency_us",

@@ -93,6 +93,16 @@ class ServerMetrics {
   void RecordConnectionClosed() { connections_closed_->Increment(); }
   void RecordFrameError() { frame_errors_->Increment(); }
 
+  // --- lifecycle -----------------------------------------------------------
+  /// A graceful drain completed; `inflight_at_close` is how many requests
+  /// were still queued or executing when the drain grace expired (0 means
+  /// the drain was clean).
+  void RecordDrain(uint64_t inflight_at_close) {
+    drains_->Increment();
+    drain_inflight_at_close_->Set(static_cast<int64_t>(inflight_at_close));
+  }
+  void RecordHealthProbe() { health_probes_->Increment(); }
+
   /// Completed request of `kind` that took `micros` microseconds end to
   /// end (admission to response), successful or not.
   void RecordLatency(RequestKind kind, uint64_t micros) {
@@ -147,6 +157,9 @@ class ServerMetrics {
   obs::Counter* connections_opened_;
   obs::Counter* connections_closed_;
   obs::Counter* frame_errors_;
+  obs::Counter* drains_;
+  obs::Gauge* drain_inflight_at_close_;
+  obs::Counter* health_probes_;
   std::array<obs::Histogram*, kRequestKindCount> latency_us_;
   obs::Histogram* queue_wait_us_;
   obs::Histogram* coalesce_width_;

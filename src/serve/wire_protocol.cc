@@ -99,7 +99,7 @@ class ByteReader {
 
 bool IsRequestType(uint8_t t) {
   return t >= uint8_t(MessageType::kMarginal) &&
-         t <= uint8_t(MessageType::kMetrics);
+         t <= uint8_t(MessageType::kHealth);
 }
 
 bool IsResponseType(uint8_t t) {
@@ -108,6 +108,24 @@ bool IsResponseType(uint8_t t) {
 }
 
 }  // namespace
+
+bool IsIdempotentRequest(MessageType type) {
+  switch (type) {
+    case MessageType::kMarginal:
+    case MessageType::kConjunction:
+    case MessageType::kRollUp:
+    case MessageType::kSlice:
+    case MessageType::kDice:
+    case MessageType::kStats:
+    case MessageType::kList:
+    case MessageType::kMetrics:
+    case MessageType::kHealth:
+      // Reads against an immutable release: re-execution is free.
+      return true;
+    default:
+      return false;
+  }
+}
 
 // --- request ---------------------------------------------------------------
 
@@ -150,6 +168,7 @@ std::vector<uint8_t> EncodeRequest(const WireRequest& request) {
     case MessageType::kStats:
     case MessageType::kList:
     case MessageType::kMetrics:
+    case MessageType::kHealth:
       break;
     default:
       break;  // encoded as a bare (undecodable) type byte
@@ -200,6 +219,7 @@ StatusOr<WireRequest> DecodeRequest(const std::vector<uint8_t>& payload) {
     case MessageType::kStats:
     case MessageType::kList:
     case MessageType::kMetrics:
+    case MessageType::kHealth:
       break;
     default:
       return Status::Internal("unreachable request type");
@@ -313,7 +333,7 @@ StatusOr<MarginalTable> WireResponse::ToTable() const {
 
 Status WireResponse::ToStatus() const {
   if (type != MessageType::kError) return Status::OK();
-  const int32_t max_code = int32_t(StatusCode::kDeadlineExceeded);
+  const int32_t max_code = int32_t(StatusCode::kUnavailable);
   const StatusCode status_code =
       (code < 0 || code > max_code) ? StatusCode::kInternal : StatusCode(code);
   return Status(status_code, message);
@@ -519,6 +539,13 @@ Status ReadFrame(int fd, std::vector<uint8_t>* payload, bool* clean_eof,
     return Status::DataLoss("torn frame: connection closed after header");
   }
   return Status::OK();
+}
+
+Status WaitSocketReady(int fd, bool for_write, int timeout_ms) {
+  const IoClock::time_point deadline =
+      timeout_ms > 0 ? IoClock::now() + std::chrono::milliseconds(timeout_ms)
+                     : kNoDeadline;
+  return WaitReady(fd, for_write ? POLLOUT : POLLIN, deadline);
 }
 
 }  // namespace priview::serve

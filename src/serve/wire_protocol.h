@@ -21,6 +21,9 @@
 //   kStats             (empty)
 //   kList              (empty)
 //   kMetrics           (empty) — Prometheus text exposition via kText
+//   kHealth            (empty) — readiness/liveness probe via kText; the
+//                      server answers this without touching the broker, so
+//                      it works while draining or before recovery finishes
 //
 //   response           payload after the type byte
 //   ----------------   -------------------------------------------------
@@ -66,6 +69,7 @@ enum class MessageType : uint8_t {
   kStats = 6,
   kList = 7,
   kMetrics = 8,
+  kHealth = 9,
   // Responses.
   kTable = 64,
   kValue = 65,
@@ -112,6 +116,13 @@ struct WireResponse {
   Status ToStatus() const;
 };
 
+/// True for request types that are safe to retry after an ambiguous
+/// transport failure (the request may or may not have executed). Every
+/// current request is a read against an immutable release, so all are
+/// idempotent today — but retry machinery must consult this rather than
+/// assume, so a future mutating request type fails closed.
+bool IsIdempotentRequest(MessageType type);
+
 std::vector<uint8_t> EncodeRequest(const WireRequest& request);
 StatusOr<WireRequest> DecodeRequest(const std::vector<uint8_t>& payload);
 
@@ -149,6 +160,12 @@ Status WriteFrame(int fd, const std::vector<uint8_t>& payload,
 /// parks in the kernel, outside poll's reach).
 Status ReadFrame(int fd, std::vector<uint8_t>* payload, bool* clean_eof,
                  int timeout_ms = kDefaultIoTimeoutMs);
+
+/// Waits until `fd` is readable (`for_write` false) or writable (true), or
+/// `timeout_ms` elapses (<= 0 waits forever). DeadlineExceeded on timeout;
+/// IOError when poll reports POLLERR/POLLNVAL. The building block behind
+/// the frame calls, exported for the client's non-blocking connect.
+Status WaitSocketReady(int fd, bool for_write, int timeout_ms);
 
 }  // namespace priview::serve
 

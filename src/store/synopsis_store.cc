@@ -1,0 +1,517 @@
+#include "store/synopsis_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/failpoint.h"
+#include "obs/metrics_registry.h"
+
+namespace priview::store {
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kQuarantineDir[] = "quarantine";
+constexpr char kManifestHeader[] = "priview-manifest v1";
+
+uint64_t Fnv1a64(const std::string& data) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string HexU64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool ValidName(const std::string& name) {
+  if (name.empty() || name == "." || name == "..") return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// fsync with the "store/fsync-fail" failpoint in front: an armed point
+/// simulates the kernel refusing to make the bytes durable.
+Status SyncFd(int fd, const std::string& what) {
+  if (PRIVIEW_FAILPOINT("store/fsync-fail")) {
+    return Status::IOError("injected: store/fsync-fail (" + what + ")");
+  }
+  if (::fsync(fd) != 0) {
+    return Status::IOError(ErrnoMessage("fsync " + what));
+  }
+  return Status::OK();
+}
+
+Status WriteAllFd(int fd, const char* data, size_t len,
+                  const std::string& what) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("write " + what));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Durability of a rename is the durability of the directory entry: fsync
+/// the directory itself after creating/renaming files in it.
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open dir " + dir));
+  const Status st = SyncFd(fd, "dir " + dir);
+  ::close(fd);
+  return st;
+}
+
+/// The checksummed payload of a record line (everything before " sum=").
+std::string RecordBody(const ManifestRecord& r) {
+  std::ostringstream ss;
+  ss << r.seq << ' '
+     << (r.kind == ManifestRecord::Kind::kInstall ? "install" : "retire")
+     << ' ' << r.name << ' ' << r.file;
+  return ss.str();
+}
+
+std::string RecordLine(const ManifestRecord& r) {
+  const std::string body = RecordBody(r);
+  return body + " sum=" + HexU64(Fnv1a64(body)) + "\n";
+}
+
+/// Parses one complete manifest line back into a record, verifying its
+/// checksum. Returns false on any damage (the caller truncates from here).
+bool ParseRecordLine(const std::string& line, ManifestRecord* out) {
+  const size_t sum_pos = line.rfind(" sum=");
+  if (sum_pos == std::string::npos) return false;
+  const std::string body = line.substr(0, sum_pos);
+  const std::string sum_hex = line.substr(sum_pos + 5);
+  if (sum_hex.size() != 16) return false;
+  if (HexU64(Fnv1a64(body)) != sum_hex) return false;
+  std::istringstream ss(body);
+  std::string kind;
+  if (!(ss >> out->seq >> kind >> out->name >> out->file)) return false;
+  std::string extra;
+  if (ss >> extra) return false;
+  if (kind == "install") {
+    out->kind = ManifestRecord::Kind::kInstall;
+  } else if (kind == "retire") {
+    out->kind = ManifestRecord::Kind::kRetire;
+  } else {
+    return false;
+  }
+  return ValidName(out->name) && ValidName(out->file);
+}
+
+obs::Counter* InstallsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "priview_store_installs_total", {},
+      "Durable synopsis installs journaled by the store");
+  return c;
+}
+
+obs::Counter* RetiresCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "priview_store_retires_total", {},
+      "Synopsis retirements journaled by the store");
+  return c;
+}
+
+obs::Counter* RecoveriesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "priview_store_recoveries_total", {},
+      "Completed startup recovery scans");
+  return c;
+}
+
+obs::Counter* QuarantinedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "priview_store_quarantined_total", {},
+      "Files moved into quarantine/ by recovery scans");
+  return c;
+}
+
+obs::Histogram* InstallLatency() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "priview_store_install_us", {},
+      "Durable install latency (serialize + fsync + rename + journal), us");
+  return h;
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::ostringstream ss;
+  ss << "recovery: replayed=" << records_replayed
+     << " installed=" << loads.size() << " quarantined=" << quarantined.size()
+     << " superseded_removed=" << superseded_removed.size()
+     << " last_durable_seq=" << last_durable_seq
+     << (manifest_truncated ? " manifest_truncated" : "");
+  for (const auto& q : quarantined) ss << "\n  quarantine: " << q;
+  for (const auto& w : warnings) ss << "\n  warning: " << w;
+  return ss.str();
+}
+
+SynopsisStore::SynopsisStore(const StoreOptions& options) : options_(options) {}
+
+std::string SynopsisStore::PathOf(const std::string& file) const {
+  return options_.dir + "/" + file;
+}
+
+Status SynopsisStore::Open() {
+  if (options_.dir.empty()) {
+    return Status::InvalidArgument("SynopsisStore: empty store dir");
+  }
+  if (::mkdir(options_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError(ErrnoMessage("mkdir " + options_.dir));
+  }
+  const std::string qdir = options_.dir + "/" + kQuarantineDir;
+  if (::mkdir(qdir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError(ErrnoMessage("mkdir " + qdir));
+  }
+
+  current_.clear();
+  journaled_files_.clear();
+  next_seq_ = 1;
+  last_durable_seq_ = 0;
+  records_replayed_ = 0;
+  manifest_was_truncated_ = false;
+  pending_warnings_.clear();
+
+  const std::string manifest_path = PathOf(kManifestName);
+  std::string contents;
+  {
+    std::ifstream in(manifest_path, std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      contents = ss.str();
+    }
+  }
+
+  bool need_fresh_manifest = contents.empty();
+  if (!contents.empty()) {
+    // Header must be exactly the expected line; anything else means the
+    // journal head itself is damaged. Preserve the evidence in quarantine
+    // and start a fresh journal — recovery will then quarantine every
+    // file as unjournaled rather than trusting a corrupt history.
+    const size_t nl = contents.find('\n');
+    if (nl == std::string::npos || contents.substr(0, nl) != kManifestHeader) {
+      const std::string dst = qdir + "/MANIFEST.corrupt";
+      ::unlink(dst.c_str());
+      if (::rename(manifest_path.c_str(), dst.c_str()) != 0) {
+        return Status::IOError(
+            ErrnoMessage("quarantine corrupt manifest " + manifest_path));
+      }
+      pending_warnings_.push_back(
+          "manifest header damaged; journal moved to quarantine/ and reset");
+      need_fresh_manifest = true;
+    } else {
+      // Replay: trust records only up to the first torn or corrupt line.
+      size_t good_len = nl + 1;
+      size_t pos = nl + 1;
+      bool torn = false;
+      while (pos < contents.size()) {
+        const size_t line_end = contents.find('\n', pos);
+        if (line_end == std::string::npos) {
+          torn = true;  // no trailing newline: the append was torn
+          break;
+        }
+        ManifestRecord record;
+        if (!ParseRecordLine(contents.substr(pos, line_end - pos), &record)) {
+          torn = true;
+          break;
+        }
+        ++records_replayed_;
+        if (record.seq > last_durable_seq_) last_durable_seq_ = record.seq;
+        journaled_files_[record.file] = true;
+        if (record.kind == ManifestRecord::Kind::kInstall) {
+          current_[record.name] = record.file;
+        } else {
+          current_.erase(record.name);
+        }
+        pos = line_end + 1;
+        good_len = pos;
+      }
+      if (torn) {
+        manifest_was_truncated_ = true;
+        const int fd = ::open(manifest_path.c_str(), O_WRONLY);
+        if (fd < 0 || ::ftruncate(fd, static_cast<off_t>(good_len)) != 0) {
+          if (fd >= 0) ::close(fd);
+          return Status::IOError(
+              ErrnoMessage("truncate torn manifest tail " + manifest_path));
+        }
+        const Status st = SyncFd(fd, "manifest " + manifest_path);
+        ::close(fd);
+        if (!st.ok()) return st;
+      }
+    }
+  }
+
+  if (need_fresh_manifest) {
+    const int fd = ::open(manifest_path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("create manifest " + manifest_path));
+    }
+    const std::string header = std::string(kManifestHeader) + "\n";
+    Status st = WriteAllFd(fd, header.data(), header.size(), "manifest");
+    if (st.ok()) st = SyncFd(fd, "manifest " + manifest_path);
+    ::close(fd);
+    if (!st.ok()) return st;
+    st = SyncDir(options_.dir);
+    if (!st.ok()) return st;
+  }
+
+  next_seq_ = last_durable_seq_ + 1;
+  open_ = true;
+  return Status::OK();
+}
+
+Status SynopsisStore::AppendRecord(const ManifestRecord& record) {
+  const std::string manifest_path = PathOf(kManifestName);
+  const int fd = ::open(manifest_path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("open manifest " + manifest_path));
+  }
+  const std::string line = RecordLine(record);
+  if (PRIVIEW_FAILPOINT("store/manifest-torn-tail")) {
+    // Simulate a crash mid-append: only a prefix of the record reaches the
+    // journal. Replay must truncate it, not trust it.
+    (void)WriteAllFd(fd, line.data(), line.size() / 2, "manifest");
+    ::close(fd);
+    return Status::IOError("injected: store/manifest-torn-tail");
+  }
+  Status st = WriteAllFd(fd, line.data(), line.size(), "manifest");
+  if (st.ok()) st = SyncFd(fd, "manifest " + manifest_path);
+  ::close(fd);
+  return st;
+}
+
+Status SynopsisStore::Install(const std::string& name,
+                              const PriViewSynopsis& synopsis) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  if (!ValidName(name)) {
+    return Status::InvalidArgument("bad synopsis name: '" + name +
+                                   "' (want [A-Za-z0-9_.-]+)");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::ostringstream payload;
+  Status st = WriteSynopsis(synopsis, &payload);
+  if (!st.ok()) return st;
+  const std::string bytes = payload.str();
+
+  // Fresh seq per attempt: a failed attempt's debris carries a seq the
+  // journal never acknowledged, so recovery quarantines it instead of a
+  // later install silently renaming over it.
+  const uint64_t seq = next_seq_++;
+  const std::string file = name + "." + std::to_string(seq) + ".pv";
+  const std::string tmp_path = PathOf(file) + ".tmp";
+  const std::string final_path = PathOf(file);
+
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open " + tmp_path));
+  st = WriteAllFd(fd, bytes.data(), bytes.size(), tmp_path);
+  if (st.ok()) st = SyncFd(fd, tmp_path);
+  ::close(fd);
+  if (!st.ok()) {
+    ::unlink(tmp_path.c_str());
+    return st;
+  }
+
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    const Status err = Status::IOError(
+        ErrnoMessage("rename " + tmp_path + " -> " + final_path));
+    ::unlink(tmp_path.c_str());
+    return err;
+  }
+  st = SyncDir(options_.dir);
+  if (!st.ok()) return st;
+
+  if (PRIVIEW_FAILPOINT("store/torn-rename")) {
+    // The crash window between the durable rename and the journal append:
+    // the file exists on disk but no manifest record acknowledges it.
+    return Status::IOError(
+        "injected: store/torn-rename (file durable, record not appended)");
+  }
+
+  ManifestRecord record;
+  record.seq = seq;
+  record.kind = ManifestRecord::Kind::kInstall;
+  record.name = name;
+  record.file = file;
+  st = AppendRecord(record);
+  if (!st.ok()) return st;
+
+  auto prev = current_.find(name);
+  if (prev != current_.end() && prev->second != file) {
+    // Superseded release: journaled garbage now, safe to reclaim.
+    ::unlink(PathOf(prev->second).c_str());
+  }
+  current_[name] = file;
+  journaled_files_[file] = true;
+  last_durable_seq_ = seq;
+
+  InstallsCounter()->Increment();
+  InstallLatency()->Observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  return Status::OK();
+}
+
+Status SynopsisStore::Retire(const std::string& name) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  auto it = current_.find(name);
+  if (it == current_.end()) {
+    return Status::NotFound("no current synopsis named '" + name + "'");
+  }
+  ManifestRecord record;
+  record.seq = next_seq_++;
+  record.kind = ManifestRecord::Kind::kRetire;
+  record.name = name;
+  record.file = it->second;
+  const Status st = AppendRecord(record);
+  if (!st.ok()) return st;
+  ::unlink(PathOf(it->second).c_str());
+  current_.erase(it);
+  last_durable_seq_ = record.seq;
+  RetiresCounter()->Increment();
+  return Status::OK();
+}
+
+Status SynopsisStore::QuarantineFile(const std::string& file,
+                                     const std::string& reason,
+                                     RecoveryReport* report) {
+  const std::string src = PathOf(file);
+  const std::string dst =
+      options_.dir + "/" + kQuarantineDir + "/" + file;
+  ::unlink(dst.c_str());
+  if (::rename(src.c_str(), dst.c_str()) != 0) {
+    report->warnings.push_back(
+        ErrnoMessage("quarantine of " + file + " failed"));
+    return Status::IOError("quarantine failed: " + file);
+  }
+  report->quarantined.push_back(file + " (" + reason + ")");
+  return Status::OK();
+}
+
+StatusOr<RecoveryReport> SynopsisStore::Recover(
+    serve::SynopsisRegistry* registry,
+    const QueryEngineOptions& engine_options) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  RecoveryReport report;
+  report.records_replayed = records_replayed_;
+  report.manifest_truncated = manifest_was_truncated_;
+  report.last_durable_seq = last_durable_seq_;
+  report.warnings = pending_warnings_;
+
+  // Phase 1: load everything the journal says is current. Only fully
+  // intact artifacts reach the registry — a damaged current file is
+  // quarantined, never served at reduced fidelity without an operator in
+  // the loop (a durable install was whole by construction, so damage here
+  // means bit rot or tampering, not a routine partial write).
+  for (auto it = current_.begin(); it != current_.end();) {
+    const std::string& name = it->first;
+    const std::string& file = it->second;
+    LoadReport load_report;
+    ReadOptions read_options;
+    read_options.recover = true;
+    StatusOr<PriViewSynopsis> loaded =
+        LoadSynopsis(PathOf(file), read_options, &load_report);
+    bool keep = false;
+    if (!loaded.ok()) {
+      (void)QuarantineFile(file, "unloadable: " + loaded.status().message(),
+                           &report);
+    } else if (!load_report.fully_intact()) {
+      (void)QuarantineFile(file, "not fully intact: " + load_report.ToString(),
+                           &report);
+    } else if (registry != nullptr) {
+      const Status st = registry->Install(name, std::move(loaded).value(),
+                                          engine_options, load_report);
+      if (st.ok()) {
+        report.loads[name] = load_report;
+        keep = true;
+      } else {
+        report.warnings.push_back("registry install of '" + name +
+                                  "' failed: " + st.message());
+        keep = true;  // the artifact itself is healthy; leave it in place
+      }
+    } else {
+      report.loads[name] = load_report;
+      keep = true;
+    }
+    it = keep ? std::next(it) : current_.erase(it);
+  }
+
+  // Phase 2: reconcile the directory against the journal. Temp files are
+  // torn installs; journaled-but-superseded files are reclaimable garbage;
+  // anything the journal never mentioned is quarantined evidence (e.g. the
+  // rename-then-crash window before the manifest append).
+  std::map<std::string, bool> live;
+  for (const auto& [name, file] : current_) live[file] = true;
+  DIR* dir = ::opendir(options_.dir.c_str());
+  if (dir == nullptr) {
+    return Status::IOError(ErrnoMessage("opendir " + options_.dir));
+  }
+  std::vector<std::string> entries;
+  while (struct dirent* ent = ::readdir(dir)) {
+    entries.emplace_back(ent->d_name);
+  }
+  ::closedir(dir);
+  for (const std::string& entry : entries) {
+    if (entry == "." || entry == ".." || entry == kManifestName ||
+        entry == kQuarantineDir) {
+      continue;
+    }
+    if (live.count(entry) > 0) continue;
+    if (entry.size() > 4 && entry.rfind(".tmp") == entry.size() - 4) {
+      (void)QuarantineFile(entry, "torn install (temp file)", &report);
+    } else if (journaled_files_.count(entry) > 0) {
+      if (::unlink(PathOf(entry).c_str()) == 0) {
+        report.superseded_removed.push_back(entry);
+      } else {
+        report.warnings.push_back(
+            ErrnoMessage("unlink superseded " + entry + " failed"));
+      }
+    } else {
+      (void)QuarantineFile(entry, "unjournaled orphan", &report);
+    }
+  }
+
+  RecoveriesCounter()->Increment();
+  QuarantinedCounter()->Increment(report.quarantined.size());
+  pending_warnings_.clear();
+  return report;
+}
+
+std::map<std::string, std::string> SynopsisStore::Current() const {
+  return current_;
+}
+
+}  // namespace priview::store

@@ -1,0 +1,142 @@
+// SynopsisStore: the crash-safe home of published synopses. Once the ε
+// budget is spent, the synopsis file *is* the private release — a crash
+// that tears it mid-write, or a restart that loses it, is unrecoverable
+// without burning fresh budget. The store makes installs durable and
+// restarts lossless:
+//
+//   Install (atomic + durable):
+//     1. serialize to `<name>.<seq>.pv.tmp` in the store dir
+//     2. fsync the temp file          (failpoint "store/fsync-fail")
+//     3. rename onto `<name>.<seq>.pv`
+//     4. fsync the directory          (same failpoint; the rename itself
+//                                      is not durable until the dir is)
+//     5. append an install record to MANIFEST and fsync it
+//        (failpoints "store/torn-rename" fires in the 4→5 window,
+//         "store/manifest-torn-tail" tears the append mid-record)
+//   A crash at ANY point leaves either the previous durable state (steps
+//   1-4: the manifest never mentions the new file) or the new state
+//   (step 5 complete). Nothing in between is ever served.
+//
+//   MANIFEST is an append-only text journal: a header line, then one
+//   record per install/retire, each carrying its own FNV-1a-64 checksum.
+//   Replay trusts a record only if its checksum verifies AND every record
+//   before it was intact — a torn or corrupt tail is truncated (the
+//   records after a tear are unreachable by definition of append order).
+//
+//   Recover() is the startup scan: replay the manifest, load every
+//   current synopsis in checksum-recovery mode, install the fully intact
+//   ones into the SynopsisRegistry, and move everything suspicious —
+//   torn temp files, unjournaled orphans (the rename→append crash
+//   window), corrupt current files — into `quarantine/` for the operator
+//   instead of deleting or serving it. Superseded files (journaled, then
+//   replaced by a later install) are deleted: the journal says they are
+//   garbage, not evidence.
+#ifndef PRIVIEW_STORE_SYNOPSIS_STORE_H_
+#define PRIVIEW_STORE_SYNOPSIS_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query_engine.h"
+#include "core/serialization.h"
+#include "core/synopsis.h"
+#include "serve/synopsis_registry.h"
+
+namespace priview::store {
+
+struct StoreOptions {
+  /// Store root. Created (one level) if absent; `quarantine/` lives
+  /// inside it.
+  std::string dir;
+};
+
+/// One replayed manifest record.
+struct ManifestRecord {
+  uint64_t seq = 0;
+  enum class Kind { kInstall, kRetire } kind = Kind::kInstall;
+  std::string name;
+  std::string file;  // install: filename relative to the store dir
+};
+
+/// What a recovery scan found and did. `loads` carries the per-synopsis
+/// LoadReport for everything that was (re)installed; `quarantined` names
+/// every file moved aside, with the reason.
+struct RecoveryReport {
+  size_t records_replayed = 0;
+  /// Bytes of torn/corrupt manifest tail truncated at open, if any.
+  bool manifest_truncated = false;
+  std::vector<std::string> quarantined;  // "file (reason)"
+  std::vector<std::string> superseded_removed;
+  std::vector<std::string> warnings;
+  /// name -> LoadReport for every synopsis installed into the registry.
+  std::map<std::string, LoadReport> loads;
+  uint64_t last_durable_seq = 0;
+
+  std::string ToString() const;
+};
+
+class SynopsisStore {
+ public:
+  explicit SynopsisStore(const StoreOptions& options);
+  SynopsisStore(const SynopsisStore&) = delete;
+  SynopsisStore& operator=(const SynopsisStore&) = delete;
+
+  /// Creates the store dir + quarantine/, replays MANIFEST (creating it
+  /// if absent), and truncates a torn/corrupt tail so the journal is
+  /// whole before anything is appended to it. Must be called before any
+  /// other method.
+  Status Open();
+
+  /// Atomic durable install of `synopsis` under `name` (see the file
+  /// comment for the step sequence). Name must be non-empty and use only
+  /// [A-Za-z0-9_.-]. On success the previous file for `name` (if any) is
+  /// best-effort unlinked; on any failure the previous durable state is
+  /// untouched.
+  Status Install(const std::string& name, const PriViewSynopsis& synopsis);
+
+  /// Journals the retirement of `name` and best-effort unlinks its file.
+  /// NotFound if the store has no current entry for it.
+  Status Retire(const std::string& name);
+
+  /// Startup recovery scan: reconcile the directory against the replayed
+  /// manifest, quarantine anything torn/corrupt/unjournaled, and install
+  /// every fully intact current synopsis into `registry`. Never partial:
+  /// a current file that is missing, unloadable, or not fully intact is
+  /// quarantined and NOT installed — the registry only ever sees complete
+  /// durable releases. Safe to call on an empty or freshly created store.
+  StatusOr<RecoveryReport> Recover(serve::SynopsisRegistry* registry,
+                                   const QueryEngineOptions& engine_options = {});
+
+  /// The current durable view per the journal: name -> filename.
+  std::map<std::string, std::string> Current() const;
+  const std::string& dir() const { return options_.dir; }
+  uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  Status AppendRecord(const ManifestRecord& record);
+  std::string PathOf(const std::string& file) const;
+  Status QuarantineFile(const std::string& file, const std::string& reason,
+                        RecoveryReport* report);
+
+  const StoreOptions options_;
+  bool open_ = false;
+  uint64_t next_seq_ = 1;
+  /// name -> current filename (journal replay state).
+  std::map<std::string, std::string> current_;
+  /// Every filename any replayed record ever mentioned — distinguishes
+  /// "superseded garbage" (delete) from "unjournaled orphan" (quarantine).
+  std::map<std::string, bool> journaled_files_;
+  bool manifest_was_truncated_ = false;
+  uint64_t last_durable_seq_ = 0;
+  size_t records_replayed_ = 0;
+  /// Open-time observations (e.g. a quarantined corrupt manifest header)
+  /// surfaced through the next Recover()'s report.
+  std::vector<std::string> pending_warnings_;
+};
+
+}  // namespace priview::store
+
+#endif  // PRIVIEW_STORE_SYNOPSIS_STORE_H_

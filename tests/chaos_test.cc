@@ -26,6 +26,7 @@
 #include "serve/request_broker.h"
 #include "serve/synopsis_registry.h"
 #include "serve/wire_protocol.h"
+#include "store/synopsis_store.h"
 
 namespace priview {
 namespace {
@@ -198,6 +199,70 @@ void RunServeUnderFault(const std::string& fault) {
   ::close(fds[1]);
 }
 
+// The durable store under an injected fault: open (manifest bootstrap),
+// install (temp write → fsync → rename → journal append), retire, and a
+// fresh-process recovery scan. Exercises the store/* failpoints
+// ("store/fsync-fail" on every durability sync, "store/torn-rename" in
+// the rename→journal window, "store/manifest-torn-tail" on the journal
+// append). The contract: a failed call leaves the previous durable state
+// recoverable — reopening the directory must always succeed, and Recover
+// must never install a synopsis that was not durably journaled.
+void RunStoreUnderFault(const std::string& fault) {
+  static int run = 0;
+  const std::string dir =
+      ::testing::TempDir() + "/chaos_store_" + std::to_string(run++);
+
+  Rng rng(77);
+  Dataset data = MakeMsnbcLike(&rng, 1000);
+  PriViewOptions options;
+  options.add_noise = false;
+  PriViewSynopsis synopsis = PriViewSynopsis::Build(
+      data, {AttrSet::FromIndices({0, 1, 2})}, options, &rng);
+
+  store::StoreOptions store_options;
+  store_options.dir = dir;
+  store::SynopsisStore store(store_options);
+  const Status opened = store.Open();
+  if (!opened.ok()) {
+    EXPECT_FALSE(opened.message().empty())
+        << fault << ": store open failed without a message";
+    return;
+  }
+  const Status installed = store.Install("chaos", synopsis);
+  if (!installed.ok()) {
+    EXPECT_FALSE(installed.message().empty())
+        << fault << ": store install failed without a message";
+  }
+
+  // A fresh handle on the same directory models a process restart: the
+  // manifest replay plus recovery scan must degrade to a Status, never
+  // resurrect torn state into the registry.
+  store::SynopsisStore reopened(store_options);
+  const Status reopen = reopened.Open();
+  if (!reopen.ok()) {
+    EXPECT_FALSE(reopen.message().empty())
+        << fault << ": store reopen failed without a message";
+    return;
+  }
+  serve::SynopsisRegistry registry;
+  StatusOr<store::RecoveryReport> recovered = reopened.Recover(&registry);
+  if (recovered.ok()) {
+    if (installed.ok() && reopened.Current().count("chaos") == 0) {
+      // A read-side fault still armed at recovery (e.g. serialize/*) may
+      // make the durable release unloadable — then it must land in
+      // quarantine or a warning, never vanish silently.
+      EXPECT_FALSE(recovered.value().quarantined.empty() &&
+                   recovered.value().warnings.empty())
+          << fault << ": durable install vanished without a trace";
+    }
+    EXPECT_LE(registry.size(), 1u);
+    EXPECT_FALSE(recovered.value().ToString().empty());
+  } else {
+    EXPECT_FALSE(recovered.status().message().empty())
+        << fault << ": recovery failed without a message";
+  }
+}
+
 class ChaosTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -224,6 +289,7 @@ TEST_F(ChaosTest, EveryKnownFailpointDegradesGracefully) {
     RunLifecycleUnderFault(fault);
     RunSolverStackUnderFault(fault);
     RunServeUnderFault(fault);
+    RunStoreUnderFault(fault);
   }
 }
 
@@ -238,6 +304,7 @@ TEST_F(ChaosTest, EveryKnownFailpointFiresSomewhereInTheLifecycle) {
     RunLifecycleUnderFault(fault);
     RunSolverStackUnderFault(fault);
     RunServeUnderFault(fault);
+    RunStoreUnderFault(fault);
     EXPECT_GT(failpoint::HitCount(fault), 0u) << fault << " never evaluated";
   }
 }

@@ -294,9 +294,11 @@ TEST_F(RequestBrokerTest, CacheOnlyTierServesHitsAndShedsMisses) {
 TEST_F(RequestBrokerTest, StopFailsStagedWorkAndRefusesNewWork) {
   RequestBroker broker(&registry_, &metrics_);
   std::thread asker([&] {
+    // Admitted before the stop: the failure is the service's, so the code
+    // must be the retryable one — a client may redial a restarted server.
     StatusOr<ServedAnswer> answer =
         broker.Ask("main", AttrSet::FromIndices({0}));
-    EXPECT_EQ(answer.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(answer.status().code(), StatusCode::kUnavailable);
   });
   while (broker.QueueDepth() < 1) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));

@@ -1,0 +1,449 @@
+// Lifecycle suite for the resilient serving stack: broker graceful drain
+// (admitted work finishes, new work is rejected retryably), configurable
+// stop grace, health probes over the wire, bounded non-blocking connect,
+// SIGTERM-triggered drain, and the client surviving a full server restart
+// backed by the durable store — with retries, zero failures; and the one
+// failure class that must NEVER be retried (ResourceExhausted) proven
+// unretried via failpoint hit counts.
+#include "serve/server.h"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "obs/metrics_registry.h"
+#include "serve/client.h"
+#include "serve/request_broker.h"
+#include "store/synopsis_store.h"
+#include "table/attr_set.h"
+
+namespace priview::serve {
+namespace {
+
+using std::chrono::milliseconds;
+using Clock = std::chrono::steady_clock;
+
+PriViewSynopsis MakeSynopsis(uint64_t seed) {
+  Rng rng(seed);
+  Dataset data = MakeMsnbcLike(&rng, 3000);
+  PriViewOptions options;
+  options.add_noise = false;
+  return PriViewSynopsis::Build(
+      data,
+      {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4}),
+       AttrSet::FromIndices({4, 5, 6})},
+      options, &rng);
+}
+
+std::string UniqueSocketPath() {
+  static std::atomic<int> counter{0};
+  return ::testing::TempDir() + "/priview_lc_" + std::to_string(::getpid()) +
+         "_" + std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// A wide-universe synopsis (d = 32) for the drain tests: 10-attribute
+/// targets against it are 1024-cell uncovered reconstructions, expensive
+/// enough that a staged batch holds the dispatcher busy for a measurable
+/// window.
+PriViewSynopsis MakeWideSynopsis(uint64_t seed) {
+  Rng rng(seed);
+  Dataset data = MakeKosarakLike(&rng, 2000);
+  PriViewOptions options;
+  options.add_noise = false;
+  return PriViewSynopsis::Build(
+      data,
+      {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4}),
+       AttrSet::FromIndices({4, 5, 6})},
+      options, &rng);
+}
+
+/// Distinct 16-attribute subsets of {0..20}, up to `limit` — uncovered
+/// 65536-cell targets, so each staged request costs the dispatcher a real
+/// solve and the drain window stays open long enough to probe.
+std::vector<AttrSet> DistinctTargets(size_t limit) {
+  std::vector<AttrSet> targets;
+  for (uint64_t mask = 0; mask < (1u << 21) && targets.size() < limit;
+       ++mask) {
+    if (__builtin_popcountll(mask) != 16) continue;
+    std::vector<int> attrs;
+    for (int a = 0; a < 21; ++a) {
+      if (mask & (uint64_t{1} << a)) attrs.push_back(a);
+    }
+    targets.push_back(AttrSet::FromIndices(attrs));
+  }
+  return targets;
+}
+
+class ServeLifecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Inline parallel regions: deterministic single-threaded solves make
+    // the drain window wide enough to probe, and keep thread counts sane
+    // under tsan.
+    parallel::SetThreadCount(1);
+  }
+  void TearDown() override {
+    parallel::SetThreadCount(0);
+    failpoint::DisarmAll();
+  }
+};
+
+TEST_F(ServeLifecycleTest, DrainFinishesAdmittedWorkAndRejectsNewWork) {
+  SynopsisRegistry registry;
+  ServerMetrics metrics;
+  ASSERT_TRUE(registry.Install("s", MakeWideSynopsis(3)).ok());
+
+  BrokerOptions options;
+  options.coalesce = false;          // every staged request is a real solve
+  options.stop_grace = milliseconds{60'000};  // the drain must not abandon
+  RequestBroker broker(&registry, &metrics, options);
+
+  // Stage a deterministic batch: requests submitted before Start() queue
+  // up, so every one of them is admitted before the drain begins.
+  const std::vector<AttrSet> targets = DistinctTargets(64);
+  std::vector<Status> outcomes(targets.size());
+  std::vector<std::thread> askers;
+  askers.reserve(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    askers.emplace_back([&, i] {
+      outcomes[i] =
+          broker.Ask("s", targets[i], Clock::now() + milliseconds{60'000})
+              .status();
+    });
+  }
+  while (broker.QueueDepth() < targets.size()) {
+    std::this_thread::yield();
+  }
+
+  // A probe that fires just after the drain flips admission off: the whole
+  // staged batch is mid-dispatch, so the rejection must be the *retryable*
+  // drain code, not a hard stop.
+  std::atomic<bool> drain_started{false};
+  std::thread prober([&] {
+    while (!drain_started.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(milliseconds{5});
+    const Status rejected =
+        broker.Ask("s", AttrSet::FromIndices({0}), Clock::now() +
+                                                       milliseconds{1000})
+            .status();
+    EXPECT_EQ(rejected.code(), StatusCode::kUnavailable)
+        << rejected.ToString();
+  });
+
+  broker.Start();
+  drain_started.store(true, std::memory_order_release);
+  const size_t abandoned = broker.Drain();
+  for (std::thread& t : askers) t.join();
+  prober.join();
+
+  // The regression under test: work admitted before the drain completes —
+  // none of it abandoned, every caller answered.
+  EXPECT_EQ(abandoned, 0u);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].ok())
+        << "staged request " << i << ": " << outcomes[i].ToString();
+  }
+  // After the drain the broker is stopped for good.
+  EXPECT_FALSE(broker.accepting());
+  EXPECT_EQ(broker.Ask("s", AttrSet::FromIndices({0})).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeLifecycleTest, ExpiredGraceReportsAbandonedWork) {
+  SynopsisRegistry registry;
+  ServerMetrics metrics;
+  ASSERT_TRUE(registry.Install("s", MakeWideSynopsis(3)).ok());
+
+  BrokerOptions options;
+  options.coalesce = false;
+  options.stop_grace = milliseconds{123};
+  RequestBroker broker(&registry, &metrics, options);
+  EXPECT_EQ(broker.options().stop_grace, milliseconds{123});
+
+  const std::vector<AttrSet> targets = DistinctTargets(64);
+  std::vector<std::thread> askers;
+  askers.reserve(targets.size());
+  for (const AttrSet& target : targets) {
+    askers.emplace_back([&broker, target] {
+      (void)broker.Ask("s", target, Clock::now() + milliseconds{60'000});
+    });
+  }
+  while (broker.QueueDepth() < targets.size()) {
+    std::this_thread::yield();
+  }
+  broker.Start();
+  // A 1ms grace cannot cover 64 sequential solves: the drain must give up
+  // and report how much it left behind instead of waiting forever.
+  const size_t abandoned = broker.Drain(milliseconds{1});
+  EXPECT_GT(abandoned, 0u);
+  for (std::thread& t : askers) t.join();
+}
+
+TEST_F(ServeLifecycleTest, HealthProbeReflectsReadiness) {
+  const std::string socket_path = UniqueSocketPath();
+  ServerOptions options;
+  options.socket_path = socket_path;
+  PriViewServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Empty registry: live (the probe answers) but not ready.
+  StatusOr<PriViewClient> client = PriViewClient::Connect(socket_path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  StatusOr<HealthReport> health = client.value().Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_FALSE(health.value().ready);
+  EXPECT_TRUE(health.value().accepting);
+  EXPECT_FALSE(health.value().draining);
+  EXPECT_TRUE(health.value().store_recovered);
+  EXPECT_EQ(health.value().synopses, 0u);
+  EXPECT_NE(health.value().raw.find("ready=0"), std::string::npos);
+
+  // Hosting a synopsis flips readiness.
+  ASSERT_TRUE(server.registry().Install("s", MakeSynopsis(3)).ok());
+  health = client.value().Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_TRUE(health.value().ready);
+  EXPECT_EQ(health.value().synopses, 1u);
+
+  // A failed store recovery gates readiness even with synopses hosted.
+  server.SetStoreRecovered(false);
+  health = client.value().Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_FALSE(health.value().ready);
+  EXPECT_FALSE(health.value().store_recovered);
+  server.SetStoreRecovered(true);
+  EXPECT_TRUE(server.Ready());
+  server.Stop();
+}
+
+TEST_F(ServeLifecycleTest, ConnectIsBoundedAndClassifiedUnavailable) {
+  // Nothing listening: the bounded non-blocking connect must come back
+  // quickly with the retryable code, not park the thread in connect(2).
+  ClientOptions options;
+  options.socket_path = ::testing::TempDir() + "/priview_nobody_home.sock";
+  options.connect_timeout_ms = 2000;
+  const auto t0 = Clock::now();
+  StatusOr<PriViewClient> client = PriViewClient::Connect(options);
+  EXPECT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable)
+      << client.status().ToString();
+  EXPECT_LT(Clock::now() - t0, milliseconds{5000});
+
+  // With retries on, the connect is retried and still classified; the
+  // attempts are visible in the global retry counter.
+  obs::Counter* retries = obs::MetricsRegistry::Global().GetCounter(
+      "priview_client_retries_total", {});
+  const uint64_t retries_before = retries->value();
+  options.enable_retries = true;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = milliseconds{1};
+  options.retry.max_backoff = milliseconds{2};
+  client = PriViewClient::Connect(options);
+  EXPECT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(retries->value(), retries_before + 2);
+}
+
+TEST_F(ServeLifecycleTest, LegacyClientStaysDisconnectedAfterClose) {
+  const std::string socket_path = UniqueSocketPath();
+  ServerOptions options;
+  options.socket_path = socket_path;
+  PriViewServer server(options);
+  ASSERT_TRUE(server.registry().Install("s", MakeSynopsis(3)).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  StatusOr<PriViewClient> client = PriViewClient::Connect(socket_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value().Marginal("s", AttrSet::FromIndices({0})).ok());
+  client.value().Close();
+  // No retries: the caller owns reconnection, so the request must fail
+  // fast and deterministically rather than silently redialing.
+  EXPECT_EQ(
+      client.value().Marginal("s", AttrSet::FromIndices({0})).status().code(),
+      StatusCode::kFailedPrecondition);
+  server.Stop();
+}
+
+TEST_F(ServeLifecycleTest, SigtermTriggersGracefulDrain) {
+  const std::string socket_path = UniqueSocketPath();
+  ServerOptions options;
+  options.socket_path = socket_path;
+  PriViewServer server(options);
+  ASSERT_TRUE(server.registry().Install("s", MakeSynopsis(3)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(InstallSigtermDrain(&server).ok());
+
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  // The handler only pokes the self-pipe; the watcher thread runs the
+  // drain. Wait for it to take effect.
+  const auto deadline = Clock::now() + milliseconds{10'000};
+  while (!server.draining() && Clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds{5});
+  }
+  EXPECT_TRUE(server.draining());
+  while (PriViewClient::Connect(socket_path).ok() &&
+         Clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds{5});
+  }
+  EXPECT_FALSE(PriViewClient::Connect(socket_path).ok());
+  EXPECT_FALSE(server.Ready());
+  ASSERT_TRUE(InstallSigtermDrain(nullptr).ok());
+  server.Stop();  // idempotent with the signal-driven drain
+}
+
+TEST_F(ServeLifecycleTest, ClientSurvivesServerRestartWithZeroFailures) {
+  // The full resilience story: a durable store feeds server 1; the server
+  // is hard-stopped under live client load and a fresh server recovers
+  // the same store onto the same socket; a retrying client sees zero
+  // failures across the restart.
+  const std::string socket_path = UniqueSocketPath();
+  const std::string store_dir =
+      ::testing::TempDir() + "/priview_lc_store_" + std::to_string(::getpid());
+  std::filesystem::remove_all(store_dir);
+  store::StoreOptions store_options;
+  store_options.dir = store_dir;
+  store::SynopsisStore store(store_options);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Install("release", MakeSynopsis(3)).ok());
+
+  ServerOptions server_options;
+  server_options.socket_path = socket_path;
+  auto server1 = std::make_unique<PriViewServer>(server_options);
+  {
+    StatusOr<store::RecoveryReport> recovered =
+        store.Recover(&server1->registry());
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    server1->SetStoreRecovered(true);
+  }
+  ASSERT_TRUE(server1->Start().ok());
+  ASSERT_TRUE(server1->Ready());
+
+  obs::Counter* reconnects = obs::MetricsRegistry::Global().GetCounter(
+      "priview_client_reconnects_total", {});
+  const uint64_t reconnects_before = reconnects->value();
+
+  ClientOptions client_options;
+  client_options.socket_path = socket_path;
+  client_options.connect_timeout_ms = 2000;
+  client_options.enable_retries = true;
+  client_options.retry.max_attempts = 20;
+  client_options.retry.initial_backoff = milliseconds{5};
+  client_options.retry.max_backoff = milliseconds{100};
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> successes{0};
+  std::atomic<int> failures{0};
+  std::mutex failure_mu;
+  std::string first_failure;
+  std::thread analyst([&] {
+    StatusOr<PriViewClient> client = PriViewClient::Connect(client_options);
+    if (!client.ok()) {
+      failures.fetch_add(1);
+      std::lock_guard<std::mutex> lock(failure_mu);
+      if (first_failure.empty()) first_failure = client.status().ToString();
+      return;
+    }
+    while (!stop.load(std::memory_order_relaxed)) {
+      StatusOr<ClientTable> answer = client.value().Marginal(
+          "release", AttrSet::FromIndices({0, 1}), /*deadline_ms=*/30'000);
+      if (answer.ok()) {
+        successes.fetch_add(1);
+      } else {
+        failures.fetch_add(1);
+        std::lock_guard<std::mutex> lock(failure_mu);
+        if (first_failure.empty()) {
+          first_failure = answer.status().ToString();
+        }
+      }
+    }
+  });
+
+  // Let traffic flow, then restart out from under it.
+  while (successes.load() < 5 && failures.load() == 0) {
+    std::this_thread::sleep_for(milliseconds{2});
+  }
+  server1->Stop();
+  auto server2 = std::make_unique<PriViewServer>(server_options);
+  {
+    StatusOr<store::RecoveryReport> recovered =
+        store.Recover(&server2->registry());
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    server2->SetStoreRecovered(true);
+  }
+  ASSERT_TRUE(server2->Start().ok());
+
+  // Traffic must resume against the recovered release.
+  const int resumed_target = successes.load() + 5;
+  const auto deadline = Clock::now() + milliseconds{30'000};
+  while (successes.load() < resumed_target && failures.load() == 0 &&
+         Clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds{5});
+  }
+  stop.store(true);
+  analyst.join();
+  server2->Stop();
+
+  EXPECT_EQ(failures.load(), 0)
+      << "retrying client saw failures across the restart; first: "
+      << first_failure;
+  EXPECT_GE(successes.load(), resumed_target);
+  // The survival was real: the client had to redial at least once.
+  EXPECT_GE(reconnects->value(), reconnects_before + 1);
+  std::filesystem::remove_all(store_dir);
+}
+
+TEST_F(ServeLifecycleTest, ResourceExhaustedIsNeverRetried) {
+#if !PRIVIEW_FAILPOINTS_ENABLED
+  GTEST_SKIP() << "failpoints compiled out (PRIVIEW_FAILPOINTS=OFF)";
+#endif
+  const std::string socket_path = UniqueSocketPath();
+  ServerOptions options;
+  options.socket_path = socket_path;
+  PriViewServer server(options);
+  ASSERT_TRUE(server.registry().Install("s", MakeSynopsis(3)).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions client_options;
+  client_options.socket_path = socket_path;
+  client_options.enable_retries = true;
+  client_options.retry.max_attempts = 8;
+  client_options.retry.initial_backoff = milliseconds{1};
+  StatusOr<PriViewClient> client = PriViewClient::Connect(client_options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  obs::Counter* retries = obs::MetricsRegistry::Global().GetCounter(
+      "priview_client_retries_total", {});
+  const uint64_t retries_before = retries->value();
+
+  // Every admission sheds: the server answers ResourceExhausted. Arming
+  // resets the hit counter, so the count below is exactly the number of
+  // admission attempts the client caused.
+  failpoint::ScopedFailpoint scoped("serve/queue-full", "always");
+  ASSERT_TRUE(scoped.status().ok());
+  const Status shed =
+      client.value().Marginal("s", AttrSet::FromIndices({0, 1})).status();
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted) << shed.ToString();
+  // One request, one admission, zero retries — an 8-attempt policy that
+  // retried the shed would show 8 hits here and amplify the overload.
+  EXPECT_EQ(failpoint::HitCount("serve/queue-full"), 1u);
+  EXPECT_EQ(retries->value(), retries_before);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace priview::serve

@@ -1,0 +1,294 @@
+// Crash matrix for the SynopsisStore: a forked child process suffers an
+// injected durability fault mid-install (each store/* failpoint in turn)
+// and dies without cleanup; the parent then reopens the directory like a
+// restarted process and asserts the recovery contract — the last durable
+// release is served, nothing partial is visible, and every piece of crash
+// debris is quarantined, not trusted. A manifest corruption fuzzer then
+// mutates the journal at random (deterministic seed) and asserts the
+// store never crashes, never serves an unverified release, and heals the
+// journal so the next open is clean.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/synopsis.h"
+#include "data/synthetic.h"
+#include "serve/synopsis_registry.h"
+#include "store/synopsis_store.h"
+#include "table/attr_set.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define PRIVIEW_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PRIVIEW_TSAN 1
+#endif
+#endif
+#ifndef PRIVIEW_TSAN
+#define PRIVIEW_TSAN 0
+#endif
+
+namespace priview::store {
+namespace {
+
+PriViewSynopsis MakeSynopsis(uint64_t seed) {
+  Rng rng(seed);
+  Dataset data = MakeMsnbcLike(&rng, 1200);
+  PriViewOptions options;
+  options.add_noise = false;
+  return PriViewSynopsis::Build(
+      data, {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4})},
+      options, &rng);
+}
+
+class StoreCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if PRIVIEW_TSAN
+    GTEST_SKIP() << "fork-based crash matrix is not tsan-compatible";
+#endif
+#if !PRIVIEW_FAILPOINTS_ENABLED
+    GTEST_SKIP() << "failpoints compiled out (PRIVIEW_FAILPOINTS=OFF)";
+#endif
+    // Keep the process single-threaded so fork() is safe: with the pool
+    // override at 1 every parallel region runs inline and no worker
+    // threads are ever spawned.
+    parallel::SetThreadCount(1);
+    // Parameterized test names carry '/'; flatten them into one path
+    // component.
+    std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& ch : name) {
+      if (ch == '/') ch = '_';
+    }
+    dir_ = ::testing::TempDir() + "/store_crash_" + name;
+    std::filesystem::remove_all(dir_);
+    options_.dir = dir_;
+  }
+  void TearDown() override {
+    parallel::SetThreadCount(0);
+    failpoint::DisarmAll();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  /// Installs the durable baseline "release" (seq 1) the crash must never
+  /// lose.
+  void InstallBaseline() {
+    SynopsisStore store(options_);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.Install("release", MakeSynopsis(1)).ok());
+    ASSERT_EQ(store.Current().at("release"), "release.1.pv");
+  }
+
+  /// Forks a child that arms `fault` ("always"), attempts a second install
+  /// of "release", and dies via _exit — no destructors, no cleanup, like a
+  /// crash at the fault's site. `expect_install_ok` is for the no-fault
+  /// control run (crash AFTER the durable install).
+  void CrashingChildInstall(const std::string& fault, bool expect_install_ok) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Child: exit codes, not gtest, report what happened.
+      if (!fault.empty() && !failpoint::Arm(fault, "always").ok()) _exit(9);
+      StoreOptions options;
+      options.dir = dir_;
+      SynopsisStore store(options);
+      if (!store.Open().ok()) _exit(10);
+      const Status installed = store.Install("release", MakeSynopsis(2));
+      if (installed.ok() != expect_install_ok) _exit(11);
+      _exit(0);
+    }
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus)) << "child did not exit cleanly";
+    ASSERT_EQ(WEXITSTATUS(wstatus), 0)
+        << "child reported unexpected install outcome under " << fault;
+  }
+
+  std::string dir_;
+  StoreOptions options_;
+};
+
+struct CrashCase {
+  const char* fault;
+  bool expect_quarantine;          // crash debris the journal never blessed
+  bool expect_manifest_truncated;  // torn journal tail healed at reopen
+};
+
+class StoreCrashMatrixTest : public StoreCrashTest,
+                             public ::testing::WithParamInterface<CrashCase> {};
+
+TEST_P(StoreCrashMatrixTest, CrashMidInstallKeepsLastDurableRelease) {
+  const CrashCase& c = GetParam();
+  InstallBaseline();
+  CrashingChildInstall(c.fault, /*expect_install_ok=*/false);
+
+  // The restarted process: replay the journal, reconcile the directory.
+  SynopsisStore recovered(options_);
+  ASSERT_TRUE(recovered.Open().ok());
+  serve::SynopsisRegistry registry;
+  StatusOr<RecoveryReport> report = recovered.Recover(&registry);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // The contract: the baseline survives, exactly, and nothing partial is
+  // visible anywhere a reader could trust it.
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(report.value().loads.count("release"), 1u);
+  EXPECT_EQ(recovered.Current().at("release"), "release.1.pv");
+  EXPECT_EQ(report.value().last_durable_seq, 1u);
+  EXPECT_EQ(report.value().manifest_truncated, c.expect_manifest_truncated);
+  if (c.expect_quarantine) {
+    ASSERT_FALSE(report.value().quarantined.empty())
+        << c.fault << " left debris that was not quarantined";
+  } else {
+    EXPECT_TRUE(report.value().quarantined.empty());
+  }
+  // Outside quarantine/, the directory holds exactly the journal and the
+  // durable release — no temp files, no orphans.
+  size_t visible = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name == "quarantine") continue;
+    EXPECT_TRUE(name == "MANIFEST" || name == "release.1.pv")
+        << c.fault << " left '" << name << "' visible after recovery";
+    ++visible;
+  }
+  EXPECT_EQ(visible, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStoreFailpoints, StoreCrashMatrixTest,
+    ::testing::Values(
+        CrashCase{"store/fsync-fail", false, false},
+        CrashCase{"store/torn-rename", true, false},
+        CrashCase{"store/manifest-torn-tail", true, true}),
+    [](const ::testing::TestParamInfo<CrashCase>& info) {
+      std::string name = info.param.fault;
+      for (char& ch : name) {
+        if (ch == '/' || ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST_F(StoreCrashTest, CrashAfterDurableInstallKeepsTheNewRelease) {
+  // Control run: the child completes the install (journal record appended
+  // and synced) and then dies. The new release, not the baseline, is the
+  // durable state.
+  InstallBaseline();
+  CrashingChildInstall("", /*expect_install_ok=*/true);
+
+  SynopsisStore recovered(options_);
+  ASSERT_TRUE(recovered.Open().ok());
+  serve::SynopsisRegistry registry;
+  StatusOr<RecoveryReport> report = recovered.Recover(&registry);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(recovered.Current().at("release"), "release.2.pv");
+  EXPECT_EQ(report.value().last_durable_seq, 2u);
+  EXPECT_TRUE(report.value().quarantined.empty());
+}
+
+TEST_F(StoreCrashTest, ManifestCorruptionFuzzer) {
+  // Random journal damage must never crash the store, never resurrect an
+  // unverifiable release, and must heal the journal so the next open
+  // replays clean. Deterministic seed: failures reproduce.
+  const PriViewSynopsis a = MakeSynopsis(11);
+  const PriViewSynopsis b = MakeSynopsis(12);
+  Rng fuzz(20260806);
+
+  for (int iter = 0; iter < 40; ++iter) {
+    SCOPED_TRACE("fuzz iteration " + std::to_string(iter));
+    std::filesystem::remove_all(dir_);
+    {
+      SynopsisStore store(options_);
+      ASSERT_TRUE(store.Open().ok());
+      ASSERT_TRUE(store.Install("alpha", a).ok());
+      ASSERT_TRUE(store.Install("beta", b).ok());
+      ASSERT_TRUE(store.Install("alpha", b).ok());  // supersede
+      ASSERT_TRUE(store.Retire("beta").ok());
+    }
+    const std::string manifest_path = dir_ + "/MANIFEST";
+    std::string bytes;
+    {
+      std::ifstream in(manifest_path, std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      bytes = ss.str();
+    }
+    ASSERT_FALSE(bytes.empty());
+
+    // One random mutation per iteration: flip, truncate, insert, or smash
+    // a whole span.
+    switch (fuzz.UniformInt(4)) {
+      case 0: {  // flip one byte
+        const size_t at = fuzz.UniformInt(bytes.size());
+        bytes[at] = static_cast<char>(bytes[at] ^ (1u << fuzz.UniformInt(8)));
+        break;
+      }
+      case 1:  // torn tail: drop a suffix
+        bytes.resize(fuzz.UniformInt(bytes.size()));
+        break;
+      case 2: {  // insert garbage mid-stream
+        const size_t at = fuzz.UniformInt(bytes.size());
+        bytes.insert(at, 1, static_cast<char>(fuzz.UniformInt(256)));
+        break;
+      }
+      default: {  // smash a span with random bytes
+        const size_t at = fuzz.UniformInt(bytes.size());
+        const size_t len =
+            std::min(bytes.size() - at, 1 + fuzz.UniformInt(16));
+        for (size_t i = 0; i < len; ++i) {
+          bytes[at + i] = static_cast<char>(fuzz.UniformInt(256));
+        }
+        break;
+      }
+    }
+    {
+      std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+      out << bytes;
+    }
+
+    SynopsisStore store(options_);
+    const Status opened = store.Open();
+    if (!opened.ok()) {
+      EXPECT_FALSE(opened.message().empty());
+      continue;  // refusing the directory outright is a valid outcome
+    }
+    serve::SynopsisRegistry registry;
+    StatusOr<RecoveryReport> report = store.Recover(&registry);
+    if (!report.ok()) {
+      EXPECT_FALSE(report.status().message().empty());
+      continue;
+    }
+    // Whatever survived replay must have verified end to end: every
+    // registry entry answers queries (Acquire succeeds) and was loaded
+    // fully intact.
+    EXPECT_LE(registry.size(), 2u);
+    for (const auto& [name, load] : report.value().loads) {
+      EXPECT_TRUE(load.fully_intact())
+          << name << " installed without full verification";
+    }
+
+    // Healing: the first open truncated (or replaced) the damaged journal
+    // durably, so a fresh open replays clean — no second truncation, and
+    // another recovery scan still succeeds.
+    SynopsisStore again(options_);
+    ASSERT_TRUE(again.Open().ok());
+    serve::SynopsisRegistry registry2;
+    StatusOr<RecoveryReport> report2 = again.Recover(&registry2);
+    ASSERT_TRUE(report2.ok()) << report2.status().ToString();
+    EXPECT_FALSE(report2.value().manifest_truncated);
+  }
+}
+
+}  // namespace
+}  // namespace priview::store

@@ -1,0 +1,305 @@
+// SynopsisStore unit suite: durable install/retire round trips across
+// reopen, manifest replay (torn tails, corrupt records, damaged header),
+// and the recovery scan's quarantine decisions. Crash-at-failpoint
+// matrices live in store_crash_test.cc; this file covers the sunny path
+// plus hand-corrupted journals and directories.
+#include "store/synopsis_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/synopsis.h"
+#include "data/synthetic.h"
+#include "serve/synopsis_registry.h"
+#include "table/attr_set.h"
+
+namespace priview::store {
+namespace {
+
+PriViewSynopsis MakeSynopsis(uint64_t seed = 42) {
+  Rng rng(seed);
+  Dataset data = MakeMsnbcLike(&rng, 1500);
+  PriViewOptions options;
+  options.add_noise = false;
+  return PriViewSynopsis::Build(
+      data, {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4})},
+      options, &rng);
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/store_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    options_.dir = dir_;
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string ManifestPath() const { return dir_ + "/MANIFEST"; }
+  std::string ReadManifest() const {
+    std::ifstream in(ManifestPath(), std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+  void WriteFile(const std::string& path, const std::string& bytes) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  std::string dir_;
+  StoreOptions options_;
+};
+
+TEST_F(StoreTest, MethodsRequireOpen) {
+  SynopsisStore store(options_);
+  EXPECT_EQ(store.Install("a", MakeSynopsis()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.Retire("a").code(), StatusCode::kFailedPrecondition);
+  serve::SynopsisRegistry registry;
+  EXPECT_EQ(store.Recover(&registry).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StoreTest, RejectsHostileNames) {
+  SynopsisStore store(options_);
+  ASSERT_TRUE(store.Open().ok());
+  const PriViewSynopsis synopsis = MakeSynopsis();
+  for (const std::string& name :
+       {std::string(""), std::string(".."), std::string("."),
+        std::string("../escape"), std::string("a/b"), std::string("a b")}) {
+    EXPECT_EQ(store.Install(name, synopsis).code(),
+              StatusCode::kInvalidArgument)
+        << "name accepted: '" << name << "'";
+  }
+}
+
+TEST_F(StoreTest, FreshStoreRecoversEmpty) {
+  SynopsisStore store(options_);
+  ASSERT_TRUE(store.Open().ok());
+  serve::SynopsisRegistry registry;
+  StatusOr<RecoveryReport> report = store.Recover(&registry);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().records_replayed, 0u);
+  EXPECT_TRUE(report.value().quarantined.empty());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST_F(StoreTest, InstallSurvivesReopen) {
+  {
+    SynopsisStore store(options_);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.Install("release", MakeSynopsis()).ok());
+    EXPECT_EQ(store.Current().count("release"), 1u);
+    EXPECT_EQ(store.next_seq(), 2u);
+  }
+  SynopsisStore reopened(options_);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.Current().count("release"), 1u);
+  EXPECT_EQ(reopened.next_seq(), 2u);
+
+  serve::SynopsisRegistry registry;
+  StatusOr<RecoveryReport> report = reopened.Recover(&registry);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().records_replayed, 1u);
+  EXPECT_EQ(report.value().last_durable_seq, 1u);
+  EXPECT_EQ(report.value().loads.count("release"), 1u);
+  EXPECT_TRUE(report.value().quarantined.empty());
+  EXPECT_EQ(registry.size(), 1u);
+  // And what came back answers queries like the original.
+  EXPECT_FALSE(report.value().ToString().empty());
+}
+
+TEST_F(StoreTest, ReinstallSupersedesAndReclaimsTheOldFile) {
+  SynopsisStore store(options_);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Install("release", MakeSynopsis(1)).ok());
+  const std::string first_file = store.Current().at("release");
+  ASSERT_TRUE(store.Install("release", MakeSynopsis(2)).ok());
+  const std::string second_file = store.Current().at("release");
+  EXPECT_NE(first_file, second_file);
+  // The superseded file is reclaimed immediately; only the current release
+  // remains on disk.
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/" + first_file));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/" + second_file));
+
+  SynopsisStore reopened(options_);
+  ASSERT_TRUE(reopened.Open().ok());
+  serve::SynopsisRegistry registry;
+  StatusOr<RecoveryReport> report = reopened.Recover(&registry);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().records_replayed, 2u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST_F(StoreTest, RetireJournalsAndUnlinks) {
+  SynopsisStore store(options_);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Install("release", MakeSynopsis()).ok());
+  const std::string file = store.Current().at("release");
+  ASSERT_TRUE(store.Retire("release").ok());
+  EXPECT_TRUE(store.Current().empty());
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/" + file));
+  EXPECT_EQ(store.Retire("release").code(), StatusCode::kNotFound);
+
+  SynopsisStore reopened(options_);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_TRUE(reopened.Current().empty());
+  serve::SynopsisRegistry registry;
+  StatusOr<RecoveryReport> report = reopened.Recover(&registry);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().records_replayed, 2u);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST_F(StoreTest, TornManifestTailIsTruncatedNotTrusted) {
+  {
+    SynopsisStore store(options_);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.Install("a", MakeSynopsis(1)).ok());
+    ASSERT_TRUE(store.Install("b", MakeSynopsis(2)).ok());
+  }
+  // Tear the journal: a record prefix with no trailing newline, as a crash
+  // mid-append would leave it.
+  {
+    std::ofstream out(ManifestPath(), std::ios::binary | std::ios::app);
+    out << "3 install c c.3.pv sum=0123";
+  }
+  SynopsisStore reopened(options_);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.Current().size(), 2u);
+  EXPECT_EQ(reopened.Current().count("c"), 0u);
+  serve::SynopsisRegistry registry;
+  StatusOr<RecoveryReport> report = reopened.Recover(&registry);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().manifest_truncated);
+  EXPECT_EQ(report.value().records_replayed, 2u);
+  EXPECT_EQ(registry.size(), 2u);
+  // The tear is gone from disk: a third open replays clean.
+  SynopsisStore third(options_);
+  ASSERT_TRUE(third.Open().ok());
+  serve::SynopsisRegistry registry2;
+  StatusOr<RecoveryReport> report2 = third.Recover(&registry2);
+  ASSERT_TRUE(report2.ok());
+  EXPECT_FALSE(report2.value().manifest_truncated);
+}
+
+TEST_F(StoreTest, CorruptRecordChecksumEndsReplay) {
+  {
+    SynopsisStore store(options_);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.Install("a", MakeSynopsis()).ok());
+  }
+  {
+    std::ofstream out(ManifestPath(), std::ios::binary | std::ios::app);
+    out << "2 install evil evil.2.pv sum=0000000000000000\n";
+  }
+  SynopsisStore reopened(options_);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.Current().count("evil"), 0u);
+  EXPECT_EQ(reopened.Current().count("a"), 1u);
+  EXPECT_EQ(reopened.next_seq(), 2u);
+}
+
+TEST_F(StoreTest, DamagedHeaderQuarantinesTheWholeJournal) {
+  std::string installed_file;
+  {
+    SynopsisStore store(options_);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.Install("release", MakeSynopsis()).ok());
+    installed_file = store.Current().at("release");
+  }
+  // Smash the journal head; the history below it is now untrustworthy.
+  const std::string body = ReadManifest();
+  WriteFile(ManifestPath(), "not-a-manifest\n" + body);
+
+  SynopsisStore reopened(options_);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_TRUE(reopened.Current().empty());
+  EXPECT_TRUE(
+      std::filesystem::exists(dir_ + "/quarantine/MANIFEST.corrupt"));
+
+  serve::SynopsisRegistry registry;
+  StatusOr<RecoveryReport> report = reopened.Recover(&registry);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().warnings.empty());
+  // The release file survives as quarantined evidence, not as a serving
+  // synopsis backed by no journal.
+  EXPECT_EQ(registry.size(), 0u);
+  ASSERT_EQ(report.value().quarantined.size(), 1u);
+  EXPECT_NE(report.value().quarantined[0].find("unjournaled orphan"),
+            std::string::npos);
+  EXPECT_TRUE(
+      std::filesystem::exists(dir_ + "/quarantine/" + installed_file));
+}
+
+TEST_F(StoreTest, TornTempFileIsQuarantined) {
+  SynopsisStore store(options_);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Install("release", MakeSynopsis()).ok());
+  WriteFile(dir_ + "/release.9.pv.tmp", "half a synopsis");
+  serve::SynopsisRegistry registry;
+  StatusOr<RecoveryReport> report = store.Recover(&registry);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().quarantined.size(), 1u);
+  EXPECT_NE(report.value().quarantined[0].find("torn install"),
+            std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/release.9.pv.tmp"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/quarantine/release.9.pv.tmp"));
+  EXPECT_EQ(registry.size(), 1u);  // the real release is unaffected
+}
+
+TEST_F(StoreTest, UnjournaledOrphanIsQuarantined) {
+  SynopsisStore store(options_);
+  ASSERT_TRUE(store.Open().ok());
+  WriteFile(dir_ + "/ghost.5.pv", "no journal record points here");
+  serve::SynopsisRegistry registry;
+  StatusOr<RecoveryReport> report = store.Recover(&registry);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().quarantined.size(), 1u);
+  EXPECT_NE(report.value().quarantined[0].find("unjournaled orphan"),
+            std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/quarantine/ghost.5.pv"));
+}
+
+TEST_F(StoreTest, CorruptCurrentFileIsQuarantinedNotServed) {
+  {
+    SynopsisStore store(options_);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.Install("release", MakeSynopsis()).ok());
+  }
+  SynopsisStore reopened(options_);
+  ASSERT_TRUE(reopened.Open().ok());
+  const std::string file = reopened.Current().at("release");
+  WriteFile(dir_ + "/" + file, "rotten bits");
+
+  serve::SynopsisRegistry registry;
+  StatusOr<RecoveryReport> report = reopened.Recover(&registry);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(registry.size(), 0u);
+  ASSERT_EQ(report.value().quarantined.size(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/quarantine/" + file));
+  // The store no longer claims it as current either.
+  EXPECT_TRUE(reopened.Current().empty());
+}
+
+TEST_F(StoreTest, RecoverWithoutRegistryStillReconciles) {
+  {
+    SynopsisStore store(options_);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.Install("release", MakeSynopsis()).ok());
+  }
+  SynopsisStore reopened(options_);
+  ASSERT_TRUE(reopened.Open().ok());
+  StatusOr<RecoveryReport> report = reopened.Recover(nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().loads.count("release"), 1u);
+}
+
+}  // namespace
+}  // namespace priview::store
