@@ -1,9 +1,21 @@
 // Serving benchmark: throughput and client-observed p50/p99 latency of the
-// src/serve stack (Unix-socket server -> broker -> engine) at 1, 8 and 64
+// src/serve stack (epoll supervisor -> broker -> engine) at 1, 8 and 64
 // concurrent clients, with coalescing on and off, plus an overloaded
 // regime (tiny admission queue, heavy solver work) where backpressure must
 // reject rather than collapse. Writes a machine-readable perf record
 // (BENCH_serve.json).
+//
+// Two transport-hardening sections exercise the connection supervisor at
+// scale and gate the exit code (the regression bar run_benches.sh
+// enforces):
+//   soak        5000+ concurrent connections (mostly half-open, 10%
+//               slowloris) held against one event loop while healthy
+//               clients keep querying: every adversary must be evicted by
+//               cause, every healthy request must complete, and the loop
+//               must have admitted the full fleet.
+//   adversarial slowloris churn (evict -> reconnect -> evict) sustained
+//               for a whole healthy workload: eviction throughput and the
+//               healthy-client p99 under attack.
 //
 // The hosted engine runs with its read-side cache *disabled* so every
 // full-tier request costs a real reconstruction — that is the regime where
@@ -12,6 +24,8 @@
 // servers run with the cache on and do strictly better.
 //
 // Usage: bench_serve [--quick] [--out=PATH.json]
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -19,6 +33,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -176,6 +191,278 @@ ConfigResult RunConfig(const PriViewSynopsis& synopsis, int clients,
   return result;
 }
 
+int RawConnect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+struct SoakResult {
+  size_t target_conns = 0;
+  size_t peak_open = 0;
+  uint64_t frame_stall_evictions = 0;
+  uint64_t idle_evictions = 0;
+  uint64_t served = 0;
+  uint64_t errors = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double wall_ms = 0.0;
+  double evictions_per_sec = 0.0;
+};
+
+// 5000+ concurrent connections against one supervisor: 10% slowloris (a
+// torn header then silence, evicted on the frame deadline), the rest
+// half-open (never a byte, evicted on the idle deadline), and
+// `client_threads` healthy clients querying the whole time. The healthy
+// fleet must see zero failures while the event loop admits, polices and
+// reaps the adversaries.
+SoakResult RunSoak(const PriViewSynopsis& synopsis, size_t total_conns,
+                   int client_threads, int requests_per_client,
+                   int config_index) {
+  SoakResult result;
+  result.target_conns = total_conns;
+  const size_t slowloris = total_conns / 10;
+  const size_t half_open = total_conns - slowloris;
+
+  serve::ServerOptions options;
+  options.socket_path = "/tmp/priview_bench_soak_" +
+                        std::to_string(::getpid()) + "_" +
+                        std::to_string(config_index) + ".sock";
+  options.io_timeout_ms = 2000;
+  options.supervisor.idle_timeout_ms = 4000;
+  options.supervisor.max_connections = total_conns + 256;
+  options.broker.default_deadline = std::chrono::milliseconds(30000);
+  serve::PriViewServer server(options);
+  if (!server.registry().Install("bench", synopsis).ok() ||
+      !server.Start().ok()) {
+    std::fprintf(stderr, "soak server start failed\n");
+    result.errors = 1;
+    return result;
+  }
+
+  const Clock::time_point wall_start = Clock::now();
+  std::vector<int> fds;
+  fds.reserve(total_conns);
+  for (size_t i = 0; i < total_conns; ++i) {
+    const int fd = RawConnect(options.socket_path);
+    if (fd < 0) {
+      ++result.errors;
+      continue;
+    }
+    if (i < slowloris) {
+      const uint8_t partial[2] = {1, 1};
+      (void)::write(fd, partial, sizeof(partial));
+    }
+    fds.push_back(fd);
+  }
+  // The whole fleet must be admitted concurrently before the deadlines
+  // start reaping it.
+  WaitUntil(
+      [&] { return server.supervisor()->open_connections() >= fds.size(); },
+      10000);
+  result.peak_open = server.supervisor()->open_connections();
+
+  const std::vector<AttrSet> scopes = WorkloadScopes();
+  std::vector<std::vector<double>> latencies_ms(client_threads);
+  std::atomic<uint64_t> served{0}, errors{0};
+  std::vector<std::thread> workers;
+  for (int c = 0; c < client_threads; ++c) {
+    workers.emplace_back([&, c] {
+      StatusOr<serve::PriViewClient> client =
+          serve::PriViewClient::Connect(options.socket_path);
+      if (!client.ok()) {
+        errors.fetch_add(requests_per_client);
+        return;
+      }
+      latencies_ms[c].reserve(requests_per_client);
+      for (int i = 0; i < requests_per_client; ++i) {
+        const Clock::time_point start = Clock::now();
+        if (client.value()
+                .Marginal("bench", scopes[(c + i) % scopes.size()])
+                .ok()) {
+          served.fetch_add(1);
+          latencies_ms[c].push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count());
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  // Every adversary must be reaped: slowloris on the 2s frame deadline,
+  // half-open on the 4s idle deadline.
+  WaitUntil(
+      [&] {
+        const serve::ServerMetrics::Snapshot s = server.metrics().TakeSnapshot();
+        return s.evictions[int(serve::EvictionCause::kFrameStall)] >=
+                   slowloris &&
+               s.evictions[int(serve::EvictionCause::kIdle)] >= half_open;
+      },
+      30000);
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - wall_start)
+          .count();
+
+  const serve::ServerMetrics::Snapshot snapshot =
+      server.metrics().TakeSnapshot();
+  result.frame_stall_evictions =
+      snapshot.evictions[int(serve::EvictionCause::kFrameStall)];
+  result.idle_evictions = snapshot.evictions[int(serve::EvictionCause::kIdle)];
+  result.evictions_per_sec =
+      result.wall_ms > 0.0
+          ? 1000.0 *
+                static_cast<double>(snapshot.TotalEvictions()) /
+                result.wall_ms
+          : 0.0;
+  server.Stop();
+  for (int fd : fds) ::close(fd);
+
+  std::vector<double> all_ms;
+  for (const std::vector<double>& per_client : latencies_ms) {
+    all_ms.insert(all_ms.end(), per_client.begin(), per_client.end());
+  }
+  result.served = served.load();
+  result.errors += errors.load();
+  result.p50_ms = Percentile(&all_ms, 0.50);
+  result.p99_ms = Percentile(&all_ms, 0.99);
+  return result;
+}
+
+struct AdversarialResult {
+  uint64_t served = 0;
+  uint64_t errors = 0;
+  uint64_t evictions = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double throughput_rps = 0.0;
+};
+
+// Slowloris churn sustained through a healthy workload: `attackers`
+// threads loop connect -> torn header -> wait-for-eviction -> reconnect
+// while `client_threads` healthy clients run the standard workload. What
+// the record captures is the healthy fleet's latency under active attack
+// and the supervisor's eviction throughput.
+AdversarialResult RunAdversarial(const PriViewSynopsis& synopsis,
+                                 int attackers, int client_threads,
+                                 int requests_per_client, int config_index) {
+  AdversarialResult result;
+  serve::ServerOptions options;
+  options.socket_path = "/tmp/priview_bench_adv_" +
+                        std::to_string(::getpid()) + "_" +
+                        std::to_string(config_index) + ".sock";
+  options.io_timeout_ms = 250;  // fast frame deadline: high eviction churn
+  options.broker.default_deadline = std::chrono::milliseconds(30000);
+  serve::PriViewServer server(options);
+  if (!server.registry().Install("bench", synopsis).ok() ||
+      !server.Start().ok()) {
+    std::fprintf(stderr, "adversarial server start failed\n");
+    result.errors = 1;
+    return result;
+  }
+
+  std::atomic<bool> attack_on{true};
+  std::vector<std::thread> attack_threads;
+  for (int a = 0; a < attackers; ++a) {
+    attack_threads.emplace_back([&] {
+      while (attack_on.load()) {
+        const int fd = RawConnect(options.socket_path);
+        if (fd < 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          continue;
+        }
+        const uint8_t partial[3] = {9, 9, 9};
+        (void)::write(fd, partial, sizeof(partial));
+        // Wait for the frame-deadline eviction (EOF), then go again.
+        char buf[64];
+        ssize_t n;
+        do {
+          n = ::recv(fd, buf, sizeof(buf), 0);
+        } while (n > 0);
+        ::close(fd);
+      }
+    });
+  }
+
+  const std::vector<AttrSet> scopes = WorkloadScopes();
+  std::vector<std::vector<double>> latencies_ms(client_threads);
+  std::atomic<uint64_t> served{0}, errors{0};
+  const Clock::time_point wall_start = Clock::now();
+  std::vector<std::thread> workers;
+  for (int c = 0; c < client_threads; ++c) {
+    workers.emplace_back([&, c] {
+      StatusOr<serve::PriViewClient> client =
+          serve::PriViewClient::Connect(options.socket_path);
+      if (!client.ok()) {
+        errors.fetch_add(requests_per_client);
+        return;
+      }
+      latencies_ms[c].reserve(requests_per_client);
+      for (int i = 0; i < requests_per_client; ++i) {
+        const Clock::time_point start = Clock::now();
+        if (client.value()
+                .Marginal("bench", scopes[(c + i) % scopes.size()])
+                .ok()) {
+          served.fetch_add(1);
+          latencies_ms[c].push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count());
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - wall_start)
+          .count();
+  attack_on.store(false);
+  for (std::thread& t : attack_threads) t.join();
+
+  const serve::ServerMetrics::Snapshot snapshot =
+      server.metrics().TakeSnapshot();
+  result.evictions =
+      snapshot.evictions[int(serve::EvictionCause::kFrameStall)];
+  server.Stop();
+
+  std::vector<double> all_ms;
+  for (const std::vector<double>& per_client : latencies_ms) {
+    all_ms.insert(all_ms.end(), per_client.begin(), per_client.end());
+  }
+  result.served = served.load();
+  result.errors += errors.load();
+  result.p50_ms = Percentile(&all_ms, 0.50);
+  result.p99_ms = Percentile(&all_ms, 0.99);
+  result.throughput_rps =
+      wall_ms > 0.0 ? 1000.0 * static_cast<double>(result.served) / wall_ms
+                    : 0.0;
+  return result;
+}
+
 void PrintResult(const char* label, const ConfigResult& r) {
   std::printf(
       "%-10s clients=%-3d coalesce=%-3s served=%-6llu rejected=%-5llu "
@@ -228,9 +515,84 @@ int main(int argc, char** argv) {
                 "host (solver outpaced 64 clients)\n");
   }
 
+  // --- transport soak -------------------------------------------------------
+  // A 5000+ connection fleet (10% slowloris, 90% half-open) held against
+  // the event loop while healthy clients query. --quick scales the fleet
+  // down but keeps every assertion.
+  const size_t soak_conns = quick ? 600 : 5200;
+  const SoakResult soak =
+      RunSoak(synopsis, soak_conns, /*client_threads=*/8,
+              /*requests_per_client=*/quick ? 8 : 24, config_index++);
+  std::printf(
+      "soak       conns=%-5zu peak_open=%-5zu stall-evict=%llu "
+      "idle-evict=%llu  healthy served=%llu errors=%llu  p50 %.3f ms  "
+      "p99 %.3f ms  %.0f evictions/s\n",
+      soak.target_conns, soak.peak_open,
+      static_cast<unsigned long long>(soak.frame_stall_evictions),
+      static_cast<unsigned long long>(soak.idle_evictions),
+      static_cast<unsigned long long>(soak.served),
+      static_cast<unsigned long long>(soak.errors), soak.p50_ms, soak.p99_ms,
+      soak.evictions_per_sec);
+
+  // --- adversarial churn ----------------------------------------------------
+  // Slowloris attackers that reconnect the instant they are evicted,
+  // sustained through a full healthy workload.
+  const AdversarialResult adversarial =
+      RunAdversarial(synopsis, /*attackers=*/quick ? 8 : 32,
+                     /*client_threads=*/8,
+                     /*requests_per_client=*/quick ? 8 : 24, config_index++);
+  std::printf(
+      "adversarial evictions=%llu  healthy served=%llu errors=%llu  "
+      "%.0f req/s  p50 %.3f ms  p99 %.3f ms\n",
+      static_cast<unsigned long long>(adversarial.evictions),
+      static_cast<unsigned long long>(adversarial.served),
+      static_cast<unsigned long long>(adversarial.errors),
+      adversarial.throughput_rps, adversarial.p50_ms, adversarial.p99_ms);
+
   double best_hit_rate = 0.0;
   for (const ConfigResult& r : sweep) {
     best_hit_rate = std::max(best_hit_rate, r.coalescing_hit_rate);
+  }
+
+  // The regression bar run_benches.sh enforces via the exit code: the
+  // fleet must be admitted in full, every adversary evicted by the right
+  // cause, and the healthy workload must never see a failure.
+  int bar_failures = 0;
+  const size_t soak_slowloris = soak.target_conns / 10;
+  const size_t soak_half_open = soak.target_conns - soak_slowloris;
+  if (soak.peak_open < soak.target_conns) {
+    std::fprintf(stderr,
+                 "BAR: soak peak_open %zu < target %zu (fleet not admitted)\n",
+                 soak.peak_open, soak.target_conns);
+    ++bar_failures;
+  }
+  if (soak.frame_stall_evictions < soak_slowloris) {
+    std::fprintf(stderr,
+                 "BAR: soak frame-stall evictions %llu < %zu slowloris peers\n",
+                 static_cast<unsigned long long>(soak.frame_stall_evictions),
+                 soak_slowloris);
+    ++bar_failures;
+  }
+  if (soak.idle_evictions < soak_half_open) {
+    std::fprintf(stderr,
+                 "BAR: soak idle evictions %llu < %zu half-open peers\n",
+                 static_cast<unsigned long long>(soak.idle_evictions),
+                 soak_half_open);
+    ++bar_failures;
+  }
+  if (soak.errors != 0) {
+    std::fprintf(stderr, "BAR: soak healthy clients saw %llu errors\n",
+                 static_cast<unsigned long long>(soak.errors));
+    ++bar_failures;
+  }
+  if (adversarial.errors != 0) {
+    std::fprintf(stderr, "BAR: adversarial healthy clients saw %llu errors\n",
+                 static_cast<unsigned long long>(adversarial.errors));
+    ++bar_failures;
+  }
+  if (adversarial.evictions == 0) {
+    std::fprintf(stderr, "BAR: adversarial churn produced no evictions\n");
+    ++bar_failures;
   }
 
   if (!out_path.empty()) {
@@ -262,10 +624,40 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"overload_rejected\": %llu,\n",
                  static_cast<unsigned long long>(overload.rejected));
     std::fprintf(f, "  \"overload_p50_ms\": %.4f,\n", overload.p50_ms);
-    std::fprintf(f, "  \"overload_p99_ms\": %.4f\n", overload.p99_ms);
+    std::fprintf(f, "  \"overload_p99_ms\": %.4f,\n", overload.p99_ms);
+    std::fprintf(f, "  \"soak_connections\": %zu,\n", soak.target_conns);
+    std::fprintf(f, "  \"soak_peak_open\": %zu,\n", soak.peak_open);
+    std::fprintf(f, "  \"soak_frame_stall_evictions\": %llu,\n",
+                 static_cast<unsigned long long>(soak.frame_stall_evictions));
+    std::fprintf(f, "  \"soak_idle_evictions\": %llu,\n",
+                 static_cast<unsigned long long>(soak.idle_evictions));
+    std::fprintf(f, "  \"soak_evictions_per_sec\": %.1f,\n",
+                 soak.evictions_per_sec);
+    std::fprintf(f, "  \"soak_healthy_served\": %llu,\n",
+                 static_cast<unsigned long long>(soak.served));
+    std::fprintf(f, "  \"soak_healthy_errors\": %llu,\n",
+                 static_cast<unsigned long long>(soak.errors));
+    std::fprintf(f, "  \"soak_p50_ms\": %.4f,\n", soak.p50_ms);
+    std::fprintf(f, "  \"soak_p99_ms\": %.4f,\n", soak.p99_ms);
+    std::fprintf(f, "  \"adversarial_evictions\": %llu,\n",
+                 static_cast<unsigned long long>(adversarial.evictions));
+    std::fprintf(f, "  \"adversarial_healthy_served\": %llu,\n",
+                 static_cast<unsigned long long>(adversarial.served));
+    std::fprintf(f, "  \"adversarial_healthy_errors\": %llu,\n",
+                 static_cast<unsigned long long>(adversarial.errors));
+    std::fprintf(f, "  \"adversarial_throughput_rps\": %.1f,\n",
+                 adversarial.throughput_rps);
+    std::fprintf(f, "  \"adversarial_p50_ms\": %.4f,\n", adversarial.p50_ms);
+    std::fprintf(f, "  \"adversarial_p99_ms\": %.4f,\n", adversarial.p99_ms);
+    std::fprintf(f, "  \"transport_bar_failures\": %d\n", bar_failures);
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (bar_failures > 0) {
+    std::fprintf(stderr, "transport regression bar: %d failure(s)\n",
+                 bar_failures);
+    return 1;
   }
   return 0;
 }

@@ -29,11 +29,23 @@ if [ -x bench/bench_parallel ]; then
   echo "exit=$? done bench_parallel"
 fi
 # Serving record: throughput + p50/p99 at 1/8/64 clients with and without
-# coalescing, plus the overloaded (queue-full, rejecting) regime.
+# coalescing, the overloaded (queue-full, rejecting) regime, a 5000+
+# connection adversarial soak (soak_* fields) and slowloris churn
+# (adversarial_* fields). bench_serve exits non-zero when the transport
+# regression bar fails — fleet not fully admitted, adversaries not
+# evicted by cause, or healthy-client errors — and that failure is fatal
+# here: the serving record must never be refreshed from a run that
+# regressed the transport.
 if [ -x bench/bench_serve ]; then
   echo "##### bench_serve #####" | tee -a "$out"
   ( time ./bench/bench_serve --out=../BENCH_serve.json "$@" ) >> "$out" 2>&1
-  echo "exit=$? done bench_serve"
+  serve_rc=$?
+  echo "exit=$serve_rc done bench_serve"
+  if [ "$serve_rc" -ne 0 ]; then
+    echo "FATAL: bench_serve transport regression bar failed (exit=$serve_rc)" >&2
+    tail -n 20 "$out" >&2
+    exit "$serve_rc"
+  fi
 fi
 # Observability record: disarmed-span overhead (<1% bar — a non-zero exit
 # here means the tracing substrate got too expensive), armed publish-phase

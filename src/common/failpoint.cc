@@ -177,6 +177,10 @@ const std::vector<std::string>& KnownFailpoints() {
           "serve/queue-full",
           "serve/io-torn-frame",
           "serve/swap-race",
+          "serve/accept-emfile",
+          "serve/peer-stall",
+          "serve/half-open",
+          "serve/slow-reader",
           "obs/span-torn",
           "store/fsync-fail",
           "store/torn-rename",

@@ -64,6 +64,17 @@ namespace priview::failpoint {
 ///   serve/queue-full           broker admission queue reports full
 ///   serve/io-torn-frame        wire frame write is torn mid-payload
 ///   serve/swap-race            registry hot-swap loses a concurrent race
+///   serve/accept-emfile        accept(2) behaves as EMFILE: the supervisor
+///                              must shed the connection via its spare fd
+///                              and keep accepting, never spin
+///   serve/peer-stall           a readable peer is treated as stalled
+///                              mid-frame: evicted on the frame deadline
+///   serve/half-open            a freshly accepted peer is treated as
+///                              half-open (no traffic ever): evicted on the
+///                              idle deadline
+///   serve/slow-reader          a response completion is treated as landing
+///                              on a non-draining peer: evicted as an
+///                              egress-buffer overflow
 ///   obs/span-torn              a trace span's end is lost mid-fault; the
 ///                              tear is counted, never recorded as a
 ///                              duration, and nesting self-heals

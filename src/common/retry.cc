@@ -42,10 +42,16 @@ bool RetryController::ShouldRetry(const Status& status, bool connect_phase) {
     if (elapsed >= options_.overall_budget) return false;
     // Project the *shortest* possible next backoff (the jitter band's low
     // edge): if even that lands past the budget, the retry cannot help.
-    double base = static_cast<double>(options_.initial_backoff.count());
-    for (int i = 0; i < backoffs_granted_; ++i) base *= options_.multiplier;
-    base = std::min(base, static_cast<double>(options_.max_backoff.count()));
-    const double shortest = base * (1.0 - std::min(options_.jitter, 1.0));
+    double shortest;
+    if (options_.jitter_mode == JitterMode::kDecorrelated) {
+      // The decorrelated band's low edge is always initial_backoff.
+      shortest = static_cast<double>(options_.initial_backoff.count());
+    } else {
+      double base = static_cast<double>(options_.initial_backoff.count());
+      for (int i = 0; i < backoffs_granted_; ++i) base *= options_.multiplier;
+      base = std::min(base, static_cast<double>(options_.max_backoff.count()));
+      shortest = base * (1.0 - std::min(options_.jitter, 1.0));
+    }
     if (elapsed.count() + shortest >
         static_cast<double>(options_.overall_budget.count())) {
       return false;
@@ -55,15 +61,32 @@ bool RetryController::ShouldRetry(const Status& status, bool connect_phase) {
 }
 
 std::chrono::milliseconds RetryController::NextBackoff() {
-  double base = static_cast<double>(options_.initial_backoff.count());
-  for (int i = 0; i < backoffs_granted_; ++i) base *= options_.multiplier;
-  ++backoffs_granted_;
-  base = std::min(base, static_cast<double>(options_.max_backoff.count()));
-  double scaled = base;
-  if (options_.jitter > 0.0) {
-    // Uniform in [1 - j, 1 + j], drawn from this call's forked stream.
+  double scaled;
+  if (options_.jitter_mode == JitterMode::kDecorrelated) {
+    // sleep = min(cap, uniform(initial, 3 * previous)); previous starts at
+    // initial. The draw itself (not a fixed base) seeds the next interval,
+    // so two clients that failed together diverge after one round trip.
+    const double initial =
+        static_cast<double>(options_.initial_backoff.count());
+    const double prev =
+        backoffs_granted_ == 0 ? initial : last_backoff_ms_;
+    const double high = std::max(initial, 3.0 * prev);
     const double u = rng_.UniformDouble();
-    scaled = base * (1.0 - options_.jitter + 2.0 * options_.jitter * u);
+    scaled = initial + u * (high - initial);
+    scaled = std::min(scaled, static_cast<double>(options_.max_backoff.count()));
+    last_backoff_ms_ = scaled;
+    ++backoffs_granted_;
+  } else {
+    double base = static_cast<double>(options_.initial_backoff.count());
+    for (int i = 0; i < backoffs_granted_; ++i) base *= options_.multiplier;
+    ++backoffs_granted_;
+    base = std::min(base, static_cast<double>(options_.max_backoff.count()));
+    scaled = base;
+    if (options_.jitter > 0.0) {
+      // Uniform in [1 - j, 1 + j], drawn from this call's forked stream.
+      const double u = rng_.UniformDouble();
+      scaled = base * (1.0 - options_.jitter + 2.0 * options_.jitter * u);
+    }
   }
   if (scaled < 0.0) scaled = 0.0;
   auto backoff = std::chrono::milliseconds(static_cast<int64_t>(scaled));

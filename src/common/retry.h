@@ -29,6 +29,21 @@
 
 namespace priview {
 
+/// How the drawn backoff relates to the deterministic schedule.
+enum class JitterMode {
+  /// Exponential base with symmetric jitter: uniform in
+  /// [base*(1-jitter), base*(1+jitter)] where base doubles per retry.
+  kProportional,
+  /// Decorrelated jitter (the AWS architecture-blog variant): each backoff
+  /// is uniform in [initial_backoff, 3*previous_backoff], capped at
+  /// max_backoff. Successive draws decorrelate a fleet of clients that
+  /// failed at the same instant — under proportional jitter they all sleep
+  /// within ±jitter of the same base and redial a restarting server in
+  /// near-lockstep waves; decorrelated draws spread the redials across the
+  /// whole window, which is what a reconnect storm needs.
+  kDecorrelated,
+};
+
 struct RetryOptions {
   /// Total attempts for one logical call, first try included. 1 disables
   /// retries entirely.
@@ -40,7 +55,9 @@ struct RetryOptions {
   double multiplier = 2.0;
   /// Symmetric jitter fraction: the drawn backoff is uniform in
   /// [base*(1-jitter), base*(1+jitter)]. 0 disables jitter.
+  /// (kProportional mode only; kDecorrelated ignores it.)
   double jitter = 0.2;
+  JitterMode jitter_mode = JitterMode::kProportional;
   /// Seed for the jitter stream; the same seed reproduces the same
   /// schedule across runs.
   uint64_t seed = 0x9e3779b97f4a7c15ULL;
@@ -80,6 +97,8 @@ class RetryController {
   Rng rng_;
   int attempts_ = 0;
   int backoffs_granted_ = 0;
+  /// Previous decorrelated draw in milliseconds (the recurrence state).
+  double last_backoff_ms_ = 0.0;
   std::chrono::steady_clock::time_point call_start_;
 };
 

@@ -1,6 +1,9 @@
 #include "serve/client.h"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -31,31 +34,64 @@ obs::Counter* ReconnectsCounter() {
   return c;
 }
 
-/// Non-blocking connect with a deadline. Classification matters to the
-/// retry layer: nothing listening (ECONNREFUSED/ENOENT) is Unavailable
+/// Human-readable target for error messages.
+std::string Endpoint(const ClientOptions& options) {
+  if (options.tcp_port > 0) {
+    return options.tcp_host + ":" + std::to_string(options.tcp_port);
+  }
+  return options.socket_path;
+}
+
+/// Non-blocking connect with a deadline, over the Unix socket or (when
+/// tcp_port > 0) the TCP endpoint. Classification matters to the retry
+/// layer: nothing listening (ECONNREFUSED/ENOENT) is Unavailable
 /// (retryable — the server may be restarting); a handshake that never
 /// completes is DeadlineExceeded (retryable only in this connect phase);
 /// anything else is IOError.
 StatusOr<int> ConnectFd(const ClientOptions& options) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options.socket_path.empty() ||
-      options.socket_path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("bad socket path: '" + options.socket_path +
-                                   "'");
+  const bool tcp = options.tcp_port > 0;
+  sockaddr_un unix_addr{};
+  sockaddr_in tcp_addr{};
+  sockaddr* addr = nullptr;
+  socklen_t addr_len = 0;
+  if (tcp) {
+    tcp_addr.sin_family = AF_INET;
+    tcp_addr.sin_port = htons(static_cast<uint16_t>(options.tcp_port));
+    if (::inet_pton(AF_INET, options.tcp_host.c_str(), &tcp_addr.sin_addr) !=
+        1) {
+      return Status::InvalidArgument("bad tcp host: '" + options.tcp_host +
+                                     "'");
+    }
+    addr = reinterpret_cast<sockaddr*>(&tcp_addr);
+    addr_len = sizeof(tcp_addr);
+  } else {
+    unix_addr.sun_family = AF_UNIX;
+    if (options.socket_path.empty() ||
+        options.socket_path.size() >= sizeof(unix_addr.sun_path)) {
+      return Status::InvalidArgument("bad socket path: '" +
+                                     options.socket_path + "'");
+    }
+    std::memcpy(unix_addr.sun_path, options.socket_path.c_str(),
+                options.socket_path.size() + 1);
+    addr = reinterpret_cast<sockaddr*>(&unix_addr);
+    addr_len = sizeof(unix_addr);
   }
-  std::memcpy(addr.sun_path, options.socket_path.c_str(),
-              options.socket_path.size() + 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  const int fd = ::socket(tcp ? AF_INET : AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError("socket(): " + std::string(std::strerror(errno)));
+  }
+  if (tcp) {
+    // Frames are small and latency-bound; Nagle would serialize the
+    // request/response pattern against delayed ACKs.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
   // Non-blocking from the start: the connect cannot park the thread, and
   // the frame layer's poll-based waits handle the fd from here on.
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+  if (::connect(fd, addr, addr_len) == 0) {
     return fd;
   }
   if (errno == EINPROGRESS || errno == EAGAIN) {
@@ -66,10 +102,10 @@ StatusOr<int> ConnectFd(const ClientOptions& options) {
     if (!ready.ok()) {
       ::close(fd);
       if (ready.code() == StatusCode::kDeadlineExceeded) {
-        return Status::DeadlineExceeded("connect(" + options.socket_path +
+        return Status::DeadlineExceeded("connect(" + Endpoint(options) +
                                         ") timed out");
       }
-      return Status::Unavailable("connect(" + options.socket_path +
+      return Status::Unavailable("connect(" + Endpoint(options) +
                                  "): " + ready.message());
     }
     int so_error = 0;
@@ -78,7 +114,7 @@ StatusOr<int> ConnectFd(const ClientOptions& options) {
         so_error != 0) {
       const int err = so_error != 0 ? so_error : errno;
       ::close(fd);
-      return Status::Unavailable("connect(" + options.socket_path +
+      return Status::Unavailable("connect(" + Endpoint(options) +
                                  "): " + std::strerror(err));
     }
     return fd;
@@ -86,10 +122,10 @@ StatusOr<int> ConnectFd(const ClientOptions& options) {
   const int err = errno;
   ::close(fd);
   if (err == ECONNREFUSED || err == ENOENT) {
-    return Status::Unavailable("connect(" + options.socket_path +
+    return Status::Unavailable("connect(" + Endpoint(options) +
                                "): " + std::strerror(err));
   }
-  return Status::IOError("connect(" + options.socket_path +
+  return Status::IOError("connect(" + Endpoint(options) +
                          "): " + std::strerror(err));
 }
 
@@ -104,6 +140,12 @@ bool ParseHealthFlag(const std::string& raw, const std::string& key,
 }
 
 }  // namespace
+
+RetryOptions DefaultClientRetryOptions() {
+  RetryOptions options;
+  options.jitter_mode = JitterMode::kDecorrelated;
+  return options;
+}
 
 StatusOr<PriViewClient> PriViewClient::Connect(const ClientOptions& options) {
   RetryPolicy policy(options.retry);

@@ -37,8 +37,20 @@
 
 namespace priview::serve {
 
+/// Retry defaults tuned for a serving fleet: decorrelated jitter, so a
+/// thousand clients cut off by one server restart do not re-dial in
+/// lockstep waves (proportional jitter keeps retries clustered around the
+/// same exponential schedule; decorrelated spreads each client across the
+/// whole backoff range independently).
+RetryOptions DefaultClientRetryOptions();
+
 struct ClientOptions {
   std::string socket_path;
+  /// TCP endpoint; used instead of socket_path when tcp_port > 0. Speaks
+  /// the identical wire protocol (TCP_NODELAY is set — frames are small
+  /// and latency-bound).
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = 0;
   /// Deadline for establishing one connection (non-blocking connect +
   /// readiness wait). <= 0 waits forever (not recommended).
   int connect_timeout_ms = 5000;
@@ -48,7 +60,7 @@ struct ClientOptions {
   /// server errors, reconnecting as needed. Off by default: the caller
   /// owns failure handling unless they opt in.
   bool enable_retries = false;
-  RetryOptions retry;
+  RetryOptions retry = DefaultClientRetryOptions();
 };
 
 /// A table answer plus the serving metadata the wire carries.

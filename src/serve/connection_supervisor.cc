@@ -1,0 +1,661 @@
+#include "serve/connection_supervisor.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace priview::serve {
+
+namespace {
+
+// Sentinel epoll user-data ids for the loop's own fds; real connections
+// start at 16 (next_conn_id_).
+constexpr uint64_t kIdUnixListener = 0;
+constexpr uint64_t kIdTcpListener = 1;
+constexpr uint64_t kIdWake = 2;
+
+// Deadline sweeps and shed-window evaluations are amortized: the epoll
+// wait wakes at least this often, and the sweep runs at most this often.
+constexpr int kSweepIntervalMs = 50;
+// Overload shedding looks at the queue-wait p99 over windows of this size.
+constexpr int kShedWindowMs = 500;
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+bool WouldBlock(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
+// p99 upper bound (microseconds) of the histogram delta between two
+// snapshots — the distribution of only the observations that landed
+// between them. Lifetime percentiles go stale after hours of healthy
+// traffic; shedding has to react to the last window.
+uint64_t WindowP99Us(const obs::Histogram::Snapshot& prev,
+                     const obs::Histogram::Snapshot& now) {
+  const uint64_t total = now.total - prev.total;
+  if (total == 0) return 0;
+  const double rank = 0.99 * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (int b = 0; b < obs::Histogram::kBuckets; ++b) {
+    cumulative += now.counts[b] - prev.counts[b];
+    if (static_cast<double>(cumulative) >= rank) {
+      return obs::Histogram::BucketUpperBound(b);
+    }
+  }
+  return obs::Histogram::BucketUpperBound(obs::Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+ConnectionSupervisor::ConnectionSupervisor(const SupervisorOptions& options,
+                                           ServerMetrics* metrics,
+                                           Handler handler)
+    : options_(options), metrics_(metrics), handler_(std::move(handler)) {}
+
+ConnectionSupervisor::~ConnectionSupervisor() { Stop(); }
+
+Status ConnectionSupervisor::Start(int unix_listen_fd, int tcp_listen_fd) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) return Status::FailedPrecondition("supervisor already started");
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::IOError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+  }
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    const int err = errno;
+    close(epoll_fd_);
+    epoll_fd_ = -1;
+    return Status::IOError(std::string("eventfd: ") + std::strerror(err));
+  }
+  // The spare fd backs the EMFILE shed path; /dev/null is always openable
+  // at startup. If it ever fails we still run, just without the shed trick.
+  spare_fd_ = open("/dev/null", O_RDONLY | O_CLOEXEC);
+
+  unix_listen_fd_ = unix_listen_fd;
+  tcp_listen_fd_ = tcp_listen_fd;
+
+  // On any registration failure release only the loop-owned fds; the
+  // listener fds stay the caller's to close.
+  auto fail = [this](const char* what) {
+    const int err = errno;
+    close(epoll_fd_);
+    epoll_fd_ = -1;
+    close(wake_fd_);
+    wake_fd_ = -1;
+    if (spare_fd_ >= 0) close(spare_fd_);
+    spare_fd_ = -1;
+    unix_listen_fd_ = tcp_listen_fd_ = -1;
+    return Status::IOError(std::string(what) + ": " + std::strerror(err));
+  };
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  if (unix_listen_fd_ >= 0) {
+    ev.data.u64 = kIdUnixListener;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, unix_listen_fd_, &ev) != 0) {
+      return fail("epoll_ctl(unix listener)");
+    }
+  }
+  if (tcp_listen_fd_ >= 0) {
+    ev.data.u64 = kIdTcpListener;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, tcp_listen_fd_, &ev) != 0) {
+      return fail("epoll_ctl(tcp listener)");
+    }
+  }
+  ev.data.u64 = kIdWake;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return fail("epoll_ctl(wake)");
+  }
+
+  stop_.store(false, std::memory_order_relaxed);
+  listeners_closed_.store(false, std::memory_order_relaxed);
+  const size_t pool = std::max<size_t>(1, options_.handler_threads);
+  handler_pool_.reserve(pool);
+  for (size_t i = 0; i < pool; ++i) {
+    handler_pool_.emplace_back([this] { HandlerThread(); });
+  }
+  loop_thread_ = std::thread([this] { LoopThread(); });
+  started_ = true;
+  stopped_ = false;
+  return Status::OK();
+}
+
+void ConnectionSupervisor::CloseListeners() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (listeners_closed_.exchange(true, std::memory_order_acq_rel)) return;
+  // Deregister-and-close from here (not the loop) is safe: the loop only
+  // touches listener fds on EPOLLIN events, and closing an fd removes it
+  // from the epoll set atomically in the kernel. A race where the loop is
+  // mid-accept on the old fd just yields EBADF, which HandleAccept treats
+  // as "listener gone".
+  const int unix_fd = unix_listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (unix_fd >= 0) close(unix_fd);
+  const int tcp_fd = tcp_listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (tcp_fd >= 0) close(tcp_fd);
+  WakeLoop();
+}
+
+bool ConnectionSupervisor::Quiesce(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool jobs_pending;
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      jobs_pending = !jobs_.empty();
+    }
+    bool completions_pending;
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_pending = !completions_.empty();
+    }
+    const bool quiet = !jobs_pending && !completions_pending &&
+                       inflight_jobs_.load(std::memory_order_acquire) == 0 &&
+                       total_egress_bytes_.load(std::memory_order_acquire) == 0;
+    if (quiet) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void ConnectionSupervisor::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!started_ || stopped_) return;
+  stop_.store(true, std::memory_order_release);
+  jobs_cv_.notify_all();
+  WakeLoop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  for (auto& t : handler_pool_) {
+    if (t.joinable()) t.join();
+  }
+  handler_pool_.clear();
+  // The loop evicted every connection before exiting; tear down the
+  // loop-owned fds.
+  {
+    const int fd = unix_listen_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) close(fd);
+  }
+  {
+    const int fd = tcp_listen_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) close(fd);
+  }
+  if (wake_fd_ >= 0) close(wake_fd_);
+  wake_fd_ = -1;
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  epoll_fd_ = -1;
+  if (spare_fd_ >= 0) close(spare_fd_);
+  spare_fd_ = -1;
+  stopped_ = true;
+}
+
+void ConnectionSupervisor::WakeLoop() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  ssize_t rc;
+  do {
+    rc = write(wake_fd_, &one, sizeof(one));
+  } while (rc < 0 && errno == EINTR);
+}
+
+void ConnectionSupervisor::LoopThread() {
+  constexpr int kMaxEvents = 256;
+  struct epoll_event events[kMaxEvents];
+  last_sweep_ = std::chrono::steady_clock::now();
+  last_shed_eval_ = last_sweep_;
+  if (metrics_ != nullptr) {
+    last_queue_wait_snapshot_ = metrics_->QueueWaitSnapshot();
+  }
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, kSweepIntervalMs);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd itself is broken; nothing to do but shut down
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      const uint32_t mask = events[i].events;
+      if (id == kIdWake) {
+        uint64_t drain;
+        while (read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (id == kIdUnixListener || id == kIdTcpListener) {
+        if (listeners_closed_.load(std::memory_order_acquire)) continue;
+        const bool is_tcp = (id == kIdTcpListener);
+        const int listen_fd =
+            is_tcp ? tcp_listen_fd_.load(std::memory_order_acquire)
+                   : unix_listen_fd_.load(std::memory_order_acquire);
+        if (listen_fd < 0) continue;  // closed since epoll_wait returned
+        HandleAccept(listen_fd, is_tcp);
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // evicted earlier this batch
+      Conn* conn = it->second.get();
+      if (mask & (EPOLLERR | EPOLLHUP)) {
+        // Peer reset or vanished. Mid-frame this is a torn stream
+        // (protocol error); otherwise it is an ordinary close.
+        if (conn->assembler.mid_frame()) {
+          if (metrics_ != nullptr) metrics_->RecordFrameError();
+          Evict(conn, EvictionCause::kProtocolError);
+        } else {
+          CloseConn(conn);
+        }
+        continue;
+      }
+      if (mask & EPOLLIN) {
+        HandleReadable(conn);
+        it = conns_.find(id);
+        if (it == conns_.end()) continue;  // evicted inside the read
+        conn = it->second.get();
+      }
+      if (mask & EPOLLOUT) HandleWritable(conn);
+    }
+    DrainCompletions();
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_sweep_ >= std::chrono::milliseconds(kSweepIntervalMs)) {
+      last_sweep_ = now;
+      SweepDeadlines();
+    }
+    if (now - last_shed_eval_ >= std::chrono::milliseconds(kShedWindowMs)) {
+      last_shed_eval_ = now;
+      UpdateSheddingWindow();
+    }
+  }
+
+  // Shutdown: evict every remaining connection. Collect ids first —
+  // Evict mutates conns_.
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) {
+    auto it = conns_.find(id);
+    if (it != conns_.end()) Evict(it->second.get(), EvictionCause::kShutdown);
+  }
+}
+
+void ConnectionSupervisor::HandleAccept(int listen_fd, bool is_tcp) {
+  if (listen_fd < 0) return;
+  // Drain the accept backlog; edge cases (EMFILE, caps, overload) shed
+  // per connection and keep going so one bad accept cannot wedge the rest.
+  for (;;) {
+    struct sockaddr_storage addr;
+    socklen_t addr_len = sizeof(addr);
+    int fd = accept4(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     &addr_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const bool forced_emfile = fd >= 0 && PRIVIEW_FAILPOINT("serve/accept-emfile");
+    if (forced_emfile) {
+      // Drill the EMFILE path with a healthy fd standing in for the one
+      // accept would have produced after the spare was released.
+      close(fd);
+      fd = -1;
+      errno = EMFILE;
+    }
+    if (fd < 0) {
+      const int err = errno;
+      if (WouldBlock(err)) return;  // backlog drained
+      if (err == EINTR || err == ECONNABORTED) continue;
+      if (err == EMFILE || err == ENFILE) {
+        // Out of fds: release the spare, accept the pending connection,
+        // shed it, re-acquire the spare. Without this the listener stays
+        // permanently readable and the loop spins at 100% CPU doing
+        // nothing.
+        if (spare_fd_ >= 0) {
+          close(spare_fd_);
+          spare_fd_ = -1;
+          int shed = accept4(listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (shed >= 0) close(shed);
+          spare_fd_ = open("/dev/null", O_RDONLY | O_CLOEXEC);
+        }
+        if (metrics_ != nullptr) {
+          metrics_->RecordShedAccept(ShedCause::kEmfile);
+        }
+        if (forced_emfile) continue;
+        return;  // real fd pressure: stop accepting this round
+      }
+      return;  // EBADF after CloseListeners, or a listener-level error
+    }
+
+    if (conns_.size() >= options_.max_connections) {
+      close(fd);
+      if (metrics_ != nullptr) metrics_->RecordShedAccept(ShedCause::kConnCap);
+      continue;
+    }
+    if (shedding_.load(std::memory_order_relaxed)) {
+      close(fd);
+      if (metrics_ != nullptr) metrics_->RecordShedAccept(ShedCause::kOverload);
+      continue;
+    }
+    uint32_t peer_ip = 0;
+    if (is_tcp && addr.ss_family == AF_INET) {
+      peer_ip = ntohl(reinterpret_cast<struct sockaddr_in*>(&addr)
+                          ->sin_addr.s_addr);
+      if (options_.max_connections_per_ip > 0) {
+        auto it = per_ip_.find(peer_ip);
+        if (it != per_ip_.end() &&
+            it->second >= options_.max_connections_per_ip) {
+          close(fd);
+          if (metrics_ != nullptr) {
+            metrics_->RecordShedAccept(ShedCause::kIpCap);
+          }
+          continue;
+        }
+      }
+    }
+
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->peer_ip = peer_ip;
+    conn->last_activity = Conn::Clock::now();
+    if (PRIVIEW_FAILPOINT("serve/half-open")) {
+      // Drill the half-open defense: pretend this peer's last activity
+      // was in the deep past so the idle sweep evicts it.
+      conn->last_activity -= std::chrono::hours(24);
+    }
+
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      continue;
+    }
+    if (peer_ip != 0) per_ip_[peer_ip]++;
+    if (metrics_ != nullptr) metrics_->RecordConnectionOpened();
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void ConnectionSupervisor::HandleReadable(Conn* conn) {
+  uint8_t buf[kReadChunk];
+  for (;;) {
+    const ssize_t n = read(conn->fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (WouldBlock(errno)) break;
+      Evict(conn, EvictionCause::kProtocolError);
+      return;
+    }
+    if (n == 0) {
+      // EOF. Mid-frame it is a torn frame; at a boundary it is a clean
+      // close — but only once every buffered response has gone out.
+      if (conn->assembler.mid_frame()) {
+        if (metrics_ != nullptr) metrics_->RecordFrameError();
+        Evict(conn, EvictionCause::kProtocolError);
+      } else if (conn->request_inflight || !conn->pending.empty() ||
+                 conn->egress_off < conn->egress.size()) {
+        // Half-close: peer shut down its write side but may still read.
+        // Let in-flight work finish; the conn closes once everything
+        // drains. Drop read interest or the level-triggered EOF would
+        // re-fire every epoll_wait.
+        conn->read_eof = true;
+        conn->last_activity = Conn::Clock::now();
+        UpdateEpollInterest(conn);
+      } else {
+        CloseConn(conn);
+      }
+      return;
+    }
+
+    const bool was_mid_frame = conn->assembler.mid_frame();
+    const Status ingest = conn->assembler.Ingest(buf, n);
+    if (!ingest.ok()) {
+      // Oversized/liar header — unsyncable stream.
+      if (metrics_ != nullptr) metrics_->RecordFrameError();
+      Evict(conn, EvictionCause::kProtocolError);
+      return;
+    }
+    conn->last_activity = Conn::Clock::now();
+    while (conn->assembler.HasFrame()) {
+      conn->pending.push_back(conn->assembler.PopFrame());
+    }
+    const size_t outstanding =
+        conn->pending.size() + (conn->request_inflight ? 1 : 0);
+    if (outstanding > options_.max_pipelined_frames) {
+      Evict(conn, EvictionCause::kPipelineOverflow);
+      return;
+    }
+    if (conn->assembler.mid_frame()) {
+      if (!was_mid_frame && options_.io_timeout_ms > 0) {
+        // Frame just started: arm the stall deadline. An already-armed
+        // deadline is NOT pushed forward by trickle progress — a
+        // slowloris drips one byte per poll precisely to refresh naive
+        // idle timers.
+        conn->frame_deadline =
+            Conn::Clock::now() + std::chrono::milliseconds(options_.io_timeout_ms);
+      }
+    } else {
+      conn->frame_deadline = {};
+    }
+    if (PRIVIEW_FAILPOINT("serve/peer-stall")) {
+      // Drill the slowloris defense: treat this peer as already stalled.
+      Evict(conn, EvictionCause::kFrameStall);
+      return;
+    }
+    DispatchNext(conn);
+    if (static_cast<size_t>(n) < sizeof(buf)) break;  // drained the socket
+  }
+}
+
+void ConnectionSupervisor::DispatchNext(Conn* conn) {
+  if (conn->request_inflight || conn->pending.empty()) return;
+  conn->request_inflight = true;
+  Job job;
+  job.conn_id = conn->id;
+  job.payload = std::move(conn->pending.front());
+  conn->pending.pop_front();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.push_back(std::move(job));
+  }
+  jobs_cv_.notify_one();
+}
+
+void ConnectionSupervisor::HandlerThread() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mu_);
+      jobs_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) || !jobs_.empty();
+      });
+      if (jobs_.empty()) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    inflight_jobs_.fetch_add(1, std::memory_order_acq_rel);
+    Completion done;
+    done.conn_id = job.conn_id;
+    done.response = handler_(std::move(job.payload));
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(std::move(done));
+    }
+    inflight_jobs_.fetch_sub(1, std::memory_order_acq_rel);
+    WakeLoop();
+  }
+}
+
+void ConnectionSupervisor::DrainCompletions() {
+  std::deque<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (auto& done : batch) {
+    auto it = conns_.find(done.conn_id);
+    if (it == conns_.end()) continue;  // evicted while the handler ran
+    Conn* conn = it->second.get();
+    conn->request_inflight = false;
+    if (PRIVIEW_FAILPOINT("serve/slow-reader")) {
+      // Drill the slow-reader defense: treat this response as having
+      // overflowed the peer's egress bound.
+      Evict(conn, EvictionCause::kEgressOverflow);
+      continue;
+    }
+    if (!EnqueueResponse(conn, done.response)) {
+      Evict(conn, EvictionCause::kEgressOverflow);
+      continue;
+    }
+    conn->last_activity = Conn::Clock::now();
+    DispatchNext(conn);
+    HandleWritable(conn);  // opportunistic write; usually completes here
+  }
+}
+
+bool ConnectionSupervisor::EnqueueResponse(Conn* conn,
+                                           const std::vector<uint8_t>& payload) {
+  // Compact the sent prefix before growing — keeps the buffer bounded by
+  // un-sent bytes, not by lifetime traffic.
+  if (conn->egress_off > 0) {
+    conn->egress.erase(conn->egress.begin(),
+                       conn->egress.begin() + conn->egress_off);
+    conn->egress_off = 0;
+  }
+  const size_t before = conn->egress.size();
+  if (!AppendFrame(&conn->egress, payload).ok()) return false;
+  const size_t queued = conn->egress.size();
+  total_egress_bytes_.fetch_add(queued - before, std::memory_order_acq_rel);
+  if (metrics_ != nullptr) metrics_->RecordEgressHighWater(queued);
+  if (queued > options_.max_egress_bytes) return false;
+  if (options_.io_timeout_ms > 0 && conn->write_deadline == Conn::Clock::time_point{}) {
+    conn->write_deadline =
+        Conn::Clock::now() + std::chrono::milliseconds(options_.io_timeout_ms);
+  }
+  return true;
+}
+
+void ConnectionSupervisor::HandleWritable(Conn* conn) {
+  while (conn->egress_off < conn->egress.size()) {
+    const ssize_t n =
+        write(conn->fd, conn->egress.data() + conn->egress_off,
+              conn->egress.size() - conn->egress_off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (WouldBlock(errno)) break;
+      Evict(conn, EvictionCause::kProtocolError);
+      return;
+    }
+    conn->egress_off += static_cast<size_t>(n);
+    total_egress_bytes_.fetch_sub(static_cast<uint64_t>(n),
+                                  std::memory_order_acq_rel);
+    conn->last_activity = Conn::Clock::now();
+    if (options_.io_timeout_ms > 0) {
+      // Write progress pushes the write stall deadline forward — unlike
+      // the read side, any forward motion here is the peer doing real
+      // work draining kernel buffers.
+      conn->write_deadline = conn->last_activity +
+                             std::chrono::milliseconds(options_.io_timeout_ms);
+    }
+  }
+  if (conn->egress_off >= conn->egress.size()) {
+    conn->egress.clear();
+    conn->egress_off = 0;
+    conn->write_deadline = {};
+    if (conn->read_eof && !conn->request_inflight && conn->pending.empty()) {
+      CloseConn(conn);  // half-closed peer got everything it was owed
+      return;
+    }
+  }
+  const bool want_write = conn->egress_off < conn->egress.size();
+  if (want_write != conn->want_write) {
+    conn->want_write = want_write;
+    UpdateEpollInterest(conn);
+  }
+}
+
+void ConnectionSupervisor::UpdateEpollInterest(Conn* conn) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = (conn->read_eof ? 0u : uint32_t(EPOLLIN)) |
+              (conn->want_write ? uint32_t(EPOLLOUT) : 0u);
+  ev.data.u64 = conn->id;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void ConnectionSupervisor::SweepDeadlines() {
+  const auto now = Conn::Clock::now();
+  std::vector<uint64_t> expired;
+  std::vector<EvictionCause> causes;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->frame_deadline != Conn::Clock::time_point{} &&
+        now >= conn->frame_deadline) {
+      expired.push_back(id);
+      causes.push_back(EvictionCause::kFrameStall);
+      continue;
+    }
+    if (conn->write_deadline != Conn::Clock::time_point{} &&
+        now >= conn->write_deadline) {
+      expired.push_back(id);
+      causes.push_back(EvictionCause::kEgressOverflow);
+      continue;
+    }
+    if (options_.idle_timeout_ms > 0 && !conn->request_inflight &&
+        conn->pending.empty() &&
+        now - conn->last_activity >=
+            std::chrono::milliseconds(options_.idle_timeout_ms)) {
+      expired.push_back(id);
+      causes.push_back(EvictionCause::kIdle);
+    }
+  }
+  for (size_t i = 0; i < expired.size(); ++i) {
+    auto it = conns_.find(expired[i]);
+    if (it != conns_.end()) Evict(it->second.get(), causes[i]);
+  }
+}
+
+void ConnectionSupervisor::UpdateSheddingWindow() {
+  if (metrics_ == nullptr || options_.shed_queue_wait_p99_us == 0) return;
+  const obs::Histogram::Snapshot now_snap = metrics_->QueueWaitSnapshot();
+  const uint64_t p99 = WindowP99Us(last_queue_wait_snapshot_, now_snap);
+  last_queue_wait_snapshot_ = now_snap;
+  // A quiet window (no queue waits observed) always clears shedding —
+  // when shed accepts stop new work, the queue drains and p99 of an
+  // empty window must not latch the previous verdict.
+  shedding_.store(p99 > options_.shed_queue_wait_p99_us,
+                  std::memory_order_relaxed);
+}
+
+void ConnectionSupervisor::Evict(Conn* conn, EvictionCause cause) {
+  if (metrics_ != nullptr) metrics_->RecordEviction(cause);
+  CloseConn(conn);
+}
+
+void ConnectionSupervisor::CloseConn(Conn* conn) {
+  const uint64_t id = conn->id;
+  const size_t unsent = conn->egress.size() - conn->egress_off;
+  if (unsent > 0) {
+    total_egress_bytes_.fetch_sub(unsent, std::memory_order_acq_rel);
+  }
+  if (conn->peer_ip != 0) {
+    auto it = per_ip_.find(conn->peer_ip);
+    if (it != per_ip_.end() && --(it->second) == 0) per_ip_.erase(it);
+  }
+  // Closing the fd removes it from the epoll set.
+  close(conn->fd);
+  if (metrics_ != nullptr) metrics_->RecordConnectionClosed();
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  // A completion may still arrive for this conn; DrainCompletions drops
+  // completions whose conn_id is gone, so erasing here is safe.
+  conns_.erase(id);
+}
+
+}  // namespace priview::serve

@@ -1,0 +1,246 @@
+// ConnectionSupervisor: the epoll transport under PriViewServer.
+//
+// One event-loop thread owns every connection fd, the (non-blocking) Unix
+// and TCP listeners, and a wakeup eventfd; a small handler pool runs the
+// request callback (which blocks in the RequestBroker) so the loop itself
+// never blocks on anything but epoll_wait. This replaces the old
+// one-thread-per-connection model: thousands of idle, slow or outright
+// hostile peers cost fds and buffer bytes, never threads.
+//
+// Per-connection state machine:
+//
+//   accept -> [admission: caps / overload shed / EMFILE shed]
+//   readable -> FrameAssembler ingests bytes -> completed frames queue as
+//     pending requests -> dispatched to the handler pool one at a time
+//     (responses stay in request order; a strict request/response client
+//     never waits on another request of its own)
+//   handler completion -> response framed into the connection's bounded
+//     egress buffer -> writable -> drained to the socket
+//   eviction -> fd closed, cause counted (see EvictionCause)
+//
+// Robustness policies, all deadline- or cap-driven:
+//   - Slowloris: a frame that starts and then stalls past io_timeout_ms is
+//     evicted (kFrameStall). Idle connections with no frame in flight are
+//     healthy and unpoliced unless idle_timeout_ms is set.
+//   - Half-open peers: with idle_timeout_ms > 0, a connection with no
+//     completed traffic for that long is evicted (kIdle).
+//   - Slow readers: responses queue in a bounded egress buffer
+//     (max_egress_bytes); a peer that stops draining overflows it and is
+//     evicted (kEgressOverflow). A non-empty egress that makes no write
+//     progress within io_timeout_ms is a stall, evicted the same way a
+//     stalled read is.
+//   - Pipeline abuse: more than max_pipelined_frames requests outstanding
+//     on one connection is eviction (kPipelineOverflow).
+//   - Admission caps: max_connections globally and (for TCP peers)
+//     max_connections_per_ip; over-cap accepts are closed immediately and
+//     counted as shed, never queued.
+//   - EMFILE: accept(2) failing with EMFILE/ENFILE is handled by closing a
+//     pre-allocated spare fd, accepting the pending connection, closing
+//     it (shed), and re-acquiring the spare — the listener sheds and
+//     continues instead of spinning on a hot, un-acceptable backlog.
+//   - Adaptive overload shedding: every sweep the supervisor computes the
+//     broker queue-wait p99 over the *last window* (a delta of histogram
+//     snapshots, not the lifetime distribution); past
+//     shed_queue_wait_p99_us, new accepts are shed (kOverload) until the
+//     window p99 recovers. Rejecting at accept is the cheapest possible
+//     "try later" — no frame parse, no broker queueing.
+//
+// Failpoints (chaos drills): "serve/accept-emfile" forces the EMFILE shed
+// path, "serve/half-open" treats a fresh accept as half-open,
+// "serve/peer-stall" treats a readable peer as stalled mid-frame, and
+// "serve/slow-reader" treats a completion as an egress overflow.
+#ifndef PRIVIEW_SERVE_CONNECTION_SUPERVISOR_H_
+#define PRIVIEW_SERVE_CONNECTION_SUPERVISOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/server_metrics.h"
+#include "serve/wire_protocol.h"
+
+namespace priview::serve {
+
+struct SupervisorOptions {
+  /// Per-frame stall deadline (read side: frame started but not finished;
+  /// write side: non-empty egress making no progress). <= 0 disables.
+  int io_timeout_ms = kDefaultIoTimeoutMs;
+  /// Evict connections with no completed traffic for this long — the
+  /// half-open defense. 0 keeps today's contract: idle is healthy.
+  int idle_timeout_ms = 0;
+  /// Global cap on concurrently open connections; accepts past it shed.
+  size_t max_connections = 8192;
+  /// Per-peer-IP cap for TCP listeners (Unix-socket peers are exempt:
+  /// they are local and unattributable). 0 = unlimited.
+  size_t max_connections_per_ip = 0;
+  /// Bound on one connection's buffered (framed, un-sent) responses.
+  size_t max_egress_bytes = 4u << 20;
+  /// Bound on requests outstanding (pending + dispatched) per connection.
+  size_t max_pipelined_frames = 16;
+  /// Worker threads running the request handler (each blocks in the
+  /// broker, so this is the in-flight request concurrency).
+  size_t handler_threads = 16;
+  /// Adaptive shed threshold on the windowed broker queue-wait p99, in
+  /// microseconds. 0 disables overload shedding.
+  uint64_t shed_queue_wait_p99_us = 0;
+};
+
+class ConnectionSupervisor {
+ public:
+  /// Turns one request payload into one response payload. Runs on a
+  /// handler thread; may block (the broker applies its own deadlines).
+  /// Must never throw; every failure is an encoded error response.
+  using Handler = std::function<std::vector<uint8_t>(std::vector<uint8_t>)>;
+
+  ConnectionSupervisor(const SupervisorOptions& options,
+                       ServerMetrics* metrics, Handler handler);
+  ~ConnectionSupervisor();
+  ConnectionSupervisor(const ConnectionSupervisor&) = delete;
+  ConnectionSupervisor& operator=(const ConnectionSupervisor&) = delete;
+
+  /// Takes ownership of the listener fds (either may be -1) and starts
+  /// the event loop + handler pool. The fds must already be non-blocking
+  /// listening sockets.
+  Status Start(int unix_listen_fd, int tcp_listen_fd);
+
+  /// Drain step 1: close the listeners (new connects are refused by the
+  /// kernel) but keep serving live connections. Safe to call from any
+  /// thread; idempotent.
+  void CloseListeners();
+
+  /// Waits until no handler job is in flight and every egress buffer has
+  /// drained, or `timeout` passes. True on quiescence — the drain path
+  /// uses this to let responses of already-admitted work reach their
+  /// clients before the final eviction.
+  bool Quiesce(std::chrono::milliseconds timeout);
+
+  /// Evicts every connection (kShutdown), joins the loop and the handler
+  /// pool. Idempotent.
+  void Stop();
+
+  size_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+  size_t inflight_requests() const {
+    return inflight_jobs_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_egress_bytes() const {
+    return total_egress_bytes_.load(std::memory_order_relaxed);
+  }
+  /// True while overload shedding is rejecting new accepts.
+  bool shedding() const { return shedding_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    /// IPv4 peer address for per-IP accounting; 0 for Unix-socket peers.
+    uint32_t peer_ip = 0;
+    FrameAssembler assembler;
+    /// Completed frames waiting for their turn on the handler pool.
+    std::deque<std::vector<uint8_t>> pending;
+    /// One request at a time per connection keeps responses in order.
+    bool request_inflight = false;
+    /// Framed responses not yet written; egress_off is the sent prefix.
+    std::vector<uint8_t> egress;
+    size_t egress_off = 0;
+    bool want_write = false;
+    /// Peer half-closed its write side; read interest is dropped (a
+    /// level-triggered EOF would otherwise spin the loop) and the conn
+    /// closes once in-flight work and egress drain.
+    bool read_eof = false;
+    using Clock = std::chrono::steady_clock;
+    /// Armed when a frame starts; cleared when the assembler leaves
+    /// mid-frame state. Expiry = slowloris eviction.
+    Clock::time_point frame_deadline{};
+    /// Armed while egress is non-empty; pushed forward on every write
+    /// that makes progress. Expiry = slow-reader stall eviction.
+    Clock::time_point write_deadline{};
+    /// Last time any byte moved or a response completed; drives the
+    /// half-open idle eviction.
+    Clock::time_point last_activity{};
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::vector<uint8_t> response;
+  };
+  struct Job {
+    uint64_t conn_id = 0;
+    std::vector<uint8_t> payload;
+  };
+
+  void LoopThread();
+  void HandlerThread();
+  void HandleAccept(int listen_fd, bool is_tcp);
+  void HandleReadable(Conn* conn);
+  void HandleWritable(Conn* conn);
+  void DrainCompletions();
+  void DispatchNext(Conn* conn);
+  /// Appends one framed response; true if the egress bound held.
+  bool EnqueueResponse(Conn* conn, const std::vector<uint8_t>& payload);
+  void Evict(Conn* conn, EvictionCause cause);
+  void CloseConn(Conn* conn);
+  void SweepDeadlines();
+  void UpdateSheddingWindow();
+  void UpdateEpollInterest(Conn* conn);
+  void WakeLoop();
+
+  const SupervisorOptions options_;
+  ServerMetrics* const metrics_;
+  const Handler handler_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  /// Atomic because CloseListeners (drain thread) nulls them while the
+  /// loop thread may be between its listeners_closed_ check and the
+  /// accept; a stale fd value just yields EBADF, handled as
+  /// listener-gone, but the read itself must be race-free.
+  std::atomic<int> unix_listen_fd_{-1};
+  std::atomic<int> tcp_listen_fd_{-1};
+  /// Pre-allocated fd released to make room for the EMFILE shed-accept.
+  int spare_fd_ = -1;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> handler_pool_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> listeners_closed_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  /// Serializes Start/Stop/CloseListeners against each other.
+  std::mutex lifecycle_mu_;
+
+  /// Loop-thread-only state.
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  std::unordered_map<uint32_t, size_t> per_ip_;
+  uint64_t next_conn_id_ = 16;  // ids 0..15 reserved for listeners/wakeups
+  std::chrono::steady_clock::time_point last_sweep_{};
+  std::chrono::steady_clock::time_point last_shed_eval_{};
+  obs::Histogram::Snapshot last_queue_wait_snapshot_{};
+
+  /// Handler pool plumbing.
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+  std::mutex completions_mu_;
+  std::deque<Completion> completions_;
+
+  /// Cross-thread observability.
+  std::atomic<size_t> open_connections_{0};
+  std::atomic<size_t> inflight_jobs_{0};
+  std::atomic<uint64_t> total_egress_bytes_{0};
+  std::atomic<bool> shedding_{false};
+};
+
+}  // namespace priview::serve
+
+#endif  // PRIVIEW_SERVE_CONNECTION_SUPERVISOR_H_

@@ -1,6 +1,9 @@
 #include "serve/server.h"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -54,24 +57,51 @@ PriViewServer::PriViewServer(const ServerOptions& options)
       "priview_broker_queue_depth",
       "Requests admitted but not yet dispatched",
       [this] { return static_cast<int64_t>(broker_->QueueDepth()); });
+  // Supervisor state, pulled live at scrape time (the supervisor object
+  // is replaced across Start cycles, hence the indirection through the
+  // unique_ptr rather than a captured raw pointer).
+  metrics_.registry().RegisterCallbackGauge(
+      "priview_serve_open_connections",
+      "Connections currently owned by the supervisor", [this] {
+        const ConnectionSupervisor* s = supervisor_.get();
+        return s ? static_cast<int64_t>(s->open_connections()) : 0;
+      });
+  metrics_.registry().RegisterCallbackGauge(
+      "priview_serve_inflight_requests",
+      "Requests currently executing on supervisor handler threads", [this] {
+        const ConnectionSupervisor* s = supervisor_.get();
+        return s ? static_cast<int64_t>(s->inflight_requests()) : 0;
+      });
+  metrics_.registry().RegisterCallbackGauge(
+      "priview_serve_overload_shedding",
+      "1 while adaptive overload shedding is rejecting new accepts", [this] {
+        const ConnectionSupervisor* s = supervisor_.get();
+        return s != nullptr && s->shedding() ? 1 : 0;
+      });
 }
 
 PriViewServer::~PriViewServer() { Stop(); }
 
-Status PriViewServer::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (running_) return Status::FailedPrecondition("server already running");
+Status PriViewServer::BindUnixListener(int* fd_out) {
+  *fd_out = -1;
+  if (options_.socket_path.empty()) {
+    // Legal only for a TCP-only server.
+    if (options_.tcp_port < 0) {
+      return Status::InvalidArgument("no socket path and no TCP port");
+    }
+    return Status::OK();
+  }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  if (options_.socket_path.empty() ||
-      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
     return Status::InvalidArgument("bad socket path: '" +
                                    options_.socket_path + "'");
   }
   std::memcpy(addr.sun_path, options_.socket_path.c_str(),
               options_.socket_path.size() + 1);
 
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  const int fd =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status::IOError("socket(): " + std::string(std::strerror(errno)));
   }
@@ -85,26 +115,113 @@ Status PriViewServer::Start() {
     ::close(fd);
     return st;
   }
-  if (::listen(fd, 64) < 0) {
+  if (::listen(fd, 512) < 0) {
     const Status st =
         Status::IOError("listen(): " + std::string(std::strerror(errno)));
     ::close(fd);
     ::unlink(options_.socket_path.c_str());
     return st;
   }
-  if (::pipe(drain_pipe_) != 0) {
-    const Status st =
-        Status::IOError("pipe(): " + std::string(std::strerror(errno)));
+  *fd_out = fd;
+  return Status::OK();
+}
+
+Status PriViewServer::BindTcpListener(int* fd_out) {
+  *fd_out = -1;
+  if (options_.tcp_port < 0) return Status::OK();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+  if (::inet_pton(AF_INET, options_.tcp_host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad tcp host: '" + options_.tcp_host +
+                                   "'");
+  }
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError("socket(tcp): " +
+                           std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Status::IOError(
+        "bind(" + options_.tcp_host + ":" + std::to_string(options_.tcp_port) +
+        "): " + std::string(std::strerror(errno)));
     ::close(fd);
-    ::unlink(options_.socket_path.c_str());
     return st;
   }
-  listen_fd_ = fd;
+  if (::listen(fd, 512) < 0) {
+    const Status st =
+        Status::IOError("listen(tcp): " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    bound_tcp_port_.store(ntohs(bound.sin_port), std::memory_order_relaxed);
+  }
+  *fd_out = fd;
+  return Status::OK();
+}
+
+Status PriViewServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::FailedPrecondition("server already running");
+
+  int unix_fd = -1;
+  Status st = BindUnixListener(&unix_fd);
+  if (!st.ok()) return st;
+  int tcp_fd = -1;
+  st = BindTcpListener(&tcp_fd);
+  if (!st.ok()) {
+    if (unix_fd >= 0) {
+      ::close(unix_fd);
+      ::unlink(options_.socket_path.c_str());
+    }
+    return st;
+  }
+  if (::pipe(drain_pipe_) != 0) {
+    st = Status::IOError("pipe(): " + std::string(std::strerror(errno)));
+    if (unix_fd >= 0) {
+      ::close(unix_fd);
+      ::unlink(options_.socket_path.c_str());
+    }
+    if (tcp_fd >= 0) ::close(tcp_fd);
+    return st;
+  }
+
+  // ServerOptions.io_timeout_ms is the authoritative per-frame deadline;
+  // the supervisor struct carries everything else.
+  SupervisorOptions sup = options_.supervisor;
+  sup.io_timeout_ms = options_.io_timeout_ms;
+  supervisor_ = std::make_unique<ConnectionSupervisor>(
+      sup, &metrics_, [this](std::vector<uint8_t> payload) {
+        return HandlePayload(std::move(payload));
+      });
+
   running_ = true;
   draining_.store(false, std::memory_order_relaxed);
   watcher_stop_.store(false, std::memory_order_relaxed);
   broker_->Start();
-  accept_thread_ = std::thread(&PriViewServer::AcceptLoop, this);
+  st = supervisor_->Start(unix_fd, tcp_fd);
+  if (!st.ok()) {
+    running_ = false;
+    broker_->Stop();
+    if (unix_fd >= 0) {
+      ::close(unix_fd);
+      ::unlink(options_.socket_path.c_str());
+    }
+    if (tcp_fd >= 0) ::close(tcp_fd);
+    bound_tcp_port_.store(-1, std::memory_order_relaxed);
+    for (int& pipe_fd : drain_pipe_) {
+      if (pipe_fd >= 0) ::close(pipe_fd);
+      pipe_fd = -1;
+    }
+    return st;
+  }
   drain_watcher_ = std::thread(&PriViewServer::DrainWatcherLoop, this);
   return Status::OK();
 }
@@ -124,36 +241,30 @@ size_t PriViewServer::Shutdown(bool graceful) {
   size_t left = 0;
   if (was_running) {
     if (graceful) {
+      // Ordering is the drain contract: readiness flips first (health
+      // probes on live connections report not-ready), the listeners close
+      // second (new connects refused), already-admitted work finishes
+      // third, responses flush fourth, stragglers are evicted last.
       draining_.store(true, std::memory_order_relaxed);
-    } else {
-      // Fail queued work fast so connection handlers blocked in Ask
-      // unblock with a Status instead of waiting out their deadlines.
-      broker_->Stop();
-    }
-    if (listen_fd_ >= 0) {
-      ::shutdown(listen_fd_, SHUT_RDWR);
-      ::close(listen_fd_);
-    }
-    if (accept_thread_.joinable()) accept_thread_.join();
-    listen_fd_ = -1;
-    if (graceful) {
-      // Accepting has stopped; let everything already admitted run to
-      // completion within the grace. New Asks on live connections are
-      // rejected by the broker with (retryable) Unavailable meanwhile.
+      supervisor_->CloseListeners();
+      // New Asks on live connections are rejected by the broker with
+      // (retryable) Unavailable meanwhile.
       left = broker_->Drain(options_.drain_grace);
       metrics_.RecordDrain(left);
+      // Let in-flight handler jobs complete and their egress reach the
+      // peers; whatever is still stuck at the deadline gets evicted as a
+      // shutdown straggler by Stop below.
+      supervisor_->Quiesce(options_.drain_grace);
+    } else {
+      // Fail queued work fast so handler threads blocked in Ask unblock
+      // with a Status instead of waiting out their deadlines.
+      broker_->Stop();
     }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (std::unique_ptr<Connection>& conn : connections_) {
-        if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
-      }
+    supervisor_->Stop();
+    bound_tcp_port_.store(-1, std::memory_order_relaxed);
+    if (!options_.socket_path.empty()) {
+      ::unlink(options_.socket_path.c_str());
     }
-    for (std::unique_ptr<Connection>& conn : connections_) {
-      if (conn->thread.joinable()) conn->thread.join();
-    }
-    connections_.clear();
-    ::unlink(options_.socket_path.c_str());
   }
   watcher_stop_.store(true, std::memory_order_relaxed);
   if (drain_watcher_.joinable() &&
@@ -200,73 +311,15 @@ bool PriViewServer::Ready() const {
          broker_->accepting() && registry_.size() > 0;
 }
 
-void PriViewServer::AcceptLoop() {
-  for (;;) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!running_) return;
-    }
-    if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;  // listen socket gone (Stop) or unrecoverable
-    }
-    metrics_.RecordConnectionOpened();
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    Connection* raw = conn.get();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!running_) {
-        ::close(fd);
-        metrics_.RecordConnectionClosed();
-        return;
-      }
-      connections_.push_back(std::move(conn));
-    }
-    raw->thread = std::thread([this, raw] { ServeConnection(raw->fd); });
+std::vector<uint8_t> PriViewServer::HandlePayload(std::vector<uint8_t> payload) {
+  StatusOr<WireRequest> request = DecodeRequest(payload);
+  if (!request.ok()) {
+    // The frame boundary is intact, so the connection survives a
+    // malformed payload; the analyst just gets the error.
+    metrics_.RecordFrameError();
+    return EncodeResponse(MakeErrorResponse(request.status()));
   }
-}
-
-void PriViewServer::ServeConnection(int fd) {
-  // Non-blocking: every read/write goes through the frame layer's
-  // poll-based readiness wait, where the io deadline is enforceable. On a
-  // blocking fd a peer stalled mid-frame would park this thread in the
-  // kernel, outside any timeout's reach.
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-  std::vector<uint8_t> payload;
-  for (;;) {
-    bool clean_eof = false;
-    const Status read =
-        ReadFrame(fd, &payload, &clean_eof, options_.io_timeout_ms);
-    if (!read.ok()) {
-      // Torn or oversized inbound frame: the stream cannot be resynced.
-      metrics_.RecordFrameError();
-      break;
-    }
-    if (clean_eof) break;
-
-    std::vector<uint8_t> response_bytes;
-    StatusOr<WireRequest> request = DecodeRequest(payload);
-    if (!request.ok()) {
-      // The frame boundary is intact, so the connection survives a
-      // malformed payload; the analyst just gets the error.
-      metrics_.RecordFrameError();
-      response_bytes = EncodeResponse(MakeErrorResponse(request.status()));
-    } else {
-      response_bytes = HandleRequest(request.value());
-    }
-    if (!WriteFrame(fd, response_bytes, options_.io_timeout_ms).ok()) {
-      metrics_.RecordFrameError();
-      break;
-    }
-  }
-  ::close(fd);
-  metrics_.RecordConnectionClosed();
+  return HandleRequest(request.value());
 }
 
 std::vector<uint8_t> PriViewServer::HandleRequest(const WireRequest& request) {

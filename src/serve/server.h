@@ -1,8 +1,13 @@
 // PriViewServer: the process boundary. Listens on a Unix-domain stream
-// socket, speaks the serve/wire_protocol framing, and routes every data
-// request through the RequestBroker (admission control, coalescing,
-// deadline degradation) against the SynopsisRegistry. One thread per
-// connection; connections are independent, and a malformed or torn frame
+// socket (and optionally a TCP endpoint), speaks the serve/wire_protocol
+// framing, and routes every data request through the RequestBroker
+// (admission control, coalescing, deadline degradation) against the
+// SynopsisRegistry.
+//
+// Transport is the epoll ConnectionSupervisor: one event-loop thread owns
+// every connection, a fixed handler pool runs requests, and adversarial
+// peers (slowloris, half-open, slow readers, pipeline abusers) are evicted
+// by deadline or cap instead of parking threads. A malformed or torn frame
 // kills only its own connection, never the process.
 //
 // Request handling:
@@ -30,6 +35,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "serve/connection_supervisor.h"
 #include "serve/request_broker.h"
 #include "serve/server_metrics.h"
 #include "serve/synopsis_registry.h"
@@ -39,15 +45,27 @@ namespace priview::serve {
 
 struct ServerOptions {
   /// Filesystem path of the Unix-domain socket (bound at Start; unlinked
-  /// at Stop). Must fit sockaddr_un (~107 bytes).
+  /// at Stop). Must fit sockaddr_un (~107 bytes). May be empty when a TCP
+  /// endpoint is configured (TCP-only server).
   std::string socket_path;
+  /// TCP listen port: -1 disables the TCP endpoint (Unix socket only),
+  /// 0 binds an ephemeral port (read it back via bound_tcp_port()), > 0
+  /// binds that port. The endpoint speaks the same wire protocol.
+  int tcp_port = -1;
+  /// Interface the TCP endpoint binds. Loopback by default — exposing the
+  /// server beyond the host is a deliberate operator decision.
+  std::string tcp_host = "127.0.0.1";
   BrokerOptions broker;
   /// Per-frame io deadline on connection sockets: a frame that has
-  /// started (or a response being written) must complete within this
-  /// budget or the connection is dropped, so a peer that dies mid-frame
-  /// cannot park a handler thread forever. Idle connections (no frame in
-  /// flight) are not policed. <= 0 disables the deadline.
+  /// started (or a response being written) must make progress within this
+  /// budget or the connection is evicted, so a peer that dies mid-frame
+  /// cannot stall the server. Idle connections (no frame in flight) are
+  /// not policed. <= 0 disables the deadline. Authoritative — it
+  /// overrides supervisor.io_timeout_ms.
   int io_timeout_ms = kDefaultIoTimeoutMs;
+  /// Transport policies: connection caps, per-IP caps, egress bounds,
+  /// pipelining bound, handler pool size, overload shedding.
+  SupervisorOptions supervisor;
   /// How long Drain() lets already-admitted broker work finish before
   /// closing connections. <= 0 falls back to broker.stop_grace.
   std::chrono::milliseconds drain_grace{5000};
@@ -60,18 +78,19 @@ class PriViewServer {
   PriViewServer(const PriViewServer&) = delete;
   PriViewServer& operator=(const PriViewServer&) = delete;
 
-  /// Binds the socket, starts the broker dispatcher, the accept loop and
-  /// the drain watcher (the thread behind RequestDrain / SIGTERM).
+  /// Binds the listeners, starts the broker dispatcher, the connection
+  /// supervisor and the drain watcher (the thread behind RequestDrain /
+  /// SIGTERM).
   Status Start();
-  /// Hard stop: fails queued broker work, shuts down live connections,
-  /// joins every thread, unlinks the socket. Idempotent.
+  /// Hard stop: fails queued broker work, evicts live connections, joins
+  /// every thread, unlinks the socket. Idempotent.
   void Stop();
   /// Graceful shutdown: stop accepting new connections and requests, let
-  /// already-admitted broker work finish within options().drain_grace,
-  /// then close connections and stop. Returns how many requests were still
-  /// queued or in flight when the grace expired (also exported as the
-  /// priview_drain_inflight_at_close gauge). Idempotent with Stop —
-  /// whichever runs first wins.
+  /// already-admitted broker work finish within options().drain_grace and
+  /// its responses flush to their clients, then evict stragglers and stop.
+  /// Returns how many requests were still queued or in flight when the
+  /// grace expired (also exported as the priview_drain_inflight_at_close
+  /// gauge). Idempotent with Stop — whichever runs first wins.
   size_t Drain();
 
   /// Async-signal-safe drain trigger: writes one byte to a self-pipe that
@@ -91,15 +110,21 @@ class PriViewServer {
     store_recovered_.store(recovered, std::memory_order_relaxed);
   }
 
+  /// Port the TCP endpoint actually bound (resolves tcp_port = 0), or -1
+  /// when the endpoint is disabled or the server is stopped.
+  int bound_tcp_port() const {
+    return bound_tcp_port_.load(std::memory_order_relaxed);
+  }
+
   /// Host / hot-swap synopses through this (thread-safe, live during
   /// serving).
   SynopsisRegistry& registry() { return registry_; }
   ServerMetrics& metrics() { return metrics_; }
   RequestBroker& broker() { return *broker_; }
+  /// Live transport state (open connections, inflight, shedding).
+  const ConnectionSupervisor* supervisor() const { return supervisor_.get(); }
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
   void DrainWatcherLoop();
   /// The single shutdown funnel behind Stop and Drain; serialized by
   /// lifecycle_mu_ so a signal-driven drain and a destructor Stop cannot
@@ -108,21 +133,20 @@ class PriViewServer {
   /// Builds the response for one decoded request (never throws; every
   /// failure is an error response).
   std::vector<uint8_t> HandleRequest(const WireRequest& request);
+  /// Supervisor handler: frame payload in, framed-able response out.
+  std::vector<uint8_t> HandlePayload(std::vector<uint8_t> payload);
+  Status BindUnixListener(int* fd_out);
+  Status BindTcpListener(int* fd_out);
 
   const ServerOptions options_;
   SynopsisRegistry registry_;
   ServerMetrics metrics_;
   std::unique_ptr<RequestBroker> broker_;
+  std::unique_ptr<ConnectionSupervisor> supervisor_;
 
   std::mutex mu_;
   bool running_ = false;
-  int listen_fd_ = -1;
-  std::thread accept_thread_;
-  struct Connection {
-    int fd = -1;
-    std::thread thread;
-  };
-  std::vector<std::unique_ptr<Connection>> connections_;
+  std::atomic<int> bound_tcp_port_{-1};
 
   /// Serializes Shutdown bodies (signal-driven Drain vs destructor Stop).
   std::mutex lifecycle_mu_;

@@ -30,6 +30,38 @@ const char* ServeTierName(ServeTier tier) {
   return "unknown";
 }
 
+const char* EvictionCauseName(EvictionCause cause) {
+  switch (cause) {
+    case EvictionCause::kFrameStall:
+      return "frame-stall";
+    case EvictionCause::kIdle:
+      return "idle";
+    case EvictionCause::kEgressOverflow:
+      return "egress-overflow";
+    case EvictionCause::kPipelineOverflow:
+      return "pipeline-overflow";
+    case EvictionCause::kProtocolError:
+      return "protocol-error";
+    case EvictionCause::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* ShedCauseName(ShedCause cause) {
+  switch (cause) {
+    case ShedCause::kConnCap:
+      return "conn-cap";
+    case ShedCause::kIpCap:
+      return "ip-cap";
+    case ShedCause::kEmfile:
+      return "emfile";
+    case ShedCause::kOverload:
+      return "overload";
+  }
+  return "unknown";
+}
+
 namespace {
 
 double BucketUpperBoundMs(int bucket) {
@@ -64,6 +96,21 @@ ServerMetrics::ServerMetrics() {
   frame_errors_ =
       registry_.GetCounter("priview_serve_frame_errors_total", {},
                            "Malformed or unreadable wire frames seen");
+  for (int c = 0; c < kEvictionCauseCount; ++c) {
+    evictions_[c] = registry_.GetCounter(
+        "priview_serve_evictions_total",
+        {{"cause", EvictionCauseName(static_cast<EvictionCause>(c))}},
+        "Connections force-closed by the supervisor, by cause");
+  }
+  for (int c = 0; c < kShedCauseCount; ++c) {
+    shed_accepts_[c] = registry_.GetCounter(
+        "priview_serve_accepts_shed_total",
+        {{"cause", ShedCauseName(static_cast<ShedCause>(c))}},
+        "Accepted connections closed at admission, by cause");
+  }
+  egress_hwm_bytes_ = registry_.GetGauge(
+      "priview_serve_egress_buffer_hwm_bytes", {},
+      "High-water mark of any connection's bounded egress buffer, bytes");
   drains_ = registry_.GetCounter("priview_serve_drains_total", {},
                                  "Graceful drains completed");
   drain_inflight_at_close_ = registry_.GetGauge(
@@ -102,6 +149,12 @@ ServerMetrics::Snapshot ServerMetrics::TakeSnapshot() const {
   s.connections_opened = connections_opened_->value();
   s.connections_closed = connections_closed_->value();
   s.frame_errors = frame_errors_->value();
+  for (int c = 0; c < kEvictionCauseCount; ++c) {
+    s.evictions[c] = evictions_[c]->value();
+  }
+  for (int c = 0; c < kShedCauseCount; ++c) {
+    s.shed_accepts[c] = shed_accepts_[c]->value();
+  }
   for (int k = 0; k < kRequestKindCount; ++k) {
     const obs::Histogram::Snapshot h = latency_us_[k]->TakeSnapshot();
     for (int b = 0; b < kLatencyBuckets; ++b) {
@@ -110,6 +163,18 @@ ServerMetrics::Snapshot ServerMetrics::TakeSnapshot() const {
     s.latency_totals[k] = h.total;
   }
   return s;
+}
+
+uint64_t ServerMetrics::Snapshot::TotalEvictions() const {
+  uint64_t total = 0;
+  for (int c = 0; c < kEvictionCauseCount; ++c) total += evictions[c];
+  return total;
+}
+
+uint64_t ServerMetrics::Snapshot::TotalShedAccepts() const {
+  uint64_t total = 0;
+  for (int c = 0; c < kShedCauseCount; ++c) total += shed_accepts[c];
+  return total;
 }
 
 double ServerMetrics::Snapshot::CoalescingHitRate() const {
@@ -154,10 +219,13 @@ std::string ServerMetrics::Snapshot::ToString() const {
   }
   out += "\n";
   std::snprintf(line, sizeof(line),
-                "connections: opened=%llu closed=%llu frame_errors=%llu\n",
+                "connections: opened=%llu closed=%llu frame_errors=%llu "
+                "evicted=%llu shed=%llu\n",
                 (unsigned long long)connections_opened,
                 (unsigned long long)connections_closed,
-                (unsigned long long)frame_errors);
+                (unsigned long long)frame_errors,
+                (unsigned long long)TotalEvictions(),
+                (unsigned long long)TotalShedAccepts());
   out += line;
   for (int k = 0; k < kRequestKindCount; ++k) {
     if (latency_totals[k] == 0) continue;
@@ -192,10 +260,13 @@ std::string ServerMetrics::Snapshot::ToJson() const {
   }
   std::snprintf(buf, sizeof(buf),
                 ", \"connections_opened\": %llu, \"connections_closed\": %llu"
-                ", \"frame_errors\": %llu",
+                ", \"frame_errors\": %llu, \"evictions\": %llu"
+                ", \"shed_accepts\": %llu",
                 (unsigned long long)connections_opened,
                 (unsigned long long)connections_closed,
-                (unsigned long long)frame_errors);
+                (unsigned long long)frame_errors,
+                (unsigned long long)TotalEvictions(),
+                (unsigned long long)TotalShedAccepts());
   out += buf;
   for (int k = 0; k < kRequestKindCount; ++k) {
     const RequestKind kind = static_cast<RequestKind>(k);

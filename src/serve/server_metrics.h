@@ -23,6 +23,7 @@
 #define PRIVIEW_SERVE_SERVER_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -52,6 +53,44 @@ enum class ServeTier : int {
 };
 inline constexpr int kServeTierCount = 3;
 const char* ServeTierName(ServeTier tier);
+
+/// Why the connection supervisor force-closed a connection. Rendered as
+/// the `cause` label of priview_serve_evictions_total — values are drawn
+/// from this fixed enum (never from peer-controlled bytes), so no label
+/// escaping is ever needed.
+enum class EvictionCause : int {
+  /// Slowloris defense: a frame started but stalled past the io deadline.
+  kFrameStall = 0,
+  /// Half-open defense: no completed traffic within the idle deadline.
+  kIdle = 1,
+  /// Slow-reader defense: the bounded egress buffer overflowed because
+  /// the peer stopped draining its responses.
+  kEgressOverflow = 2,
+  /// Too many pipelined requests outstanding on one connection.
+  kPipelineOverflow = 3,
+  /// Unsyncable stream: oversized/torn frame or a raw read error.
+  kProtocolError = 4,
+  /// Server stop or drain-deadline straggler cleanup.
+  kShutdown = 5,
+};
+inline constexpr int kEvictionCauseCount = 6;
+const char* EvictionCauseName(EvictionCause cause);
+
+/// Why an accepted connection was shed (closed immediately at admission,
+/// before any frame was read). The `cause` label of
+/// priview_serve_accepts_shed_total.
+enum class ShedCause : int {
+  /// Global connection-count cap reached.
+  kConnCap = 0,
+  /// Per-peer-IP cap reached (TCP listeners only).
+  kIpCap = 1,
+  /// accept(2) hit the fd limit; the spare-fd path shed the connection.
+  kEmfile = 2,
+  /// Adaptive overload shedding: broker queue-wait p99 over threshold.
+  kOverload = 3,
+};
+inline constexpr int kShedCauseCount = 4;
+const char* ShedCauseName(ShedCause cause);
 
 class ServerMetrics {
  public:
@@ -93,6 +132,30 @@ class ServerMetrics {
   void RecordConnectionClosed() { connections_closed_->Increment(); }
   void RecordFrameError() { frame_errors_->Increment(); }
 
+  // --- supervisor: eviction, shedding, backpressure ------------------------
+  /// The supervisor force-closed a connection for `cause`.
+  void RecordEviction(EvictionCause cause) {
+    evictions_[static_cast<int>(cause)]->Increment();
+  }
+  /// An accepted connection was closed at admission for `cause`.
+  void RecordShedAccept(ShedCause cause) {
+    shed_accepts_[static_cast<int>(cause)]->Increment();
+  }
+  /// Ratchet the per-connection egress-buffer high-water mark (bytes).
+  void RecordEgressHighWater(uint64_t bytes) {
+    uint64_t seen = egress_hwm_seen_.load(std::memory_order_relaxed);
+    while (bytes > seen && !egress_hwm_seen_.compare_exchange_weak(
+                               seen, bytes, std::memory_order_relaxed)) {
+    }
+    egress_hwm_bytes_->Set(
+        static_cast<int64_t>(egress_hwm_seen_.load(std::memory_order_relaxed)));
+  }
+  /// Point-in-time copy of the broker queue-wait histogram, for the
+  /// supervisor's windowed (delta-based) overload-shedding p99.
+  obs::Histogram::Snapshot QueueWaitSnapshot() const {
+    return queue_wait_us_->TakeSnapshot();
+  }
+
   // --- lifecycle -----------------------------------------------------------
   /// A graceful drain completed; `inflight_at_close` is how many requests
   /// were still queued or executing when the drain grace expired (0 means
@@ -128,8 +191,13 @@ class ServerMetrics {
     uint64_t connections_opened = 0;
     uint64_t connections_closed = 0;
     uint64_t frame_errors = 0;
+    uint64_t evictions[kEvictionCauseCount] = {};
+    uint64_t shed_accepts[kShedCauseCount] = {};
     uint64_t latency_counts[kRequestKindCount][kLatencyBuckets] = {};
     uint64_t latency_totals[kRequestKindCount] = {};
+
+    uint64_t TotalEvictions() const;
+    uint64_t TotalShedAccepts() const;
 
     /// Fraction of admitted requests that shared another request's
     /// reconstruction (duplicate or sub-marginal coalescing).
@@ -157,6 +225,10 @@ class ServerMetrics {
   obs::Counter* connections_opened_;
   obs::Counter* connections_closed_;
   obs::Counter* frame_errors_;
+  std::array<obs::Counter*, kEvictionCauseCount> evictions_;
+  std::array<obs::Counter*, kShedCauseCount> shed_accepts_;
+  obs::Gauge* egress_hwm_bytes_;
+  std::atomic<uint64_t> egress_hwm_seen_{0};
   obs::Counter* drains_;
   obs::Gauge* drain_inflight_at_close_;
   obs::Counter* health_probes_;

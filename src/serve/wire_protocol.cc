@@ -548,4 +548,66 @@ Status WaitSocketReady(int fd, bool for_write, int timeout_ms) {
   return WaitReady(fd, for_write ? POLLOUT : POLLIN, deadline);
 }
 
+// --- incremental assembly ---------------------------------------------------
+
+Status FrameAssembler::Ingest(const uint8_t* data, size_t len) {
+  if (poisoned_) {
+    return Status::DataLoss("stream poisoned by an earlier oversized frame");
+  }
+  size_t pos = 0;
+  for (;;) {
+    if (!in_payload_) {
+      while (header_got_ < sizeof(header_) && pos < len) {
+        header_[header_got_++] = data[pos++];
+      }
+      if (header_got_ < sizeof(header_)) return Status::OK();
+      uint32_t declared = 0;
+      for (int i = 0; i < 4; ++i) declared |= uint32_t(header_[i]) << (8 * i);
+      if (declared > max_payload_) {
+        poisoned_ = true;
+        return Status::DataLoss("oversized frame: declared " +
+                                std::to_string(declared) + " bytes (cap " +
+                                std::to_string(max_payload_) + ")");
+      }
+      in_payload_ = true;
+      payload_.clear();
+      payload_.resize(declared);
+      payload_got_ = 0;
+    }
+    const size_t take = std::min(payload_.size() - payload_got_, len - pos);
+    if (take > 0) {
+      std::memcpy(payload_.data() + payload_got_, data + pos, take);
+      payload_got_ += take;
+      pos += take;
+    }
+    if (payload_got_ < payload_.size()) return Status::OK();
+    // Frame complete (a zero-length frame completes the instant its header
+    // does, even at a chunk boundary).
+    frames_.push_back(std::move(payload_));
+    payload_ = {};
+    payload_got_ = 0;
+    in_payload_ = false;
+    header_got_ = 0;
+    if (pos >= len) return Status::OK();
+  }
+}
+
+std::vector<uint8_t> FrameAssembler::PopFrame() {
+  std::vector<uint8_t> frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+Status AppendFrame(std::vector<uint8_t>* out,
+                   const std::vector<uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload over limit: " +
+                                   std::to_string(payload.size()));
+  }
+  const uint32_t len = uint32_t(payload.size());
+  for (int i = 0; i < 4; ++i) out->push_back(uint8_t(len >> (8 * i)));
+  out->insert(out->end(), payload.begin(), payload.end());
+  return Status::OK();
+}
+
 }  // namespace priview::serve

@@ -42,6 +42,7 @@
 #define PRIVIEW_SERVE_WIRE_PROTOCOL_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -166,6 +167,57 @@ Status ReadFrame(int fd, std::vector<uint8_t>* payload, bool* clean_eof,
 /// IOError when poll reports POLLERR/POLLNVAL. The building block behind
 /// the frame calls, exported for the client's non-blocking connect.
 Status WaitSocketReady(int fd, bool for_write, int timeout_ms);
+
+/// Incremental frame parser for event-loop readers: bytes go in as they
+/// arrive off a non-blocking socket, completed payloads come out in order.
+/// The blocking ReadFrame above pulls bytes; this is the push-side dual
+/// that a connection state machine owns — it never blocks, never reads a
+/// socket itself, and carries partial state (a half-received header or
+/// payload) across Ingest calls.
+///
+/// Failure model matches ReadFrame: a declared length over the payload cap
+/// is DataLoss and poisons the assembler (there is no way to resync a
+/// stream after a liar header — every later Ingest returns the same
+/// DataLoss and the connection must be dropped). Torn frames are the
+/// caller's to detect: EOF while mid_frame() is a torn frame.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Consumes `len` bytes of stream. Completed frames queue up internally
+  /// (drain with HasFrame/PopFrame). DataLoss on an oversized declared
+  /// length, after which the assembler is poisoned.
+  Status Ingest(const uint8_t* data, size_t len);
+
+  bool HasFrame() const { return !frames_.empty(); }
+  /// Oldest completed frame payload (may be empty for a zero-length
+  /// frame). Undefined when !HasFrame().
+  std::vector<uint8_t> PopFrame();
+  size_t frame_count() const { return frames_.size(); }
+
+  /// True when a frame has started (>= 1 header byte consumed) but has not
+  /// completed — the signal that arms the per-frame stall deadline, and
+  /// the torn-frame verdict if EOF arrives now.
+  bool mid_frame() const { return header_got_ > 0 || in_payload_; }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  size_t max_payload_;
+  uint8_t header_[4];
+  size_t header_got_ = 0;
+  bool in_payload_ = false;
+  std::vector<uint8_t> payload_;
+  size_t payload_got_ = 0;
+  std::deque<std::vector<uint8_t>> frames_;
+  bool poisoned_ = false;
+};
+
+/// Appends one length-prefixed frame (header + payload) to `out` — the
+/// egress-buffer dual of WriteFrame. InvalidArgument when the payload is
+/// over the cap (nothing is appended).
+Status AppendFrame(std::vector<uint8_t>* out,
+                   const std::vector<uint8_t>& payload);
 
 }  // namespace priview::serve
 

@@ -23,7 +23,9 @@
 #include "core/serialization.h"
 #include "data/synthetic.h"
 #include "opt/max_ent_dual.h"
+#include "serve/client.h"
 #include "serve/request_broker.h"
+#include "serve/server.h"
 #include "serve/synopsis_registry.h"
 #include "serve/wire_protocol.h"
 #include "store/synopsis_store.h"
@@ -199,6 +201,58 @@ void RunServeUnderFault(const std::string& fault) {
   ::close(fds[1]);
 }
 
+// A full client round trip through the epoll transport: every supervisor
+// fault site is on this route — accept admission ("serve/accept-emfile",
+// "serve/half-open"), the event-loop read path ("serve/peer-stall") and
+// the completion path ("serve/slow-reader"). Any armed fault must degrade
+// to a descriptive Status at the client, never a hang or an abort; the
+// connection may die (eviction is the designed response) but the server
+// must keep serving fresh connections afterwards.
+void RunSupervisorUnderFault(const std::string& fault) {
+  Rng rng(808);
+  Dataset data = MakeMsnbcLike(&rng, 600);
+  PriViewOptions options;
+  options.add_noise = false;
+  PriViewSynopsis synopsis = PriViewSynopsis::Build(
+      data, {AttrSet::FromIndices({0, 1, 2})}, options, &rng);
+
+  static int run = 0;
+  serve::ServerOptions server_options;
+  server_options.socket_path =
+      ::testing::TempDir() + "/chaos_sup_" + std::to_string(run++) + ".sock";
+  server_options.io_timeout_ms = 2000;
+  server_options.supervisor.handler_threads = 2;
+  serve::PriViewServer server(server_options);
+  const Status installed =
+      server.registry().Install("chaos", std::move(synopsis));
+  if (!installed.ok()) {
+    EXPECT_FALSE(installed.message().empty());
+  }
+  const Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << fault << ": " << started.ToString();
+
+  serve::ClientOptions client_options;
+  client_options.socket_path = server_options.socket_path;
+  client_options.connect_timeout_ms = 2000;
+  client_options.io_timeout_ms = 2000;
+  StatusOr<serve::PriViewClient> client =
+      serve::PriViewClient::Connect(client_options);
+  if (client.ok()) {
+    StatusOr<serve::ClientTable> answer =
+        client.value().Marginal("chaos", AttrSet::FromIndices({0, 2}));
+    if (answer.ok()) {
+      ExpectFiniteTable(answer.value().table, fault + ": supervisor answer");
+    } else {
+      EXPECT_FALSE(answer.status().message().empty())
+          << fault << ": supervisor query failed without a message";
+    }
+  } else {
+    EXPECT_FALSE(client.status().message().empty())
+        << fault << ": connect failed without a message";
+  }
+  server.Stop();
+}
+
 // The durable store under an injected fault: open (manifest bootstrap),
 // install (temp write → fsync → rename → journal append), retire, and a
 // fresh-process recovery scan. Exercises the store/* failpoints
@@ -289,6 +343,7 @@ TEST_F(ChaosTest, EveryKnownFailpointDegradesGracefully) {
     RunLifecycleUnderFault(fault);
     RunSolverStackUnderFault(fault);
     RunServeUnderFault(fault);
+    RunSupervisorUnderFault(fault);
     RunStoreUnderFault(fault);
   }
 }
@@ -304,6 +359,7 @@ TEST_F(ChaosTest, EveryKnownFailpointFiresSomewhereInTheLifecycle) {
     RunLifecycleUnderFault(fault);
     RunSolverStackUnderFault(fault);
     RunServeUnderFault(fault);
+    RunSupervisorUnderFault(fault);
     RunStoreUnderFault(fault);
     EXPECT_GT(failpoint::HitCount(fault), 0u) << fault << " never evaluated";
   }

@@ -6,6 +6,7 @@
 // client testable at all.
 #include "common/retry.h"
 
+#include <algorithm>
 #include <chrono>
 #include <vector>
 
@@ -163,6 +164,76 @@ TEST(RetryControllerTest, ZeroBudgetMeansAttemptCapOnly) {
   RetryController call = policy.NewCall();
   call.BeginAttempt();
   EXPECT_TRUE(call.ShouldRetry(Status::Unavailable("down")));
+}
+
+TEST(RetryControllerTest, DecorrelatedJitterStaysWithinBounds) {
+  // Decorrelated jitter contract (per backoff i, with prev_0 = initial):
+  //   b_i = min(cap, uniform(initial, max(initial, 3 * b_{i-1}))).
+  // Every draw must be >= initial and <= cap, and the upper bound of each
+  // draw is pinned by the previous draw, not by an attempt-indexed base.
+  RetryOptions options;
+  options.jitter_mode = JitterMode::kDecorrelated;
+  options.initial_backoff = milliseconds{10};
+  options.max_backoff = milliseconds{500};
+  options.max_attempts = 64;
+  RetryPolicy policy(options);
+  RetryController call = policy.NewCall();
+  milliseconds prev = options.initial_backoff;
+  for (int i = 0; i < 48; ++i) {
+    const milliseconds b = call.NextBackoff();
+    EXPECT_GE(b, options.initial_backoff);
+    EXPECT_LE(b, options.max_backoff);
+    const milliseconds high = std::max(options.initial_backoff, 3 * prev);
+    EXPECT_LE(b, std::min(high, options.max_backoff))
+        << "draw " << i << " exceeded 3x the previous backoff";
+    prev = b;
+  }
+}
+
+TEST(RetryControllerTest, DecorrelatedJitterIsDeterministicPerSeed) {
+  RetryOptions options;
+  options.jitter_mode = JitterMode::kDecorrelated;
+  options.seed = 99;
+  options.initial_backoff = milliseconds{10};
+  options.max_backoff = milliseconds{2000};
+  options.max_attempts = 16;
+
+  const auto schedule = [&options] {
+    RetryPolicy policy(options);
+    RetryController call = policy.NewCall();
+    std::vector<milliseconds> backoffs;
+    for (int i = 0; i < 8; ++i) backoffs.push_back(call.NextBackoff());
+    return backoffs;
+  };
+  EXPECT_EQ(schedule(), schedule());
+
+  RetryOptions other = options;
+  other.seed = 100;
+  RetryPolicy policy(other);
+  RetryController call = policy.NewCall();
+  std::vector<milliseconds> different;
+  for (int i = 0; i < 8; ++i) different.push_back(call.NextBackoff());
+  EXPECT_NE(schedule(), different) << "distinct seeds produced one schedule";
+}
+
+TEST(RetryControllerTest, DecorrelatedJitterSpreadsIndependentCalls) {
+  // The fleet-level property decorrelated jitter buys: two clients cut
+  // off at the same instant must not march through the same backoff
+  // schedule. Forked per-call streams + draw-dependent ranges make equal
+  // schedules vanishingly unlikely.
+  RetryOptions options;
+  options.jitter_mode = JitterMode::kDecorrelated;
+  options.initial_backoff = milliseconds{10};
+  options.max_backoff = milliseconds{4000};
+  options.max_attempts = 16;
+  RetryPolicy policy(options);
+  RetryController a = policy.NewCall();
+  RetryController b = policy.NewCall();
+  bool diverged = false;
+  for (int i = 0; i < 8; ++i) {
+    if (a.NextBackoff() != b.NextBackoff()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
 }
 
 }  // namespace

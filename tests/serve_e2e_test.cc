@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -64,6 +65,44 @@ class ServeE2ETest : public ::testing::Test {
   std::string socket_path_;
   std::unique_ptr<PriViewServer> server_;
 };
+
+TEST_F(ServeE2ETest, TcpEndpointAnswersAndMatchesTheUnixSocket) {
+  // A second server with both listeners: an ephemeral TCP port (0 = let
+  // the kernel pick, read it back) alongside the usual Unix socket.
+  ServerOptions options;
+  options.socket_path = socket_path_ + ".tcp";
+  options.tcp_port = 0;
+  PriViewServer server(options);
+  ASSERT_TRUE(server.registry().Install("tcp", MakeSynopsis(3, 1.0)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.bound_tcp_port();
+  ASSERT_GT(port, 0);
+
+  ClientOptions copts;
+  copts.tcp_host = "127.0.0.1";
+  copts.tcp_port = port;
+  StatusOr<PriViewClient> tcp_client = PriViewClient::Connect(copts);
+  ASSERT_TRUE(tcp_client.ok()) << tcp_client.status().ToString();
+  StatusOr<PriViewClient> unix_client =
+      PriViewClient::Connect(options.socket_path);
+  ASSERT_TRUE(unix_client.ok()) << unix_client.status().ToString();
+
+  const AttrSet scope = AttrSet::FromIndices({0, 1, 2});
+  StatusOr<ClientTable> via_tcp = tcp_client.value().Marginal("tcp", scope);
+  StatusOr<ClientTable> via_unix = unix_client.value().Marginal("tcp", scope);
+  ASSERT_TRUE(via_tcp.ok()) << via_tcp.status().ToString();
+  ASSERT_TRUE(via_unix.ok()) << via_unix.status().ToString();
+  EXPECT_EQ(via_tcp.value().tier, ServeTier::kFull);
+  EXPECT_EQ(via_tcp.value().table.cells(), via_unix.value().table.cells());
+
+  // Errors come back over TCP as responses, not dead sockets.
+  EXPECT_EQ(
+      tcp_client.value().Marginal("absent", scope).status().code(),
+      StatusCode::kNotFound);
+  StatusOr<ClientTable> again = tcp_client.value().Marginal("tcp", scope);
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+  server.Stop();
+}
 
 TEST_F(ServeE2ETest, MarginalOverTheWireMatchesTheEngine) {
   PriViewClient client = Connect();
@@ -234,6 +273,76 @@ TEST_F(ServeE2ETest, MetricsScrapeExposesPublishAndBrokerHistograms) {
   StatusOr<std::string> stats = client.Stats();
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats.value().find("# TYPE"), npos);
+}
+
+TEST_F(ServeE2ETest, MetricsScrapeExposesTransportSeries) {
+  // The supervisor's transport series must render in the same kMetrics
+  // scrape as the broker's: every eviction and shed cause pre-registered
+  // (so dashboards see zeros before the first incident), the connection
+  // gauges live, and every counter following the priview_*_total naming
+  // convention.
+  PriViewClient client = Connect();
+  ASSERT_TRUE(
+      client.Marginal("eps1", AttrSet::FromIndices({0, 1}), 30'000).ok());
+  StatusOr<std::string> scrape = client.Metrics();
+  ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+  const std::string& text = scrape.value();
+  const size_t npos = std::string::npos;
+
+  EXPECT_NE(text.find("# TYPE priview_serve_evictions_total counter"), npos);
+  for (const char* cause : {"frame-stall", "idle", "egress-overflow",
+                            "pipeline-overflow", "protocol-error",
+                            "shutdown"}) {
+    EXPECT_NE(text.find("priview_serve_evictions_total{cause=\"" +
+                        std::string(cause) + "\"}"),
+              npos)
+        << "missing eviction cause " << cause;
+  }
+  EXPECT_NE(text.find("# TYPE priview_serve_accepts_shed_total counter"),
+            npos);
+  for (const char* cause : {"conn-cap", "ip-cap", "emfile", "overload"}) {
+    EXPECT_NE(text.find("priview_serve_accepts_shed_total{cause=\"" +
+                        std::string(cause) + "\"}"),
+              npos)
+        << "missing shed cause " << cause;
+  }
+
+  // The connection gauges: this scrape rides an open connection, so the
+  // open-connections gauge must read at least 1 (the metrics request
+  // itself answers outside the broker, so inflight may already be 0).
+  EXPECT_NE(text.find("# TYPE priview_serve_open_connections gauge"), npos);
+  EXPECT_NE(text.find("# TYPE priview_serve_inflight_requests gauge"), npos);
+  EXPECT_NE(text.find("# TYPE priview_serve_overload_shedding gauge"), npos);
+  EXPECT_NE(text.find("# TYPE priview_serve_egress_buffer_hwm_bytes gauge"),
+            npos);
+  const size_t open_pos = text.find("\npriview_serve_open_connections ");
+  ASSERT_NE(open_pos, npos);
+  EXPECT_GE(std::stol(text.substr(
+                open_pos + std::strlen("\npriview_serve_open_connections "))),
+            1);
+
+  // Naming hygiene, enforced mechanically: every series Prometheus calls
+  // a counter must end in _total, and no gauge may claim that suffix.
+  std::istringstream lines(text);
+  std::string line;
+  int counters_seen = 0;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string hash, type_kw, name, kind;
+    if (!(fields >> hash >> type_kw >> name >> kind)) continue;
+    if (hash != "#" || type_kw != "TYPE") continue;
+    if (kind == "counter") {
+      ++counters_seen;
+      EXPECT_TRUE(name.size() > 6 &&
+                  name.compare(name.size() - 6, 6, "_total") == 0)
+          << "counter without _total suffix: " << name;
+    } else if (kind == "gauge") {
+      EXPECT_TRUE(name.size() <= 6 ||
+                  name.compare(name.size() - 6, 6, "_total") != 0)
+          << "gauge with counter suffix: " << name;
+    }
+  }
+  EXPECT_GT(counters_seen, 0);
 }
 
 TEST_F(ServeE2ETest, UnknownSynopsisErrorKeepsTheConnectionUsable) {

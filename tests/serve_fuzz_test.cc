@@ -1,0 +1,221 @@
+// Frame-header fuzzer for the wire protocol: torn, oversized, zero-length
+// and mid-frame-mutated byte streams against both frame readers — the
+// blocking ReadFrame and the event-loop FrameAssembler. The contract under
+// fuzz is total: every input terminates promptly with OK / DataLoss /
+// DeadlineExceeded (or a decode-layer Status), never a hang, an abort, or
+// a junk frame treated as intact. Seeded Rng throughout — a failure
+// reproduces bit-for-bit from the test log's seed.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "serve/wire_protocol.h"
+
+namespace priview {
+namespace {
+
+using serve::FrameAssembler;
+
+std::vector<uint8_t> FrameBytes(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(serve::AppendFrame(&out, payload).ok());
+  return out;
+}
+
+std::vector<uint8_t> RandomPayload(Rng* rng, size_t max_len) {
+  std::vector<uint8_t> payload(rng->UniformInt(max_len + 1));
+  for (uint8_t& b : payload) b = uint8_t(rng->UniformInt(256));
+  return payload;
+}
+
+// Feeds `stream` to an assembler in random-sized chunks (the kernel never
+// promises frame-aligned reads) and returns every completed frame, or the
+// first non-OK status.
+Status IngestInChunks(Rng* rng, const std::vector<uint8_t>& stream,
+                      FrameAssembler* assembler,
+                      std::vector<std::vector<uint8_t>>* frames) {
+  size_t pos = 0;
+  while (pos < stream.size()) {
+    const size_t chunk =
+        1 + rng->UniformInt(std::min<size_t>(stream.size() - pos, 4096));
+    const Status st = assembler->Ingest(stream.data() + pos, chunk);
+    if (!st.ok()) return st;
+    pos += chunk;
+    while (assembler->HasFrame()) frames->push_back(assembler->PopFrame());
+  }
+  return Status::OK();
+}
+
+TEST(FrameFuzzTest, AssemblerReassemblesValidStreamsAtEveryChunking) {
+  Rng rng(20260809);
+  for (int round = 0; round < 64; ++round) {
+    std::vector<std::vector<uint8_t>> sent;
+    std::vector<uint8_t> stream;
+    const int n = 1 + int(rng.UniformInt(8));
+    for (int i = 0; i < n; ++i) {
+      // Zero-length payloads are legal frames and the classic off-by-one
+      // trap (a header that completes exactly at a chunk boundary).
+      sent.push_back(RandomPayload(&rng, round % 4 == 0 ? 0 : 512));
+      const std::vector<uint8_t> framed = FrameBytes(sent.back());
+      stream.insert(stream.end(), framed.begin(), framed.end());
+    }
+    FrameAssembler assembler;
+    std::vector<std::vector<uint8_t>> got;
+    ASSERT_TRUE(IngestInChunks(&rng, stream, &assembler, &got).ok());
+    ASSERT_EQ(got.size(), sent.size()) << "round " << round;
+    for (size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(got[i], sent[i]) << "round " << round << " frame " << i;
+    }
+    EXPECT_FALSE(assembler.mid_frame());
+    EXPECT_FALSE(assembler.poisoned());
+  }
+}
+
+TEST(FrameFuzzTest, TruncatedStreamIsMidFrameNeverAFrame) {
+  Rng rng(7);
+  for (int round = 0; round < 128; ++round) {
+    const std::vector<uint8_t> payload = RandomPayload(&rng, 256);
+    std::vector<uint8_t> stream = FrameBytes(payload);
+    // Cut anywhere strictly inside the frame (header or payload).
+    const size_t cut = 1 + rng.UniformInt(stream.size() - 1);
+    stream.resize(cut);
+    FrameAssembler assembler;
+    std::vector<std::vector<uint8_t>> got;
+    ASSERT_TRUE(IngestInChunks(&rng, stream, &assembler, &got).ok());
+    EXPECT_TRUE(got.empty()) << "torn frame surfaced as complete";
+    EXPECT_TRUE(assembler.mid_frame())
+        << "cut at " << cut << "/" << stream.size()
+        << " not flagged mid-frame (EOF here must read as a torn frame)";
+  }
+}
+
+TEST(FrameFuzzTest, OversizedHeaderPoisonsPermanently) {
+  Rng rng(13);
+  for (int round = 0; round < 64; ++round) {
+    // A liar header: declared length past the cap, drawn across the whole
+    // u32 range above it.
+    const uint32_t declared =
+        uint32_t(serve::kMaxFramePayload + 1 +
+                 rng.UniformInt(0xFFFFFFFFu - serve::kMaxFramePayload - 1));
+    std::vector<uint8_t> stream(4);
+    for (int i = 0; i < 4; ++i) stream[i] = uint8_t(declared >> (8 * i));
+    // Garbage after the header must not resurrect the stream.
+    const std::vector<uint8_t> junk = RandomPayload(&rng, 128);
+    stream.insert(stream.end(), junk.begin(), junk.end());
+
+    FrameAssembler assembler;
+    std::vector<std::vector<uint8_t>> got;
+    const Status st = IngestInChunks(&rng, stream, &assembler, &got);
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.ToString();
+    EXPECT_TRUE(assembler.poisoned());
+    EXPECT_TRUE(got.empty());
+    // Poisoned is forever: even a perfectly valid frame afterwards fails.
+    const std::vector<uint8_t> valid = FrameBytes({1, 2, 3});
+    EXPECT_EQ(assembler.Ingest(valid.data(), valid.size()).code(),
+              StatusCode::kDataLoss);
+    EXPECT_FALSE(assembler.HasFrame());
+  }
+}
+
+TEST(FrameFuzzTest, MutatedFramesNeverCrashOrHangTheAssembler) {
+  Rng rng(101);
+  for (int round = 0; round < 256; ++round) {
+    // A few valid frames, then random byte flips anywhere — header bytes
+    // included, so declared lengths lie in both directions.
+    std::vector<uint8_t> stream;
+    const int n = 1 + int(rng.UniformInt(4));
+    for (int i = 0; i < n; ++i) {
+      const std::vector<uint8_t> framed = FrameBytes(RandomPayload(&rng, 64));
+      stream.insert(stream.end(), framed.begin(), framed.end());
+    }
+    const int flips = 1 + int(rng.UniformInt(8));
+    for (int i = 0; i < flips; ++i) {
+      stream[rng.UniformInt(stream.size())] ^= uint8_t(1 + rng.UniformInt(255));
+    }
+    FrameAssembler assembler;
+    std::vector<std::vector<uint8_t>> got;
+    const Status st = IngestInChunks(&rng, stream, &assembler, &got);
+    // Every outcome is legal except a crash or a frame over the cap.
+    if (!st.ok()) {
+      EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+    }
+    for (const std::vector<uint8_t>& frame : got) {
+      EXPECT_LE(frame.size(), serve::kMaxFramePayload);
+    }
+  }
+}
+
+TEST(FrameFuzzTest, RandomPayloadsNeverCrashTheDecoders) {
+  Rng rng(4242);
+  for (int round = 0; round < 512; ++round) {
+    const std::vector<uint8_t> payload = RandomPayload(&rng, 96);
+    // Either decodes to a value or fails with a descriptive Status; both
+    // decoders must be total functions of arbitrary bytes.
+    StatusOr<serve::WireRequest> request = serve::DecodeRequest(payload);
+    if (!request.ok()) {
+      EXPECT_FALSE(request.status().message().empty());
+    }
+    StatusOr<serve::WireResponse> response = serve::DecodeResponse(payload);
+    if (!response.ok()) {
+      EXPECT_FALSE(response.status().message().empty());
+    }
+  }
+}
+
+TEST(FrameFuzzTest, ReadFrameOnMutatedSocketStreamTerminatesWithStatus) {
+  Rng rng(999);
+  for (int round = 0; round < 32; ++round) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    std::vector<uint8_t> stream = FrameBytes(RandomPayload(&rng, 128));
+    // Mutate a header byte in half the rounds, truncate in the other half.
+    if (round % 2 == 0) {
+      stream[rng.UniformInt(4)] ^= uint8_t(0x80 | rng.UniformInt(127));
+    } else {
+      stream.resize(1 + rng.UniformInt(stream.size() - 1));
+    }
+    ASSERT_EQ(::write(fds[0], stream.data(), stream.size()),
+              ssize_t(stream.size()));
+    ::close(fds[0]);  // EOF after the damage: a peer that died mid-frame
+
+    std::vector<uint8_t> payload;
+    bool clean_eof = false;
+    // A short io deadline bounds the test: a hang here is a deadlock bug,
+    // not slowness.
+    const Status st = serve::ReadFrame(fds[1], &payload, &clean_eof,
+                                       /*timeout_ms=*/2000);
+    ::close(fds[1]);
+    if (st.ok()) {
+      // Only possible when the mutation produced a smaller-but-complete
+      // valid frame; it must then be within the cap.
+      EXPECT_LE(payload.size(), serve::kMaxFramePayload);
+    } else {
+      EXPECT_TRUE(st.code() == StatusCode::kDataLoss ||
+                  st.code() == StatusCode::kDeadlineExceeded)
+          << st.ToString();
+      EXPECT_FALSE(st.message().empty());
+    }
+  }
+}
+
+TEST(FrameFuzzTest, ZeroLengthFrameAtChunkBoundarySurfacesImmediately) {
+  // Regression shape: a zero-length frame whose header ends exactly at the
+  // chunk boundary must complete without waiting for the next byte (there
+  // is no next byte for a zero-length payload).
+  FrameAssembler assembler;
+  const uint8_t header[4] = {0, 0, 0, 0};
+  ASSERT_TRUE(assembler.Ingest(header, sizeof(header)).ok());
+  ASSERT_TRUE(assembler.HasFrame());
+  EXPECT_TRUE(assembler.PopFrame().empty());
+  EXPECT_FALSE(assembler.mid_frame());
+}
+
+}  // namespace
+}  // namespace priview

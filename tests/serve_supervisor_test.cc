@@ -1,0 +1,441 @@
+// ConnectionSupervisor unit tests: the epoll transport driven directly
+// with raw sockets and a controllable handler, so every defense fires
+// deterministically — slowloris eviction, idle/half-open eviction, egress
+// bounds and write-stall eviction, pipelining caps, connection caps,
+// overload shedding, and shutdown straggler cleanup.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/connection_supervisor.h"
+#include "serve/server_metrics.h"
+#include "serve/wire_protocol.h"
+
+namespace priview {
+namespace {
+
+using serve::ConnectionSupervisor;
+using serve::EvictionCause;
+using serve::ServerMetrics;
+using serve::ShedCause;
+using serve::SupervisorOptions;
+using std::chrono::milliseconds;
+
+int MakeUnixListener(const std::string& path) {
+  const int fd =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  EXPECT_LT(path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  EXPECT_EQ(::listen(fd, 128), 0);
+  return fd;
+}
+
+int ConnectUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  return fd;
+}
+
+bool WaitFor(const std::function<bool()>& pred, milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  return pred();
+}
+
+/// True when reading `fd` yields EOF (or a reset) within `timeout` — the
+/// observable verdict of an eviction from the peer's side. Polls with
+/// MSG_DONTWAIT (any data is drained and discarded) so a missing eviction
+/// reports as a failed expectation, never as a hung blocking read.
+bool PeerSeesClose(int fd, milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  char buf[4096];
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n == 0) return true;  // EOF: the supervisor closed us
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return true;
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  return false;
+}
+
+std::vector<uint8_t> EchoHandler(std::vector<uint8_t> payload) {
+  return payload;
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  std::string SockPath(const std::string& tag) {
+    return ::testing::TempDir() + "/sup_" + tag + ".sock";
+  }
+
+  /// Builds and starts a supervisor over a fresh Unix listener.
+  void StartSupervisor(const std::string& tag, SupervisorOptions options,
+                       ConnectionSupervisor::Handler handler) {
+    path_ = SockPath(tag);
+    listener_ = MakeUnixListener(path_);
+    supervisor_ = std::make_unique<ConnectionSupervisor>(options, &metrics_,
+                                                         std::move(handler));
+    ASSERT_TRUE(supervisor_->Start(listener_, -1).ok());
+  }
+
+  void TearDown() override {
+    if (supervisor_ != nullptr) supervisor_->Stop();
+    if (!path_.empty()) ::unlink(path_.c_str());
+  }
+
+  ServerMetrics metrics_;
+  std::unique_ptr<ConnectionSupervisor> supervisor_;
+  std::string path_;
+  int listener_ = -1;
+};
+
+TEST_F(SupervisorTest, EchoRoundTripAndCleanClose) {
+  StartSupervisor("echo", SupervisorOptions{}, EchoHandler);
+  const int fd = ConnectUnix(path_);
+  const std::vector<uint8_t> request = {1, 2, 3, 4};
+  ASSERT_TRUE(serve::WriteFrame(fd, request).ok());
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;
+  ASSERT_TRUE(serve::ReadFrame(fd, &payload, &clean_eof, 5000).ok());
+  EXPECT_FALSE(clean_eof);
+  EXPECT_EQ(payload, request);
+  EXPECT_TRUE(WaitFor([&] { return supervisor_->open_connections() == 1; },
+                      milliseconds(1000)));
+  ::close(fd);
+  EXPECT_TRUE(WaitFor([&] { return supervisor_->open_connections() == 0; },
+                      milliseconds(1000)));
+  // A clean close is not an eviction.
+  EXPECT_EQ(metrics_.TakeSnapshot().TotalEvictions(), 0u);
+}
+
+TEST_F(SupervisorTest, PipelinedFramesAnswerInOrder) {
+  StartSupervisor("pipeline", SupervisorOptions{}, EchoHandler);
+  const int fd = ConnectUnix(path_);
+  // All three frames land in one burst; responses must come back in
+  // request order even though the handler pool is concurrent.
+  std::vector<uint8_t> burst;
+  for (uint8_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(serve::AppendFrame(&burst, {uint8_t(10 + i)}).ok());
+  }
+  ASSERT_EQ(::write(fd, burst.data(), burst.size()), ssize_t(burst.size()));
+  for (uint8_t i = 0; i < 3; ++i) {
+    std::vector<uint8_t> payload;
+    bool clean_eof = false;
+    ASSERT_TRUE(serve::ReadFrame(fd, &payload, &clean_eof, 5000).ok());
+    ASSERT_EQ(payload.size(), 1u);
+    EXPECT_EQ(payload[0], 10 + i) << "responses reordered";
+  }
+  ::close(fd);
+}
+
+TEST_F(SupervisorTest, SlowlorisMidFrameIsEvictedAtTheDeadline) {
+  SupervisorOptions options;
+  options.io_timeout_ms = 100;
+  StartSupervisor("slowloris", options, EchoHandler);
+  const int fd = ConnectUnix(path_);
+  // Two header bytes, then silence: a started frame that never finishes.
+  const uint8_t partial[2] = {9, 9};
+  ASSERT_EQ(::write(fd, partial, sizeof(partial)), 2);
+  EXPECT_TRUE(PeerSeesClose(fd, milliseconds(3000)))
+      << "stalled mid-frame peer was never evicted";
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        return metrics_.TakeSnapshot()
+                   .evictions[int(EvictionCause::kFrameStall)] > 0;
+      },
+      milliseconds(1000)));
+  ::close(fd);
+}
+
+TEST_F(SupervisorTest, TricklingBytesDoesNotResetTheFrameDeadline) {
+  SupervisorOptions options;
+  options.io_timeout_ms = 150;
+  StartSupervisor("trickle", options, EchoHandler);
+  const int fd = ConnectUnix(path_);
+  // A classic slowloris drips one byte per interval to defeat idle timers
+  // that reset on any activity. The per-frame deadline is armed at the
+  // frame's first byte and never pushed, so the drip must still die.
+  const auto start = std::chrono::steady_clock::now();
+  const uint8_t byte = 1;
+  bool closed = false;
+  for (int i = 0; i < 40 && !closed; ++i) {
+    if (::write(fd, &byte, 1) < 0) closed = true;
+    std::this_thread::sleep_for(milliseconds(20));
+    char probe;
+    const ssize_t n = ::recv(fd, &probe, 1, MSG_DONTWAIT);
+    if (n == 0) closed = true;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(closed) << "trickling peer outlived the frame deadline";
+  EXPECT_LT(elapsed, std::chrono::seconds(3));
+  ::close(fd);
+}
+
+TEST_F(SupervisorTest, IdleConnectionIsHealthyWithoutIdleTimeout) {
+  SupervisorOptions options;
+  options.io_timeout_ms = 100;  // frame deadline only — no frame started
+  StartSupervisor("idleok", options, EchoHandler);
+  const int fd = ConnectUnix(path_);
+  std::this_thread::sleep_for(milliseconds(400));
+  // Still alive and serving after sitting idle far past the io deadline.
+  ASSERT_TRUE(serve::WriteFrame(fd, {7}).ok());
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;
+  ASSERT_TRUE(serve::ReadFrame(fd, &payload, &clean_eof, 5000).ok());
+  EXPECT_EQ(payload, std::vector<uint8_t>{7});
+  EXPECT_EQ(metrics_.TakeSnapshot().TotalEvictions(), 0u);
+  ::close(fd);
+}
+
+TEST_F(SupervisorTest, HalfOpenPeerEvictedByIdleTimeout) {
+  SupervisorOptions options;
+  options.idle_timeout_ms = 100;
+  StartSupervisor("halfopen", options, EchoHandler);
+  const int fd = ConnectUnix(path_);
+  EXPECT_TRUE(PeerSeesClose(fd, milliseconds(3000)))
+      << "half-open peer outlived the idle deadline";
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        return metrics_.TakeSnapshot().evictions[int(EvictionCause::kIdle)] >
+               0;
+      },
+      milliseconds(1000)));
+  ::close(fd);
+}
+
+TEST_F(SupervisorTest, ConnectionCapShedsExcessAccepts) {
+  SupervisorOptions options;
+  options.max_connections = 2;
+  StartSupervisor("conncap", options, EchoHandler);
+  const int a = ConnectUnix(path_);
+  const int b = ConnectUnix(path_);
+  // Make sure both are admitted before the third knocks.
+  ASSERT_TRUE(WaitFor([&] { return supervisor_->open_connections() == 2; },
+                      milliseconds(1000)));
+  const int c = ConnectUnix(path_);
+  EXPECT_TRUE(PeerSeesClose(c, milliseconds(2000)))
+      << "over-cap connection was admitted";
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        return metrics_.TakeSnapshot().shed_accepts[int(ShedCause::kConnCap)] >
+               0;
+      },
+      milliseconds(1000)));
+  // The admitted two still serve.
+  ASSERT_TRUE(serve::WriteFrame(a, {1}).ok());
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;
+  ASSERT_TRUE(serve::ReadFrame(a, &payload, &clean_eof, 5000).ok());
+  ::close(a);
+  ::close(b);
+  ::close(c);
+}
+
+TEST_F(SupervisorTest, PipelineOverflowEvictsAbusivePeer) {
+  SupervisorOptions options;
+  options.max_pipelined_frames = 2;
+  options.handler_threads = 1;
+  std::atomic<bool> release{false};
+  StartSupervisor("pipecap", options, [&](std::vector<uint8_t> payload) {
+    // Park the single handler so pending frames pile up on the conn.
+    while (!release.load()) std::this_thread::sleep_for(milliseconds(5));
+    return payload;
+  });
+  const int fd = ConnectUnix(path_);
+  std::vector<uint8_t> burst;
+  for (uint8_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(serve::AppendFrame(&burst, {i}).ok());
+  }
+  ASSERT_EQ(::write(fd, burst.data(), burst.size()), ssize_t(burst.size()));
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        return metrics_.TakeSnapshot()
+                   .evictions[int(EvictionCause::kPipelineOverflow)] > 0;
+      },
+      milliseconds(3000)))
+      << "6 outstanding frames against a cap of 2 did not evict";
+  release.store(true);
+  EXPECT_TRUE(PeerSeesClose(fd, milliseconds(2000)));
+  ::close(fd);
+}
+
+TEST_F(SupervisorTest, ResponseBeyondEgressBudgetEvicts) {
+  SupervisorOptions options;
+  options.max_egress_bytes = 4096;
+  StartSupervisor("egress", options, [](std::vector<uint8_t>) {
+    return std::vector<uint8_t>(64 * 1024, 0xAB);  // 16x the egress bound
+  });
+  const int fd = ConnectUnix(path_);
+  ASSERT_TRUE(serve::WriteFrame(fd, {1}).ok());
+  EXPECT_TRUE(PeerSeesClose(fd, milliseconds(3000)));
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        return metrics_.TakeSnapshot()
+                   .evictions[int(EvictionCause::kEgressOverflow)] > 0;
+      },
+      milliseconds(1000)));
+  ::close(fd);
+}
+
+TEST_F(SupervisorTest, PeerThatStopsDrainingIsEvictedAtWriteStall) {
+  SupervisorOptions options;
+  options.io_timeout_ms = 150;
+  StartSupervisor("wstall", options, [](std::vector<uint8_t>) {
+    // Big enough that several responses outrun the kernel socket buffers,
+    // leaving un-sent egress whose write deadline can expire.
+    return std::vector<uint8_t>(512 * 1024, 0x5A);
+  });
+  const int fd = ConnectUnix(path_);
+  // Shrink this side's receive buffer so the server-side egress jams fast.
+  const int small = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  std::vector<uint8_t> burst;
+  for (uint8_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(serve::AppendFrame(&burst, {i}).ok());
+  }
+  ASSERT_EQ(::write(fd, burst.data(), burst.size()), ssize_t(burst.size()));
+  // Never read a byte: the egress stalls, the write deadline expires.
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        return metrics_.TakeSnapshot()
+                   .evictions[int(EvictionCause::kEgressOverflow)] > 0;
+      },
+      milliseconds(5000)))
+      << "non-draining peer was never evicted";
+  ::close(fd);
+}
+
+TEST_F(SupervisorTest, OversizedHeaderIsAProtocolErrorEviction) {
+  StartSupervisor("liar", SupervisorOptions{}, EchoHandler);
+  const int fd = ConnectUnix(path_);
+  // Declared length far over kMaxFramePayload: unsyncable stream.
+  const uint8_t liar[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+  ASSERT_EQ(::write(fd, liar, sizeof(liar)), 4);
+  EXPECT_TRUE(PeerSeesClose(fd, milliseconds(3000)));
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        return metrics_.TakeSnapshot()
+                   .evictions[int(EvictionCause::kProtocolError)] > 0;
+      },
+      milliseconds(1000)));
+  ::close(fd);
+}
+
+TEST_F(SupervisorTest, OverloadSheddingFollowsTheQueueWaitWindow) {
+  SupervisorOptions options;
+  options.shed_queue_wait_p99_us = 1000;  // 1ms
+  StartSupervisor("overload", options, EchoHandler);
+  EXPECT_FALSE(supervisor_->shedding());
+  // Report pathological queue waits continuously — the shedding verdict is
+  // windowed (observations age out after one 500ms window, by design), so
+  // a one-shot burst before the window opens would correctly be ignored.
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        for (int i = 0; i < 50; ++i) metrics_.RecordQueueWait(250'000);
+        return supervisor_->shedding();
+      },
+      milliseconds(3000)))
+      << "250ms queue waits never tripped a 1ms p99 threshold";
+  // While shedding, a new accept is closed immediately and counted. Keep
+  // the current window hot so the verdict cannot clear mid-check.
+  for (int i = 0; i < 50; ++i) metrics_.RecordQueueWait(250'000);
+  const int fd = ConnectUnix(path_);
+  EXPECT_TRUE(PeerSeesClose(fd, milliseconds(2000)));
+  ::close(fd);
+  EXPECT_GT(
+      metrics_.TakeSnapshot().shed_accepts[int(ShedCause::kOverload)], 0u);
+  // A quiet window (no queue-wait observations at all) must clear it —
+  // shedding that latches forever is an outage, not a defense.
+  EXPECT_TRUE(WaitFor([&] { return !supervisor_->shedding(); },
+                      milliseconds(2000)))
+      << "shedding latched after the overload cleared";
+  const int ok_fd = ConnectUnix(path_);
+  ASSERT_TRUE(serve::WriteFrame(ok_fd, {3}).ok());
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;
+  EXPECT_TRUE(serve::ReadFrame(ok_fd, &payload, &clean_eof, 5000).ok());
+  ::close(ok_fd);
+}
+
+TEST_F(SupervisorTest, StopEvictsStragglersAsShutdown) {
+  StartSupervisor("stop", SupervisorOptions{}, EchoHandler);
+  std::vector<int> fds;
+  for (int i = 0; i < 5; ++i) fds.push_back(ConnectUnix(path_));
+  ASSERT_TRUE(WaitFor([&] { return supervisor_->open_connections() == 5; },
+                      milliseconds(2000)));
+  supervisor_->Stop();
+  EXPECT_EQ(supervisor_->open_connections(), 0u);
+  const ServerMetrics::Snapshot s = metrics_.TakeSnapshot();
+  EXPECT_EQ(s.evictions[int(EvictionCause::kShutdown)], 5u);
+  EXPECT_EQ(s.connections_opened, s.connections_closed);
+  for (int fd : fds) ::close(fd);
+}
+
+TEST_F(SupervisorTest, CloseListenersRefusesNewButServesExisting) {
+  StartSupervisor("drainstep", SupervisorOptions{}, EchoHandler);
+  const int live = ConnectUnix(path_);
+  ASSERT_TRUE(WaitFor([&] { return supervisor_->open_connections() == 1; },
+                      milliseconds(1000)));
+  supervisor_->CloseListeners();
+  // New connects are refused by the kernel (no listener on the path).
+  const int refused = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+  EXPECT_NE(::connect(refused, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ::close(refused);
+  // The live connection still round-trips.
+  ASSERT_TRUE(serve::WriteFrame(live, {5}).ok());
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;
+  ASSERT_TRUE(serve::ReadFrame(live, &payload, &clean_eof, 5000).ok());
+  EXPECT_EQ(payload, std::vector<uint8_t>{5});
+  ::close(live);
+}
+
+TEST_F(SupervisorTest, EgressHighWaterMarkIsExported) {
+  StartSupervisor("hwm", SupervisorOptions{}, [](std::vector<uint8_t>) {
+    return std::vector<uint8_t>(32 * 1024, 1);
+  });
+  const int fd = ConnectUnix(path_);
+  ASSERT_TRUE(serve::WriteFrame(fd, {1}).ok());
+  std::vector<uint8_t> payload;
+  bool clean_eof = false;
+  ASSERT_TRUE(serve::ReadFrame(fd, &payload, &clean_eof, 5000).ok());
+  ::close(fd);
+  // The 32KiB response transited the egress buffer; the ratcheted gauge
+  // must have seen at least frame-header + payload.
+  const std::string scrape = metrics_.registry().RenderPrometheus();
+  EXPECT_NE(scrape.find("priview_serve_egress_buffer_hwm_bytes"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace priview
