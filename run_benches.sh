@@ -22,11 +22,21 @@ done
 # Perf record: publish time, query latency, threaded speedups, cache hit
 # rate — bench_timing (above, in bench_output.txt) has the calibrated
 # google-benchmark numbers; bench_parallel distills the perf contract into
-# machine-readable BENCH_perf.json.
+# machine-readable BENCH_perf.json. bench_parallel exits non-zero when the
+# solver regression bar fails — cold Q8 through the arena-backed solver no
+# longer at least 3x faster than the pre-arena baseline — and that failure
+# is fatal here: the perf record must never be refreshed from a run that
+# regressed the solver core.
 if [ -x bench/bench_parallel ]; then
   echo "##### bench_parallel #####" | tee -a "$out"
   ( time ./bench/bench_parallel --out=../BENCH_perf.json "$@" ) >> "$out" 2>&1
-  echo "exit=$? done bench_parallel"
+  parallel_rc=$?
+  echo "exit=$parallel_rc done bench_parallel"
+  if [ "$parallel_rc" -ne 0 ]; then
+    echo "FATAL: bench_parallel solver perf bar failed (exit=$parallel_rc)" >&2
+    tail -n 20 "$out" >&2
+    exit "$parallel_rc"
+  fi
 fi
 # Serving record: throughput + p50/p99 at 1/8/64 clients with and without
 # coalescing, the overloaded (queue-full, rejecting) regime, a 5000+

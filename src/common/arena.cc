@@ -1,0 +1,83 @@
+#include "common/arena.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace priview {
+namespace {
+
+size_t AlignUp(size_t v, size_t align) { return (v + align - 1) & ~(align - 1); }
+
+}  // namespace
+
+Arena::Arena(size_t initial_bytes) {
+  blocks_.reserve(4);
+  blocks_.push_back(NewBlock(initial_bytes > 0 ? initial_bytes : 1));
+}
+
+Arena::~Arena() { FreeBlocks(); }
+
+Arena::Block Arena::NewBlock(size_t min_bytes) {
+  Block block;
+  block.size = AlignUp(min_bytes, kMaxAlign);
+  block.raw = std::malloc(block.size + kMaxAlign);
+  PRIVIEW_CHECK(block.raw != nullptr);
+  block.base = reinterpret_cast<char*>(
+      AlignUp(reinterpret_cast<uintptr_t>(block.raw), kMaxAlign));
+  capacity_ += block.size;
+  return block;
+}
+
+void Arena::FreeBlocks() {
+  for (Block& block : blocks_) std::free(block.raw);
+  blocks_.clear();
+  capacity_ = 0;
+}
+
+void* Arena::AllocBytes(size_t bytes, size_t align) {
+  PRIVIEW_CHECK(align != 0 && (align & (align - 1)) == 0 &&
+                align <= kMaxAlign);
+  if (bytes == 0) bytes = 1;  // distinct non-null pointers, simpler callers
+  while (true) {
+    Block& block = blocks_[current_];
+    const size_t start = AlignUp(offset_, align);
+    if (start + bytes <= block.size) {
+      used_ += (start - offset_) + bytes;  // alignment padding + payload
+      offset_ = start + bytes;
+      if (used_ > high_water_) high_water_ = used_;
+      return block.base + start;
+    }
+    // Account the stranded tail of the exhausted block as used capacity so
+    // the high-water mark reflects what a single block must hold.
+    used_ += block.size - offset_;
+    if (current_ + 1 == blocks_.size()) {
+      blocks_.push_back(NewBlock(bytes > block.size ? bytes : 2 * block.size));
+    }
+    ++current_;
+    offset_ = 0;
+  }
+}
+
+bool Arena::warm() const {
+  return blocks_.size() == 1 && blocks_[0].size >= high_water_;
+}
+
+void Arena::Reset() {
+  ++resets_;
+  if (blocks_.size() > 1) {
+    FreeBlocks();
+    blocks_.push_back(NewBlock(high_water_));
+  }
+  current_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+Arena& ThreadLocalArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace priview
+

@@ -1,0 +1,139 @@
+// Bump arena for the solver hot path. One solve = one arena lifetime:
+// every tableau, constraint target, scratch vector and index table is a
+// monotonic allocation out of a single flat region, released all at once
+// by Reset() (which keeps — and coalesces — capacity, so a warmed arena
+// serves every subsequent same-shaped solve with zero heap traffic).
+//
+// Discipline (DESIGN.md §15):
+//   * Allocation never constructs: only trivially-destructible value types
+//     (doubles, ints, PODs of those) may live in an arena.
+//   * Spans returned by AllocSpan are invalidated by Reset() and by the
+//     destruction of any enclosing Rewind scope — never store them beyond
+//     the solve that made them.
+//   * Arenas are single-threaded by construction: one per request lane
+//     (reconstruct keeps one per thread). No internal locking.
+//
+// Growth allocates additional blocks (via malloc, not operator new, so a
+// counting-allocator test harness measures the *client's* allocations, not
+// the arena's warm-up); Reset() collapses a multi-block arena into one
+// block sized to the high-water mark, which is what makes the steady state
+// allocation-free.
+#ifndef PRIVIEW_COMMON_ARENA_H_
+#define PRIVIEW_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace priview {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultInitialBytes = size_t{1} << 16;
+  /// Strictest alignment AllocBytes hands out by default; covers AVX2
+  /// (32-byte) vector loads of double lanes.
+  static constexpr size_t kMaxAlign = 64;
+
+  explicit Arena(size_t initial_bytes = kDefaultInitialBytes);
+  ~Arena();
+
+  // Spans point into the arena, so it must stay put.
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage. `align` must be a power of two <= kMaxAlign.
+  void* AllocBytes(size_t bytes, size_t align);
+
+  /// Uninitialized span of `n` Ts, aligned for T (at least 32 bytes for
+  /// 8-byte scalars so SIMD kernels can assume vector alignment).
+  template <typename T>
+  std::span<T> AllocSpan(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                      std::is_trivially_copyable_v<T>,
+                  "arena memory is released without running destructors");
+    constexpr size_t kAlign = alignof(T) >= 32 ? alignof(T) : 32;
+    return {static_cast<T*>(AllocBytes(n * sizeof(T), kAlign)), n};
+  }
+
+  /// Span of `n` Ts, every element set to `fill`.
+  template <typename T>
+  std::span<T> AllocSpan(size_t n, T fill) {
+    std::span<T> s = AllocSpan<T>(n);
+    for (T& v : s) v = fill;
+    return s;
+  }
+
+  /// Bytes currently handed out (tail fragmentation of exhausted blocks
+  /// counts — it is capacity the current layout cannot use).
+  size_t used() const { return used_; }
+  /// Total bytes reserved across all blocks.
+  size_t capacity() const { return capacity_; }
+  /// Largest used() ever observed — the size Reset() coalesces to.
+  size_t high_water_bytes() const { return high_water_; }
+  /// Number of Reset() calls (the per-request recycle count).
+  uint64_t resets() const { return resets_; }
+  /// True when the arena has a single block that covers the high-water
+  /// mark: every workload no bigger than what it has already served will
+  /// allocate nothing.
+  bool warm() const;
+
+  /// Releases everything. Keeps capacity; if the last cycle spilled into
+  /// multiple blocks they are coalesced into one block covering the
+  /// high-water mark, so the next same-shaped cycle is single-block and
+  /// heap-free.
+  void Reset();
+
+  /// Scoped mark/rewind: allocations made inside the scope are released on
+  /// destruction (capacity, as always, is retained). Used for nested
+  /// scratch (e.g. a fallback solver reusing the request arena).
+  class Rewind {
+   public:
+    explicit Rewind(Arena& arena)
+        : arena_(arena), block_(arena.current_), offset_(arena.offset_),
+          used_(arena.used_) {}
+    ~Rewind() {
+      arena_.current_ = block_;
+      arena_.offset_ = offset_;
+      arena_.used_ = used_;
+    }
+    Rewind(const Rewind&) = delete;
+    Rewind& operator=(const Rewind&) = delete;
+
+   private:
+    Arena& arena_;
+    size_t block_;
+    size_t offset_;
+    size_t used_;
+  };
+
+ private:
+  struct Block {
+    void* raw = nullptr;    // malloc'd pointer (base - padding)
+    char* base = nullptr;   // kMaxAlign-aligned start
+    size_t size = 0;        // usable bytes at base
+  };
+
+  Block NewBlock(size_t min_bytes);
+  void FreeBlocks();
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  // index of the block being bumped
+  size_t offset_ = 0;   // bump offset within blocks_[current_]
+  size_t used_ = 0;
+  size_t capacity_ = 0;
+  size_t high_water_ = 0;
+  uint64_t resets_ = 0;
+};
+
+/// The calling thread's solver scratch arena: one per request lane (each
+/// pool worker and each caller thread gets its own), reused across solves.
+/// Callers that own a whole request end it with Reset(); nested users
+/// (solver wrappers, fallback chains) scope themselves with Arena::Rewind
+/// and must never Reset an arena they did not fully own.
+Arena& ThreadLocalArena();
+
+}  // namespace priview
+
+#endif  // PRIVIEW_COMMON_ARENA_H_

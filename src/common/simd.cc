@@ -1,0 +1,69 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace priview {
+namespace simd {
+namespace {
+
+// -1 = auto, otherwise a forced Level. Relaxed is fine: the test hook is
+// documented single-threaded and the steady state is read-only.
+std::atomic<int> g_forced{-1};
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Level DetectLevel() {
+  const char* env = std::getenv("PRIVIEW_SIMD");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) return Level::kScalar;
+  if (env != nullptr && std::strcmp(env, "avx2") == 0) {
+    return Avx2Available() ? Level::kAvx2 : Level::kScalar;
+  }
+  return Avx2Available() ? Level::kAvx2 : Level::kScalar;
+}
+
+}  // namespace
+
+bool Avx2CompiledIn() {
+#if defined(PRIVIEW_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool Avx2Available() { return Avx2CompiledIn() && CpuHasAvx2(); }
+
+Level ActiveLevel() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Level>(forced);
+  static const Level detected = DetectLevel();
+  return detected;
+}
+
+void SetLevelForTest(Level level) {
+  if (level == Level::kAvx2 && !Avx2Available()) level = Level::kScalar;
+  g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void ResetLevelForTest() { g_forced.store(-1, std::memory_order_relaxed); }
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace simd
+}  // namespace priview

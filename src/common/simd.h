@@ -1,0 +1,47 @@
+// Runtime SIMD dispatch for the solver kernels (WHT butterfly, IPF scale
+// loop, simplex row operations). Exactly two levels exist by design:
+//
+//   kScalar — portable C++, the reference semantics.
+//   kAvx2   — 256-bit kernels compiled into dedicated *_avx2.cc TUs with
+//             -mavx2 (and only -mavx2: FMA stays off, contraction stays
+//             off), selected at runtime when the CPU supports AVX2.
+//
+// The determinism contract: both levels produce bit-identical outputs.
+// Kernels therefore restrict themselves to element-wise operations (no
+// reassociated reductions) and never fuse multiply-add; solver_golden_test
+// pins this against fixtures captured from the pre-SIMD implementation.
+//
+// PRIVIEW_SIMD=scalar|avx2 in the environment overrides auto-detection
+// (requesting avx2 on a CPU without it falls back to scalar).
+#ifndef PRIVIEW_COMMON_SIMD_H_
+#define PRIVIEW_COMMON_SIMD_H_
+
+namespace priview {
+namespace simd {
+
+enum class Level { kScalar, kAvx2 };
+
+/// Were the AVX2 TUs compiled into this binary?
+bool Avx2CompiledIn();
+
+/// AVX2 compiled in *and* supported by this CPU.
+bool Avx2Available();
+
+/// The level kernels dispatch on: the env override if set and satisfiable,
+/// else the best available. Resolved once and cached (cheap to call from
+/// inner dispatch points).
+Level ActiveLevel();
+
+/// Test hook: force a level (kAvx2 silently degrades to kScalar when
+/// unavailable, so tests can request both unconditionally). Not
+/// thread-safe; call only from single-threaded test setup.
+void SetLevelForTest(Level level);
+/// Back to auto-detection.
+void ResetLevelForTest();
+
+const char* LevelName(Level level);
+
+}  // namespace simd
+}  // namespace priview
+
+#endif  // PRIVIEW_COMMON_SIMD_H_

@@ -1,11 +1,13 @@
 #include "core/reconstruct.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <sstream>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/failpoint.h"
@@ -43,13 +45,51 @@ std::string SolverDiagnostics::ToString() const {
 
 std::vector<MarginalConstraint> ConstraintsFor(
     const std::vector<MarginalTable>& views, AttrSet target) {
-  std::vector<MarginalConstraint> constraints;
-  for (const MarginalTable& view : views) {
-    const AttrSet common = view.attrs().Intersect(target);
+  // Dedupe scopes before projecting rather than after: with a covering
+  // design most views intersect the target in a scope that is strictly
+  // contained in some other view's scope, and DeduplicateConstraints
+  // would discard those projections unread. Discover the distinct scopes
+  // first, drop the dominated ones, and only project the views that
+  // contribute to a surviving scope. Output is bit-identical to the old
+  // project-everything-then-DeduplicateConstraints pipeline: per scope,
+  // contributions accumulate in view order (first by copy, the rest by
+  // cell-wise add, exactly the map emplace-then-add it replaces), the
+  // average is the same single Scale(1/count), and constraints are
+  // emitted in ascending scope order (the map's iteration order).
+  std::vector<AttrSet> view_scope(views.size());
+  std::vector<AttrSet> scopes;  // distinct non-empty scopes, ascending
+  for (size_t v = 0; v < views.size(); ++v) {
+    const AttrSet common = views[v].attrs().Intersect(target);
+    view_scope[v] = common;
     if (common.empty()) continue;
-    constraints.push_back({common, view.Project(common)});
+    const auto pos = std::lower_bound(scopes.begin(), scopes.end(), common);
+    if (pos == scopes.end() || *pos != common) scopes.insert(pos, common);
   }
-  return DeduplicateConstraints(std::move(constraints));
+
+  std::vector<MarginalConstraint> constraints;
+  constraints.reserve(scopes.size());
+  for (const AttrSet scope : scopes) {
+    const bool dominated =
+        std::any_of(scopes.begin(), scopes.end(), [scope](AttrSet other) {
+          return scope != other && scope.IsSubsetOf(other);
+        });
+    if (dominated) continue;
+    MarginalTable acc(scope);
+    int count = 0;
+    for (size_t v = 0; v < views.size(); ++v) {
+      if (view_scope[v] != scope) continue;
+      if (count == 0) {
+        acc = views[v].Project(scope);
+      } else {
+        const MarginalTable proj = views[v].Project(scope);
+        for (size_t i = 0; i < acc.size(); ++i) acc.At(i) += proj.At(i);
+      }
+      ++count;
+    }
+    if (count > 1) acc.Scale(1.0 / count);
+    constraints.push_back({scope, std::move(acc)});
+  }
+  return constraints;
 }
 
 namespace {
@@ -90,7 +130,8 @@ MarginalTable CoveredAnswer(const std::vector<MarginalTable>& views,
 // Sets *ok to false (leaving the uniform table) when the LP solver fails;
 // the caller's fallback chain takes over from there.
 MarginalTable SolveLpReconstruction(const std::vector<MarginalTable>& views,
-                                    AttrSet target, double total, bool* ok) {
+                                    AttrSet target, double total, Arena& arena,
+                                    bool* ok) {
   *ok = true;
   const int num_cells = 1 << target.size();
 
@@ -163,7 +204,7 @@ MarginalTable SolveLpReconstruction(const std::vector<MarginalTable>& views,
     }
   }
 
-  const LpResult solution = SolveLp(lp);
+  const LpResult solution = SolveLp(lp, arena);
   if (solution.status != LpStatus::kOptimal) {
     *ok = false;
     return MarginalTable(target, total / num_cells);
@@ -185,11 +226,12 @@ struct Attempt {
 Attempt RunSolver(ReconstructionMethod method,
                   const std::vector<MarginalTable>& views, AttrSet target,
                   double total,
-                  const std::vector<MarginalConstraint>& constraints) {
+                  const std::vector<MarginalConstraint>& constraints,
+                  Arena& arena) {
   Attempt attempt;
   switch (method) {
     case ReconstructionMethod::kMaxEntropy: {
-      IpfResult r = MaxEntropyIpf(target, total, constraints);
+      IpfResult r = MaxEntropyIpf(target, total, constraints, arena);
       attempt.table = std::move(r.table);
       attempt.converged = r.converged;
       attempt.iterations = r.iterations;
@@ -197,7 +239,7 @@ Attempt RunSolver(ReconstructionMethod method,
       return attempt;
     }
     case ReconstructionMethod::kLeastNorm: {
-      LeastNormResult r = LeastNormSolve(target, total, constraints);
+      LeastNormResult r = LeastNormSolve(target, total, constraints, arena);
       attempt.table = std::move(r.table);
       attempt.converged = r.converged;
       attempt.iterations = r.iterations;
@@ -205,7 +247,7 @@ Attempt RunSolver(ReconstructionMethod method,
     }
     case ReconstructionMethod::kLinearProgram: {
       bool ok = true;
-      attempt.table = SolveLpReconstruction(views, target, total, &ok);
+      attempt.table = SolveLpReconstruction(views, target, total, arena, &ok);
       attempt.solver_failed = !ok;
       return attempt;
     }
@@ -272,11 +314,48 @@ bool IsJunk(const Attempt& attempt, double total, int* non_finite_cells) {
   return attempt.final_residual > kResidualBlowup * std::max(1.0, total);
 }
 
+// Rolls this lane's arena into the process-wide solver-arena metrics after
+// a request cycle: the gauge tracks the max high-water mark across all
+// lanes (CAS-max so concurrent lanes never regress it), the counter counts
+// request-cycle resets.
+void PublishArenaStats(const Arena& arena) {
+  static obs::Gauge* const hwm = obs::MetricsRegistry::Global().GetGauge(
+      "priview_solver_arena_hwm_bytes", {},
+      "High-water mark of the solver request arenas (max across lanes)");
+  static obs::Counter* const resets =
+      obs::MetricsRegistry::Global().GetCounter(
+          "priview_solver_arena_resets_total", {},
+          "Solver request-arena recycles (one per reconstruction request)");
+  static std::atomic<uint64_t> max_hwm{0};
+  uint64_t hw = static_cast<uint64_t>(arena.high_water_bytes());
+  uint64_t prev = max_hwm.load(std::memory_order_relaxed);
+  while (prev < hw &&
+         !max_hwm.compare_exchange_weak(prev, hw, std::memory_order_relaxed)) {
+  }
+  hwm->Set(static_cast<int64_t>(std::max(hw, prev)));
+  resets->Increment();
+}
+
 }  // namespace
 
 ReconstructionResult ReconstructMarginalWithDiagnostics(
     const std::vector<MarginalTable>& views, AttrSet target, double total,
     ReconstructionMethod method) {
+  // This overload is the request entry point: it owns the calling lane's
+  // thread-local arena for the duration of the request, so it (alone) may
+  // Reset() it afterwards. Each AnswerBatch pool worker is its own lane
+  // with its own arena.
+  Arena& arena = ThreadLocalArena();
+  ReconstructionResult result =
+      ReconstructMarginalWithDiagnostics(views, target, total, method, arena);
+  arena.Reset();
+  PublishArenaStats(arena);
+  return result;
+}
+
+ReconstructionResult ReconstructMarginalWithDiagnostics(
+    const std::vector<MarginalTable>& views, AttrSet target, double total,
+    ReconstructionMethod method, Arena& arena) {
   ReconstructionResult result;
   result.diagnostics.requested = method;
 
@@ -328,7 +407,8 @@ ReconstructionResult ReconstructMarginalWithDiagnostics(
   }
 
   for (ReconstructionMethod candidate : chain) {
-    Attempt attempt = RunSolver(candidate, views, target, total, constraints);
+    Attempt attempt =
+        RunSolver(candidate, views, target, total, constraints, arena);
     bool junk = IsJunk(attempt, total, &result.diagnostics.non_finite_cells);
     if (PRIVIEW_FAILPOINT("reconstruct/primary-junk")) junk = true;
     if (!junk) {

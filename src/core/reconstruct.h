@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "opt/constraint.h"
 #include "table/attr_set.h"
 #include "table/marginal_table.h"
@@ -71,6 +72,17 @@ std::vector<MarginalConstraint> ConstraintsFor(
 ReconstructionResult ReconstructMarginalWithDiagnostics(
     const std::vector<MarginalTable>& views, AttrSet target, double total,
     ReconstructionMethod method);
+
+/// As above, but with an explicit scratch arena: every solver in the chain
+/// draws its tableau/scratch from `arena` under Arena::Rewind discipline
+/// (the arena is left exactly as it was found — never Reset). Use this
+/// when embedding a reconstruction inside a larger request that owns the
+/// arena. The no-arena overload above is the request entry point: it runs
+/// on the calling lane's ThreadLocalArena(), Reset()s it afterwards, and
+/// publishes priview_solver_arena_* metrics.
+ReconstructionResult ReconstructMarginalWithDiagnostics(
+    const std::vector<MarginalTable>& views, AttrSet target, double total,
+    ReconstructionMethod method, Arena& arena);
 
 /// Table-only convenience wrapper over the diagnostics variant.
 MarginalTable ReconstructMarginal(const std::vector<MarginalTable>& views,

@@ -1,24 +1,33 @@
 #include "fourier/wht.h"
 
 #include "common/check.h"
+#include "common/simd.h"
+#include "fourier/wht_kernels.h"
 
 namespace priview {
 
-void Wht(std::vector<double>* data) {
-  const size_t n = data->size();
+void Wht(double* data, size_t n) {
   PRIVIEW_CHECK(n != 0 && (n & (n - 1)) == 0);
-  std::vector<double>& a = *data;
+  const bool use_avx2 = simd::ActiveLevel() == simd::Level::kAvx2;
   for (size_t len = 1; len < n; len <<= 1) {
+    if (use_avx2 && len >= 4) {
+      internal::WhtStageAvx2(data, n, len);
+      continue;
+    }
+    // Scalar stages: the narrow ones (len < 4) always, all of them when
+    // AVX2 is off. The AVX2 kernel computes exactly these adds/subtracts.
     for (size_t i = 0; i < n; i += len << 1) {
       for (size_t j = i; j < i + len; ++j) {
-        const double u = a[j];
-        const double v = a[j + len];
-        a[j] = u + v;
-        a[j + len] = u - v;
+        const double u = data[j];
+        const double v = data[j + len];
+        data[j] = u + v;
+        data[j + len] = u - v;
       }
     }
   }
 }
+
+void Wht(std::vector<double>* data) { Wht(data->data(), data->size()); }
 
 std::vector<double> FourierCoefficients(const MarginalTable& table) {
   std::vector<double> f = table.cells();

@@ -5,17 +5,26 @@
 //   f_S = Σ_a T(a) · (-1)^{a·S}          (forward; f_∅ is the total count)
 //   T(a) = (1/2^k) Σ_S f_S · (-1)^{a·S}  (inverse)
 // Both directions are the same butterfly; the inverse divides by 2^k.
+//
+// The butterfly is pure adds and subtracts — no contraction sites — so the
+// wide stages (len >= 4) dispatch to an AVX2 kernel (wht_avx2.cc) that is
+// bit-identical to the scalar path by construction.
 #ifndef PRIVIEW_FOURIER_WHT_H_
 #define PRIVIEW_FOURIER_WHT_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "table/marginal_table.h"
 
 namespace priview {
 
-/// In-place unnormalized Walsh–Hadamard transform. data.size() must be a
-/// power of two. Applying it twice multiplies every entry by data.size().
+/// In-place unnormalized Walsh–Hadamard transform over `data[0, n)`. n
+/// must be a power of two. Applying it twice multiplies every entry by n.
+/// Allocation-free; works on arena spans and table cells alike.
+void Wht(double* data, size_t n);
+
+/// Vector convenience overload.
 void Wht(std::vector<double>* data);
 
 /// All 2^k Fourier coefficients of a marginal table; index S is a bitmask

@@ -1,0 +1,42 @@
+// AVX2 kernel for the Walsh–Hadamard butterfly. Compiled with -mavx2 and
+// -ffp-contract=off (and deliberately WITHOUT -mfma): the stage is pure
+// lane-wise add/sub, so results are bit-identical to the scalar loop in
+// wht.cc. solver_golden_test pins scalar and AVX2 against each other.
+#include "fourier/wht_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace priview {
+namespace internal {
+
+void WhtStageAvx2(double* a, size_t n, size_t len) {
+  for (size_t i = 0; i < n; i += len << 1) {
+    for (size_t j = i; j < i + len; j += 4) {
+      const __m256d u = _mm256_loadu_pd(a + j);
+      const __m256d v = _mm256_loadu_pd(a + j + len);
+      _mm256_storeu_pd(a + j, _mm256_add_pd(u, v));
+      _mm256_storeu_pd(a + j + len, _mm256_sub_pd(u, v));
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace priview
+
+#else  // !defined(__AVX2__)
+
+#include "common/check.h"
+
+namespace priview {
+namespace internal {
+
+void WhtStageAvx2(double*, size_t, size_t) {
+  PRIVIEW_CHECK(false);  // dispatch must not route here without AVX2
+}
+
+}  // namespace internal
+}  // namespace priview
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,21 @@
+// Internal SIMD kernels for the Walsh–Hadamard butterfly. The AVX2
+// translation unit is compiled with -mavx2 -ffp-contract=off (and without
+// -mfma); since the butterfly is adds and subtracts only, the kernel is
+// bit-identical to the scalar stage loop in wht.cc.
+#ifndef PRIVIEW_FOURIER_WHT_KERNELS_H_
+#define PRIVIEW_FOURIER_WHT_KERNELS_H_
+
+#include <cstddef>
+
+namespace priview {
+namespace internal {
+
+/// One butterfly stage of half-width `len` (len >= 4, a multiple of 4)
+/// over `a[0, n)`: for every pair (j, j+len) within each 2*len block,
+/// (u, v) -> (u + v, u - v). Must only be called when AVX2 is available.
+void WhtStageAvx2(double* a, size_t n, size_t len);
+
+}  // namespace internal
+}  // namespace priview
+
+#endif  // PRIVIEW_FOURIER_WHT_KERNELS_H_

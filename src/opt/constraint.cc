@@ -2,19 +2,20 @@
 
 #include <map>
 
+#include "common/bits.h"
 #include "common/check.h"
 
 namespace priview {
 
 std::vector<MarginalConstraint> DeduplicateConstraints(
-    std::vector<MarginalConstraint> constraints) {
+    std::span<const MarginalConstraint> constraints) {
   // Merge duplicates of the same scope by averaging.
   std::map<AttrSet, std::pair<MarginalTable, int>> by_scope;
-  for (MarginalConstraint& c : constraints) {
+  for (const MarginalConstraint& c : constraints) {
     PRIVIEW_CHECK(c.target.attrs() == c.scope);
     auto it = by_scope.find(c.scope);
     if (it == by_scope.end()) {
-      by_scope.emplace(c.scope, std::make_pair(std::move(c.target), 1));
+      by_scope.emplace(c.scope, std::make_pair(c.target, 1));
     } else {
       MarginalTable& acc = it->second.first;
       for (size_t i = 0; i < acc.size(); ++i) {
@@ -48,6 +49,89 @@ std::vector<MarginalConstraint> DeduplicateConstraints(
     if (!dominated) result.push_back(std::move(merged[i]));
   }
   return result;
+}
+
+std::span<ResolvedConstraint> ResolveConstraints(
+    AttrSet attrs, std::span<const MarginalConstraint> constraints,
+    Arena& arena) {
+  const uint64_t num_cells = uint64_t{1} << attrs.size();
+
+  // Merge into a scope-sorted working set: the arena analogue of the
+  // std::map in DeduplicateConstraints. Sorted insertion keeps the merged
+  // order identical to map iteration; accumulation in input order keeps
+  // the averaged sums bit-identical.
+  std::span<ResolvedConstraint> merged =
+      arena.AllocSpan<ResolvedConstraint>(constraints.size());
+  std::span<int32_t> counts = arena.AllocSpan<int32_t>(constraints.size());
+  size_t m = 0;
+  for (const MarginalConstraint& c : constraints) {
+    PRIVIEW_CHECK(c.target.attrs() == c.scope);
+    PRIVIEW_CHECK(c.scope.IsSubsetOf(attrs));
+    // Sorted position of this scope among the merged entries.
+    size_t pos = 0;
+    while (pos < m && merged[pos].scope < c.scope) ++pos;
+    if (pos < m && merged[pos].scope == c.scope) {
+      std::span<double> acc = merged[pos].target;
+      for (size_t i = 0; i < acc.size(); ++i) acc[i] += c.target.At(i);
+      ++counts[pos];
+      continue;
+    }
+    for (size_t j = m; j > pos; --j) {
+      merged[j] = merged[j - 1];
+      counts[j] = counts[j - 1];
+    }
+    ResolvedConstraint entry;
+    entry.scope = c.scope;
+    std::span<double> cells = arena.AllocSpan<double>(c.target.size());
+    for (size_t i = 0; i < cells.size(); ++i) cells[i] = c.target.At(i);
+    entry.target = cells;
+    merged[pos] = entry;
+    counts[pos] = 1;
+    ++m;
+  }
+  for (size_t j = 0; j < m; ++j) {
+    if (counts[j] > 1) {
+      const double factor = 1.0 / counts[j];
+      for (double& v : merged[j].target) v *= factor;
+    }
+  }
+
+  // Drop scopes strictly contained in another merged scope, preserving
+  // order, then resolve the survivors.
+  size_t kept = 0;
+  for (size_t i = 0; i < m; ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      if (merged[i].scope.IsSubsetOf(merged[j].scope) &&
+          merged[i].scope != merged[j].scope) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) merged[kept++] = merged[i];
+  }
+
+  for (size_t j = 0; j < kept; ++j) {
+    ResolvedConstraint& r = merged[j];
+    // CellIndexMaskFor, without materializing a probe table.
+    r.within_mask = ExtractBits(r.scope.mask(), attrs.mask());
+    std::span<int32_t> idx = arena.AllocSpan<int32_t>(num_cells);
+    // Fill cell -> target-cell without any per-cell PEXT: target cell `a`
+    // owns the lattice {DepositBits(a, mask) | sub : sub ⊆ ~mask}.
+    const uint64_t rest_mask = (num_cells - 1) & ~r.within_mask;
+    const uint64_t target_size = uint64_t{1} << r.scope.size();
+    for (uint64_t a = 0; a < target_size; ++a) {
+      const uint64_t base = DepositBits(a, r.within_mask);
+      uint64_t sub = 0;
+      do {
+        idx[base | sub] = static_cast<int32_t>(a);
+        sub = NextSubset(sub, rest_mask);
+      } while (sub != 0);
+    }
+    r.slice_index = idx;
+  }
+  return merged.subspan(0, kept);
 }
 
 }  // namespace priview

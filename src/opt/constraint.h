@@ -4,8 +4,11 @@
 #ifndef PRIVIEW_OPT_CONSTRAINT_H_
 #define PRIVIEW_OPT_CONSTRAINT_H_
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "table/attr_set.h"
 #include "table/marginal_table.h"
 
@@ -22,9 +25,36 @@ struct MarginalConstraint {
 /// Removes redundant constraints: duplicates of the same scope are merged
 /// by cell-wise averaging, and scopes contained in another constraint's
 /// scope are dropped (their content is implied when views are consistent,
-/// exactly the situation after PriView's consistency step).
+/// exactly the situation after PriView's consistency step). The input is a
+/// read-only view — callers no longer pay a vector + tables copy per call.
 std::vector<MarginalConstraint> DeduplicateConstraints(
-    std::vector<MarginalConstraint> constraints);
+    std::span<const MarginalConstraint> constraints);
+
+/// A constraint resolved against the solve's full attribute set, with all
+/// per-sweep work hoisted out of the solver loop and into the arena:
+/// merged target cells, the cell-index mask of the scope, and a
+/// precomputed cell -> target-cell index table (the software/hardware PEXT
+/// that used to run per cell per sweep now runs zero times per sweep).
+struct ResolvedConstraint {
+  AttrSet scope;
+  uint64_t within_mask = 0;
+  /// Merged (same-scope-averaged) target cells; arena-owned, mutable so a
+  /// solver can sanitize in place.
+  std::span<double> target;
+  /// slice_index[cell] == ExtractBits(cell, within_mask), for every cell of
+  /// the full table. int32 so SIMD gathers can consume it directly.
+  std::span<const int32_t> slice_index;
+};
+
+/// Deduplicates `constraints` (identical semantics and result order as
+/// DeduplicateConstraints: same-scope averaging in input order,
+/// dominated-scope drop, ascending scope order) directly into `arena` — no
+/// heap allocation — and resolves each survivor against `attrs` (mask +
+/// slice-index table). Scopes must be subsets of `attrs`. The returned
+/// spans are valid until the arena is reset or rewound past them.
+std::span<ResolvedConstraint> ResolveConstraints(
+    AttrSet attrs, std::span<const MarginalConstraint> constraints,
+    Arena& arena);
 
 }  // namespace priview
 

@@ -8,38 +8,167 @@
 #include "common/bits.h"
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/simd.h"
+#include "opt/solver_kernels.h"
 
 namespace priview {
 namespace {
 
-// Pre-resolved constraint: target plus the cell-index mask that maps a cell
-// of the unknown table to its target cell.
-struct Resolved {
-  uint64_t within_mask;
-  std::vector<double> target;
-};
+// Projection of the working table onto a constraint scope. Each target
+// cell `a` owns the sub-lattice {DepositBits(a, within) | s : s ⊆ rest},
+// and NextSubset enumerates it in increasing cell order — so every
+// target's sum accumulates in exactly the order a sequential
+// proj[idx[cell]] += cells[cell] scatter loop would produce (bit-identical
+// by non-interacting accumulators). Eight independent accumulator chains
+// share one subset walk, enough to cover the addsd latency and saturate
+// both load ports (0.5 cycles/cell, the floor for one load + one
+// serial-order add per cell). The accumulators must stay scalar: the
+// bit-identity contract forbids reassociating any target's sum, and the
+// chains live in different lattice slices, so there is no vector form —
+// GCC's autovectorizer nevertheless stitches them into ymm element
+// inserts that pile onto the shuffle port at ~2.4x this cost, hence the
+// named locals, no-tree-vectorize, and noinline (so the attribute cannot
+// be lost to inlining). `bases[a]` is the precomputed slice base pointer
+// cells + DepositBits(a, within) — sweep-invariant, built once per solve.
+// base | s == base + s (disjoint bit ranges), so indexing folds the
+// combine into the load addressing mode.
+__attribute__((noinline, optimize("no-tree-vectorize"))) void IpfProjectScalar(
+    const double* const* bases, uint64_t rest, double* proj,
+    size_t target_size) {
+  size_t a = 0;
+  for (; a + 8 <= target_size; a += 8) {
+    const double* b0 = bases[a];
+    const double* b1 = bases[a + 1];
+    const double* b2 = bases[a + 2];
+    const double* b3 = bases[a + 3];
+    const double* b4 = bases[a + 4];
+    const double* b5 = bases[a + 5];
+    const double* b6 = bases[a + 6];
+    const double* b7 = bases[a + 7];
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    double a4 = 0.0, a5 = 0.0, a6 = 0.0, a7 = 0.0;
+    uint64_t s = 0;
+    do {
+      a0 += b0[s];
+      a1 += b1[s];
+      a2 += b2[s];
+      a3 += b3[s];
+      a4 += b4[s];
+      a5 += b5[s];
+      a6 += b6[s];
+      a7 += b7[s];
+      s = NextSubset(s, rest);
+    } while (s != 0);
+    proj[a] = a0;
+    proj[a + 1] = a1;
+    proj[a + 2] = a2;
+    proj[a + 3] = a3;
+    proj[a + 4] = a4;
+    proj[a + 5] = a5;
+    proj[a + 6] = a6;
+    proj[a + 7] = a7;
+  }
+  for (; a < target_size; ++a) {
+    const double* base = bases[a];
+    double sum = 0.0;
+    uint64_t s = 0;
+    do {
+      sum += base[s];
+      s = NextSubset(s, rest);
+    } while (s != 0);
+    proj[a] = sum;
+  }
+}
+
+// One slice of the multiplicative update:
+//   cells[c] = proj_a > 0 ? min(cells[c] * f, cap) : r
+// over the slice {base | s : s subset of rest}, factor/refill/positivity
+// hoisted into registers so the cell loop has no index loads and no
+// per-cell branch misprediction.
+inline void IpfScaleOneSlice(double* slice, uint64_t rest, double proj_a,
+                             double f, double r, double cap) {
+  uint64_t s = 0;
+  if (proj_a > 0.0) {
+    do {
+      slice[s] = std::min(slice[s] * f, cap);
+      s = NextSubset(s, rest);
+    } while (s != 0);
+  } else {
+    do {
+      slice[s] = r;
+      s = NextSubset(s, rest);
+    } while (s != 0);
+  }
+}
+
+// Lattice form of the multiplicative update. Four slices share one
+// NextSubset chain (the serial dependence that otherwise bounds the loop
+// at ~2 cycles/cell), feeding four independent mul/min/store streams —
+// the same interleave that makes IpfProjectScalar fast. Every cell still
+// receives the identical single operation as the sequential per-cell form
+// (cells are independent — update order across cells cannot affect bits);
+// the rare quad with a non-positive projection falls back to the
+// single-slice walk.
+void IpfScaleCellsLattice(double* const* bases, uint64_t rest,
+                          const double* proj, const double* factor,
+                          const double* refill, double cap,
+                          size_t target_size) {
+  size_t a = 0;
+  for (; a + 4 <= target_size; a += 4) {
+    if (proj[a] > 0.0 && proj[a + 1] > 0.0 && proj[a + 2] > 0.0 &&
+        proj[a + 3] > 0.0) {
+      double* const b0 = bases[a];
+      double* const b1 = bases[a + 1];
+      double* const b2 = bases[a + 2];
+      double* const b3 = bases[a + 3];
+      const double f0 = factor[a];
+      const double f1 = factor[a + 1];
+      const double f2 = factor[a + 2];
+      const double f3 = factor[a + 3];
+      uint64_t s = 0;
+      do {
+        b0[s] = std::min(b0[s] * f0, cap);
+        b1[s] = std::min(b1[s] * f1, cap);
+        b2[s] = std::min(b2[s] * f2, cap);
+        b3[s] = std::min(b3[s] * f3, cap);
+        s = NextSubset(s, rest);
+      } while (s != 0);
+    } else {
+      for (size_t k = a; k < a + 4; ++k) {
+        IpfScaleOneSlice(bases[k], rest, proj[k], factor[k], refill[k], cap);
+      }
+    }
+  }
+  for (; a < target_size; ++a) {
+    IpfScaleOneSlice(bases[a], rest, proj[a], factor[a], refill[a], cap);
+  }
+}
 
 }  // namespace
 
-IpfResult MaxEntropyIpf(AttrSet attrs, double total,
-                        std::vector<MarginalConstraint> constraints,
-                        const IpfOptions& options) {
-  constraints = DeduplicateConstraints(std::move(constraints));
-
-  MarginalTable table(attrs);
-  const size_t num_cells = table.size();
+IpfSolveInfo MaxEntropyIpfInto(std::span<double> cells, AttrSet attrs,
+                               double total,
+                               std::span<const MarginalConstraint> constraints,
+                               Arena& arena, const IpfOptions& options) {
+  const uint64_t num_cells = uint64_t{1} << attrs.size();
+  PRIVIEW_CHECK(cells.size() == num_cells);
   const double safe_total = std::max(total, 1e-12);
 
-  // Sanitize targets: non-negativity, and rescale each to the common total
-  // so the fixed-point exists even under residual inconsistency.
-  std::vector<Resolved> resolved;
-  resolved.reserve(constraints.size());
-  for (const MarginalConstraint& c : constraints) {
-    PRIVIEW_CHECK(c.scope.IsSubsetOf(attrs));
-    if (c.scope.empty()) continue;  // total handled via initialization
-    Resolved r;
-    r.within_mask = table.CellIndexMaskFor(c.scope);
-    r.target = c.target.cells();
+  // Everything below is scratch; the caller keeps only `cells`.
+  Arena::Rewind rewind(arena);
+
+  std::span<ResolvedConstraint> resolved =
+      ResolveConstraints(attrs, constraints, arena);
+
+  // Sanitize targets in place: non-negativity, and rescale each to the
+  // common total so the fixed point exists even under residual
+  // inconsistency. Unusable constraints (empty scope, zero mass) drop out;
+  // order is otherwise preserved.
+  size_t usable = 0;
+  size_t max_target = 1;
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    ResolvedConstraint r = resolved[i];
+    if (r.scope.empty()) continue;  // total handled via initialization
     double tsum = 0.0;
     for (double& v : r.target) {
       if (v < 0.0) v = 0.0;
@@ -48,28 +177,93 @@ IpfResult MaxEntropyIpf(AttrSet attrs, double total,
     if (tsum <= 0.0) continue;  // no usable information
     const double rescale = safe_total / tsum;
     for (double& v : r.target) v *= rescale;
-    resolved.push_back(std::move(r));
+    max_target = std::max(max_target, r.target.size());
+    resolved[usable++] = r;
+  }
+  resolved = resolved.subspan(0, usable);
+
+  std::span<double> projection = arena.AllocSpan<double>(max_target);
+  std::span<double> factor = arena.AllocSpan<double>(max_target);
+
+  // Sweep-invariant per-constraint tables, built once per solve:
+  //   * refill values — the uniform completion a zero-mass slice snaps to
+  //     when its target wants positive mass — depend only on the
+  //     (sanitized) target and the slice size: one divide per target per
+  //     solve instead of one per target per sweep;
+  //   * slice base pointers cells + DepositBits(a, within) — the PDEP per
+  //     target per sweep becomes a pointer load.
+  std::span<std::span<const double>> refills =
+      arena.AllocSpan<std::span<const double>>(resolved.size());
+  std::span<std::span<double* const>> slice_bases =
+      arena.AllocSpan<std::span<double* const>>(resolved.size());
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    const ResolvedConstraint& r = resolved[i];
+    const double slice_size =
+        static_cast<double>(num_cells / r.target.size());
+    const std::span<double> refill = arena.AllocSpan<double>(r.target.size());
+    const std::span<double*> bases =
+        arena.AllocSpan<double*>(r.target.size());
+    for (size_t a = 0; a < r.target.size(); ++a) {
+      refill[a] = r.target[a] / slice_size;
+      bases[a] = cells.data() + DepositBits(a, r.within_mask);
+    }
+    refills[i] = refill;
+    slice_bases[i] = bases;
   }
 
   // Uniform start = the max-entropy solution of the unconstrained problem.
   const double uniform = safe_total / static_cast<double>(num_cells);
-  for (double& c : table.cells()) c = uniform;
+  for (double& c : cells) c = uniform;
 
-  IpfResult result;
+  IpfSolveInfo info;
   const double tol = options.relative_tolerance * std::max(1.0, safe_total);
+  const bool use_avx2 =
+      simd::ActiveLevel() == simd::Level::kAvx2 && num_cells >= 4;
 
-  std::vector<double> projection;
+  // Block-granular bitmap of cells in the subnormal neighborhood,
+  // refreshed once per sweep. Multiplies touching subnormals cost a
+  // microcode assist, and IPF's descent parks cells at the bottom of the
+  // subnormal range where every subsequent scale pass re-pays it; flagged
+  // blocks route through the exact integer multiply instead
+  // (IpfTinyMul — identical bits, no assist). A cell that turns tiny
+  // mid-sweep is slow until the next scan, never wrong.
+  std::span<uint64_t> tiny_words;
+  if (use_avx2) {
+    tiny_words = arena.AllocSpan<uint64_t>((num_cells / 4 + 63) / 64);
+  }
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    const bool any_tiny =
+        use_avx2 &&
+        internal::IpfScanTinyAvx2(cells.data(), num_cells, tiny_words.data());
     double max_residual = 0.0;
-    for (const Resolved& r : resolved) {
+    for (size_t ci = 0; ci < resolved.size(); ++ci) {
+      const ResolvedConstraint& r = resolved[ci];
+      const size_t target_size = r.target.size();
+      const double* refill = refills[ci].data();
+      double* const* bases = slice_bases[ci].data();
+      const uint64_t rest = (num_cells - 1) & ~r.within_mask;
       // Current projection of the working table onto the constraint scope.
-      projection.assign(r.target.size(), 0.0);
-      for (uint64_t cell = 0; cell < num_cells; ++cell) {
-        projection[ExtractBits(cell, r.within_mask)] += table.At(cell);
-      }
-      for (size_t a = 0; a < r.target.size(); ++a) {
-        max_residual =
-            std::max(max_residual, std::fabs(projection[a] - r.target[a]));
+      // Stays scalar in both SIMD levels: the accumulation order per target
+      // cell is part of the determinism contract.
+      IpfProjectScalar(bases, rest, projection.data(), target_size);
+      // Residual and per-slice quotient. The quotient is hoisted out of
+      // the cell loop (same division, computed once instead of once per
+      // cell); the AVX2 variant fuses both loops with vector divides
+      // (IEEE-exact, so bit-identical — max over finite absolutes is
+      // order-independent).
+      if (use_avx2) {
+        max_residual = std::max(
+            max_residual,
+            internal::IpfFactorResidualAvx2(projection.data(), r.target.data(),
+                                            factor.data(), target_size));
+      } else {
+        for (size_t a = 0; a < target_size; ++a) {
+          max_residual =
+              std::max(max_residual, std::fabs(projection[a] - r.target[a]));
+          factor[a] =
+              projection[a] > 0.0 ? r.target[a] / projection[a] : 0.0;
+        }
       }
       // Multiplicative update. Slices the table currently assigns zero mass
       // but the target wants positive mass are refilled uniformly — the
@@ -77,38 +271,59 @@ IpfResult MaxEntropyIpf(AttrSet attrs, double total,
       // total: a near-zero projection against a positive target produces
       // huge factors whose products can overflow to inf (and then NaN);
       // no feasible cell can exceed the total, so the cap is lossless.
-      const size_t slice_size = num_cells / r.target.size();
-      for (uint64_t cell = 0; cell < num_cells; ++cell) {
-        const uint64_t a = ExtractBits(cell, r.within_mask);
-        if (projection[a] > 0.0) {
-          table.At(cell) =
-              std::min(table.At(cell) * (r.target[a] / projection[a]),
-                       safe_total);
+      if (use_avx2) {
+        if (any_tiny) {
+          internal::IpfScaleLatticeAvx2Checked(
+              cells.data(), num_cells, r.within_mask, projection.data(),
+              factor.data(), refill, safe_total, tiny_words.data());
         } else {
-          table.At(cell) =
-              r.target[a] / static_cast<double>(slice_size);
+          internal::IpfScaleLatticeAvx2(cells.data(), num_cells,
+                                        r.within_mask, projection.data(),
+                                        factor.data(), refill, safe_total);
         }
+      } else {
+        IpfScaleCellsLattice(bases, rest, projection.data(), factor.data(),
+                             refill, safe_total, target_size);
       }
     }
-    result.iterations = iter + 1;
-    result.final_residual = max_residual;
+    info.iterations = iter + 1;
+    info.final_residual = max_residual;
     if (max_residual <= tol) {
-      result.converged = true;
+      info.converged = true;
       break;
     }
   }
-  if (resolved.empty()) result.converged = true;
+  if (resolved.empty()) info.converged = true;
 
   if (PRIVIEW_FAILPOINT("ipf/stall")) {
-    result.converged = false;
-    result.final_residual = std::numeric_limits<double>::infinity();
+    info.converged = false;
+    info.final_residual = std::numeric_limits<double>::infinity();
   }
   if (PRIVIEW_FAILPOINT("ipf/nan-cell") && num_cells > 0) {
-    table.At(0) = std::numeric_limits<double>::quiet_NaN();
+    cells[0] = std::numeric_limits<double>::quiet_NaN();
   }
+  return info;
+}
 
+IpfResult MaxEntropyIpf(AttrSet attrs, double total,
+                        std::span<const MarginalConstraint> constraints,
+                        Arena& arena, const IpfOptions& options) {
+  IpfResult result;
+  MarginalTable table(attrs);
+  const IpfSolveInfo info = MaxEntropyIpfInto(
+      std::span<double>(table.cells()), attrs, total, constraints, arena,
+      options);
   result.table = std::move(table);
+  result.iterations = info.iterations;
+  result.converged = info.converged;
+  result.final_residual = info.final_residual;
   return result;
+}
+
+IpfResult MaxEntropyIpf(AttrSet attrs, double total,
+                        std::span<const MarginalConstraint> constraints,
+                        const IpfOptions& options) {
+  return MaxEntropyIpf(attrs, total, constraints, ThreadLocalArena(), options);
 }
 
 }  // namespace priview

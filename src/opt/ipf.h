@@ -7,11 +7,18 @@
 // noisy, mildly inconsistent constraints we follow the paper's relaxation
 // spirit — targets are clamped to be non-negative, rescaled to a common
 // total, and the sweep stops after a bounded number of iterations.
+//
+// The solver core is arena-backed and allocation-free: constraints are
+// resolved once into the arena (merged targets + precomputed slice-index
+// tables), every sweep runs over flat arrays with per-slice factors
+// hoisted out of the cell loop, and the multiplicative update dispatches
+// to an AVX2 kernel with a bit-identical scalar fallback (common/simd.h).
 #ifndef PRIVIEW_OPT_IPF_H_
 #define PRIVIEW_OPT_IPF_H_
 
-#include <vector>
+#include <span>
 
+#include "common/arena.h"
 #include "opt/constraint.h"
 #include "table/marginal_table.h"
 
@@ -24,18 +31,39 @@ struct IpfOptions {
   double relative_tolerance = 1e-9;
 };
 
-struct IpfResult {
-  MarginalTable table;
+/// Outcome of the allocation-free core (no table attached).
+struct IpfSolveInfo {
   int iterations = 0;
   bool converged = false;
   double final_residual = 0.0;  // max Linf over constraints
 };
 
-/// Solves for the max-entropy table over `attrs` with total count `total`
-/// subject to `constraints`. Constraint scopes must be subsets of `attrs`;
-/// they are deduplicated internally.
+struct IpfResult {
+  MarginalTable table;
+  int iterations = 0;
+  bool converged = false;
+  double final_residual = 0.0;
+};
+
+/// Allocation-free core: solves for the max-entropy table over `attrs`
+/// with total count `total` subject to `constraints` (scopes must be
+/// subsets of `attrs`; deduplicated internally), writing the solution into
+/// caller-provided `cells` of size 2^|attrs|. All scratch comes from
+/// `arena` and is rewound on return, so a warm arena makes the whole call
+/// heap-free.
+IpfSolveInfo MaxEntropyIpfInto(std::span<double> cells, AttrSet attrs,
+                               double total,
+                               std::span<const MarginalConstraint> constraints,
+                               Arena& arena, const IpfOptions& options = {});
+
+/// Managed wrapper: allocates the result table, scratch from `arena`.
 IpfResult MaxEntropyIpf(AttrSet attrs, double total,
-                        std::vector<MarginalConstraint> constraints,
+                        std::span<const MarginalConstraint> constraints,
+                        Arena& arena, const IpfOptions& options = {});
+
+/// Convenience wrapper on the per-thread solver arena (common/arena.h).
+IpfResult MaxEntropyIpf(AttrSet attrs, double total,
+                        std::span<const MarginalConstraint> constraints,
                         const IpfOptions& options = {});
 
 }  // namespace priview

@@ -1,0 +1,305 @@
+// AVX2 kernel for the IPF multiplicative update, in the same lattice form
+// as the scalar implementation in ipf.cc. Compiled with -mavx2 and
+// -ffp-contract=off (and deliberately WITHOUT -mfma): every operation is
+// element-wise — multiply, min, blend, store — so the results are
+// bit-identical to the scalar lattice. solver_golden_test pins this
+// against fixtures captured from the pre-SIMD implementation.
+//
+// Structure: cell index bits split into the scope bits (`within`) and the
+// complement (`rest`). Factor the low 2 bits out of both masks: a cell
+// index is then (g | s | lane) with g a subset of within's high bits, s a
+// subset of rest's high bits, and lane the low 2 bits. For fixed g, the
+// four lanes of every aligned 4-cell block map to the same four (not
+// necessarily distinct) target cells, so the per-lane factor, refill and
+// positivity-mask vectors are built once per group and the inner walk over
+// s is pure load/mul/min/blend/store on contiguous memory — no gathers (a
+// gather-based variant measured no faster than scalar on current Intel
+// parts; hoisting the per-slice values out of the cell loop is the whole
+// win).
+//
+// Subnormal-parked cells get special handling: IpfScanTinyAvx2 flags
+// 4-cell blocks holding cells in (0, 2^-1020) once per sweep, and the
+// kChecked kernel variant routes flagged blocks through IpfTinyMul (an
+// exact integer multiply on the 2^-1074 grid) so the stuck cells at the
+// bottom of the subnormal range stop paying the FPU's denormal microcode
+// assist on every scale pass. Same bits either way — the hardware result
+// is correct, just ~100 cycles slower per multiply.
+#include "opt/solver_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+
+namespace priview {
+namespace internal {
+
+namespace {
+
+// Which of the two low cell-index bits belong to the constraint scope.
+// This decides how a 4-cell block's lanes map onto target cells — always
+// to a run of 1, 2 or 4 *consecutive* targets, because PEXT packs the low
+// scope bits into the low result bits.
+enum class Low2 { kNone, kBit0, kBit1, kBoth };
+
+// Expands src[a0...] into the per-lane vector for a 4-cell block.
+//   kNone: lanes (a0, a0, a0, a0)     kBit0: lanes (a0, a0+1, a0, a0+1)
+//   kBit1: lanes (a0, a0, a0+1, a0+1) kBoth: lanes (a0, ..., a0+3)
+template <Low2 P>
+inline __m256d ExpandLanes(const double* src, size_t a0) {
+  if constexpr (P == Low2::kNone) {
+    return _mm256_set1_pd(src[a0]);
+  } else if constexpr (P == Low2::kBit0) {
+    return _mm256_broadcast_pd(reinterpret_cast<const __m128d*>(src + a0));
+  } else if constexpr (P == Low2::kBit1) {
+    return _mm256_permute4x64_pd(
+        _mm256_castpd128_pd256(_mm_loadu_pd(src + a0)), 0x50);
+  } else {
+    return _mm256_loadu_pd(src + a0);
+  }
+}
+
+// Lane -> target-cell offset from the group's first target, fixed by the
+// Low2 pattern (PEXT packs the low scope bits into the low result bits).
+template <Low2 P>
+constexpr size_t LaneTargetOffset(size_t lane) {
+  if constexpr (P == Low2::kNone) return 0;
+  if constexpr (P == Low2::kBit0) return lane & 1;
+  if constexpr (P == Low2::kBit1) return lane >> 1;
+  return lane;
+}
+
+// The per-lane scalar form of the update for a block flagged as containing
+// tiny cells: IpfTinyMul computes the exact product bits for the lanes in
+// the subnormal neighborhood with no microcode assist; everything else
+// falls back to the hardware scalar multiply. std::min(m, cap) returns m
+// when m is NaN — the same pick as MINPD with cap first — and the
+// explicit proj > 0 test matches _CMP_GT_OQ, so this path is
+// bit-identical to the vector one.
+template <Low2 P>
+void ScaleTinyBlock(double* block, size_t a0, const double* proj,
+                    const double* factor, const double* refill, double cap) {
+  for (size_t lane = 0; lane < 4; ++lane) {
+    const size_t a = a0 + LaneTargetOffset<P>(lane);
+    const double x = block[lane];
+    double out;
+    if (proj[a] > 0.0) {
+      if (!IpfTinyMul(x, factor[a], &out)) {
+        out = std::min(x * factor[a], cap);
+      }
+    } else {
+      out = refill[a];
+    }
+    block[lane] = out;
+  }
+}
+
+template <Low2 P, bool kChecked>
+void ScaleImpl(double* cells, uint64_t within_hi, uint64_t rest_hi,
+               const double* proj, const double* factor, const double* refill,
+               const __m256d vcap, double cap, const uint64_t* tiny_words) {
+  constexpr int kShift = P == Low2::kNone ? 0 : P == Low2::kBoth ? 2 : 1;
+  const __m256d zero = _mm256_setzero_pd();
+  uint64_t g = 0;
+  size_t g_idx = 0;
+  do {
+    // NextSubset enumerates groups in increasing order and PEXT is
+    // monotone, so this group's first target is just g_idx scaled by the
+    // targets-per-group count.
+    const size_t a0 = g_idx << kShift;
+    const __m256d pos =
+        _mm256_cmp_pd(ExpandLanes<P>(proj, a0), zero, _CMP_GT_OQ);
+    const __m256d vf = ExpandLanes<P>(factor, a0);
+    // g | s == g + s (disjoint bit ranges): a per-group base pointer folds
+    // the combine into the load/store addressing mode.
+    double* const block = cells + g;
+    if (_mm256_movemask_pd(pos) == 0xF) {
+      // All four slices have positive projection (the steady state: a
+      // slice only loses all mass via a zero factor, and then stays
+      // there) — no refill blend needed. blendv with an all-ones mask
+      // returns `scaled` exactly, so both branches are bit-identical.
+      uint64_t s = 0;
+      do {
+        if constexpr (kChecked) {
+          const uint64_t b = (g + s) >> 2;
+          if ((tiny_words[b >> 6] >> (b & 63)) & 1) {
+            ScaleTinyBlock<P>(block + s, a0, proj, factor, refill, cap);
+            s = NextSubset(s, rest_hi);
+            continue;
+          }
+        }
+        const __m256d x = _mm256_loadu_pd(block + s);
+        // min(x * f, cap) with std::min(x*f, cap) NaN semantics: VMINPD
+        // returns the second operand on an unordered compare, so cap
+        // goes first.
+        _mm256_storeu_pd(block + s,
+                         _mm256_min_pd(vcap, _mm256_mul_pd(x, vf)));
+        s = NextSubset(s, rest_hi);
+      } while (s != 0);
+    } else {
+      const __m256d vr = ExpandLanes<P>(refill, a0);
+      uint64_t s = 0;
+      do {
+        if constexpr (kChecked) {
+          const uint64_t b = (g + s) >> 2;
+          if ((tiny_words[b >> 6] >> (b & 63)) & 1) {
+            ScaleTinyBlock<P>(block + s, a0, proj, factor, refill, cap);
+            s = NextSubset(s, rest_hi);
+            continue;
+          }
+        }
+        const __m256d x = _mm256_loadu_pd(block + s);
+        const __m256d scaled = _mm256_min_pd(vcap, _mm256_mul_pd(x, vf));
+        _mm256_storeu_pd(block + s, _mm256_blendv_pd(vr, scaled, pos));
+        s = NextSubset(s, rest_hi);
+      } while (s != 0);
+    }
+    g = NextSubset(g, within_hi);
+    ++g_idx;
+  } while (g != 0);
+}
+
+template <bool kChecked>
+void ScaleDispatch(double* cells, uint64_t num_cells, uint64_t within,
+                   const double* proj, const double* factor,
+                   const double* refill, double cap,
+                   const uint64_t* tiny_words) {
+  const uint64_t rest = (num_cells - 1) & ~within;
+  const uint64_t within_hi = within & ~uint64_t{3};
+  const uint64_t rest_hi = rest & ~uint64_t{3};
+  const __m256d vcap = _mm256_set1_pd(cap);
+  switch (within & 3) {
+    case 0:
+      ScaleImpl<Low2::kNone, kChecked>(cells, within_hi, rest_hi, proj,
+                                       factor, refill, vcap, cap, tiny_words);
+      break;
+    case 1:
+      ScaleImpl<Low2::kBit0, kChecked>(cells, within_hi, rest_hi, proj,
+                                       factor, refill, vcap, cap, tiny_words);
+      break;
+    case 2:
+      ScaleImpl<Low2::kBit1, kChecked>(cells, within_hi, rest_hi, proj,
+                                       factor, refill, vcap, cap, tiny_words);
+      break;
+    default:
+      ScaleImpl<Low2::kBoth, kChecked>(cells, within_hi, rest_hi, proj,
+                                       factor, refill, vcap, cap, tiny_words);
+      break;
+  }
+}
+
+}  // namespace
+
+void IpfScaleLatticeAvx2(double* cells, uint64_t num_cells, uint64_t within,
+                         const double* proj, const double* factor,
+                         const double* refill, double cap) {
+  ScaleDispatch<false>(cells, num_cells, within, proj, factor, refill, cap,
+                       nullptr);
+}
+
+void IpfScaleLatticeAvx2Checked(double* cells, uint64_t num_cells,
+                                uint64_t within, const double* proj,
+                                const double* factor, const double* refill,
+                                double cap, const uint64_t* tiny_words) {
+  ScaleDispatch<true>(cells, num_cells, within, proj, factor, refill, cap,
+                      tiny_words);
+}
+
+bool IpfScanTinyAvx2(const double* cells, uint64_t num_cells,
+                     uint64_t* words) {
+  // Positive doubles order like their bit patterns as signed integers, so
+  // 0 < cell < 2^-1000 is two integer compares. Negative cells read as
+  // negative integers and fail the > 0 test; the kernels' cells are
+  // non-negative anyway.
+  constexpr long long kTinyThreshBits = 3LL << 52;  // bits of 2^-1020
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vthresh = _mm256_set1_epi64x(kTinyThreshBits);
+  uint64_t any = 0;
+  const uint64_t num_blocks = num_cells / 4;
+  for (uint64_t w = 0; w * 64 < num_blocks; ++w) {
+    uint64_t bits = 0;
+    const uint64_t end = std::min<uint64_t>(64, num_blocks - w * 64);
+    const double* base = cells + w * 256;
+    for (uint64_t b = 0; b < end; ++b) {
+      const __m256i x = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + 4 * b));
+      const __m256i tiny = _mm256_and_si256(_mm256_cmpgt_epi64(x, vzero),
+                                            _mm256_cmpgt_epi64(vthresh, x));
+      const int m = _mm256_movemask_pd(_mm256_castsi256_pd(tiny));
+      bits |= static_cast<uint64_t>(m != 0) << b;
+    }
+    words[w] = bits;
+    any |= bits;
+  }
+  return any != 0;
+}
+
+double IpfFactorResidualAvx2(const double* proj, const double* target,
+                             double* factor, size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  // fabs as a sign-bit clear — bitwise identical to std::fabs.
+  const __m256d abs_mask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(static_cast<long long>(0x7fffffffffffffffULL)));
+  __m256d vmax = zero;
+  size_t a = 0;
+  for (; a + 4 <= n; a += 4) {
+    const __m256d p = _mm256_loadu_pd(proj + a);
+    const __m256d t = _mm256_loadu_pd(target + a);
+    vmax = _mm256_max_pd(vmax, _mm256_and_pd(abs_mask, _mm256_sub_pd(p, t)));
+    // p > 0 ? t / p : 0.0. The divide runs unconditionally (a non-positive
+    // lane yields inf/NaN) and the mask AND forces those lanes to +0.0,
+    // exactly the scalar else-branch.
+    const __m256d f = _mm256_div_pd(t, p);
+    const __m256d pos = _mm256_cmp_pd(p, zero, _CMP_GT_OQ);
+    _mm256_storeu_pd(factor + a, _mm256_and_pd(f, pos));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, vmax);
+  double max_residual =
+      std::max(std::max(lanes[0], lanes[1]), std::max(lanes[2], lanes[3]));
+  for (; a < n; ++a) {
+    max_residual = std::max(max_residual, std::fabs(proj[a] - target[a]));
+    factor[a] = proj[a] > 0.0 ? target[a] / proj[a] : 0.0;
+  }
+  return max_residual;
+}
+
+}  // namespace internal
+}  // namespace priview
+
+#else  // !defined(__AVX2__)
+
+#include "common/check.h"
+
+namespace priview {
+namespace internal {
+
+void IpfScaleLatticeAvx2(double*, uint64_t, uint64_t, const double*,
+                         const double*, const double*, double) {
+  PRIVIEW_CHECK(false);  // dispatch must not route here without AVX2
+}
+
+void IpfScaleLatticeAvx2Checked(double*, uint64_t, uint64_t, const double*,
+                                const double*, const double*, double,
+                                const uint64_t*) {
+  PRIVIEW_CHECK(false);  // dispatch must not route here without AVX2
+}
+
+bool IpfScanTinyAvx2(const double*, uint64_t, uint64_t*) {
+  PRIVIEW_CHECK(false);  // dispatch must not route here without AVX2
+  return false;
+}
+
+double IpfFactorResidualAvx2(const double*, const double*, double*, size_t) {
+  PRIVIEW_CHECK(false);  // dispatch must not route here without AVX2
+  return 0.0;
+}
+
+}  // namespace internal
+}  // namespace priview
+
+#endif  // defined(__AVX2__)

@@ -3,117 +3,225 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/bits.h"
 #include "common/check.h"
 #include "common/failpoint.h"
-#include "common/linalg.h"
 
 namespace priview {
 namespace {
 
-// Builds the stacked constraint system Cx = b, one row per (scope, target
-// cell). Rows are 0/1 indicators of cells projecting onto the target cell.
-// The total-count constraint (all-ones row) is appended explicitly.
-struct System {
-  Matrix c;
-  std::vector<double> b;
-};
+// Dense kernels over arena-backed row-major storage. These replicate the
+// former common/linalg loops expression-for-expression (including the
+// zero-skip in the transposed product and the i<=j symmetric Gram fill) so
+// that the compiler's contraction/vectorization choices — and therefore
+// the bits of the results — match the pre-arena implementation.
 
-System BuildSystem(AttrSet attrs, double total,
-                   const std::vector<MarginalConstraint>& constraints) {
-  const size_t num_cells = size_t{1} << attrs.size();
-  MarginalTable probe(attrs);
-
-  int rows = 1;  // total-count row
-  for (const MarginalConstraint& c : constraints) {
-    if (!c.scope.empty()) rows += static_cast<int>(c.target.size());
+void MatVec(const double* a, int rows, int cols, const double* v,
+            double* out) {
+  for (int i = 0; i < rows; ++i) {
+    double sum = 0.0;
+    const double* row = &a[static_cast<size_t>(i) * cols];
+    for (int j = 0; j < cols; ++j) sum += row[j] * v[j];
+    out[i] = sum;
   }
+}
 
-  System sys{Matrix(rows, static_cast<int>(num_cells)),
-             std::vector<double>(rows)};
-  int row = 0;
-  for (uint64_t cell = 0; cell < num_cells; ++cell) {
-    sys.c(row, static_cast<int>(cell)) = 1.0;
+void TransposedMatVec(const double* a, int rows, int cols, const double* v,
+                      double* out) {
+  for (int j = 0; j < cols; ++j) out[j] = 0.0;
+  for (int i = 0; i < rows; ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    const double* row = &a[static_cast<size_t>(i) * cols];
+    for (int j = 0; j < cols; ++j) out[j] += row[j] * vi;
   }
-  sys.b[row] = total;
-  ++row;
+}
 
-  for (const MarginalConstraint& c : constraints) {
-    if (c.scope.empty()) continue;
-    const uint64_t within = probe.CellIndexMaskFor(c.scope);
-    const int base = row;
-    for (uint64_t cell = 0; cell < num_cells; ++cell) {
-      const int target_cell = static_cast<int>(ExtractBits(cell, within));
-      sys.c(base + target_cell, static_cast<int>(cell)) = 1.0;
+void GramRows(const double* a, int rows, int cols, double* out) {
+  for (int i = 0; i < rows; ++i) {
+    const double* ri = &a[static_cast<size_t>(i) * cols];
+    for (int j = i; j < rows; ++j) {
+      const double* rj = &a[static_cast<size_t>(j) * cols];
+      double sum = 0.0;
+      for (int k = 0; k < cols; ++k) sum += ri[k] * rj[k];
+      out[static_cast<size_t>(i) * rows + j] = sum;
+      out[static_cast<size_t>(j) * rows + i] = sum;
     }
-    for (size_t a = 0; a < c.target.size(); ++a) {
-      sys.b[base + static_cast<int>(a)] = std::max(c.target.At(a), 0.0);
-    }
-    row += static_cast<int>(c.target.size());
   }
-  return sys;
+}
+
+// In-place lower-triangular Cholesky of a + ridge*I (a is n x n, row
+// major; the factor is written into l). Returns false if not positive
+// definite even after the ridge.
+bool CholeskyFactor(const double* a, int n, double ridge, double* l) {
+  for (size_t i = 0; i < static_cast<size_t>(n) * n; ++i) l[i] = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a[static_cast<size_t>(i) * n + j] + ((i == j) ? ridge : 0.0);
+      for (int k = 0; k < j; ++k) {
+        sum -= l[static_cast<size_t>(i) * n + k] *
+               l[static_cast<size_t>(j) * n + k];
+      }
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        l[static_cast<size_t>(i) * n + i] = std::sqrt(sum);
+      } else {
+        l[static_cast<size_t>(i) * n + j] =
+            sum / l[static_cast<size_t>(j) * n + j];
+      }
+    }
+  }
+  return true;
+}
+
+// Solves L Lᵀ x = b by forward then back substitution. `y` is n scratch
+// doubles; `x` receives the solution (may not alias b).
+void CholeskySolve(const double* l, int n, const double* b, double* y,
+                   double* x) {
+  for (int i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (int k = 0; k < i; ++k) sum -= l[static_cast<size_t>(i) * n + k] * y[k];
+    y[i] = sum / l[static_cast<size_t>(i) * n + i];
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = y[i];
+    for (int k = i + 1; k < n; ++k) {
+      sum -= l[static_cast<size_t>(k) * n + i] * x[k];
+    }
+    x[i] = sum / l[static_cast<size_t>(i) * n + i];
+  }
 }
 
 }  // namespace
 
-LeastNormResult LeastNormSolve(AttrSet attrs, double total,
-                               std::vector<MarginalConstraint> constraints,
-                               const LeastNormOptions& options) {
-  constraints = DeduplicateConstraints(std::move(constraints));
-  const double safe_total = std::max(total, 0.0);
-  const System sys = BuildSystem(attrs, safe_total, constraints);
+LeastNormSolveInfo LeastNormSolveInto(
+    std::span<double> cells, AttrSet attrs, double total,
+    std::span<const MarginalConstraint> constraints, Arena& arena,
+    const LeastNormOptions& options) {
   const size_t num_cells = size_t{1} << attrs.size();
+  PRIVIEW_CHECK(cells.size() == num_cells);
+  const double safe_total = std::max(total, 0.0);
+
+  Arena::Rewind rewind(arena);
+
+  std::span<ResolvedConstraint> resolved =
+      ResolveConstraints(attrs, constraints, arena);
+
+  // Stacked constraint system Cx = b: the total-count (all-ones) row first,
+  // then one 0/1 indicator row per (scope, target cell).
+  int rows = 1;
+  for (const ResolvedConstraint& r : resolved) {
+    if (!r.scope.empty()) rows += static_cast<int>(r.target.size());
+  }
+
+  std::span<double> c_mat =
+      arena.AllocSpan<double>(static_cast<size_t>(rows) * num_cells, 0.0);
+  std::span<double> b = arena.AllocSpan<double>(static_cast<size_t>(rows));
+  int row = 0;
+  for (uint64_t cell = 0; cell < num_cells; ++cell) {
+    c_mat[static_cast<size_t>(row) * num_cells + cell] = 1.0;
+  }
+  b[row] = safe_total;
+  ++row;
+
+  for (const ResolvedConstraint& r : resolved) {
+    if (r.scope.empty()) continue;
+    const int base = row;
+    for (uint64_t cell = 0; cell < num_cells; ++cell) {
+      const int target_cell = static_cast<int>(r.slice_index[cell]);
+      c_mat[static_cast<size_t>(base + target_cell) * num_cells + cell] = 1.0;
+    }
+    for (size_t a = 0; a < r.target.size(); ++a) {
+      b[base + static_cast<int>(a)] = std::max(r.target[a], 0.0);
+    }
+    row += static_cast<int>(r.target.size());
+  }
 
   // Factor C Cᵀ once; the ridge handles the (always present) redundancy of
   // each scope's rows summing to the total row.
-  Matrix gram = sys.c.GramRows();
+  std::span<double> gram =
+      arena.AllocSpan<double>(static_cast<size_t>(rows) * rows);
+  GramRows(c_mat.data(), rows, static_cast<int>(num_cells), gram.data());
   double trace = 0.0;
-  for (int i = 0; i < gram.rows(); ++i) trace += gram(i, i);
-  Cholesky chol;
+  for (int i = 0; i < rows; ++i) {
+    trace += gram[static_cast<size_t>(i) * rows + i];
+  }
+  std::span<double> chol =
+      arena.AllocSpan<double>(static_cast<size_t>(rows) * rows);
   const double ridge = std::max(1e-10 * trace, 1e-12);
-  PRIVIEW_CHECK(chol.Factor(gram, ridge));
+  PRIVIEW_CHECK(
+      CholeskyFactor(gram.data(), rows, ridge, chol.data()));
 
-  auto project_affine = [&](std::vector<double>* x) {
-    std::vector<double> residual = sys.c.MatVec(*x);
-    for (size_t i = 0; i < residual.size(); ++i) residual[i] -= sys.b[i];
-    const std::vector<double> y = chol.Solve(residual);
-    const std::vector<double> correction = sys.c.TransposedMatVec(y);
-    for (size_t i = 0; i < x->size(); ++i) (*x)[i] -= correction[i];
+  std::span<double> residual = arena.AllocSpan<double>(rows);
+  std::span<double> sub_y = arena.AllocSpan<double>(rows);
+  std::span<double> dual = arena.AllocSpan<double>(rows);
+  std::span<double> correction = arena.AllocSpan<double>(num_cells);
+
+  auto project_affine = [&](double* x) {
+    MatVec(c_mat.data(), rows, static_cast<int>(num_cells), x,
+           residual.data());
+    for (int i = 0; i < rows; ++i) residual[i] -= b[i];
+    CholeskySolve(chol.data(), rows, residual.data(), sub_y.data(),
+                  dual.data());
+    TransposedMatVec(c_mat.data(), rows, static_cast<int>(num_cells),
+                     dual.data(), correction.data());
+    for (size_t i = 0; i < num_cells; ++i) x[i] -= correction[i];
   };
 
   // Dykstra between the affine set and the orthant, starting from 0 so the
-  // limit is the min-norm point of the intersection.
-  std::vector<double> x(num_cells, 0.0);
-  std::vector<double> p(num_cells, 0.0);  // orthant correction memory
+  // limit is the min-norm point of the intersection. `cells` is the iterate
+  // x; p is the orthant correction memory.
+  for (double& v : cells) v = 0.0;
+  std::span<double> p = arena.AllocSpan<double>(num_cells, 0.0);
 
-  LeastNormResult result;
+  LeastNormSolveInfo info;
   const double tol = options.tolerance * std::max(1.0, safe_total);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    project_affine(&x);
+    project_affine(cells.data());
     // How infeasible w.r.t. the orthant are we?
     double neg = 0.0;
-    for (double v : x) neg = std::max(neg, -v);
+    for (double v : cells) neg = std::max(neg, -v);
 
-    std::vector<double> y = x;
-    for (size_t i = 0; i < y.size(); ++i) {
-      y[i] = std::max(0.0, x[i] + p[i]);
-      p[i] = x[i] + p[i] - y[i];
+    for (size_t i = 0; i < num_cells; ++i) {
+      const double s = cells[i] + p[i];
+      const double yi = std::max(0.0, s);
+      p[i] = s - yi;
+      cells[i] = yi;
     }
-    x = std::move(y);
 
-    result.iterations = iter + 1;
+    info.iterations = iter + 1;
     if (neg <= tol) {
-      result.converged = true;
+      info.converged = true;
       break;
     }
   }
   // Final cleanup: clamp the tiny residual negativity.
-  for (double& v : x) v = std::max(v, 0.0);
+  for (double& v : cells) v = std::max(v, 0.0);
 
-  if (PRIVIEW_FAILPOINT("leastnorm/stall")) result.converged = false;
+  if (PRIVIEW_FAILPOINT("leastnorm/stall")) info.converged = false;
 
-  result.table = MarginalTable(attrs, std::move(x));
+  return info;
+}
+
+LeastNormResult LeastNormSolve(AttrSet attrs, double total,
+                               std::span<const MarginalConstraint> constraints,
+                               Arena& arena,
+                               const LeastNormOptions& options) {
+  LeastNormResult result;
+  MarginalTable table(attrs);
+  const LeastNormSolveInfo info = LeastNormSolveInto(
+      std::span<double>(table.cells()), attrs, total, constraints, arena,
+      options);
+  result.table = std::move(table);
+  result.iterations = info.iterations;
+  result.converged = info.converged;
   return result;
+}
+
+LeastNormResult LeastNormSolve(AttrSet attrs, double total,
+                               std::span<const MarginalConstraint> constraints,
+                               const LeastNormOptions& options) {
+  return LeastNormSolve(attrs, total, constraints, ThreadLocalArena(),
+                        options);
 }
 
 }  // namespace priview

@@ -5,11 +5,18 @@
 // a small ridge for rank deficiency) and the non-negative orthant —
 // Dykstra's corrections make the iteration converge to the true projection
 // of 0 onto the intersection, i.e. the minimum-norm feasible point.
+//
+// The core is arena-backed and allocation-free: the stacked constraint
+// system, its Gram factor and all Dykstra state live in the request arena.
+// The dense kernels keep the exact scalar expression shapes of the former
+// common/linalg implementation so the compiler contracts/vectorizes them
+// identically — outputs are pinned bit-for-bit by solver_golden_test.
 #ifndef PRIVIEW_OPT_LEAST_NORM_H_
 #define PRIVIEW_OPT_LEAST_NORM_H_
 
-#include <vector>
+#include <span>
 
+#include "common/arena.h"
 #include "opt/constraint.h"
 #include "table/marginal_table.h"
 
@@ -20,16 +27,36 @@ struct LeastNormOptions {
   double tolerance = 1e-7;  // relative to max(1, total)
 };
 
+/// Outcome of the allocation-free core (no table attached).
+struct LeastNormSolveInfo {
+  int iterations = 0;
+  bool converged = false;
+};
+
 struct LeastNormResult {
   MarginalTable table;
   int iterations = 0;
   bool converged = false;
 };
 
-/// Minimum-L2-norm non-negative table over `attrs` with total `total`
-/// meeting `constraints` (deduplicated internally).
+/// Allocation-free core: writes the minimum-L2-norm non-negative table over
+/// `attrs` with total `total` meeting `constraints` (deduplicated
+/// internally) into caller-provided `cells` of size 2^|attrs|. All scratch
+/// comes from `arena` and is rewound on return.
+LeastNormSolveInfo LeastNormSolveInto(
+    std::span<double> cells, AttrSet attrs, double total,
+    std::span<const MarginalConstraint> constraints, Arena& arena,
+    const LeastNormOptions& options = {});
+
+/// Managed wrapper: allocates the result table, scratch from `arena`.
 LeastNormResult LeastNormSolve(AttrSet attrs, double total,
-                               std::vector<MarginalConstraint> constraints,
+                               std::span<const MarginalConstraint> constraints,
+                               Arena& arena,
+                               const LeastNormOptions& options = {});
+
+/// Convenience wrapper on the per-thread solver arena.
+LeastNormResult LeastNormSolve(AttrSet attrs, double total,
+                               std::span<const MarginalConstraint> constraints,
                                const LeastNormOptions& options = {});
 
 }  // namespace priview

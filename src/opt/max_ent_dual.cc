@@ -5,18 +5,11 @@
 
 #include <limits>
 
-#include "common/bits.h"
 #include "common/check.h"
 #include "common/failpoint.h"
 
 namespace priview {
 namespace {
-
-struct DualConstraint {
-  uint64_t within_mask;
-  std::vector<double> target;     // sanitized, rescaled to common total
-  std::vector<double> potential;  // λ, one per target cell
-};
 
 // exp() underflows safely below this; also the clamp for potentials so a
 // slice forced to zero cannot drive anything to ±inf.
@@ -25,52 +18,63 @@ constexpr double kLogCeil = 700.0;
 
 }  // namespace
 
-MaxEntDualResult MaxEntropyDual(AttrSet attrs, double total,
-                                std::vector<MarginalConstraint> constraints,
-                                const MaxEntDualOptions& options) {
-  constraints = DeduplicateConstraints(std::move(constraints));
-
-  MarginalTable table(attrs);
-  const size_t num_cells = table.size();
+MaxEntDualSolveInfo MaxEntropyDualInto(
+    std::span<double> cells, AttrSet attrs, double total,
+    std::span<const MarginalConstraint> constraints, Arena& arena,
+    const MaxEntDualOptions& options) {
+  const uint64_t num_cells = uint64_t{1} << attrs.size();
+  PRIVIEW_CHECK(cells.size() == num_cells);
   const double safe_total = std::max(total, 1e-12);
 
-  std::vector<DualConstraint> duals;
-  for (const MarginalConstraint& c : constraints) {
-    PRIVIEW_CHECK(c.scope.IsSubsetOf(attrs));
-    if (c.scope.empty()) continue;
-    DualConstraint d;
-    d.within_mask = table.CellIndexMaskFor(c.scope);
-    d.target = c.target.cells();
+  Arena::Rewind rewind(arena);
+
+  std::span<ResolvedConstraint> resolved =
+      ResolveConstraints(attrs, constraints, arena);
+
+  // Sanitize targets in place and attach a zero-initialized potential span
+  // per usable constraint (dropped: empty scope, zero mass).
+  std::span<std::span<double>> potentials =
+      arena.AllocSpan<std::span<double>>(resolved.size());
+  size_t usable = 0;
+  size_t max_target = 1;
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    ResolvedConstraint r = resolved[i];
+    if (r.scope.empty()) continue;
     double tsum = 0.0;
-    for (double& v : d.target) {
+    for (double& v : r.target) {
       if (v < 0.0) v = 0.0;
       tsum += v;
     }
     if (tsum <= 0.0) continue;
-    for (double& v : d.target) v *= safe_total / tsum;
-    d.potential.assign(d.target.size(), 0.0);
-    duals.push_back(std::move(d));
+    for (double& v : r.target) v *= safe_total / tsum;
+    potentials[usable] = arena.AllocSpan<double>(r.target.size(), 0.0);
+    max_target = std::max(max_target, r.target.size());
+    resolved[usable++] = r;
   }
+  resolved = resolved.subspan(0, usable);
 
-  MaxEntDualResult result;
-  if (duals.empty()) {
+  MaxEntDualSolveInfo info;
+  if (resolved.empty()) {
     const double uniform = safe_total / static_cast<double>(num_cells);
-    for (double& c : table.cells()) c = uniform;
-    result.converged = true;
-    result.table = std::move(table);
-    return result;
+    for (double& c : cells) c = uniform;
+    info.converged = true;
+    if (PRIVIEW_FAILPOINT("maxent/stall")) {
+      info.converged = false;
+      info.final_residual = std::numeric_limits<double>::infinity();
+    }
+    return info;
   }
 
   // Rebuilds the primal p(a) ∝ exp(Σ_c λ_c[proj_c(a)]) normalized to the
   // total. Working from the potentials each time keeps numerical error
   // from accumulating in the table (unlike in-place multiplicative
   // updates), which is the point of this cross-check implementation.
-  std::vector<double> log_p(num_cells);
+  std::span<double> log_p = arena.AllocSpan<double>(num_cells);
   auto materialize = [&]() {
     for (uint64_t cell = 0; cell < num_cells; ++cell) {
       double lp = 0.0;
-      for (const DualConstraint& d : duals) {
-        lp += d.potential[ExtractBits(cell, d.within_mask)];
+      for (size_t d = 0; d < resolved.size(); ++d) {
+        lp += potentials[d][resolved[d].slice_index[cell]];
       }
       log_p[cell] = std::clamp(lp, 2.0 * kLogFloor, 2.0 * kLogCeil);
     }
@@ -81,12 +85,12 @@ MaxEntDualResult MaxEntropyDual(AttrSet attrs, double total,
     }
     const double log_norm = std::log(safe_total) - max_lp - std::log(z);
     for (uint64_t cell = 0; cell < num_cells; ++cell) {
-      table.At(cell) = std::exp(log_p[cell] + log_norm);
+      cells[cell] = std::exp(log_p[cell] + log_norm);
     }
   };
 
   const double tol = options.relative_tolerance * std::max(1.0, safe_total);
-  std::vector<double> projection;
+  std::span<double> projection = arena.AllocSpan<double>(max_target);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // Gauss–Seidel coordinate ascent on the dual: each constraint's
@@ -94,43 +98,67 @@ MaxEntDualResult MaxEntropyDual(AttrSet attrs, double total,
     // which is re-materialized before every step. (A Jacobi sweep from a
     // stale primal diverges when constraints overlap.)
     double max_residual = 0.0;
-    for (DualConstraint& d : duals) {
+    for (size_t d = 0; d < resolved.size(); ++d) {
+      const ResolvedConstraint& r = resolved[d];
+      std::span<double> potential = potentials[d];
       materialize();
-      projection.assign(d.target.size(), 0.0);
+      const size_t target_size = r.target.size();
+      for (size_t a = 0; a < target_size; ++a) projection[a] = 0.0;
       for (uint64_t cell = 0; cell < num_cells; ++cell) {
-        projection[ExtractBits(cell, d.within_mask)] += table.At(cell);
+        projection[r.slice_index[cell]] += cells[cell];
       }
-      for (size_t a = 0; a < d.target.size(); ++a) {
+      for (size_t a = 0; a < target_size; ++a) {
         max_residual =
-            std::max(max_residual, std::fabs(projection[a] - d.target[a]));
-        if (d.target[a] <= 0.0) {
-          d.potential[a] = kLogFloor;  // force the slice to zero
+            std::max(max_residual, std::fabs(projection[a] - r.target[a]));
+        if (r.target[a] <= 0.0) {
+          potential[a] = kLogFloor;  // force the slice to zero
         } else if (projection[a] > 0.0) {
-          d.potential[a] += std::log(d.target[a] / projection[a]);
+          potential[a] += std::log(r.target[a] / projection[a]);
         } else {
           // Projection vanished but mass is required: lift the potential.
-          d.potential[a] += 1.0;
+          potential[a] += 1.0;
         }
-        d.potential[a] = std::clamp(d.potential[a], kLogFloor, kLogCeil);
+        potential[a] = std::clamp(potential[a], kLogFloor, kLogCeil);
       }
     }
 
-    result.iterations = iter + 1;
-    result.final_residual = max_residual;
+    info.iterations = iter + 1;
+    info.final_residual = max_residual;
     if (max_residual <= tol) {
-      result.converged = true;
+      info.converged = true;
       break;
     }
   }
   materialize();
 
   if (PRIVIEW_FAILPOINT("maxent/stall")) {
-    result.converged = false;
-    result.final_residual = std::numeric_limits<double>::infinity();
+    info.converged = false;
+    info.final_residual = std::numeric_limits<double>::infinity();
   }
+  return info;
+}
 
+MaxEntDualResult MaxEntropyDual(AttrSet attrs, double total,
+                                std::span<const MarginalConstraint> constraints,
+                                Arena& arena,
+                                const MaxEntDualOptions& options) {
+  MaxEntDualResult result;
+  MarginalTable table(attrs);
+  const MaxEntDualSolveInfo info = MaxEntropyDualInto(
+      std::span<double>(table.cells()), attrs, total, constraints, arena,
+      options);
   result.table = std::move(table);
+  result.iterations = info.iterations;
+  result.converged = info.converged;
+  result.final_residual = info.final_residual;
   return result;
+}
+
+MaxEntDualResult MaxEntropyDual(AttrSet attrs, double total,
+                                std::span<const MarginalConstraint> constraints,
+                                const MaxEntDualOptions& options) {
+  return MaxEntropyDual(attrs, total, constraints, ThreadLocalArena(),
+                        options);
 }
 
 }  // namespace priview

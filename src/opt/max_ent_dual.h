@@ -7,11 +7,17 @@
 // error does not accumulate in the table the way it can with in-place
 // multiplicative updates. Agreement of the two solvers on random instances
 // is asserted in tests.
+//
+// Like IPF, the core is arena-backed and allocation-free: resolved
+// constraints, potentials and the log-density scratch all live in the
+// request arena. The transcendental loop stays scalar (libm exp/log are
+// the determinism reference), so there is no SIMD split here.
 #ifndef PRIVIEW_OPT_MAX_ENT_DUAL_H_
 #define PRIVIEW_OPT_MAX_ENT_DUAL_H_
 
-#include <vector>
+#include <span>
 
+#include "common/arena.h"
 #include "opt/constraint.h"
 #include "table/marginal_table.h"
 
@@ -22,6 +28,13 @@ struct MaxEntDualOptions {
   double relative_tolerance = 1e-9;
 };
 
+/// Outcome of the allocation-free core (no table attached).
+struct MaxEntDualSolveInfo {
+  int iterations = 0;
+  bool converged = false;
+  double final_residual = 0.0;
+};
+
 struct MaxEntDualResult {
   MarginalTable table;
   int iterations = 0;
@@ -29,9 +42,21 @@ struct MaxEntDualResult {
   double final_residual = 0.0;
 };
 
-/// Same contract as MaxEntropyIpf.
+/// Allocation-free core; same contract as MaxEntropyIpfInto.
+MaxEntDualSolveInfo MaxEntropyDualInto(
+    std::span<double> cells, AttrSet attrs, double total,
+    std::span<const MarginalConstraint> constraints, Arena& arena,
+    const MaxEntDualOptions& options = {});
+
+/// Managed wrapper: allocates the result table, scratch from `arena`.
 MaxEntDualResult MaxEntropyDual(AttrSet attrs, double total,
-                                std::vector<MarginalConstraint> constraints,
+                                std::span<const MarginalConstraint> constraints,
+                                Arena& arena,
+                                const MaxEntDualOptions& options = {});
+
+/// Convenience wrapper on the per-thread solver arena.
+MaxEntDualResult MaxEntropyDual(AttrSet attrs, double total,
+                                std::span<const MarginalConstraint> constraints,
                                 const MaxEntDualOptions& options = {});
 
 }  // namespace priview

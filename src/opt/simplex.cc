@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 
 #include "common/check.h"
@@ -9,75 +10,91 @@
 namespace priview {
 namespace {
 
-// Dense tableau: m rows, each row holds coefficients for all structural,
-// slack and artificial columns plus the rhs. Row i has basic variable
-// basis[i]. Objective handled as a separate cost row.
+// Unmanaged dense tableau: m rows, each row holds coefficients for all
+// structural, slack and artificial columns plus the rhs. Row i has basic
+// variable basis[i]. Objective handled as a separate cost row.
+//
+// The struct owns nothing — Create() carves everything out of the arena in
+// one layout (basis int32s first, then the 32-byte-aligned doubles), and
+// the whole thing evaporates when the caller's Rewind scope closes. `cols`
+// is the full column capacity (the row stride); Run() restricts only the
+// *entering* column to a prefix, so elimination always sweeps the full
+// stride exactly as the pre-arena implementation did.
 //
 // Pivoting: Dantzig (most negative reduced cost) for speed, permanently
 // switching to Bland's rule after a long degenerate stall so termination
 // is still guaranteed.
-class Tableau {
- public:
-  Tableau(int rows, int cols)
-      : rows_(rows), cols_(cols),
-        a_(static_cast<size_t>(rows) * cols, 0.0), rhs_(rows, 0.0),
-        cost_(cols, 0.0), basis_(rows, -1) {}
+struct Tableau {
+  int rows = 0;
+  int cols = 0;
+  int32_t* basis = nullptr;
+  double* a = nullptr;     // rows x cols, row major
+  double* rhs = nullptr;   // rows
+  double* cost = nullptr;  // cols
+  double cost_rhs = 0.0;
 
-  double& At(int r, int c) { return a_[static_cast<size_t>(r) * cols_ + c]; }
-  double At(int r, int c) const {
-    return a_[static_cast<size_t>(r) * cols_ + c];
+  static Tableau Create(Arena& arena, int rows, int cols) {
+    Tableau t;
+    t.rows = rows;
+    t.cols = cols;
+    t.basis = arena.AllocSpan<int32_t>(rows, int32_t{-1}).data();
+    t.a = arena
+              .AllocSpan<double>(static_cast<size_t>(rows) * cols, 0.0)
+              .data();
+    t.rhs = arena.AllocSpan<double>(rows, 0.0).data();
+    t.cost = arena.AllocSpan<double>(cols, 0.0).data();
+    return t;
   }
 
-  int rows() const { return rows_; }
-  std::vector<double>& rhs() { return rhs_; }
-  std::vector<double>& cost() { return cost_; }
-  std::vector<int>& basis() { return basis_; }
-  double cost_rhs() const { return cost_rhs_; }
+  double& At(int r, int c) { return a[static_cast<size_t>(r) * cols + c]; }
+  double At(int r, int c) const {
+    return a[static_cast<size_t>(r) * cols + c];
+  }
 
   // Eliminates basic columns from the cost row.
   void PriceOut() {
-    for (int r = 0; r < rows_; ++r) {
-      const int bv = basis_[r];
-      const double c = cost_[bv];
+    for (int r = 0; r < rows; ++r) {
+      const int bv = basis[r];
+      const double c = cost[bv];
       if (c == 0.0) continue;
-      const double* row = &a_[static_cast<size_t>(r) * cols_];
-      for (int j = 0; j < cols_; ++j) cost_[j] -= c * row[j];
-      cost_rhs_ -= c * rhs_[r];
+      const double* row = &a[static_cast<size_t>(r) * cols];
+      for (int j = 0; j < cols; ++j) cost[j] -= c * row[j];
+      cost_rhs -= c * rhs[r];
     }
   }
 
   void Pivot(int pr, int pc) {
-    double* prow = &a_[static_cast<size_t>(pr) * cols_];
+    double* prow = &a[static_cast<size_t>(pr) * cols];
     const double inv = 1.0 / prow[pc];
-    for (int j = 0; j < cols_; ++j) prow[j] *= inv;
-    rhs_[pr] *= inv;
-    for (int r = 0; r < rows_; ++r) {
+    for (int j = 0; j < cols; ++j) prow[j] *= inv;
+    rhs[pr] *= inv;
+    for (int r = 0; r < rows; ++r) {
       if (r == pr) continue;
-      double* row = &a_[static_cast<size_t>(r) * cols_];
+      double* row = &a[static_cast<size_t>(r) * cols];
       const double factor = row[pc];
       if (factor == 0.0) continue;
-      for (int j = 0; j < cols_; ++j) row[j] -= factor * prow[j];
-      rhs_[r] -= factor * rhs_[pr];
+      for (int j = 0; j < cols; ++j) row[j] -= factor * prow[j];
+      rhs[r] -= factor * rhs[pr];
     }
-    const double cfactor = cost_[pc];
+    const double cfactor = cost[pc];
     if (cfactor != 0.0) {
-      for (int j = 0; j < cols_; ++j) cost_[j] -= cfactor * prow[j];
-      cost_rhs_ -= cfactor * rhs_[pr];
+      for (int j = 0; j < cols; ++j) cost[j] -= cfactor * prow[j];
+      cost_rhs -= cfactor * rhs[pr];
     }
-    basis_[pr] = pc;
+    basis[pr] = pc;
   }
 
-  // Runs simplex restricted to columns [0, usable_cols).
+  // Runs simplex restricted to entering columns [0, usable_cols).
   LpStatus Run(int usable_cols, int* pivots_left, double eps) {
     bool bland = false;
     int stall = 0;
-    double last_objective = -cost_rhs_;
+    double last_objective = -cost_rhs;
     while (true) {
       // Entering column.
       int pc = -1;
       if (bland) {
         for (int j = 0; j < usable_cols; ++j) {
-          if (cost_[j] < -eps) {
+          if (cost[j] < -eps) {
             pc = j;
             break;
           }
@@ -85,8 +102,8 @@ class Tableau {
       } else {
         double most_negative = -eps;
         for (int j = 0; j < usable_cols; ++j) {
-          if (cost_[j] < most_negative) {
-            most_negative = cost_[j];
+          if (cost[j] < most_negative) {
+            most_negative = cost[j];
             pc = j;
           }
         }
@@ -97,13 +114,13 @@ class Tableau {
       // (harmless under Dantzig, required under Bland).
       int pr = -1;
       double best_ratio = std::numeric_limits<double>::infinity();
-      for (int r = 0; r < rows_; ++r) {
-        const double a = At(r, pc);
-        if (a > eps) {
-          const double ratio = rhs_[r] / a;
+      for (int r = 0; r < rows; ++r) {
+        const double av = At(r, pc);
+        if (av > eps) {
+          const double ratio = rhs[r] / av;
           if (ratio < best_ratio - eps ||
               (std::fabs(ratio - best_ratio) <= eps &&
-               (pr < 0 || basis_[r] < basis_[pr]))) {
+               (pr < 0 || basis[r] < basis[pr]))) {
             best_ratio = ratio;
             pr = r;
           }
@@ -115,7 +132,7 @@ class Tableau {
 
       // Degenerate-stall detection: no objective movement for many pivots
       // means Dantzig might be cycling; Bland's rule cannot.
-      const double objective = -cost_rhs_;
+      const double objective = -cost_rhs;
       if (!bland) {
         if (std::fabs(objective - last_objective) <= eps) {
           if (++stall > 200) bland = true;
@@ -126,22 +143,18 @@ class Tableau {
       last_objective = objective;
     }
   }
-
- private:
-  int rows_, cols_;
-  std::vector<double> a_;
-  std::vector<double> rhs_;
-  std::vector<double> cost_;
-  std::vector<int> basis_;
-  double cost_rhs_ = 0.0;
 };
 
 }  // namespace
 
-LpResult SolveLp(const LpProblem& problem, const LpOptions& options) {
+LpSolveInfo SolveLpInto(const LpProblem& problem, std::span<double> x,
+                        Arena& arena, const LpOptions& options) {
   const int n = problem.num_vars;
   const int m = static_cast<int>(problem.rows.size());
   PRIVIEW_CHECK(static_cast<int>(problem.objective.size()) == n);
+  PRIVIEW_CHECK(static_cast<int>(x.size()) == n);
+
+  Arena::Rewind rewind(arena);
 
   // Column layout: structural | slacks/surpluses | artificials. A row only
   // gets an artificial when its slack cannot seed the basis (equalities,
@@ -162,7 +175,7 @@ LpResult SolveLp(const LpProblem& problem, const LpOptions& options) {
   const int art_base = n + num_slack;
   const int total_cols = art_base + num_artificial;
 
-  Tableau tab(m, total_cols);
+  Tableau tab = Tableau::Create(arena, m, total_cols);
   int slack_idx = n;
   int art_idx = art_base;
   for (int r = 0; r < m; ++r) {
@@ -170,47 +183,47 @@ LpResult SolveLp(const LpProblem& problem, const LpOptions& options) {
     PRIVIEW_CHECK(static_cast<int>(row.coeffs.size()) == n);
     const double sign = (row.rhs < 0.0) ? -1.0 : 1.0;  // normalize rhs >= 0
     for (int j = 0; j < n; ++j) tab.At(r, j) = sign * row.coeffs[j];
-    tab.rhs()[r] = sign * row.rhs;
+    tab.rhs[r] = sign * row.rhs;
     bool need_artificial = true;
     if (row.relation != LpProblem::Relation::kEq) {
       const double slack_coeff =
           sign * ((row.relation == LpProblem::Relation::kLe) ? 1.0 : -1.0);
       tab.At(r, slack_idx) = slack_coeff;
       if (slack_coeff > 0.0) {
-        tab.basis()[r] = slack_idx;  // slack seeds the basis
+        tab.basis[r] = slack_idx;  // slack seeds the basis
         need_artificial = false;
       }
       ++slack_idx;
     }
     if (need_artificial) {
       tab.At(r, art_idx) = 1.0;
-      tab.basis()[r] = art_idx;
+      tab.basis[r] = art_idx;
       ++art_idx;
     }
   }
   PRIVIEW_CHECK(art_idx == total_cols);
 
   int pivots_left = options.max_pivots;
+  LpSolveInfo info;
 
   // Phase 1: minimize the sum of artificials (skipped when there are none).
   if (num_artificial > 0) {
-    for (int j = art_base; j < total_cols; ++j) tab.cost()[j] = 1.0;
+    for (int j = art_base; j < total_cols; ++j) tab.cost[j] = 1.0;
     tab.PriceOut();
     const LpStatus st = tab.Run(total_cols, &pivots_left, options.epsilon);
-    LpResult result;
     if (st == LpStatus::kIterationLimit || st == LpStatus::kUnbounded) {
       // Phase 1 is bounded below by 0, so kUnbounded cannot legitimately
       // happen; treat both as iteration trouble.
-      result.status = LpStatus::kIterationLimit;
-      return result;
+      info.status = LpStatus::kIterationLimit;
+      return info;
     }
-    if (tab.cost_rhs() < -1e-6) {  // phase-1 optimum = -sum(artificials)
-      result.status = LpStatus::kInfeasible;
-      return result;
+    if (tab.cost_rhs < -1e-6) {  // phase-1 optimum = -sum(artificials)
+      info.status = LpStatus::kInfeasible;
+      return info;
     }
     // Drive any artificial still in the basis out (degenerate rows).
     for (int r = 0; r < m; ++r) {
-      if (tab.basis()[r] >= art_base) {
+      if (tab.basis[r] >= art_base) {
         for (int j = 0; j < art_base; ++j) {
           if (std::fabs(tab.At(r, j)) > options.epsilon) {
             tab.Pivot(r, j);
@@ -223,26 +236,40 @@ LpResult SolveLp(const LpProblem& problem, const LpOptions& options) {
   }
 
   // Phase 2: original objective; artificials excluded from entering.
-  for (double& c : tab.cost()) c = 0.0;
-  for (int j = 0; j < n; ++j) tab.cost()[j] = problem.objective[j];
+  for (int j = 0; j < total_cols; ++j) tab.cost[j] = 0.0;
+  for (int j = 0; j < n; ++j) tab.cost[j] = problem.objective[j];
   tab.PriceOut();
   const LpStatus st = tab.Run(art_base, &pivots_left, options.epsilon);
-  LpResult result;
   if (st != LpStatus::kOptimal) {
-    result.status = st;
-    return result;
+    info.status = st;
+    return info;
   }
 
-  result.status = LpStatus::kOptimal;
-  result.x.assign(n, 0.0);
+  info.status = LpStatus::kOptimal;
+  for (int j = 0; j < n; ++j) x[j] = 0.0;
   for (int r = 0; r < m; ++r) {
-    if (tab.basis()[r] < n) result.x[tab.basis()[r]] = tab.rhs()[r];
+    if (tab.basis[r] < n) x[tab.basis[r]] = tab.rhs[r];
   }
-  result.objective_value = 0.0;
+  info.objective_value = 0.0;
   for (int j = 0; j < n; ++j) {
-    result.objective_value += problem.objective[j] * result.x[j];
+    info.objective_value += problem.objective[j] * x[j];
   }
+  return info;
+}
+
+LpResult SolveLp(const LpProblem& problem, Arena& arena,
+                 const LpOptions& options) {
+  LpResult result;
+  std::vector<double> x(problem.num_vars, 0.0);
+  const LpSolveInfo info = SolveLpInto(problem, x, arena, options);
+  result.status = info.status;
+  result.objective_value = info.objective_value;
+  if (info.status == LpStatus::kOptimal) result.x = std::move(x);
   return result;
+}
+
+LpResult SolveLp(const LpProblem& problem, const LpOptions& options) {
+  return SolveLp(problem, ThreadLocalArena(), options);
 }
 
 }  // namespace priview

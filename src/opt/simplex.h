@@ -4,10 +4,20 @@
 // variables and ~a thousand rows, squarely in dense-tableau territory.
 // Bland's rule guarantees termination (no cycling) at the cost of a few
 // extra pivots — the right trade for a correctness-first reproduction.
+//
+// The tableau itself is unmanaged: a non-owning view over one flat arena
+// allocation (basis int32s first, then the 32-byte-aligned double payload
+// of coefficients, rhs and cost row). SolveLpInto is the allocation-free
+// core over that view; SolveLp is the thin owning wrapper that attaches a
+// result vector. Pivot arithmetic keeps the pre-arena scalar expression
+// shapes so compiler contraction matches bit-for-bit (solver_golden_test).
 #ifndef PRIVIEW_OPT_SIMPLEX_H_
 #define PRIVIEW_OPT_SIMPLEX_H_
 
+#include <span>
 #include <vector>
+
+#include "common/arena.h"
 
 namespace priview {
 
@@ -39,6 +49,12 @@ struct LpProblem {
 
 enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
+/// Outcome of the allocation-free core (no solution vector attached).
+struct LpSolveInfo {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective_value = 0.0;
+};
+
 struct LpResult {
   LpStatus status = LpStatus::kIterationLimit;
   double objective_value = 0.0;
@@ -50,7 +66,17 @@ struct LpOptions {
   double epsilon = 1e-9;
 };
 
-/// Solves the LP. x is meaningful only when status == kOptimal.
+/// Allocation-free core: solves the LP with all tableau storage drawn from
+/// `arena` (rewound on return). `x` must have length num_vars; it is
+/// written only when the returned status is kOptimal.
+LpSolveInfo SolveLpInto(const LpProblem& problem, std::span<double> x,
+                        Arena& arena, const LpOptions& options = {});
+
+/// Owning wrapper: attaches the solution vector, tableau from `arena`.
+LpResult SolveLp(const LpProblem& problem, Arena& arena,
+                 const LpOptions& options = {});
+
+/// Convenience wrapper on the per-thread solver arena.
 LpResult SolveLp(const LpProblem& problem, const LpOptions& options = {});
 
 }  // namespace priview

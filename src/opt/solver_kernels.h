@@ -1,0 +1,124 @@
+// Internal AVX2 kernel entry points for the solver hot loops, defined in
+// the dedicated -mavx2 translation units (*_avx2.cc). Callers must gate on
+// simd::ActiveLevel() == kAvx2; the stubs compiled on toolchains without
+// AVX2 support abort if reached.
+//
+// Determinism: every kernel here is element-wise (no reassociated
+// reductions) and built without FMA, so outputs are bit-identical to the
+// scalar reference implementations next to the dispatch sites.
+#ifndef PRIVIEW_OPT_SOLVER_KERNELS_H_
+#define PRIVIEW_OPT_SOLVER_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace priview {
+namespace internal {
+
+/// Exact software double multiply for the subnormal neighborhood.
+///
+/// Multiplies that touch subnormals trigger a ~100+-cycle microcode
+/// assist on Intel parts, and IPF's multiplicative descent parks cells at
+/// the bottom of the subnormal range (a cell at 2^-1074 times a factor in
+/// (0.5, 1] rounds back to itself), so one stuck cell pays that assist in
+/// every constraint's scale pass of every sweep. The hardware result is
+/// correct — only slow — so the fix is to compute the identical bits in
+/// integer arithmetic, which never assists.
+///
+/// When RN(x*f) lands on the uniform 2^-1074 grid — every subnormal plus
+/// the lowest normal binade [2^-1022, 2^-1021) — the exact 106-bit integer
+/// product rounded once (to nearest, ties to even) at that grid IS the
+/// IEEE result: writes it to *out and returns true. Anything else (larger
+/// results, negatives, inf/NaN operands) returns false and the caller
+/// must use the hardware multiply. Exhaustively differential-tested
+/// against the FPU in tiny_mul_test.
+inline bool IpfTinyMul(double x, double f, double* out) {
+  uint64_t bx, bf;
+  std::memcpy(&bx, &x, 8);
+  std::memcpy(&bf, &f, 8);
+  if ((bx | bf) >> 63) return false;  // negative: kernel cells never are
+  const int ex = static_cast<int>(bx >> 52);
+  const int ef = static_cast<int>(bf >> 52);
+  if (ex == 0x7FF || ef == 0x7FF) return false;  // inf/NaN
+  const uint64_t kMant = (uint64_t{1} << 52) - 1;
+  const uint64_t X = (bx & kMant) | (ex ? (uint64_t{1} << 52) : 0);
+  const uint64_t F = (bf & kMant) | (ef ? (uint64_t{1} << 52) : 0);
+  if (X == 0 || F == 0) {
+    *out = 0.0;
+    return true;
+  }
+  // x = X * 2^(Ex-52) with Ex the unbiased exponent (subnormals read as
+  // exponent field 1 with no implicit bit); result on the 2^-1074 grid is
+  // R = RN(X*F * 2^-sh).
+  const int Ex = (ex ? ex : 1) - 1023;
+  const int Ef = (ef ? ef : 1) - 1023;
+  const int sh = -(Ex + Ef + 970);
+  if (sh <= 0) return false;  // result past the uniform grid
+  if (sh >= 107) {            // X*F < 2^106 so R < 1/2: rounds to zero
+    *out = 0.0;
+    return true;
+  }
+  const unsigned __int128 P = static_cast<unsigned __int128>(X) * F;
+  const unsigned __int128 Rw = P >> sh;
+  if (Rw >= (static_cast<unsigned __int128>(1) << 53)) {
+    return false;  // result past the uniform grid
+  }
+  uint64_t R = static_cast<uint64_t>(Rw);
+  const bool round = (P >> (sh - 1)) & 1;
+  const bool sticky =
+      (P & ((static_cast<unsigned __int128>(1) << (sh - 1)) - 1)) != 0;
+  if (round && (sticky || (R & 1))) ++R;
+  if (R >= (uint64_t{1} << 53)) return false;  // rounded up past the grid
+  // R < 2^52 is a subnormal bit pattern; [2^52, 2^53) lands exponent
+  // field 1 with the right mantissa — the boundary is seamless in bits.
+  std::memcpy(out, &R, 8);
+  return true;
+}
+
+/// The IPF multiplicative update in lattice form. Each target cell
+/// `a = ExtractBits(c, within)` of the constraint scope (cell-bit mask
+/// `within`) owns the slice of table cells `c` that project onto it, and
+/// every cell receives
+///   cells[c] = proj[a] > 0 ? min(cells[c] * factor[a], cap) : refill[a]
+/// Works for any scope mask (the per-lane target vectors are hoisted per
+/// 4-cell block group, so no gathers); requires num_cells >= 4.
+/// Element-wise only, so bit-identical to the scalar lattice in ipf.cc.
+void IpfScaleLatticeAvx2(double* cells, uint64_t num_cells, uint64_t within,
+                         const double* proj, const double* factor,
+                         const double* refill, double cap);
+
+/// Scans the table for cells in the subnormal neighborhood (0 < cell <
+/// 2^-1000) and records them block-granular: bit b of `words` is set when
+/// 4-cell block b contains at least one such cell (words must hold
+/// ceil(num_cells/256) entries). Returns whether any bit is set. Runs once
+/// per sweep so the scale kernels only pay the per-block check — and the
+/// soft-multiply slow path — on sweeps that actually have tiny cells.
+bool IpfScanTinyAvx2(const double* cells, uint64_t num_cells,
+                     uint64_t* words);
+
+/// IpfScaleLatticeAvx2 with assist avoidance: blocks flagged in
+/// `tiny_words` (from IpfScanTinyAvx2) are updated lane-by-lane through
+/// IpfTinyMul instead of the vector multiply, so stuck subnormal cells do
+/// not trigger a microcode assist per constraint per sweep. Bit-identical
+/// to the unchecked kernel (and to the scalar lattice) by IpfTinyMul's
+/// exactness; cells that turn tiny mid-sweep are simply slow until the
+/// next sweep's scan, never wrong.
+void IpfScaleLatticeAvx2Checked(double* cells, uint64_t num_cells,
+                                uint64_t within, const double* proj,
+                                const double* factor, const double* refill,
+                                double cap, const uint64_t* tiny_words);
+
+/// Fused residual + multiplicative-factor pass over one constraint's
+/// targets:
+///   factor[a] = proj[a] > 0 ? target[a] / proj[a] : 0.0
+/// and returns max_a |proj[a] - target[a]|. Vector divides are IEEE-exact
+/// and the max of finite absolute values is order-independent, so the
+/// result is bit-identical to the scalar loop in ipf.cc.
+double IpfFactorResidualAvx2(const double* proj, const double* target,
+                             double* factor, size_t n);
+
+}  // namespace internal
+}  // namespace priview
+
+#endif  // PRIVIEW_OPT_SOLVER_KERNELS_H_

@@ -35,8 +35,20 @@ uint64_t MarginalTable::CellIndexMaskFor(AttrSet sub) const {
 MarginalTable MarginalTable::Project(AttrSet sub) const {
   const uint64_t within = CellIndexMaskFor(sub);
   MarginalTable out(sub);
-  for (uint64_t c = 0; c < cells_.size(); ++c) {
-    out.At(ExtractBits(c, within)) += cells_[c];
+  // Target cell `a` owns the lattice {DepositBits(a, within) | s : s ⊆
+  // ~within}, and NextSubset enumerates it in increasing cell order — so
+  // each target sum accumulates in exactly the order the former per-cell
+  // ExtractBits loop did, without any per-cell bit extraction.
+  const uint64_t rest_mask = (cells_.size() - 1) & ~within;
+  for (uint64_t a = 0; a < out.size(); ++a) {
+    const uint64_t base = DepositBits(a, within);
+    double sum = 0.0;
+    uint64_t s = 0;
+    do {
+      sum += cells_[base | s];
+      s = NextSubset(s, rest_mask);
+    } while (s != 0);
+    out.At(a) = sum;
   }
   return out;
 }

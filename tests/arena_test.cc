@@ -1,0 +1,131 @@
+// Unit coverage for the solver bump arena (common/arena.h): alignment,
+// rewind/reset discipline, multi-block growth, high-water coalescing, and
+// the priview_solver_arena_* metrics the reconstruction entry point
+// publishes from it.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.h"
+#include "core/reconstruct.h"
+#include "obs/metrics_registry.h"
+#include "solver_golden_instances.h"
+
+namespace priview {
+namespace {
+
+TEST(ArenaTest, AllocationsAreVectorAligned) {
+  Arena arena;
+  for (size_t n : {1u, 3u, 7u, 64u}) {
+    const std::span<double> s = arena.AllocSpan<double>(n);
+    ASSERT_EQ(s.size(), n);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(s.data()) % 32, 0u)
+        << "double spans must be 32-byte aligned for AVX2 loads";
+  }
+  void* p = arena.AllocBytes(10, Arena::kMaxAlign);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % Arena::kMaxAlign, 0u);
+}
+
+TEST(ArenaTest, FillOverloadInitializes) {
+  Arena arena;
+  const std::span<double> s = arena.AllocSpan<double>(17, 2.5);
+  for (double v : s) EXPECT_EQ(v, 2.5);
+}
+
+TEST(ArenaTest, RewindReleasesScopeAllocations) {
+  Arena arena;
+  (void)arena.AllocSpan<double>(8);
+  const size_t used_before = arena.used();
+  {
+    Arena::Rewind rewind(arena);
+    (void)arena.AllocSpan<double>(1024);
+    EXPECT_GT(arena.used(), used_before);
+  }
+  EXPECT_EQ(arena.used(), used_before);
+  // The rewound storage is reused in place: same pointer comes back.
+  const std::span<double> a = arena.AllocSpan<double>(16);
+  {
+    Arena::Rewind rewind(arena);
+    EXPECT_EQ(arena.AllocSpan<double>(16).data(), a.data() + 16);
+  }
+}
+
+TEST(ArenaTest, GrowsAcrossBlocksAndResetCoalesces) {
+  Arena arena(/*initial_bytes=*/128);
+  // Far more than one block's worth.
+  constexpr size_t kSpans = 64;
+  std::vector<std::span<double>> spans;
+  for (size_t i = 0; i < kSpans; ++i) {
+    spans.push_back(arena.AllocSpan<double>(32, static_cast<double>(i)));
+  }
+  // Growth must not move earlier allocations (spans stay valid).
+  for (size_t i = 0; i < kSpans; ++i) {
+    for (double v : spans[i]) {
+      ASSERT_EQ(v, static_cast<double>(i));
+    }
+  }
+  EXPECT_FALSE(arena.warm());
+  EXPECT_GE(arena.high_water_bytes(), kSpans * 32 * sizeof(double));
+  EXPECT_GE(arena.capacity(), arena.high_water_bytes());
+
+  const size_t hwm = arena.high_water_bytes();
+  arena.Reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.resets(), 1u);
+  EXPECT_EQ(arena.high_water_bytes(), hwm);
+  EXPECT_TRUE(arena.warm()) << "Reset must coalesce to one high-water block";
+  // A same-shaped cycle now fits the single block.
+  for (size_t i = 0; i < kSpans; ++i) (void)arena.AllocSpan<double>(32);
+  EXPECT_TRUE(arena.warm());
+}
+
+TEST(ArenaTest, UsedAndHighWaterTrackRewinds) {
+  Arena arena;
+  (void)arena.AllocSpan<uint8_t>(100);
+  const size_t used_small = arena.used();
+  {
+    Arena::Rewind rewind(arena);
+    (void)arena.AllocSpan<uint8_t>(5000);
+    EXPECT_GE(arena.high_water_bytes(), arena.used());
+  }
+  EXPECT_EQ(arena.used(), used_small);
+  // High water persists past the rewind: it records the deepest point.
+  EXPECT_GE(arena.high_water_bytes(), 5000u);
+}
+
+TEST(ArenaTest, ThreadLocalArenaIsStable) {
+  Arena& a = ThreadLocalArena();
+  Arena& b = ThreadLocalArena();
+  EXPECT_EQ(&a, &b);
+}
+
+// End-to-end: a reconstruction request through the no-arena entry point
+// recycles the lane arena and publishes the arena gauges/counters.
+TEST(ArenaMetricsTest, ReconstructPublishesArenaMetrics) {
+  const std::vector<MarginalTable> views = golden::ReconstructViews();
+  const uint64_t resets_before = ThreadLocalArena().resets();
+  (void)ReconstructMarginal(views, golden::ReconstructTarget(),
+                            golden::kReconstructTotal,
+                            ReconstructionMethod::kMaxEntropy);
+  EXPECT_EQ(ThreadLocalArena().resets(), resets_before + 1)
+      << "the request entry point must Reset() the lane arena";
+
+  const std::string scrape = obs::MetricsRegistry::Global().RenderPrometheus();
+  EXPECT_NE(scrape.find("priview_solver_arena_hwm_bytes"), std::string::npos)
+      << scrape;
+  EXPECT_NE(scrape.find("priview_solver_arena_resets_total"),
+            std::string::npos)
+      << scrape;
+  // The high-water gauge reflects a real solve: strictly positive. Skip
+  // past the # HELP/# TYPE lines to the sample line itself.
+  const std::string sample = "\npriview_solver_arena_hwm_bytes ";
+  const size_t pos = scrape.find(sample);
+  ASSERT_NE(pos, std::string::npos) << scrape;
+  const double hwm = std::stod(scrape.substr(pos + sample.size()));
+  EXPECT_GT(hwm, 0.0);
+}
+
+}  // namespace
+}  // namespace priview

@@ -131,12 +131,13 @@ void RunSolverStackUnderFault(const std::string& fault) {
         synopsis.views(), target, synopsis.total(), method);
     ExpectFiniteTable(result.table, fault + ": solver stack");
   }
-  const MaxEntDualResult dual = MaxEntropyDual(
-      target, synopsis.total(),
-      {{AttrSet::FromIndices({0}),
-        synopsis.views()[0].Project(AttrSet::FromIndices({0}))},
-       {AttrSet::FromIndices({4}),
-        synopsis.views()[1].Project(AttrSet::FromIndices({4}))}});
+  std::vector<MarginalConstraint> dual_cs;
+  dual_cs.push_back({AttrSet::FromIndices({0}),
+                     synopsis.views()[0].Project(AttrSet::FromIndices({0}))});
+  dual_cs.push_back({AttrSet::FromIndices({4}),
+                     synopsis.views()[1].Project(AttrSet::FromIndices({4}))});
+  const MaxEntDualResult dual =
+      MaxEntropyDual(target, synopsis.total(), dual_cs);
   ExpectFiniteTable(dual.table, fault + ": dual max-ent");
 }
 

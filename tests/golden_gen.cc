@@ -1,0 +1,112 @@
+// Emits solver_golden.inc: the bit-exact solver outputs that
+// solver_golden_test pins. The checked-in fixtures were captured from the
+// pre-arena, pre-SIMD heap-backed scalar solvers — they define the
+// determinism contract, so regenerating them from a ported solver would
+// quietly bless whatever that solver produces and the pin would pin
+// nothing. Only rerun this tool when a change is *supposed* to alter
+// solver output (a semantic change to the algorithms, not a port), and
+// say so loudly in the commit that lands the new fixtures.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/reconstruct.h"
+#include "opt/ipf.h"
+#include "opt/least_norm.h"
+#include "opt/max_ent_dual.h"
+#include "opt/simplex.h"
+#include "solver_golden_instances.h"
+
+namespace priview {
+namespace {
+
+uint64_t BitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void EmitArray(const char* name, const std::vector<double>& values) {
+  std::printf("inline constexpr uint64_t %s[] = {\n", name);
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::printf("    0x%016" PRIx64 "ull,%s", BitsOf(values[i]),
+                (i % 3 == 2 || i + 1 == values.size()) ? "\n" : "");
+  }
+  std::printf("};\n");
+}
+
+void Run() {
+  {
+    const auto views = golden::IpfViews();
+    const auto cs = golden::MakeConstraints(views, golden::IpfTarget());
+    const IpfResult r = MaxEntropyIpf(golden::IpfTarget(), golden::kIpfTotal, cs);
+    EmitArray("kIpfCellBits", r.table.cells());
+    std::printf("inline constexpr int kIpfIterations = %d;\n", r.iterations);
+    std::printf("inline constexpr bool kIpfConverged = %s;\n",
+                r.converged ? "true" : "false");
+    std::printf("inline constexpr uint64_t kIpfResidualBits = 0x%016" PRIx64
+                "ull;\n",
+                BitsOf(r.final_residual));
+  }
+  {
+    const auto views = golden::DualViews();
+    const auto cs = golden::MakeConstraints(views, golden::DualTarget());
+    const MaxEntDualResult r =
+        MaxEntropyDual(golden::DualTarget(), golden::kDualTotal, cs);
+    EmitArray("kDualCellBits", r.table.cells());
+    std::printf("inline constexpr int kDualIterations = %d;\n", r.iterations);
+    std::printf("inline constexpr bool kDualConverged = %s;\n",
+                r.converged ? "true" : "false");
+    std::printf("inline constexpr uint64_t kDualResidualBits = 0x%016" PRIx64
+                "ull;\n",
+                BitsOf(r.final_residual));
+  }
+  {
+    const auto views = golden::LeastNormViews();
+    const auto cs = golden::MakeConstraints(views, golden::LeastNormTarget());
+    const LeastNormResult r =
+        LeastNormSolve(golden::LeastNormTarget(), golden::kLeastNormTotal, cs);
+    EmitArray("kLeastNormCellBits", r.table.cells());
+    std::printf("inline constexpr int kLeastNormIterations = %d;\n",
+                r.iterations);
+    std::printf("inline constexpr bool kLeastNormConverged = %s;\n",
+                r.converged ? "true" : "false");
+  }
+  {
+    const LpProblem lp = golden::SimplexProblem();
+    const LpResult r = SolveLp(lp);
+    std::printf("inline constexpr int kSimplexStatus = %d;\n",
+                static_cast<int>(r.status));
+    std::printf("inline constexpr uint64_t kSimplexObjectiveBits = 0x%016" PRIx64
+                "ull;\n",
+                BitsOf(r.objective_value));
+    EmitArray("kSimplexXBits", r.x);
+  }
+  {
+    const auto views = golden::ReconstructViews();
+    const MarginalTable cme =
+        ReconstructMarginal(views, golden::ReconstructTarget(),
+                            golden::kReconstructTotal,
+                            ReconstructionMethod::kMaxEntropy);
+    EmitArray("kReconstructCmeBits", cme.cells());
+    const MarginalTable cln =
+        ReconstructMarginal(views, golden::ReconstructTarget(),
+                            golden::kReconstructTotal,
+                            ReconstructionMethod::kLeastNorm);
+    EmitArray("kReconstructClnBits", cln.cells());
+    const MarginalTable lp =
+        ReconstructMarginal(views, golden::ReconstructTarget(),
+                            golden::kReconstructTotal,
+                            ReconstructionMethod::kLinearProgram);
+    EmitArray("kReconstructLpBits", lp.cells());
+  }
+}
+
+}  // namespace
+}  // namespace priview
+
+int main() {
+  priview::Run();
+  return 0;
+}

@@ -16,7 +16,8 @@ MarginalConstraint Make(std::vector<int> attrs, std::vector<double> cells) {
 
 TEST(IpfTest, NoConstraintsYieldsUniform) {
   const IpfResult r =
-      MaxEntropyIpf(AttrSet::FromIndices({0, 1}), 100.0, {});
+      MaxEntropyIpf(AttrSet::FromIndices({0, 1}), 100.0,
+                    std::span<const MarginalConstraint>{});
   EXPECT_TRUE(r.converged);
   for (size_t i = 0; i < r.table.size(); ++i) {
     EXPECT_DOUBLE_EQ(r.table.At(i), 25.0);

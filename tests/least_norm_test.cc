@@ -15,7 +15,8 @@ MarginalConstraint Make(std::vector<int> attrs, std::vector<double> cells) {
 TEST(LeastNormTest, NoConstraintsIsUniform) {
   // With only the total fixed, the min-norm nonneg table is uniform.
   const LeastNormResult r =
-      LeastNormSolve(AttrSet::FromIndices({0, 1}), 100.0, {});
+      LeastNormSolve(AttrSet::FromIndices({0, 1}), 100.0,
+                     std::span<const MarginalConstraint>{});
   EXPECT_TRUE(r.converged);
   for (size_t i = 0; i < r.table.size(); ++i) {
     EXPECT_NEAR(r.table.At(i), 25.0, 1e-5);

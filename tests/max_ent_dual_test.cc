@@ -26,7 +26,8 @@ TEST(MaxEntDualTest, IndependentProduct) {
 
 TEST(MaxEntDualTest, NoConstraintsUniform) {
   const MaxEntDualResult r =
-      MaxEntropyDual(AttrSet::FromIndices({0, 1, 2}), 80.0, {});
+      MaxEntropyDual(AttrSet::FromIndices({0, 1, 2}), 80.0,
+                     std::span<const MarginalConstraint>{});
   EXPECT_TRUE(r.converged);
   for (size_t i = 0; i < r.table.size(); ++i) {
     EXPECT_DOUBLE_EQ(r.table.At(i), 10.0);

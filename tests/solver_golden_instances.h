@@ -1,0 +1,131 @@
+// Deterministic solver instances shared by the golden-fixture generator and
+// solver_golden_test. The fixtures in solver_golden.inc were captured from
+// the pre-arena (heap-backed, scalar) solver implementations; any port of
+// the solver core — arena layout, SIMD kernels, constraint-view plumbing —
+// must reproduce them bit-for-bit. Changing anything here invalidates the
+// fixtures, so don't: add a new instance instead.
+#ifndef PRIVIEW_TESTS_SOLVER_GOLDEN_INSTANCES_H_
+#define PRIVIEW_TESTS_SOLVER_GOLDEN_INSTANCES_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "opt/constraint.h"
+#include "opt/simplex.h"
+#include "table/attr_set.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+namespace golden {
+
+// Noisy views over a d-attribute universe: each view is `arity` distinct
+// attributes with cells drawn uniformly from [-2, 98) — slightly negative
+// cells exercise the solvers' target sanitization exactly like post-noise
+// marginals do.
+inline std::vector<MarginalTable> MakeViews(int d, int num_views, int arity,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MarginalTable> views;
+  views.reserve(num_views);
+  for (int v = 0; v < num_views; ++v) {
+    std::vector<int> attrs;
+    while (static_cast<int>(attrs.size()) < arity) {
+      const int a = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(d)));
+      bool dup = false;
+      for (int existing : attrs) dup = dup || (existing == a);
+      if (!dup) attrs.push_back(a);
+    }
+    MarginalTable table(AttrSet::FromIndices(attrs));
+    for (size_t c = 0; c < table.size(); ++c) {
+      table.At(c) = 100.0 * rng.UniformDouble() - 2.0;
+    }
+    views.push_back(std::move(table));
+  }
+  return views;
+}
+
+// The constraint set a target scope inherits from views: one constraint per
+// intersecting view (mirrors ConstraintsFor in core/reconstruct without
+// depending on core). Deduplication is left to the solver under test.
+inline std::vector<MarginalConstraint> MakeConstraints(
+    const std::vector<MarginalTable>& views, AttrSet target) {
+  std::vector<MarginalConstraint> constraints;
+  for (const MarginalTable& view : views) {
+    const AttrSet common = view.attrs().Intersect(target);
+    if (common.empty()) continue;
+    constraints.push_back({common, view.Project(common)});
+  }
+  return constraints;
+}
+
+// --- Instance 1: IPF over an 8-attribute target, d=12 universe. ----------
+inline AttrSet IpfTarget() {
+  return AttrSet::FromIndices({0, 1, 2, 3, 5, 7, 9, 11});
+}
+inline std::vector<MarginalTable> IpfViews() {
+  return MakeViews(/*d=*/12, /*num_views=*/5, /*arity=*/6, /*seed=*/4301);
+}
+inline constexpr double kIpfTotal = 1000.0;
+
+// --- Instance 2: max-ent dual over a 6-attribute target, d=10. -----------
+inline AttrSet DualTarget() { return AttrSet::FromIndices({0, 2, 3, 4, 6, 9}); }
+inline std::vector<MarginalTable> DualViews() {
+  return MakeViews(/*d=*/10, /*num_views=*/4, /*arity=*/5, /*seed=*/977);
+}
+inline constexpr double kDualTotal = 500.0;
+
+// --- Instance 3: least-norm over a 6-attribute target, d=10. -------------
+inline AttrSet LeastNormTarget() {
+  return AttrSet::FromIndices({1, 2, 4, 5, 7, 8});
+}
+inline std::vector<MarginalTable> LeastNormViews() {
+  return MakeViews(/*d=*/10, /*num_views=*/4, /*arity=*/5, /*seed=*/20331);
+}
+inline constexpr double kLeastNormTotal = 750.0;
+
+// --- Instance 4: a direct LP (two-phase simplex, all three relations). ----
+inline LpProblem SimplexProblem() {
+  Rng rng(615);
+  LpProblem lp;
+  lp.num_vars = 18;
+  lp.objective.resize(lp.num_vars);
+  for (double& c : lp.objective) c = 2.0 * rng.UniformDouble() - 0.5;
+  for (int r = 0; r < 14; ++r) {
+    std::vector<double> coeffs(lp.num_vars);
+    for (double& c : coeffs) c = 2.0 * rng.UniformDouble() - 1.0;
+    const double rhs = 10.0 * rng.UniformDouble() - 2.0;
+    switch (r % 3) {
+      case 0:
+        lp.AddLe(std::move(coeffs), rhs);
+        break;
+      case 1:
+        lp.AddGe(std::move(coeffs), rhs);
+        break;
+      default:
+        lp.AddEq(std::move(coeffs), rhs);
+        break;
+    }
+  }
+  // Keep the feasible region bounded so the instance is kOptimal.
+  for (int j = 0; j < lp.num_vars; ++j) {
+    std::vector<double> unit(lp.num_vars, 0.0);
+    unit[j] = 1.0;
+    lp.AddLe(std::move(unit), 25.0);
+  }
+  return lp;
+}
+
+// --- Instance 5: full reconstruction (dedup + chain) for all 3 methods. ---
+// Target is deliberately NOT covered by any view, so every method solves.
+inline AttrSet ReconstructTarget() {
+  return AttrSet::FromIndices({0, 1, 3, 4, 6, 8});
+}
+inline std::vector<MarginalTable> ReconstructViews() {
+  return MakeViews(/*d=*/10, /*num_views=*/6, /*arity=*/4, /*seed=*/88197);
+}
+inline constexpr double kReconstructTotal = 640.0;
+
+}  // namespace golden
+}  // namespace priview
+
+#endif  // PRIVIEW_TESTS_SOLVER_GOLDEN_INSTANCES_H_

@@ -1,0 +1,226 @@
+// Bit-identity pins for the arena + SIMD solver ports. The fixtures in
+// solver_golden.inc were captured from the pre-arena, heap-backed scalar
+// implementations; every test here asserts the ported solvers reproduce
+// them IEEE-754 bit-for-bit — at both SIMD levels, through both the
+// allocation-free Into cores and the managed wrappers, warm and cold, and
+// from concurrent request lanes.
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.h"
+#include "common/parallel.h"
+#include "common/simd.h"
+#include "core/reconstruct.h"
+#include "fourier/wht.h"
+#include "opt/ipf.h"
+#include "opt/least_norm.h"
+#include "opt/max_ent_dual.h"
+#include "opt/simplex.h"
+#include "solver_golden_instances.h"
+
+namespace priview {
+namespace {
+
+#include "solver_golden.inc"
+
+uint64_t BitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+template <size_t N>
+void ExpectCellBits(const MarginalTable& table, const uint64_t (&expected)[N],
+                    const char* what) {
+  ASSERT_EQ(table.size(), N) << what;
+  for (size_t i = 0; i < N; ++i) {
+    EXPECT_EQ(BitsOf(table.At(i)), expected[i])
+        << what << " cell " << i << " diverges from the pre-port fixture";
+  }
+}
+
+class SolverGoldenTest : public ::testing::TestWithParam<simd::Level> {
+ protected:
+  void SetUp() override { simd::SetLevelForTest(GetParam()); }
+  void TearDown() override {
+    simd::ResetLevelForTest();
+    parallel::SetThreadCount(0);
+  }
+};
+
+TEST_P(SolverGoldenTest, IpfMatchesPrePortFixture) {
+  const std::vector<MarginalTable> views = golden::IpfViews();
+  const std::vector<MarginalConstraint> cs =
+      golden::MakeConstraints(views, golden::IpfTarget());
+  Arena arena;
+  // Twice on the same arena: the cold and the warm pass must agree.
+  for (int pass = 0; pass < 2; ++pass) {
+    const IpfResult r =
+        MaxEntropyIpf(golden::IpfTarget(), golden::kIpfTotal, cs, arena);
+    ExpectCellBits(r.table, kIpfCellBits, "IPF");
+    EXPECT_EQ(r.iterations, kIpfIterations);
+    EXPECT_EQ(r.converged, kIpfConverged);
+    EXPECT_EQ(BitsOf(r.final_residual), kIpfResidualBits);
+  }
+}
+
+TEST_P(SolverGoldenTest, MaxEntDualMatchesPrePortFixture) {
+  const std::vector<MarginalTable> views = golden::DualViews();
+  const std::vector<MarginalConstraint> cs =
+      golden::MakeConstraints(views, golden::DualTarget());
+  Arena arena;
+  for (int pass = 0; pass < 2; ++pass) {
+    const MaxEntDualResult r =
+        MaxEntropyDual(golden::DualTarget(), golden::kDualTotal, cs, arena);
+    ExpectCellBits(r.table, kDualCellBits, "max-ent dual");
+    EXPECT_EQ(r.iterations, kDualIterations);
+    EXPECT_EQ(r.converged, kDualConverged);
+    EXPECT_EQ(BitsOf(r.final_residual), kDualResidualBits);
+  }
+}
+
+TEST_P(SolverGoldenTest, LeastNormMatchesPrePortFixture) {
+  const std::vector<MarginalTable> views = golden::LeastNormViews();
+  const std::vector<MarginalConstraint> cs =
+      golden::MakeConstraints(views, golden::LeastNormTarget());
+  Arena arena;
+  for (int pass = 0; pass < 2; ++pass) {
+    const LeastNormResult r = LeastNormSolve(
+        golden::LeastNormTarget(), golden::kLeastNormTotal, cs, arena);
+    ExpectCellBits(r.table, kLeastNormCellBits, "least-norm");
+    EXPECT_EQ(r.iterations, kLeastNormIterations);
+    EXPECT_EQ(r.converged, kLeastNormConverged);
+  }
+}
+
+TEST_P(SolverGoldenTest, SimplexMatchesPrePortFixture) {
+  const LpProblem lp = golden::SimplexProblem();
+  Arena arena;
+  for (int pass = 0; pass < 2; ++pass) {
+    const LpResult r = SolveLp(lp, arena);
+    EXPECT_EQ(static_cast<int>(r.status), kSimplexStatus);
+    EXPECT_EQ(BitsOf(r.objective_value), kSimplexObjectiveBits);
+    ASSERT_EQ(r.x.size(), std::size(kSimplexXBits));
+    for (size_t j = 0; j < r.x.size(); ++j) {
+      EXPECT_EQ(BitsOf(r.x[j]), kSimplexXBits[j]) << "x[" << j << "]";
+    }
+  }
+}
+
+TEST_P(SolverGoldenTest, ReconstructionChainMatchesPrePortFixture) {
+  const std::vector<MarginalTable> views = golden::ReconstructViews();
+  const MarginalTable cme =
+      ReconstructMarginal(views, golden::ReconstructTarget(),
+                          golden::kReconstructTotal,
+                          ReconstructionMethod::kMaxEntropy);
+  ExpectCellBits(cme, kReconstructCmeBits, "reconstruct/CME");
+  const MarginalTable cln =
+      ReconstructMarginal(views, golden::ReconstructTarget(),
+                          golden::kReconstructTotal,
+                          ReconstructionMethod::kLeastNorm);
+  ExpectCellBits(cln, kReconstructClnBits, "reconstruct/CLN");
+  const MarginalTable lp =
+      ReconstructMarginal(views, golden::ReconstructTarget(),
+                          golden::kReconstructTotal,
+                          ReconstructionMethod::kLinearProgram);
+  ExpectCellBits(lp, kReconstructLpBits, "reconstruct/LP");
+}
+
+// The explicit-arena entry point must agree with the thread-local one
+// (same chain, Rewind discipline instead of Reset).
+TEST_P(SolverGoldenTest, ExplicitArenaOverloadMatches) {
+  const std::vector<MarginalTable> views = golden::ReconstructViews();
+  Arena arena;
+  const ReconstructionResult r = ReconstructMarginalWithDiagnostics(
+      views, golden::ReconstructTarget(), golden::kReconstructTotal,
+      ReconstructionMethod::kMaxEntropy, arena);
+  ExpectCellBits(r.table, kReconstructCmeBits, "reconstruct/CME (arena)");
+  // Rewind discipline: the chain left no allocations behind (the result
+  // table is heap-owned), so the arena is reusable as found.
+  EXPECT_EQ(arena.resets(), 0u);
+}
+
+// Per-lane thread-local arenas: concurrent requests on distinct threads
+// must each reproduce the fixture exactly — no cross-lane contamination at
+// any thread count.
+TEST_P(SolverGoldenTest, ConcurrentRequestLanesMatchFixture) {
+  const std::vector<MarginalTable> views = golden::ReconstructViews();
+  for (int threads : {1, 2, 4}) {
+    std::vector<MarginalTable> answers(threads, MarginalTable(AttrSet{}));
+    {
+      std::vector<std::thread> lanes;
+      lanes.reserve(threads);
+      for (int t = 0; t < threads; ++t) {
+        lanes.emplace_back([&views, &answers, t] {
+          // Two requests per lane so the second runs on a warmed arena.
+          (void)ReconstructMarginal(views, golden::ReconstructTarget(),
+                                    golden::kReconstructTotal,
+                                    ReconstructionMethod::kMaxEntropy);
+          answers[t] = ReconstructMarginal(views, golden::ReconstructTarget(),
+                                           golden::kReconstructTotal,
+                                           ReconstructionMethod::kMaxEntropy);
+        });
+      }
+      for (std::thread& lane : lanes) lane.join();
+    }
+    for (const MarginalTable& answer : answers) {
+      ExpectCellBits(answer, kReconstructCmeBits, "concurrent lane");
+    }
+  }
+}
+
+// Same through the shared parallel pool (the AnswerBatch dispatch path).
+TEST_P(SolverGoldenTest, PoolLanesMatchFixtureAtEveryThreadCount) {
+  const std::vector<MarginalTable> views = golden::ReconstructViews();
+  for (int threads : {1, 4}) {
+    parallel::SetThreadCount(threads);
+    constexpr size_t kRequests = 8;
+    std::vector<MarginalTable> answers(kRequests, MarginalTable(AttrSet{}));
+    parallel::ParallelFor(0, kRequests, 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        answers[i] = ReconstructMarginal(views, golden::ReconstructTarget(),
+                                         golden::kReconstructTotal,
+                                         ReconstructionMethod::kMaxEntropy);
+      }
+    });
+    for (const MarginalTable& answer : answers) {
+      ExpectCellBits(answer, kReconstructCmeBits, "pool lane");
+    }
+  }
+}
+
+// The WHT has no pre-port fixture of its own (it feeds the Fourier
+// baseline, not the golden instances), so pin AVX2 against scalar
+// directly: identical bits on both a smooth and a sign-alternating input.
+TEST(WhtGoldenTest, Avx2MatchesScalarBitForBit) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "no AVX2 on this host";
+  for (size_t n : {1u, 2u, 4u, 8u, 64u, 1u << 12}) {
+    std::vector<double> scalar(n), avx2(n);
+    for (size_t i = 0; i < n; ++i) {
+      scalar[i] = 0.37 * static_cast<double>(i) - 11.25 +
+                  ((i & 1) ? 1e-9 : -3.0);
+      avx2[i] = scalar[i];
+    }
+    simd::SetLevelForTest(simd::Level::kScalar);
+    Wht(scalar.data(), n);
+    simd::SetLevelForTest(simd::Level::kAvx2);
+    Wht(avx2.data(), n);
+    simd::ResetLevelForTest();
+    EXPECT_EQ(std::memcmp(scalar.data(), avx2.data(), n * sizeof(double)), 0)
+        << "WHT diverges at n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Levels, SolverGoldenTest,
+    ::testing::Values(simd::Level::kScalar, simd::Level::kAvx2),
+    [](const ::testing::TestParamInfo<simd::Level>& info) {
+      return simd::LevelName(info.param);
+    });
+
+}  // namespace
+}  // namespace priview

@@ -1,0 +1,178 @@
+// IpfTinyMul is the exact integer soft-float multiply the AVX2 scale
+// kernel uses to update subnormal-neighborhood cells without paying the
+// FPU's denormal microcode assist. Its contract is absolute: whenever it
+// returns true, *out must equal the hardware product RN(x*f) bit for bit.
+// These tests check that contract differentially against the FPU across
+// the regions that matter (the sticky bottom of the subnormal range, the
+// subnormal/normal boundary, round-to-nearest-even ties) plus broad random
+// sweeps, and then pin the end-to-end story: an IPF instance engineered to
+// park cells at the minimum subnormal must still produce bit-identical
+// tables at both SIMD levels.
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.h"
+#include "common/simd.h"
+#include "opt/constraint.h"
+#include "opt/ipf.h"
+#include "opt/solver_kernels.h"
+#include "table/marginal_table.h"
+
+namespace priview {
+namespace {
+
+uint64_t BitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double FromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Whenever IpfTinyMul claims a pair, its bits must match the FPU's.
+void ExpectMatchesHardware(double x, double f) {
+  double soft;
+  if (!internal::IpfTinyMul(x, f, &soft)) return;
+  const double hard = x * f;
+  ASSERT_EQ(BitsOf(soft), BitsOf(hard))
+      << "x=" << x << " f=" << f << " hard bits " << BitsOf(hard)
+      << " soft bits " << BitsOf(soft);
+}
+
+TEST(IpfTinyMulTest, StickyBottomNeighborhood) {
+  // The cells IPF actually parks: the smallest subnormals, scaled by
+  // factors near 1 and near 1/2 — including the exact x*1.0 == x and the
+  // half-ulp round-to-even cases.
+  for (uint64_t k = 1; k <= 512; ++k) {
+    for (int i = -600; i <= 600; ++i) {
+      ExpectMatchesHardware(FromBits(k), 1.0 + i * 0x1p-52);
+      ExpectMatchesHardware(FromBits(k), 0.5 + i * 0x1p-53);
+    }
+  }
+}
+
+TEST(IpfTinyMulTest, SubnormalNormalBoundary) {
+  // Products straddling DBL_MIN and the top of the uniform 2^-1074 grid
+  // (the 2^-1021 binade boundary, where IpfTinyMul must hand back to the
+  // FPU rather than round at the wrong granularity).
+  std::mt19937_64 rng(2026);
+  const uint64_t kMant = (uint64_t{1} << 52) - 1;
+  for (int rep = 0; rep < 200000; ++rep) {
+    const uint64_t ke = rng() % 55;  // x in the subnormal region and just above
+    const uint64_t bx = (ke << 52) | (rng() & kMant);
+    const uint64_t fe = 1023 - 60 + (rng() % 121);  // f in 2^-60 .. 2^60
+    const uint64_t bf = (fe << 52) | (rng() & kMant);
+    ExpectMatchesHardware(FromBits(bx), FromBits(bf));
+  }
+}
+
+TEST(IpfTinyMulTest, RandomNonNegativeFinite) {
+  std::mt19937_64 rng(862);
+  for (int rep = 0; rep < 200000; ++rep) {
+    const uint64_t bx = rng() & 0x7FFFFFFFFFFFFFFFull;
+    const uint64_t bf = rng() & 0x7FFFFFFFFFFFFFFFull;
+    if (((bx >> 52) & 0x7FF) == 0x7FF || ((bf >> 52) & 0x7FF) == 0x7FF) {
+      continue;
+    }
+    ExpectMatchesHardware(FromBits(bx), FromBits(bf));
+  }
+}
+
+TEST(IpfTinyMulTest, TiesRoundToEven) {
+  // Odd-mantissa factors generate products landing exactly halfway
+  // between grid points; RNE must break the tie toward the even bits.
+  for (uint64_t k = 1; k <= 400; ++k) {
+    for (uint64_t m = 1; m <= 400; ++m) {
+      ExpectMatchesHardware(FromBits(k), (2.0 * m + 1.0) * 0x1p-1);
+      ExpectMatchesHardware(FromBits(k), (2.0 * m + 1.0) * 0x1p-12);
+    }
+  }
+}
+
+TEST(IpfTinyMulTest, RefusesWhatItCannotRepresent) {
+  double out;
+  // Negative operands, inf, NaN: always the FPU's job.
+  EXPECT_FALSE(internal::IpfTinyMul(-1.0, 0.5, &out));
+  EXPECT_FALSE(internal::IpfTinyMul(0x1p-1074, -0.5, &out));
+  EXPECT_FALSE(internal::IpfTinyMul(
+      std::numeric_limits<double>::infinity(), 0x1p-1074, &out));
+  EXPECT_FALSE(internal::IpfTinyMul(
+      std::numeric_limits<double>::quiet_NaN(), 0.5, &out));
+  // Results above the uniform grid.
+  EXPECT_FALSE(internal::IpfTinyMul(1.0, 1.0, &out));
+  EXPECT_FALSE(internal::IpfTinyMul(0x1p-1074, 0x1p60, &out));
+  // Zero is on the grid.
+  EXPECT_TRUE(internal::IpfTinyMul(0.0, 1.0e300, &out));
+  EXPECT_EQ(BitsOf(out), BitsOf(0.0));
+  // Total underflow rounds to zero, exactly like the FPU.
+  EXPECT_TRUE(internal::IpfTinyMul(0x1p-1074, 0x1p-200, &out));
+  EXPECT_EQ(BitsOf(out), BitsOf(0.0));
+}
+
+// End-to-end: an IPF instance whose constraints force most of the mass
+// into a few cells drives the remaining cells down the subnormal range to
+// the sticky bottom (x * f rounds back to x), which is exactly the regime
+// the AVX2 tiny-cell path rewrites through IpfTinyMul. Scalar and AVX2
+// levels must still agree bit for bit on every cell.
+TEST(IpfTinyMulTest, SubnormalStressScalarVsAvx2BitIdentical) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "no AVX2 on this host";
+
+  const AttrSet attrs = AttrSet::FromIndices({0, 1, 2, 3, 4, 5, 6, 7});
+  const double total = 50000.0;
+
+  // Two 3-attribute scopes with nearly all mass in one target cell each:
+  // cells outside those targets shrink multiplicatively every sweep and
+  // pile up at 2^-1074 long before the iteration cap.
+  auto make = [](std::initializer_list<int> scope_attrs,
+                 std::vector<double> cells) {
+    const AttrSet scope = AttrSet::FromIndices(scope_attrs);
+    MarginalTable t(scope);
+    for (size_t i = 0; i < cells.size(); ++i) t.At(i) = cells[i];
+    return MarginalConstraint{scope, std::move(t)};
+  };
+  std::vector<MarginalConstraint> constraints;
+  constraints.push_back(
+      make({0, 1, 2}, {49999.0, 1e-290, 1e-300, 1e-310, 0.25, 1e-320,
+                       4.9406564584124654e-324, 0.75}));
+  constraints.push_back(
+      make({3, 4, 5}, {1e-280, 49998.0, 1e-305, 1.0, 1e-315, 0.5,
+                       4.9406564584124654e-324, 1e-322}));
+
+  IpfOptions options;
+  options.max_iterations = 400;
+
+  auto solve = [&](simd::Level level) {
+    simd::SetLevelForTest(level);
+    Arena arena;
+    IpfResult r = MaxEntropyIpf(attrs, total, constraints, arena, options);
+    simd::ResetLevelForTest();
+    return r;
+  };
+  const IpfResult scalar = solve(simd::Level::kScalar);
+  const IpfResult avx2 = solve(simd::Level::kAvx2);
+
+  ASSERT_EQ(scalar.table.size(), avx2.table.size());
+  ASSERT_EQ(scalar.iterations, avx2.iterations);
+  int subnormal_cells = 0;
+  for (size_t i = 0; i < scalar.table.size(); ++i) {
+    const uint64_t bits = BitsOf(scalar.table.At(i));
+    if (bits != 0 && bits < (uint64_t{1} << 52)) ++subnormal_cells;
+    EXPECT_EQ(bits, BitsOf(avx2.table.At(i))) << "cell " << i;
+  }
+  // The instance only exercises the tiny-cell path if cells actually went
+  // subnormal; guard the fixture against rotting into a trivial check.
+  EXPECT_GT(subnormal_cells, 0);
+}
+
+}  // namespace
+}  // namespace priview
