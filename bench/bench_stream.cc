@@ -1,0 +1,234 @@
+// Streaming benchmark: what does continuous release cost per epoch, and
+// does delta-aware recounting actually pay? Two acceptance bars, enforced
+// by the exit code so run_benches.sh can refuse to refresh the record
+// from a regressed build:
+//
+//   1. Delta recount >= 3x faster than a full recount on a 1%-changed
+//      epoch. The window is large (window_batches * batch records) so the
+//      counting pass dominates; the delta path folds only the ~2% of
+//      records that entered or left, so the honest ratio is far above the
+//      bar — 3x leaves room for noisy CI machines.
+//   2. Rollover stall bounded: the registry hot-swap (the only step that
+//      can block readers) stays under 50 ms per epoch, and the full
+//      durable rollover under 5 s. Generous on purpose — these catch a
+//      lost order of magnitude, not jitter.
+//
+// Flags: --window_batches=100 --batch=4000 --iters=8 --epochs=6
+//        --out=BENCH_stream.json
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "common/rng.h"
+#include "data/window.h"
+#include "serve/synopsis_registry.h"
+#include "store/synopsis_store.h"
+#include "stream/delta_counter.h"
+#include "stream/stream_publisher.h"
+#include "table/attr_set.h"
+
+using namespace priview;
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<uint64_t> RandomBatch(Rng* rng, int d, size_t n) {
+  const uint64_t universe =
+      d >= 64 ? ~uint64_t{0} : (uint64_t{1} << d) - 1;
+  std::vector<uint64_t> records(n);
+  for (uint64_t& record : records) record = rng->NextUint64() & universe;
+  return records;
+}
+
+std::vector<AttrSet> BenchViews() {
+  return {AttrSet::FromIndices({0, 1, 2}),  AttrSet::FromIndices({2, 3, 4}),
+          AttrSet::FromIndices({4, 5, 6}),  AttrSet::FromIndices({7, 8, 9}),
+          AttrSet::FromIndices({10, 11, 12}),
+          AttrSet::FromIndices({13, 14, 15})};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int window_batches = FlagInt(argc, argv, "window_batches", 100);
+  const int batch = FlagInt(argc, argv, "batch", 4000);
+  const int iters = FlagInt(argc, argv, "iters", 8);
+  const int publish_epochs = FlagInt(argc, argv, "epochs", 6);
+  std::string out_path = "BENCH_stream.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+
+  PrintHeader("Stream: delta recount vs full republish, epoch rollover");
+
+  constexpr int kD = 16;
+  const std::vector<AttrSet> views = BenchViews();
+  Rng rng(42);
+
+  // --- 1. Delta recount vs full recount on a 1%-changed epoch. ---------
+  // A sliding window of `window_batches` batches: each epoch, one batch
+  // (1/window_batches of the window) enters and one leaves. The full path
+  // recounts every record in the window; the delta path folds only the
+  // entering and leaving records into the running counts.
+  WindowBuffer window(kD, WindowMode::kSliding, window_batches);
+  StatusOr<stream::DeltaViewCounter> counter =
+      stream::DeltaViewCounter::Create(kD, views);
+  if (!counter.ok()) {
+    std::fprintf(stderr, "counter create failed\n");
+    return 1;
+  }
+  // Warm the window to full depth.
+  for (int i = 0; i < window_batches; ++i) {
+    if (!window.Ingest(RandomBatch(&rng, kD, size_t(batch))).ok()) return 1;
+    counter.value().ApplyDelta(window.AdvanceEpoch());
+  }
+  const size_t window_records = window.window_size();
+
+  double delta_s = 0.0;
+  double full_s = 0.0;
+  size_t delta_records = 0;
+  for (int i = 0; i < iters; ++i) {
+    if (!window.Ingest(RandomBatch(&rng, kD, size_t(batch))).ok()) return 1;
+    const EpochDelta delta = window.AdvanceEpoch();
+    delta_records = delta.added.size() + delta.removed.size();
+
+    const double t0 = NowSeconds();
+    counter.value().ApplyDelta(delta);
+    delta_s += NowSeconds() - t0;
+
+    // The full-republish reference: materialize the window and run the
+    // same fused counting pass the one-shot pipeline uses.
+    const double t1 = NowSeconds();
+    const std::vector<MarginalTable> full =
+        window.WindowDataset().CountMarginals(views);
+    full_s += NowSeconds() - t1;
+
+    // Keep the comparison honest: the two paths must agree bit-for-bit
+    // (the differential test in stream_test pins this; here it guards
+    // against benchmarking two different computations).
+    for (size_t v = 0; v < views.size(); ++v) {
+      if (counter.value().counts()[v].cells() != full[v].cells()) {
+        std::fprintf(stderr, "delta/full divergence at view %zu\n", v);
+        return 1;
+      }
+    }
+  }
+  const double delta_us = delta_s / iters * 1e6;
+  const double full_us = full_s / iters * 1e6;
+  const double speedup = delta_us > 0.0 ? full_us / delta_us : 0.0;
+  const bool recount_pass = speedup >= 3.0;
+
+  std::printf("window                %12zu records (%d batches x %d)\n",
+              window_records, window_batches, batch);
+  std::printf("epoch delta           %12zu records (%.2f%% of window)\n",
+              delta_records,
+              100.0 * double(delta_records) / double(window_records));
+  std::printf("full recount          %12.1f us/epoch\n", full_us);
+  std::printf("delta recount         %12.1f us/epoch\n", delta_us);
+  std::printf("speedup               %12.2f x  (bar: >= 3x)  %s\n", speedup,
+              recount_pass ? "PASS" : "FAIL");
+
+  // --- 2. End-to-end epoch rollover through store + registry. ----------
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "priview_bench_stream")
+          .string();
+  std::filesystem::remove_all(dir);
+  store::StoreOptions store_options;
+  store_options.dir = dir;
+  store_options.retention_depth = 3;
+  store::SynopsisStore store(store_options);
+  if (!store.Open().ok()) return 1;
+  serve::SynopsisRegistry registry;
+  registry.set_history_depth(3);
+
+  stream::StreamOptions stream_options;
+  stream_options.name = "bench";
+  stream_options.d = kD;
+  stream_options.mode = WindowMode::kSliding;
+  stream_options.window_batches = 4;
+  stream_options.views = views;
+  stream_options.total_epsilon = 10.0;
+  stream_options.epoch_epsilon = 0.5;
+  Rng publish_rng(7);
+  StatusOr<stream::StreamPublisher> publisher = stream::StreamPublisher::Create(
+      stream_options, &store, &registry, &publish_rng);
+  if (!publisher.ok()) return 1;
+
+  double rollover_sum_us = 0.0;
+  uint64_t rollover_max_us = 0;
+  uint64_t swap_max_us = 0;
+  for (int epoch = 0; epoch < publish_epochs; ++epoch) {
+    if (!publisher.value()
+             .Ingest(RandomBatch(&publish_rng, kD, size_t(batch)))
+             .ok()) {
+      return 1;
+    }
+    StatusOr<stream::EpochReport> report = publisher.value().PublishEpoch();
+    if (!report.ok()) {
+      std::fprintf(stderr, "publish failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    rollover_sum_us += double(report.value().rollover_us);
+    rollover_max_us = std::max(rollover_max_us, report.value().rollover_us);
+    swap_max_us = std::max(swap_max_us, report.value().install_us);
+  }
+  const double rollover_mean_us = rollover_sum_us / publish_epochs;
+  // The swap is the only step readers can observe as a stall; the
+  // end-to-end bound catches a pathological build/persist regression.
+  const bool stall_pass =
+      swap_max_us < 50'000 && rollover_max_us < 5'000'000;
+
+  std::printf("rollover              %12.1f us/epoch mean, %llu max (%d epochs)\n",
+              rollover_mean_us,
+              static_cast<unsigned long long>(rollover_max_us),
+              publish_epochs);
+  std::printf("hot-swap stall max    %12llu us  (bar: < 50ms)  %s\n",
+              static_cast<unsigned long long>(swap_max_us),
+              stall_pass ? "PASS" : "FAIL");
+
+  const bool pass = recount_pass && stall_pass;
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"bench\": \"stream\",\n"
+        "  \"workload\": \"sliding-window continuous release: delta-aware "
+        "recount vs full recount on a %.2f%%-changed epoch, plus durable "
+        "epoch rollover through store + registry\",\n"
+        "  \"window_records\": %zu,\n"
+        "  \"delta_records\": %zu,\n"
+        "  \"views\": %zu,\n"
+        "  \"full_recount_us_per_epoch\": %.1f,\n"
+        "  \"delta_recount_us_per_epoch\": %.1f,\n"
+        "  \"recount_speedup\": %.2f,\n"
+        "  \"recount_threshold\": 3.0,\n"
+        "  \"rollover_mean_us\": %.1f,\n"
+        "  \"rollover_max_us\": %llu,\n"
+        "  \"hot_swap_stall_max_us\": %llu,\n"
+        "  \"stall_threshold_us\": 50000,\n"
+        "  \"pass\": %s\n"
+        "}\n",
+        100.0 * double(delta_records) / double(window_records),
+        window_records, delta_records, views.size(), full_us, delta_us,
+        speedup, rollover_mean_us,
+        static_cast<unsigned long long>(rollover_max_us),
+        static_cast<unsigned long long>(swap_max_us),
+        pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  std::filesystem::remove_all(dir);
+  return pass ? 0 : 1;
+}

@@ -15,6 +15,7 @@ for b in bench/*; do
   [ "$(basename "$b")" = bench_serve ] && continue
   [ "$(basename "$b")" = bench_obs ] && continue
   [ "$(basename "$b")" = bench_store ] && continue
+  [ "$(basename "$b")" = bench_stream ] && continue
   echo "##### $(basename "$b") #####" | tee -a "$out"
   ( time "./$b" "$@" ) >> "$out" 2>&1
   echo "exit=$? done $(basename "$b")"
@@ -72,5 +73,23 @@ if [ -x bench/bench_store ]; then
   echo "##### bench_store #####" | tee -a "$out"
   ( time ./bench/bench_store --out=../BENCH_store.json "$@" ) >> "$out" 2>&1
   echo "exit=$? done bench_store"
+fi
+# Streaming record: delta-aware recount vs full recount on a 1%-changed
+# epoch, plus durable epoch rollover through store + registry.
+# bench_stream exits non-zero when a streaming bar fails — delta recount
+# no longer at least 3x faster than a full recount, or the registry
+# hot-swap stalling readers beyond its bound — and that failure is fatal
+# here: the streaming record must never be refreshed from a run that
+# regressed the epoch pipeline.
+if [ -x bench/bench_stream ]; then
+  echo "##### bench_stream #####" | tee -a "$out"
+  ( time ./bench/bench_stream --out=../BENCH_stream.json "$@" ) >> "$out" 2>&1
+  stream_rc=$?
+  echo "exit=$stream_rc done bench_stream"
+  if [ "$stream_rc" -ne 0 ]; then
+    echo "FATAL: bench_stream streaming perf bar failed (exit=$stream_rc)" >&2
+    tail -n 20 "$out" >&2
+    exit "$stream_rc"
+  fi
 fi
 echo "ALL BENCHES DONE"

@@ -185,6 +185,7 @@ const std::vector<std::string>& KnownFailpoints() {
           "store/fsync-fail",
           "store/torn-rename",
           "store/manifest-torn-tail",
+          "stream/rollover-abort",
       };
   return *points;
 }

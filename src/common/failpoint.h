@@ -85,6 +85,9 @@ namespace priview::failpoint {
 ///                              lands on disk as an unjournaled orphan
 ///   store/manifest-torn-tail   the manifest append writes only a record
 ///                              prefix (torn tail); recovery must truncate
+///   stream/rollover-abort      crash window between the store's durable
+///                              journal append and the registry hot-swap:
+///                              the new epoch is durable but not serving
 const std::vector<std::string>& KnownFailpoints();
 
 /// Arms `name` with a trigger spec (grammar above). Returns

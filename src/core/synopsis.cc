@@ -34,36 +34,72 @@ StatusOr<PriViewSynopsis> PriViewSynopsis::TryBuild(
 
   obs::TraceSpan publish_span("publish");
 
-  PriViewSynopsis synopsis;
-  synopsis.d_ = data.d();
-  synopsis.options_ = options;
-
   // Stage 1 (the only data access): one fused, cache-blocked pass over the
-  // records materializes every view marginal at once, then Lap(w/epsilon)
-  // noise. Each view draws from its own Rng forked (deterministically, in
-  // view order) from the caller's, so the noise a view receives does not
-  // depend on the thread count — synopses are bit-identical at 1 or 8
-  // threads for the same seed.
-  const double w = static_cast<double>(views.size());
+  // records materializes every view marginal at once. Everything after —
+  // noise, consistency — is shared with TryBuildFromCounts, so a synopsis
+  // rebuilt from delta-maintained running counts is bit-identical to this
+  // from-scratch path.
+  std::vector<MarginalTable> counts;
   {
     obs::TraceSpan count_span("publish/count");
-    synopsis.views_ = data.CountMarginals(views);
+    counts = data.CountMarginals(views);
   }
+  return FinishFromCounts(data.d(), std::move(counts), options, rng);
+}
+
+StatusOr<PriViewSynopsis> PriViewSynopsis::TryBuildFromCounts(
+    int d, std::vector<MarginalTable> exact_counts,
+    const PriViewOptions& options, Rng* rng) {
+  if (exact_counts.empty()) return Status::InvalidArgument("no views to build");
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  if (options.add_noise && options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive to add noise");
+  }
+  if (d < 1 || d > 64) {
+    return Status::InvalidArgument("dimension out of range: " +
+                                   std::to_string(d));
+  }
+  for (const MarginalTable& view : exact_counts) {
+    if (view.attrs().empty() || !view.attrs().IsSubsetOf(AttrSet::Full(d))) {
+      return Status::InvalidArgument("view scope outside dataset universe: " +
+                                     view.attrs().ToString());
+    }
+  }
+  obs::TraceSpan publish_span("publish");
+  return FinishFromCounts(d, std::move(exact_counts), options, rng);
+}
+
+PriViewSynopsis PriViewSynopsis::FinishFromCounts(
+    int d, std::vector<MarginalTable> counts, const PriViewOptions& options,
+    Rng* rng) {
+  PriViewSynopsis synopsis;
+  synopsis.d_ = d;
+  synopsis.options_ = options;
+  synopsis.views_ = std::move(counts);
+
+  // Lap(w/epsilon) noise on every cell. Each view draws from its own Rng
+  // forked (deterministically, in view order) from the caller's, so the
+  // noise a view receives does not depend on the thread count — synopses
+  // are bit-identical at 1 or 8 threads for the same seed.
+  const double w = static_cast<double>(synopsis.views_.size());
   if (options.add_noise) {
     obs::TraceSpan noise_span("publish/noise");
     std::vector<Rng> view_rngs;
-    view_rngs.reserve(views.size());
-    for (size_t i = 0; i < views.size(); ++i) view_rngs.push_back(rng->Fork());
-    parallel::ParallelFor(0, views.size(), 1, [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
-        obs::TraceSpan view_span("publish/noise/view");
-        AddLaplaceNoise(&synopsis.views_[i], /*sensitivity=*/w,
-                        options.epsilon, &view_rngs[i]);
-      }
-    });
+    view_rngs.reserve(synopsis.views_.size());
+    for (size_t i = 0; i < synopsis.views_.size(); ++i) {
+      view_rngs.push_back(rng->Fork());
+    }
+    parallel::ParallelFor(
+        0, synopsis.views_.size(), 1, [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            obs::TraceSpan view_span("publish/noise/view");
+            AddLaplaceNoise(&synopsis.views_[i], /*sensitivity=*/w,
+                            options.epsilon, &view_rngs[i]);
+          }
+        });
   }
 
-  // Stage 2: Consistency + rounds of (non-negativity + Consistency). The
+  // Consistency + rounds of (non-negativity + Consistency). The
   // consistency schedule depends only on the view scopes, so it is planned
   // once and re-applied each round. Non-negativity is per view (no shared
   // state), so the views run across the pool; Consistency keeps its
@@ -86,7 +122,12 @@ StatusOr<PriViewSynopsis> PriViewSynopsis::TryBuild(
     plan.Apply(&synopsis.views_);
   };
   if (options.run_consistency) {
-    const ConsistencyPlan plan(views);
+    std::vector<AttrSet> scopes;
+    scopes.reserve(synopsis.views_.size());
+    for (const MarginalTable& view : synopsis.views_) {
+      scopes.push_back(view.attrs());
+    }
+    const ConsistencyPlan plan(scopes);
     consistency_pass(plan);
     if (options.nonneg != NonNegMethod::kNone) {
       for (int round = 0; round < options.nonneg_rounds; ++round) {

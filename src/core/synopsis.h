@@ -59,6 +59,17 @@ class PriViewSynopsis {
                                             const PriViewOptions& options,
                                             Rng* rng);
 
+  /// Builds from exact view counts the caller already materialized (the
+  /// streaming publisher's delta-maintained running counts). Runs exactly
+  /// the noise + consistency stages TryBuild would run after its own
+  /// CountMarginals pass, so for identical counts and an identically
+  /// seeded rng the result is bit-identical to TryBuild on the underlying
+  /// records. `exact_counts` must be one marginal per view with scopes
+  /// inside the d-attribute universe.
+  static StatusOr<PriViewSynopsis> TryBuildFromCounts(
+      int d, std::vector<MarginalTable> exact_counts,
+      const PriViewOptions& options, Rng* rng);
+
   /// Reassembles a synopsis from already-released view tables (e.g. loaded
   /// from disk, see core/serialization.h). No privacy budget is spent —
   /// the tables are taken as-is; `options` records their provenance.
@@ -89,6 +100,13 @@ class PriViewSynopsis {
 
  private:
   PriViewSynopsis() = default;
+
+  /// Shared back half of TryBuild / TryBuildFromCounts: noise, consistency
+  /// rounds and the consistent total over already-materialized counts.
+  static PriViewSynopsis FinishFromCounts(int d,
+                                          std::vector<MarginalTable> counts,
+                                          const PriViewOptions& options,
+                                          Rng* rng);
 
   int d_ = 0;
   double total_ = 0.0;

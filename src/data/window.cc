@@ -1,0 +1,79 @@
+#include "data/window.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace priview {
+
+const char* WindowModeName(WindowMode mode) {
+  switch (mode) {
+    case WindowMode::kTumbling:
+      return "tumbling";
+    case WindowMode::kSliding:
+      return "sliding";
+    case WindowMode::kCumulative:
+      return "cumulative";
+  }
+  return "unknown";
+}
+
+WindowBuffer::WindowBuffer(int d, WindowMode mode, int window_batches)
+    : d_(d), mode_(mode) {
+  PRIVIEW_CHECK(d >= 1 && d <= 64);
+  switch (mode) {
+    case WindowMode::kTumbling:
+      window_batches_ = 1;
+      break;
+    case WindowMode::kSliding:
+      PRIVIEW_CHECK(window_batches >= 1);
+      window_batches_ = static_cast<size_t>(window_batches);
+      break;
+    case WindowMode::kCumulative:
+      window_batches_ = std::numeric_limits<size_t>::max();
+      break;
+  }
+}
+
+Status WindowBuffer::Ingest(std::span<const uint64_t> records) {
+  const uint64_t universe =
+      d_ == 64 ? ~uint64_t{0} : (uint64_t{1} << d_) - 1;
+  for (uint64_t record : records) {
+    if ((record & ~universe) != 0) {
+      return Status::InvalidArgument(
+          "record sets attribute bits outside the " + std::to_string(d_) +
+          "-attribute universe");
+    }
+  }
+  pending_.insert(pending_.end(), records.begin(), records.end());
+  return Status::OK();
+}
+
+EpochDelta WindowBuffer::AdvanceEpoch() {
+  EpochDelta delta;
+  delta.added = std::move(pending_);
+  pending_.clear();
+  window_records_ += delta.added.size();
+  window_.push_back(delta.added);  // copy: the delta is returned to the caller
+  while (window_.size() > window_batches_) {
+    std::vector<uint64_t>& expiring = window_.front();
+    window_records_ -= expiring.size();
+    delta.removed.insert(delta.removed.end(), expiring.begin(),
+                         expiring.end());
+    window_.pop_front();
+  }
+  ++epochs_;
+  return delta;
+}
+
+Dataset WindowBuffer::WindowDataset() const {
+  std::vector<uint64_t> records;
+  records.reserve(window_records_);
+  for (const std::vector<uint64_t>& batch : window_) {
+    records.insert(records.end(), batch.begin(), batch.end());
+  }
+  return Dataset(d_, std::move(records));
+}
+
+}  // namespace priview

@@ -1,0 +1,80 @@
+// WindowBuffer — epoch-structured record ingest for continuous release.
+//
+// Records arrive in batches; calling AdvanceEpoch seals everything
+// ingested since the last advance as one epoch's arrival and returns the
+// *delta* between the previous window and the new one (records entering
+// and records leaving). The streaming publisher feeds that delta to its
+// delta-aware view counter instead of recounting the whole window.
+//
+// Window modes:
+//   kTumbling   — the window is exactly the latest epoch's batch; every
+//                 advance replaces it wholesale.
+//   kSliding    — the window is the last `window_batches` epoch batches;
+//                 an advance adds the new batch and drops the oldest one
+//                 once the window is full.
+//   kCumulative — the window is every record ever ingested; deltas only
+//                 ever add.
+#ifndef PRIVIEW_DATA_WINDOW_H_
+#define PRIVIEW_DATA_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "table/dataset.h"
+
+namespace priview {
+
+enum class WindowMode { kTumbling, kSliding, kCumulative };
+
+const char* WindowModeName(WindowMode mode);
+
+/// Records entering / leaving the release window at one epoch advance.
+struct EpochDelta {
+  std::vector<uint64_t> added;
+  std::vector<uint64_t> removed;
+};
+
+class WindowBuffer {
+ public:
+  /// `window_batches` is the sliding-window depth; it is ignored (and
+  /// normalized to 1 / unbounded) for tumbling / cumulative modes.
+  WindowBuffer(int d, WindowMode mode, int window_batches = 1);
+
+  /// Buffers records for the next epoch. Fails if any record sets a bit
+  /// at or above attribute d (nothing is buffered in that case).
+  Status Ingest(std::span<const uint64_t> records);
+
+  /// Seals the pending batch as this epoch's arrival, advances the
+  /// window, and returns the records that entered and left it. An empty
+  /// pending batch is a legal (records-only-expiring) epoch.
+  EpochDelta AdvanceEpoch();
+
+  /// Materializes the current window as a Dataset — the full-republish
+  /// reference path (differential tests, cold starts).
+  Dataset WindowDataset() const;
+
+  int d() const { return d_; }
+  WindowMode mode() const { return mode_; }
+  /// Number of AdvanceEpoch calls so far.
+  int64_t epochs() const { return epochs_; }
+  /// Records currently inside the window (excludes the pending batch).
+  size_t window_size() const { return window_records_; }
+  /// Records ingested but not yet sealed by AdvanceEpoch.
+  size_t pending_size() const { return pending_.size(); }
+
+ private:
+  int d_;
+  WindowMode mode_;
+  size_t window_batches_;
+  int64_t epochs_ = 0;
+  size_t window_records_ = 0;
+  std::vector<uint64_t> pending_;
+  std::deque<std::vector<uint64_t>> window_;
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_DATA_WINDOW_H_

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/status.h"
+#include "obs/metrics_registry.h"
 
 namespace priview {
 
@@ -48,24 +49,92 @@ int ExponentialMechanism(const std::vector<double>& scores, double epsilon,
   return static_cast<int>(weights.size()) - 1;
 }
 
-BudgetAccountant::BudgetAccountant(double total_epsilon)
-    : total_(total_epsilon) {
+BudgetAccountant::BudgetAccountant(double total_epsilon,
+                                   const std::string& metric_label)
+    : total_(total_epsilon), label_(metric_label) {
   PRIVIEW_CHECK(total_epsilon > 0.0);
+  PublishGauges();
+}
+
+BudgetAccountant::BudgetAccountant(BudgetAccountant&& other) noexcept
+    : total_(other.total_),
+      spent_(other.spent_.load(std::memory_order_relaxed)),
+      label_(std::move(other.label_)) {
+  other.label_.clear();  // the moved-from shell stops publishing gauges
+}
+
+BudgetAccountant& BudgetAccountant::operator=(
+    BudgetAccountant&& other) noexcept {
+  if (this != &other) {
+    total_ = other.total_;
+    spent_.store(other.spent_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    label_ = std::move(other.label_);
+    other.label_.clear();
+  }
+  return *this;
+}
+
+void BudgetAccountant::PublishGauges() const {
+  if (label_.empty()) return;
+  const obs::Labels labels{{"budget", label_}};
+  const double spent_now = spent();
+  obs::MetricsRegistry::Global()
+      .GetGaugeD("priview_budget_spent_epsilon", labels,
+                 "Cumulative privacy budget consumed by this accountant")
+      ->Set(spent_now);
+  obs::MetricsRegistry::Global()
+      .GetGaugeD("priview_budget_remaining_epsilon", labels,
+                 "Privacy budget this accountant can still spend")
+      ->Set(total_ - spent_now);
 }
 
 Status BudgetAccountant::Spend(double epsilon) {
+  auto refuse = [&](Status status) {
+    if (!label_.empty()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("priview_budget_refusals_total",
+                      {{"budget", label_}},
+                      "Spend attempts refused to protect the total ε")
+          ->Increment();
+    }
+    return status;
+  };
   if (PRIVIEW_FAILPOINT("dp/budget-exhausted")) {
-    return Status::ResourceExhausted("injected: dp/budget-exhausted");
+    return refuse(Status::ResourceExhausted("injected: dp/budget-exhausted"));
   }
   if (epsilon <= 0.0) {
     return Status::InvalidArgument("epsilon must be positive");
   }
   const double slack = 1e-9 * total_;
-  if (spent_ + epsilon > total_ + slack) {
-    return Status::ResourceExhausted("privacy budget exceeded");
+  // CAS loop: the check and the add are one atomic step, so concurrent
+  // spenders can never jointly exceed the total — a loser re-reads the new
+  // spent value and re-checks against the cap before retrying.
+  double observed = spent_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (observed + epsilon > total_ + slack) {
+      return refuse(Status::ResourceExhausted(
+          "privacy budget exceeded: spent " + std::to_string(observed) +
+          " + " + std::to_string(epsilon) + " > total " +
+          std::to_string(total_)));
+    }
+    if (spent_.compare_exchange_weak(observed, observed + epsilon,
+                                     std::memory_order_relaxed)) {
+      break;
+    }
   }
-  spent_ += epsilon;
+  PublishGauges();
   return Status::OK();
+}
+
+StatusOr<BudgetAccountant> BudgetAccountant::CarveChild(
+    double child_epsilon, const std::string& child_label) {
+  if (child_epsilon <= 0.0) {
+    return Status::InvalidArgument("child epsilon must be positive");
+  }
+  const Status spent = Spend(child_epsilon);
+  if (!spent.ok()) return spent;
+  return BudgetAccountant(child_epsilon, child_label);
 }
 
 }  // namespace priview

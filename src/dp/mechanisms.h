@@ -6,6 +6,8 @@
 #ifndef PRIVIEW_DP_MECHANISMS_H_
 #define PRIVIEW_DP_MECHANISMS_H_
 
+#include <atomic>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -34,22 +36,54 @@ int ExponentialMechanism(const std::vector<double>& scores, double epsilon,
 
 /// Tracks cumulative privacy spending against a fixed total budget.
 /// Spend() returns a failed Status instead of silently exceeding epsilon.
+///
+/// Thread safety: Spend / CarveChild / spent / remaining are safe to call
+/// concurrently from any number of threads — spending is a CAS loop on an
+/// atomic, so two racing Spends can never jointly exceed the total (the
+/// loser re-reads and re-checks). Moving an accountant is NOT thread-safe
+/// against concurrent use of the source (moves happen at handoff time,
+/// before any sharing).
+///
+/// Observability: constructed with a non-empty `metric_label`, the
+/// accountant exports `priview_budget_spent_epsilon{budget=<label>}` and
+/// `priview_budget_remaining_epsilon{budget=<label>}` gauges to the global
+/// metrics registry (refreshed on every successful spend) and counts
+/// refusals in `priview_budget_refusals_total{budget=<label>}`. Unlabeled
+/// accountants (the pipeline's transient per-release ones) stay silent.
 class BudgetAccountant {
  public:
-  explicit BudgetAccountant(double total_epsilon);
+  explicit BudgetAccountant(double total_epsilon,
+                            const std::string& metric_label = "");
+  BudgetAccountant(BudgetAccountant&& other) noexcept;
+  BudgetAccountant& operator=(BudgetAccountant&& other) noexcept;
+  BudgetAccountant(const BudgetAccountant&) = delete;
+  BudgetAccountant& operator=(const BudgetAccountant&) = delete;
 
   /// Consumes `epsilon`; fails (and consumes nothing) if that would exceed
   /// the total. A tiny relative slack absorbs floating-point drift from
-  /// budgets split into T equal parts.
+  /// budgets split into T equal parts. Refusal is a typed
+  /// ResourceExhausted Status — never a silent overspend.
   Status Spend(double epsilon);
 
+  /// Carves a child budget of `child_epsilon` out of this accountant: the
+  /// parent spends `child_epsilon` up front and the child may then spend
+  /// up to that amount independently. This is the cross-epoch schedule
+  /// primitive: a streaming publisher carves one child per epoch from the
+  /// release's total ε, so the sum over all epochs can never exceed it.
+  /// Fails (spending nothing) when the remaining parent budget is short.
+  StatusOr<BudgetAccountant> CarveChild(
+      double child_epsilon, const std::string& child_label = "");
+
   double total() const { return total_; }
-  double spent() const { return spent_; }
-  double remaining() const { return total_ - spent_; }
+  double spent() const { return spent_.load(std::memory_order_relaxed); }
+  double remaining() const { return total_ - spent(); }
 
  private:
+  void PublishGauges() const;
+
   double total_;
-  double spent_ = 0.0;
+  std::atomic<double> spent_{0.0};
+  std::string label_;
 };
 
 }  // namespace priview

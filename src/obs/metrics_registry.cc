@@ -178,6 +178,12 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
   return &GetOrCreate(name, labels, Kind::kGauge, help)->gauge;
 }
 
+GaugeD* MetricsRegistry::GetGaugeD(const std::string& name,
+                                   const Labels& labels,
+                                   const std::string& help) {
+  return &GetOrCreate(name, labels, Kind::kGaugeD, help)->gauge_d;
+}
+
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const Labels& labels,
                                          const std::string& help) {
@@ -245,6 +251,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
               out += "counter\n";
               break;
             case Kind::kGauge:
+            case Kind::kGaugeD:
               out += "gauge\n";
               break;
             case Kind::kHistogram:
@@ -263,6 +270,14 @@ std::string MetricsRegistry::RenderPrometheus() const {
             AppendI64(&out, instrument.gauge.value());
             out += "\n";
             break;
+          case Kind::kGaugeD: {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%g", instrument.gauge_d.value());
+            out += family + RenderLabels(instrument.labels) + " ";
+            out += buf;
+            out += "\n";
+            break;
+          }
           case Kind::kHistogram: {
             const Histogram::Snapshot s =
                 instrument.histogram.TakeSnapshot();

@@ -29,6 +29,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -63,6 +64,27 @@ class Gauge {
 
  private:
   std::atomic<int64_t> value_{0};
+};
+
+/// Double-valued gauge for quantities that are not integers — privacy
+/// budgets (ε), rates, fractions. Stored as the IEEE-754 bit pattern in an
+/// atomic word, so Set/value are single relaxed loads/stores like Gauge.
+class GaugeD {
+ public:
+  void Set(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double value() const {
+    const uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // bit pattern of +0.0
 };
 
 /// Fixed-bucket power-of-two histogram: bucket i covers [2^i, 2^(i+1))
@@ -115,6 +137,8 @@ class MetricsRegistry {
                       const std::string& help = "");
   Gauge* GetGauge(const std::string& name, const Labels& labels = {},
                   const std::string& help = "");
+  GaugeD* GetGaugeD(const std::string& name, const Labels& labels = {},
+                    const std::string& help = "");
   Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
                           const std::string& help = "");
 
@@ -138,13 +162,14 @@ class MetricsRegistry {
   size_t series_count() const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kGaugeD, kHistogram };
   struct Instrument {
     std::string name;
     Labels labels;
     Kind kind = Kind::kCounter;
     Counter counter;
     Gauge gauge;
+    GaugeD gauge_d;
     Histogram histogram;
   };
   struct CallbackInstrument {

@@ -387,6 +387,88 @@ StatusOr<ClientTable> PriViewClient::Dice(const std::string& synopsis,
   return TableRequest(request);
 }
 
+StatusOr<ClientSeries> PriViewClient::SeriesRequest(const std::string& synopsis,
+                                                    AttrSet target,
+                                                    uint32_t last_n,
+                                                    SeriesMode mode,
+                                                    uint32_t deadline_ms) {
+  WireRequest request;
+  request.type = MessageType::kSeries;
+  request.synopsis = synopsis;
+  request.target_mask = target.mask();
+  request.last_n = last_n;
+  request.series_mode = static_cast<uint8_t>(mode);
+  request.deadline_ms = deadline_ms;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  const WireResponse& wire = response.value();
+  if (wire.type == MessageType::kError) return wire.ToStatus();
+  if (wire.type != MessageType::kTableSeries) {
+    return Status::DataLoss("expected a table-series response");
+  }
+  ClientSeries out;
+  out.tier = wire.tier < kServeTierCount ? ServeTier(wire.tier)
+                                         : ServeTier::kFull;
+  out.coalesced = wire.coalesced != 0;
+  out.points.reserve(wire.series.size());
+  for (const SeriesEntry& entry : wire.series) {
+    const AttrSet attrs(entry.attrs_mask);
+    // Same contract as ToTable: a malformed or hostile response must not
+    // CHECK-abort the client.
+    if (attrs.size() > 30 ||
+        entry.cells.size() != (size_t{1} << attrs.size())) {
+      return Status::DataLoss("series entry cell count does not match scope " +
+                              attrs.ToString());
+    }
+    ClientSeriesPoint point;
+    point.epoch = entry.epoch;
+    point.table = MarginalTable(attrs, entry.cells);
+    out.points.push_back(std::move(point));
+  }
+  return out;
+}
+
+StatusOr<ClientSeries> PriViewClient::Series(const std::string& synopsis,
+                                             AttrSet target, uint32_t last_n,
+                                             uint32_t deadline_ms) {
+  return SeriesRequest(synopsis, target, last_n, SeriesMode::kLevels,
+                       deadline_ms);
+}
+
+StatusOr<ClientSeries> PriViewClient::TrendDeltas(const std::string& synopsis,
+                                                  AttrSet target,
+                                                  uint32_t last_n,
+                                                  uint32_t deadline_ms) {
+  return SeriesRequest(synopsis, target, last_n, SeriesMode::kDeltas,
+                       deadline_ms);
+}
+
+StatusOr<std::vector<SynopsisListing>> PriViewClient::ListSynopses() {
+  WireRequest request;
+  request.type = MessageType::kListSynopses;
+  StatusOr<WireResponse> response = RoundTrip(request);
+  if (!response.ok()) return response.status();
+  const WireResponse& wire = response.value();
+  if (wire.type == MessageType::kError) return wire.ToStatus();
+  if (wire.type != MessageType::kSynopsisList) {
+    return Status::DataLoss("expected a synopsis-list response");
+  }
+  std::vector<SynopsisListing> out;
+  out.reserve(wire.synopses.size());
+  for (const SynopsisEntry& entry : wire.synopses) {
+    SynopsisListing listing;
+    listing.name = entry.name;
+    listing.epoch = entry.epoch;
+    listing.install_unix_ms = entry.install_unix_ms;
+    listing.d = entry.d;
+    listing.views = entry.views;
+    listing.epsilon = entry.epsilon;
+    listing.fully_intact = entry.fully_intact != 0;
+    out.push_back(std::move(listing));
+  }
+  return out;
+}
+
 StatusOr<std::string> PriViewClient::Stats() {
   return TextRequest(MessageType::kStats);
 }

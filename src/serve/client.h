@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/retry.h"
 #include "common/status.h"
@@ -79,6 +80,34 @@ struct ClientValue {
   uint64_t epoch = 0;
 };
 
+/// One epoch's table inside a ClientSeries (newest first).
+struct ClientSeriesPoint {
+  uint64_t epoch = 0;
+  MarginalTable table;
+};
+
+/// A time-series answer: one point per retained epoch of the synopsis,
+/// newest first, plus the serving metadata. Under Series() each point is
+/// that epoch's marginal; under TrendDeltas() point 0 is the current
+/// marginal and every later point is (current - that epoch) cellwise.
+struct ClientSeries {
+  std::vector<ClientSeriesPoint> points;
+  ServeTier tier = ServeTier::kFull;
+  bool coalesced = false;
+};
+
+/// One hosted release from ListSynopses (the typed kSynopsisList catalog,
+/// unlike List()'s human-oriented text lines).
+struct SynopsisListing {
+  std::string name;
+  uint64_t epoch = 0;
+  uint64_t install_unix_ms = 0;
+  int d = 0;
+  size_t views = 0;
+  double epsilon = 0.0;
+  bool fully_intact = true;
+};
+
 /// Parsed kHealth response. `ready` is the orchestration gate; the rest
 /// explains why it is (or is not) set.
 struct HealthReport {
@@ -127,6 +156,21 @@ class PriViewClient {
                              AttrSet fixed, uint64_t values,
                              uint32_t deadline_ms = 0);
 
+  /// Windowed time series: the target marginal across up to `last_n`
+  /// retained epochs of the synopsis (clamped to the server's retained
+  /// history), newest first.
+  StatusOr<ClientSeries> Series(const std::string& synopsis, AttrSet target,
+                                uint32_t last_n, uint32_t deadline_ms = 0);
+  /// Trend deltas: point 0 is the current marginal; every later point is
+  /// (current - that epoch) cellwise, tagged with the older epoch — how
+  /// much the marginal has moved since each retained release.
+  StatusOr<ClientSeries> TrendDeltas(const std::string& synopsis,
+                                     AttrSet target, uint32_t last_n,
+                                     uint32_t deadline_ms = 0);
+  /// The typed release catalog: name, epoch and install time per hosted
+  /// synopsis.
+  StatusOr<std::vector<SynopsisListing>> ListSynopses();
+
   /// Server metrics snapshot as JSON.
   StatusOr<std::string> Stats();
   /// Full metrics scrape in Prometheus text-exposition format: the
@@ -161,6 +205,9 @@ class PriViewClient {
   StatusOr<WireResponse> RoundTrip(const WireRequest& request);
   StatusOr<ClientTable> TableRequest(const WireRequest& request);
   StatusOr<std::string> TextRequest(MessageType type);
+  StatusOr<ClientSeries> SeriesRequest(const std::string& synopsis,
+                                       AttrSet target, uint32_t last_n,
+                                       SeriesMode mode, uint32_t deadline_ms);
 
   int fd_ = -1;
   ClientOptions options_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <optional>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -26,11 +28,30 @@ uint64_t MicrosBetween(Clock::time_point from, Clock::time_point to) {
 }  // namespace
 
 struct RequestBroker::Pending {
+  enum class Kind { kMarginal, kSeries };
+  Kind kind = Kind::kMarginal;
   std::string synopsis;
   AttrSet target;
+  // Series-only fields.
+  uint32_t last_n = 0;
+  SeriesMode mode = SeriesMode::kLevels;
   Clock::time_point deadline;
   Clock::time_point admitted_at;
+  // Exactly one of these is fulfilled, per `kind`.
   std::promise<StatusOr<ServedAnswer>> promise;
+  std::promise<StatusOr<ServedSeries>> series_promise;
+
+  RequestKind metric_kind() const {
+    return kind == Kind::kSeries ? RequestKind::kSeries
+                                 : RequestKind::kMarginal;
+  }
+  void Fail(Status status) {
+    if (kind == Kind::kSeries) {
+      series_promise.set_value(std::move(status));
+    } else {
+      promise.set_value(std::move(status));
+    }
+  }
 };
 
 RequestBroker::RequestBroker(SynopsisRegistry* registry, ServerMetrics* metrics,
@@ -61,7 +82,7 @@ void RequestBroker::Stop() {
   for (std::unique_ptr<Pending>& p : orphans) {
     // Admitted work failed by the stop is a service-side event, not caller
     // misuse: answer retryably so a client redials the restarted server.
-    p->promise.set_value(
+    p->Fail(
         Status::Unavailable("broker stopped before dispatch; retry later"));
   }
 }
@@ -115,6 +136,65 @@ StatusOr<ServedAnswer> RequestBroker::Ask(const std::string& synopsis,
   pending->deadline = deadline;
   pending->admitted_at = Clock::now();
   std::future<StatusOr<ServedAnswer>> answer = pending->promise.get_future();
+  const Status admitted = Admit(std::move(pending));
+  if (!admitted.ok()) return admitted;
+  if (answer.wait_until(deadline + options_.stop_grace) ==
+      std::future_status::ready) {
+    return answer.get();
+  }
+  // The dispatcher will still account for this request when it reaches it;
+  // the caller just stops waiting.
+  return Status::DeadlineExceeded(
+      "no verdict on '" + synopsis + "' " + target.ToString() +
+      " within deadline + completion grace");
+}
+
+StatusOr<ServedSeries> RequestBroker::AskSeries(const std::string& synopsis,
+                                                AttrSet target, uint32_t last_n,
+                                                SeriesMode mode) {
+  return AskSeries(synopsis, target, last_n, mode,
+                   Clock::now() + options_.default_deadline);
+}
+
+StatusOr<ServedSeries> RequestBroker::AskSeries(const std::string& synopsis,
+                                                AttrSet target, uint32_t last_n,
+                                                SeriesMode mode,
+                                                Clock::time_point deadline) {
+  if (last_n == 0) {
+    return Status::InvalidArgument(
+        "series request must ask for at least one epoch");
+  }
+  if (mode != SeriesMode::kLevels && mode != SeriesMode::kDeltas) {
+    return Status::InvalidArgument("unknown series mode");
+  }
+  if (deadline <= Clock::now()) {
+    metrics_->RecordExpiredAtAdmission();
+    return Status::DeadlineExceeded(
+        "deadline already expired at admission for series on '" + synopsis +
+        "' " + target.ToString());
+  }
+  auto pending = std::make_unique<Pending>();
+  pending->kind = Pending::Kind::kSeries;
+  pending->synopsis = synopsis;
+  pending->target = target;
+  pending->last_n = last_n;
+  pending->mode = mode;
+  pending->deadline = deadline;
+  pending->admitted_at = Clock::now();
+  std::future<StatusOr<ServedSeries>> answer =
+      pending->series_promise.get_future();
+  const Status admitted = Admit(std::move(pending));
+  if (!admitted.ok()) return admitted;
+  if (answer.wait_until(deadline + options_.stop_grace) ==
+      std::future_status::ready) {
+    return answer.get();
+  }
+  return Status::DeadlineExceeded(
+      "no verdict on series '" + synopsis + "' " + target.ToString() +
+      " within deadline + completion grace");
+}
+
+Status RequestBroker::Admit(std::unique_ptr<Pending> pending) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
@@ -136,15 +216,7 @@ StatusOr<ServedAnswer> RequestBroker::Ask(const std::string& synopsis,
     metrics_->RecordAdmitted();
   }
   cv_.notify_one();
-  if (answer.wait_until(deadline + options_.stop_grace) ==
-      std::future_status::ready) {
-    return answer.get();
-  }
-  // The dispatcher will still account for this request when it reaches it;
-  // the caller just stops waiting.
-  return Status::DeadlineExceeded(
-      "no verdict on '" + synopsis + "' " + target.ToString() +
-      " within deadline + completion grace");
+  return Status::OK();
 }
 
 size_t RequestBroker::QueueDepth() const {
@@ -164,7 +236,7 @@ void RequestBroker::DispatchLoop() {
         for (std::unique_ptr<Pending>& p : batch) {
           // Same contract as Stop(): the caller did nothing wrong, the
           // service went away mid-queue — retryable, not misuse.
-          p->promise.set_value(Status::Unavailable(
+          p->Fail(Status::Unavailable(
               "broker stopped before dispatch; retry later"));
         }
         return;
@@ -189,9 +261,9 @@ void RequestBroker::ProcessBatch(std::deque<std::unique_ptr<Pending>> batch) {
   }
 
   auto fail = [&](Pending* p, Status status) {
-    metrics_->RecordLatency(RequestKind::kMarginal,
+    metrics_->RecordLatency(p->metric_kind(),
                             MicrosBetween(p->admitted_at, Clock::now()));
-    p->promise.set_value(std::move(status));
+    p->Fail(std::move(status));
   };
   auto deliver = [&](Pending* p, ServedAnswer answer) {
     metrics_->RecordServedByTier(answer.tier);
@@ -271,23 +343,27 @@ void RequestBroker::ProcessBatch(std::deque<std::unique_ptr<Pending>> batch) {
                          : exec_table.Project(p->target);
       deliver(p, std::move(answer));
     };
-    // Executes one target at the chosen tier (the non-coalesced unit).
-    auto execute_one = [&](AttrSet target) -> StatusOr<MarginalTable> {
+    // Executes one target at the chosen tier against one hosted epoch (the
+    // non-coalesced unit; series requests run this per retained epoch).
+    auto execute_on = [&](const HostedSynopsis& h,
+                          AttrSet target) -> StatusOr<MarginalTable> {
       switch (tier) {
         case ServeTier::kFull:
-          return engine.TryMarginal(target);
+          return h.engine().TryMarginal(target);
         case ServeTier::kLeastNorm: {
-          if (std::optional<MarginalTable> hit = engine.CacheProbe(target)) {
+          if (std::optional<MarginalTable> hit =
+                  h.engine().CacheProbe(target)) {
             return *std::move(hit);
           }
           // Deliberately not inserted into the cache: the cache holds
           // requested-method reconstructions and a least-norm table must
           // not masquerade as one after the pressure passes.
-          return host.synopsis().TryQuery(target,
-                                          ReconstructionMethod::kLeastNorm);
+          return h.synopsis().TryQuery(target,
+                                       ReconstructionMethod::kLeastNorm);
         }
         case ServeTier::kCacheRollUp: {
-          if (std::optional<MarginalTable> hit = engine.CacheProbe(target)) {
+          if (std::optional<MarginalTable> hit =
+                  h.engine().CacheProbe(target)) {
             return *std::move(hit);
           }
           metrics_->RecordDeadlineExpired();
@@ -298,10 +374,100 @@ void RequestBroker::ProcessBatch(std::deque<std::unique_ptr<Pending>> batch) {
       }
       return Status::Internal("unreachable tier");
     };
+    auto execute_one = [&](AttrSet target) -> StatusOr<MarginalTable> {
+      return execute_on(host, target);
+    };
+
+    // Split the group: series requests answer against the registry's
+    // retained history, marginals against the current epoch only.
+    std::vector<Pending*> marginals;
+    std::vector<Pending*> series_reqs;
+    for (Pending* p : valid) {
+      (p->kind == Pending::Kind::kSeries ? series_reqs : marginals)
+          .push_back(p);
+    }
+
+    if (!series_reqs.empty()) {
+      // Coalesce exact-duplicate series requests (same target, depth and
+      // mode): a multi-epoch answer is the priciest thing the broker
+      // produces, so identical concurrent asks must cost one computation.
+      std::vector<std::vector<Pending*>> series_groups;
+      if (options_.coalesce) {
+        std::map<std::tuple<uint64_t, uint32_t, uint8_t>, size_t> group_of;
+        for (Pending* p : series_reqs) {
+          const auto key = std::make_tuple(p->target.mask(), p->last_n,
+                                           static_cast<uint8_t>(p->mode));
+          auto [it, fresh] = group_of.emplace(key, series_groups.size());
+          if (fresh) series_groups.emplace_back();
+          series_groups[it->second].push_back(p);
+        }
+      } else {
+        for (Pending* p : series_reqs) series_groups.push_back({p});
+      }
+
+      for (std::vector<Pending*>& askers : series_groups) {
+        Pending* lead = askers.front();
+        StatusOr<std::vector<std::shared_ptr<const HostedSynopsis>>> hosts =
+            registry_->AcquireSeries(name, lead->last_n);
+        if (!hosts.ok()) {
+          for (Pending* p : askers) fail(p, hosts.status());
+          continue;
+        }
+        StatusOr<ServedSeries> result = [&]() -> StatusOr<ServedSeries> {
+          ServedSeries series;
+          series.tier = tier;
+          series.points.reserve(hosts.value().size());
+          for (const std::shared_ptr<const HostedSynopsis>& h :
+               hosts.value()) {
+            // Re-validate per epoch: an older release may have been built
+            // over a narrower universe than the current one.
+            if (!lead->target.IsSubsetOf(AttrSet::Full(h->synopsis().d()))) {
+              return Status::InvalidArgument(
+                  "query scope outside the universe of epoch " +
+                  std::to_string(h->epoch()) + ": " + lead->target.ToString());
+            }
+            StatusOr<MarginalTable> table = execute_on(*h, lead->target);
+            if (!table.ok()) return table.status();
+            SeriesPoint point;
+            point.epoch = h->epoch();
+            point.table = std::move(table).value();
+            series.points.push_back(std::move(point));
+          }
+          if (lead->mode == SeriesMode::kDeltas && series.points.size() > 1) {
+            // Trend deltas: keep point 0 as the current level, rewrite
+            // every older point as (current - older) cellwise. All points
+            // share the exact target scope, so the cells align.
+            const std::vector<double> current = series.points[0].table.cells();
+            for (size_t i = 1; i < series.points.size(); ++i) {
+              std::vector<double>& older = series.points[i].table.cells();
+              for (size_t c = 0; c < older.size(); ++c) {
+                older[c] = current[c] - older[c];
+              }
+            }
+          }
+          return series;
+        }();
+        for (size_t i = 0; i < askers.size(); ++i) {
+          Pending* p = askers[i];
+          if (!result.ok()) {
+            fail(p, result.status());
+            continue;
+          }
+          ServedSeries answer = result.value();
+          answer.coalesced = i != 0;
+          metrics_->RecordServedByTier(answer.tier);
+          if (answer.coalesced) metrics_->RecordCoalesced();
+          metrics_->RecordLatency(RequestKind::kSeries,
+                                  MicrosBetween(p->admitted_at, Clock::now()));
+          p->series_promise.set_value(std::move(answer));
+        }
+      }
+    }
+    if (marginals.empty()) continue;
 
     if (!options_.coalesce) {
-      metrics_->RecordCoalesceWidth(valid.size());
-      for (Pending* p : valid) {
+      metrics_->RecordCoalesceWidth(marginals.size());
+      for (Pending* p : marginals) {
         StatusOr<MarginalTable> table = execute_one(p->target);
         if (!table.ok()) {
           fail(p, table.status());
@@ -318,7 +484,7 @@ void RequestBroker::ProcessBatch(std::deque<std::unique_ptr<Pending>> batch) {
     // deterministic (first maximal superset in first-seen order).
     std::vector<AttrSet> distinct;
     std::unordered_map<uint64_t, size_t> index_of;
-    for (Pending* p : valid) {
+    for (Pending* p : marginals) {
       if (index_of.emplace(p->target.mask(), distinct.size()).second) {
         distinct.push_back(p->target);
       }
@@ -369,7 +535,7 @@ void RequestBroker::ProcessBatch(std::deque<std::unique_ptr<Pending>> batch) {
     // asked for exactly that scope; everyone else sharing the solve is
     // coalesced.
     std::vector<bool> rep_taken(exec_targets.size(), false);
-    for (Pending* p : valid) {
+    for (Pending* p : marginals) {
       const size_t e = rep.at(p->target.mask());
       if (!exec_answers[e].ok()) {
         fail(p, exec_answers[e].status());

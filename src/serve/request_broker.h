@@ -46,9 +46,12 @@
 #include <string>
 #include <thread>
 
+#include <vector>
+
 #include "common/status.h"
 #include "serve/server_metrics.h"
 #include "serve/synopsis_registry.h"
+#include "serve/wire_protocol.h"
 #include "table/attr_set.h"
 #include "table/marginal_table.h"
 
@@ -87,6 +90,25 @@ struct ServedAnswer {
   uint64_t epoch = 0;
 };
 
+/// One epoch's table inside a ServedSeries.
+struct SeriesPoint {
+  uint64_t epoch = 0;
+  MarginalTable table;
+};
+
+/// A broker time-series answer: one point per retained epoch of the named
+/// synopsis, newest first. Under SeriesMode::kLevels each point is that
+/// epoch's marginal on the requested target; under kDeltas point 0 is the
+/// current marginal and every later point is (current - that epoch)
+/// cellwise, tagged with the older epoch.
+struct ServedSeries {
+  std::vector<SeriesPoint> points;
+  ServeTier tier = ServeTier::kFull;
+  /// True when this request shared another identical pending series
+  /// request's computation (same synopsis, target, depth and mode).
+  bool coalesced = false;
+};
+
 class RequestBroker {
  public:
   RequestBroker(SynopsisRegistry* registry, ServerMetrics* metrics,
@@ -122,6 +144,17 @@ class RequestBroker {
   StatusOr<ServedAnswer> Ask(const std::string& synopsis, AttrSet target,
                              std::chrono::steady_clock::time_point deadline);
 
+  /// Admission-controlled time-series query: the target marginal across up
+  /// to `last_n` retained epochs of the named synopsis (clamped to what the
+  /// registry's history actually holds), newest first. Rides the same
+  /// queue, batching, deadline shedding and degradation tiers as Ask;
+  /// identical pending series requests in a batch share one computation.
+  StatusOr<ServedSeries> AskSeries(const std::string& synopsis, AttrSet target,
+                                   uint32_t last_n, SeriesMode mode);
+  StatusOr<ServedSeries> AskSeries(
+      const std::string& synopsis, AttrSet target, uint32_t last_n,
+      SeriesMode mode, std::chrono::steady_clock::time_point deadline);
+
   /// Requests admitted but not yet dispatched (diagnostics).
   size_t QueueDepth() const;
 
@@ -130,6 +163,9 @@ class RequestBroker {
  private:
   struct Pending;
 
+  /// Shared admission gate: stopped / draining / queue-full checks, then
+  /// the queue push and dispatcher wake-up.
+  Status Admit(std::unique_ptr<Pending> pending);
   void DispatchLoop();
   void ProcessBatch(std::deque<std::unique_ptr<Pending>> batch);
 

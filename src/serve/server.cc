@@ -50,6 +50,9 @@ PriViewServer::PriViewServer(const ServerOptions& options)
     : options_(options),
       broker_(std::make_unique<RequestBroker>(&registry_, &metrics_,
                                               options.broker)) {
+  registry_.set_history_depth(options.history_depth == 0
+                                  ? size_t{1}
+                                  : options.history_depth);
   // Queue depth is owned by the broker; pull it at scrape time. The
   // callback outlives nothing: registry, broker and metrics share this
   // object's lifetime.
@@ -483,6 +486,51 @@ std::vector<uint8_t> PriViewServer::HandleRequest(const WireRequest& request) {
                       (unsigned long long)info.epoch,
                       info.fully_intact ? 1 : 0);
         response.text += line;
+      }
+      metrics_.RecordLatency(RequestKind::kStats, MicrosSince(start));
+      return EncodeResponse(response);
+    }
+    case MessageType::kSeries: {
+      StatusOr<ServedSeries> answer = broker_->AskSeries(
+          request.synopsis, AttrSet(request.target_mask), request.last_n,
+          static_cast<SeriesMode>(request.series_mode), deadline);
+      if (!answer.ok() &&
+          answer.status().code() == StatusCode::kFailedPrecondition) {
+        // Same mapping as ask(): a stopped broker is server lifecycle, and
+        // over the wire that is a retryable condition.
+        return error(Status::Unavailable("server shutting down; retry later"));
+      }
+      if (!answer.ok()) return error(answer.status());
+      const ServedSeries& served = answer.value();
+      WireResponse response;
+      response.type = MessageType::kTableSeries;
+      response.tier = uint8_t(served.tier);
+      response.coalesced = served.coalesced ? 1 : 0;
+      response.series.reserve(served.points.size());
+      for (const SeriesPoint& point : served.points) {
+        SeriesEntry entry;
+        entry.epoch = point.epoch;
+        entry.attrs_mask = point.table.attrs().mask();
+        entry.cells = point.table.cells();
+        response.series.push_back(std::move(entry));
+      }
+      return EncodeResponse(response);
+    }
+    case MessageType::kListSynopses: {
+      // Answered inline from the registry, like kList: enumerating the
+      // catalog must work under deadline pressure and costs no solve.
+      WireResponse response;
+      response.type = MessageType::kSynopsisList;
+      for (const SynopsisInfo& info : registry_.List()) {
+        SynopsisEntry entry;
+        entry.name = info.name;
+        entry.epoch = info.epoch;
+        entry.install_unix_ms = static_cast<uint64_t>(info.install_unix_ms);
+        entry.d = static_cast<uint16_t>(info.d);
+        entry.views = static_cast<uint32_t>(info.views);
+        entry.epsilon = info.epsilon;
+        entry.fully_intact = info.fully_intact ? 1 : 0;
+        response.synopses.push_back(std::move(entry));
       }
       metrics_.RecordLatency(RequestKind::kStats, MicrosSince(start));
       return EncodeResponse(response);

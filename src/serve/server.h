@@ -69,6 +69,10 @@ struct ServerOptions {
   /// How long Drain() lets already-admitted broker work finish before
   /// closing connections. <= 0 falls back to broker.stop_grace.
   std::chrono::milliseconds drain_grace{5000};
+  /// Epochs of each synopsis the registry keeps resident for time-series
+  /// queries (kSeries). 1 = current epoch only (series of depth 1 still
+  /// answer); raising it trades memory for lookback depth.
+  size_t history_depth = 1;
 };
 
 class PriViewServer {

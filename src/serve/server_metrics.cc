@@ -14,6 +14,8 @@ const char* RequestKindName(RequestKind kind) {
       return "cube";
     case RequestKind::kStats:
       return "stats";
+    case RequestKind::kSeries:
+      return "series";
   }
   return "unknown";
 }

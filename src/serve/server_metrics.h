@@ -39,8 +39,10 @@ enum class RequestKind : int {
   kConjunction = 1,
   kCube = 2,
   kStats = 3,
+  /// Time-series query: one marginal per retained epoch (or trend deltas).
+  kSeries = 4,
 };
-inline constexpr int kRequestKindCount = 4;
+inline constexpr int kRequestKindCount = 5;
 const char* RequestKindName(RequestKind kind);
 
 /// Degradation tier that produced an answer (the PR 1 fallback chain as

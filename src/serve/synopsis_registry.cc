@@ -1,15 +1,50 @@
 #include "serve/synopsis_registry.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/failpoint.h"
 
 namespace priview::serve {
 
+namespace {
+
+int64_t NowUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 Status SynopsisRegistry::Install(const std::string& name,
                                  PriViewSynopsis synopsis,
                                  const QueryEngineOptions& engine_options,
                                  LoadReport report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InstallLocked(name, std::move(synopsis), /*explicit_epoch=*/0,
+                       engine_options, std::move(report));
+}
+
+Status SynopsisRegistry::InstallAtEpoch(const std::string& name,
+                                        PriViewSynopsis synopsis,
+                                        uint64_t epoch,
+                                        const QueryEngineOptions& engine_options,
+                                        LoadReport report) {
+  if (epoch == 0) {
+    return Status::InvalidArgument("explicit epoch must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return InstallLocked(name, std::move(synopsis), epoch, engine_options,
+                       std::move(report));
+}
+
+Status SynopsisRegistry::InstallLocked(const std::string& name,
+                                       PriViewSynopsis synopsis,
+                                       uint64_t explicit_epoch,
+                                       const QueryEngineOptions& engine_options,
+                                       LoadReport report) {
   if (name.empty()) {
     return Status::InvalidArgument("synopsis name must be non-empty");
   }
@@ -17,18 +52,33 @@ Status SynopsisRegistry::Install(const std::string& name,
     return Status::FailedPrecondition("synopsis '" + name +
                                       "' has no views to serve from");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  if (explicit_epoch != 0) {
+    auto it = hosted_.find(name);
+    if (it != hosted_.end() && it->second->epoch() >= explicit_epoch) {
+      return Status::FailedPrecondition(
+          "epoch for '" + name + "' would move backward: hosting " +
+          std::to_string(it->second->epoch()) + ", asked to install " +
+          std::to_string(explicit_epoch));
+    }
+  }
   if (PRIVIEW_FAILPOINT("serve/swap-race")) {
     return Status::FailedPrecondition(
         "injected: serve/swap-race — hot-swap of '" + name +
         "' lost a concurrent swap; previous release still live, retry");
   }
-  const uint64_t epoch = next_epoch_++;
+  const uint64_t epoch =
+      explicit_epoch != 0 ? explicit_epoch : next_epoch_++;
+  if (next_epoch_ <= epoch) next_epoch_ = epoch + 1;
   // The swap is this one shared_ptr assignment: readers that Acquire()d
   // the old release keep it alive through their queries; new Acquires see
   // the new release atomically.
-  hosted_[name] = std::make_shared<HostedSynopsis>(
-      name, std::move(synopsis), engine_options, std::move(report), epoch);
+  auto hosted = std::make_shared<HostedSynopsis>(
+      name, std::move(synopsis), engine_options, std::move(report), epoch,
+      NowUnixMs());
+  hosted_[name] = hosted;
+  std::deque<std::shared_ptr<const HostedSynopsis>>& series = history_[name];
+  series.push_back(std::move(hosted));
+  while (series.size() > history_depth_) series.pop_front();
   ++install_count_;
   return Status::OK();
 }
@@ -55,12 +105,52 @@ StatusOr<std::shared_ptr<const HostedSynopsis>> SynopsisRegistry::Acquire(
   return it->second;
 }
 
+StatusOr<std::vector<std::shared_ptr<const HostedSynopsis>>>
+SynopsisRegistry::AcquireSeries(const std::string& name,
+                                size_t last_n) const {
+  if (last_n == 0) {
+    return Status::InvalidArgument("series length must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = history_.find(name);
+  if (it == history_.end() || it->second.empty()) {
+    return Status::NotFound("no synopsis named '" + name + "'");
+  }
+  const std::deque<std::shared_ptr<const HostedSynopsis>>& series = it->second;
+  std::vector<std::shared_ptr<const HostedSynopsis>> out;
+  const size_t n = std::min(last_n, series.size());
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(series[series.size() - 1 - i]);  // newest first
+  }
+  return out;
+}
+
 Status SynopsisRegistry::Remove(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   if (hosted_.erase(name) == 0) {
     return Status::NotFound("no synopsis named '" + name + "'");
   }
+  history_.erase(name);
   return Status::OK();
+}
+
+void SynopsisRegistry::set_history_depth(size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  history_depth_ = depth < 1 ? 1 : depth;
+  for (auto& [name, series] : history_) {
+    while (series.size() > history_depth_) series.pop_front();
+  }
+}
+
+size_t SynopsisRegistry::history_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_depth_;
+}
+
+void SynopsisRegistry::EnsureEpochAtLeast(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_epoch_ < epoch) next_epoch_ = epoch;
 }
 
 std::vector<SynopsisInfo> SynopsisRegistry::List() const {
@@ -74,6 +164,7 @@ std::vector<SynopsisInfo> SynopsisRegistry::List() const {
     info.views = hosted->synopsis().views().size();
     info.epsilon = hosted->synopsis().options().epsilon;
     info.epoch = hosted->epoch();
+    info.install_unix_ms = hosted->install_unix_ms();
     info.fully_intact = hosted->load_report().fully_intact();
     out.push_back(std::move(info));
   }

@@ -11,10 +11,19 @@
 // Epochs: every successful install gets a registry-global, monotonically
 // increasing epoch. Responses carry the answering epoch so an analyst (or
 // a test) can tell exactly which release produced an answer across a swap.
+// Store-driven installs pass their durable manifest seq as the epoch
+// (InstallAtEpoch), so epochs stay monotonic across process restarts; the
+// auto-assigned counter always stays above any explicit epoch seen.
+//
+// History: with set_history_depth(n > 1) the registry retains up to n
+// releases per name (the current one plus its predecessors), the substrate
+// for time-series queries — AcquireSeries pins the last N epochs the same
+// way Acquire pins one.
 #ifndef PRIVIEW_SERVE_SYNOPSIS_REGISTRY_H_
 #define PRIVIEW_SERVE_SYNOPSIS_REGISTRY_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,12 +44,13 @@ class HostedSynopsis {
  public:
   HostedSynopsis(std::string name, PriViewSynopsis synopsis,
                  const QueryEngineOptions& engine_options, LoadReport report,
-                 uint64_t epoch)
+                 uint64_t epoch, int64_t install_unix_ms)
       : name_(std::move(name)),
         synopsis_(std::move(synopsis)),
         engine_(&synopsis_, engine_options),
         report_(std::move(report)),
-        epoch_(epoch) {}
+        epoch_(epoch),
+        install_unix_ms_(install_unix_ms) {}
   HostedSynopsis(const HostedSynopsis&) = delete;
   HostedSynopsis& operator=(const HostedSynopsis&) = delete;
 
@@ -49,6 +59,8 @@ class HostedSynopsis {
   const QueryEngine& engine() const { return engine_; }
   const LoadReport& load_report() const { return report_; }
   uint64_t epoch() const { return epoch_; }
+  /// Wall-clock install time (unix epoch milliseconds).
+  int64_t install_unix_ms() const { return install_unix_ms_; }
 
  private:
   std::string name_;
@@ -56,6 +68,7 @@ class HostedSynopsis {
   QueryEngine engine_;
   LoadReport report_;
   uint64_t epoch_;
+  int64_t install_unix_ms_;
 };
 
 /// Summary row for the list request (and logs).
@@ -65,6 +78,7 @@ struct SynopsisInfo {
   size_t views = 0;
   double epsilon = 0.0;
   uint64_t epoch = 0;
+  int64_t install_unix_ms = 0;
   bool fully_intact = true;
 };
 
@@ -85,6 +99,16 @@ class SynopsisRegistry {
                  const QueryEngineOptions& engine_options = {},
                  LoadReport report = {});
 
+  /// Install with a caller-chosen epoch — the durable store seq, so
+  /// registry epochs survive restarts. `epoch` must be positive and
+  /// strictly greater than the epoch currently hosted under `name`
+  /// (FailedPrecondition otherwise: per-name epochs never move backward).
+  /// The auto-assign counter is floored above `epoch` afterwards.
+  Status InstallAtEpoch(const std::string& name, PriViewSynopsis synopsis,
+                        uint64_t epoch,
+                        const QueryEngineOptions& engine_options = {},
+                        LoadReport report = {});
+
   /// Loads the v2 (or legacy v1) serialized synopsis at `path` and
   /// installs it under `name`, surfacing the LoadReport: with
   /// read_options.recover set, a partially damaged file still installs and
@@ -100,9 +124,28 @@ class SynopsisRegistry {
   StatusOr<std::shared_ptr<const HostedSynopsis>> Acquire(
       const std::string& name) const;
 
-  /// Removes `name` from the registry. In-flight queries holding an
-  /// acquired shared_ptr finish normally. NotFound if absent.
+  /// The last min(last_n, retained) releases of `name`, newest first
+  /// (index 0 is the currently served epoch), each pinned like Acquire.
+  /// With the default history depth of 1 this is just the current release.
+  StatusOr<std::vector<std::shared_ptr<const HostedSynopsis>>> AcquireSeries(
+      const std::string& name, size_t last_n) const;
+
+  /// Removes `name` (and its retained history) from the registry.
+  /// In-flight queries holding an acquired shared_ptr finish normally.
+  /// NotFound if absent.
   Status Remove(const std::string& name);
+
+  /// Retains up to `depth` >= 1 releases per name (current + that many
+  /// predecessors minus one). Default 1: hot-swap frees the old release
+  /// as soon as in-flight queries drain, exactly the pre-history behavior.
+  void set_history_depth(size_t depth);
+  size_t history_depth() const;
+
+  /// Raises the auto-assign epoch floor so the next auto-assigned epoch is
+  /// at least `epoch`. Recovery calls this with the manifest's last
+  /// durable seq + 1 so fresh in-memory installs never reuse an epoch a
+  /// previous incarnation already published.
+  void EnsureEpochAtLeast(uint64_t epoch);
 
   std::vector<SynopsisInfo> List() const;
   size_t size() const;
@@ -110,8 +153,18 @@ class SynopsisRegistry {
   uint64_t install_count() const;
 
  private:
+  Status InstallLocked(const std::string& name, PriViewSynopsis synopsis,
+                       uint64_t explicit_epoch,
+                       const QueryEngineOptions& engine_options,
+                       LoadReport report);
+
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const HostedSynopsis>> hosted_;
+  /// Per-name retained releases, oldest -> newest; the back entry is the
+  /// same shared_ptr as hosted_[name]. Capped at history_depth_.
+  std::map<std::string, std::deque<std::shared_ptr<const HostedSynopsis>>>
+      history_;
+  size_t history_depth_ = 1;
   uint64_t next_epoch_ = 1;
   uint64_t install_count_ = 0;
 };

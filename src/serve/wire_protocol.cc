@@ -99,12 +99,12 @@ class ByteReader {
 
 bool IsRequestType(uint8_t t) {
   return t >= uint8_t(MessageType::kMarginal) &&
-         t <= uint8_t(MessageType::kHealth);
+         t <= uint8_t(MessageType::kListSynopses);
 }
 
 bool IsResponseType(uint8_t t) {
   return t >= uint8_t(MessageType::kTable) &&
-         t <= uint8_t(MessageType::kError);
+         t <= uint8_t(MessageType::kSynopsisList);
 }
 
 }  // namespace
@@ -120,6 +120,8 @@ bool IsIdempotentRequest(MessageType type) {
     case MessageType::kList:
     case MessageType::kMetrics:
     case MessageType::kHealth:
+    case MessageType::kSeries:
+    case MessageType::kListSynopses:
       // Reads against an immutable release: re-execution is free.
       return true;
     default:
@@ -165,10 +167,18 @@ std::vector<uint8_t> EncodeRequest(const WireRequest& request) {
       w.U64(request.assignment);
       w.U32(request.deadline_ms);
       break;
+    case MessageType::kSeries:
+      w.Str(request.synopsis);
+      w.U64(request.target_mask);
+      w.U32(request.last_n);
+      w.U8(request.series_mode);
+      w.U32(request.deadline_ms);
+      break;
     case MessageType::kStats:
     case MessageType::kList:
     case MessageType::kMetrics:
     case MessageType::kHealth:
+    case MessageType::kListSynopses:
       break;
     default:
       break;  // encoded as a bare (undecodable) type byte
@@ -216,10 +226,16 @@ StatusOr<WireRequest> DecodeRequest(const std::vector<uint8_t>& payload) {
                 r.U64(&request.aux_mask), r.U64(&request.assignment),
                 r.U32(&request.deadline_ms)});
       break;
+    case MessageType::kSeries:
+      st = all({r.Str(&request.synopsis), r.U64(&request.target_mask),
+                r.U32(&request.last_n), r.U8(&request.series_mode),
+                r.U32(&request.deadline_ms)});
+      break;
     case MessageType::kStats:
     case MessageType::kList:
     case MessageType::kMetrics:
     case MessageType::kHealth:
+    case MessageType::kListSynopses:
       break;
     default:
       return Status::Internal("unreachable request type");
@@ -258,6 +274,29 @@ std::vector<uint8_t> EncodeResponse(const WireResponse& response) {
     case MessageType::kError:
       w.I32(response.code);
       w.Str(response.message);
+      break;
+    case MessageType::kTableSeries:
+      w.U8(response.tier);
+      w.U8(response.coalesced);
+      w.U32(uint32_t(response.series.size()));
+      for (const SeriesEntry& entry : response.series) {
+        w.U64(entry.epoch);
+        w.U64(entry.attrs_mask);
+        w.U32(uint32_t(entry.cells.size()));
+        for (double c : entry.cells) w.F64(c);
+      }
+      break;
+    case MessageType::kSynopsisList:
+      w.U32(uint32_t(response.synopses.size()));
+      for (const SynopsisEntry& entry : response.synopses) {
+        w.Str(entry.name);
+        w.U64(entry.epoch);
+        w.U64(entry.install_unix_ms);
+        w.U16(entry.d);
+        w.U32(entry.views);
+        w.F64(entry.epsilon);
+        w.U8(entry.fully_intact);
+      }
       break;
     default:
       break;
@@ -309,6 +348,56 @@ StatusOr<WireResponse> DecodeResponse(const std::vector<uint8_t>& payload) {
       st = r.I32(&response.code);
       if (st.ok()) st = r.Str(&response.message);
       break;
+    case MessageType::kTableSeries: {
+      st = r.U8(&response.tier);
+      if (st.ok()) st = r.U8(&response.coalesced);
+      uint32_t entry_count = 0;
+      if (st.ok()) st = r.U32(&entry_count);
+      if (!st.ok()) return st;
+      // Each entry needs >= 20 bytes of payload even when empty; bound
+      // before allocating, a hostile header must not drive allocation.
+      if (size_t(entry_count) * 20 > payload.size()) {
+        return Status::DataLoss("series entry count exceeds payload");
+      }
+      response.series.resize(entry_count);
+      for (uint32_t i = 0; i < entry_count && st.ok(); ++i) {
+        SeriesEntry& entry = response.series[i];
+        st = r.U64(&entry.epoch);
+        if (st.ok()) st = r.U64(&entry.attrs_mask);
+        uint32_t cell_count = 0;
+        if (st.ok()) st = r.U32(&cell_count);
+        if (!st.ok()) break;
+        if (size_t(cell_count) * 8 > payload.size()) {
+          return Status::DataLoss("series cell count exceeds payload");
+        }
+        entry.cells.resize(cell_count);
+        for (uint32_t c = 0; c < cell_count && st.ok(); ++c) {
+          st = r.F64(&entry.cells[c]);
+        }
+      }
+      break;
+    }
+    case MessageType::kSynopsisList: {
+      uint32_t count = 0;
+      st = r.U32(&count);
+      if (!st.ok()) return st;
+      // Each entry needs >= 25 bytes even with an empty name.
+      if (size_t(count) * 25 > payload.size()) {
+        return Status::DataLoss("synopsis count exceeds payload");
+      }
+      response.synopses.resize(count);
+      for (uint32_t i = 0; i < count && st.ok(); ++i) {
+        SynopsisEntry& entry = response.synopses[i];
+        st = r.Str(&entry.name);
+        if (st.ok()) st = r.U64(&entry.epoch);
+        if (st.ok()) st = r.U64(&entry.install_unix_ms);
+        if (st.ok()) st = r.U16(&entry.d);
+        if (st.ok()) st = r.U32(&entry.views);
+        if (st.ok()) st = r.F64(&entry.epsilon);
+        if (st.ok()) st = r.U8(&entry.fully_intact);
+      }
+      break;
+    }
     default:
       return Status::Internal("unreachable response type");
   }

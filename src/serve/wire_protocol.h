@@ -24,6 +24,11 @@
 //   kHealth            (empty) — readiness/liveness probe via kText; the
 //                      server answers this without touching the broker, so
 //                      it works while draining or before recovery finishes
+//   kSeries            name, u64 target mask, u32 last_n, u8 mode
+//                      (0 = per-epoch marginals, 1 = trend deltas:
+//                      current minus each older epoch), u32 deadline_ms
+//   kListSynopses      (empty) — name/epoch/install-time per release via
+//                      kSynopsisList
 //
 //   response           payload after the type byte
 //   ----------------   -------------------------------------------------
@@ -32,6 +37,12 @@
 //   kValue             u8 tier, u8 coalesced, u64 epoch, double
 //   kText              string
 //   kError             i32 status code, string message
+//   kTableSeries       u8 tier, u8 coalesced, u32 entry count, then per
+//                      entry (newest first): u64 epoch, u64 attrs mask,
+//                      u32 cell count, doubles
+//   kSynopsisList      u32 count, then per entry: name, u64 epoch,
+//                      u64 install unix ms, u16 d, u32 views, f64 epsilon,
+//                      u8 fully_intact
 //
 // deadline_ms is relative (milliseconds from server receipt); 0 means the
 // broker default. Failure modes are first-class: a torn frame (peer died
@@ -71,11 +82,25 @@ enum class MessageType : uint8_t {
   kList = 7,
   kMetrics = 8,
   kHealth = 9,
+  kSeries = 10,
+  kListSynopses = 11,
   // Responses.
   kTable = 64,
   kValue = 65,
   kText = 66,
   kError = 67,
+  kTableSeries = 68,
+  kSynopsisList = 69,
+};
+
+/// kSeries request modes.
+enum class SeriesMode : uint8_t {
+  /// One marginal per retained epoch, newest first.
+  kLevels = 0,
+  /// Trend deltas: entry 0 is the current epoch's marginal; every later
+  /// entry is (current - that epoch) cellwise, tagged with the older
+  /// epoch — "how much has this marginal moved since epoch e".
+  kDeltas = 1,
 };
 
 /// A decoded request. Fields are per-type (see the table above); unused
@@ -88,13 +113,33 @@ struct WireRequest {
   uint64_t assignment = 0;   // conjunction assignment / dice values
   uint8_t attr = 0;          // slice attribute
   uint8_t value = 0;         // slice value
+  uint32_t last_n = 0;       // series: epochs requested
+  uint8_t series_mode = 0;   // series: SeriesMode
   uint32_t deadline_ms = 0;  // 0 = broker default
+};
+
+/// One epoch's table inside a kTableSeries response.
+struct SeriesEntry {
+  uint64_t epoch = 0;
+  uint64_t attrs_mask = 0;
+  std::vector<double> cells;
+};
+
+/// One registered release inside a kSynopsisList response.
+struct SynopsisEntry {
+  std::string name;
+  uint64_t epoch = 0;
+  uint64_t install_unix_ms = 0;
+  uint16_t d = 0;
+  uint32_t views = 0;
+  double epsilon = 0.0;
+  uint8_t fully_intact = 1;
 };
 
 /// A decoded response.
 struct WireResponse {
   MessageType type = MessageType::kError;
-  // kTable / kValue serving metadata.
+  // kTable / kValue / kTableSeries serving metadata.
   uint8_t tier = 0;
   uint8_t coalesced = 0;
   uint64_t epoch = 0;
@@ -108,6 +153,10 @@ struct WireResponse {
   // kError payload.
   int32_t code = 0;
   std::string message;
+  // kTableSeries payload (newest first).
+  std::vector<SeriesEntry> series;
+  // kSynopsisList payload.
+  std::vector<SynopsisEntry> synopses;
 
   /// Reassembles the kTable payload as a MarginalTable. InvalidArgument
   /// when the cell count does not match 2^|attrs| (a malformed or hostile

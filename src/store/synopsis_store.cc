@@ -89,12 +89,22 @@ Status SyncDir(const std::string& dir) {
   return st;
 }
 
+const char* KindName(ManifestRecord::Kind kind) {
+  switch (kind) {
+    case ManifestRecord::Kind::kInstall:
+      return "install";
+    case ManifestRecord::Kind::kRetire:
+      return "retire";
+    case ManifestRecord::Kind::kGc:
+      return "gc";
+  }
+  return "unknown";
+}
+
 /// The checksummed payload of a record line (everything before " sum=").
 std::string RecordBody(const ManifestRecord& r) {
   std::ostringstream ss;
-  ss << r.seq << ' '
-     << (r.kind == ManifestRecord::Kind::kInstall ? "install" : "retire")
-     << ' ' << r.name << ' ' << r.file;
+  ss << r.seq << ' ' << KindName(r.kind) << ' ' << r.name << ' ' << r.file;
   return ss.str();
 }
 
@@ -121,6 +131,8 @@ bool ParseRecordLine(const std::string& line, ManifestRecord* out) {
     out->kind = ManifestRecord::Kind::kInstall;
   } else if (kind == "retire") {
     out->kind = ManifestRecord::Kind::kRetire;
+  } else if (kind == "gc") {
+    out->kind = ManifestRecord::Kind::kGc;
   } else {
     return false;
   }
@@ -145,6 +157,13 @@ obs::Counter* RecoveriesCounter() {
   static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
       "priview_store_recoveries_total", {},
       "Completed startup recovery scans");
+  return c;
+}
+
+obs::Counter* GcCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "priview_store_gc_total", {},
+      "Superseded epoch files garbage-collected beyond the retention depth");
   return c;
 }
 
@@ -195,6 +214,7 @@ Status SynopsisStore::Open() {
   }
 
   current_.clear();
+  history_.clear();
   journaled_files_.clear();
   next_seq_ = 1;
   last_durable_seq_ = 0;
@@ -249,10 +269,24 @@ Status SynopsisStore::Open() {
         ++records_replayed_;
         if (record.seq > last_durable_seq_) last_durable_seq_ = record.seq;
         journaled_files_[record.file] = true;
-        if (record.kind == ManifestRecord::Kind::kInstall) {
-          current_[record.name] = record.file;
-        } else {
-          current_.erase(record.name);
+        switch (record.kind) {
+          case ManifestRecord::Kind::kInstall:
+            current_[record.name] = record.file;
+            history_[record.name].emplace_back(record.seq, record.file);
+            break;
+          case ManifestRecord::Kind::kRetire:
+            current_.erase(record.name);
+            history_.erase(record.name);
+            break;
+          case ManifestRecord::Kind::kGc: {
+            auto hist = history_.find(record.name);
+            if (hist != history_.end()) {
+              std::erase_if(hist->second, [&](const auto& entry) {
+                return entry.second == record.file;
+              });
+            }
+            break;
+          }
         }
         pos = line_end + 1;
         good_len = pos;
@@ -368,14 +402,33 @@ Status SynopsisStore::Install(const std::string& name,
   st = AppendRecord(record);
   if (!st.ok()) return st;
 
-  auto prev = current_.find(name);
-  if (prev != current_.end() && prev->second != file) {
-    // Superseded release: journaled garbage now, safe to reclaim.
-    ::unlink(PathOf(prev->second).c_str());
-  }
   current_[name] = file;
   journaled_files_[file] = true;
   last_durable_seq_ = seq;
+  history_[name].emplace_back(seq, file);
+
+  // GC beyond the retention depth: journal the reclaim first, unlink
+  // second, so replay never resurrects a file the directory lost (and a
+  // crash between the two leaves journaled garbage Recover() deletes). A
+  // failed gc append leaves the file retained — never silently dropped.
+  const size_t retain =
+      options_.retention_depth < 1
+          ? 1
+          : static_cast<size_t>(options_.retention_depth);
+  std::vector<std::pair<uint64_t, std::string>>& releases = history_[name];
+  while (releases.size() > retain) {
+    ManifestRecord gc;
+    gc.seq = next_seq_++;
+    gc.kind = ManifestRecord::Kind::kGc;
+    gc.name = name;
+    gc.file = releases.front().second;
+    const Status gc_st = AppendRecord(gc);
+    if (!gc_st.ok()) break;  // install itself already durable; retry later
+    last_durable_seq_ = gc.seq;
+    ::unlink(PathOf(gc.file).c_str());
+    releases.erase(releases.begin());
+    GcCounter()->Increment();
+  }
 
   InstallsCounter()->Increment();
   InstallLatency()->Observe(static_cast<uint64_t>(
@@ -398,7 +451,17 @@ Status SynopsisStore::Retire(const std::string& name) {
   record.file = it->second;
   const Status st = AppendRecord(record);
   if (!st.ok()) return st;
-  ::unlink(PathOf(it->second).c_str());
+  // Retire drops the whole name, retained history included (the journal's
+  // retire record already orphans every prior install for the name).
+  auto hist = history_.find(name);
+  if (hist != history_.end()) {
+    for (const auto& [seq, file] : hist->second) {
+      ::unlink(PathOf(file).c_str());
+    }
+    history_.erase(hist);
+  } else {
+    ::unlink(PathOf(it->second).c_str());
+  }
   current_.erase(it);
   last_durable_seq_ = record.seq;
   RetiresCounter()->Increment();
@@ -431,42 +494,59 @@ StatusOr<RecoveryReport> SynopsisStore::Recover(
   report.last_durable_seq = last_durable_seq_;
   report.warnings = pending_warnings_;
 
-  // Phase 1: load everything the journal says is current. Only fully
-  // intact artifacts reach the registry — a damaged current file is
-  // quarantined, never served at reduced fidelity without an operator in
-  // the loop (a durable install was whole by construction, so damage here
-  // means bit rot or tampering, not a routine partial write).
-  for (auto it = current_.begin(); it != current_.end();) {
-    const std::string& name = it->first;
-    const std::string& file = it->second;
-    LoadReport load_report;
-    ReadOptions read_options;
-    read_options.recover = true;
-    StatusOr<PriViewSynopsis> loaded =
-        LoadSynopsis(PathOf(file), read_options, &load_report);
-    bool keep = false;
-    if (!loaded.ok()) {
-      (void)QuarantineFile(file, "unloadable: " + loaded.status().message(),
-                           &report);
-    } else if (!load_report.fully_intact()) {
-      (void)QuarantineFile(file, "not fully intact: " + load_report.ToString(),
-                           &report);
-    } else if (registry != nullptr) {
-      const Status st = registry->Install(name, std::move(loaded).value(),
-                                          engine_options, load_report);
-      if (st.ok()) {
-        report.loads[name] = load_report;
-        keep = true;
+  // Phase 1: load everything the journal says is retained — every name's
+  // history oldest-first, so the registry rebuilds the same epoch series
+  // (epoch = manifest seq) a previous incarnation served. Only fully
+  // intact artifacts reach the registry — a damaged file is quarantined,
+  // never served at reduced fidelity without an operator in the loop (a
+  // durable install was whole by construction, so damage here means bit
+  // rot or tampering, not a routine partial write).
+  if (registry != nullptr) {
+    // Fresh in-memory installs must never reuse an epoch a previous
+    // incarnation already published, even if every file was damaged.
+    registry->EnsureEpochAtLeast(last_durable_seq_ + 1);
+  }
+  for (auto& [name, releases] : history_) {
+    for (auto it = releases.begin(); it != releases.end();) {
+      const uint64_t seq = it->first;
+      const std::string file = it->second;
+      const bool is_current = (std::next(it) == releases.end());
+      LoadReport load_report;
+      ReadOptions read_options;
+      read_options.recover = true;
+      StatusOr<PriViewSynopsis> loaded =
+          LoadSynopsis(PathOf(file), read_options, &load_report);
+      bool keep = false;
+      if (!loaded.ok()) {
+        (void)QuarantineFile(file, "unloadable: " + loaded.status().message(),
+                             &report);
+      } else if (!load_report.fully_intact()) {
+        (void)QuarantineFile(
+            file, "not fully intact: " + load_report.ToString(), &report);
+      } else if (registry != nullptr) {
+        const Status st =
+            registry->InstallAtEpoch(name, std::move(loaded).value(), seq,
+                                     engine_options, load_report);
+        if (st.ok()) {
+          if (is_current) report.loads[name] = load_report;
+          keep = true;
+        } else {
+          report.warnings.push_back("registry install of '" + name + "' @" +
+                                    std::to_string(seq) +
+                                    " failed: " + st.message());
+          keep = true;  // the artifact itself is healthy; leave it in place
+        }
       } else {
-        report.warnings.push_back("registry install of '" + name +
-                                  "' failed: " + st.message());
-        keep = true;  // the artifact itself is healthy; leave it in place
+        if (is_current) report.loads[name] = load_report;
+        keep = true;
       }
-    } else {
-      report.loads[name] = load_report;
-      keep = true;
+      if (keep) {
+        ++it;
+      } else {
+        if (is_current) current_.erase(name);
+        it = releases.erase(it);
+      }
     }
-    it = keep ? std::next(it) : current_.erase(it);
   }
 
   // Phase 2: reconcile the directory against the journal. Temp files are
@@ -474,6 +554,9 @@ StatusOr<RecoveryReport> SynopsisStore::Recover(
   // anything the journal never mentioned is quarantined evidence (e.g. the
   // rename-then-crash window before the manifest append).
   std::map<std::string, bool> live;
+  for (const auto& [name, releases] : history_) {
+    for (const auto& [seq, file] : releases) live[file] = true;
+  }
   for (const auto& [name, file] : current_) live[file] = true;
   DIR* dir = ::opendir(options_.dir.c_str());
   if (dir == nullptr) {
@@ -512,6 +595,13 @@ StatusOr<RecoveryReport> SynopsisStore::Recover(
 
 std::map<std::string, std::string> SynopsisStore::Current() const {
   return current_;
+}
+
+std::vector<std::pair<uint64_t, std::string>> SynopsisStore::History(
+    const std::string& name) const {
+  auto it = history_.find(name);
+  if (it == history_.end()) return {};
+  return it->second;
 }
 
 }  // namespace priview::store

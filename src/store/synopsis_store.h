@@ -31,12 +31,19 @@
 //   instead of deleting or serving it. Superseded files (journaled, then
 //   replaced by a later install) are deleted: the journal says they are
 //   garbage, not evidence.
+//
+//   Retention (StoreOptions::retention_depth): the store keeps the last k
+//   releases per name — the epoch history time-series queries read. The
+//   install path garbage-collects beyond that depth by journaling a `gc`
+//   record and then unlinking, so replay and the directory always agree
+//   on which old epochs are retained and which are reclaimed garbage.
 #ifndef PRIVIEW_STORE_SYNOPSIS_STORE_H_
 #define PRIVIEW_STORE_SYNOPSIS_STORE_H_
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -51,14 +58,20 @@ struct StoreOptions {
   /// Store root. Created (one level) if absent; `quarantine/` lives
   /// inside it.
   std::string dir;
+  /// Releases retained per name: the current one plus retention_depth - 1
+  /// predecessors. Older releases are garbage-collected at install time —
+  /// journaled with a `gc` record, then unlinked — so a long-running
+  /// streaming service does not grow the store unboundedly. The default 1
+  /// keeps only the current release (the pre-streaming behavior).
+  int retention_depth = 1;
 };
 
 /// One replayed manifest record.
 struct ManifestRecord {
   uint64_t seq = 0;
-  enum class Kind { kInstall, kRetire } kind = Kind::kInstall;
+  enum class Kind { kInstall, kRetire, kGc } kind = Kind::kInstall;
   std::string name;
-  std::string file;  // install: filename relative to the store dir
+  std::string file;  // install/gc: filename relative to the store dir
 };
 
 /// What a recovery scan found and did. `loads` carries the per-synopsis
@@ -107,13 +120,27 @@ class SynopsisStore {
   /// a current file that is missing, unloadable, or not fully intact is
   /// quarantined and NOT installed — the registry only ever sees complete
   /// durable releases. Safe to call on an empty or freshly created store.
+  ///
+  /// Retained history (retention_depth > 1) is installed oldest-first at
+  /// epoch = manifest seq, so the registry rebuilds the same per-name
+  /// epoch series a previous incarnation served, and its auto-epoch floor
+  /// is raised past the last durable seq — registry epochs are monotonic
+  /// across restarts.
   StatusOr<RecoveryReport> Recover(serve::SynopsisRegistry* registry,
                                    const QueryEngineOptions& engine_options = {});
 
   /// The current durable view per the journal: name -> filename.
   std::map<std::string, std::string> Current() const;
+  /// Retained releases of `name`, oldest -> newest (seq, filename); the
+  /// back entry is the current release. Empty if the name is unknown.
+  std::vector<std::pair<uint64_t, std::string>> History(
+      const std::string& name) const;
   const std::string& dir() const { return options_.dir; }
   uint64_t next_seq() const { return next_seq_; }
+  /// Seq of the most recent durably journaled record; after a successful
+  /// Install this is that install's seq (the epoch streaming publishers
+  /// hand to SynopsisRegistry::InstallAtEpoch).
+  uint64_t last_durable_seq() const { return last_durable_seq_; }
 
  private:
   Status AppendRecord(const ManifestRecord& record);
@@ -126,6 +153,11 @@ class SynopsisStore {
   uint64_t next_seq_ = 1;
   /// name -> current filename (journal replay state).
   std::map<std::string, std::string> current_;
+  /// name -> retained (seq, file) releases, oldest -> newest. The back
+  /// entry mirrors current_. Trimmed by install-time GC, never by replay
+  /// (a shrunken retention_depth takes effect at the next install).
+  std::map<std::string, std::vector<std::pair<uint64_t, std::string>>>
+      history_;
   /// Every filename any replayed record ever mentioned — distinguishes
   /// "superseded garbage" (delete) from "unjournaled orphan" (quarantine).
   std::map<std::string, bool> journaled_files_;

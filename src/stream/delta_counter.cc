@@ -1,0 +1,88 @@
+#include "stream/delta_counter.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace priview::stream {
+
+DeltaViewCounter::DeltaViewCounter(int d, std::vector<AttrSet> views)
+    : d_(d), views_(std::move(views)) {
+  counts_.reserve(views_.size());
+  for (const AttrSet& view : views_) counts_.emplace_back(view);
+}
+
+StatusOr<DeltaViewCounter> DeltaViewCounter::Create(
+    int d, std::vector<AttrSet> views) {
+  if (d < 1 || d > 64) {
+    return Status::InvalidArgument("dimension out of range: " +
+                                   std::to_string(d));
+  }
+  if (views.empty()) return Status::InvalidArgument("no views to count");
+  for (const AttrSet& view : views) {
+    if (view.empty() || !view.IsSubsetOf(AttrSet::Full(d))) {
+      return Status::InvalidArgument("view scope outside dataset universe: " +
+                                     view.ToString());
+    }
+  }
+  return DeltaViewCounter(d, std::move(views));
+}
+
+void DeltaViewCounter::ApplyDelta(const EpochDelta& delta) {
+  last_stats_ = DeltaStats{};
+  last_stats_.records_added = delta.added.size();
+  last_stats_.records_removed = delta.removed.size();
+
+  uint64_t touched = 0;
+  for (uint64_t record : delta.added) touched |= record;
+  for (uint64_t record : delta.removed) touched |= record;
+
+  // Partition: views disjoint from every set bit in the delta shift at
+  // cell 0 only; the rest get the fused counting pass over the delta.
+  std::vector<size_t> recount_index;
+  std::vector<AttrSet> recount_views;
+  const double shift = static_cast<double>(delta.added.size()) -
+                       static_cast<double>(delta.removed.size());
+  for (size_t i = 0; i < views_.size(); ++i) {
+    if ((views_[i].mask() & touched) != 0) {
+      recount_index.push_back(i);
+      recount_views.push_back(views_[i]);
+    } else {
+      counts_[i].At(0) += shift;
+      ++last_stats_.views_shifted;
+    }
+  }
+  last_stats_.views_recounted = recount_index.size();
+  if (recount_index.empty()) return;
+
+  if (!delta.added.empty()) {
+    const Dataset added(d_, delta.added);
+    const std::vector<MarginalTable> add_counts =
+        added.CountMarginals(recount_views);
+    for (size_t k = 0; k < recount_index.size(); ++k) {
+      std::vector<double>& cells = counts_[recount_index[k]].cells();
+      const std::vector<double>& inc = add_counts[k].cells();
+      for (size_t c = 0; c < cells.size(); ++c) cells[c] += inc[c];
+    }
+  }
+  if (!delta.removed.empty()) {
+    const Dataset removed(d_, delta.removed);
+    const std::vector<MarginalTable> rem_counts =
+        removed.CountMarginals(recount_views);
+    for (size_t k = 0; k < recount_index.size(); ++k) {
+      std::vector<double>& cells = counts_[recount_index[k]].cells();
+      const std::vector<double>& dec = rem_counts[k].cells();
+      for (size_t c = 0; c < cells.size(); ++c) cells[c] -= dec[c];
+    }
+  }
+}
+
+void DeltaViewCounter::ResetFromWindow(const Dataset& window) {
+  PRIVIEW_CHECK(window.d() == d_);
+  counts_ = window.CountMarginals(views_);
+  last_stats_ = DeltaStats{};
+  last_stats_.views_recounted = views_.size();
+  last_stats_.records_added = window.size();
+}
+
+}  // namespace priview::stream

@@ -1,0 +1,77 @@
+// DeltaViewCounter — maintains the exact per-view marginal counts of a
+// moving record window incrementally, so an epoch that changes 1% of the
+// window costs 1% of a full recount.
+//
+// Correctness (the bit-identity argument, DESIGN.md §16): a record
+// contributes exactly +1 to exactly one cell of every view — the cell
+// indexed by its projection onto the view's attributes. Counts are exact
+// integers stored in doubles, and integers up to 2^53 add and subtract
+// exactly in IEEE-754, so applying a delta (add the entering records'
+// counts, subtract the leaving records') yields the *same doubles* as
+// recounting the window from scratch. Two refinements keep the delta pass
+// cheap:
+//   - Views whose attribute scope is disjoint from every bit set in the
+//     delta's records only ever change at cell 0 (a record with all-zero
+//     values inside the view projects to cell index 0), so they shift by
+//     |added| - |removed| in O(1) instead of a counting pass.
+//   - The views that do intersect the delta are counted with the same
+//     fused CountMarginals pass the one-shot pipeline uses, over the
+//     delta records only.
+#ifndef PRIVIEW_STREAM_DELTA_COUNTER_H_
+#define PRIVIEW_STREAM_DELTA_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/window.h"
+#include "table/attr_set.h"
+#include "table/dataset.h"
+#include "table/marginal_table.h"
+
+namespace priview::stream {
+
+class DeltaViewCounter {
+ public:
+  /// What the last ApplyDelta did — surfaced in epoch reports and metrics.
+  struct DeltaStats {
+    size_t views_recounted = 0;  // fused-pass views (scope touched)
+    size_t views_shifted = 0;    // O(1) cell-0 shifts (scope untouched)
+    size_t records_added = 0;
+    size_t records_removed = 0;
+  };
+
+  /// Starts from an empty window (all counts zero). View scopes must be
+  /// non-empty subsets of the d-attribute universe and are fixed for the
+  /// counter's lifetime — delta maintenance requires stable scopes.
+  static StatusOr<DeltaViewCounter> Create(int d, std::vector<AttrSet> views);
+
+  /// Folds one epoch's delta into the running counts.
+  void ApplyDelta(const EpochDelta& delta);
+
+  /// Discards the running counts and recounts `window` from scratch (cold
+  /// start, or a paranoia re-sync). The window must match d.
+  void ResetFromWindow(const Dataset& window);
+
+  /// The exact counts of the current window, one marginal per view, in
+  /// view order. Bit-identical to WindowDataset().CountMarginals(views).
+  const std::vector<MarginalTable>& counts() const { return counts_; }
+  /// Copy for PriViewSynopsis::TryBuildFromCounts, which consumes them.
+  std::vector<MarginalTable> CountsCopy() const { return counts_; }
+
+  const std::vector<AttrSet>& views() const { return views_; }
+  int d() const { return d_; }
+  const DeltaStats& last_stats() const { return last_stats_; }
+
+ private:
+  DeltaViewCounter(int d, std::vector<AttrSet> views);
+
+  int d_ = 0;
+  std::vector<AttrSet> views_;
+  std::vector<MarginalTable> counts_;
+  DeltaStats last_stats_;
+};
+
+}  // namespace priview::stream
+
+#endif  // PRIVIEW_STREAM_DELTA_COUNTER_H_

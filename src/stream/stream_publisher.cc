@@ -1,0 +1,209 @@
+#include "stream/stream_publisher.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
+
+namespace priview::stream {
+
+namespace {
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+obs::Labels StreamLabels(const std::string& name) {
+  return {{"stream", name}};
+}
+
+}  // namespace
+
+StreamPublisher::StreamPublisher(const StreamOptions& options,
+                                 store::SynopsisStore* store,
+                                 serve::SynopsisRegistry* registry, Rng* rng,
+                                 int d)
+    : options_(options),
+      store_(store),
+      registry_(registry),
+      rng_(rng),
+      budget_(options.total_epsilon, "stream/" + options.name),
+      window_(std::make_unique<WindowBuffer>(d, options.mode,
+                                             options.window_batches)) {}
+
+StatusOr<StreamPublisher> StreamPublisher::Create(
+    const StreamOptions& options, store::SynopsisStore* store,
+    serve::SynopsisRegistry* registry, Rng* rng) {
+  if (options.name.empty()) {
+    return Status::InvalidArgument("stream name must be non-empty");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  if (options.d < 1 || options.d > 64) {
+    return Status::InvalidArgument("dimension out of range: " +
+                                   std::to_string(options.d));
+  }
+  if (options.total_epsilon <= 0.0 || options.epoch_epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilons must be positive");
+  }
+  if (options.epoch_epsilon > options.total_epsilon) {
+    return Status::InvalidArgument(
+        "epoch_epsilon exceeds the cross-epoch total: not even one epoch "
+        "could publish");
+  }
+  if (options.mode == WindowMode::kSliding && options.window_batches < 1) {
+    return Status::InvalidArgument("window_batches must be >= 1");
+  }
+  StatusOr<DeltaViewCounter> counter =
+      DeltaViewCounter::Create(options.d, options.views);
+  if (!counter.ok()) return counter.status();
+
+  StreamPublisher publisher(options, store, registry, rng, options.d);
+  publisher.counter_ =
+      std::make_unique<DeltaViewCounter>(std::move(counter).value());
+  return publisher;
+}
+
+Status StreamPublisher::Ingest(std::span<const uint64_t> records) {
+  const Status st = window_->Ingest(records);
+  if (st.ok()) {
+    static const std::string kName = "priview_stream_records_total";
+    obs::MetricsRegistry::Global()
+        .GetCounter(kName, StreamLabels(options_.name),
+                    "Records ingested by streaming publishers")
+        ->Increment(records.size());
+  }
+  return st;
+}
+
+StatusOr<EpochReport> StreamPublisher::PublishEpoch() {
+  const auto rollover_t0 = std::chrono::steady_clock::now();
+  obs::TraceSpan epoch_span("stream/epoch");
+  auto& metrics = obs::MetricsRegistry::Global();
+  const obs::Labels labels = StreamLabels(options_.name);
+
+  // 1. Budget first: a refusal must leave the window untouched so the
+  // pending batch can still publish later (e.g. under a new publisher
+  // with a refreshed total). The parent accountant makes overspend
+  // structurally impossible — the child cannot hold more than what was
+  // just carved.
+  StatusOr<BudgetAccountant> child =
+      budget_.CarveChild(options_.epoch_epsilon);
+  if (!child.ok()) return child.status();
+
+  EpochReport report;
+  report.epoch_index = epochs_published_ + 1;
+
+  // 2. Advance the window and fold the delta into the running counts.
+  {
+    obs::TraceSpan recount_span("stream/epoch/recount");
+    const auto t0 = std::chrono::steady_clock::now();
+    const EpochDelta delta = window_->AdvanceEpoch();
+    counter_->ApplyDelta(delta);
+    report.recount_us = ElapsedUs(t0);
+  }
+  const DeltaViewCounter::DeltaStats& stats = counter_->last_stats();
+  report.records_added = stats.records_added;
+  report.records_removed = stats.records_removed;
+  report.views_recounted = stats.views_recounted;
+  report.views_shifted = stats.views_shifted;
+  report.window_records = window_->window_size();
+
+  // 3. Build the next release off to the side. The child accountant is
+  // the enforcement point: the build's ε is spent from it, and the spend
+  // is exact by construction.
+  PriViewOptions build_options = options_.synopsis;
+  build_options.epsilon = options_.epoch_epsilon;
+  const Status spent = child.value().Spend(options_.epoch_epsilon);
+  if (!spent.ok()) return spent;  // unreachable: the child holds exactly this
+  Rng epoch_rng = rng_->Fork();
+  StatusOr<PriViewSynopsis> built = [&] {
+    obs::TraceSpan build_span("stream/epoch/build");
+    const auto t0 = std::chrono::steady_clock::now();
+    StatusOr<PriViewSynopsis> synopsis = PriViewSynopsis::TryBuildFromCounts(
+        counter_->d(), counter_->CountsCopy(), build_options, &epoch_rng);
+    report.build_us = ElapsedUs(t0);
+    return synopsis;
+  }();
+  if (!built.ok()) return built.status();
+  report.epsilon_spent = options_.epoch_epsilon;
+  report.epsilon_remaining = budget_.remaining();
+
+  // 4. Durable persist. The crash boundary: before the store's journal
+  // append the previous epoch is the durable one; after it, this one.
+  if (store_ != nullptr) {
+    obs::TraceSpan persist_span("stream/epoch/persist");
+    const auto t0 = std::chrono::steady_clock::now();
+    const Status persisted = store_->Install(options_.name, built.value());
+    report.persist_us = ElapsedUs(t0);
+    if (!persisted.ok()) return persisted;
+    report.epoch = store_->last_durable_seq();
+  }
+
+  if (PRIVIEW_FAILPOINT("stream/rollover-abort")) {
+    // The durable-but-not-swapped window: the store journaled the new
+    // epoch but the registry still serves the old one. Recovery (store
+    // Recover into the registry) must land on the NEW epoch.
+    return Status::IOError(
+        "injected: stream/rollover-abort (persisted, not hot-swapped)");
+  }
+
+  // 5. Hot-swap. In-flight queries drain on the old epoch's pinned
+  // shared_ptr; new acquires see the new epoch atomically.
+  if (registry_ != nullptr) {
+    obs::TraceSpan install_span("stream/epoch/install");
+    const auto t0 = std::chrono::steady_clock::now();
+    const Status installed =
+        report.epoch != 0
+            ? registry_->InstallAtEpoch(options_.name,
+                                        std::move(built).value(),
+                                        report.epoch)
+            : registry_->Install(options_.name, std::move(built).value());
+    report.install_us = ElapsedUs(t0);
+    if (!installed.ok()) return installed;
+    if (report.epoch == 0) {
+      StatusOr<std::shared_ptr<const serve::HostedSynopsis>> hosted =
+          registry_->Acquire(options_.name);
+      if (hosted.ok()) report.epoch = hosted.value()->epoch();
+    }
+  }
+
+  ++epochs_published_;
+  report.rollover_us = ElapsedUs(rollover_t0);
+
+  metrics
+      .GetGauge("priview_stream_epoch", labels,
+                "Registry epoch of the latest published release")
+      ->Set(static_cast<int64_t>(report.epoch));
+  metrics
+      .GetGauge("priview_stream_window_records", labels,
+                "Records inside the current release window")
+      ->Set(static_cast<int64_t>(report.window_records));
+  metrics
+      .GetCounter("priview_stream_epochs_total", labels,
+                  "Epochs published by streaming publishers")
+      ->Increment();
+  metrics
+      .GetCounter("priview_stream_views_recounted_total", labels,
+                  "Views recounted via the fused delta pass")
+      ->Increment(report.views_recounted);
+  metrics
+      .GetCounter("priview_stream_views_shifted_total", labels,
+                  "Views updated with the O(1) cell-0 shift")
+      ->Increment(report.views_shifted);
+  metrics
+      .GetHistogram("priview_stream_recount_us", labels,
+                    "Delta fold into running view counts, us")
+      ->Observe(report.recount_us);
+  metrics
+      .GetHistogram("priview_stream_rollover_us", labels,
+                    "End-to-end epoch rollover latency, us")
+      ->Observe(report.rollover_us);
+  return report;
+}
+
+}  // namespace priview::stream

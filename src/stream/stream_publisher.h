@@ -1,0 +1,151 @@
+// StreamPublisher — continuous temporal release of a PriView synopsis.
+//
+// The publisher turns the one-shot pipeline into an epoch loop:
+//
+//   Ingest(batch) ... Ingest(batch)      buffer records for the next epoch
+//   PublishEpoch():
+//     1. carve this epoch's child budget from the cross-epoch total
+//        (refusal: typed ResourceExhausted + a refusals metric — the
+//        window is left untouched so the batch can publish later under a
+//        refreshed budget, and the total ε is never silently exceeded)
+//     2. advance the window (tumbling / sliding / cumulative) and fold
+//        the delta into the DeltaViewCounter's exact running counts
+//     3. build the next synopsis OFF TO THE SIDE from those counts
+//        (PriViewSynopsis::TryBuildFromCounts — identical noise +
+//        consistency path to a from-scratch build)
+//     4. persist durably via SynopsisStore::Install (atomic: temp file,
+//        fsync, rename, dir fsync, journal append)
+//     5. hot-swap via SynopsisRegistry::InstallAtEpoch at epoch = the
+//        store's manifest seq — in-flight queries finish on the old
+//        epoch, new queries see the new one
+//
+// A crash at any point leaves the system on exactly one epoch: before
+// step 4's journal append, recovery serves the previous epoch; after it,
+// the new one. The "stream/rollover-abort" failpoint injects a failure in
+// the 4→5 window (durable but not yet swapped) for the chaos matrix.
+//
+// Privacy: each epoch's synopsis is built with the child's ε over the
+// *current window* of records; the parent accountant guarantees the sum
+// of all epoch budgets never exceeds StreamOptions::total_epsilon.
+#ifndef PRIVIEW_STREAM_STREAM_PUBLISHER_H_
+#define PRIVIEW_STREAM_STREAM_PUBLISHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/synopsis.h"
+#include "data/window.h"
+#include "dp/mechanisms.h"
+#include "serve/synopsis_registry.h"
+#include "store/synopsis_store.h"
+#include "stream/delta_counter.h"
+#include "table/attr_set.h"
+
+namespace priview::stream {
+
+struct StreamOptions {
+  /// Registry/store name of the release ([A-Za-z0-9_.-]+).
+  std::string name;
+  /// Number of binary attributes (1..64); all views must fit inside.
+  int d = 0;
+  /// The release window over incoming batches.
+  WindowMode mode = WindowMode::kTumbling;
+  /// Sliding-window depth in epoch batches (sliding mode only).
+  int window_batches = 4;
+  /// The fixed view scopes (delta maintenance requires stable scopes).
+  /// Typically a covering design's blocks from SelectViews on a pilot
+  /// dataset; must be non-empty.
+  std::vector<AttrSet> views;
+  /// Cross-epoch ε total; PublishEpoch refuses once it is exhausted.
+  double total_epsilon = 1.0;
+  /// ε carved from the total for each epoch's release.
+  double epoch_epsilon = 0.1;
+  /// Post-processing knobs per epoch; the epsilon field is overwritten
+  /// with epoch_epsilon.
+  PriViewOptions synopsis;
+};
+
+/// What one PublishEpoch did.
+struct EpochReport {
+  /// Publisher-local epoch ordinal (1-based).
+  int64_t epoch_index = 0;
+  /// Registry epoch of the installed release — the store's durable
+  /// manifest seq when a store is attached, else registry-assigned.
+  uint64_t epoch = 0;
+  size_t window_records = 0;
+  size_t records_added = 0;
+  size_t records_removed = 0;
+  size_t views_recounted = 0;
+  size_t views_shifted = 0;
+  double epsilon_spent = 0.0;      // this epoch
+  double epsilon_remaining = 0.0;  // of the cross-epoch total
+  uint64_t recount_us = 0;   // delta fold into running counts
+  uint64_t build_us = 0;     // noise + consistency off to the side
+  uint64_t persist_us = 0;   // durable store install
+  uint64_t install_us = 0;   // registry hot-swap
+  uint64_t rollover_us = 0;  // end-to-end PublishEpoch
+};
+
+class StreamPublisher {
+ public:
+  /// `store` and `registry` may each be null (count-only pipelines,
+  /// tests); when both are present, registry epochs are the store's
+  /// durable seqs. `rng` must outlive the publisher; per-epoch noise
+  /// draws from forks of it, so a fixed seed gives a reproducible
+  /// release sequence.
+  static StatusOr<StreamPublisher> Create(const StreamOptions& options,
+                                          store::SynopsisStore* store,
+                                          serve::SynopsisRegistry* registry,
+                                          Rng* rng);
+
+  StreamPublisher(StreamPublisher&&) = default;
+  StreamPublisher& operator=(StreamPublisher&&) = default;
+  StreamPublisher(const StreamPublisher&) = delete;
+  StreamPublisher& operator=(const StreamPublisher&) = delete;
+
+  /// Buffers records for the next epoch (validates the attribute bits).
+  Status Ingest(std::span<const uint64_t> records);
+
+  /// Runs one epoch: carve budget, advance window, delta-recount, build,
+  /// persist, hot-swap. On ResourceExhausted (budget) the pending batch
+  /// and window are untouched; on later failures the budget is already
+  /// spent (conservative: never an overspend) and the window advanced.
+  StatusOr<EpochReport> PublishEpoch();
+
+  /// True once the remaining cross-epoch budget cannot fund another
+  /// epoch.
+  bool exhausted() const {
+    return budget_.remaining() < options_.epoch_epsilon * (1.0 - 1e-9);
+  }
+
+  const BudgetAccountant& budget() const { return budget_; }
+  const DeltaViewCounter& counter() const { return *counter_; }
+  const WindowBuffer& window() const { return *window_; }
+  const StreamOptions& options() const { return options_; }
+  int64_t epochs_published() const { return epochs_published_; }
+
+ private:
+  StreamPublisher(const StreamOptions& options,
+                  store::SynopsisStore* store,
+                  serve::SynopsisRegistry* registry, Rng* rng, int d);
+
+  StreamOptions options_;
+  store::SynopsisStore* store_;
+  serve::SynopsisRegistry* registry_;
+  Rng* rng_;
+  BudgetAccountant budget_;
+  // unique_ptr: keeps the publisher movable (WindowBuffer/DeltaViewCounter
+  // hold internal state that must stay addressable across moves).
+  std::unique_ptr<WindowBuffer> window_;
+  std::unique_ptr<DeltaViewCounter> counter_;
+  int64_t epochs_published_ = 0;
+};
+
+}  // namespace priview::stream
+
+#endif  // PRIVIEW_STREAM_STREAM_PUBLISHER_H_

@@ -29,6 +29,7 @@
 #include "serve/synopsis_registry.h"
 #include "serve/wire_protocol.h"
 #include "store/synopsis_store.h"
+#include "stream/stream_publisher.h"
 
 namespace priview {
 namespace {
@@ -318,6 +319,55 @@ void RunStoreUnderFault(const std::string& fault) {
   }
 }
 
+// The streaming epoch loop under an injected fault: budget carve, window
+// advance, delta recount, side build, hot-swap. Any failing epoch must
+// surface a typed Status (budget refusals, injected rollover aborts); a
+// succeeding epoch must leave the registry serving exactly one release.
+void RunStreamUnderFault(const std::string& fault) {
+  Rng rng(4242);
+  serve::SynopsisRegistry registry;
+  registry.set_history_depth(2);
+
+  stream::StreamOptions options;
+  options.name = "chaos-stream";
+  options.d = 4;
+  options.mode = WindowMode::kSliding;
+  options.window_batches = 2;
+  options.views = {AttrSet::FromIndices({0, 1}), AttrSet::FromIndices({2, 3})};
+  options.total_epsilon = 2.0;
+  options.epoch_epsilon = 0.5;
+  StatusOr<stream::StreamPublisher> publisher =
+      stream::StreamPublisher::Create(options, nullptr, &registry, &rng);
+  ASSERT_TRUE(publisher.ok()) << fault << ": " << publisher.status().message();
+
+  const std::vector<uint64_t> batch = {0, 1, 3, 5, 7, 11, 13, 15};
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    const Status ingested = publisher.value().Ingest(batch);
+    if (!ingested.ok()) {
+      EXPECT_FALSE(ingested.message().empty())
+          << fault << ": stream ingest failed without a message";
+      return;
+    }
+    StatusOr<stream::EpochReport> report = publisher.value().PublishEpoch();
+    if (!report.ok()) {
+      EXPECT_FALSE(report.status().message().empty())
+          << fault << ": epoch publish failed without a message";
+      continue;
+    }
+    StatusOr<std::shared_ptr<const serve::HostedSynopsis>> hosted =
+        registry.Acquire("chaos-stream");
+    ASSERT_TRUE(hosted.ok())
+        << fault << ": published epoch is not being served";
+    StatusOr<MarginalTable> answer =
+        hosted.value()->engine().TryMarginal(AttrSet::FromIndices({0, 1}));
+    if (answer.ok()) {
+      ExpectFiniteTable(answer.value(),
+                        fault + ": stream-served marginal at epoch " +
+                            std::to_string(epoch));
+    }
+  }
+}
+
 class ChaosTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -346,6 +396,7 @@ TEST_F(ChaosTest, EveryKnownFailpointDegradesGracefully) {
     RunServeUnderFault(fault);
     RunSupervisorUnderFault(fault);
     RunStoreUnderFault(fault);
+    RunStreamUnderFault(fault);
   }
 }
 
@@ -362,6 +413,7 @@ TEST_F(ChaosTest, EveryKnownFailpointFiresSomewhereInTheLifecycle) {
     RunServeUnderFault(fault);
     RunSupervisorUnderFault(fault);
     RunStoreUnderFault(fault);
+    RunStreamUnderFault(fault);
     EXPECT_GT(failpoint::HitCount(fault), 0u) << fault << " never evaluated";
   }
 }

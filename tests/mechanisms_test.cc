@@ -1,6 +1,9 @@
 #include "dp/mechanisms.h"
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -98,6 +101,91 @@ TEST(BudgetAccountantTest, ToleratesFloatSplit) {
   for (int i = 0; i < 10; ++i) {
     EXPECT_TRUE(budget.Spend(0.1).ok()) << i;
   }
+}
+
+TEST(BudgetAccountantTest, ConcurrentSpendsNeverJointlyOverspend) {
+  // 8 threads race 1000 spends of 0.001 each against a total of 4.0: only
+  // 4000 can succeed. The CAS loop must make the accounting exact — the
+  // successes sum to the total and the rest are typed refusals, with no
+  // silent overspend in any interleaving.
+  BudgetAccountant budget(4.0);
+  constexpr int kThreads = 8;
+  constexpr int kSpendsPerThread = 1000;
+  std::atomic<int> granted{0};
+  std::atomic<int> refused{0};
+  std::vector<std::thread> spenders;
+  for (int t = 0; t < kThreads; ++t) {
+    spenders.emplace_back([&] {
+      for (int i = 0; i < kSpendsPerThread; ++i) {
+        const Status spent = budget.Spend(0.001);
+        if (spent.ok()) {
+          granted.fetch_add(1);
+        } else {
+          EXPECT_EQ(spent.code(), StatusCode::kResourceExhausted);
+          refused.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& spender : spenders) spender.join();
+  EXPECT_EQ(granted.load() + refused.load(), kThreads * kSpendsPerThread);
+  // Every grant landed within the total (up to the documented float
+  // slack), and all 4000 affordable grants went through.
+  EXPECT_LE(budget.spent(), budget.total() * (1.0 + 1e-9));
+  EXPECT_EQ(granted.load(), 4000);
+  EXPECT_NEAR(budget.spent(), 4.0, 1e-9);
+}
+
+TEST(BudgetAccountantTest, CarveChildDebitsParentUpFront) {
+  BudgetAccountant parent(2.0);
+  StatusOr<BudgetAccountant> child = parent.CarveChild(0.5);
+  ASSERT_TRUE(child.ok()) << child.status().ToString();
+  // The parent paid the whole carve at carve time...
+  EXPECT_NEAR(parent.spent(), 0.5, 1e-12);
+  EXPECT_NEAR(parent.remaining(), 1.5, 1e-12);
+  // ...and the child holds exactly that much, independent of the parent.
+  EXPECT_DOUBLE_EQ(child.value().total(), 0.5);
+  EXPECT_DOUBLE_EQ(child.value().spent(), 0.0);
+  EXPECT_TRUE(child.value().Spend(0.3).ok());
+  EXPECT_NEAR(parent.spent(), 0.5, 1e-12);  // child spending is prepaid
+  EXPECT_EQ(child.value().Spend(0.3).code(), StatusCode::kResourceExhausted);
+
+  // Under-spending a child is the child's loss, not a parent refund: the
+  // schedule guarantee is sum(children) <= total, not exact exhaustion.
+  StatusOr<BudgetAccountant> second = parent.CarveChild(1.5);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NEAR(parent.remaining(), 0.0, 1e-12);
+
+  // A carve the parent cannot afford is a typed refusal that spends
+  // nothing — never a silently over-provisioned child.
+  StatusOr<BudgetAccountant> third = parent.CarveChild(0.1);
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NEAR(parent.remaining(), 0.0, 1e-12);
+  EXPECT_EQ(parent.CarveChild(-1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BudgetAccountantTest, ConcurrentCarvesRespectTheParentTotal) {
+  // Racing carves of 0.25 from a total of 1.0: exactly 4 children can
+  // exist, and their totals sum to the parent's budget.
+  BudgetAccountant parent(1.0);
+  constexpr int kThreads = 16;
+  std::atomic<int> carved{0};
+  std::vector<std::thread> carvers;
+  for (int t = 0; t < kThreads; ++t) {
+    carvers.emplace_back([&] {
+      StatusOr<BudgetAccountant> child = parent.CarveChild(0.25);
+      if (child.ok()) {
+        carved.fetch_add(1);
+        EXPECT_DOUBLE_EQ(child.value().total(), 0.25);
+      } else {
+        EXPECT_EQ(child.status().code(), StatusCode::kResourceExhausted);
+      }
+    });
+  }
+  for (std::thread& carver : carvers) carver.join();
+  EXPECT_EQ(carved.load(), 4);
+  EXPECT_NEAR(parent.remaining(), 0.0, 1e-9);
 }
 
 }  // namespace

@@ -340,5 +340,130 @@ TEST_F(RequestBrokerTest, ConcurrentAsksAllAnswerCorrectly) {
   EXPECT_EQ(metrics_.TakeSnapshot().admitted, 160u);
 }
 
+// --- time-series queries ----------------------------------------------------
+
+// Installs two more epochs of "main" (the fixture installed epoch 1) so
+// three distinct releases are retained for series queries.
+class RequestBrokerSeriesTest : public RequestBrokerTest {
+ protected:
+  RequestBrokerSeriesTest() {
+    registry_.set_history_depth(3);
+    EXPECT_TRUE(registry_.Install("main", MakeSynopsis(18)).ok());
+    EXPECT_TRUE(registry_.Install("main", MakeSynopsis(19)).ok());
+  }
+};
+
+TEST_F(RequestBrokerSeriesTest, LevelsMatchEachRetainedEpochBitForBit) {
+  RequestBroker broker(&registry_, &metrics_);
+  broker.Start();
+  const AttrSet scope = AttrSet::FromIndices({0, 1, 2});
+  StatusOr<ServedSeries> series =
+      broker.AskSeries("main", scope, 3, SeriesMode::kLevels);
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  ASSERT_EQ(series.value().points.size(), 3u);
+  EXPECT_EQ(series.value().tier, ServeTier::kFull);
+  EXPECT_FALSE(series.value().coalesced);
+
+  const auto hosts = registry_.AcquireSeries("main", 3).value();
+  ASSERT_EQ(hosts.size(), 3u);
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    EXPECT_EQ(series.value().points[i].epoch, hosts[i]->epoch());
+    EXPECT_EQ(series.value().points[i].table.cells(),
+              hosts[i]->engine().TryMarginal(scope).value().cells())
+        << "point " << i << " not that epoch's own answer";
+  }
+  // Newest first.
+  EXPECT_GT(series.value().points[0].epoch, series.value().points[1].epoch);
+  EXPECT_GT(series.value().points[1].epoch, series.value().points[2].epoch);
+  // last_n above the retained depth clamps instead of failing.
+  EXPECT_EQ(broker.AskSeries("main", scope, 100, SeriesMode::kLevels)
+                .value()
+                .points.size(),
+            3u);
+}
+
+TEST_F(RequestBrokerSeriesTest, TrendDeltasAreCurrentMinusOlderCellwise) {
+  RequestBroker broker(&registry_, &metrics_);
+  broker.Start();
+  const AttrSet scope = AttrSet::FromIndices({2, 3});
+  StatusOr<ServedSeries> levels =
+      broker.AskSeries("main", scope, 3, SeriesMode::kLevels);
+  StatusOr<ServedSeries> deltas =
+      broker.AskSeries("main", scope, 3, SeriesMode::kDeltas);
+  ASSERT_TRUE(levels.ok());
+  ASSERT_TRUE(deltas.ok());
+  ASSERT_EQ(deltas.value().points.size(), 3u);
+  // Point 0 is the current level verbatim.
+  EXPECT_EQ(deltas.value().points[0].table.cells(),
+            levels.value().points[0].table.cells());
+  // Later points: (current - that epoch), tagged with the older epoch.
+  for (size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(deltas.value().points[i].epoch, levels.value().points[i].epoch);
+    const std::vector<double>& current = levels.value().points[0].table.cells();
+    const std::vector<double>& older = levels.value().points[i].table.cells();
+    const std::vector<double>& got = deltas.value().points[i].table.cells();
+    ASSERT_EQ(got.size(), current.size());
+    for (size_t c = 0; c < got.size(); ++c) {
+      EXPECT_DOUBLE_EQ(got[c], current[c] - older[c]);
+    }
+  }
+}
+
+TEST_F(RequestBrokerSeriesTest, IdenticalSeriesRequestsCoalesce) {
+  RequestBroker broker(&registry_, &metrics_);
+  const AttrSet scope = AttrSet::FromIndices({0, 1});
+  std::vector<StatusOr<ServedSeries>> answers(
+      3, StatusOr<ServedSeries>(Status::Internal("unset")));
+  std::vector<std::thread> askers;
+  for (int i = 0; i < 2; ++i) {
+    askers.emplace_back([&, i] {
+      answers[i] = broker.AskSeries("main", scope, 2, SeriesMode::kLevels);
+    });
+  }
+  // A different depth is a different series key: its own computation.
+  askers.emplace_back([&] {
+    answers[2] = broker.AskSeries("main", scope, 1, SeriesMode::kLevels);
+  });
+  while (broker.QueueDepth() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  broker.Start();
+  for (std::thread& asker : askers) asker.join();
+
+  for (const StatusOr<ServedSeries>& answer : answers) {
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  }
+  // Exactly one of the two identical asks is the representative.
+  EXPECT_EQ(int(answers[0].value().coalesced) +
+                int(answers[1].value().coalesced),
+            1);
+  EXPECT_FALSE(answers[2].value().coalesced);
+  EXPECT_EQ(answers[0].value().points.size(), 2u);
+  EXPECT_EQ(answers[2].value().points.size(), 1u);
+  EXPECT_EQ(answers[0].value().points[0].table.cells(),
+            answers[1].value().points[0].table.cells());
+  EXPECT_EQ(metrics_.TakeSnapshot().coalesced, 1u);
+}
+
+TEST_F(RequestBrokerSeriesTest, SeriesValidationFailsCleanly) {
+  RequestBroker broker(&registry_, &metrics_);
+  broker.Start();
+  const AttrSet scope = AttrSet::FromIndices({0});
+  EXPECT_EQ(broker.AskSeries("main", scope, 0, SeriesMode::kLevels)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(broker.AskSeries("ghost", scope, 2, SeriesMode::kLevels)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(broker
+                .AskSeries("main", AttrSet::FromIndices({40}), 2,
+                           SeriesMode::kLevels)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace priview::serve

@@ -441,6 +441,87 @@ TEST_F(ServeE2ETest, HotSwapMidStreamNeverErrorsAQuery) {
   (void)max_epoch;
 }
 
+TEST_F(ServeE2ETest, SeriesOverTheWireMatchesEveryRetainedEpoch) {
+  // A server retaining history answers windowed time-series queries; each
+  // point must be bit-identical to the corresponding epoch's own engine.
+  ServerOptions options;
+  options.socket_path = socket_path_ + ".series";
+  options.history_depth = 3;
+  PriViewServer server(options);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    ASSERT_TRUE(server.registry().Install("ts", MakeSynopsis(3, 1.0)).ok());
+  }
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<PriViewClient> client = PriViewClient::Connect(options.socket_path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const AttrSet scope = AttrSet::FromIndices({0, 1, 2});
+  StatusOr<ClientSeries> series = client.value().Series("ts", scope, 3);
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  ASSERT_EQ(series.value().points.size(), 3u);
+  EXPECT_EQ(series.value().tier, ServeTier::kFull);
+
+  const auto hosts = server.registry().AcquireSeries("ts", 3).value();
+  ASSERT_EQ(hosts.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(series.value().points[i].epoch, hosts[i]->epoch());
+    EXPECT_EQ(series.value().points[i].table.cells(),
+              hosts[i]->engine().TryMarginal(scope).value().cells());
+  }
+  EXPECT_GT(series.value().points[0].epoch, series.value().points[2].epoch);
+
+  // Trend deltas over the wire: point 0 is the current level, later points
+  // are (current - that epoch) cellwise.
+  StatusOr<ClientSeries> deltas = client.value().TrendDeltas("ts", scope, 3);
+  ASSERT_TRUE(deltas.ok()) << deltas.status().ToString();
+  ASSERT_EQ(deltas.value().points.size(), 3u);
+  EXPECT_EQ(deltas.value().points[0].table.cells(),
+            series.value().points[0].table.cells());
+  for (size_t i = 1; i < 3; ++i) {
+    const std::vector<double>& current = series.value().points[0].table.cells();
+    const std::vector<double>& older = series.value().points[i].table.cells();
+    const std::vector<double>& got = deltas.value().points[i].table.cells();
+    ASSERT_EQ(got.size(), current.size());
+    for (size_t c = 0; c < got.size(); ++c) {
+      EXPECT_DOUBLE_EQ(got[c], current[c] - older[c]);
+    }
+  }
+
+  // A window wider than the retained history clamps instead of failing.
+  EXPECT_EQ(client.value().Series("ts", scope, 50).value().points.size(), 3u);
+  // Error paths answer as typed responses on a live connection.
+  EXPECT_EQ(client.value().Series("ghost", scope, 2).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client.value().Series("ts", scope, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client.value().connected());
+  server.Stop();
+}
+
+TEST_F(ServeE2ETest, ListSynopsesReturnsTheTypedCatalog) {
+  PriViewClient client = Connect();
+  StatusOr<std::vector<SynopsisListing>> listed = client.ListSynopses();
+  ASSERT_TRUE(listed.ok()) << listed.status().ToString();
+  ASSERT_EQ(listed.value().size(), 2u);
+
+  bool saw_eps1 = false;
+  for (const SynopsisListing& entry : listed.value()) {
+    EXPECT_TRUE(entry.name == "eps1" || entry.name == "eps05") << entry.name;
+    EXPECT_GT(entry.epoch, 0u);
+    EXPECT_GT(entry.install_unix_ms, 0u);
+    EXPECT_EQ(entry.d, 9);
+    EXPECT_EQ(entry.views, 3u);
+    EXPECT_TRUE(entry.fully_intact);
+    if (entry.name == "eps1") {
+      saw_eps1 = true;
+      EXPECT_DOUBLE_EQ(entry.epsilon, 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(entry.epsilon, 0.5);
+    }
+  }
+  EXPECT_TRUE(saw_eps1);
+}
+
 TEST_F(ServeE2ETest, StopClosesClientsAndIsIdempotent) {
   PriViewClient client = Connect();
   ASSERT_TRUE(client.Marginal("eps1", AttrSet::FromIndices({0})).ok());

@@ -362,6 +362,151 @@ TEST(WireFramingTest, NonBlockingWriterSurvivesFullSocketBuffer) {
   EXPECT_EQ(payload, bytes);
 }
 
+TEST(WireProtocolTest, SeriesRequestRoundTripsEveryField) {
+  WireRequest request;
+  request.type = MessageType::kSeries;
+  request.synopsis = "clicks";
+  request.target_mask = 0b1011;
+  request.last_n = 12;
+  request.series_mode = uint8_t(SeriesMode::kDeltas);
+  request.deadline_ms = 750;
+
+  StatusOr<WireRequest> decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().type, MessageType::kSeries);
+  EXPECT_EQ(decoded.value().synopsis, "clicks");
+  EXPECT_EQ(decoded.value().target_mask, 0b1011u);
+  EXPECT_EQ(decoded.value().last_n, 12u);
+  EXPECT_EQ(decoded.value().series_mode, uint8_t(SeriesMode::kDeltas));
+  EXPECT_EQ(decoded.value().deadline_ms, 750u);
+
+  // Truncation: every strict prefix is a typed failure, never UB.
+  const std::vector<uint8_t> full = EncodeRequest(request);
+  for (size_t len = 0; len < full.size(); ++len) {
+    std::vector<uint8_t> prefix(full.begin(), full.begin() + len);
+    EXPECT_FALSE(DecodeRequest(prefix).ok()) << "prefix length " << len;
+  }
+
+  WireRequest list;
+  list.type = MessageType::kListSynopses;
+  StatusOr<WireRequest> list_decoded = DecodeRequest(EncodeRequest(list));
+  ASSERT_TRUE(list_decoded.ok());
+  EXPECT_EQ(list_decoded.value().type, MessageType::kListSynopses);
+
+  // Both new requests are reads against immutable releases: retry-safe.
+  EXPECT_TRUE(IsIdempotentRequest(MessageType::kSeries));
+  EXPECT_TRUE(IsIdempotentRequest(MessageType::kListSynopses));
+}
+
+TEST(WireProtocolTest, TableSeriesResponseRoundTripsBitIdentically) {
+  WireResponse sent;
+  sent.type = MessageType::kTableSeries;
+  sent.tier = 1;
+  sent.coalesced = 1;
+  for (uint64_t epoch : {7u, 6u, 5u}) {  // newest first
+    SeriesEntry entry;
+    entry.epoch = epoch;
+    entry.attrs_mask = 0b110;
+    entry.cells = {1.5 * double(epoch), -0.25, 0.0, 1e9 + double(epoch)};
+    sent.series.push_back(std::move(entry));
+  }
+
+  StatusOr<WireResponse> decoded = DecodeResponse(EncodeResponse(sent));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().type, MessageType::kTableSeries);
+  EXPECT_EQ(decoded.value().tier, 1);
+  EXPECT_EQ(decoded.value().coalesced, 1);
+  ASSERT_EQ(decoded.value().series.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded.value().series[i].epoch, sent.series[i].epoch);
+    EXPECT_EQ(decoded.value().series[i].attrs_mask, 0b110u);
+    EXPECT_EQ(decoded.value().series[i].cells, sent.series[i].cells);
+  }
+
+  // Truncation sweep over the multi-entry payload.
+  const std::vector<uint8_t> full = EncodeResponse(sent);
+  for (size_t len = 0; len < full.size(); ++len) {
+    std::vector<uint8_t> prefix(full.begin(), full.begin() + len);
+    EXPECT_FALSE(DecodeResponse(prefix).ok()) << "prefix length " << len;
+  }
+}
+
+TEST(WireProtocolTest, SynopsisListResponseRoundTrips) {
+  WireResponse sent;
+  sent.type = MessageType::kSynopsisList;
+  SynopsisEntry a;
+  a.name = "clicks";
+  a.epoch = 42;
+  a.install_unix_ms = 1754700000123ull;
+  a.d = 16;
+  a.views = 9;
+  a.epsilon = 0.5;
+  a.fully_intact = 1;
+  SynopsisEntry b;
+  b.name = "purchases";
+  b.epoch = 3;
+  b.d = 8;
+  b.views = 4;
+  b.epsilon = 1.25;
+  b.fully_intact = 0;
+  sent.synopses = {a, b};
+
+  StatusOr<WireResponse> decoded = DecodeResponse(EncodeResponse(sent));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().synopses.size(), 2u);
+  const SynopsisEntry& got = decoded.value().synopses[0];
+  EXPECT_EQ(got.name, "clicks");
+  EXPECT_EQ(got.epoch, 42u);
+  EXPECT_EQ(got.install_unix_ms, 1754700000123ull);
+  EXPECT_EQ(got.d, 16);
+  EXPECT_EQ(got.views, 9u);
+  EXPECT_DOUBLE_EQ(got.epsilon, 0.5);
+  EXPECT_EQ(got.fully_intact, 1);
+  EXPECT_EQ(decoded.value().synopses[1].name, "purchases");
+  EXPECT_EQ(decoded.value().synopses[1].fully_intact, 0);
+
+  for (size_t len = 0; len < EncodeResponse(sent).size(); ++len) {
+    const std::vector<uint8_t> full = EncodeResponse(sent);
+    std::vector<uint8_t> prefix(full.begin(), full.begin() + len);
+    EXPECT_FALSE(DecodeResponse(prefix).ok()) << "prefix length " << len;
+  }
+}
+
+TEST(WireProtocolTest, LyingSeriesCountsAreDataLossNotAllocation) {
+  // A hostile header claiming 2^31 entries in a tiny payload must be
+  // rejected before any entry-sized allocation happens.
+  std::vector<uint8_t> payload;
+  payload.push_back(uint8_t(MessageType::kTableSeries));
+  payload.push_back(0);  // tier
+  payload.push_back(0);  // coalesced
+  const uint32_t liar = 0x80000000u;
+  uint8_t liar_bytes[4];
+  std::memcpy(liar_bytes, &liar, 4);
+  for (uint8_t byte : liar_bytes) payload.push_back(byte);
+  StatusOr<WireResponse> decoded = DecodeResponse(payload);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+
+  // Same for a single entry lying about its cell count.
+  WireResponse sent;
+  sent.type = MessageType::kTableSeries;
+  SeriesEntry entry;
+  entry.epoch = 1;
+  entry.attrs_mask = 0b1;
+  entry.cells = {1.0, 2.0};
+  sent.series.push_back(entry);
+  std::vector<uint8_t> bytes = EncodeResponse(sent);
+  // The cell count u32 sits right before the 16 bytes of doubles.
+  const uint32_t cell_liar = 0x10000000u;
+  std::memcpy(bytes.data() + bytes.size() - 16 - 4, &cell_liar, 4);
+  EXPECT_EQ(DecodeResponse(bytes).status().code(), StatusCode::kDataLoss);
+
+  // And for the synopsis listing.
+  std::vector<uint8_t> listing;
+  listing.push_back(uint8_t(MessageType::kSynopsisList));
+  for (uint8_t byte : liar_bytes) listing.push_back(byte);
+  EXPECT_EQ(DecodeResponse(listing).status().code(), StatusCode::kDataLoss);
+}
+
 TEST(WireFramingTest, LargeFrameUnderTheCapRoundTrips) {
   SocketPair pair;
   // A 16-attribute table is 65536 doubles = 512 KiB of cells — a real

@@ -133,8 +133,54 @@ TEST_F(StoreTest, ReinstallSupersedesAndReclaimsTheOldFile) {
   serve::SynopsisRegistry registry;
   StatusOr<RecoveryReport> report = reopened.Recover(&registry);
   ASSERT_TRUE(report.ok());
-  EXPECT_EQ(report.value().records_replayed, 2u);
+  // Two installs plus the gc record reclaiming the superseded file.
+  EXPECT_EQ(report.value().records_replayed, 3u);
   EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST_F(StoreTest, RetentionDepthGarbageCollectsBeyondTheWindow) {
+  // retention_depth = 2: the current release plus one predecessor stay on
+  // disk; the third install must journal a `gc` record for the oldest file
+  // and unlink it, so the directory and the manifest always agree.
+  options_.retention_depth = 2;
+  SynopsisStore store(options_);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Install("release", MakeSynopsis(1)).ok());
+  const auto first = store.History("release");
+  ASSERT_EQ(first.size(), 1u);
+  const std::string first_file = first[0].second;
+
+  ASSERT_TRUE(store.Install("release", MakeSynopsis(2)).ok());
+  // Both releases retained: within the window, nothing reclaimed yet.
+  EXPECT_EQ(store.History("release").size(), 2u);
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/" + first_file));
+
+  ASSERT_TRUE(store.Install("release", MakeSynopsis(3)).ok());
+  const auto history = store.History("release");
+  ASSERT_EQ(history.size(), 2u);
+  // Oldest-first, strictly increasing seqs, back entry is current.
+  EXPECT_LT(history[0].first, history[1].first);
+  EXPECT_EQ(history[1].second, store.Current().at("release"));
+  // The evicted release is gone from disk; the retained two remain.
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/" + first_file));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/" + history[0].second));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/" + history[1].second));
+
+  // Replay agrees: 3 installs + 1 gc, and a registry retaining history
+  // rebuilds exactly the two surviving epochs at their install seqs.
+  SynopsisStore reopened(options_);
+  ASSERT_TRUE(reopened.Open().ok());
+  serve::SynopsisRegistry registry;
+  registry.set_history_depth(4);
+  StatusOr<RecoveryReport> report = reopened.Recover(&registry);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().records_replayed, 4u);
+  EXPECT_TRUE(report.value().quarantined.empty());
+  const auto series = registry.AcquireSeries("release", 4);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series.value().size(), 2u);  // newest first
+  EXPECT_EQ(series.value()[0]->epoch(), history[1].first);
+  EXPECT_EQ(series.value()[1]->epoch(), history[0].first);
 }
 
 TEST_F(StoreTest, RetireJournalsAndUnlinks) {

@@ -1,0 +1,393 @@
+// Streaming release suite: window semantics (tumbling / sliding /
+// cumulative), the delta-aware view counter's bit-identity with a full
+// recount, the TryBuildFromCounts == TryBuild differential (same seed →
+// bit-identical release), the publisher's epoch loop with cross-epoch
+// budget accounting (typed refusal, never silent overspend), registry
+// history + AcquireSeries, and the budget gauges' Prometheus scrape.
+#include "stream/stream_publisher.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/window.h"
+#include "obs/metrics_registry.h"
+#include "serve/synopsis_registry.h"
+#include "store/synopsis_store.h"
+#include "stream/delta_counter.h"
+#include "table/dataset.h"
+
+namespace priview::stream {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  static int counter = 0;
+  return ::testing::TempDir() + "/stream_" + tag + "_" +
+         std::to_string(counter++);
+}
+
+// Deterministic batch of d-attribute records, distinct per (seed, size).
+std::vector<uint64_t> MakeBatch(Rng* rng, int d, size_t n) {
+  const uint64_t universe = d == 64 ? ~uint64_t{0} : (uint64_t{1} << d) - 1;
+  std::vector<uint64_t> records(n);
+  for (uint64_t& record : records) record = rng->NextUint64() & universe;
+  return records;
+}
+
+std::vector<AttrSet> TestViews() {
+  return {AttrSet::FromIndices({0, 1, 2}), AttrSet::FromIndices({2, 3, 4}),
+          AttrSet::FromIndices({4, 5})};
+}
+
+// ---------------------------------------------------------------------------
+// WindowBuffer
+
+TEST(WindowBufferTest, TumblingReplacesTheWindowWholesale) {
+  WindowBuffer window(8, WindowMode::kTumbling);
+  ASSERT_TRUE(window.Ingest(std::vector<uint64_t>{1, 2, 3}).ok());
+  EXPECT_EQ(window.pending_size(), 3u);
+
+  EpochDelta first = window.AdvanceEpoch();
+  EXPECT_EQ(first.added, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(first.removed.empty());
+  EXPECT_EQ(window.window_size(), 3u);
+  EXPECT_EQ(window.pending_size(), 0u);
+
+  ASSERT_TRUE(window.Ingest(std::vector<uint64_t>{7, 9}).ok());
+  EpochDelta second = window.AdvanceEpoch();
+  EXPECT_EQ(second.added, (std::vector<uint64_t>{7, 9}));
+  EXPECT_EQ(second.removed, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(window.window_size(), 2u);
+  EXPECT_EQ(window.epochs(), 2);
+}
+
+TEST(WindowBufferTest, SlidingEvictsBatchesBeyondDepth) {
+  WindowBuffer window(8, WindowMode::kSliding, /*window_batches=*/2);
+  ASSERT_TRUE(window.Ingest(std::vector<uint64_t>{1}).ok());
+  (void)window.AdvanceEpoch();
+  ASSERT_TRUE(window.Ingest(std::vector<uint64_t>{2, 3}).ok());
+  EpochDelta second = window.AdvanceEpoch();
+  EXPECT_TRUE(second.removed.empty());  // window not yet full
+  EXPECT_EQ(window.window_size(), 3u);
+
+  ASSERT_TRUE(window.Ingest(std::vector<uint64_t>{4}).ok());
+  EpochDelta third = window.AdvanceEpoch();
+  EXPECT_EQ(third.added, (std::vector<uint64_t>{4}));
+  EXPECT_EQ(third.removed, (std::vector<uint64_t>{1}));  // oldest batch out
+  EXPECT_EQ(window.window_size(), 3u);
+}
+
+TEST(WindowBufferTest, CumulativeOnlyEverAdds) {
+  WindowBuffer window(8, WindowMode::kCumulative);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    ASSERT_TRUE(
+        window.Ingest(std::vector<uint64_t>{uint64_t(epoch)}).ok());
+    EpochDelta delta = window.AdvanceEpoch();
+    EXPECT_EQ(delta.added.size(), 1u);
+    EXPECT_TRUE(delta.removed.empty());
+  }
+  EXPECT_EQ(window.window_size(), 4u);
+}
+
+TEST(WindowBufferTest, RejectsRecordsOutsideTheUniverse) {
+  WindowBuffer window(3, WindowMode::kTumbling);
+  const Status rejected = window.Ingest(std::vector<uint64_t>{0b1000});
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(window.pending_size(), 0u);  // nothing buffered on failure
+  // An empty advance (records only expiring / nothing new) is legal.
+  EpochDelta delta = window.AdvanceEpoch();
+  EXPECT_TRUE(delta.added.empty());
+}
+
+// ---------------------------------------------------------------------------
+// DeltaViewCounter: the bit-identity differential
+
+// The tentpole correctness claim: after any sequence of epoch deltas, the
+// incrementally maintained counts are bit-identical (==, not near) to a
+// from-scratch fused recount of the current window — for every mode.
+TEST(DeltaViewCounterTest, DeltaMaintenanceIsBitIdenticalToFullRecount) {
+  const int d = 8;
+  const std::vector<AttrSet> views = TestViews();
+  for (const WindowMode mode :
+       {WindowMode::kTumbling, WindowMode::kSliding, WindowMode::kCumulative}) {
+    SCOPED_TRACE(WindowModeName(mode));
+    Rng rng(0xfeedu + static_cast<uint64_t>(mode));
+    WindowBuffer window(d, mode, /*window_batches=*/3);
+    StatusOr<DeltaViewCounter> counter = DeltaViewCounter::Create(d, views);
+    ASSERT_TRUE(counter.ok());
+
+    for (int epoch = 0; epoch < 8; ++epoch) {
+      // Varying batch sizes exercise growth, eviction and empty deltas.
+      const size_t n = (epoch * 37) % 200;
+      ASSERT_TRUE(window.Ingest(MakeBatch(&rng, d, n)).ok());
+      counter.value().ApplyDelta(window.AdvanceEpoch());
+
+      const std::vector<MarginalTable> reference =
+          window.WindowDataset().CountMarginals(views);
+      ASSERT_EQ(counter.value().counts().size(), reference.size());
+      for (size_t v = 0; v < reference.size(); ++v) {
+        // Exact doubles: integer counts below 2^53 add and subtract
+        // without rounding, so == is the correct comparison.
+        EXPECT_EQ(counter.value().counts()[v].cells(),
+                  reference[v].cells())
+            << "view " << v << " diverged at epoch " << epoch;
+      }
+    }
+  }
+}
+
+TEST(DeltaViewCounterTest, ViewsDisjointFromTheDeltaShiftInConstantTime) {
+  const int d = 8;
+  StatusOr<DeltaViewCounter> counter = DeltaViewCounter::Create(
+      d, {AttrSet::FromIndices({0, 1}), AttrSet::FromIndices({6, 7})});
+  ASSERT_TRUE(counter.ok());
+
+  // Every delta record only touches attributes {0, 1}: view {6, 7} must be
+  // maintained with the O(1) cell-0 shift, not a counting pass.
+  EpochDelta delta;
+  delta.added = {0b01, 0b10, 0b11};
+  counter.value().ApplyDelta(delta);
+  EXPECT_EQ(counter.value().last_stats().views_recounted, 1u);
+  EXPECT_EQ(counter.value().last_stats().views_shifted, 1u);
+  EXPECT_DOUBLE_EQ(counter.value().counts()[1].At(0), 3.0);
+
+  EpochDelta removal;
+  removal.removed = {0b01};
+  counter.value().ApplyDelta(removal);
+  EXPECT_DOUBLE_EQ(counter.value().counts()[1].At(0), 2.0);
+  // All-zero records still count toward every view's cell 0.
+  EXPECT_DOUBLE_EQ(counter.value().counts()[0].At(0), 0.0);
+  EXPECT_DOUBLE_EQ(counter.value().counts()[0].At(0b11), 1.0);
+}
+
+// The other half of the differential: building from maintained counts is
+// the same code path as building from the dataset — same seed, same
+// doubles, cell for cell, with noise and consistency on.
+TEST(DeltaViewCounterTest, BuildFromCountsMatchesFullBuildBitIdentically) {
+  const int d = 8;
+  const std::vector<AttrSet> views = TestViews();
+  Rng data_rng(99);
+  WindowBuffer window(d, WindowMode::kSliding, 2);
+  StatusOr<DeltaViewCounter> counter = DeltaViewCounter::Create(d, views);
+  ASSERT_TRUE(counter.ok());
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    ASSERT_TRUE(window.Ingest(MakeBatch(&data_rng, d, 500)).ok());
+    counter.value().ApplyDelta(window.AdvanceEpoch());
+  }
+
+  PriViewOptions options;
+  options.epsilon = 0.7;
+  options.nonneg_rounds = 2;
+  Rng rng_full(1234);
+  Rng rng_delta(1234);
+  StatusOr<PriViewSynopsis> full = PriViewSynopsis::TryBuild(
+      window.WindowDataset(), views, options, &rng_full);
+  StatusOr<PriViewSynopsis> incremental = PriViewSynopsis::TryBuildFromCounts(
+      d, counter.value().CountsCopy(), options, &rng_delta);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(incremental.ok());
+
+  ASSERT_EQ(full.value().views().size(), incremental.value().views().size());
+  for (size_t v = 0; v < full.value().views().size(); ++v) {
+    EXPECT_EQ(full.value().views()[v].cells(),
+              incremental.value().views()[v].cells())
+        << "view " << v << " not bit-identical";
+  }
+  EXPECT_DOUBLE_EQ(full.value().total(), incremental.value().total());
+}
+
+TEST(DeltaViewCounterTest, ResetFromWindowMatchesIncrementalState) {
+  const int d = 6;
+  const std::vector<AttrSet> views = {AttrSet::FromIndices({0, 1}),
+                                      AttrSet::FromIndices({3, 4, 5})};
+  Rng rng(7);
+  WindowBuffer window(d, WindowMode::kCumulative);
+  StatusOr<DeltaViewCounter> incremental = DeltaViewCounter::Create(d, views);
+  StatusOr<DeltaViewCounter> cold = DeltaViewCounter::Create(d, views);
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(cold.ok());
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    ASSERT_TRUE(window.Ingest(MakeBatch(&rng, d, 100)).ok());
+    incremental.value().ApplyDelta(window.AdvanceEpoch());
+  }
+  cold.value().ResetFromWindow(window.WindowDataset());
+  for (size_t v = 0; v < views.size(); ++v) {
+    EXPECT_EQ(incremental.value().counts()[v].cells(),
+              cold.value().counts()[v].cells());
+  }
+}
+
+TEST(DeltaViewCounterTest, RejectsInvalidScopes) {
+  EXPECT_FALSE(DeltaViewCounter::Create(4, {}).ok());
+  EXPECT_FALSE(DeltaViewCounter::Create(4, {AttrSet()}).ok());
+  EXPECT_FALSE(
+      DeltaViewCounter::Create(4, {AttrSet::FromIndices({5})}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// StreamPublisher: epoch loop, budget, rollover
+
+StreamOptions SmallStream(const std::string& name, double total_epsilon = 2.0,
+                          double epoch_epsilon = 0.5) {
+  StreamOptions options;
+  options.name = name;
+  options.d = 8;
+  options.mode = WindowMode::kSliding;
+  options.window_batches = 2;
+  options.views = TestViews();
+  options.total_epsilon = total_epsilon;
+  options.epoch_epsilon = epoch_epsilon;
+  return options;
+}
+
+TEST(StreamPublisherTest, EpochLoopPublishesThroughStoreAndRegistry) {
+  Rng rng(2024);
+  serve::SynopsisRegistry registry;
+  registry.set_history_depth(4);
+  store::StoreOptions store_options;
+  store_options.dir = FreshDir("publish");
+  store::SynopsisStore store(store_options);
+  ASSERT_TRUE(store.Open().ok());
+
+  StatusOr<StreamPublisher> publisher = StreamPublisher::Create(
+      SmallStream("clicks"), &store, &registry, &rng);
+  ASSERT_TRUE(publisher.ok()) << publisher.status().message();
+
+  Rng data_rng(5);
+  uint64_t last_epoch = 0;
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    ASSERT_TRUE(publisher.value().Ingest(MakeBatch(&data_rng, 8, 300)).ok());
+    StatusOr<EpochReport> report = publisher.value().PublishEpoch();
+    ASSERT_TRUE(report.ok()) << report.status().message();
+    EXPECT_EQ(report.value().epoch_index, epoch);
+    // Registry epoch is the store's durable manifest seq, monotonic.
+    EXPECT_EQ(report.value().epoch, store.last_durable_seq());
+    EXPECT_GT(report.value().epoch, last_epoch);
+    last_epoch = report.value().epoch;
+    EXPECT_DOUBLE_EQ(report.value().epsilon_spent, 0.5);
+    EXPECT_NEAR(report.value().epsilon_remaining, 2.0 - 0.5 * epoch, 1e-9);
+
+    StatusOr<std::shared_ptr<const serve::HostedSynopsis>> hosted =
+        registry.Acquire("clicks");
+    ASSERT_TRUE(hosted.ok());
+    EXPECT_EQ(hosted.value()->epoch(), report.value().epoch);
+  }
+  EXPECT_EQ(publisher.value().epochs_published(), 3);
+
+  // Three retained epochs are acquirable as a series, newest first.
+  StatusOr<std::vector<std::shared_ptr<const serve::HostedSynopsis>>> series =
+      registry.AcquireSeries("clicks", 8);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series.value().size(), 3u);
+  EXPECT_GT(series.value()[0]->epoch(), series.value()[1]->epoch());
+  EXPECT_GT(series.value()[1]->epoch(), series.value()[2]->epoch());
+}
+
+TEST(StreamPublisherTest, BudgetRefusalIsTypedAndLeavesTheWindowUntouched) {
+  Rng rng(11);
+  StatusOr<StreamPublisher> publisher = StreamPublisher::Create(
+      SmallStream("meter", /*total_epsilon=*/1.0, /*epoch_epsilon=*/0.4),
+      nullptr, nullptr, &rng);
+  ASSERT_TRUE(publisher.ok());
+
+  Rng data_rng(6);
+  ASSERT_TRUE(publisher.value().Ingest(MakeBatch(&data_rng, 8, 50)).ok());
+  ASSERT_TRUE(publisher.value().PublishEpoch().ok());
+  ASSERT_TRUE(publisher.value().Ingest(MakeBatch(&data_rng, 8, 50)).ok());
+  ASSERT_TRUE(publisher.value().PublishEpoch().ok());
+  EXPECT_TRUE(publisher.value().exhausted());  // 0.2 left < 0.4
+
+  ASSERT_TRUE(publisher.value().Ingest(MakeBatch(&data_rng, 8, 50)).ok());
+  const size_t pending_before = publisher.value().window().pending_size();
+  const int64_t epochs_before = publisher.value().window().epochs();
+  StatusOr<EpochReport> refused = publisher.value().PublishEpoch();
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  // The refusal must be side-effect free: pending batch intact, window not
+  // advanced, nothing spent.
+  EXPECT_EQ(publisher.value().window().pending_size(), pending_before);
+  EXPECT_EQ(publisher.value().window().epochs(), epochs_before);
+  EXPECT_NEAR(publisher.value().budget().remaining(), 0.2, 1e-9);
+}
+
+TEST(StreamPublisherTest, PublisherWorksWithoutStoreOrRegistry) {
+  Rng rng(3);
+  StatusOr<StreamPublisher> publisher =
+      StreamPublisher::Create(SmallStream("bare"), nullptr, nullptr, &rng);
+  ASSERT_TRUE(publisher.ok());
+  Rng data_rng(4);
+  ASSERT_TRUE(publisher.value().Ingest(MakeBatch(&data_rng, 8, 100)).ok());
+  StatusOr<EpochReport> report = publisher.value().PublishEpoch();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().epoch, 0u);  // no store, no registry epoch
+  EXPECT_EQ(report.value().window_records, 100u);
+}
+
+TEST(StreamPublisherTest, CreateValidatesOptions) {
+  Rng rng(1);
+  StreamOptions options = SmallStream("x");
+  options.name = "";
+  EXPECT_FALSE(StreamPublisher::Create(options, nullptr, nullptr, &rng).ok());
+  options = SmallStream("x");
+  options.views.clear();
+  EXPECT_FALSE(StreamPublisher::Create(options, nullptr, nullptr, &rng).ok());
+  options = SmallStream("x");
+  options.epoch_epsilon = 3.0;  // exceeds total
+  EXPECT_FALSE(StreamPublisher::Create(options, nullptr, nullptr, &rng).ok());
+  options = SmallStream("x");
+  EXPECT_FALSE(
+      StreamPublisher::Create(options, nullptr, nullptr, nullptr).ok());
+}
+
+TEST(StreamPublisherTest, BudgetGaugesAreScrapable) {
+  Rng rng(21);
+  StatusOr<StreamPublisher> publisher = StreamPublisher::Create(
+      SmallStream("scraped", 2.0, 0.5), nullptr, nullptr, &rng);
+  ASSERT_TRUE(publisher.ok());
+  Rng data_rng(22);
+  ASSERT_TRUE(publisher.value().Ingest(MakeBatch(&data_rng, 8, 64)).ok());
+  ASSERT_TRUE(publisher.value().PublishEpoch().ok());
+
+  const std::string scrape =
+      obs::MetricsRegistry::Global().RenderPrometheus();
+  EXPECT_NE(scrape.find(
+                "priview_budget_spent_epsilon{budget=\"stream/scraped\"}"),
+            std::string::npos)
+      << scrape;
+  EXPECT_NE(scrape.find(
+                "priview_budget_remaining_epsilon{budget=\"stream/scraped\"}"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("priview_stream_epochs_total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Registry history
+
+TEST(StreamRegistryTest, HistoryDepthBoundsRetainedEpochs) {
+  Rng rng(31);
+  serve::SynopsisRegistry registry;
+  registry.set_history_depth(2);
+  StatusOr<StreamPublisher> publisher = StreamPublisher::Create(
+      SmallStream("depth", /*total_epsilon=*/10.0), nullptr, &registry, &rng);
+  ASSERT_TRUE(publisher.ok());
+  Rng data_rng(32);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    ASSERT_TRUE(publisher.value().Ingest(MakeBatch(&data_rng, 8, 40)).ok());
+    ASSERT_TRUE(publisher.value().PublishEpoch().ok());
+  }
+  StatusOr<std::vector<std::shared_ptr<const serve::HostedSynopsis>>> series =
+      registry.AcquireSeries("depth", 16);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series.value().size(), 2u);  // depth bounds retention
+  // The newest retained epoch is the currently served one.
+  EXPECT_EQ(series.value()[0]->epoch(),
+            registry.Acquire("depth").value()->epoch());
+  // last_n below the depth trims the answer further.
+  EXPECT_EQ(registry.AcquireSeries("depth", 1).value().size(), 1u);
+  EXPECT_FALSE(registry.AcquireSeries("ghost", 2).ok());
+}
+
+}  // namespace
+}  // namespace priview::stream
