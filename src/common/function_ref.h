@@ -1,0 +1,67 @@
+// FunctionRef: a non-owning, trivially-copyable reference to a callable —
+// two words (object pointer + trampoline pointer), no allocation, no
+// virtual dispatch through std::function's type-erased storage.
+//
+// The parallel layer takes its loop bodies by FunctionRef: a ParallelFor
+// over a tiny region used to pay a std::function construction (a heap
+// allocation once the captures outgrow the SBO buffer) on every dispatch,
+// which is pure tax for a callable that only needs to live for the length
+// of the call. FunctionRef is safe exactly when the referenced callable
+// outlives the call — true for every synchronous parallel region, and the
+// only way the parallel layer uses it.
+//
+// Deliberately minimal: no null state, no target introspection. Construct
+// from any callable (including a temporary lambda at a call site — the
+// temporary lives until the full-expression ends, which outlives the
+// synchronous call it is passed to).
+#ifndef PRIVIEW_COMMON_FUNCTION_REF_H_
+#define PRIVIEW_COMMON_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace priview {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function — call sites pass lambdas directly.
+  FunctionRef(F&& f) {
+    using T = std::remove_reference_t<F>;
+    if constexpr (std::is_function_v<T>) {
+      // A plain function has no object to point at; smuggle the function
+      // pointer itself through obj_ (reinterpret_cast both ways — the
+      // round trip through void* is exact).
+      obj_ = reinterpret_cast<void*>(std::addressof(f));
+      call_ = [](void* obj, Args... args) -> R {
+        return (reinterpret_cast<T*>(obj))(std::forward<Args>(args)...);
+      };
+    } else {
+      obj_ = const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+      call_ = [](void* obj, Args... args) -> R {
+        return (*static_cast<T*>(obj))(std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace priview
+
+#endif  // PRIVIEW_COMMON_FUNCTION_REF_H_

@@ -1,12 +1,22 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
+#include <queue>
+#include <shared_mutex>
 #include <thread>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "common/check.h"
 #include "common/failpoint.h"
@@ -15,18 +25,33 @@ namespace priview::parallel {
 namespace {
 
 // Thrown (and caught internally) when the "parallel/task-throw" failpoint
-// fires; distinguishes an injected fault, which is safe to retry inline,
-// from a genuine exception out of a chunk body, which is not.
+// fires on a loop chunk; distinguishes an injected fault, which is safe to
+// replay inline, from a genuine exception out of a chunk body, which is
+// not. Graph nodes never throw this — their recovery is an immediate
+// same-thread re-run (see the header's fault-injection contract).
 struct InjectedTaskFault {};
 
-// True on pool worker threads; a parallel region entered from a worker
-// (nesting) runs inline instead of re-entering the pool.
-thread_local bool t_in_pool_worker = false;
+// Worker slot of the current thread: >= 1 on pool workers, -1 elsewhere.
+// A parallel region entered from a worker (nesting) runs inline instead of
+// re-entering the scheduler.
+thread_local int t_worker_slot = -1;
 
 std::atomic<uint64_t> g_inline_retries{0};
 std::atomic<uint64_t> g_jobs_dispatched{0};
 std::atomic<uint64_t> g_chunks_executed{0};
-std::atomic<size_t> g_queue_depth{0};
+std::atomic<uint64_t> g_steals{0};
+std::atomic<uint64_t> g_steal_failures{0};
+std::atomic<uint64_t> g_overflows{0};
+// Tasks dispatched but not yet completed, summed over every in-flight
+// region. Each task pairs exactly one increment (at dispatch) with exactly
+// one decrement (when its attempt completes, injected or not), so the
+// counter is exact under any number of concurrent dispatchers and can
+// never underflow.
+std::atomic<size_t> g_outstanding{0};
+std::array<std::atomic<int>, kNumPhases> g_occupancy{};
+
+constexpr const char* kPhaseNames[kNumPhases] = {
+    "generic", "count", "merge", "noise", "ripple", "consistency", "solve"};
 
 int DefaultThreadCount() {
   if (const char* env = std::getenv("PRIVIEW_THREADS")) {
@@ -36,184 +61,6 @@ int DefaultThreadCount() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
-
-// One shared pool. Workers are spawned lazily on the first multi-chunk
-// region and live for the rest of the process (the pool itself is
-// intentionally leaked; workers park between jobs). A single dispatch runs
-// at a time (job_mu_); a second thread hitting a parallel region while the
-// pool is busy falls back to inline execution, so concurrent callers (e.g.
-// two analyst threads issuing AnswerBatch at once) can never deadlock.
-class Pool {
- public:
-  static Pool& Get() {
-    static Pool* pool = new Pool();
-    return *pool;
-  }
-
-  int threads() {
-    std::lock_guard<std::mutex> lock(config_mu_);
-    return override_ > 0 ? override_ : DefaultThreadCount();
-  }
-
-  void SetOverride(int n) {
-    PRIVIEW_CHECK(n >= 0);
-    // Taking job_mu_ waits out any in-flight dispatch, so the count never
-    // changes under a running region. The pool only ever grows; workers
-    // beyond the current count sit jobs out.
-    std::lock_guard<std::mutex> dispatch(job_mu_);
-    std::lock_guard<std::mutex> lock(config_mu_);
-    override_ = n;
-  }
-
-  void Run(size_t chunks, const std::function<void(int, size_t)>& chunk_body) {
-    if (chunks == 0) return;
-    // Observability accounting: every chunk below flows through
-    // AttemptChunk exactly once (retries replay already-counted chunks),
-    // which pairs each fetch_add here with one fetch_sub there.
-    g_jobs_dispatched.fetch_add(1, std::memory_order_relaxed);
-    g_queue_depth.fetch_add(chunks, std::memory_order_relaxed);
-    const int want = threads();
-    std::unique_lock<std::mutex> dispatch(job_mu_, std::try_to_lock);
-    if (want <= 1 || chunks == 1 || t_in_pool_worker ||
-        !dispatch.owns_lock()) {
-      RunInline(chunks, chunk_body);
-      return;
-    }
-    EnsureWorkers(want - 1);
-
-    JobState job;
-    job.body = &chunk_body;
-    job.chunk_count = chunks;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      job_ = &job;
-      active_worker_limit_ = want - 1;
-      ++generation_;
-    }
-    work_cv_.notify_all();
-
-    // The caller is worker slot 0.
-    WorkChunks(&job, /*slot=*/0);
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      // Wait until every chunk completed AND every joined worker has left
-      // the (stack-allocated) job before tearing it down.
-      done_cv_.wait(lock, [&] {
-        return job.done_count == job.chunk_count && job.workers_inside == 0;
-      });
-      job_ = nullptr;
-    }
-    FinishJob(&job);
-  }
-
- private:
-  struct JobState {
-    const std::function<void(int, size_t)>* body = nullptr;
-    size_t chunk_count = 0;
-    std::atomic<size_t> next_chunk{0};
-    size_t done_count = 0;     // guarded by Pool::mu_
-    int workers_inside = 0;    // guarded by Pool::mu_
-    // Failure bookkeeping (guarded by fail_mu).
-    std::mutex fail_mu;
-    std::vector<size_t> injected_chunks;
-    std::exception_ptr first_error;
-  };
-
-  // One chunk attempt: evaluates the task-throw failpoint, shields the
-  // pool from exceptions. Returns normally in every case.
-  static void AttemptChunk(JobState* job, int slot, size_t chunk) {
-    g_chunks_executed.fetch_add(1, std::memory_order_relaxed);
-    try {
-      if (PRIVIEW_FAILPOINT("parallel/task-throw")) throw InjectedTaskFault{};
-      (*job->body)(slot, chunk);
-    } catch (const InjectedTaskFault&) {
-      std::lock_guard<std::mutex> lock(job->fail_mu);
-      job->injected_chunks.push_back(chunk);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(job->fail_mu);
-      if (!job->first_error) job->first_error = std::current_exception();
-    }
-    g_queue_depth.fetch_sub(1, std::memory_order_relaxed);
-  }
-
-  // Replays injected-fault chunks inline (ascending order, slot 0) and
-  // rethrows the first genuine error. Runs on the calling thread after the
-  // barrier, so slot 0 is exclusively ours again; the injected failpoint
-  // fires before the chunk body, so a retried chunk has no partial effects
-  // to undo and the recovered result is bit-identical to an unfaulted run.
-  static void FinishJob(JobState* job) {
-    if (job->first_error) std::rethrow_exception(job->first_error);
-    if (job->injected_chunks.empty()) return;
-    std::sort(job->injected_chunks.begin(), job->injected_chunks.end());
-    for (size_t chunk : job->injected_chunks) {
-      g_inline_retries.fetch_add(1, std::memory_order_relaxed);
-      (*job->body)(/*slot=*/0, chunk);
-    }
-  }
-
-  static void RunInline(size_t chunks,
-                        const std::function<void(int, size_t)>& chunk_body) {
-    JobState job;
-    job.body = &chunk_body;
-    job.chunk_count = chunks;
-    for (size_t c = 0; c < chunks; ++c) AttemptChunk(&job, /*slot=*/0, c);
-    FinishJob(&job);
-  }
-
-  void WorkChunks(JobState* job, int slot) {
-    for (;;) {
-      const size_t chunk = job->next_chunk.fetch_add(1);
-      if (chunk >= job->chunk_count) break;
-      AttemptChunk(job, slot, chunk);
-      std::lock_guard<std::mutex> lock(mu_);
-      if (++job->done_count == job->chunk_count) done_cv_.notify_all();
-    }
-  }
-
-  void EnsureWorkers(int count) {
-    std::lock_guard<std::mutex> lock(mu_);
-    while (static_cast<int>(workers_.size()) < count) {
-      const int slot = static_cast<int>(workers_.size()) + 1;
-      workers_.emplace_back([this, slot] { WorkerLoop(slot); });
-    }
-  }
-
-  void WorkerLoop(int slot) {
-    t_in_pool_worker = true;
-    uint64_t seen = 0;
-    for (;;) {
-      JobState* job = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_cv_.wait(lock, [&] { return generation_ != seen; });
-        seen = generation_;
-        // Workers parked beyond the current thread count sit this job out;
-        // a worker waking after the job already finished sees nullptr.
-        if (job_ == nullptr || slot > active_worker_limit_) continue;
-        job = job_;
-        ++job->workers_inside;
-      }
-      WorkChunks(job, slot);
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--job->workers_inside == 0) done_cv_.notify_all();
-      }
-    }
-  }
-
-  std::mutex config_mu_;
-  int override_ = 0;
-
-  std::mutex job_mu_;  // serializes dispatches
-
-  std::mutex mu_;  // guards everything below
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
-  uint64_t generation_ = 0;
-  JobState* job_ = nullptr;
-  int active_worker_limit_ = 0;
-};
 
 // Chunk partition shared by every entry point: depends only on (n, grain).
 struct Partition {
@@ -227,13 +74,579 @@ Partition MakePartition(size_t begin, size_t end, size_t grain) {
   return {g, n == 0 ? 0 : (n + g - 1) / g};
 }
 
+struct JobState;
+
+// One schedulable unit: a loop chunk or a graph node of `job`.
+struct Task {
+  JobState* job = nullptr;
+  uint32_t index = 0;
+};
+
+// Per-region state, stack-allocated in the dispatching frame. Exactly one
+// of `loop` / `graph` is set.
+struct JobState {
+  const FunctionRef<void(int, size_t)>* loop = nullptr;
+  Phase loop_phase = Phase::kGeneric;
+
+  TaskGraph* graph = nullptr;
+  std::unique_ptr<std::atomic<uint32_t>[]> indegree;
+  std::atomic<bool> failed{false};  // graph mode: skip not-yet-started nodes
+
+  std::atomic<size_t> remaining{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  // Set (and notified) inside one done_mu critical section by the task
+  // that drives `remaining` to zero — the completer's LAST touch of this
+  // stack-resident state. The dispatching caller must observe it while
+  // holding done_mu before returning; `remaining == 0` alone is only a
+  // hint, not a lifetime guarantee (the completer may still be inside
+  // the critical section).
+  bool done = false;
+
+  std::mutex fail_mu;
+  std::vector<size_t> injected_chunks;  // loop mode: replayed by the caller
+  std::exception_ptr first_error;
+};
+
+// Bounded per-worker deque. The owner drains the FRONT (ascending chunk
+// order — forward streaming locality; graph enables also land at the front
+// so a just-unblocked dependent runs while its inputs are hot); thieves
+// take from the BACK, the end farthest from the owner's working set. A
+// full ring spills to the scheduler's shared overflow queue.
+class WorkerDeque {
+ public:
+  static constexpr size_t kCap = 2048;
+
+  bool PushBack(Task t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (size_ == kCap) return false;
+    ring_[(head_ + size_) % kCap] = t;
+    ++size_;
+    return true;
+  }
+
+  bool PushFront(Task t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (size_ == kCap) return false;
+    head_ = (head_ + kCap - 1) % kCap;
+    ring_[head_] = t;
+    ++size_;
+    return true;
+  }
+
+  bool PopFront(Task* t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (size_ == 0) return false;
+    *t = ring_[head_];
+    head_ = (head_ + 1) % kCap;
+    --size_;
+    return true;
+  }
+
+  bool PopBack(Task* t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (size_ == 0) return false;
+    *t = ring_[(head_ + size_ - 1) % kCap];
+    --size_;
+    return true;
+  }
+
+  // Steals the back task only if it belongs to `job` — the dispatching
+  // caller helps its own region without executing (and being blocked
+  // inside) an unrelated concurrent region.
+  bool PopBackIfJob(const JobState* job, Task* t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (size_ == 0 || ring_[(head_ + size_ - 1) % kCap].job != job) {
+      return false;
+    }
+    *t = ring_[(head_ + size_ - 1) % kCap];
+    --size_;
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::array<Task, kCap> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+class Scheduler {
+ public:
+  // Caller (slot 0) plus at most kMaxThreads - 1 pool workers.
+  static constexpr int kMaxThreads = 64;
+
+  static Scheduler& Get() {
+    // Intentionally leaked; workers are detached and park between jobs,
+    // so static-destruction order can't strand one on a dead condvar.
+    static Scheduler* scheduler = new Scheduler();
+    return *scheduler;
+  }
+
+  int threads() {
+    std::lock_guard<std::mutex> lock(config_mu_);
+    const int n = override_ > 0 ? override_ : DefaultThreadCount();
+    return std::min(n, kMaxThreads);
+  }
+
+  void SetOverride(int n) {
+    PRIVIEW_CHECK(n >= 0);
+    // The unique lock waits out every in-flight dispatch (dispatchers hold
+    // it shared for the life of their region), so the count never changes
+    // under a running region. Workers only ever spawn; those beyond the
+    // active limit sit jobs out.
+    std::unique_lock<std::shared_mutex> idle(dispatch_mu_);
+    std::lock_guard<std::mutex> lock(config_mu_);
+    override_ = n;
+  }
+
+  void RunLoop(Phase phase, size_t chunks,
+               const FunctionRef<void(int, size_t)>& body) {
+    if (chunks == 0) return;
+    g_jobs_dispatched.fetch_add(1, std::memory_order_relaxed);
+    JobState job;
+    job.loop = &body;
+    job.loop_phase = phase;
+    const int want = threads();
+    std::shared_lock<std::shared_mutex> dispatch(dispatch_mu_,
+                                                 std::try_to_lock);
+    if (want <= 1 || chunks == 1 || t_worker_slot >= 0 ||
+        !dispatch.owns_lock()) {
+      job.remaining.store(chunks, std::memory_order_relaxed);
+      g_outstanding.fetch_add(chunks);
+      for (size_t c = 0; c < chunks; ++c) {
+        Execute(Task{&job, static_cast<uint32_t>(c)}, /*slot=*/0);
+      }
+      FinishLoop(&job);
+      return;
+    }
+    const int lanes = want - 1;
+    EnsureWorkers(lanes);
+    limit_.store(lanes, std::memory_order_release);
+    job.remaining.store(chunks, std::memory_order_relaxed);
+    g_outstanding.fetch_add(chunks);
+    // Deal contiguous blocks: lane i owns chunks [.., ..) and drains them
+    // in ascending order; imbalance is repaired by stealing, not by a
+    // shared next-chunk counter every worker contends on.
+    for (int lane = 1; lane <= lanes; ++lane) {
+      const size_t b = chunks * static_cast<size_t>(lane - 1) /
+                       static_cast<size_t>(lanes);
+      const size_t e =
+          chunks * static_cast<size_t>(lane) / static_cast<size_t>(lanes);
+      for (size_t c = b; c < e; ++c) {
+        PushBack(lane, Task{&job, static_cast<uint32_t>(c)});
+      }
+    }
+    WakeWorkers();
+    DrainAsCaller(&job);
+    FinishLoop(&job);
+  }
+
+  void RunGraph(TaskGraph* graph);
+
+  // --- introspection ---
+  int max_worker_slots() { return threads(); }
+
+ private:
+  void ExecuteBody(JobState* job, int slot, uint32_t index);
+
+  // One task attempt: evaluates the task-throw failpoint, shields the pool
+  // from exceptions, keeps every counter paired. Returns normally always.
+  void Execute(Task t, int slot) {
+    JobState* job = t.job;
+    const Phase phase = job->graph
+                            ? PhaseOfNode(job, t.index)
+                            : job->loop_phase;
+    g_chunks_executed.fetch_add(1, std::memory_order_relaxed);
+    g_occupancy[static_cast<int>(phase)].fetch_add(1);
+    const bool skip =
+        job->graph != nullptr && job->failed.load(std::memory_order_acquire);
+    if (!skip) {
+      try {
+        if (PRIVIEW_FAILPOINT("parallel/task-throw")) {
+          if (job->graph != nullptr) {
+            // Dependents are gated on this node's completion, so the
+            // recovery runs here and now: the failpoint fired before the
+            // body, so this is the body's first (and only) execution.
+            g_inline_retries.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            throw InjectedTaskFault{};
+          }
+        }
+        ExecuteBody(job, slot, t.index);
+      } catch (const InjectedTaskFault&) {
+        std::lock_guard<std::mutex> lock(job->fail_mu);
+        job->injected_chunks.push_back(t.index);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(job->fail_mu);
+          if (!job->first_error) job->first_error = std::current_exception();
+        }
+        job->failed.store(true, std::memory_order_release);
+      }
+    }
+    g_occupancy[static_cast<int>(phase)].fetch_sub(1);
+    g_outstanding.fetch_sub(1);
+    if (job->graph != nullptr) EnableDependents(job, t.index, slot);
+    const size_t left = job->remaining.fetch_sub(1) - 1;
+    if (left == 0) {
+      // Flag and notify inside the critical section: the waiting caller
+      // can only see done == true while holding done_mu, which sequences
+      // this entire block (the completer's last touch) before the
+      // JobState's destruction on the caller's stack.
+      std::lock_guard<std::mutex> lock(job->done_mu);
+      job->done = true;
+      job->done_cv.notify_all();
+    }
+  }
+
+  Phase PhaseOfNode(JobState* job, uint32_t index);
+  void EnableDependents(JobState* job, uint32_t index, int slot);
+
+  // Replays injected-fault chunks inline (ascending order, slot 0) and
+  // rethrows the first genuine error. Runs on the calling thread after the
+  // region completed, so slot 0 is exclusively ours again; the injected
+  // failpoint fires before the chunk body, so a retried chunk has no
+  // partial effects to undo and the recovered result is bit-identical to
+  // an unfaulted run.
+  void FinishLoop(JobState* job) {
+    if (job->first_error) std::rethrow_exception(job->first_error);
+    if (job->injected_chunks.empty()) return;
+    std::sort(job->injected_chunks.begin(), job->injected_chunks.end());
+    for (size_t chunk : job->injected_chunks) {
+      g_inline_retries.fetch_add(1, std::memory_order_relaxed);
+      (*job->loop)(/*slot=*/0, chunk);
+    }
+  }
+
+  // The dispatching caller works as slot 0: it claims tasks of its OWN
+  // region (back-of-deque steals plus the overflow queue) until the region
+  // completes. Claims are restricted by job so a caller never blocks
+  // inside an unrelated concurrent region's task.
+  void DrainAsCaller(JobState* job) {
+    Task t;
+    for (;;) {
+      if (job->remaining.load(std::memory_order_acquire) == 0) break;
+      if (TryClaimForCaller(job, &t)) {
+        Execute(t, /*slot=*/0);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(job->done_mu);
+      if (job->done) return;
+      // Timed wait, not a pure block: a graph node finishing elsewhere can
+      // enable new tasks the caller should help with.
+      job->done_cv.wait_for(lock, std::chrono::microseconds(200));
+      if (job->done) return;
+    }
+    // remaining hit zero, but the completing worker may still be inside
+    // the done_mu critical section. Wait for `done` under the mutex — the
+    // only exit that makes destroying the JobState safe.
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    job->done_cv.wait(lock, [&] { return job->done; });
+  }
+
+  bool TryClaimForCaller(JobState* job, Task* t) {
+    const int lanes = limit_.load(std::memory_order_acquire);
+    const int start =
+        static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed));
+    for (int i = 0; i < lanes; ++i) {
+      const int lane = 1 + (start + i) % lanes;
+      if (deques_[lane]->PopBackIfJob(job, t)) {
+        g_pending.fetch_sub(1);
+        g_steals.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(overflow_mu_);
+      for (auto it = overflow_.begin(); it != overflow_.end(); ++it) {
+        if (it->job == job) {
+          *t = *it;
+          overflow_.erase(it);
+          g_pending.fetch_sub(1);
+          return true;
+        }
+      }
+    }
+    g_steal_failures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  bool TryClaimForWorker(int slot, uint64_t* rng_state, Task* t) {
+    if (deques_[slot]->PopFront(t)) {
+      g_pending.fetch_sub(1);
+      return true;
+    }
+    const int lanes = limit_.load(std::memory_order_acquire);
+    // Randomized victim order: xorshift so concurrent thieves fan out
+    // instead of convoying on the same victim.
+    uint64_t x = *rng_state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *rng_state = x;
+    const int start = static_cast<int>(x % static_cast<uint64_t>(
+                                               lanes > 0 ? lanes : 1));
+    for (int i = 0; i < lanes; ++i) {
+      const int lane = 1 + (start + i) % lanes;
+      if (lane == slot) continue;
+      if (deques_[lane]->PopBack(t)) {
+        g_pending.fetch_sub(1);
+        g_steals.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(overflow_mu_);
+      if (!overflow_.empty()) {
+        *t = overflow_.front();
+        overflow_.pop_front();
+        g_pending.fetch_sub(1);
+        return true;
+      }
+    }
+    g_steal_failures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  void PushBack(int lane, Task t) {
+    if (!deques_[lane]->PushBack(t)) {
+      std::lock_guard<std::mutex> lock(overflow_mu_);
+      overflow_.push_back(t);
+      g_overflows.fetch_add(1, std::memory_order_relaxed);
+    }
+    g_pending.fetch_add(1);
+  }
+
+  void PushFront(int lane, Task t) {
+    if (!deques_[lane]->PushFront(t)) {
+      std::lock_guard<std::mutex> lock(overflow_mu_);
+      overflow_.push_back(t);
+      g_overflows.fetch_add(1, std::memory_order_relaxed);
+    }
+    g_pending.fetch_add(1);
+  }
+
+  // Pushes a just-enabled graph node. A worker keeps it at its own deque
+  // front (the prerequisite's output is hot in its cache); the caller has
+  // no deque and deals round-robin.
+  void PushEnabled(Task t, int slot) {
+    if (slot >= 1) {
+      PushFront(slot, t);
+    } else {
+      const int lanes = std::max(1, limit_.load(std::memory_order_acquire));
+      const int lane =
+          1 + static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                               static_cast<uint64_t>(lanes));
+      PushBack(lane, t);
+    }
+    WakeWorkers();
+  }
+
+  void EnsureWorkers(int count) {
+    PRIVIEW_CHECK(count < kMaxThreads);
+    if (worker_count_.load(std::memory_order_acquire) >= count) return;
+    std::lock_guard<std::mutex> lock(spawn_mu_);
+    while (worker_count_.load(std::memory_order_relaxed) < count) {
+      const int slot = worker_count_.load(std::memory_order_relaxed) + 1;
+      deques_[slot] = std::make_unique<WorkerDeque>();
+      std::thread([this, slot] { WorkerLoop(slot); }).detach();
+      worker_count_.store(slot, std::memory_order_release);
+    }
+  }
+
+  void WakeWorkers() {
+    if (sleepers_.load(std::memory_order_acquire) == 0) return;
+    // Lock-then-notify: a worker between its predicate check and wait()
+    // holds sleep_mu_, so the notification cannot slip into that window.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    sleep_cv_.notify_all();
+  }
+
+  void WorkerLoop(int slot) {
+    t_worker_slot = slot;
+    uint64_t rng_state = 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(slot) +
+                         0xbf58476d1ce4e5b9ull;
+    Task t;
+    for (;;) {
+      if (TryClaimForWorker(slot, &rng_state, &t)) {
+        Execute(t, slot);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(sleep_mu_);
+      sleepers_.fetch_add(1);
+      sleep_cv_.wait(lock, [&] {
+        return g_pending.load() > 0 &&
+               slot <= limit_.load(std::memory_order_acquire);
+      });
+      sleepers_.fetch_sub(1);
+    }
+  }
+
+  std::mutex config_mu_;
+  int override_ = 0;
+
+  // Held shared by every pooled dispatch for the life of its region;
+  // held unique by SetOverride. Concurrent dispatchers coexist.
+  std::shared_mutex dispatch_mu_;
+
+  std::mutex spawn_mu_;
+  std::atomic<int> worker_count_{0};
+  std::atomic<int> limit_{0};  // worker slots 1..limit_ participate
+  std::array<std::unique_ptr<WorkerDeque>, kMaxThreads> deques_;
+
+  std::mutex overflow_mu_;
+  std::deque<Task> overflow_;
+
+  // Claimable (pushed, unclaimed) tasks — the worker wake predicate.
+  std::atomic<size_t> g_pending{0};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<int> sleepers_{0};
+
+  std::atomic<uint64_t> rr_{0};
+};
+
 }  // namespace
 
-int ThreadCount() { return Pool::Get().threads(); }
+// Grants the scheduler access to TaskGraph internals without widening the
+// public API; exposes only public types (NodeId, Phase) so the
+// anonymous-namespace Scheduler never names the private Node struct.
+class SchedulerAccess {
+ public:
+  static void Run(TaskGraph* graph) { Scheduler::Get().RunGraph(graph); }
+  static Phase NodePhase(const TaskGraph* graph, uint32_t id) {
+    return graph->nodes_[id].phase;
+  }
+  static void RunNodeBody(const TaskGraph* graph, uint32_t id, int slot) {
+    graph->nodes_[id].body(slot);
+  }
+  static const std::vector<TaskGraph::NodeId>& Dependents(
+      const TaskGraph* graph, uint32_t id) {
+    return graph->nodes_[id].dependents;
+  }
+  static uint32_t Indegree(const TaskGraph* graph, uint32_t id) {
+    return graph->nodes_[id].indegree;
+  }
+};
 
-int MaxWorkerSlots() { return Pool::Get().threads(); }
+namespace {
 
-void SetThreadCount(int n) { Pool::Get().SetOverride(n); }
+void Scheduler::ExecuteBody(JobState* job, int slot, uint32_t index) {
+  if (job->graph != nullptr) {
+    SchedulerAccess::RunNodeBody(job->graph, index, slot);
+  } else {
+    (*job->loop)(slot, index);
+  }
+}
+
+Phase Scheduler::PhaseOfNode(JobState* job, uint32_t index) {
+  return SchedulerAccess::NodePhase(job->graph, index);
+}
+
+void Scheduler::EnableDependents(JobState* job, uint32_t index, int slot) {
+  for (TaskGraph::NodeId d :
+       SchedulerAccess::Dependents(job->graph, index)) {
+    if (job->indegree[d].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      PushEnabled(Task{job, d}, slot);
+    }
+  }
+}
+
+void Scheduler::RunGraph(TaskGraph* graph) {
+  const size_t n = graph->size();
+  if (n == 0) return;
+  g_jobs_dispatched.fetch_add(1, std::memory_order_relaxed);
+
+  const int want = threads();
+  std::shared_lock<std::shared_mutex> dispatch(dispatch_mu_,
+                                               std::try_to_lock);
+  if (want <= 1 || n == 1 || t_worker_slot >= 0 || !dispatch.owns_lock()) {
+    // Inline: Kahn order, ascending node id among the ready set — a fixed,
+    // thread-count-independent schedule.
+    g_outstanding.fetch_add(n);
+    std::vector<uint32_t> indegree(n);
+    std::priority_queue<uint32_t, std::vector<uint32_t>,
+                        std::greater<uint32_t>>
+        ready;
+    for (uint32_t i = 0; i < n; ++i) {
+      indegree[i] = SchedulerAccess::Indegree(graph, i);
+      if (indegree[i] == 0) ready.push(i);
+    }
+    std::exception_ptr first_error;
+    bool failed = false;
+    size_t executed = 0;
+    while (!ready.empty()) {
+      const uint32_t id = ready.top();
+      ready.pop();
+      ++executed;
+      const Phase phase = SchedulerAccess::NodePhase(graph, id);
+      g_chunks_executed.fetch_add(1, std::memory_order_relaxed);
+      g_occupancy[static_cast<int>(phase)].fetch_add(1);
+      if (!failed) {
+        try {
+          if (PRIVIEW_FAILPOINT("parallel/task-throw")) {
+            g_inline_retries.fetch_add(1, std::memory_order_relaxed);
+          }
+          SchedulerAccess::RunNodeBody(graph, id, /*slot=*/0);
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+          failed = true;
+        }
+      }
+      g_occupancy[static_cast<int>(phase)].fetch_sub(1);
+      g_outstanding.fetch_sub(1);
+      for (uint32_t d : SchedulerAccess::Dependents(graph, id)) {
+        if (--indegree[d] == 0) ready.push(d);
+      }
+    }
+    PRIVIEW_CHECK(executed == n);  // acyclic — validated by Run() upfront
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  const int lanes = want - 1;
+  EnsureWorkers(lanes);
+  limit_.store(lanes, std::memory_order_release);
+
+  JobState job;
+  job.graph = graph;
+  job.indegree = std::make_unique<std::atomic<uint32_t>[]>(n);
+  std::vector<uint32_t> ready;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t deg = SchedulerAccess::Indegree(graph, i);
+    job.indegree[i].store(deg, std::memory_order_relaxed);
+    if (deg == 0) ready.push_back(i);
+  }
+  job.remaining.store(n, std::memory_order_relaxed);
+  g_outstanding.fetch_add(n);
+  // Deal the initially-ready nodes in contiguous ascending blocks, same as
+  // loop chunks; everything else enters via EnableDependents.
+  const size_t r = ready.size();
+  for (int lane = 1; lane <= lanes; ++lane) {
+    const size_t b =
+        r * static_cast<size_t>(lane - 1) / static_cast<size_t>(lanes);
+    const size_t e = r * static_cast<size_t>(lane) / static_cast<size_t>(lanes);
+    for (size_t i = b; i < e; ++i) PushBack(lane, Task{&job, ready[i]});
+  }
+  WakeWorkers();
+  DrainAsCaller(&job);
+  if (job.first_error) std::rethrow_exception(job.first_error);
+}
+
+}  // namespace
+
+const char* PhaseName(Phase phase) {
+  const int i = static_cast<int>(phase);
+  PRIVIEW_CHECK(i >= 0 && i < kNumPhases);
+  return kPhaseNames[i];
+}
+
+int ThreadCount() { return Scheduler::Get().threads(); }
+
+int MaxWorkerSlots() { return Scheduler::Get().threads(); }
+
+void SetThreadCount(int n) { Scheduler::Get().SetOverride(n); }
 
 uint64_t InlineRetryCount() {
   return g_inline_retries.load(std::memory_order_relaxed);
@@ -247,37 +660,153 @@ uint64_t ChunksExecuted() {
   return g_chunks_executed.load(std::memory_order_relaxed);
 }
 
-size_t QueueDepth() {
-  return g_queue_depth.load(std::memory_order_relaxed);
+uint64_t StealCount() { return g_steals.load(std::memory_order_relaxed); }
+
+uint64_t StealFailureCount() {
+  return g_steal_failures.load(std::memory_order_relaxed);
 }
 
-void ParallelForChunks(
-    size_t begin, size_t end, size_t grain,
-    const std::function<void(size_t, size_t, size_t)>& body) {
+uint64_t OverflowCount() {
+  return g_overflows.load(std::memory_order_relaxed);
+}
+
+size_t QueueDepth() { return g_outstanding.load(std::memory_order_relaxed); }
+
+int PhaseOccupancy(Phase phase) {
+  const int i = static_cast<int>(phase);
+  PRIVIEW_CHECK(i >= 0 && i < kNumPhases);
+  return g_occupancy[i].load(std::memory_order_relaxed);
+}
+
+size_t L3CacheBytes() {
+  static const size_t bytes = [] {
+    size_t detected = 0;
+#if defined(__linux__)
+    const long l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
+    if (l3 > 0) {
+      detected = static_cast<size_t>(l3);
+    } else {
+      const long l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+      if (l2 > 0) detected = static_cast<size_t>(l2) * 4;
+    }
+#endif
+    return detected > 0 ? detected : size_t{8} << 20;
+  }();
+  return bytes;
+}
+
+size_t CacheAwareGrain(size_t items, size_t bytes_per_item,
+                       size_t resident_bytes) {
+  if (items == 0) return 1;
+  const size_t bpi = std::max<size_t>(1, bytes_per_item);
+  constexpr size_t kMinBlockBytes = size_t{32} << 10;
+  constexpr size_t kMaxBlockBytes = size_t{1} << 20;
+  // The streamed block's cache budget: a 1/16 share of L3 (several
+  // workers stream concurrently and the resident set needs its share
+  // too), net of the chunk-invariant resident footprint.
+  size_t budget = L3CacheBytes() / 16;
+  budget = budget > resident_bytes ? budget - resident_bytes : kMinBlockBytes;
+  budget = std::clamp(budget, kMinBlockBytes, kMaxBlockBytes);
+  // Overhead floor beats locality ceiling beats steal balance: a chunk is
+  // never under ~32KB of streamed data, never over the cache budget, and
+  // large inputs split into >= ~64 chunks so thieves can balance. None of
+  // the three inputs involve the thread count.
+  const size_t floor_grain = std::max<size_t>(1, kMinBlockBytes / bpi);
+  const size_t ceil_grain = std::max(floor_grain, budget / bpi);
+  const size_t balance_grain = std::max<size_t>(1, (items + 63) / 64);
+  return std::clamp(balance_grain, floor_grain, ceil_grain);
+}
+
+void ParallelForChunks(Phase phase, size_t begin, size_t end, size_t grain,
+                       FunctionRef<void(size_t, size_t, size_t)> body) {
   const Partition part = MakePartition(begin, end, grain);
   if (part.chunks == 0) return;
-  Pool::Get().Run(part.chunks, [&](int /*slot*/, size_t chunk) {
+  const auto chunk_body = [&](int /*slot*/, size_t chunk) {
     const size_t b = begin + chunk * part.grain;
     const size_t e = std::min(end, b + part.grain);
     body(chunk, b, e);
-  });
+  };
+  Scheduler::Get().RunLoop(phase, part.chunks,
+                           FunctionRef<void(int, size_t)>(chunk_body));
 }
 
-void ParallelFor(size_t begin, size_t end, size_t grain,
-                 const std::function<void(size_t, size_t)>& body) {
-  ParallelForChunks(begin, end, grain,
+void ParallelForChunks(size_t begin, size_t end, size_t grain,
+                       FunctionRef<void(size_t, size_t, size_t)> body) {
+  ParallelForChunks(Phase::kGeneric, begin, end, grain, body);
+}
+
+void ParallelFor(Phase phase, size_t begin, size_t end, size_t grain,
+                 FunctionRef<void(size_t, size_t)> body) {
+  ParallelForChunks(phase, begin, end, grain,
                     [&](size_t /*chunk*/, size_t b, size_t e) { body(b, e); });
 }
 
-void ParallelForWorkers(size_t begin, size_t end, size_t grain,
-                        const std::function<void(int, size_t, size_t)>& body) {
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 FunctionRef<void(size_t, size_t)> body) {
+  ParallelFor(Phase::kGeneric, begin, end, grain, body);
+}
+
+void ParallelForWorkers(Phase phase, size_t begin, size_t end, size_t grain,
+                        FunctionRef<void(int, size_t, size_t)> body) {
   const Partition part = MakePartition(begin, end, grain);
   if (part.chunks == 0) return;
-  Pool::Get().Run(part.chunks, [&](int slot, size_t chunk) {
+  const auto chunk_body = [&](int slot, size_t chunk) {
     const size_t b = begin + chunk * part.grain;
     const size_t e = std::min(end, b + part.grain);
     body(slot, b, e);
-  });
+  };
+  Scheduler::Get().RunLoop(phase, part.chunks,
+                           FunctionRef<void(int, size_t)>(chunk_body));
+}
+
+void ParallelForWorkers(size_t begin, size_t end, size_t grain,
+                        FunctionRef<void(int, size_t, size_t)> body) {
+  ParallelForWorkers(Phase::kGeneric, begin, end, grain, body);
+}
+
+TaskGraph::NodeId TaskGraph::AddTask(Phase phase,
+                                     std::function<void(int)> body) {
+  PRIVIEW_CHECK(!ran_);
+  PRIVIEW_CHECK(body != nullptr);
+  Node node;
+  node.phase = phase;
+  node.body = std::move(body);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void TaskGraph::DependsOn(NodeId task, NodeId prerequisite) {
+  PRIVIEW_CHECK(!ran_);
+  PRIVIEW_CHECK(task < nodes_.size() && prerequisite < nodes_.size());
+  PRIVIEW_CHECK(task != prerequisite);
+  nodes_[prerequisite].dependents.push_back(task);
+  ++nodes_[task].indegree;
+}
+
+void TaskGraph::Run() {
+  PRIVIEW_CHECK(!ran_);
+  ran_ = true;
+  // Acyclicity check upfront (Kahn over a scratch copy): a cyclic graph
+  // must fail loudly here, not hang the scheduler.
+  {
+    std::vector<uint32_t> indegree(nodes_.size());
+    std::vector<NodeId> ready;
+    for (NodeId i = 0; i < nodes_.size(); ++i) {
+      indegree[i] = nodes_[i].indegree;
+      if (indegree[i] == 0) ready.push_back(i);
+    }
+    size_t seen = 0;
+    while (!ready.empty()) {
+      const NodeId id = ready.back();
+      ready.pop_back();
+      ++seen;
+      for (NodeId d : nodes_[id].dependents) {
+        if (--indegree[d] == 0) ready.push_back(d);
+      }
+    }
+    PRIVIEW_CHECK(seen == nodes_.size());  // cycle otherwise
+  }
+  SchedulerAccess::Run(this);
 }
 
 }  // namespace priview::parallel

@@ -1,30 +1,52 @@
-// Parallel execution substrate: a lazily-initialized process-wide thread
-// pool with blocked-range ParallelFor and a deterministic reduction helper.
+// Parallel execution substrate: a lazily-initialized process-wide
+// work-stealing scheduler with blocked-range ParallelFor, a deterministic
+// reduction helper, and a dependency-graph mode (TaskGraph) that lets
+// pipeline phases overlap instead of meeting at barriers.
+//
+// Scheduling model. Every worker owns a bounded chunk deque. A dispatch
+// deals the (fixed) chunk partition across the worker deques in contiguous
+// blocks; each worker drains its own deque front-to-back (ascending chunk
+// order — forward streaming locality) and, when empty, steals from the
+// back of a randomized victim's deque. Tasks that do not fit a bounded
+// deque spill to a shared overflow queue. The dispatching caller
+// participates as worker slot 0 by stealing tasks of its own job, so
+// `threads == 1` runs fully inline with zero synchronization. Multiple
+// threads may dispatch concurrently (the serve handler pool and the stream
+// publisher do): their regions coexist in the deques and drain in
+// parallel, instead of one of them falling back to serial execution.
 //
 // Determinism contract (relied on by the synopsis pipeline and its tests):
 // the partition of [begin, end) into chunks depends only on the range and
-// the grain — never on the thread count — and ParallelReduce folds the
-// per-chunk partials in ascending chunk order on the calling thread. Any
-// computation whose chunks write disjoint state (or accumulate
-// exactly-representable integers, where addition is associative) therefore
-// produces bit-identical results at 1, 2 or 8 threads.
+// the grain — never on the thread count or the runtime schedule — and
+// ParallelReduce folds the per-chunk partials in ascending chunk order on
+// the calling thread. Any computation whose chunks write disjoint state
+// (or accumulate exactly-representable integers, where addition is
+// associative) therefore produces bit-identical results at 1, 2, 4, 8 or
+// 16 threads. Work stealing only permutes which worker runs a chunk,
+// which the contract is explicitly insensitive to. TaskGraph adds a
+// dependency dimension: a node may run as soon as its prerequisites
+// completed, so nodes of different phases overlap — bit-identical as long
+// as nodes without a dependency path between them are order-independent
+// (the same requirement chunks already carry).
 //
 // Thread-count resolution, in priority order:
 //   1. SetThreadCount(n) with n >= 1 (tests and benches),
 //   2. the PRIVIEW_THREADS environment variable,
 //   3. std::thread::hardware_concurrency().
 // A count of 1 (or a single-chunk range, or a call made from inside a pool
-// worker) runs the chunks inline on the caller — the pool is never entered,
-// so serial behavior is exactly the pre-parallel code path.
+// worker) runs the chunks inline on the caller.
 //
 // Fault injection: each chunk's first attempt evaluates the
-// "parallel/task-throw" failpoint; an injected fault marks the chunk failed
-// and the caller re-runs every failed chunk inline (in ascending chunk
-// order) after the barrier. Injection happens before the chunk body runs,
-// so the retry cannot double-apply side effects and the recovered result is
-// bit-identical to an unfaulted run. A genuine exception escaping a chunk
-// body is not retried (the body may have partially executed); it is
-// captured and rethrown on the calling thread.
+// "parallel/task-throw" failpoint. For blocked loops an injected fault
+// marks the chunk failed and the caller re-runs every failed chunk inline
+// (in ascending chunk order) after the region completes. For TaskGraph
+// nodes the executing thread re-runs the node immediately (dependents are
+// already gated on its completion, so a deferred replay would deadlock
+// them). In both modes injection happens before the body runs, so the
+// retry cannot double-apply side effects and the recovered result is
+// bit-identical to an unfaulted run. A genuine exception escaping a body
+// is not retried; it is captured and rethrown on the calling thread (and,
+// in graph mode, cancels nodes that have not started yet).
 #ifndef PRIVIEW_COMMON_PARALLEL_H_
 #define PRIVIEW_COMMON_PARALLEL_H_
 
@@ -33,14 +55,35 @@
 #include <functional>
 #include <vector>
 
+#include "common/function_ref.h"
+
 namespace priview::parallel {
+
+/// Pipeline phase a region or task belongs to. Purely observational: the
+/// scheduler tracks per-phase occupancy (how many tasks of each phase are
+/// executing right now), which is how phase overlap shows up in metrics —
+/// count and noise occupancy simultaneously nonzero during a publish.
+enum class Phase : int {
+  kGeneric = 0,
+  kCount,
+  kMerge,
+  kNoise,
+  kRipple,
+  kConsistency,
+  kSolve,
+};
+inline constexpr int kNumPhases = 7;
+
+/// Stable lowercase name for a phase (metric suffixes, logs).
+const char* PhaseName(Phase phase);
 
 /// Effective thread count the next parallel region will use (>= 1).
 int ThreadCount();
 
 /// Overrides the thread count; n == 0 restores the default resolution
-/// (PRIVIEW_THREADS, then hardware concurrency). Takes effect on the next
-/// parallel region; must not be called from inside one.
+/// (PRIVIEW_THREADS, then hardware concurrency). Waits for in-flight
+/// regions to drain, then takes effect on the next parallel region; must
+/// not be called from inside one.
 void SetThreadCount(int n);
 
 /// Upper bound on the worker-slot index ParallelForWorkers can pass —
@@ -58,29 +101,69 @@ uint64_t JobsDispatched();
 /// Chunks executed since process start (every attempt, inline or pooled).
 uint64_t ChunksExecuted();
 
-/// Chunks of the in-flight parallel region not yet completed; 0 when no
-/// region is running. One dispatch runs at a time, so this is the pool's
-/// whole backlog — the serving layer's queue-depth gauge.
+/// Tasks claimed from a deque the claiming thread does not own (includes
+/// the dispatching caller's claims — it owns no deque). The load-balance
+/// signal: zero means static placement already matched the work.
+uint64_t StealCount();
+
+/// Steal sweeps that found every deque empty (the thief went to sleep or
+/// re-scanned). High failure-to-steal ratios mean the pool is starved.
+uint64_t StealFailureCount();
+
+/// Tasks that spilled to the shared overflow queue because a worker deque
+/// was full. Overflowed tasks still execute; the counter flags dispatches
+/// outsized for the bounded deques.
+uint64_t OverflowCount();
+
+/// Tasks dispatched but not yet completed, summed across ALL in-flight
+/// regions; 0 when the scheduler is idle. Correct under concurrent
+/// dispatchers: each region's tasks are counted at dispatch and uncounted
+/// as they complete, so concurrent regions sum instead of clobbering.
 size_t QueueDepth();
+
+/// Tasks of `phase` executing right now (per-phase occupancy gauge).
+int PhaseOccupancy(Phase phase);
+
+/// Size of the last-level cache the grain heuristic targets. Detected
+/// once (sysconf on Linux); falls back to 8 MiB when undetectable.
+size_t L3CacheBytes();
+
+/// Chunk grain (items per chunk) sized so one chunk's streamed footprint
+/// (`items * bytes_per_item`) plus the chunk-invariant working set
+/// (`resident_bytes`, e.g. accumulator tables) targets a share of L3,
+/// floored so a chunk is never smaller than ~32KB of streamed data (task
+/// overhead), and capped so large inputs split into at least ~64 chunks
+/// for the thieves to balance. Depends on the machine's cache size but
+/// NEVER on the thread count, so the partition — and with it every
+/// deterministic reduction — is identical at any thread count.
+size_t CacheAwareGrain(size_t items, size_t bytes_per_item,
+                       size_t resident_bytes);
 
 /// Runs body(chunk_begin, chunk_end) over a blocked partition of
 /// [begin, end) with ~grain items per chunk. Blocks until every chunk has
 /// completed. `grain` must be >= 1; a range of fewer than 2 chunks runs
 /// inline on the caller.
 void ParallelFor(size_t begin, size_t end, size_t grain,
-                 const std::function<void(size_t, size_t)>& body);
+                 FunctionRef<void(size_t, size_t)> body);
+void ParallelFor(Phase phase, size_t begin, size_t end, size_t grain,
+                 FunctionRef<void(size_t, size_t)> body);
 
 /// As ParallelFor, also passing the chunk's index (0-based, stable across
 /// thread counts) — the hook deterministic reductions key partials on.
 void ParallelForChunks(size_t begin, size_t end, size_t grain,
-                       const std::function<void(size_t, size_t, size_t)>& body);
+                       FunctionRef<void(size_t, size_t, size_t)> body);
+void ParallelForChunks(Phase phase, size_t begin, size_t end, size_t grain,
+                       FunctionRef<void(size_t, size_t, size_t)> body);
 
 /// As ParallelFor, also passing a worker slot in [0, MaxWorkerSlots())
-/// that is unique among concurrently running chunks — for per-thread
-/// accumulator tables. Slot contents must be merge-order-independent
-/// (e.g. exact integer counts) for the determinism contract to hold.
+/// that is unique among concurrently running chunks of THIS region — for
+/// per-thread accumulator tables. Slot contents must be
+/// merge-order-independent (e.g. exact integer counts) for the
+/// determinism contract to hold.
 void ParallelForWorkers(size_t begin, size_t end, size_t grain,
-                        const std::function<void(int, size_t, size_t)>& body);
+                        FunctionRef<void(int, size_t, size_t)> body);
+void ParallelForWorkers(Phase phase, size_t begin, size_t end, size_t grain,
+                        FunctionRef<void(int, size_t, size_t)> body);
 
 /// Deterministic map-reduce: map(chunk_begin, chunk_end) -> T runs on the
 /// pool, then the partials are folded left-to-right in chunk order on the
@@ -102,6 +185,52 @@ T ParallelReduce(size_t begin, size_t end, size_t grain, T init, MapFn map,
   for (const T& partial : partials) acc = combine(acc, partial);
   return acc;
 }
+
+/// Dependency-graph execution: nodes are tasks tagged with a phase, edges
+/// are happens-before prerequisites. Run() executes every node on the
+/// work-stealing scheduler, releasing a node the moment its last
+/// prerequisite completes — so a node two phases downstream can run while
+/// unrelated nodes of the first phase are still executing (phase overlap).
+/// A node enabled by a pool worker is pushed onto that worker's own deque
+/// front, so the data its prerequisite just produced is still hot.
+///
+/// Node bodies receive a worker slot in [0, MaxWorkerSlots()), unique
+/// among concurrently running nodes of this graph. Nodes with no
+/// dependency path between them must be order-independent (disjoint
+/// writes, or exact-integer accumulation) for determinism.
+///
+/// Single-use: build, Run() once, discard. The graph must be acyclic
+/// (checked). A genuine exception cancels nodes that have not started and
+/// is rethrown from Run(); the "parallel/task-throw" failpoint is
+/// recovered by an immediate same-thread re-run (see file header).
+class TaskGraph {
+ public:
+  using NodeId = uint32_t;
+
+  /// Adds a task; returns its id. Bodies may allocate (graph construction
+  /// is per-publish, not per-chunk).
+  NodeId AddTask(Phase phase, std::function<void(int)> body);
+
+  /// Declares that `task` must not start before `prerequisite` completed.
+  void DependsOn(NodeId task, NodeId prerequisite);
+
+  size_t size() const { return nodes_.size(); }
+
+  /// Executes the whole graph; blocks until every node completed (or the
+  /// graph was cancelled by a genuine exception, which is rethrown).
+  void Run();
+
+ private:
+  friend class SchedulerAccess;
+  struct Node {
+    Phase phase = Phase::kGeneric;
+    std::function<void(int)> body;
+    std::vector<NodeId> dependents;
+    uint32_t indegree = 0;
+  };
+  std::vector<Node> nodes_;
+  bool ran_ = false;
+};
 
 }  // namespace priview::parallel
 

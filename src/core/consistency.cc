@@ -69,7 +69,8 @@ void MutualConsistencyStep(std::vector<MarginalTable>* views, AttrSet common,
   // identical at any thread count.
   std::vector<MarginalTable> projections(view_indices.size());
   parallel::ParallelFor(
-      0, view_indices.size(), kViewGrain, [&](size_t begin, size_t end) {
+      parallel::Phase::kConsistency, 0, view_indices.size(), kViewGrain,
+      [&](size_t begin, size_t end) {
         for (size_t vi = begin; vi < end; ++vi) {
           const MarginalTable& view = (*views)[view_indices[vi]];
           PRIVIEW_CHECK(common.IsSubsetOf(view.attrs()));
@@ -86,7 +87,8 @@ void MutualConsistencyStep(std::vector<MarginalTable>* views, AttrSet common,
   // spread uniformly over the 2^{|V|-|common|} view cells projecting to it.
   // Each view's update touches only that view's table — disjoint writes.
   parallel::ParallelFor(
-      0, view_indices.size(), kViewGrain, [&](size_t begin, size_t end) {
+      parallel::Phase::kConsistency, 0, view_indices.size(), kViewGrain,
+      [&](size_t begin, size_t end) {
         for (size_t vi = begin; vi < end; ++vi) {
           MarginalTable& view = (*views)[view_indices[vi]];
           const uint64_t within = view.CellIndexMaskFor(common);

@@ -185,12 +185,14 @@ std::vector<StatusOr<MarginalTable>> QueryEngine::AnswerBatch(
   // the slots are disjoint, so the batch result does not depend on the
   // thread count.
   std::vector<std::optional<StatusOr<MarginalTable>>> computed(pending.size());
-  parallel::ParallelFor(0, pending.size(), 1, [&](size_t begin, size_t end) {
-    for (size_t j = begin; j < end; ++j) {
-      obs::TraceSpan solve("query/solve");
-      computed[j] = synopsis_->TryQuery(pending[j], method_);
-    }
-  });
+  parallel::ParallelFor(parallel::Phase::kSolve, 0, pending.size(), 1,
+                        [&](size_t begin, size_t end) {
+                          for (size_t j = begin; j < end; ++j) {
+                            obs::TraceSpan solve("query/solve");
+                            computed[j] =
+                                synopsis_->TryQuery(pending[j], method_);
+                          }
+                        });
 
   // Phase 3 (sequential): populate the cache in batch order and assemble
   // the per-request answers (duplicates share the computed table).

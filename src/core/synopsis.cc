@@ -35,16 +35,67 @@ StatusOr<PriViewSynopsis> PriViewSynopsis::TryBuild(
   obs::TraceSpan publish_span("publish");
 
   // Stage 1 (the only data access): one fused, cache-blocked pass over the
-  // records materializes every view marginal at once. Everything after —
-  // noise, consistency — is shared with TryBuildFromCounts, so a synopsis
-  // rebuilt from delta-maintained running counts is bit-identical to this
-  // from-scratch path.
-  std::vector<MarginalTable> counts;
+  // records materializes every view marginal at once. When noising, the
+  // pass and the noise run as ONE task graph — a view group whose counts
+  // have merged enters noise while other groups are still counting — so
+  // the count barrier the old pipeline paid is gone. Noise draws come from
+  // per-view rngs forked sequentially in view order BEFORE the graph runs,
+  // and a group merges its slot accumulators in slot order, so the result
+  // is bit-identical to the sequential count-then-noise path (which is
+  // what TryBuildFromCounts still runs on delta-maintained counts) at any
+  // thread count.
+  if (!options.add_noise) {
+    std::vector<MarginalTable> counts;
+    {
+      obs::TraceSpan count_span("publish/count");
+      counts = data.CountMarginals(views);
+    }
+    return FinishFromCounts(data.d(), std::move(counts), options, rng);
+  }
+
+  FusedCountPlan plan = data.PlanFusedCount(views);
+  std::vector<Rng> view_rngs;
+  view_rngs.reserve(views.size());
+  for (size_t i = 0; i < views.size(); ++i) view_rngs.push_back(rng->Fork());
+  const double w = static_cast<double>(views.size());
+
   {
     obs::TraceSpan count_span("publish/count");
-    counts = data.CountMarginals(views);
+    parallel::TaskGraph graph;
+    const size_t groups = plan.num_groups();
+    const size_t chunks = plan.num_record_chunks();
+    // Node order (group fastest within a record chunk) keeps a worker's
+    // consecutive count tasks on the same hot record chunk.
+    std::vector<parallel::TaskGraph::NodeId> count_ids(groups * chunks);
+    for (size_t r = 0; r < chunks; ++r) {
+      for (size_t g = 0; g < groups; ++g) {
+        count_ids[r * groups + g] = graph.AddTask(
+            parallel::Phase::kCount,
+            [&plan, g, r](int slot) { plan.AccumulateGroup(slot, g, r); });
+      }
+    }
+    for (size_t g = 0; g < groups; ++g) {
+      const parallel::TaskGraph::NodeId merge_id = graph.AddTask(
+          parallel::Phase::kMerge, [&plan, g](int) { plan.MergeGroup(g); });
+      for (size_t r = 0; r < chunks; ++r) {
+        graph.DependsOn(merge_id, count_ids[r * groups + g]);
+      }
+      const auto [v_begin, v_end] = plan.GroupViews(g);
+      for (size_t v = v_begin; v < v_end; ++v) {
+        const parallel::TaskGraph::NodeId noise_id =
+            graph.AddTask(parallel::Phase::kNoise, [&plan, &view_rngs,
+                                                    &options, w, v](int) {
+              obs::TraceSpan view_span("publish/noise/view");
+              AddLaplaceNoise(&plan.table(v), /*sensitivity=*/w,
+                              options.epsilon, &view_rngs[v]);
+            });
+        graph.DependsOn(noise_id, merge_id);
+      }
+    }
+    graph.Run();
   }
-  return FinishFromCounts(data.d(), std::move(counts), options, rng);
+  return FinishFromCounts(data.d(), plan.TakeTables(), options, rng,
+                          /*noise_done=*/true);
 }
 
 StatusOr<PriViewSynopsis> PriViewSynopsis::TryBuildFromCounts(
@@ -71,7 +122,7 @@ StatusOr<PriViewSynopsis> PriViewSynopsis::TryBuildFromCounts(
 
 PriViewSynopsis PriViewSynopsis::FinishFromCounts(
     int d, std::vector<MarginalTable> counts, const PriViewOptions& options,
-    Rng* rng) {
+    Rng* rng, bool noise_done) {
   PriViewSynopsis synopsis;
   synopsis.d_ = d;
   synopsis.options_ = options;
@@ -80,9 +131,12 @@ PriViewSynopsis PriViewSynopsis::FinishFromCounts(
   // Lap(w/epsilon) noise on every cell. Each view draws from its own Rng
   // forked (deterministically, in view order) from the caller's, so the
   // noise a view receives does not depend on the thread count — synopses
-  // are bit-identical at 1 or 8 threads for the same seed.
+  // are bit-identical at 1, 2, 4, 8 or 16 threads for the same seed.
+  // TryBuild's overlapped graph forks the same per-view rngs in the same
+  // order and noises each view once, so `noise_done` skips an identical —
+  // not merely equivalent — computation.
   const double w = static_cast<double>(synopsis.views_.size());
-  if (options.add_noise) {
+  if (options.add_noise && !noise_done) {
     obs::TraceSpan noise_span("publish/noise");
     std::vector<Rng> view_rngs;
     view_rngs.reserve(synopsis.views_.size());
@@ -90,7 +144,8 @@ PriViewSynopsis PriViewSynopsis::FinishFromCounts(
       view_rngs.push_back(rng->Fork());
     }
     parallel::ParallelFor(
-        0, synopsis.views_.size(), 1, [&](size_t begin, size_t end) {
+        parallel::Phase::kNoise, 0, synopsis.views_.size(), 1,
+        [&](size_t begin, size_t end) {
           for (size_t i = begin; i < end; ++i) {
             obs::TraceSpan view_span("publish/noise/view");
             AddLaplaceNoise(&synopsis.views_[i], /*sensitivity=*/w,
@@ -107,7 +162,8 @@ PriViewSynopsis PriViewSynopsis::FinishFromCounts(
   // internally over the participating views).
   const auto nonneg_pass = [&] {
     obs::TraceSpan ripple_span("publish/ripple");
-    parallel::ParallelFor(0, synopsis.views_.size(), 1,
+    parallel::ParallelFor(parallel::Phase::kRipple, 0,
+                          synopsis.views_.size(), 1,
                           [&](size_t begin, size_t end) {
                             for (size_t i = begin; i < end; ++i) {
                               obs::TraceSpan view_span("publish/ripple/view");

@@ -103,10 +103,13 @@ class PriViewSynopsis {
 
   /// Shared back half of TryBuild / TryBuildFromCounts: noise, consistency
   /// rounds and the consistent total over already-materialized counts.
+  /// TryBuild's overlapped count+noise task graph already applied the
+  /// per-view noise when `noise_done` is true; the noise draws and view
+  /// order are identical either way, so both entries stay bit-identical.
   static PriViewSynopsis FinishFromCounts(int d,
                                           std::vector<MarginalTable> counts,
                                           const PriViewOptions& options,
-                                          Rng* rng);
+                                          Rng* rng, bool noise_done = false);
 
   int d_ = 0;
   double total_ = 0.0;

@@ -118,7 +118,8 @@ MetricsRegistry& MetricsRegistry::Global() {
     // cannot depend on obs); pull them at render time.
     r->RegisterCallbackGauge(
         "priview_parallel_queue_depth",
-        "Chunks of the in-flight parallel region not yet completed",
+        "Tasks dispatched but not completed, summed over all in-flight "
+        "parallel regions",
         [] { return static_cast<int64_t>(parallel::QueueDepth()); });
     r->RegisterCallbackGauge(
         "priview_parallel_threads", "Effective parallel pool thread count",
@@ -133,6 +134,32 @@ MetricsRegistry& MetricsRegistry::Global() {
         "priview_parallel_inline_retries_total",
         "Chunks recovered via the inline-retry path",
         [] { return parallel::InlineRetryCount(); });
+    r->RegisterCallbackCounter(
+        "priview_parallel_steals_total",
+        "Tasks claimed from a deque the claimant does not own",
+        [] { return parallel::StealCount(); });
+    r->RegisterCallbackCounter(
+        "priview_parallel_steal_failures_total",
+        "Steal sweeps that found every deque empty",
+        [] { return parallel::StealFailureCount(); });
+    r->RegisterCallbackCounter(
+        "priview_parallel_overflows_total",
+        "Tasks spilled to the shared overflow queue (worker deque full)",
+        [] { return parallel::OverflowCount(); });
+    // Per-phase occupancy, one name-suffixed gauge per phase (callback
+    // instruments carry no labels). Nonzero count AND noise occupancy at
+    // the same instant is phase overlap made visible.
+    for (int p = 0; p < parallel::kNumPhases; ++p) {
+      const auto phase = static_cast<parallel::Phase>(p);
+      r->RegisterCallbackGauge(
+          std::string("priview_parallel_occupancy_") +
+              parallel::PhaseName(phase),
+          std::string("Tasks of the ") + parallel::PhaseName(phase) +
+              " phase executing right now",
+          [phase] {
+            return static_cast<int64_t>(parallel::PhaseOccupancy(phase));
+          });
+    }
     return r;
   }();
   return *registry;

@@ -221,7 +221,10 @@ Status RequestBroker::Admit(std::unique_ptr<Pending> pending) {
 
 size_t RequestBroker::QueueDepth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  // Queued plus in-flight: the dispatcher swaps the whole queue into a
+  // local batch, so counting `queue_` alone reads 0 the entire time a
+  // batch is being processed — precisely when the gauge matters.
+  return queue_.size() + inflight_;
 }
 
 void RequestBroker::DispatchLoop() {

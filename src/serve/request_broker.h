@@ -155,7 +155,10 @@ class RequestBroker {
       const std::string& synopsis, AttrSet target, uint32_t last_n,
       SeriesMode mode, std::chrono::steady_clock::time_point deadline);
 
-  /// Requests admitted but not yet dispatched (diagnostics).
+  /// Requests admitted but not yet completed: still queued OR swapped into
+  /// the dispatcher's in-flight batch. Counting only the queue would read
+  /// 0 for the whole time a batch is processing (the dispatcher drains the
+  /// queue in one swap), which is exactly when the backlog gauge matters.
   size_t QueueDepth() const;
 
   const BrokerOptions& options() const { return options_; }

@@ -3,8 +3,17 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace priview::stream {
+
+namespace {
+// Views per chunk when folding recounted delta tables into the running
+// counts: each view's fold is independent (disjoint writes), so the fold
+// rides the work-stealing pool as merge-phase work. Same grain as the
+// consistency per-view loops.
+constexpr size_t kViewGrain = 8;
+}  // namespace
 
 DeltaViewCounter::DeltaViewCounter(int d, std::vector<AttrSet> views)
     : d_(d), views_(std::move(views)) {
@@ -59,21 +68,29 @@ void DeltaViewCounter::ApplyDelta(const EpochDelta& delta) {
     const Dataset added(d_, delta.added);
     const std::vector<MarginalTable> add_counts =
         added.CountMarginals(recount_views);
-    for (size_t k = 0; k < recount_index.size(); ++k) {
-      std::vector<double>& cells = counts_[recount_index[k]].cells();
-      const std::vector<double>& inc = add_counts[k].cells();
-      for (size_t c = 0; c < cells.size(); ++c) cells[c] += inc[c];
-    }
+    parallel::ParallelFor(
+        parallel::Phase::kMerge, 0, recount_index.size(), kViewGrain,
+        [&](size_t lo, size_t hi) {
+          for (size_t k = lo; k < hi; ++k) {
+            std::vector<double>& cells = counts_[recount_index[k]].cells();
+            const std::vector<double>& inc = add_counts[k].cells();
+            for (size_t c = 0; c < cells.size(); ++c) cells[c] += inc[c];
+          }
+        });
   }
   if (!delta.removed.empty()) {
     const Dataset removed(d_, delta.removed);
     const std::vector<MarginalTable> rem_counts =
         removed.CountMarginals(recount_views);
-    for (size_t k = 0; k < recount_index.size(); ++k) {
-      std::vector<double>& cells = counts_[recount_index[k]].cells();
-      const std::vector<double>& dec = rem_counts[k].cells();
-      for (size_t c = 0; c < cells.size(); ++c) cells[c] -= dec[c];
-    }
+    parallel::ParallelFor(
+        parallel::Phase::kMerge, 0, recount_index.size(), kViewGrain,
+        [&](size_t lo, size_t hi) {
+          for (size_t k = lo; k < hi; ++k) {
+            std::vector<double>& cells = counts_[recount_index[k]].cells();
+            const std::vector<double>& dec = rem_counts[k].cells();
+            for (size_t c = 0; c < cells.size(); ++c) cells[c] -= dec[c];
+          }
+        });
   }
 }
 

@@ -10,9 +10,12 @@
 //        refreshed budget, and the total ε is never silently exceeded)
 //     2. advance the window (tumbling / sliding / cumulative) and fold
 //        the delta into the DeltaViewCounter's exact running counts
+//        (the recount and the per-view fold ride the work-stealing pool
+//        as count/merge-phase work — DESIGN.md §10)
 //     3. build the next synopsis OFF TO THE SIDE from those counts
 //        (PriViewSynopsis::TryBuildFromCounts — identical noise +
-//        consistency path to a from-scratch build)
+//        consistency path to a from-scratch build, phase-tagged through
+//        the same scheduler, bit-identical at any thread count)
 //     4. persist durably via SynopsisStore::Install (atomic: temp file,
 //        fsync, rename, dir fsync, journal append)
 //     5. hot-swap via SynopsisRegistry::InstallAtEpoch at epoch = the

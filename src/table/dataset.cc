@@ -34,81 +34,124 @@ MarginalTable Dataset::CountMarginal(AttrSet attrs) const {
   return table;
 }
 
-std::vector<MarginalTable> Dataset::CountMarginals(
-    std::span<const AttrSet> views) const {
+FusedCountPlan Dataset::PlanFusedCount(std::span<const AttrSet> views) const {
   const size_t w = views.size();
-  std::vector<MarginalTable> out;
-  out.reserve(w);
-  std::vector<uint64_t> masks(w);
-  // Flat per-thread accumulators: view v's cells live at [offset[v],
-  // offset[v + 1]) so one allocation covers all views.
-  std::vector<size_t> offset(w + 1, 0);
+  FusedCountPlan plan;
+  plan.records_ = &records_;
+  plan.tables_.reserve(w);
+  plan.masks_.resize(w);
+  // Flat per-slot accumulators: view v's cells live at [offset_[v],
+  // offset_[v + 1]) so one allocation covers all views.
+  plan.offset_.assign(w + 1, 0);
   for (size_t v = 0; v < w; ++v) {
     PRIVIEW_CHECK(views[v].IsSubsetOf(AttrSet::Full(d_)));
-    out.emplace_back(views[v]);
-    masks[v] = views[v].mask();
-    offset[v + 1] = offset[v] + (size_t{1} << views[v].size());
+    plan.tables_.emplace_back(views[v]);
+    plan.masks_[v] = views[v].mask();
+    plan.offset_[v + 1] = plan.offset_[v] + (size_t{1} << views[v].size());
   }
-  if (w == 0 || records_.empty()) return out;
-  const size_t total_cells = offset[w];
 
-  // Two-level blocking. Record chunks (32KB of packed records) stay hot
-  // across the inner passes; views are grouped so each group's accumulator
-  // slice fits L1 (scattering increments across all w tables at once would
-  // miss on nearly every write — with a C3 design that is ~1MB of tables).
-  // Each record chunk is then re-streamed once per view group from L1/L2
+  // Two-level blocking. Record chunks stay hot across the inner passes;
+  // views are grouped so each group's accumulator slice fits L1
+  // (scattering increments across all w tables at once would miss on
+  // nearly every write — with a C3 design that is ~1MB of tables). Each
+  // record chunk is then re-streamed once per view group from L1/L2
   // instead of once per view from DRAM, which is the fused win.
-  constexpr size_t kRecordGrain = 4096;
   constexpr size_t kGroupCellBudget = 2048;  // 16KB of doubles
-  std::vector<size_t> group_start;  // indices into views, last = w
-  group_start.push_back(0);
+  plan.group_start_.push_back(0);
   {
     size_t cells_in_group = 0;
     for (size_t v = 0; v < w; ++v) {
-      const size_t cells = offset[v + 1] - offset[v];
+      const size_t cells = plan.offset_[v + 1] - plan.offset_[v];
       if (cells_in_group > 0 && cells_in_group + cells > kGroupCellBudget) {
-        group_start.push_back(v);
+        plan.group_start_.push_back(v);
         cells_in_group = 0;
       }
       cells_in_group += cells;
+      plan.group_of_view_.push_back(plan.group_start_.size() - 1);
     }
-    group_start.push_back(w);
+    plan.group_start_.push_back(w);
   }
 
-  const int slots = parallel::MaxWorkerSlots();
-  std::vector<std::vector<double>> acc(static_cast<size_t>(slots));
-  parallel::ParallelForWorkers(
-      0, records_.size(), kRecordGrain,
-      [&](int slot, size_t begin, size_t end) {
-        PRIVIEW_CHECK(slot >= 0 && slot < slots);
-        std::vector<double>& a = acc[static_cast<size_t>(slot)];
-        if (a.empty()) a.assign(total_cells, 0.0);
-        const uint64_t* mask = masks.data();
-        const size_t* off = offset.data();
-        const uint64_t* rec = records_.data();
-        for (size_t g = 0; g + 1 < group_start.size(); ++g) {
-          const size_t v_begin = group_start[g], v_end = group_start[g + 1];
-          for (size_t i = begin; i < end; ++i) {
-            const uint64_t r = rec[i];
-            for (size_t v = v_begin; v < v_end; ++v) {
-              a[off[v] + ExtractBits(r, mask[v])] += 1.0;
-            }
-          }
-        }
-      });
+  if (w == 0 || records_.empty()) return plan;
 
+  // Record chunk size from the cache, not a constant: one chunk of packed
+  // records should stream within an L3 share net of the accumulator
+  // footprint. Machine-dependent but thread-count independent, so the
+  // partition (and the exact-integer counts) are identical at any count.
+  plan.record_grain_ = parallel::CacheAwareGrain(
+      records_.size(), sizeof(uint64_t),
+      /*resident_bytes=*/kGroupCellBudget * sizeof(double));
+  plan.record_chunks_ =
+      (records_.size() + plan.record_grain_ - 1) / plan.record_grain_;
+
+  // Eager per-slot allocation: a group can merge while other groups are
+  // still accumulating on other slots, so lazy allocation would race on
+  // the vector itself. Slices are disjoint; the arrays are not.
+  const size_t total_cells = plan.offset_[w];
+  plan.acc_.resize(static_cast<size_t>(parallel::MaxWorkerSlots()));
+  for (std::vector<double>& a : plan.acc_) a.assign(total_cells, 0.0);
+  return plan;
+}
+
+void FusedCountPlan::AccumulateGroup(int slot, size_t group, size_t chunk) {
+  PRIVIEW_CHECK(slot >= 0 && static_cast<size_t>(slot) < acc_.size());
+  PRIVIEW_CHECK(group + 1 < group_start_.size());
+  PRIVIEW_CHECK(chunk < record_chunks_);
+  std::vector<double>& a = acc_[static_cast<size_t>(slot)];
+  const uint64_t* rec = records_->data();
+  const size_t begin = chunk * record_grain_;
+  const size_t end = std::min(records_->size(), begin + record_grain_);
+  const size_t v_begin = group_start_[group], v_end = group_start_[group + 1];
+  for (size_t i = begin; i < end; ++i) {
+    const uint64_t r = rec[i];
+    for (size_t v = v_begin; v < v_end; ++v) {
+      a[offset_[v] + ExtractBits(r, masks_[v])] += 1.0;
+    }
+  }
+}
+
+void FusedCountPlan::MergeGroup(size_t group) {
+  PRIVIEW_CHECK(group + 1 < group_start_.size());
+  const size_t v_begin = group_start_[group], v_end = group_start_[group + 1];
   // Merge in slot order. Cell values are exact integers (N << 2^53), so
-  // the merge is bit-identical no matter which slot counted which block.
-  for (const std::vector<double>& a : acc) {
-    if (a.empty()) continue;
-    for (size_t v = 0; v < w; ++v) {
-      double* cells = out[v].cells().data();
-      const double* part = a.data() + offset[v];
-      const size_t n_cells = offset[v + 1] - offset[v];
+  // the merge is bit-identical no matter which slot counted which chunk.
+  for (const std::vector<double>& a : acc_) {
+    for (size_t v = v_begin; v < v_end; ++v) {
+      double* cells = tables_[v].cells().data();
+      const double* part = a.data() + offset_[v];
+      const size_t n_cells = offset_[v + 1] - offset_[v];
       for (size_t c = 0; c < n_cells; ++c) cells[c] += part[c];
     }
   }
-  return out;
+}
+
+std::vector<MarginalTable> Dataset::CountMarginals(
+    std::span<const AttrSet> views) const {
+  FusedCountPlan plan = PlanFusedCount(views);
+  if (plan.num_record_chunks() > 0) {
+    // All groups inside one record-chunk task: the chunk is re-streamed
+    // once per group while hot. The task-graph publish path instead makes
+    // (group, chunk) the unit so finished groups can merge early; both
+    // orders accumulate the same exact integers.
+    const size_t groups = plan.num_groups();
+    parallel::ParallelForWorkers(
+        parallel::Phase::kCount, 0, plan.num_record_chunks(), 1,
+        [&](int slot, size_t chunk_begin, size_t chunk_end) {
+          for (size_t chunk = chunk_begin; chunk < chunk_end; ++chunk) {
+            for (size_t g = 0; g < groups; ++g) {
+              plan.AccumulateGroup(slot, g, chunk);
+            }
+          }
+        });
+    // Groups write disjoint table ranges, so merging is itself parallel.
+    parallel::ParallelFor(parallel::Phase::kMerge, 0, groups, 1,
+                          [&](size_t g_begin, size_t g_end) {
+                            for (size_t g = g_begin; g < g_end; ++g) {
+                              plan.MergeGroup(g);
+                            }
+                          });
+  }
+  return plan.TakeTables();
 }
 
 double Dataset::CountCell(AttrSet attrs, uint64_t assignment) const {
@@ -131,8 +174,12 @@ double Dataset::AttributeFrequency(int a) const {
   // shift-and-mask-and-add chain. Blocks reduce in exact integer counts,
   // so the parallel fold is bit-identical to serial.
   const uint64_t* records = records_.data();
+  // Exact integer partials: any grain gives the same sum, so the
+  // cache-aware grain is safe here even though it is machine-dependent.
+  const size_t grain =
+      parallel::CacheAwareGrain(records_.size(), sizeof(uint64_t), 0);
   const uint64_t count = parallel::ParallelReduce<uint64_t>(
-      0, records_.size(), size_t{1} << 16, 0,
+      0, records_.size(), grain, 0,
       [&](size_t begin, size_t end) {
         uint64_t block_count = 0;
         size_t i = begin;

@@ -5,14 +5,82 @@
 #ifndef PRIVIEW_TABLE_DATASET_H_
 #define PRIVIEW_TABLE_DATASET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "table/attr_set.h"
 #include "table/marginal_table.h"
 
 namespace priview {
+
+/// The fused multi-view counting computation, reified so a caller can
+/// schedule its pieces (instead of running it as one opaque parallel
+/// region). The plan splits the records into cache-sized chunks and the
+/// views into L1-sized accumulator groups; the schedulable units are
+///   AccumulateGroup(slot, group, chunk)   — count one (group, chunk) cell
+///   MergeGroup(group)                     — fold slot accumulators, slot-
+///                                           ascending, into the tables
+/// MergeGroup(g) may run only after every AccumulateGroup(·, g, ·)
+/// completed; accumulations of DIFFERENT groups touch disjoint accumulator
+/// slices, so a group can merge (and its views proceed to noise) while
+/// other groups are still counting — the overlap the synopsis task graph
+/// exploits. Counts are exact integers in double, so any execution order
+/// respecting those dependencies is bit-identical.
+///
+/// Borrows the dataset's record array: the Dataset must outlive the plan.
+/// Per-slot accumulators are allocated eagerly for every worker slot, so
+/// concurrent AccumulateGroup/MergeGroup calls never race on allocation.
+class FusedCountPlan {
+ public:
+  size_t num_views() const { return tables_.size(); }
+  size_t num_groups() const { return group_start_.size() - 1; }
+  /// Record chunks per group; 0 when there are no views or no records.
+  size_t num_record_chunks() const { return record_chunks_; }
+  /// Records per chunk (cache-aware; thread-count independent).
+  size_t record_grain() const { return record_grain_; }
+  /// Group that view v's accumulator slice belongs to.
+  size_t GroupOfView(size_t v) const { return group_of_view_[v]; }
+  /// Half-open view-index range [first, last) of group g.
+  std::pair<size_t, size_t> GroupViews(size_t g) const {
+    return {group_start_[g], group_start_[g + 1]};
+  }
+
+  /// Accumulates record chunk `chunk` into group `group`'s slice of worker
+  /// slot `slot`'s accumulator. Slot-exclusive while running (the parallel
+  /// layer's slot contract); different groups write disjoint slices.
+  void AccumulateGroup(int slot, size_t group, size_t chunk);
+
+  /// Folds every slot's slice of `group` into the output tables, in
+  /// ascending slot order. Requires all AccumulateGroup calls for `group`
+  /// to have completed.
+  void MergeGroup(size_t group);
+
+  /// Mutable access to view v's output table — lets a task graph chain
+  /// per-view post-processing (noising) onto a merged group before
+  /// TakeTables(). Valid only after MergeGroup(GroupOfView(v)) completed
+  /// and before TakeTables().
+  MarginalTable& table(size_t v) { return tables_[v]; }
+
+  /// Yields the counted tables (after every MergeGroup ran).
+  std::vector<MarginalTable> TakeTables() { return std::move(tables_); }
+
+ private:
+  friend class Dataset;
+  FusedCountPlan() = default;
+
+  const std::vector<uint64_t>* records_ = nullptr;
+  std::vector<MarginalTable> tables_;
+  std::vector<uint64_t> masks_;
+  std::vector<size_t> offset_;  // view v's cells at [offset_[v], offset_[v+1])
+  std::vector<size_t> group_start_;
+  std::vector<size_t> group_of_view_;
+  size_t record_grain_ = 1;
+  size_t record_chunks_ = 0;
+  std::vector<std::vector<double>> acc_;  // [slot][total_cells]
+};
 
 /// Binary dataset with at most 64 attributes.
 class Dataset {
@@ -43,6 +111,12 @@ class Dataset {
   /// record traffic. This is the synopsis-construction hot path.
   std::vector<MarginalTable> CountMarginals(
       std::span<const AttrSet> views) const;
+
+  /// The fused counting pass as a schedulable plan (see FusedCountPlan).
+  /// CountMarginals is exactly PlanFusedCount + accumulate every
+  /// (group, chunk) + merge every group; callers that want phase overlap
+  /// wire the same pieces into a task graph instead.
+  FusedCountPlan PlanFusedCount(std::span<const AttrSet> views) const;
 
   /// Exact count of records whose bits at `attrs` equal `assignment`
   /// (assignment packed in the compact cell-index convention).

@@ -1,0 +1,259 @@
+// Work-stealing scheduler internals: FunctionRef dispatch, the cache-aware
+// grain heuristic, steal/overflow accounting, QueueDepth correctness under
+// concurrent dispatchers, and the TaskGraph dependency mode (ordering,
+// overlap determinism, exception cancellation, failpoint recovery).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/function_ref.h"
+#include "common/parallel.h"
+
+namespace priview {
+namespace {
+
+class ParallelStealTest : public ::testing::Test {
+ protected:
+  ~ParallelStealTest() override {
+    failpoint::DisarmAll();
+    parallel::SetThreadCount(0);
+  }
+};
+
+int FreeFunctionDouble(int x) { return 2 * x; }
+
+TEST_F(ParallelStealTest, FunctionRefCallsThroughWithoutOwnership) {
+  int counter = 0;
+  const auto add = [&counter](int x) { return counter += x; };
+  FunctionRef<int(int)> ref(add);
+  EXPECT_EQ(ref(3), 3);
+  EXPECT_EQ(ref(4), 7);
+  EXPECT_EQ(counter, 7);
+
+  FunctionRef<int(int)> fn(FreeFunctionDouble);
+  EXPECT_EQ(fn(21), 42);
+
+  // Trivially copyable two-word value: copies alias the same callable.
+  FunctionRef<int(int)> copy = ref;
+  EXPECT_EQ(copy(1), 8);
+  EXPECT_EQ(counter, 8);
+}
+
+TEST_F(ParallelStealTest, CacheAwareGrainInvariants) {
+  // Never zero, even for degenerate inputs.
+  EXPECT_GE(parallel::CacheAwareGrain(0, 8, 0), 1u);
+  EXPECT_GE(parallel::CacheAwareGrain(1, 0, 0), 1u);
+
+  const size_t grain = parallel::CacheAwareGrain(1 << 22, 8, 16 << 10);
+  // Floor: at least ~32KB of streamed data per chunk.
+  EXPECT_GE(grain * 8, size_t{32} << 10);
+  // Ceiling: one chunk's stream never exceeds the 1MB block cap.
+  EXPECT_LE(grain * 8, size_t{1} << 20);
+
+  // Small inputs split for balance but respect the overhead floor.
+  const size_t small = parallel::CacheAwareGrain(10000, 8, 0);
+  EXPECT_GE(small * 8, size_t{32} << 10);
+
+  // Thread-count independence: the grain is part of the determinism
+  // contract, so overriding the pool size must not change it.
+  parallel::SetThreadCount(1);
+  const size_t at1 = parallel::CacheAwareGrain(1 << 20, 8, 4096);
+  parallel::SetThreadCount(16);
+  EXPECT_EQ(parallel::CacheAwareGrain(1 << 20, 8, 4096), at1);
+}
+
+TEST_F(ParallelStealTest, StealsHappenWhenWorkIsImbalanced) {
+  parallel::SetThreadCount(2);
+  const uint64_t steals_before = parallel::StealCount();
+  // Two threads, one worker lane: every chunk is dealt to lane 1, so any
+  // chunk the dispatching caller executes is by definition a steal. Chunks
+  // long enough that the caller reaches the deque before it drains.
+  std::atomic<size_t> done{0};
+  parallel::ParallelFor(0, 32, 1, [&](size_t, size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 32u);
+  EXPECT_GT(parallel::StealCount(), steals_before);
+}
+
+TEST_F(ParallelStealTest, OversizedDispatchSpillsToOverflowAndCompletes) {
+  parallel::SetThreadCount(2);
+  const uint64_t overflows_before = parallel::OverflowCount();
+  // One worker lane, 4000 single-index chunks: the 2048-slot ring cannot
+  // hold them, so the tail must spill — and still execute exactly once.
+  const size_t n = 4000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel::ParallelFor(0, n, 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+  EXPECT_GT(parallel::OverflowCount(), overflows_before);
+}
+
+TEST_F(ParallelStealTest, QueueDepthIsZeroAfterConcurrentDispatchers) {
+  // The old counter assumed one region at a time; concurrent dispatchers
+  // (serve handlers + the stream publisher) made it drift. Hammer it from
+  // four threads and require an exact return to zero.
+  parallel::SetThreadCount(4);
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([] {
+      for (int round = 0; round < 50; ++round) {
+        parallel::ParallelFor(0, 64, 3, [&](size_t, size_t) {});
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(parallel::QueueDepth(), 0u);
+  for (int p = 0; p < parallel::kNumPhases; ++p) {
+    EXPECT_EQ(parallel::PhaseOccupancy(static_cast<parallel::Phase>(p)), 0)
+        << parallel::PhaseName(static_cast<parallel::Phase>(p));
+  }
+}
+
+TEST_F(ParallelStealTest, PhaseNamesAreStable) {
+  EXPECT_STREQ(parallel::PhaseName(parallel::Phase::kGeneric), "generic");
+  EXPECT_STREQ(parallel::PhaseName(parallel::Phase::kCount), "count");
+  EXPECT_STREQ(parallel::PhaseName(parallel::Phase::kMerge), "merge");
+  EXPECT_STREQ(parallel::PhaseName(parallel::Phase::kNoise), "noise");
+  EXPECT_STREQ(parallel::PhaseName(parallel::Phase::kRipple), "ripple");
+  EXPECT_STREQ(parallel::PhaseName(parallel::Phase::kConsistency),
+               "consistency");
+  EXPECT_STREQ(parallel::PhaseName(parallel::Phase::kSolve), "solve");
+}
+
+TEST_F(ParallelStealTest, TaskGraphRespectsDependencies) {
+  for (int threads : {1, 4}) {
+    parallel::SetThreadCount(threads);
+    // Diamond per lane: a -> {b, c} -> d, 16 lanes. Each node stamps a
+    // sequence number; prerequisites must stamp first.
+    const int lanes = 16;
+    std::atomic<uint64_t> clock{0};
+    std::vector<uint64_t> stamp(static_cast<size_t>(lanes) * 4, 0);
+    parallel::TaskGraph graph;
+    for (int lane = 0; lane < lanes; ++lane) {
+      const size_t base = static_cast<size_t>(lane) * 4;
+      const auto stamper = [&stamp, &clock](size_t at) {
+        stamp[at] = clock.fetch_add(1) + 1;
+      };
+      const auto a = graph.AddTask(parallel::Phase::kCount,
+                                   [=](int) { stamper(base + 0); });
+      const auto b = graph.AddTask(parallel::Phase::kMerge,
+                                   [=](int) { stamper(base + 1); });
+      const auto c = graph.AddTask(parallel::Phase::kMerge,
+                                   [=](int) { stamper(base + 2); });
+      const auto d = graph.AddTask(parallel::Phase::kNoise,
+                                   [=](int) { stamper(base + 3); });
+      graph.DependsOn(b, a);
+      graph.DependsOn(c, a);
+      graph.DependsOn(d, b);
+      graph.DependsOn(d, c);
+    }
+    EXPECT_EQ(graph.size(), static_cast<size_t>(lanes) * 4);
+    graph.Run();
+    for (int lane = 0; lane < lanes; ++lane) {
+      const size_t base = static_cast<size_t>(lane) * 4;
+      ASSERT_GT(stamp[base + 0], 0u);
+      EXPECT_LT(stamp[base + 0], stamp[base + 1]);
+      EXPECT_LT(stamp[base + 0], stamp[base + 2]);
+      EXPECT_GT(stamp[base + 3], stamp[base + 1]);
+      EXPECT_GT(stamp[base + 3], stamp[base + 2]);
+    }
+  }
+}
+
+TEST_F(ParallelStealTest, TaskGraphAccumulationIsThreadCountInvariant) {
+  // A miniature count -> merge -> finalize pipeline over exact integers:
+  // the merged totals must be identical at every thread count.
+  std::vector<double> reference;
+  for (int threads : {1, 2, 4, 8, 16}) {
+    parallel::SetThreadCount(threads);
+    const int slots = parallel::MaxWorkerSlots();
+    const size_t groups = 4, chunks = 32;
+    std::vector<std::vector<double>> acc(
+        static_cast<size_t>(slots), std::vector<double>(groups, 0.0));
+    std::vector<double> merged(groups, 0.0);
+    parallel::TaskGraph graph;
+    std::vector<parallel::TaskGraph::NodeId> count_ids(groups * chunks);
+    for (size_t r = 0; r < chunks; ++r) {
+      for (size_t g = 0; g < groups; ++g) {
+        count_ids[r * groups + g] =
+            graph.AddTask(parallel::Phase::kCount, [&acc, g, r](int slot) {
+              acc[static_cast<size_t>(slot)][g] +=
+                  static_cast<double>(r * 31 + g * 7 + 1);
+            });
+      }
+    }
+    for (size_t g = 0; g < groups; ++g) {
+      const auto merge = graph.AddTask(
+          parallel::Phase::kMerge, [&acc, &merged, g, slots](int) {
+            for (int s = 0; s < slots; ++s) merged[g] += acc[s][g];
+          });
+      for (size_t r = 0; r < chunks; ++r) {
+        graph.DependsOn(merge, count_ids[r * groups + g]);
+      }
+    }
+    graph.Run();
+    if (reference.empty()) {
+      reference = merged;
+    } else {
+      EXPECT_EQ(merged, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelStealTest, TaskGraphPropagatesGenuineExceptions) {
+  for (int threads : {1, 4}) {
+    parallel::SetThreadCount(threads);
+    parallel::TaskGraph graph;
+    std::atomic<bool> downstream_ran{false};
+    const auto boom = graph.AddTask(parallel::Phase::kGeneric, [](int) {
+      throw std::runtime_error("graph boom");
+    });
+    const auto after = graph.AddTask(
+        parallel::Phase::kGeneric,
+        [&downstream_ran](int) { downstream_ran = true; });
+    graph.DependsOn(after, boom);
+    EXPECT_THROW(graph.Run(), std::runtime_error);
+    // A node downstream of the failure must have been cancelled.
+    EXPECT_FALSE(downstream_ran.load()) << "threads=" << threads;
+  }
+}
+
+#if PRIVIEW_FAILPOINTS_ENABLED
+TEST_F(ParallelStealTest, TaskGraphRecoversInjectedFaults) {
+  for (int threads : {1, 4}) {
+    parallel::SetThreadCount(threads);
+    const uint64_t retries_before = parallel::InlineRetryCount();
+    failpoint::ScopedFailpoint scoped("parallel/task-throw", "always");
+    ASSERT_TRUE(scoped.status().ok());
+    const size_t n = 64;
+    std::vector<std::atomic<int>> hits(n);
+    parallel::TaskGraph graph;
+    parallel::TaskGraph::NodeId prev = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const auto id = graph.AddTask(parallel::Phase::kGeneric,
+                                    [&hits, i](int) { hits[i].fetch_add(1); });
+      // Chain half the nodes so recovery is exercised on gating nodes too
+      // (a deferred retry would deadlock their dependents).
+      if (i % 2 == 1) graph.DependsOn(id, prev);
+      prev = id;
+    }
+    graph.Run();
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads;
+    }
+    EXPECT_GT(parallel::InlineRetryCount(), retries_before);
+  }
+}
+#endif  // PRIVIEW_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace priview
